@@ -1,0 +1,91 @@
+"""Shared evaluation plumbing for the table benches.
+
+Tables 3 and 4 report the FDR/FAR *trade-off* at the models' default
+decision rule (majority vote), as the balance knobs λ / λn move — no
+threshold pinning is involved (that is what makes them trade-off
+tables).  Both helpers follow the §4.4 setup: 70/30 disk split, labels
+per the paper's rules, training on all training-disk samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.eval.metrics import disk_level_rates
+from repro.eval.protocol import LabeledArrays, prepare_arrays, split_disks, stream_order
+from repro.features.selection import FeatureSelection
+from repro.offline.forest import RandomForestClassifier
+from repro.offline.sampling import downsample_negatives
+from repro.smart.dataset import SmartDataset
+
+
+def train_test_arrays(
+    dataset: SmartDataset,
+    seed: int,
+    *,
+    max_months: Optional[int] = None,
+    horizon: int = 7,
+) -> Tuple[LabeledArrays, LabeledArrays]:
+    """70/30 disk split → (train, test) arrays, scaler fitted on train."""
+    if max_months is not None:
+        dataset = dataset.subset_rows(dataset.months < max_months)
+    selection = FeatureSelection.paper_table2()
+    train_serials, test_serials = split_disks(dataset, seed=seed)
+    ds_train = dataset.subset_serials(train_serials)
+    ds_test = dataset.subset_serials(test_serials)
+    train, scaler = prepare_arrays(ds_train, selection, horizon=horizon)
+    test, _ = prepare_arrays(ds_test, selection, scaler=scaler, horizon=horizon)
+    return train, test
+
+
+def rates_at_default_threshold(
+    scores: np.ndarray, test: LabeledArrays, threshold: float = 0.5
+) -> Tuple[float, float]:
+    counts = disk_level_rates(
+        scores,
+        test.serials,
+        test.detection_mask(),
+        test.false_alarm_mask(),
+        threshold,
+    )
+    return counts.fdr, counts.far
+
+
+def offline_rf_rates_for_lambda(
+    dataset: SmartDataset,
+    lam: Optional[float],
+    seed: int,
+    rf_params: dict,
+    *,
+    max_months: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Table-3 cell: offline RF trained with NegSampleRatio λ."""
+    train, test = train_test_arrays(dataset, seed, max_months=max_months)
+    rows = train.training_rows()
+    y = train.y[rows]
+    idx = rows[downsample_negatives(y, lam, seed=seed + 1)]
+    model = RandomForestClassifier(seed=seed + 2, **rf_params)
+    model.fit(train.X[idx], train.y[idx])
+    return rates_at_default_threshold(model.predict_score(test.X), test)
+
+
+def orf_rates_for_lambda_neg(
+    dataset: SmartDataset,
+    lambda_neg: float,
+    seed: int,
+    orf_params: dict,
+    *,
+    max_months: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Table-4 cell: ORF streamed with Poisson rates (λp = 1, λn)."""
+    train, test = train_test_arrays(dataset, seed, max_months=max_months)
+    params = dict(orf_params)
+    params["lambda_neg"] = lambda_neg
+    model = OnlineRandomForest(train.n_features, seed=seed + 2, **params)
+    rows = train.training_rows()
+    order = rows[stream_order(train.days[rows], train.serials[rows])]
+    model.partial_fit(train.X[order], train.y[order])
+    return rates_at_default_threshold(model.predict_score(test.X), test)

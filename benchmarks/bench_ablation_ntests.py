@@ -1,0 +1,57 @@
+"""Ablation A5 — number of candidate random tests per leaf (N).
+
+The paper sets N = 5000; DESIGN.md §3 scales that down to 40 for the
+pure-Python runs and claims the FDR/FAR *shape* is preserved.  This
+bench is the evidence: sweep N on the STA stream and show the quality
+curve saturates at tens of tests (with cost growing linearly in N), so
+the paper's extravagant N buys nothing this substrate can measure.
+"""
+
+import time
+
+from repro.utils.tables import format_table
+
+from _helpers import orf_rates_for_lambda_neg
+from conftest import MASTER_SEED, bench_orf_params
+
+N_TESTS = [5, 20, 40, 160]
+MAX_MONTHS = 12
+
+
+def test_ablation_candidate_tests(sta_dataset, benchmark):
+    rows = []
+    results = {}
+    for n in N_TESTS:
+        params = bench_orf_params()
+        params["n_tests"] = n
+        t0 = time.perf_counter()
+        fdr, far = orf_rates_for_lambda_neg(
+            sta_dataset, 0.02, MASTER_SEED + 31, params, max_months=MAX_MONTHS
+        )
+        elapsed = time.perf_counter() - t0
+        results[n] = (fdr, far)
+        rows.append([n, f"{100 * fdr:.1f}", f"{100 * far:.2f}", f"{elapsed:.1f}"])
+
+    print()
+    print(
+        format_table(
+            ["N (tests/leaf)", "FDR(%)", "FAR(%)", "stream time (s)"],
+            rows,
+            title="Ablation A5: candidate-test count (paper uses N = 5000)",
+        )
+    )
+
+    # quality saturates: 160 tests is not meaningfully better than 40
+    assert results[160][0] <= results[40][0] + 0.10
+    # very small N loses detection power vs the saturated regime
+    assert results[40][0] >= results[5][0] - 0.05
+
+    params = bench_orf_params()
+    params["n_tests"] = 40
+    benchmark.pedantic(
+        lambda: orf_rates_for_lambda_neg(
+            sta_dataset, 0.02, MASTER_SEED + 32, params, max_months=MAX_MONTHS
+        ),
+        rounds=1,
+        iterations=1,
+    )

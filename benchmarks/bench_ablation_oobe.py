@@ -1,0 +1,86 @@
+"""Ablation A1 — does OOBE-based tree replacement buy adaptivity?
+
+The paper credits the discard-and-regrow mechanism (Algorithm 1, lines
+21-27) for the ORF's drift adaptivity.  This bench streams a concept
+drift (the decision boundary flips mid-stream) through two otherwise
+identical forests — replacement on vs. off — and compares post-drift
+accuracy.  The replacement-enabled forest must recover; the frozen one
+stays anchored to the dead concept.
+"""
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.utils.tables import format_table
+
+from conftest import MASTER_SEED
+
+
+def drifted_stream(n_pre, n_post, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n_pre + n_post, 6))
+    y = np.empty(n_pre + n_post, dtype=np.int8)
+    y[:n_pre] = (X[:n_pre, 0] > 0.5).astype(np.int8)
+    y[n_pre:] = (X[n_pre:, 0] <= 0.5).astype(np.int8)  # concept flips
+    return X, y
+
+
+def run_variant(oobe_threshold, X, y, seed):
+    forest = OnlineRandomForest(
+        6,
+        n_trees=12,
+        n_tests=30,
+        min_parent_size=80,
+        min_gain=0.05,
+        lambda_pos=0.5,
+        lambda_neg=0.5,
+        oobe_threshold=oobe_threshold,
+        age_threshold=150,
+        oobe_decay=0.1,
+        oobe_min_observations=15,
+        seed=seed,
+    )
+    forest.partial_fit(X, y)
+    return forest
+
+
+def test_ablation_oobe_replacement(benchmark):
+    # enough pre-drift mass that frozen trees stay anchored to the dead
+    # concept, and a post-drift window short enough that only replacement
+    # (not slow leaf-count turnover) can recover in time
+    n_pre, n_post = 6000, 2500
+    X, y = drifted_stream(n_pre, n_post, MASTER_SEED)
+    rng = np.random.default_rng(MASTER_SEED + 1)
+    Xt = rng.uniform(size=(2000, 6))
+    yt = (Xt[:, 0] <= 0.5).astype(np.int8)  # post-drift concept
+
+    with_replacement = run_variant(0.2, X, y, MASTER_SEED + 2)
+    frozen = run_variant(None, X, y, MASTER_SEED + 2)
+
+    acc_with = float(
+        ((with_replacement.predict_score(Xt) > 0.5).astype(np.int8) == yt).mean()
+    )
+    acc_frozen = float(((frozen.predict_score(Xt) > 0.5).astype(np.int8) == yt).mean())
+
+    print()
+    print(
+        format_table(
+            ["Variant", "post-drift accuracy (%)", "trees replaced"],
+            [
+                ["OOBE replacement ON", f"{100 * acc_with:.1f}",
+                 with_replacement.n_replacements],
+                ["OOBE replacement OFF", f"{100 * acc_frozen:.1f}",
+                 frozen.n_replacements],
+            ],
+            title="Ablation A1: tree replacement under concept drift",
+        )
+    )
+
+    assert with_replacement.n_replacements > 0
+    assert frozen.n_replacements == 0
+    assert acc_with > acc_frozen + 0.05, "replacement must buy adaptivity"
+
+    # --- timing: one full drifted stream with replacement enabled ----------
+    benchmark.pedantic(
+        lambda: run_variant(0.2, X, y, MASTER_SEED + 3), rounds=1, iterations=1
+    )

@@ -1,0 +1,74 @@
+"""Ablation A2 — ensemble size T.
+
+The paper: "We run experiments with more trees, but no significant
+improvement is observed" (T = 30).  A fixed-threshold FDR can't resolve
+this (a single tree and a big forest may detect the same easy drives),
+so this bench sweeps T and reports the disk-level **AUC** of the
+FDR/FAR trade-off curve — the quantity ensemble size actually moves,
+because more trees mean finer, lower-variance scores.  Expected shape:
+AUC climbs from T = 1 and saturates near the paper's operating range.
+"""
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.eval.leadtime import curve_auc
+from repro.eval.protocol import stream_order
+from repro.utils.tables import format_table
+
+from _helpers import train_test_arrays
+from conftest import MASTER_SEED, bench_orf_params
+
+TREE_COUNTS = [1, 5, 10, 25, 50]
+MAX_MONTHS = 12
+
+
+def run_one(train, test, t, seed):
+    params = bench_orf_params()
+    params["n_trees"] = t
+    forest = OnlineRandomForest(train.n_features, seed=seed, **params)
+    rows = train.training_rows()
+    order = rows[stream_order(train.days[rows], train.serials[rows])]
+    forest.partial_fit(train.X[order], train.y[order])
+    scores = forest.predict_score(test.X)
+    return curve_auc(
+        scores, test.serials, test.detection_mask(), test.false_alarm_mask()
+    )
+
+
+N_SEEDS = 3
+
+
+def test_ablation_tree_count(sta_dataset, benchmark):
+    train, test = train_test_arrays(
+        sta_dataset, MASTER_SEED + 11, max_months=MAX_MONTHS
+    )
+    results = {}
+    rows = []
+    for t in TREE_COUNTS:
+        aucs = [
+            run_one(train, test, t, MASTER_SEED + 12 + s) for s in range(N_SEEDS)
+        ]
+        results[t] = (float(np.mean(aucs)), float(np.std(aucs)))
+        rows.append([t, f"{results[t][0]:.3f} ± {results[t][1]:.3f}"])
+
+    print()
+    print(
+        format_table(
+            ["T (trees)", "disk-level AUC"],
+            rows,
+            title="Ablation A2: ensemble size on the STA stream (first 12 months)",
+        )
+    )
+
+    # ensembles do not lose to a single tree (within seed noise)...
+    noise = max(results[1][1], results[25][1], 0.02)
+    assert results[25][0] >= results[1][0] - 2 * noise
+    # ...but saturate: 50 trees buys nothing material over 25
+    assert results[50][0] <= results[25][0] + 2 * noise + 0.02
+
+    benchmark.pedantic(
+        lambda: run_one(train, test, 10, MASTER_SEED + 13),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,62 @@
+"""Figure 3 — FDR of ORF vs. offline models over months (STB).
+
+Paper reference: STB (ST3000DM001) is the harder dataset — more
+signature-less mechanical failures, weaker degradation signal — so all
+models plateau lower (ORF/RF around 85%, DT/SVM below).  The ORF again
+tracks the offline RF after the first months.
+"""
+
+import numpy as np
+
+from repro.eval.monthly import MonthlyConfig, run_monthly_comparison
+from repro.utils.tables import format_table
+
+from conftest import MASTER_SEED, bench_orf_params, bench_rf_params
+
+EVAL_MONTHS = [2, 4, 6, 8, 10, 12, 14, 16, 18]
+
+
+def run(stb_dataset):
+    config = MonthlyConfig(
+        eval_months=EVAL_MONTHS,
+        models=("orf", "rf", "dt", "svm"),
+        orf_params=bench_orf_params(),
+        rf_params=bench_rf_params(),
+        svm_max_train=1500,
+    )
+    return run_monthly_comparison(stb_dataset, config=config, seed=MASTER_SEED + 3)
+
+
+def test_fig3_fdr_over_months_stb(stb_dataset, benchmark):
+    results = benchmark.pedantic(lambda: run(stb_dataset), rounds=1, iterations=1)
+
+    header = ["Model"] + [f"m{m}" for m in EVAL_MONTHS]
+    rows = []
+    for name in ("orf", "rf", "dt", "svm"):
+        r = results[name]
+        by_month = dict(zip(r.months, r.fdr))
+        rows.append(
+            [name.upper()]
+            + [
+                f"{100 * by_month[m]:.0f}" if m in by_month else "-"
+                for m in EVAL_MONTHS
+            ]
+        )
+    print()
+    print(
+        format_table(
+            header,
+            rows,
+            title="Figure 3: FDR(%) vs months, FAR pinned ≈ 1% (synthetic STB)",
+        )
+    )
+
+    # --- shape assertions vs. the paper -----------------------------------
+    orf, rf = results["orf"], results["rf"]
+    late_orf = float(np.mean(orf.fdr[-3:]))
+    late_rf = float(np.mean(rf.fdr[-3:]))
+    assert late_orf >= late_rf - 0.12  # comparable to offline RF
+    assert late_orf > 0.5             # usable despite the harder fleet
+
+    # STB is harder than STA in the paper; verify the plateau is imperfect
+    assert late_orf < 0.999

@@ -1,0 +1,53 @@
+"""Figure 5 — long-term FARs of ORF vs. monthly-updated RFs (STB).
+
+Same protocol as Figure 4 on the harder STB fleet (warm-up 4 months in
+the paper).  Expected shape: stale model's FAR drifts upward; updated
+strategies and the ORF keep it bounded, ORF lowest.
+
+Shares the §4.5 run with Figure 7 (session cache).
+"""
+
+import numpy as np
+
+from repro.utils.tables import format_table
+
+from conftest import longterm_results
+
+WARMUP_MONTHS = 4
+
+
+def test_fig5_longterm_far_stb(stb_dataset, benchmark):
+    results = benchmark.pedantic(
+        lambda: longterm_results(stb_dataset, "stb", WARMUP_MONTHS),
+        rounds=1,
+        iterations=1,
+    )
+
+    months = [p.month for p in results["no_update"]]
+    header = ["Strategy"] + [f"m{m}" for m in months]
+    rows = []
+    for name in ("no_update", "replacing", "accumulation", "orf"):
+        by_month = {p.month: p.far for p in results[name]}
+        rows.append(
+            [name] + [f"{100 * by_month.get(m, float('nan')):.1f}" for m in months]
+        )
+    print()
+    print(
+        format_table(
+            header, rows,
+            title="Figure 5: FAR(%) in long-term use (synthetic STB)",
+        )
+    )
+
+    # --- shape assertions vs. the paper -----------------------------------
+    stale = results["no_update"]
+    early_far = float(np.mean([p.far for p in stale[:3]]))
+    late_far = float(np.mean([p.far for p in stale[-3:]]))
+    assert late_far >= early_far  # aging: no improvement without updates
+    # ORF keeps FAR bounded and not worse than the stale model
+    orf_late = float(np.mean([p.far for p in results["orf"][-3:]]))
+    assert orf_late <= max(late_far, 0.03)
+    # ORF among the lowest overall
+    orf_mean = float(np.mean([p.far for p in results["orf"]]))
+    stale_mean = float(np.mean([p.far for p in results["no_update"]]))
+    assert orf_mean <= stale_mean + 0.005

@@ -1,0 +1,58 @@
+"""Table 1 — overview of the datasets.
+
+Paper reference (Backblaze field data):
+
+    | ............ | STA          | STB          |
+    | DiskModel    | ST4000DM000  | ST3000DM001  |
+    | Capacity(TB) | 4            | 3            |
+    | #GoodDisks   | 34,535       | 2,898        |
+    | #FailedDisks | 1,996        | 1,357        |
+    | Duration     | 39 months    | 20 months    |
+
+This bench prints the synthetic fleets' Table 1 and times the field-data
+generator (the substrate everything else consumes).  Fleet sizes are
+~40x smaller by design; the qualitative contrasts must hold: STB has a
+far higher failure ratio and a shorter window.
+"""
+
+from repro.smart.drive_model import STA, scaled_spec
+from repro.smart.generator import generate_dataset
+from repro.utils.tables import format_table
+
+from conftest import BENCH_SCALE, BENCH_STRIDE, MASTER_SEED
+
+
+def test_table1_overview(sta_dataset, stb_dataset, benchmark):
+    rows = []
+    for ds in (sta_dataset, stb_dataset):
+        s = ds.summary()
+        rows.append(
+            [s["DiskModel"], s["Capacity(TB)"], s["#GoodDisks"],
+             s["#FailedDisks"], s["Duration"], s["#Snapshots"]]
+        )
+    print()
+    print(
+        format_table(
+            ["DiskModel", "Capacity(TB)", "#GoodDisks", "#FailedDisks",
+             "Duration", "#Snapshots"],
+            rows,
+            title="Table 1: Overview of dataset (synthetic, bench scale)",
+        )
+    )
+
+    # --- shape assertions vs. the paper -----------------------------------
+    sta_ratio = sta_dataset.n_failed_drives / max(sta_dataset.n_good_drives, 1)
+    stb_ratio = stb_dataset.n_failed_drives / max(stb_dataset.n_good_drives, 1)
+    assert stb_ratio > sta_ratio, "STB must fail much more often than STA"
+    assert sta_dataset.duration_months == 39
+    assert stb_dataset.duration_months == 20
+
+    # --- timing: generating a one-year slice of the STA fleet -------------
+    spec = scaled_spec(STA, fleet_scale=BENCH_SCALE, duration_months=12)
+    benchmark.pedantic(
+        lambda: generate_dataset(
+            spec, seed=MASTER_SEED, sample_every_days=BENCH_STRIDE
+        ),
+        rounds=1,
+        iterations=1,
+    )

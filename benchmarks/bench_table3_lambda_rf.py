@@ -1,0 +1,71 @@
+"""Table 3 — impact of the NegSampleRatio λ on the offline RF.
+
+Paper reference (STA columns):
+
+    λ    FDR(%)        FAR(%)
+    1    98.22 ± 0.25  11.88 ± 2.62
+    2    99.02 ± 0.31   2.33 ± 0.95
+    3    98.16 ± 0.74   0.76 ± 0.17
+    4    94.58 ± 0.64   0.05 ± 0.04
+    5    92.00 ± 0.14   0.00
+    Max  35.14 ± 0.18   0.00
+
+Shape to reproduce: growing λ trades FDR for FAR monotonically-ish, and
+λ = Max (no balancing) collapses the FDR while silencing false alarms.
+"""
+
+import numpy as np
+
+from repro.eval.runner import aggregate_rate_pairs, derive_seeds
+from repro.utils.tables import format_table
+
+from _helpers import offline_rf_rates_for_lambda
+from conftest import BENCH_REPEATS, MASTER_SEED, bench_rf_params
+
+LAMBDAS = [1.0, 2.0, 3.0, 4.0, 5.0, None]  # None == the paper's "Max"
+MAX_MONTHS = 18  # train on the first 18 months — plenty for the trade-off
+
+
+def test_table3_lambda_impact(sta_dataset, benchmark):
+    seeds = derive_seeds(MASTER_SEED, BENCH_REPEATS)
+    rows = []
+    results = {}
+    for lam in LAMBDAS:
+        pairs = [
+            offline_rf_rates_for_lambda(
+                sta_dataset, lam, seed, bench_rf_params(), max_months=MAX_MONTHS
+            )
+            for seed in seeds
+        ]
+        agg = aggregate_rate_pairs(pairs)
+        results[lam] = agg
+        rows.append(
+            ["Max" if lam is None else int(lam), str(agg["fdr"]), str(agg["far"])]
+        )
+
+    print()
+    print(
+        format_table(
+            ["λ", "FDR(%)", "FAR(%)"],
+            rows,
+            title="Table 3: Impact of λ on offline RF (synthetic STA)",
+        )
+    )
+
+    # --- shape assertions vs. the paper -----------------------------------
+    # 1) small λ: high FDR, elevated FAR; 2) λ=5 cuts FAR vs λ=1
+    assert results[1.0]["far"].mean > results[5.0]["far"].mean
+    # 3) FDR does not improve as λ grows past 1
+    assert results[5.0]["fdr"].mean <= results[1.0]["fdr"].mean + 5.0
+    # 4) unbalanced training ("Max") collapses detection
+    assert results[None]["fdr"].mean < results[2.0]["fdr"].mean
+    assert results[None]["far"].mean <= results[1.0]["far"].mean
+
+    # --- timing: one λ=3 train+eval cell -----------------------------------
+    benchmark.pedantic(
+        lambda: offline_rf_rates_for_lambda(
+            sta_dataset, 3.0, seeds[0], bench_rf_params(), max_months=MAX_MONTHS
+        ),
+        rounds=1,
+        iterations=1,
+    )

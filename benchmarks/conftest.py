@@ -1,0 +1,86 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench regenerates one table or figure of the paper and prints the
+same rows/series the paper reports (shape reproduction — see DESIGN.md §4
+for what "reproduced" means on a synthetic substrate).
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE``   — fleet scale factor vs. the presets (default 0.25);
+* ``REPRO_BENCH_REPEATS`` — seed replications for the ± tables (default 3;
+  the paper uses 5);
+* ``REPRO_BENCH_STRIDE``  — daily-snapshot sampling stride (default 2).
+
+Expensive artifacts (datasets, the long-term simulation runs shared by
+Figures 4/6 and 5/7) are cached per session.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.eval.longterm import LongTermConfig, run_longterm
+from repro.smart.drive_model import STA, STB, scaled_spec
+from repro.smart.generator import generate_dataset
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+BENCH_STRIDE = int(os.environ.get("REPRO_BENCH_STRIDE", "2"))
+
+MASTER_SEED = 20180813  # the paper's first conference day
+
+
+def bench_orf_params() -> dict:
+    """ORF hyper-parameters used across benches (paper's, with N scaled
+    down per DESIGN.md §3)."""
+    return dict(
+        n_trees=25,
+        n_tests=40,
+        min_parent_size=120.0,
+        min_gain=0.05,
+        lambda_pos=1.0,
+        lambda_neg=0.02,
+        oobe_threshold=0.25,
+        age_threshold=2000.0,
+    )
+
+
+def bench_rf_params() -> dict:
+    return dict(n_trees=30, max_features="sqrt", min_samples_leaf=2)
+
+
+@pytest.fixture(scope="session")
+def sta_dataset():
+    """Bench-scale STA (ST4000DM000-like, 39 months)."""
+    spec = scaled_spec(STA, fleet_scale=BENCH_SCALE)
+    return generate_dataset(spec, seed=MASTER_SEED, sample_every_days=BENCH_STRIDE)
+
+
+@pytest.fixture(scope="session")
+def stb_dataset():
+    """Bench-scale STB (ST3000DM001-like, 20 months)."""
+    spec = scaled_spec(STB, fleet_scale=2 * BENCH_SCALE)
+    return generate_dataset(
+        spec, seed=MASTER_SEED + 1, sample_every_days=BENCH_STRIDE
+    )
+
+
+_LONGTERM_CACHE: Dict[str, dict] = {}
+
+
+def longterm_results(dataset, name: str, warmup_months: int) -> dict:
+    """Run (once per session) the §4.5 simulation shared by two figures."""
+    if name not in _LONGTERM_CACHE:
+        config = LongTermConfig(
+            warmup_months=warmup_months,
+            fdr_window_months=3,
+            rf_params=bench_rf_params(),
+            orf_params=bench_orf_params(),
+        )
+        _LONGTERM_CACHE[name] = run_longterm(
+            dataset, config=config, seed=MASTER_SEED + 7
+        )
+    return _LONGTERM_CACHE[name]

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Feature selection study: re-deriving the paper's Table 2.
+
+Runs the three-stage §4.2 pipeline (Wilcoxon rank-sum filter → RF
+contribution ranking → redundancy elimination) on a synthetic fleet and
+compares the derived feature set against the paper's published Table 2,
+then quantifies what the selection buys: an ORF trained on the selected
+features vs. one trained on all 48 candidates.
+
+Run:  python examples/feature_selection_study.py
+"""
+
+import numpy as np
+
+from repro import FeatureSelection, OnlineRandomForest, STA, generate_dataset, scaled_spec
+from repro.eval.protocol import labels_and_mask, prepare_arrays, split_disks, stream_order
+from repro.eval.threshold import fdr_at_far
+from repro.features import select_features
+from repro.features.selection import FeatureSelection as FS
+from repro.smart.attributes import candidate_feature_names
+from repro.utils.tables import format_table
+
+
+def evaluate(dataset, selection, seed=0):
+    train_s, test_s = split_disks(dataset, seed=seed)
+    train, scaler = prepare_arrays(dataset.subset_serials(train_s), selection)
+    test, _ = prepare_arrays(dataset.subset_serials(test_s), selection, scaler=scaler)
+    forest = OnlineRandomForest(
+        train.n_features, n_trees=15, n_tests=40, min_parent_size=100,
+        min_gain=0.05, lambda_neg=0.02, seed=seed,
+    )
+    rows = train.training_rows()
+    order = rows[stream_order(train.days[rows], train.serials[rows])]
+    forest.partial_fit(train.X[order], train.y[order])
+    scores = forest.predict_score(test.X)
+    return fdr_at_far(
+        scores, test.serials, test.detection_mask(), test.false_alarm_mask(), 0.01
+    )
+
+
+def main() -> None:
+    spec = scaled_spec(STA, fleet_scale=0.25, duration_months=18)
+    dataset = generate_dataset(spec, seed=9, sample_every_days=2)
+
+    # --- derive a selection from the data itself ---------------------------
+    y, usable = labels_and_mask(dataset)
+    rows = np.flatnonzero(usable)
+    derived = select_features(
+        dataset.X[rows].astype(np.float64), y[rows], max_features=19, seed=0
+    )
+    names = candidate_feature_names()
+    paper = FeatureSelection.paper_table2()
+
+    print(format_table(
+        ["Rank", "Derived feature", "In paper's Table 2?"],
+        [
+            [i + 1, names[idx], "yes" if idx in set(paper.indices.tolist()) else "no"]
+            for i, idx in enumerate(derived.indices)
+        ],
+        title=(
+            f"Derived selection: 48 candidates -> "
+            f"{len(derived.survived_ranksum)} after rank-sum -> "
+            f"{derived.n_features} final"
+        ),
+    ))
+    overlap = len(set(derived.indices.tolist()) & set(paper.indices.tolist()))
+    print(f"\nOverlap with the paper's 19 features: {overlap}/{derived.n_features}")
+
+    # --- what does selection buy? ------------------------------------------
+    all48 = FS(indices=np.arange(48), names=names)
+    for label, sel in (("all 48 candidates", all48),
+                       ("derived selection", derived),
+                       ("paper Table 2", paper)):
+        fdr, far, _ = evaluate(dataset, sel, seed=1)
+        print(f"  ORF with {label:<18s}: FDR {100 * fdr:5.1f}%  FAR {100 * far:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Multi-level health assessment: ordering migrations by urgency.
+
+The binary predictor answers "will this drive fail within 7 days?".
+The related work the paper builds on (RNN / GBRT residual-life models)
+asks the finer question: *how long does this drive have?* — so an
+operator can schedule migrations in urgency order instead of treating
+every alarm as equally critical.
+
+This example trains the library's :class:`OnlineHealthAssessor` (a bank
+of one-vs-rest ORFs over residual-life horizons) on a synthetic fleet
+and reports the residual-life confusion and the exact / off-by-one ACC
+metrics the health-degree papers use.
+
+Run:  python examples/health_assessment.py
+"""
+
+import numpy as np
+
+from repro import FeatureSelection, STA, generate_dataset, scaled_spec
+from repro.core.health import HealthLevels, OnlineHealthAssessor, health_level_accuracy
+from repro.eval.protocol import prepare_arrays, split_disks, stream_order
+from repro.utils.tables import format_table
+
+LEVEL_NAMES = ["<7 days", "7-30 days", "30-90 days", "healthy"]
+
+
+def main() -> None:
+    spec = scaled_spec(STA, fleet_scale=0.3, duration_months=18)
+    dataset = generate_dataset(spec, seed=31, sample_every_days=2)
+    selection = FeatureSelection.paper_table2()
+
+    train_s, test_s = split_disks(dataset, seed=0)
+    train, scaler = prepare_arrays(dataset.subset_serials(train_s), selection)
+    test, _ = prepare_arrays(dataset.subset_serials(test_s), selection, scaler=scaler)
+
+    levels = HealthLevels((7, 30, 90))
+    assessor = OnlineHealthAssessor(
+        train.n_features,
+        levels=levels,
+        n_trees=12,
+        n_tests=40,
+        min_parent_size=100,
+        min_gain=0.04,
+        lambda_neg=0.02,
+        seed=5,
+    )
+
+    rows = train.training_rows()
+    order = rows[stream_order(train.days[rows], train.serials[rows])]
+    print(f"Streaming {order.size:,} samples through "
+          f"{len(levels.horizons)} horizon forests ...")
+    assessor.partial_fit(train.X[order], train.days_to_failure[order])
+
+    # --------------------------------------------------------------- assess
+    # evaluate on the rows nearest each test drive's end of observation
+    dtf = test.days_to_failure
+    keep = np.isfinite(dtf) | (np.random.default_rng(0).uniform(size=dtf.size) < 0.02)
+    rows_eval = np.flatnonzero(keep)
+    actual = levels.levels_of(dtf[rows_eval])
+    predicted = assessor.assess(test.X[rows_eval])
+
+    confusion = np.zeros((levels.n_levels, levels.n_levels), dtype=int)
+    for a, p in zip(actual, predicted):
+        confusion[a, p] += 1
+    table = [
+        [LEVEL_NAMES[a]] + confusion[a].tolist() for a in range(levels.n_levels)
+    ]
+    print()
+    print(format_table(
+        ["actual \\ assessed"] + LEVEL_NAMES,
+        table,
+        title="Residual-life confusion (test drives)",
+    ))
+
+    print(f"\nexact ACC     : {100 * health_level_accuracy(predicted, actual):.1f}%")
+    print(f"off-by-one ACC: "
+          f"{100 * health_level_accuracy(predicted, actual, tolerance=1):.1f}%")
+    urgent = actual == 0
+    if urgent.any():
+        caught = (predicted[urgent] <= 1).mean()
+        print(f"drives in their final week assessed urgent (level ≤ 1): "
+              f"{100 * caught:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Model aging: why offline disk-failure models rot, and how the ORF doesn't.
+
+Reproduces the paper's §4.5 story in miniature: an offline RF trained
+once at deployment time is compared month-by-month against the
+continuously evolving ORF as the fleet's SMART distribution drifts
+(cumulative attributes grow, healthy drives wear, firmware
+recalibration shifts Norm values).  The stale model's false-alarm rate
+climbs; the ORF's stays flat — with zero retraining.
+
+Run:  python examples/model_aging.py
+"""
+
+from repro import LongTermConfig, STA, generate_dataset, run_longterm, scaled_spec
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    spec = scaled_spec(STA, fleet_scale=0.25, duration_months=24)
+    dataset = generate_dataset(spec, seed=5, sample_every_days=2)
+    print(f"Fleet: {dataset.n_drives} drives, {dataset.n_failed_drives} failures "
+          f"over {spec.duration_months} months\n")
+
+    config = LongTermConfig(
+        warmup_months=6,
+        fdr_window_months=3,
+        strategies=("no_update", "accumulation", "orf"),
+    )
+    results = run_longterm(dataset, config=config, seed=1)
+
+    months = [p.month for p in results["no_update"]]
+    rows = []
+    for name in ("no_update", "accumulation", "orf"):
+        fars = {p.month: p.far for p in results[name]}
+        rows.append([name] + [f"{100 * fars[m]:.1f}" for m in months])
+    print(format_table(
+        ["FAR(%) by month"] + [f"m{m}" for m in months],
+        rows,
+        title="False alarm rate over two years of deployment",
+    ))
+
+    rows = []
+    for name in ("no_update", "accumulation", "orf"):
+        fdrs = {p.month: p.fdr for p in results[name]}
+        rows.append(
+            [name]
+            + [
+                "-" if fdrs[m] != fdrs[m] else f"{100 * fdrs[m]:.0f}"
+                for m in months
+            ]
+        )
+    print()
+    print(format_table(
+        ["FDR(%) by month"] + [f"m{m}" for m in months],
+        rows,
+        title="Failure detection rate (3-month trailing window)",
+    ))
+
+    stale_far = [p.far for p in results["no_update"]]
+    orf_far = [p.far for p in results["orf"]]
+    print(f"\nTakeaway: the frozen model's FAR went "
+          f"{100 * stale_far[0]:.1f}% -> {100 * stale_far[-1]:.1f}% "
+          f"while the ORF stayed at {100 * max(orf_far):.1f}% or less — "
+          f"and the ORF was never retrained.")
+
+
+if __name__ == "__main__":
+    main()

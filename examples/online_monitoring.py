@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Online monitoring: the full Algorithm-2 deployment loop.
+
+Unlike quickstart.py (which streams pre-labeled samples), this example
+runs the paper's *actual* deployment story: SMART samples arrive day by
+day with unknown labels, the automatic online label method (Figure 1)
+confirms them a week later — or flushes them as positives when a disk
+dies — and the monitor raises alarms recommending data migration.
+
+For every detected failure we report the *lead time* (days between the
+first alarm and the death), the quantity an operator actually plans
+migrations around.
+
+Run:  python examples/online_monitoring.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import (
+    FeatureSelection,
+    OnlineDiskFailurePredictor,
+    OnlineRandomForest,
+    STA,
+    generate_dataset,
+    scaled_spec,
+)
+from repro.eval.protocol import prepare_arrays, stream_order
+
+
+def main() -> None:
+    spec = scaled_spec(STA, fleet_scale=0.15, duration_months=14)
+    dataset = generate_dataset(spec, seed=11)
+    selection = FeatureSelection.paper_table2()
+    arrays, _ = prepare_arrays(dataset, selection)
+
+    forest = OnlineRandomForest(
+        arrays.n_features,
+        n_trees=20,
+        n_tests=40,
+        min_parent_size=100,
+        min_gain=0.05,
+        lambda_neg=0.02,
+        seed=3,
+    )
+    monitor = OnlineDiskFailurePredictor(
+        forest,
+        queue_length=7,          # one week of daily samples (Figure 1)
+        alarm_threshold=0.5,
+        warmup_samples=2000,     # stay quiet until the model has seen data
+    )
+
+    fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
+    order = stream_order(arrays.days, arrays.serials)
+
+    alarm_days: dict = defaultdict(list)
+    for i in order:
+        serial = int(arrays.serials[i])
+        day = int(arrays.days[i])
+        died_today = fail_day.get(serial) == day
+        alarm = monitor.process(serial, arrays.X[i], failed=died_today, tag=day)
+        if alarm is not None:
+            alarm_days[alarm.disk_id].append(day)
+
+    # ------------------------------------------------------------- report
+    lead_times = []
+    detected = 0
+    for serial, fd in fail_day.items():
+        in_window = [d for d in alarm_days.get(serial, []) if fd - 14 <= d <= fd]
+        if in_window:
+            detected += 1
+            lead_times.append(fd - min(in_window))
+    good = set(int(s) for s in dataset.good_serials)
+    false_alarm_disks = sorted(good & set(alarm_days))
+    first_alarm = {s: min(days) for s, days in alarm_days.items()}
+
+    print(f"Monitored {dataset.n_drives} drives over "
+          f"{spec.duration_months} months")
+    print(f"  samples processed : {monitor.stats.n_samples:,}")
+    print(f"  failures observed : {monitor.stats.n_failures}")
+    print(f"  alarms raised     : {monitor.stats.n_alarms}")
+    print(f"\nDetection (alarm within 14 days before death):")
+    print(f"  detected {detected}/{len(fail_day)} failed drives")
+    if lead_times:
+        print(f"  median lead time  : {np.median(lead_times):.0f} days")
+        print(f"  lead time range   : {min(lead_times)}-{max(lead_times)} days")
+    print(f"  good drives ever alarmed: {len(false_alarm_disks)}/{len(good)}")
+
+    # A couple of concrete alarm stories, with the SMART evidence behind
+    # them (the §3.2 interpretability claim in action)
+    from repro.core.explain import explain_score
+
+    names = FeatureSelection.paper_table2().names
+    for serial in list(first_alarm)[:2]:
+        if serial not in fail_day:
+            continue
+        print(f"\n  e.g. drive {serial}: first alarm on day "
+              f"{first_alarm[serial]}, failed on day {fail_day[serial]} "
+              f"-> {fail_day[serial] - first_alarm[serial]} days to act")
+        rows = dataset.rows_for_serial(serial)
+        exp = explain_score(forest, arrays.X[rows[-1]])
+        for name, value in exp.top_features(3, names=names):
+            print(f"       {value:+.2f} from {name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Proactive protection: what predictions are worth in operational units.
+
+Connects the whole pipeline to the two operational consumers the paper
+motivates:
+
+1. **Migration** (Algorithm 2's recommendation): alarms from the online
+   monitor enter a bandwidth-limited migration queue; we measure how
+   many dying drives were fully evacuated, and the terabyte-days of
+   data that sat at risk.
+2. **Adaptive scrubbing** (the Mahdisoltani use case from the paper's
+   related work): the same risk scores steer scrub bandwidth; we
+   measure the drop in mean time-to-detection of latent sector errors.
+
+Run:  python examples/proactive_protection.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import (
+    FeatureSelection,
+    OnlineDiskFailurePredictor,
+    OnlineRandomForest,
+    STA,
+    generate_dataset,
+    scaled_spec,
+)
+from repro.eval.protocol import prepare_arrays, stream_order
+from repro.ops import MigrationScheduler, adaptive_scrub_simulation
+
+
+def main() -> None:
+    spec = scaled_spec(STA, fleet_scale=0.25, duration_months=20)
+    dataset = generate_dataset(spec, seed=23)
+    arrays, _ = prepare_arrays(dataset, FeatureSelection.paper_table2())
+
+    forest = OnlineRandomForest(
+        arrays.n_features, n_trees=20, n_tests=40, min_parent_size=100,
+        min_gain=0.05, lambda_neg=0.02, seed=3,
+    )
+    monitor = OnlineDiskFailurePredictor(
+        forest, queue_length=7, alarm_threshold=0.45, warmup_samples=1500
+    )
+
+    fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
+    order = stream_order(arrays.days, arrays.serials)
+    risk_by_drive: dict = defaultdict(float)
+    alarms = []
+    for i in order:
+        serial = int(arrays.serials[i])
+        day = int(arrays.days[i])
+        alarm = monitor.process(
+            serial, arrays.X[i], failed=fail_day.get(serial) == day, tag=day
+        )
+        if alarm is not None:
+            alarms.append((day, serial, alarm.score))
+            risk_by_drive[serial] = max(risk_by_drive[serial], alarm.score)
+
+    # ---- 1. migration replay ----------------------------------------------
+    scheduler = MigrationScheduler(
+        capacity_tb=spec.capacity_tb, bandwidth_tb_per_day=2 * spec.capacity_tb
+    )
+    outcome = scheduler.replay(alarms, fail_day)
+    print("Migration (bandwidth = 2 drives/day):")
+    print(f"  failed drives        : {outcome.n_failed_drives}")
+    print(f"  fully evacuated      : {outcome.n_saved} "
+          f"({100 * outcome.save_rate:.0f}%)")
+    print(f"  partially evacuated  : {outcome.n_partially_saved}")
+    print(f"  never warned         : {outcome.n_unwarned}")
+    print(f"  wasted migrations    : {outcome.n_wasted_migrations}")
+    print(f"  data lost            : {outcome.data_lost_tb:.0f} TB "
+          f"(of {outcome.n_failed_drives * spec.capacity_tb} TB exposed)")
+    print(f"  data-at-risk         : {outcome.data_at_risk_tb_days:.0f} TB·days")
+
+    # ---- 2. adaptive scrubbing ---------------------------------------------
+    # risk per drive = the matured forest's score on its latest snapshot
+    serials = np.array(sorted({int(s) for s in dataset.serials}))
+    last_rows = np.array(
+        [dataset.rows_for_serial(int(s))[-1] for s in serials]
+    )
+    risk = forest.predict_score(arrays.X[last_rows])
+    failed = np.isin(serials, list(fail_day))
+    error_prob = np.where(failed, 0.6, 0.03)
+
+    uniform, adaptive = adaptive_scrub_simulation(
+        risk, error_prob, total_scrubs_per_day=len(serials) / 14.0, seed=9
+    )
+    print("\nScrubbing (same total budget, ~biweekly uniform cadence):")
+    for out in (uniform, adaptive):
+        print(f"  {out.policy:14s}: MTTD {out.mean_time_to_detection_days:5.1f} days "
+              f"({out.n_detected}/{out.n_errors} errors found)")
+    gain = (
+        uniform.mean_time_to_detection_days
+        / max(adaptive.mean_time_to_detection_days, 1e-9)
+    )
+    print(f"  -> risk-weighted scrubbing finds latent errors {gain:.1f}x faster")
+
+
+if __name__ == "__main__":
+    main()

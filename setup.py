@@ -1,0 +1,9 @@
+"""Setup shim: enables legacy editable installs on hosts without the
+``wheel`` package (pip falls back to ``setup.py develop``) and registers
+the console script for setuptools versions that ignore
+``[project.scripts]`` in pyproject.toml."""
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,100 @@
+"""repro — reproduction of "Disk Failure Prediction in Data Centers via
+Online Learning" (Xiao et al., ICPP 2018).
+
+Public API tour
+---------------
+Core contribution (the paper's ORF):
+    >>> from repro import OnlineRandomForest, OnlineDiskFailurePredictor
+
+Synthetic Backblaze-like field data:
+    >>> from repro import STA, STB, generate_dataset
+    >>> ds = generate_dataset(STA, seed=0)
+
+Feature pipeline and evaluation protocols:
+    >>> from repro import FeatureSelection, run_monthly_comparison, run_longterm
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core import (
+    HealthLevels,
+    OnlineDiskFailurePredictor,
+    OnlineHealthAssessor,
+    OnlineLabeler,
+    OnlineRandomForest,
+)
+from repro.eval import (
+    LongTermConfig,
+    MonthlyConfig,
+    fdr_at_far,
+    run_longterm,
+    run_monthly_comparison,
+    split_disks,
+)
+from repro.features import FeatureSelection, MinMaxScaler, select_features
+from repro.offline import (
+    SVC,
+    DecisionTreeClassifier,
+    GradientBoostedTrees,
+    RandomForestClassifier,
+    downsample_negatives,
+)
+from repro.ops import MigrationScheduler, adaptive_scrub_simulation
+from repro.persistence import load_model, save_model
+from repro.strategies import (
+    AccumulationStrategy,
+    FrozenStrategy,
+    OnlineStrategy,
+    ReplacingStrategy,
+)
+from repro.streaming import HoeffdingTreeClassifier
+from repro.smart import (
+    STA,
+    STB,
+    SmartDataset,
+    generate_dataset,
+    read_backblaze_csv,
+    scaled_spec,
+    write_backblaze_csv,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OnlineRandomForest",
+    "OnlineDiskFailurePredictor",
+    "OnlineLabeler",
+    "OnlineHealthAssessor",
+    "HealthLevels",
+    "RandomForestClassifier",
+    "DecisionTreeClassifier",
+    "GradientBoostedTrees",
+    "SVC",
+    "MigrationScheduler",
+    "adaptive_scrub_simulation",
+    "save_model",
+    "load_model",
+    "HoeffdingTreeClassifier",
+    "FrozenStrategy",
+    "ReplacingStrategy",
+    "AccumulationStrategy",
+    "OnlineStrategy",
+    "downsample_negatives",
+    "FeatureSelection",
+    "MinMaxScaler",
+    "select_features",
+    "STA",
+    "STB",
+    "SmartDataset",
+    "generate_dataset",
+    "scaled_spec",
+    "read_backblaze_csv",
+    "write_backblaze_csv",
+    "MonthlyConfig",
+    "LongTermConfig",
+    "run_monthly_comparison",
+    "run_longterm",
+    "fdr_at_far",
+    "split_disks",
+    "__version__",
+]

@@ -1,0 +1,271 @@
+"""Command-line interface.
+
+Four subcommands cover the operational lifecycle::
+
+    repro generate   --spec sta --scale 0.2 --months 15 -o fleet.csv
+    repro train      --data fleet.csv --model orf -o model.npz
+    repro evaluate   --data fleet.csv --model-file model.npz --far 0.01
+    repro monitor    --data fleet.csv --model-file model.npz
+    repro experiment --data fleet.csv --kind monthly
+
+All commands accept Backblaze-schema CSVs, so they run unchanged against
+the real public archive.  ``main`` takes an argv list (tests call it
+directly) and returns a process exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.predictor import OnlineDiskFailurePredictor
+from repro.eval.protocol import prepare_arrays, split_disks, stream_order
+from repro.eval.threshold import fdr_at_far
+from repro.features.selection import FeatureSelection
+from repro.offline.forest import RandomForestClassifier
+from repro.offline.gbdt import GradientBoostedTrees
+from repro.offline.sampling import downsample_negatives
+from repro.offline.svm import SVC
+from repro.offline.tree import DecisionTreeClassifier
+from repro.persistence import load_model, save_model
+from repro.smart.drive_model import STA, STB, scaled_spec
+from repro.smart.generator import generate_dataset
+from repro.smart.io import read_backblaze_csv, write_backblaze_csv
+
+_SPECS = {"sta": STA, "stb": STB}
+
+
+def _load_dataset(path: str):
+    return read_backblaze_csv(path)
+
+
+def _prepare(dataset, seed: int):
+    selection = FeatureSelection.paper_table2()
+    train_s, test_s = split_disks(dataset, seed=seed)
+    train, scaler = prepare_arrays(dataset.subset_serials(train_s), selection)
+    test, _ = prepare_arrays(
+        dataset.subset_serials(test_s), selection, scaler=scaler
+    )
+    return train, test, scaler
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_generate(args) -> int:
+    spec = scaled_spec(
+        _SPECS[args.spec],
+        fleet_scale=args.scale,
+        duration_months=args.months,
+    )
+    dataset = generate_dataset(
+        spec, seed=args.seed, sample_every_days=args.stride
+    )
+    n = write_backblaze_csv(dataset, args.output)
+    s = dataset.summary()
+    print(
+        f"wrote {n:,} snapshots for {s['#GoodDisks']} good + "
+        f"{s['#FailedDisks']} failed drives to {args.output}"
+    )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    dataset = _load_dataset(args.data)
+    train, _test, _scaler = _prepare(dataset, args.seed)
+    rows = train.training_rows()
+
+    if args.model == "orf":
+        model = OnlineRandomForest(
+            train.n_features,
+            n_trees=args.trees,
+            lambda_pos=1.0,
+            lambda_neg=args.lambda_neg,
+            min_parent_size=120,
+            min_gain=0.05,
+            seed=args.seed,
+        )
+        order = rows[stream_order(train.days[rows], train.serials[rows])]
+        model.partial_fit(train.X[order], train.y[order])
+    else:
+        y = train.y[rows]
+        idx = rows[downsample_negatives(y, args.neg_ratio, seed=args.seed)]
+        Xb, yb = train.X[idx], train.y[idx]
+        if args.model == "rf":
+            model = RandomForestClassifier(n_trees=args.trees, seed=args.seed)
+        elif args.model == "dt":
+            model = DecisionTreeClassifier(
+                max_num_splits=100, class_weight="balanced", seed=args.seed
+            )
+        elif args.model == "gbdt":
+            model = GradientBoostedTrees(
+                n_rounds=150, max_depth=5, learning_rate=0.15, seed=args.seed
+            )
+        else:
+            model = SVC(C=10.0, gamma=2.0, seed=args.seed)
+        model.fit(Xb, yb)
+
+    if args.model in ("orf", "rf", "dt"):
+        save_model(model, args.output)
+        print(f"trained {args.model} on {rows.size:,} samples -> {args.output}")
+    else:
+        print(
+            f"trained {args.model} on downsampled set "
+            f"(checkpointing not supported for this model type)",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    dataset = _load_dataset(args.data)
+    _train, test, _scaler = _prepare(dataset, args.seed)
+    model = load_model(args.model_file)
+    scores = model.predict_score(test.X)
+    fdr, far, thr = fdr_at_far(
+        scores,
+        test.serials,
+        test.detection_mask(),
+        test.false_alarm_mask(),
+        args.far,
+    )
+    print(f"FDR {100 * fdr:.2f}%  FAR {100 * far:.2f}%  threshold {thr:.4f}")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    dataset = _load_dataset(args.data)
+    selection = FeatureSelection.paper_table2()
+    arrays, _ = prepare_arrays(dataset, selection)
+    model = load_model(args.model_file)
+    if not isinstance(model, OnlineRandomForest):
+        print("monitor requires an ORF checkpoint", file=sys.stderr)
+        return 2
+    monitor = OnlineDiskFailurePredictor(
+        model, queue_length=7, alarm_threshold=args.threshold
+    )
+    fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
+    order = stream_order(arrays.days, arrays.serials)
+    for i in order:
+        serial = int(arrays.serials[i])
+        day = int(arrays.days[i])
+        alarm = monitor.process(
+            serial, arrays.X[i], failed=fail_day.get(serial) == day, tag=day
+        )
+        if alarm is not None:
+            print(f"day {day:5d}  ALARM drive {serial}  score {alarm.score:.3f}")
+    print(
+        f"# processed {monitor.stats.n_samples:,} samples, "
+        f"{monitor.stats.n_failures} failures, "
+        f"{monitor.stats.n_alarms} alarms"
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.eval.longterm import LongTermConfig, run_longterm
+    from repro.eval.monthly import MonthlyConfig, run_monthly_comparison
+    from repro.eval.report import (
+        longterm_series_table,
+        longterm_summary,
+        monthly_fdr_table,
+    )
+
+    dataset = _load_dataset(args.data)
+    if args.kind == "monthly":
+        config = MonthlyConfig(
+            models=tuple(args.models.split(",")),
+            orf_chunk_size=args.chunk_size,
+        )
+        results = run_monthly_comparison(dataset, config=config, seed=args.seed)
+        print(monthly_fdr_table(results))
+    else:
+        config = LongTermConfig(
+            warmup_months=args.warmup,
+            fdr_window_months=3,
+            orf_chunk_size=args.chunk_size,
+        )
+        results = run_longterm(dataset, config=config, seed=args.seed)
+        for metric in ("far", "fdr"):
+            print(longterm_series_table(
+                results, metric, title=f"long-term {metric.upper()}(%) by month"
+            ))
+            print()
+        summary = longterm_summary(results)
+        for name, agg in summary.items():
+            print(
+                f"{name:13s} mean FAR {100 * agg['mean_far']:.2f}%  "
+                f"FAR trend {100 * agg['far_trend']:+.2f}pp  "
+                f"mean FDR {100 * agg['mean_fdr']:.1f}%"
+            )
+    return 0
+
+
+# ------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Disk failure prediction via online learning (ICPP'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic SMART dataset CSV")
+    p.add_argument("--spec", choices=sorted(_SPECS), default="sta")
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--months", type=int, default=15)
+    p.add_argument("--stride", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("train", help="train a model on a dataset CSV")
+    p.add_argument("--data", required=True)
+    p.add_argument(
+        "--model", choices=("orf", "rf", "dt", "svm", "gbdt"), default="orf"
+    )
+    p.add_argument("--trees", type=int, default=25)
+    p.add_argument("--lambda-neg", type=float, default=0.02)
+    p.add_argument("--neg-ratio", type=float, default=3.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("evaluate", help="disk-level FDR/FAR of a checkpoint")
+    p.add_argument("--data", required=True)
+    p.add_argument("--model-file", required=True)
+    p.add_argument("--far", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_evaluate)
+
+    p = sub.add_parser("monitor", help="replay Algorithm 2 over a dataset CSV")
+    p.add_argument("--data", required=True)
+    p.add_argument("--model-file", required=True)
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.set_defaults(fn=_cmd_monitor)
+
+    p = sub.add_parser(
+        "experiment", help="run the paper's §4.4/§4.5 protocols on a dataset CSV"
+    )
+    p.add_argument("--data", required=True)
+    p.add_argument("--kind", choices=("monthly", "longterm"), default="monthly")
+    p.add_argument("--models", default="orf,rf", help="comma list (monthly only)")
+    p.add_argument("--warmup", type=int, default=6, help="months (longterm only)")
+    p.add_argument("--chunk-size", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

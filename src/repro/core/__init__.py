@@ -1,0 +1,47 @@
+"""The paper's contribution: Online Random Forests for disk failure prediction.
+
+* :class:`~repro.core.forest.OnlineRandomForest` — Algorithm 1: online
+  trees with random candidate tests, Gini-gain splitting gated by
+  MinParentSize (α) and MinGain (β), imbalance-aware Poisson online
+  bagging (λp / λn), and OOBE-based discard of decayed trees.
+* :class:`~repro.core.labeler.OnlineLabeler` — the automatic online
+  label method of Figure 1 (per-disk FIFO queues).
+* :class:`~repro.core.predictor.OnlineDiskFailurePredictor` —
+  Algorithm 2: the streaming monitor wiring the labeler to the forest
+  and raising alarms.
+"""
+
+from repro.core.explain import Explanation, explain_score, feature_usage
+from repro.core.forest import OnlineRandomForest
+from repro.core.health import (
+    HealthLevels,
+    OnlineHealthAssessor,
+    health_level_accuracy,
+)
+from repro.core.labeler import LabeledSample, OnlineLabeler
+from repro.core.node_stats import LeafStats
+from repro.core.online_tree import OnlineDecisionTree
+from repro.core.oobe import OOBETracker
+from repro.core.poisson import ImbalanceBagger
+from repro.core.predictor import Alarm, OnlineDiskFailurePredictor
+from repro.core.random_tests import RandomTestSet, make_random_tests
+
+__all__ = [
+    "OnlineRandomForest",
+    "HealthLevels",
+    "OnlineHealthAssessor",
+    "health_level_accuracy",
+    "Explanation",
+    "explain_score",
+    "feature_usage",
+    "OnlineDecisionTree",
+    "LeafStats",
+    "RandomTestSet",
+    "make_random_tests",
+    "ImbalanceBagger",
+    "OOBETracker",
+    "OnlineLabeler",
+    "LabeledSample",
+    "OnlineDiskFailurePredictor",
+    "Alarm",
+]

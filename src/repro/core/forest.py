@@ -1,0 +1,296 @@
+"""Online Random Forest — Algorithm 1 of the paper.
+
+The forest maintains T independent online trees.  Per arriving labeled
+sample ⟨x, y⟩ it draws, for every tree, an update multiplicity
+k ~ Poisson(λp or λn) (Eq. 3).  Trees with k > 0 fold the sample in k
+times (splitting when the α/β condition fires); trees with k = 0 treat
+the sample as out-of-bag, update their OOBE, and are discarded and
+regrown when decayed (OOBE > θ_OOBE and AGE > θ_AGE).
+
+Trees are mutually independent, so ``partial_fit`` and ``predict_score``
+map over a :class:`~repro.parallel.TreeExecutor` when one is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.online_tree import OnlineDecisionTree
+from repro.core.oobe import OOBETracker
+from repro.core.poisson import ImbalanceBagger
+from repro.parallel.chunking import split_work
+from repro.parallel.pool import SerialExecutor, TreeExecutor
+from repro.utils.rng import RngFactory, SeedLike
+from repro.utils.validation import (
+    check_array_2d,
+    check_binary_labels,
+    check_feature_count,
+    check_in_range,
+    check_positive,
+)
+
+
+class OnlineRandomForest:
+    """ORF classifier for streaming, heavily imbalanced binary data.
+
+    Parameters (paper symbols in parentheses)
+    ----------
+    n_features:
+        Input dimensionality.
+    n_trees:
+        Ensemble size (T; the paper uses 30).
+    n_tests:
+        Candidate random tests per leaf (N).
+    min_parent_size / min_gain:
+        Split gates (α = 200, β = 0.1 in the paper).
+    lambda_pos / lambda_neg:
+        Class-specific online-bagging rates (λp = 1, λn = 0.02).
+    oobe_threshold / age_threshold:
+        Tree-decay gates (θ_OOBE, θ_AGE).  Age is counted in weighted
+        samples folded into the tree.  Set ``oobe_threshold=None`` to
+        disable tree replacement entirely (ablation A1).
+    vote:
+        ``"soft"`` — average leaf posteriors (granular scores for FAR
+        thresholding); ``"hard"`` — fraction of trees voting positive
+        (the literal "mode of the classes" of §3.1).
+    max_depth, split_check_interval, feature_ranges:
+        Forwarded to every tree (see :class:`OnlineDecisionTree`).
+    executor:
+        Optional :class:`TreeExecutor`; trees are mapped over it in
+        groups for batch prediction and stream updates.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        *,
+        n_trees: int = 25,
+        n_tests: int = 40,
+        min_parent_size: float = 200.0,
+        min_gain: float = 0.1,
+        lambda_pos: float = 1.0,
+        lambda_neg: float = 0.02,
+        oobe_threshold: Optional[float] = 0.25,
+        age_threshold: float = 2000.0,
+        oobe_decay: float = 0.01,
+        oobe_min_observations: int = 50,
+        vote: str = "soft",
+        max_depth: int = 20,
+        split_check_interval: int = 1,
+        feature_ranges: Optional[np.ndarray] = None,
+        seed: SeedLike = None,
+        executor: Optional[TreeExecutor] = None,
+    ) -> None:
+        check_positive(n_features, "n_features")
+        check_positive(n_trees, "n_trees")
+        if oobe_threshold is not None:
+            check_in_range(oobe_threshold, "oobe_threshold", 0.0, 1.0)
+        check_positive(age_threshold, "age_threshold", strict=False)
+        if vote not in ("soft", "hard"):
+            raise ValueError(f"vote must be 'soft' or 'hard', got {vote!r}")
+
+        self.n_features = int(n_features)
+        self.n_trees = int(n_trees)
+        self.n_tests = int(n_tests)
+        self.min_parent_size = float(min_parent_size)
+        self.min_gain = float(min_gain)
+        self.oobe_threshold = oobe_threshold
+        self.age_threshold = float(age_threshold)
+        self.oobe_decay = float(oobe_decay)
+        self.oobe_min_observations = int(oobe_min_observations)
+        self.vote = vote
+        self.max_depth = int(max_depth)
+        self.split_check_interval = int(split_check_interval)
+        self.feature_ranges = feature_ranges
+
+        self._rng_factory = RngFactory(seed)
+        self.bagger = ImbalanceBagger(
+            lambda_pos, lambda_neg, seed=self._rng_factory.make()
+        )
+        self.trees: List[OnlineDecisionTree] = [
+            self._new_tree() for _ in range(self.n_trees)
+        ]
+        self.trackers: List[OOBETracker] = [
+            OOBETracker(
+                decay=self.oobe_decay, min_observations=self.oobe_min_observations
+            )
+            for _ in range(self.n_trees)
+        ]
+        self._executor = executor or SerialExecutor()
+        #: lifetime counters (inspection / ablation instrumentation)
+        self.n_samples_seen = 0
+        self.n_replacements = 0
+
+    # --------------------------------------------------------------- plumbing
+    def _new_tree(self) -> OnlineDecisionTree:
+        return OnlineDecisionTree(
+            self.n_features,
+            n_tests=self.n_tests,
+            min_parent_size=self.min_parent_size,
+            min_gain=self.min_gain,
+            max_depth=self.max_depth,
+            feature_ranges=self.feature_ranges,
+            split_check_interval=self.split_check_interval,
+            seed=self._rng_factory.make(),
+        )
+
+    @property
+    def lambda_pos(self) -> float:
+        """Poisson rate applied to positive samples (Eq. 3)."""
+        return self.bagger.lambda_pos
+
+    @property
+    def lambda_neg(self) -> float:
+        """Poisson rate applied to negative samples (Eq. 3)."""
+        return self.bagger.lambda_neg
+
+    # ----------------------------------------------------------------- update
+    def update(self, x: np.ndarray, y: int) -> None:
+        """Fold one labeled sample into the forest (Algorithm 1)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_features,):
+            raise ValueError(
+                f"x must have shape ({self.n_features},), got {x.shape}"
+            )
+        if y not in (0, 1):
+            raise ValueError(f"y must be 0 or 1, got {y!r}")
+        self.n_samples_seen += 1
+        ks = self.bagger.draw(y, self.n_trees)
+        for t in range(self.n_trees):
+            k = ks[t]
+            tree = self.trees[t]
+            if k > 0:
+                for _ in range(k):
+                    tree.update(x, y)
+            else:
+                # out-of-bag: score the sample, update OOBE, maybe replace
+                tracker = self.trackers[t]
+                pred = 1 if tree.predict_one(x) > 0.5 else 0
+                tracker.observe(y, pred)
+                if self.oobe_threshold is not None and tracker.is_decayed(
+                    tree.age,
+                    oobe_threshold=self.oobe_threshold,
+                    age_threshold=self.age_threshold,
+                ):
+                    self.trees[t] = self._new_tree()
+                    tracker.reset()
+                    self.n_replacements += 1
+
+    def partial_fit(self, X, y, *, chunk_size: int = 0) -> "OnlineRandomForest":
+        """Stream a batch of labeled samples, in row order; returns self.
+
+        ``chunk_size = 0`` (default) replays Algorithm 1 exactly, sample
+        by sample.  A positive ``chunk_size`` switches to the mini-batch
+        fast path: per chunk and per tree, Poisson multiplicities are
+        drawn vectorized, in-bag rows are bulk-routed and bulk-folded
+        into leaf statistics (splits evaluated at chunk boundaries), and
+        out-of-bag rows update the OOBE via one batch prediction and a
+        closed-form EWMA.  Decay checks run once per tree per chunk.
+        Semantics relax slightly (splits/replacements can lag by up to
+        one chunk) in exchange for a large constant-factor speedup on
+        negative-heavy streams — see the A8 throughput bench.
+        """
+        X = check_array_2d(X, "X")
+        check_feature_count(X, self.n_features, "X")
+        y = check_binary_labels(y, n_rows=X.shape[0])
+        if chunk_size <= 0:
+            for i in range(X.shape[0]):
+                self.update(X[i], int(y[i]))
+            return self
+
+        lam = np.where(y == 1, self.bagger.lambda_pos, self.bagger.lambda_neg)
+        rng = self.bagger._rng
+        for start in range(0, X.shape[0], chunk_size):
+            sl = slice(start, min(start + chunk_size, X.shape[0]))
+            Xc, yc, lamc = X[sl], y[sl], lam[sl]
+            self.n_samples_seen += Xc.shape[0]
+            for t in range(self.n_trees):
+                tree = self.trees[t]
+                ks = rng.poisson(lamc)
+                in_bag = ks > 0
+                if in_bag.any():
+                    tree.update_batch(
+                        Xc[in_bag], yc[in_bag], ks[in_bag].astype(np.float64)
+                    )
+                oob = ~in_bag
+                if oob.any():
+                    preds = (tree.predict_batch(Xc[oob]) > 0.5).astype(np.int8)
+                    tracker = self.trackers[t]
+                    tracker.observe_batch(yc[oob], preds)
+                    if self.oobe_threshold is not None and tracker.is_decayed(
+                        tree.age,
+                        oobe_threshold=self.oobe_threshold,
+                        age_threshold=self.age_threshold,
+                    ):
+                        self.trees[t] = self._new_tree()
+                        tracker.reset()
+                        self.n_replacements += 1
+        return self
+
+    # ------------------------------------------------------------- prediction
+    def predict_score(self, X) -> np.ndarray:
+        """Positive score per row (mean posterior, or vote fraction)."""
+        X = check_array_2d(X, "X")
+        check_feature_count(X, self.n_features, "X")
+        groups = split_work(self.trees, getattr(self._executor, "n_workers", 1))
+
+        def score_group(trees: List[OnlineDecisionTree]) -> np.ndarray:
+            acc = np.zeros(X.shape[0], dtype=np.float64)
+            for tree in trees:
+                p = tree.predict_batch(X)
+                acc += (p > 0.5).astype(np.float64) if self.vote == "hard" else p
+            return acc
+
+        partials = self._executor.map(score_group, groups)
+        return np.sum(partials, axis=0) / self.n_trees
+
+    def predict_proba(self, X) -> np.ndarray:
+        """``(n, 2)`` class probabilities."""
+        p1 = self.predict_score(X)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels at a score threshold."""
+        return (self.predict_score(X) >= threshold).astype(np.int8)
+
+    def predict_one(self, x: np.ndarray) -> float:
+        """Score a single sample (the Algorithm-2 per-snapshot path)."""
+        x = np.asarray(x, dtype=np.float64)
+        if self.vote == "hard":
+            votes = sum(1 for tree in self.trees if tree.predict_one(x) > 0.5)
+            return votes / self.n_trees
+        return float(np.mean([tree.predict_one(x) for tree in self.trees]))
+
+    # ------------------------------------------------------------- inspection
+    def tree_ages(self) -> np.ndarray:
+        """Weighted samples folded into each tree (AGE_t)."""
+        return np.array([tree.age for tree in self.trees])
+
+    def oobe_values(self) -> np.ndarray:
+        """Current balanced OOBE of each tree."""
+        return np.array([tr.value() for tr in self.trackers])
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Normalized online Gini importance, accumulated at every split.
+
+        Each split credits its feature with ``|D| · ΔG`` (the weighted
+        impurity decrease at split time); the forest view is the mean
+        over trees, normalized to sum to 1 (all-zero before any split).
+        """
+        total = np.sum([t.importance_ for t in self.trees], axis=0)
+        s = total.sum()
+        return total / s if s > 0 else total
+
+    def stats(self) -> dict:
+        """One-line health summary for logs and notebooks."""
+        return {
+            "n_samples_seen": self.n_samples_seen,
+            "n_replacements": self.n_replacements,
+            "mean_tree_age": float(self.tree_ages().mean()),
+            "mean_oobe": float(self.oobe_values().mean()),
+            "total_nodes": int(sum(t.n_nodes for t in self.trees)),
+            "mean_depth": float(np.mean([t.depth for t in self.trees])),
+        }

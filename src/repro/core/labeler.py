@@ -1,0 +1,102 @@
+"""Automatic online label method — Figure 1 / the queues of Algorithm 2.
+
+In online operation the true status of a working disk is unknowable: a
+sample taken today can only be called *negative* once the disk has
+survived long enough, and *positive* only once the disk has actually
+failed.  The paper's solution: keep the last ``queue_length`` samples of
+each disk unlabeled in a FIFO queue.
+
+* A new sample arriving at a full queue evicts the oldest entry, which is
+  thereby confirmed **negative** (the disk survived the whole window).
+* A disk failure flushes its entire queue as **positive** samples (they
+  were all taken within the window before death) and retires the disk.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LabeledSample:
+    """A sample whose label just became known."""
+
+    disk_id: Hashable
+    x: np.ndarray
+    y: int
+    #: opaque caller tag carried with the sample (e.g. its day index)
+    tag: object = None
+
+
+class OnlineLabeler:
+    """Per-disk FIFO queues that release samples once their label is known.
+
+    Parameters
+    ----------
+    queue_length:
+        Samples held per disk — the paper uses one week of daily samples
+        (7), matching the 7-day prediction horizon.
+    """
+
+    def __init__(self, queue_length: int = 7) -> None:
+        check_positive(queue_length, "queue_length")
+        self.queue_length = int(queue_length)
+        self._queues: Dict[Hashable, Deque[Tuple[np.ndarray, object]]] = {}
+
+    # ------------------------------------------------------------------ feed
+    def observe(
+        self, disk_id: Hashable, x: np.ndarray, tag: object = None
+    ) -> List[LabeledSample]:
+        """A working disk reported a sample; returns newly labeled negatives.
+
+        At most one negative is released per call (the evicted oldest
+        entry of a full queue).
+        """
+        q = self._queues.setdefault(disk_id, deque())
+        released: List[LabeledSample] = []
+        if len(q) >= self.queue_length:
+            old_x, old_tag = q.popleft()
+            released.append(LabeledSample(disk_id, old_x, 0, old_tag))
+        q.append((np.asarray(x, dtype=np.float64), tag))
+        return released
+
+    def fail(self, disk_id: Hashable) -> List[LabeledSample]:
+        """The disk failed; returns its queued samples, all positive.
+
+        The disk is retired — subsequent ``observe`` calls for the same
+        id start a fresh queue (Backblaze serials are never reused, but
+        the labeler does not need to care).
+        """
+        q = self._queues.pop(disk_id, deque())
+        return [LabeledSample(disk_id, x, 1, tag) for x, tag in q]
+
+    def retire(self, disk_id: Hashable) -> int:
+        """Decommission a disk *without* failure (e.g. planned removal).
+
+        Its queued samples never get a trustworthy label and are
+        discarded; returns how many were dropped.
+        """
+        q = self._queues.pop(disk_id, None)
+        return len(q) if q is not None else 0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def n_disks(self) -> int:
+        """Disks currently holding a queue."""
+        return len(self._queues)
+
+    @property
+    def n_pending(self) -> int:
+        """Samples currently awaiting a label."""
+        return sum(len(q) for q in self._queues.values())
+
+    def pending_for(self, disk_id: Hashable) -> int:
+        """Queue length of one disk (0 if unknown)."""
+        q = self._queues.get(disk_id)
+        return len(q) if q is not None else 0

@@ -1,0 +1,134 @@
+"""Per-leaf sufficient statistics for online tree growth.
+
+A leaf tracks (a) its own weighted class histogram — which doubles as the
+leaf's prediction posterior — and (b) for every candidate random test,
+the class histogram on each side of the test.  Everything needed for the
+paper's split rule (Eqs. 1–2) lives in one dense ``(N, 2, 2)`` array, so
+both the per-sample update and the gain evaluation over all N tests are
+single vectorized NumPy operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.random_tests import RandomTestSet
+
+
+def gini(counts: np.ndarray) -> np.ndarray:
+    """Gini impurity (Eq. 1) from class-count arrays ``(..., 2)``.
+
+    Empty nodes have impurity 0.  The result lies in [0, 0.5].
+    """
+    total = counts.sum(axis=-1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p1 = np.where(total > 0, counts[..., 1] / np.where(total > 0, total, 1), 0.0)
+    return 2.0 * p1 * (1.0 - p1)
+
+
+class LeafStats:
+    """Mutable statistics of one growing leaf.
+
+    Parameters
+    ----------
+    tests:
+        The leaf's candidate random tests; ``None`` for leaves that can
+        no longer split (max depth reached) — they keep only the class
+        histogram used for prediction.
+    prior_counts:
+        Class histogram inherited from the parent partition at split
+        time, so a fresh leaf predicts sensibly before seeing any sample
+        of its own.
+    """
+
+    __slots__ = ("tests", "class_counts", "test_stats", "n_seen", "_arange")
+
+    def __init__(
+        self,
+        tests: Optional[RandomTestSet],
+        prior_counts: Optional[np.ndarray] = None,
+    ) -> None:
+        self.tests = tests
+        self.class_counts = (
+            prior_counts.astype(np.float64).copy()
+            if prior_counts is not None
+            else np.zeros(2, dtype=np.float64)
+        )
+        if tests is not None:
+            self.test_stats = np.zeros((tests.n_tests, 2, 2), dtype=np.float64)
+            self._arange = np.arange(tests.n_tests)
+        else:
+            self.test_stats = None
+            self._arange = None
+        #: weighted number of samples seen *by this leaf* (the |D| of the
+        #: split condition — inherited prior counts do not count)
+        self.n_seen = 0.0
+
+    # ---------------------------------------------------------------- update
+    def update(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
+        """Fold one sample into the leaf's statistics."""
+        self.class_counts[y] += weight
+        self.n_seen += weight
+        if self.tests is not None:
+            sides = self.tests.evaluate(x)
+            # first index is arange (all rows distinct) → fancy += is safe
+            self.test_stats[self._arange, sides, y] += weight
+
+    def update_batch(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray) -> None:
+        """Fold a batch of samples (used by the chunked fast path)."""
+        np.add.at(self.class_counts, y, weights)
+        self.n_seen += float(weights.sum())
+        if self.tests is not None:
+            sides = self.tests.evaluate_batch(X)  # (n, N)
+            n, N = sides.shape
+            test_idx = np.broadcast_to(self._arange, (n, N))
+            cls_idx = np.broadcast_to(y[:, None], (n, N))
+            w = np.broadcast_to(weights[:, None], (n, N))
+            np.add.at(self.test_stats, (test_idx, sides, cls_idx), w)
+
+    # ----------------------------------------------------------------- gains
+    def gains(self) -> np.ndarray:
+        """ΔG (Eq. 2) of every candidate test, vectorized.
+
+        Uses the *test-local* class totals (left + right per test), which
+        equal the samples this leaf has routed since creation.
+        """
+        if self.tests is None:
+            return np.zeros(0, dtype=np.float64)
+        stats = self.test_stats  # (N, side, class)
+        totals = stats.sum(axis=(1, 2))  # (N,)
+        side_totals = stats.sum(axis=2)  # (N, 2)
+        parent_counts = stats.sum(axis=1)  # (N, 2)
+        g_parent = gini(parent_counts)
+        g_children = gini(stats)  # (N, 2) per side
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(
+                totals[:, None] > 0, side_totals / np.where(totals[:, None] > 0, totals[:, None], 1), 0.0
+            )
+        return g_parent - (frac * g_children).sum(axis=1)
+
+    def best_split(self) -> Tuple[int, float]:
+        """(test index, its ΔG); (-1, 0) when the leaf has no tests."""
+        g = self.gains()
+        if g.size == 0:
+            return -1, 0.0
+        best = int(np.argmax(g))
+        return best, float(g[best])
+
+    # ------------------------------------------------------------ prediction
+    def posterior_positive(self, *, laplace: float = 1.0) -> float:
+        """Smoothed P(y = 1) at this leaf."""
+        c0, c1 = self.class_counts
+        return (c1 + laplace) / (c0 + c1 + 2.0 * laplace)
+
+    def child_counts(self, test_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(left, right) class histograms of a chosen test's partition —
+        inherited by the children at split time."""
+        if self.tests is None:
+            raise RuntimeError("leaf has no candidate tests")
+        return (
+            self.test_stats[test_index, 0].copy(),
+            self.test_stats[test_index, 1].copy(),
+        )

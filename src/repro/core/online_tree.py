@@ -1,0 +1,257 @@
+"""One online decision tree (the f_t of Algorithm 1).
+
+The tree is stored struct-of-arrays (parallel Python lists of scalars for
+O(1) append on split; converted to NumPy views only for batch
+prediction).  Leaves own a :class:`~repro.core.node_stats.LeafStats`; a
+leaf splits when it has seen at least ``min_parent_size`` (α) samples and
+its best candidate test achieves Gini gain at least ``min_gain`` (β) —
+exactly the condition of §3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.node_stats import LeafStats
+from repro.core.random_tests import (
+    RandomTestSet,
+    make_random_tests,
+    validate_feature_ranges,
+)
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class OnlineDecisionTree:
+    """A single randomized tree grown from a sample stream.
+
+    Parameters
+    ----------
+    n_features:
+        Dimensionality of the input vectors.
+    n_tests:
+        Number of candidate random tests per leaf (the paper's N).
+    min_parent_size:
+        α — minimum weighted samples a leaf must see before splitting.
+    min_gain:
+        β — minimum Gini gain a split must achieve.
+    max_depth:
+        Depth cap; leaves at the cap stop drawing candidate tests and
+        only accumulate class counts.
+    feature_ranges:
+        ``(n_features, 2)`` threshold sampling ranges; defaults to [0, 1]
+        per feature (inputs are min-max scaled upstream).
+    split_check_interval:
+        Evaluate the split condition every k-th update once the leaf is
+        past α (1 = after every update, the paper's literal rule; larger
+        values amortize the gain computation on hot leaves).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        *,
+        n_tests: int = 40,
+        min_parent_size: float = 200.0,
+        min_gain: float = 0.1,
+        max_depth: int = 20,
+        feature_ranges: Optional[np.ndarray] = None,
+        split_check_interval: int = 1,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(n_features, "n_features")
+        check_positive(n_tests, "n_tests")
+        check_positive(min_parent_size, "min_parent_size")
+        check_positive(min_gain, "min_gain", strict=False)
+        check_positive(max_depth, "max_depth")
+        check_positive(split_check_interval, "split_check_interval")
+        self.n_features = int(n_features)
+        self.n_tests = int(n_tests)
+        self.min_parent_size = float(min_parent_size)
+        self.min_gain = float(min_gain)
+        self.max_depth = int(max_depth)
+        self.split_check_interval = int(split_check_interval)
+        if feature_ranges is None:
+            ranges = np.empty((n_features, 2), dtype=np.float64)
+            ranges[:, 0], ranges[:, 1] = 0.0, 1.0
+            self.feature_ranges = ranges
+        else:
+            self.feature_ranges = validate_feature_ranges(feature_ranges, n_features)
+        self._rng = as_generator(seed)
+
+        # struct-of-arrays node storage; -1 feature marks a leaf
+        self._feature: List[int] = []
+        self._threshold: List[float] = []
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._depth: List[int] = []
+        self._leaf_stats: Dict[int, LeafStats] = {}
+
+        #: weighted samples folded into this tree (its AGE in Algorithm 1)
+        self.age = 0.0
+        self.n_splits = 0
+        #: accumulated |D|·ΔG per feature (online Gini importance)
+        self.importance_ = np.zeros(self.n_features, dtype=np.float64)
+        self._add_leaf(depth=0, prior_counts=None)
+
+    # ------------------------------------------------------------- structure
+    def _add_leaf(self, depth: int, prior_counts: Optional[np.ndarray]) -> int:
+        nid = len(self._feature)
+        self._feature.append(-1)
+        self._threshold.append(np.nan)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._depth.append(depth)
+        tests = (
+            make_random_tests(
+                self._rng, self.n_tests, self.n_features, self.feature_ranges
+            )
+            if depth < self.max_depth
+            else None
+        )
+        self._leaf_stats[nid] = LeafStats(tests, prior_counts)
+        return nid
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (branches + leaves)."""
+        return len(self._feature)
+
+    @property
+    def n_leaves(self) -> int:
+        """Current leaf count."""
+        return len(self._leaf_stats)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the deepest node (root = 0)."""
+        return max(self._depth) if self._depth else 0
+
+    # ----------------------------------------------------------------- route
+    def find_leaf(self, x: np.ndarray) -> int:
+        """Leaf id the sample routes to (the FindLeaf of Algorithm 1)."""
+        feature, threshold = self._feature, self._threshold
+        left, right = self._left, self._right
+        nid = 0
+        f = feature[0]
+        while f >= 0:
+            nid = right[nid] if x[f] > threshold[nid] else left[nid]
+            f = feature[nid]
+        return nid
+
+    # ---------------------------------------------------------------- update
+    def update(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
+        """Fold one labeled sample into the tree (UpdateNode + split check)."""
+        self.age += weight
+        nid = self.find_leaf(x)
+        stats = self._leaf_stats[nid]
+        stats.update(x, y, weight)
+        self._maybe_split(nid, stats)
+
+    def _maybe_split(self, nid: int, stats: LeafStats) -> None:
+        if stats.tests is None or stats.n_seen < self.min_parent_size:
+            return
+        if self.split_check_interval > 1 and (
+            int(stats.n_seen) % self.split_check_interval != 0
+        ):
+            return
+        test_idx, gain = stats.best_split()
+        if test_idx < 0 or gain < self.min_gain:
+            return
+        self._split(nid, stats, test_idx)
+
+    def _split(self, nid: int, stats: LeafStats, test_idx: int) -> None:
+        tests = stats.tests
+        gain = float(stats.gains()[test_idx])
+        self.importance_[tests.features[test_idx]] += gain * stats.n_seen
+        left_counts, right_counts = stats.child_counts(test_idx)
+        depth = self._depth[nid]
+        left_id = self._add_leaf(depth + 1, left_counts)
+        right_id = self._add_leaf(depth + 1, right_counts)
+        self._feature[nid] = int(tests.features[test_idx])
+        self._threshold[nid] = float(tests.thresholds[test_idx])
+        self._left[nid] = left_id
+        self._right[nid] = right_id
+        del self._leaf_stats[nid]
+        self.n_splits += 1
+
+    def route_batch(self, X: np.ndarray) -> np.ndarray:
+        """Leaf id per row, by vectorized group traversal."""
+        n = X.shape[0]
+        out = np.empty(n, dtype=np.int64)
+        stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(n))]
+        feature, threshold = self._feature, self._threshold
+        while stack:
+            nid, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            f = feature[nid]
+            if f < 0:
+                out[rows] = nid
+                continue
+            go_right = X[rows, f] > threshold[nid]
+            stack.append((self._left[nid], rows[~go_right]))
+            stack.append((self._right[nid], rows[go_right]))
+        return out
+
+    def update_batch(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray) -> None:
+        """Mini-batch variant of :meth:`update`.
+
+        Routes the whole batch against the *current* structure, bulk-updates
+        each touched leaf, then evaluates splits once per touched leaf —
+        i.e. splits are deferred to batch boundaries, a deliberate semantic
+        relaxation of the per-sample algorithm (document at the forest
+        level; per-sample exactness is available via ``update``).
+        """
+        if X.shape[0] == 0:
+            return
+        self.age += float(weights.sum())
+        leaf_ids = self.route_batch(X)
+        for nid in np.unique(leaf_ids):
+            mask = leaf_ids == nid
+            stats = self._leaf_stats[int(nid)]
+            stats.update_batch(X[mask], y[mask].astype(np.int64), weights[mask])
+            if stats.tests is not None and stats.n_seen >= self.min_parent_size:
+                test_idx, gain = stats.best_split()
+                if test_idx >= 0 and gain >= self.min_gain:
+                    self._split(int(nid), stats, test_idx)
+
+    # ------------------------------------------------------------ prediction
+    def predict_one(self, x: np.ndarray, *, laplace: float = 1.0) -> float:
+        """P(y = 1) for one sample."""
+        return self._leaf_stats[self.find_leaf(x)].posterior_positive(laplace=laplace)
+
+    def predict_batch(self, X: np.ndarray, *, laplace: float = 1.0) -> np.ndarray:
+        """P(y = 1) per row, by vectorized group traversal."""
+        n = X.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(n))]
+        feature = self._feature
+        threshold = self._threshold
+        while stack:
+            nid, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            f = feature[nid]
+            if f < 0:
+                out[rows] = self._leaf_stats[nid].posterior_positive(laplace=laplace)
+                continue
+            go_right = X[rows, f] > threshold[nid]
+            stack.append((self._left[nid], rows[~go_right]))
+            stack.append((self._right[nid], rows[go_right]))
+        return out
+
+    # ----------------------------------------------------------- introspection
+    def decision_path(self, x: np.ndarray) -> List[Tuple[int, int, float]]:
+        """The (node, feature, threshold) chain a sample follows — the
+        interpretability hook the paper cites as an ORF advantage."""
+        path: List[Tuple[int, int, float]] = []
+        nid = 0
+        while self._feature[nid] >= 0:
+            f, thr = self._feature[nid], self._threshold[nid]
+            path.append((nid, f, thr))
+            nid = self._right[nid] if x[f] > thr else self._left[nid]
+        path.append((nid, -1, np.nan))
+        return path

@@ -1,0 +1,54 @@
+"""Imbalance-aware Poisson online bagging — Eq. (3) of the paper.
+
+Classic online bagging (Oza & Russell) updates each tree k ~ Poisson(1)
+times per sample.  The paper's twist for the failed/healthy imbalance is
+two class-specific rates: positives use λp (= 1) and negatives λn
+(≈ 0.02), so negative samples are only rarely selected for an update —
+the online analogue of offline negative downsampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class ImbalanceBagger:
+    """Draws per-tree update multiplicities k(⟨x, y⟩) per Eq. (3)."""
+
+    def __init__(
+        self,
+        lambda_pos: float = 1.0,
+        lambda_neg: float = 0.02,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(lambda_pos, "lambda_pos", strict=False)
+        check_positive(lambda_neg, "lambda_neg", strict=False)
+        self.lambda_pos = float(lambda_pos)
+        self.lambda_neg = float(lambda_neg)
+        self._rng = as_generator(seed)
+
+    def rate_for(self, y: int) -> float:
+        """λ applicable to a sample of class *y*."""
+        if y not in (0, 1):
+            raise ValueError(f"y must be 0 or 1, got {y!r}")
+        return self.lambda_pos if y == 1 else self.lambda_neg
+
+    def draw(self, y: int, n_trees: int) -> np.ndarray:
+        """k for each of *n_trees* trees for one sample of class *y*.
+
+        λ == 0 yields all-zero k without touching the RNG stream's
+        Poisson path (the sample is then pure out-of-bag for every tree).
+        """
+        check_positive(n_trees, "n_trees")
+        lam = self.rate_for(y)
+        if lam == 0.0:
+            return np.zeros(n_trees, dtype=np.int64)
+        return self._rng.poisson(lam, size=n_trees)
+
+    def expected_update_fraction(self, y: int) -> float:
+        """P(k > 0) for class *y* — useful for sanity checks and docs."""
+        return float(1.0 - np.exp(-self.rate_for(y)))

@@ -1,0 +1,150 @@
+"""The streaming disk-failure monitor — Algorithm 2 of the paper.
+
+:class:`OnlineDiskFailurePredictor` wires together the automatic online
+labeler (Figure 1) and the Online Random Forest (Algorithm 1): every
+incoming SMART sample first releases any newly labeled samples into the
+forest (model-update phase), then is scored itself (prediction phase); a
+score above the alarm threshold raises an :class:`Alarm` recommending
+data migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.labeler import OnlineLabeler
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """A positive prediction for a live disk."""
+
+    disk_id: Hashable
+    score: float
+    tag: object = None
+
+
+@dataclass
+class PredictorStats:
+    """Lifetime counters of the monitor."""
+
+    n_samples: int = 0
+    n_failures: int = 0
+    n_alarms: int = 0
+    n_updates_pos: int = 0
+    n_updates_neg: int = 0
+    alarms: List[Alarm] = field(default_factory=list)
+
+
+class OnlineDiskFailurePredictor:
+    """End-to-end online monitor (Algorithm 2).
+
+    Parameters
+    ----------
+    forest:
+        The ORF model to evolve (constructed by the caller so all
+        hyper-parameters stay in one place).
+    queue_length:
+        The labeler's per-disk window (7 daily samples in the paper).
+    alarm_threshold:
+        Score at/above which a live disk is declared risky.  Tune with
+        :func:`repro.eval.threshold.threshold_for_far` to pin FAR.
+    warmup_samples:
+        Suppress alarms until the forest has absorbed this many labeled
+        samples (a brand-new model's scores are noise).
+    record_alarms:
+        Keep every alarm on :attr:`stats` (handy in notebooks; switch off
+        for unbounded streams).
+    """
+
+    def __init__(
+        self,
+        forest: OnlineRandomForest,
+        *,
+        queue_length: int = 7,
+        alarm_threshold: float = 0.5,
+        warmup_samples: int = 0,
+        record_alarms: bool = True,
+    ) -> None:
+        check_probability(alarm_threshold, "alarm_threshold")
+        if warmup_samples < 0:
+            raise ValueError("warmup_samples must be >= 0")
+        self.forest = forest
+        self.labeler = OnlineLabeler(queue_length)
+        self.alarm_threshold = float(alarm_threshold)
+        self.warmup_samples = int(warmup_samples)
+        self.record_alarms = record_alarms
+        self.stats = PredictorStats()
+
+    # ----------------------------------------------------------------- events
+    def process_sample(
+        self, disk_id: Hashable, x: np.ndarray, tag: object = None
+    ) -> Optional[Alarm]:
+        """A working disk reported a SMART sample (Algorithm 2, lines 10-22).
+
+        Model-update phase: the labeler may release one confirmed
+        negative, which updates the forest.  Prediction phase: the fresh
+        sample is scored; returns an :class:`Alarm` if risky, else None.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        self.stats.n_samples += 1
+        for labeled in self.labeler.observe(disk_id, x, tag):
+            self.forest.update(labeled.x, labeled.y)
+            self.stats.n_updates_neg += 1
+
+        score = self.forest.predict_one(x)
+        n_absorbed = self.stats.n_updates_pos + self.stats.n_updates_neg
+        if score >= self.alarm_threshold and n_absorbed >= self.warmup_samples:
+            alarm = Alarm(disk_id, float(score), tag)
+            self.stats.n_alarms += 1
+            if self.record_alarms:
+                self.stats.alarms.append(alarm)
+            return alarm
+        return None
+
+    def process_failure(self, disk_id: Hashable) -> int:
+        """Disk *disk_id* failed (Algorithm 2, lines 2-8).
+
+        Flushes its queue as positive updates; returns how many positive
+        samples were absorbed.
+        """
+        self.stats.n_failures += 1
+        released = self.labeler.fail(disk_id)
+        for labeled in released:
+            self.forest.update(labeled.x, labeled.y)
+            self.stats.n_updates_pos += 1
+        return len(released)
+
+    def process(
+        self,
+        disk_id: Hashable,
+        x: Optional[np.ndarray],
+        failed: bool,
+        tag: object = None,
+    ) -> Optional[Alarm]:
+        """Unified entry point matching Algorithm 2's signature.
+
+        ``failed=True`` routes to :meth:`process_failure` (x may be
+        None — a failed disk often reports nothing on its death day);
+        otherwise to :meth:`process_sample`.
+        """
+        if failed:
+            if x is not None:
+                # final snapshot exists: it is part of the last week too
+                self.labeler.observe(disk_id, x, tag)
+            self.process_failure(disk_id)
+            return None
+        if x is None:
+            raise ValueError("x is required for a working disk")
+        return self.process_sample(disk_id, x, tag)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def n_monitored_disks(self) -> int:
+        """Disks currently holding a labeling queue."""
+        return self.labeler.n_disks

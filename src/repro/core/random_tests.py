@@ -1,0 +1,82 @@
+"""Random candidate tests for online tree nodes.
+
+Every fresh leaf draws a set of N random tests of the paper's form
+``SMART_i > θ`` (§3.1): a feature index and a threshold sampled uniformly
+from that feature's value range.  The leaf then accumulates, for every
+test, the class histogram of the samples falling on each side; when the
+leaf splits, the highest-gain test becomes the decision function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RandomTestSet:
+    """N candidate tests: ``x[features[i]] > thresholds[i]``."""
+
+    features: np.ndarray  # (N,) int32
+    thresholds: np.ndarray  # (N,) float64
+
+    @property
+    def n_tests(self) -> int:
+        """Number of candidate tests in the set."""
+        return int(self.features.shape[0])
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Side taken by sample *x* under every test: 1 = right (>θ)."""
+        return (x[self.features] > self.thresholds).astype(np.int8)
+
+    def evaluate_batch(self, X: np.ndarray) -> np.ndarray:
+        """Sides for a batch: ``(n_rows, N)`` int8, 1 = right."""
+        return (X[:, self.features] > self.thresholds[None, :]).astype(np.int8)
+
+
+def default_feature_ranges(n_features: int) -> np.ndarray:
+    """Unit ranges — correct for the library's min-max scaled features."""
+    ranges = np.empty((n_features, 2), dtype=np.float64)
+    ranges[:, 0] = 0.0
+    ranges[:, 1] = 1.0
+    return ranges
+
+
+def validate_feature_ranges(ranges: np.ndarray, n_features: int) -> np.ndarray:
+    """Check an (n_features, 2) array of [low, high) threshold ranges."""
+    ranges = np.asarray(ranges, dtype=np.float64)
+    if ranges.shape != (n_features, 2):
+        raise ValueError(
+            f"feature_ranges must have shape ({n_features}, 2), got {ranges.shape}"
+        )
+    if np.any(ranges[:, 0] > ranges[:, 1]):
+        raise ValueError("feature_ranges must satisfy low <= high")
+    return ranges
+
+
+def make_random_tests(
+    rng: SeedLike,
+    n_tests: int,
+    n_features: int,
+    feature_ranges: np.ndarray,
+) -> RandomTestSet:
+    """Draw N tests: feature uniform over columns, θ uniform over its range.
+
+    Degenerate ranges (low == high) produce a threshold at that point —
+    the test then sends everything left, carries zero gain, and is never
+    selected; no special-casing needed.
+    """
+    check_positive(n_tests, "n_tests")
+    check_positive(n_features, "n_features")
+    gen = as_generator(rng)
+    features = gen.integers(0, n_features, size=n_tests, dtype=np.int32)
+    low = feature_ranges[features, 0]
+    high = feature_ranges[features, 1]
+    thresholds = gen.uniform(low, high)
+    # uniform(l, l) raises in some numpy versions only when l > h; equal
+    # bounds return l, which is what we want for degenerate ranges.
+    return RandomTestSet(features=features, thresholds=thresholds)

@@ -1,0 +1,71 @@
+"""Evaluation harness: the paper's metrics and experiment protocols.
+
+* :mod:`~repro.eval.metrics` — disk-level FDR/FAR (§4.3) and trade-off
+  curves;
+* :mod:`~repro.eval.protocol` — labeling rules and the 70/30 disk-level
+  split (§4.4 experimental setup);
+* :mod:`~repro.eval.threshold` — FAR-pinned operating-point selection;
+* :mod:`~repro.eval.monthly` — the §4.4 convergence experiment
+  (Figures 2/3);
+* :mod:`~repro.eval.longterm` — the §4.5 long-term-use simulation
+  (Figures 4-7);
+* :mod:`~repro.eval.runner` — seed-replication and mean±std aggregation
+  used by every table bench.
+"""
+
+from repro.eval.metrics import (
+    DiskLevelCounts,
+    detection_mask,
+    disk_level_rates,
+    disk_max_scores,
+    false_alarm_mask,
+    fdr_far_curve,
+)
+from repro.eval.aging import DriftAlert, ScoreDriftMonitor
+from repro.eval.leadtime import (
+    curve_auc,
+    lead_time_distribution,
+    lead_time_summary,
+    migration_feasible_rate,
+)
+from repro.eval.monthly import MonthlyConfig, MonthlyResult, run_monthly_comparison
+from repro.eval.longterm import LongTermConfig, MonthRates, run_longterm
+from repro.eval.protocol import (
+    LabeledArrays,
+    labels_and_mask,
+    prepare_arrays,
+    split_disks,
+    stream_order,
+)
+from repro.eval.runner import aggregate_mean_std, repeat_with_seeds
+from repro.eval.threshold import fdr_at_far, threshold_for_far
+
+__all__ = [
+    "DiskLevelCounts",
+    "disk_max_scores",
+    "detection_mask",
+    "false_alarm_mask",
+    "disk_level_rates",
+    "fdr_far_curve",
+    "LabeledArrays",
+    "split_disks",
+    "labels_and_mask",
+    "prepare_arrays",
+    "stream_order",
+    "threshold_for_far",
+    "fdr_at_far",
+    "MonthlyConfig",
+    "MonthlyResult",
+    "run_monthly_comparison",
+    "LongTermConfig",
+    "MonthRates",
+    "run_longterm",
+    "repeat_with_seeds",
+    "aggregate_mean_std",
+    "ScoreDriftMonitor",
+    "DriftAlert",
+    "curve_auc",
+    "lead_time_distribution",
+    "lead_time_summary",
+    "migration_feasible_rate",
+]

@@ -1,0 +1,137 @@
+"""Deployment-time model-aging detection.
+
+The paper *simulates* long-term use to show offline models rot; an
+operator needs to *notice* the rot on a live system without ground
+truth (failures take weeks to confirm).  The standard signal is score
+drift: if the model's score distribution on incoming (unlabeled!)
+samples shifts away from its post-deployment baseline, the decision
+boundary no longer means what it meant — FAR is moving even though no
+label has arrived yet.
+
+:class:`ScoreDriftMonitor` implements that watchdog with the same PSI
+statistic :mod:`repro.features.driftstats` uses for the §1 analysis:
+feed it every score the deployed model emits; it maintains a frozen
+baseline window and a sliding recent window and raises when PSI
+crosses the alert threshold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.features.driftstats import population_stability_index
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DriftAlert:
+    """Raised when the recent score distribution left the baseline."""
+
+    n_scores_seen: int
+    psi: float
+    baseline_mean: float
+    recent_mean: float
+
+
+class ScoreDriftMonitor:
+    """PSI watchdog over a deployed model's score stream.
+
+    Parameters
+    ----------
+    baseline_size:
+        Scores collected right after deployment to freeze as the
+        reference distribution.
+    window_size:
+        Sliding window of recent scores compared against the baseline.
+    psi_threshold:
+        Alert level; 0.25 is the conventional "major shift — retrain"
+        reading.
+    check_every:
+        Evaluate PSI every k-th score once the window is full.
+    """
+
+    def __init__(
+        self,
+        *,
+        baseline_size: int = 2000,
+        window_size: int = 1000,
+        psi_threshold: float = 0.25,
+        check_every: int = 100,
+    ) -> None:
+        check_positive(baseline_size, "baseline_size")
+        check_positive(window_size, "window_size")
+        check_positive(psi_threshold, "psi_threshold")
+        check_positive(check_every, "check_every")
+        self.baseline_size = int(baseline_size)
+        self.window_size = int(window_size)
+        self.psi_threshold = float(psi_threshold)
+        self.check_every = int(check_every)
+
+        self._baseline: List[float] = []
+        self._frozen: Optional[np.ndarray] = None
+        self._window: Deque[float] = deque(maxlen=self.window_size)
+        self._since_check = 0
+        self.n_scores_seen = 0
+        self.alerts: List[DriftAlert] = []
+
+    @property
+    def baseline_ready(self) -> bool:
+        """True once the reference window has been frozen."""
+        return self._frozen is not None
+
+    def observe(self, score: float) -> Optional[DriftAlert]:
+        """Feed one model score; returns a :class:`DriftAlert` when fired."""
+        self.n_scores_seen += 1
+        if self._frozen is None:
+            self._baseline.append(float(score))
+            if len(self._baseline) >= self.baseline_size:
+                self._frozen = np.asarray(self._baseline)
+                self._baseline = []
+            return None
+
+        self._window.append(float(score))
+        self._since_check += 1
+        if (
+            len(self._window) < self.window_size
+            or self._since_check < self.check_every
+        ):
+            return None
+        self._since_check = 0
+        recent = np.asarray(self._window)
+        psi = population_stability_index(self._frozen, recent)
+        if np.isfinite(psi) and psi > self.psi_threshold:
+            alert = DriftAlert(
+                n_scores_seen=self.n_scores_seen,
+                psi=float(psi),
+                baseline_mean=float(self._frozen.mean()),
+                recent_mean=float(recent.mean()),
+            )
+            self.alerts.append(alert)
+            return alert
+        return None
+
+    def observe_batch(self, scores: np.ndarray) -> List[DriftAlert]:
+        """Feed many scores; returns every alert raised along the way."""
+        out = []
+        for s in np.asarray(scores, dtype=np.float64).ravel():
+            alert = self.observe(float(s))
+            if alert is not None:
+                out.append(alert)
+        return out
+
+    def current_psi(self) -> float:
+        """PSI of the current window vs. baseline (NaN before both ready)."""
+        if self._frozen is None or len(self._window) < self.window_size:
+            return float("nan")
+        return population_stability_index(self._frozen, np.asarray(self._window))
+
+    def reset_baseline(self) -> None:
+        """Re-baseline (call after retraining / replacing the model)."""
+        self._frozen = None
+        self._baseline = []
+        self._window.clear()
+        self._since_check = 0

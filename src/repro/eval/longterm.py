@@ -1,0 +1,317 @@
+"""The §4.5 long-term-use simulation (Figures 4-7).
+
+Unlike §4.4, there is no disk split: the labeled samples are divided
+*temporally* into months, and every strategy is deployed at the end of a
+warm-up period, then evaluated month by month on the next month's
+samples:
+
+* ``no_update``    — offline RF trained once on the warm-up months;
+* ``replacing``    — offline RF retrained each month on the previous
+  month only (Zhu et al.'s 1-month replacing strategy);
+* ``accumulation`` — offline RF retrained each month on everything
+  since the beginning;
+* ``orf``          — the online model streams through the data once and
+  is never retrained.
+
+Decision thresholds are tuned (to the FAR budget, ``mode="under"``) on
+the data each strategy trains on; the no-update and ORF strategies tune
+once at deployment and *hold* the threshold — which is exactly what
+exposes model aging as a rising FAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.eval.metrics import DiskLevelCounts, disk_level_rates, disk_max_scores
+from repro.eval.protocol import LabeledArrays, prepare_arrays, stream_order
+from repro.eval.threshold import threshold_for_far
+from repro.features.selection import FeatureSelection
+from repro.offline.forest import RandomForestClassifier
+from repro.offline.sampling import downsample_negatives
+from repro.smart.dataset import SmartDataset
+from repro.utils.rng import SeedLike, as_generator
+
+STRATEGIES = ("no_update", "replacing", "accumulation", "orf")
+
+
+@dataclass
+class LongTermConfig:
+    """Knobs of the §4.5 run; defaults mirror the paper's setup."""
+
+    horizon: int = 7
+    far_target: float = 0.01
+    #: offline models deploy after this many months (paper: 6 for STA, 4 for STB)
+    warmup_months: int = 6
+    neg_sample_ratio: Optional[float] = 3.0
+    strategies: Sequence[str] = STRATEGIES
+    #: months of trailing data used to tune each re-trained model's threshold
+    validation_months: int = 2
+    #: FDR is measured over failures in a trailing window of this many
+    #: months (1 = paper-faithful; >1 smooths the series when the scaled
+    #: fleet yields few failures per month)
+    fdr_window_months: int = 1
+    #: 0 = exact per-sample ORF updates; >0 streams in mini-batches of
+    #: this size (see OnlineRandomForest.partial_fit and ablation A8)
+    orf_chunk_size: int = 0
+    #: re-tune the ORF's alarm threshold each month on the trailing stream.
+    #: The model itself is never retrained — this is operating-point
+    #: tracking, which any online deployment does for free; a threshold
+    #: tuned once against the immature warm-up model goes stale as the
+    #: forest keeps learning.
+    orf_retune_monthly: bool = True
+
+    rf_params: dict = field(
+        default_factory=lambda: dict(n_trees=30, max_features="sqrt", min_samples_leaf=2)
+    )
+    orf_params: dict = field(
+        default_factory=lambda: dict(
+            n_trees=25,
+            n_tests=40,
+            min_parent_size=120.0,
+            min_gain=0.05,
+            lambda_pos=1.0,
+            lambda_neg=0.02,
+            oobe_threshold=0.25,
+            age_threshold=2000.0,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class MonthRates:
+    """One month's measured operating point for one strategy."""
+
+    month: int
+    fdr: float
+    far: float
+    n_failed: int
+    n_good: int
+    threshold: float
+
+
+def _tune_threshold(
+    scores: np.ndarray, arrays: LabeledArrays, rows: np.ndarray, config: LongTermConfig
+) -> float:
+    """FAR-budget threshold from per-disk max scores over given rows.
+
+    ``scores`` aligns with ``rows`` (it was computed on ``arrays.X[rows]``).
+    """
+    fa_rows = arrays.false_alarm_mask()[rows]
+    _, good_max = disk_max_scores(scores, arrays.serials[rows], fa_rows)
+    return threshold_for_far(good_max, config.far_target, mode="under")
+
+
+def _month_counts(
+    scores_month: np.ndarray,
+    arrays: LabeledArrays,
+    month_rows: np.ndarray,
+    det_window_rows: np.ndarray,
+    det_window_scores: np.ndarray,
+    threshold: float,
+) -> DiskLevelCounts:
+    det = arrays.detection_mask()
+    fa = arrays.false_alarm_mask()
+    det_counts = disk_level_rates(
+        det_window_scores,
+        arrays.serials[det_window_rows],
+        det[det_window_rows],
+        np.zeros(det_window_rows.size, dtype=bool),
+        threshold,
+    )
+    fa_counts = disk_level_rates(
+        scores_month,
+        arrays.serials[month_rows],
+        np.zeros(month_rows.size, dtype=bool),
+        fa[month_rows],
+        threshold,
+    )
+    return DiskLevelCounts(
+        n_failed=det_counts.n_failed,
+        n_detected=det_counts.n_detected,
+        n_good=fa_counts.n_good,
+        n_false_alarms=fa_counts.n_false_alarms,
+    )
+
+
+def _fit_rf(
+    X: np.ndarray,
+    y: np.ndarray,
+    config: LongTermConfig,
+    rng: np.random.Generator,
+) -> Optional[RandomForestClassifier]:
+    if np.unique(y).size < 2:
+        return None
+    idx = downsample_negatives(y, config.neg_sample_ratio, rng.spawn(1)[0])
+    model = RandomForestClassifier(seed=rng.spawn(1)[0], **config.rf_params)
+    model.fit(X[idx], y[idx])
+    return model
+
+
+def run_longterm(
+    dataset: SmartDataset,
+    *,
+    selection: Optional[FeatureSelection] = None,
+    config: Optional[LongTermConfig] = None,
+    seed: SeedLike = None,
+) -> Dict[str, List[MonthRates]]:
+    """Run the Figure-4/5/6/7 simulation; returns {strategy: month series}.
+
+    Months where a strategy has no trainable data (e.g. the replacing
+    strategy after a month with no positives) reuse the previous model,
+    which is what an operator would do.
+    """
+    config = config or LongTermConfig()
+    selection = selection or FeatureSelection.paper_table2()
+    unknown = set(config.strategies) - set(STRATEGIES)
+    if unknown:
+        raise ValueError(f"unknown strategies {sorted(unknown)}")
+    rng = as_generator(seed)
+
+    arrays, _scaler = prepare_arrays(dataset, selection, horizon=config.horizon)
+    usable = np.flatnonzero(arrays.usable)
+    order = usable[stream_order(arrays.days[usable], arrays.serials[usable])]
+    stream_months = arrays.months[order]
+
+    last_month = int(arrays.months.max())
+    warmup = config.warmup_months
+    if warmup >= last_month:
+        raise ValueError(
+            f"warmup_months={warmup} leaves no months to evaluate "
+            f"(dataset spans {last_month + 1})"
+        )
+    eval_months = list(range(warmup, last_month + 1))
+
+    results: Dict[str, List[MonthRates]] = {s: [] for s in config.strategies}
+
+    # ------------------------------------------------------------- warm-up
+    warmup_rows = order[stream_months < warmup]
+    X_warm, y_warm = arrays.X[warmup_rows], arrays.y[warmup_rows]
+
+    models: Dict[str, object] = {}
+    thresholds: Dict[str, float] = {}
+
+    if "no_update" in config.strategies or "accumulation" in config.strategies:
+        base_rf = _fit_rf(X_warm, y_warm, config, rng)
+        if base_rf is None:
+            raise ValueError("warm-up period contains no positive samples")
+        if "no_update" in config.strategies:
+            models["no_update"] = base_rf
+            scores = base_rf.predict_score(X_warm)
+            thresholds["no_update"] = _tune_threshold(
+                scores, arrays, warmup_rows, config
+            )
+        if "accumulation" in config.strategies:
+            models["accumulation"] = base_rf
+            thresholds["accumulation"] = thresholds.get("no_update")
+            if thresholds["accumulation"] is None:
+                scores = base_rf.predict_score(X_warm)
+                thresholds["accumulation"] = _tune_threshold(
+                    scores, arrays, warmup_rows, config
+                )
+
+    if "replacing" in config.strategies:
+        rep_rows = order[stream_months == warmup - 1]
+        rep_model = _fit_rf(
+            arrays.X[rep_rows], arrays.y[rep_rows], config, rng
+        ) or models.get("no_update") or _fit_rf(X_warm, y_warm, config, rng)
+        models["replacing"] = rep_model
+        scores = rep_model.predict_score(arrays.X[rep_rows])
+        thresholds["replacing"] = _tune_threshold(scores, arrays, rep_rows, config)
+
+    orf: Optional[OnlineRandomForest] = None
+    if "orf" in config.strategies:
+        orf = OnlineRandomForest(
+            arrays.n_features, seed=rng.spawn(1)[0], **config.orf_params
+        )
+        warm_rows = order[stream_months < warmup]
+        orf.partial_fit(
+            arrays.X[warm_rows], arrays.y[warm_rows],
+            chunk_size=config.orf_chunk_size,
+        )
+        models["orf"] = orf
+        scores = orf.predict_score(X_warm)
+        thresholds["orf"] = _tune_threshold(scores, arrays, warmup_rows, config)
+
+    # --------------------------------------------------------- month loop
+    for month in eval_months:
+        month_rows = np.flatnonzero(arrays.months == month)
+        if month_rows.size == 0:
+            continue
+        window_lo = month - config.fdr_window_months + 1
+        det_window_rows = np.flatnonzero(
+            (arrays.months >= window_lo) & (arrays.months <= month)
+        )
+
+        for strategy in config.strategies:
+            model = models.get(strategy)
+            if model is None:
+                continue
+            scores_month = model.predict_score(arrays.X[month_rows])
+            det_scores = (
+                scores_month
+                if config.fdr_window_months == 1
+                else model.predict_score(arrays.X[det_window_rows])
+            )
+            counts = _month_counts(
+                scores_month,
+                arrays,
+                month_rows,
+                det_window_rows if config.fdr_window_months > 1 else month_rows,
+                det_scores,
+                thresholds[strategy],
+            )
+            results[strategy].append(
+                MonthRates(
+                    month=month,
+                    fdr=counts.fdr,
+                    far=counts.far,
+                    n_failed=counts.n_failed,
+                    n_good=counts.n_good,
+                    threshold=thresholds[strategy],
+                )
+            )
+
+        # ---- post-month updates for the next iteration ------------------
+        if "accumulation" in config.strategies:
+            rows = order[stream_months <= month]
+            model = _fit_rf(arrays.X[rows], arrays.y[rows], config, rng)
+            if model is not None:
+                models["accumulation"] = model
+                val_rows = order[
+                    (stream_months > month - config.validation_months)
+                    & (stream_months <= month)
+                ]
+                scores = model.predict_score(arrays.X[val_rows])
+                thresholds["accumulation"] = _tune_threshold(
+                    scores, arrays, val_rows, config
+                )
+        if "replacing" in config.strategies:
+            rows = order[stream_months == month]
+            model = _fit_rf(arrays.X[rows], arrays.y[rows], config, rng)
+            if model is not None:
+                models["replacing"] = model
+                scores = model.predict_score(arrays.X[rows])
+                thresholds["replacing"] = _tune_threshold(scores, arrays, rows, config)
+        if orf is not None:
+            month_rows_stream = order[stream_months == month]
+            orf.partial_fit(
+                arrays.X[month_rows_stream], arrays.y[month_rows_stream],
+                chunk_size=config.orf_chunk_size,
+            )
+            if config.orf_retune_monthly:
+                val_rows = order[
+                    (stream_months > month - config.validation_months)
+                    & (stream_months <= month)
+                ]
+                if val_rows.size:
+                    scores = orf.predict_score(arrays.X[val_rows])
+                    thresholds["orf"] = _tune_threshold(
+                        scores, arrays, val_rows, config
+                    )
+
+    return results

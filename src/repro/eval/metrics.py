@@ -1,0 +1,148 @@
+"""Disk-level FDR and FAR — the paper's §4.3 metrics.
+
+Both metrics are defined over *disks*, not samples:
+
+* a **failed** disk is detected iff at least one of its samples taken
+  within the last ``horizon`` days before failure scores positive;
+* a **good** disk is a false alarm iff any of its samples outside its
+  final (unlabelable) week scores positive.
+
+All functions work on flat per-row arrays (scores, serials, masks), so
+the same code serves the global test-set evaluation of §4.4 and the
+month-sliced evaluation of §4.5 — callers only change the row masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+def detection_mask(days_to_failure: np.ndarray, horizon: int = 7) -> np.ndarray:
+    """Rows that count toward detection: within *horizon* days of failure.
+
+    ``days_to_failure`` is +inf for good disks, so their rows are never
+    detection rows.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    return days_to_failure < horizon
+
+
+def false_alarm_mask(
+    days_to_failure: np.ndarray,
+    days: np.ndarray,
+    last_day: np.ndarray,
+    horizon: int = 7,
+) -> np.ndarray:
+    """Rows that count toward false alarms.
+
+    Only good disks' rows, and only those outside the disk's final
+    *horizon*-day window (whose labels are unknowable online, §4.4).
+    ``last_day`` is each row's disk's last observed day.
+    """
+    good = ~np.isfinite(days_to_failure)
+    return good & (days <= last_day - horizon)
+
+
+def disk_max_scores(
+    scores: np.ndarray, serials: np.ndarray, mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(unique serials, per-disk max score) over the masked rows."""
+    sel = np.flatnonzero(mask)
+    if sel.size == 0:
+        return np.empty(0, dtype=serials.dtype), np.empty(0)
+    uniq, inverse = np.unique(serials[sel], return_inverse=True)
+    out = np.full(uniq.shape[0], -np.inf)
+    np.maximum.at(out, inverse, scores[sel])
+    return uniq, out
+
+
+@dataclass(frozen=True)
+class DiskLevelCounts:
+    """Confusion counts at the disk level, plus the derived rates."""
+
+    n_failed: int
+    n_detected: int
+    n_good: int
+    n_false_alarms: int
+
+    @property
+    def fdr(self) -> float:
+        """Failure detection rate; NaN when no failed disks are in scope."""
+        return self.n_detected / self.n_failed if self.n_failed else float("nan")
+
+    @property
+    def far(self) -> float:
+        """False alarm rate; NaN when no good disks are in scope."""
+        return self.n_false_alarms / self.n_good if self.n_good else float("nan")
+
+
+def disk_level_rates(
+    scores: np.ndarray,
+    serials: np.ndarray,
+    det_mask: np.ndarray,
+    fa_mask: np.ndarray,
+    threshold: float,
+) -> DiskLevelCounts:
+    """Evaluate FDR/FAR at a fixed score threshold."""
+    _, failed_max = disk_max_scores(scores, serials, det_mask)
+    _, good_max = disk_max_scores(scores, serials, fa_mask)
+    return DiskLevelCounts(
+        n_failed=int(failed_max.shape[0]),
+        n_detected=int(np.sum(failed_max >= threshold)),
+        n_good=int(good_max.shape[0]),
+        n_false_alarms=int(np.sum(good_max >= threshold)),
+    )
+
+
+def fdr_far_curve(
+    scores: np.ndarray,
+    serials: np.ndarray,
+    det_mask: np.ndarray,
+    fa_mask: np.ndarray,
+    *,
+    n_thresholds: int = 200,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(thresholds, fdr, far) swept over the observed score range.
+
+    Thresholds are the unique per-disk max scores (subsampled to at most
+    ``n_thresholds``), so every achievable operating point appears.
+    Vectorized: one sort per disk group, then two searchsorted passes.
+    """
+    _, failed_max = disk_max_scores(scores, serials, det_mask)
+    _, good_max = disk_max_scores(scores, serials, fa_mask)
+    candidates = np.unique(np.concatenate([failed_max, good_max]))
+    if candidates.size == 0:
+        return np.empty(0), np.empty(0), np.empty(0)
+    if candidates.size > n_thresholds:
+        pick = np.linspace(0, candidates.size - 1, n_thresholds).astype(int)
+        candidates = candidates[pick]
+
+    failed_sorted = np.sort(failed_max)
+    good_sorted = np.sort(good_max)
+    n_failed = max(failed_sorted.size, 1)
+    n_good = max(good_sorted.size, 1)
+    # counts of disks with max >= t
+    fdr = (failed_sorted.size - np.searchsorted(failed_sorted, candidates, "left")) / n_failed
+    far = (good_sorted.size - np.searchsorted(good_sorted, candidates, "left")) / n_good
+    return candidates, fdr, far
+
+
+def sample_level_rates(
+    scores: np.ndarray, y: np.ndarray, threshold: float
+) -> Tuple[float, float]:
+    """(recall, false-positive rate) at the *sample* level.
+
+    Secondary diagnostic only — the paper's headline metrics are
+    disk-level; sample-level rates help debug a model before the disk
+    aggregation.
+    """
+    pred = scores >= threshold
+    pos = y == 1
+    neg = ~pos
+    recall = float(pred[pos].mean()) if pos.any() else float("nan")
+    fpr = float(pred[neg].mean()) if neg.any() else float("nan")
+    return recall, fpr

@@ -1,0 +1,163 @@
+"""Labeling rules and data splits — the §4.4 experimental setup.
+
+* 70/30 train/test split at the *disk* level, stratified over
+  good/failed (a disk's samples never straddle the split);
+* labels: a failed disk's samples within the last ``horizon`` (7) days
+  are positive, its earlier samples negative; a good disk's samples are
+  negative except its final *horizon* days, which are unlabelable and
+  excluded (``usable = False``);
+* min-max scaling (Eq. 5) fitted on training rows only.
+
+Everything is bundled into :class:`LabeledArrays`, the flat structure
+both evaluation protocols consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.eval.metrics import detection_mask, false_alarm_mask
+from repro.features.scaling import MinMaxScaler
+from repro.features.selection import FeatureSelection
+from repro.smart.dataset import SmartDataset
+from repro.utils.rng import SeedLike, as_generator
+
+
+def split_disks(
+    dataset: SmartDataset,
+    *,
+    test_fraction: float = 0.3,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stratified disk-level split; returns (train_serials, test_serials).
+
+    Good and failed disks are split separately so the rare failed class
+    keeps its proportion in both halves (70/30 in the paper).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_generator(seed)
+    train_parts, test_parts = [], []
+    for group in (dataset.failed_serials, dataset.good_serials):
+        perm = rng.permutation(group)
+        n_test = int(round(test_fraction * perm.size))
+        test_parts.append(perm[:n_test])
+        train_parts.append(perm[n_test:])
+    return (
+        np.sort(np.concatenate(train_parts)),
+        np.sort(np.concatenate(test_parts)),
+    )
+
+
+def last_day_per_row(dataset: SmartDataset) -> np.ndarray:
+    """Each row's disk's last observed day (vectorized via serial LUT)."""
+    max_serial = int(dataset.serials.max()) if dataset.n_rows else -1
+    lut = np.zeros(max_serial + 1, dtype=np.int64)
+    for d in dataset.drives:
+        if d.serial <= max_serial:
+            lut[d.serial] = d.last_observed_day
+    return lut[dataset.serials]
+
+
+def labels_and_mask(
+    dataset: SmartDataset, *, horizon: int = 7
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(y, usable) per row under the paper's labeling rules."""
+    dtf = dataset.days_to_failure()
+    y = (dtf < horizon).astype(np.int8)  # inf < horizon is False → good = 0
+    good = ~np.isfinite(dtf)
+    last = last_day_per_row(dataset)
+    unlabelable = good & (dataset.days > last - horizon)
+    return y, ~unlabelable
+
+
+@dataclass
+class LabeledArrays:
+    """Flat, model-ready view of a dataset split.
+
+    ``X`` is already feature-selected and min-max scaled; all other
+    arrays align row-wise with it.  ``usable`` marks rows whose label is
+    trustworthy (training streams must respect it; the evaluation masks
+    already do).
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    serials: np.ndarray
+    days: np.ndarray
+    months: np.ndarray
+    days_to_failure: np.ndarray
+    last_day: np.ndarray
+    usable: np.ndarray
+    horizon: int
+
+    @property
+    def n_rows(self) -> int:
+        """Number of snapshot rows in the view."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Width of the prepared feature matrix."""
+        return int(self.X.shape[1])
+
+    def detection_mask(self) -> np.ndarray:
+        """Rows within the horizon of their drive's failure (§4.3)."""
+        return detection_mask(self.days_to_failure, self.horizon)
+
+    def false_alarm_mask(self) -> np.ndarray:
+        """Good drives' rows outside their final horizon window (§4.3)."""
+        return false_alarm_mask(
+            self.days_to_failure, self.days, self.last_day, self.horizon
+        )
+
+    def month_slice(self, month: int) -> np.ndarray:
+        """Row mask of one calendar month."""
+        return self.months == month
+
+    def rows_before_month(self, month: int) -> np.ndarray:
+        """Row mask of everything strictly before a month (training pools)."""
+        return self.months < month
+
+    def training_rows(self) -> np.ndarray:
+        """Rows eligible to train on: usable labels only."""
+        return np.flatnonzero(self.usable)
+
+
+def stream_order(days: np.ndarray, serials: np.ndarray) -> np.ndarray:
+    """Row order of sequential arrival: by day, serial breaking ties."""
+    return np.lexsort((serials, days))
+
+
+def prepare_arrays(
+    dataset: SmartDataset,
+    selection: FeatureSelection,
+    *,
+    scaler: Optional[MinMaxScaler] = None,
+    horizon: int = 7,
+) -> Tuple[LabeledArrays, MinMaxScaler]:
+    """Project, scale and label a dataset; returns (arrays, fitted scaler).
+
+    Pass the scaler fitted on the *training* split when preparing a test
+    split, so no test statistics leak into the normalization.
+    """
+    Xc = selection.apply(dataset.X.astype(np.float64))
+    if scaler is None:
+        scaler = MinMaxScaler().fit(Xc)
+    X = scaler.transform(Xc)
+    y, usable = labels_and_mask(dataset, horizon=horizon)
+    arrays = LabeledArrays(
+        X=X,
+        y=y,
+        serials=dataset.serials.copy(),
+        days=dataset.days.copy(),
+        months=dataset.months,
+        days_to_failure=dataset.days_to_failure(),
+        last_day=last_day_per_row(dataset),
+        usable=usable,
+        horizon=horizon,
+    )
+    return arrays, scaler

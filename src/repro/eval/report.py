@@ -1,0 +1,95 @@
+"""Render experiment results as aligned text / markdown tables.
+
+The benches, the CLI's ``experiment`` subcommand and user notebooks all
+need the same few views over :class:`MonthlyResult` and
+:class:`MonthRates` series; this module centralizes them so the
+formatting logic exists once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.eval.longterm import MonthRates
+from repro.eval.monthly import MonthlyResult
+from repro.utils.tables import format_markdown_table, format_table
+
+
+def _pct(value: float, digits: int = 1) -> str:
+    if value != value:  # NaN
+        return "-"
+    return f"{100.0 * value:.{digits}f}"
+
+
+def monthly_fdr_table(
+    results: Dict[str, MonthlyResult],
+    *,
+    markdown: bool = False,
+    title: str = "FDR(%) vs months at the FAR-pinned operating point",
+) -> str:
+    """One row per model, one column per evaluation month."""
+    months = sorted({m for r in results.values() for m in r.months})
+    header = ["Model"] + [f"m{m}" for m in months]
+    rows: List[List[str]] = []
+    for name, r in results.items():
+        by_month = dict(zip(r.months, r.fdr))
+        rows.append(
+            [name.upper()]
+            + [_pct(by_month[m], 0) if m in by_month else "-" for m in months]
+        )
+    if markdown:
+        return format_markdown_table(header, rows)
+    return format_table(header, rows, title=title)
+
+
+def longterm_series_table(
+    results: Dict[str, List[MonthRates]],
+    metric: str = "far",
+    *,
+    markdown: bool = False,
+    title: str | None = None,
+) -> str:
+    """One row per strategy, one column per month, for ``far`` or ``fdr``."""
+    if metric not in ("far", "fdr"):
+        raise ValueError(f"metric must be 'far' or 'fdr', got {metric!r}")
+    months = sorted({p.month for series in results.values() for p in series})
+    header = ["Strategy"] + [f"m{m}" for m in months]
+    rows: List[List[str]] = []
+    for name, series in results.items():
+        by_month = {p.month: getattr(p, metric) for p in series}
+        rows.append(
+            [name] + [_pct(by_month.get(m, float("nan"))) for m in months]
+        )
+    if markdown:
+        return format_markdown_table(header, rows)
+    return format_table(
+        header, rows, title=title or f"Long-term {metric.upper()}(%) by month"
+    )
+
+
+def longterm_summary(results: Dict[str, List[MonthRates]]) -> Dict[str, dict]:
+    """Aggregate each strategy's series into headline numbers.
+
+    Returns per strategy: mean/max FAR, mean FDR (NaN-months dropped),
+    and the FAR trend (last-3-months mean minus first-3-months mean —
+    positive = aging).
+    """
+    out: Dict[str, dict] = {}
+    for name, series in results.items():
+        fars = np.array([p.far for p in series])
+        fdrs = np.array([p.fdr for p in series])
+        fdrs = fdrs[np.isfinite(fdrs)]
+        out[name] = {
+            "mean_far": float(fars.mean()) if fars.size else float("nan"),
+            "max_far": float(fars.max()) if fars.size else float("nan"),
+            "mean_fdr": float(fdrs.mean()) if fdrs.size else float("nan"),
+            "far_trend": (
+                float(fars[-3:].mean() - fars[:3].mean())
+                if fars.size >= 3
+                else float("nan")
+            ),
+            "n_months": len(series),
+        }
+    return out

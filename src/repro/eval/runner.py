@@ -1,0 +1,70 @@
+"""Seed replication and mean±std aggregation for the table benches.
+
+The paper repeats every table experiment five times and reports
+``mean ± std``; these helpers make that a one-liner in the benches and
+keep seed handling reproducible (seed i of a run is derived from the
+master seed, not from global state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.tables import format_mean_std
+
+T = TypeVar("T")
+
+
+def derive_seeds(master_seed: SeedLike, n: int) -> List[int]:
+    """n reproducible child seeds from a master seed."""
+    rng = as_generator(master_seed)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]
+
+
+def repeat_with_seeds(
+    fn: Callable[[int], T], *, n_repeats: int = 5, master_seed: SeedLike = 0
+) -> List[T]:
+    """Run ``fn(seed)`` for n derived seeds; returns the result list."""
+    if n_repeats <= 0:
+        raise ValueError(f"n_repeats must be > 0, got {n_repeats}")
+    return [fn(seed) for seed in derive_seeds(master_seed, n_repeats)]
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """An aggregated measurement, formatted the way the paper's tables are."""
+
+    mean: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return format_mean_std(self.mean, self.std)
+
+    def as_percent(self) -> "MeanStd":
+        """Scale a rate in [0, 1] to percentage points."""
+        return MeanStd(self.mean * 100.0, self.std * 100.0, self.n)
+
+
+def aggregate_mean_std(values: Sequence[float]) -> MeanStd:
+    """Mean and (population) std of repeated measurements; NaNs dropped."""
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=np.float64)
+    if arr.size == 0:
+        return MeanStd(float("nan"), float("nan"), 0)
+    return MeanStd(float(arr.mean()), float(arr.std()), int(arr.size))
+
+
+def aggregate_rate_pairs(
+    pairs: Sequence[Tuple[float, float]]
+) -> Dict[str, MeanStd]:
+    """Aggregate a sequence of (fdr, far) runs into table-ready cells."""
+    fdrs = [p[0] for p in pairs]
+    fars = [p[1] for p in pairs]
+    return {
+        "fdr": aggregate_mean_std(fdrs).as_percent(),
+        "far": aggregate_mean_std(fars).as_percent(),
+    }

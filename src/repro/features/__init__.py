@@ -1,0 +1,34 @@
+"""Feature selection and scaling — §4.2 of the paper.
+
+The pipeline has three stages, mirrored one-to-one here:
+
+1. :mod:`~repro.features.ranksum` — a from-scratch Wilcoxon rank-sum
+   test filters candidate features that cannot distinguish failed from
+   healthy samples;
+2. :mod:`~repro.features.importance` — random-forest contribution
+   ranking plus correlation-based redundancy elimination picks the
+   final feature set (the paper lands on 19 of 48);
+3. :mod:`~repro.features.scaling` — min-max normalization to [0, 1]
+   (Eq. 5), fitted per drive model on training data only.
+"""
+
+from repro.features.importance import (
+    correlation_redundancy_filter,
+    rf_contribution_ranking,
+)
+from repro.features.ranksum import rank_sum_filter, wilcoxon_rank_sum
+from repro.features.scaling import MinMaxScaler
+from repro.features.selection import FeatureSelection, select_features
+from repro.features.temporal import add_change_rates, per_drive_change_rates
+
+__all__ = [
+    "wilcoxon_rank_sum",
+    "rank_sum_filter",
+    "rf_contribution_ranking",
+    "correlation_redundancy_filter",
+    "MinMaxScaler",
+    "FeatureSelection",
+    "select_features",
+    "add_change_rates",
+    "per_drive_change_rates",
+]

@@ -1,0 +1,65 @@
+"""Min-max feature scaling — Eq. (5) of the paper.
+
+Fitted on training rows only (per drive model) and applied to everything
+downstream, so features with wildly different spans (Power-On Hours in
+tens of thousands vs. Norm values in [1, 100]) do not bias the models.
+Transforms are pure NumPy broadcasts; no copies beyond the output array.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d, check_feature_count
+
+
+class MinMaxScaler:
+    """Map each feature to [0, 1] by its training min/max.
+
+    Constant features map to 0.  With ``clip=True`` (default), values
+    outside the training range — which *will* occur under distribution
+    drift, e.g. Power-On Hours beyond anything seen in training — are
+    clipped into [0, 1]; with ``clip=False`` they extrapolate linearly
+    (what a naive deployment does, and part of why stale offline models
+    misbehave).
+    """
+
+    def __init__(self, *, clip: bool = True) -> None:
+        self.clip = clip
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        """Record per-feature min and range from training rows."""
+        X = check_array_2d(X, "X", min_rows=1)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        # constant features: keep range 1 so the transform maps them to 0
+        self.range_ = np.where(span > 0, span, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply Eq. (5); returns a new float64 array."""
+        if self.min_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        X = check_array_2d(X, "X")
+        check_feature_count(X, self.min_.shape[0], "X")
+        out = (X - self.min_) / self.range_
+        if self.clip:
+            np.clip(out, 0.0, 1.0, out=out)
+        return out
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit on *X* and return its scaled copy."""
+        return self.fit(X).transform(X)
+
+    def transform_one(self, x: np.ndarray) -> np.ndarray:
+        """Scale a single sample vector (streaming path)."""
+        if self.min_ is None:
+            raise RuntimeError("scaler is not fitted; call fit() first")
+        out = (np.asarray(x, dtype=np.float64) - self.min_) / self.range_
+        if self.clip:
+            np.clip(out, 0.0, 1.0, out=out)
+        return out

@@ -1,0 +1,115 @@
+"""The complete §4.2 feature-selection pipeline.
+
+``select_features`` chains the rank-sum filter, RF contribution ranking
+and redundancy elimination over the 48 candidate columns and returns a
+:class:`FeatureSelection` that downstream code (and the Table-2 bench)
+can inspect or apply.  The paper's published selection is available as
+:func:`FeatureSelection.paper_table2` for experiments that should match
+the paper's configuration exactly rather than re-derive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.importance import (
+    correlation_redundancy_filter,
+    rf_contribution_ranking,
+)
+from repro.features.ranksum import rank_sum_filter
+from repro.smart.attributes import (
+    SELECTED_FEATURES,
+    candidate_feature_names,
+    selected_feature_indices,
+)
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array_2d, check_binary_labels
+
+
+@dataclass(frozen=True)
+class FeatureSelection:
+    """An ordered choice of candidate-feature columns.
+
+    ``indices`` index into the 48-wide candidate layout; ``names`` are
+    the matching Backblaze-style column names.  ``survived_ranksum``
+    records stage-1 survivors (for the Table-2 bench's narrative).
+    """
+
+    indices: np.ndarray
+    names: List[str]
+    survived_ranksum: Optional[np.ndarray] = None
+    importances: Optional[np.ndarray] = None
+
+    @property
+    def n_features(self) -> int:
+        """Number of selected feature columns."""
+        return int(self.indices.shape[0])
+
+    def apply(self, X_candidates: np.ndarray) -> np.ndarray:
+        """Project a (n, 48) candidate matrix onto the selected columns."""
+        X_candidates = check_array_2d(X_candidates, "X_candidates")
+        return X_candidates[:, self.indices]
+
+    @staticmethod
+    def paper_table2() -> "FeatureSelection":
+        """The paper's published 19-feature selection (Table 2)."""
+        idx = np.asarray(selected_feature_indices(SELECTED_FEATURES), dtype=int)
+        all_names = candidate_feature_names()
+        return FeatureSelection(
+            indices=idx, names=[all_names[i] for i in idx]
+        )
+
+
+def select_features(
+    X_candidates: np.ndarray,
+    y: np.ndarray,
+    *,
+    alpha: float = 0.01,
+    max_abs_correlation: float = 0.95,
+    max_features: Optional[int] = None,
+    n_trees: int = 20,
+    seed: SeedLike = None,
+) -> FeatureSelection:
+    """Run the full three-stage pipeline on labeled candidate features.
+
+    Parameters mirror the stages: ``alpha`` gates the rank-sum filter,
+    ``max_abs_correlation``/``max_features`` the redundancy elimination,
+    ``n_trees`` the contribution-ranking forest.
+    """
+    X_candidates = check_array_2d(X_candidates, "X_candidates", min_rows=2)
+    y = check_binary_labels(y, n_rows=X_candidates.shape[0])
+    rng = as_generator(seed)
+
+    keep_mask = rank_sum_filter(
+        X_candidates, y, alpha=alpha, seed=rng.spawn(1)[0]
+    )
+    survivors = np.flatnonzero(keep_mask)
+    if survivors.size == 0:
+        raise ValueError(
+            "rank-sum filter rejected every feature; the labels carry no signal"
+        )
+
+    X_surv = X_candidates[:, survivors]
+    order, importances = rf_contribution_ranking(
+        X_surv, y, n_trees=n_trees, seed=rng.spawn(1)[0]
+    )
+    kept_local = correlation_redundancy_filter(
+        X_surv,
+        order,
+        max_abs_correlation=max_abs_correlation,
+        max_features=max_features,
+    )
+    kept_global = survivors[kept_local]
+
+    all_names = candidate_feature_names()
+    full_importances = np.zeros(X_candidates.shape[1])
+    full_importances[survivors] = importances
+    return FeatureSelection(
+        indices=kept_global,
+        names=[all_names[i] for i in kept_global],
+        survived_ranksum=survivors,
+        importances=full_importances,
+    )

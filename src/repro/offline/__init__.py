@@ -1,0 +1,42 @@
+"""Offline baseline learners.
+
+Everything the paper compares ORF against, implemented from scratch on
+NumPy (no scikit-learn):
+
+* :class:`~repro.offline.tree.DecisionTreeClassifier` — CART with Gini
+  impurity, a global ``max_num_splits`` cap and class weights — the
+  equivalent of Matlab's ``fitctree`` configuration in §4.4;
+* :class:`~repro.offline.forest.RandomForestClassifier` — Breiman-style
+  bagged forest with per-node feature subsampling;
+* :class:`~repro.offline.svm.SVC` — C-SVC with an RBF kernel trained by
+  SMO — the LIBSVM stand-in;
+* :mod:`~repro.offline.sampling` — the NegSampleRatio (λ) downsampling of
+  Eq. (4);
+* :mod:`~repro.offline.grid_search` — FAR-constrained hyper-parameter
+  search ("highest FDR with FAR below a cap", §4.4).
+"""
+
+from repro.offline.forest import RandomForestClassifier
+from repro.offline.gbdt import GradientBoostedTrees
+from repro.offline.grid_search import FarConstrainedSearch, SearchResult
+from repro.offline.kernels import linear_kernel, rbf_kernel
+from repro.offline.regression_tree import RegressionTree
+from repro.offline.sampling import downsample_negatives, neg_sample_ratio
+from repro.offline.smart_threshold import SmartThresholdDetector
+from repro.offline.svm import SVC
+from repro.offline.tree import DecisionTreeClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "RegressionTree",
+    "GradientBoostedTrees",
+    "SmartThresholdDetector",
+    "SVC",
+    "linear_kernel",
+    "rbf_kernel",
+    "downsample_negatives",
+    "neg_sample_ratio",
+    "FarConstrainedSearch",
+    "SearchResult",
+]

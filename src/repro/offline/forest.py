@@ -1,0 +1,148 @@
+"""Breiman-style offline random forest.
+
+Bagging (bootstrap resampling expressed as integer sample weights, so no
+data copies), per-node feature subsampling via the base CART's
+``max_features``, and score aggregation over trees.  Trees are
+independent, so fitting and prediction map over a
+:class:`~repro.parallel.TreeExecutor`.
+
+The forest's ``predict_score`` is the positive-vote fraction ("soft" =
+mean leaf probability, "hard" = mean thresholded vote); the evaluation
+harness tunes a threshold over this score to pin FAR near the paper's
+1% operating point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.offline.tree import ClassWeight, DecisionTreeClassifier
+from repro.parallel.pool import SerialExecutor, TreeExecutor
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import (
+    check_array_2d,
+    check_binary_labels,
+    check_feature_count,
+    check_positive,
+)
+
+
+class RandomForestClassifier:
+    """Bagged forest of Gini CARTs for binary classification.
+
+    Parameters mirror :class:`DecisionTreeClassifier` plus:
+
+    n_trees:
+        Ensemble size (the paper uses T = 30).
+    vote:
+        ``"soft"`` (mean leaf probability; granular scores) or ``"hard"``
+        (mean 0/1 vote; what a literal majority vote produces).
+    bootstrap:
+        Draw a bootstrap resample per tree (standard bagging) when True;
+        train every tree on the full set when False.
+    executor:
+        Optional :class:`TreeExecutor` for parallel fit/predict.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        *,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[None, int, float, str] = "sqrt",
+        min_impurity_decrease: float = 0.0,
+        class_weight: ClassWeight = None,
+        vote: str = "soft",
+        bootstrap: bool = True,
+        seed: SeedLike = None,
+        executor: Optional[TreeExecutor] = None,
+    ) -> None:
+        check_positive(n_trees, "n_trees")
+        if vote not in ("soft", "hard"):
+            raise ValueError(f"vote must be 'soft' or 'hard', got {vote!r}")
+        self.n_trees = int(n_trees)
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.class_weight = class_weight
+        self.vote = vote
+        self.bootstrap = bootstrap
+        self._rng = as_generator(seed)
+        self._executor = executor or SerialExecutor()
+        self.trees_: List[DecisionTreeClassifier] = []
+        self.n_features_: Optional[int] = None
+
+    # ------------------------------------------------------------------ fit
+    def _make_tree(self, tree_rng) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            min_impurity_decrease=self.min_impurity_decrease,
+            class_weight=self.class_weight,
+            seed=tree_rng,
+        )
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit all trees on bootstrap resamples of (X, y); returns self."""
+        X = check_array_2d(X, "X", min_rows=1)
+        y = check_binary_labels(y, n_rows=X.shape[0])
+        self.n_features_ = X.shape[1]
+        n = X.shape[0]
+        tree_rngs = self._rng.spawn(self.n_trees)
+
+        def fit_one(tree_rng) -> DecisionTreeClassifier:
+            tree = self._make_tree(tree_rng)
+            if self.bootstrap:
+                counts = np.bincount(
+                    tree_rng.integers(0, n, size=n), minlength=n
+                ).astype(np.float64)
+            else:
+                counts = None
+            tree.fit(X, y, sample_weight=counts)
+            return tree
+
+        self.trees_ = self._executor.map(fit_one, tree_rngs)
+        return self
+
+    # -------------------------------------------------------------- predict
+    def _require_fitted(self) -> List[DecisionTreeClassifier]:
+        if not self.trees_:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.trees_
+
+    def predict_score(self, X) -> np.ndarray:
+        """Positive score per row (mean tree probability or vote fraction)."""
+        trees = self._require_fitted()
+        X = check_array_2d(X, "X")
+        check_feature_count(X, self.n_features_, "X")
+
+        def score_one(tree: DecisionTreeClassifier) -> np.ndarray:
+            p = tree.tree_.predict_proba_positive(X)
+            return (p >= 0.5).astype(np.float64) if self.vote == "hard" else p
+
+        per_tree = self._executor.map(score_one, trees)
+        return np.mean(per_tree, axis=0)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """``(n, 2)`` array of class probabilities (vote-fraction based)."""
+        p1 = self.predict_score(X)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels at a score threshold (0.5 = plain majority vote)."""
+        return (self.predict_score(X) >= threshold).astype(np.int8)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Mean Gini importance over trees (used by §4.2's ranking step)."""
+        trees = self._require_fitted()
+        return np.mean([t.feature_importances_ for t in trees], axis=0)

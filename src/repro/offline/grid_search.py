@@ -1,0 +1,117 @@
+"""FAR-constrained hyper-parameter search.
+
+The paper tunes every baseline the same way (§4.4): *"perform a grid
+search to find the parameter combination that produces the highest FDR
+with a FAR less than <cap>"*.  This module implements that selection rule
+generically: the caller supplies candidate parameter dicts, a fit
+function and a scoring function returning ``(fdr, far)``; the search
+returns the best candidate under the constraint (falling back to the
+lowest-FAR candidate when nothing satisfies the cap, so callers always
+get a model).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def expand_grid(param_grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """All combinations of a {name: values} grid, as a list of dicts."""
+    if not param_grid:
+        return [{}]
+    names = sorted(param_grid)
+    combos = itertools.product(*(param_grid[n] for n in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one candidate evaluation."""
+
+    params: Dict[str, Any]
+    fdr: float
+    far: float
+    model: Any = field(repr=False, default=None)
+
+    def satisfies(self, far_cap: float) -> bool:
+        """True when this candidate's FAR is within the budget."""
+        return self.far <= far_cap
+
+
+class FarConstrainedSearch:
+    """Grid search maximizing FDR subject to ``FAR <= far_cap``.
+
+    Parameters
+    ----------
+    fit_fn:
+        ``fit_fn(params) -> model``; trains one candidate.
+    score_fn:
+        ``score_fn(model) -> (fdr, far)``; evaluates it (typically on a
+        held-out validation split at the disk level).
+    far_cap:
+        The FAR budget (the paper uses 0.01, i.e. 1%).
+    keep_models:
+        Retain every fitted model on the results (memory!) instead of
+        only the winner.
+    """
+
+    def __init__(
+        self,
+        fit_fn: Callable[[Dict[str, Any]], Any],
+        score_fn: Callable[[Any], Tuple[float, float]],
+        *,
+        far_cap: float = 0.01,
+        keep_models: bool = False,
+    ) -> None:
+        if far_cap < 0:
+            raise ValueError(f"far_cap must be >= 0, got {far_cap}")
+        self.fit_fn = fit_fn
+        self.score_fn = score_fn
+        self.far_cap = float(far_cap)
+        self.keep_models = keep_models
+        self.results_: List[SearchResult] = []
+        self.best_: Optional[SearchResult] = None
+
+    def run(self, candidates: Iterable[Dict[str, Any]]) -> SearchResult:
+        """Evaluate all candidates and return the winner.
+
+        Selection: among candidates with ``far <= far_cap``, the highest
+        FDR (FAR breaks ties, lower first).  If none satisfy the cap, the
+        candidate with the lowest FAR wins (highest FDR breaks ties).
+        """
+        self.results_ = []
+        best_model = None
+        for params in candidates:
+            model = self.fit_fn(dict(params))
+            fdr, far = self.score_fn(model)
+            result = SearchResult(
+                params=dict(params),
+                fdr=float(fdr),
+                far=float(far),
+                model=model if self.keep_models else None,
+            )
+            self.results_.append(result)
+            if self._better(result, self.best_):
+                self.best_ = result
+                best_model = model
+        if self.best_ is None:
+            raise ValueError("no candidates were evaluated")
+        # always hand back the winning model, even if keep_models is off
+        self.best_.model = best_model
+        return self.best_
+
+    def run_grid(self, param_grid: Mapping[str, Sequence[Any]]) -> SearchResult:
+        """Expand a {name: values} grid and :meth:`run` it."""
+        return self.run(expand_grid(param_grid))
+
+    def _better(self, a: SearchResult, b: Optional[SearchResult]) -> bool:
+        if b is None:
+            return True
+        a_ok, b_ok = a.satisfies(self.far_cap), b.satisfies(self.far_cap)
+        if a_ok != b_ok:
+            return a_ok
+        if a_ok:  # both within budget: maximize FDR, then minimize FAR
+            return (a.fdr, -a.far) > (b.fdr, -b.far)
+        return (-a.far, a.fdr) > (-b.far, b.fdr)  # both over: chase the cap

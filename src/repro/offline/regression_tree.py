@@ -1,0 +1,165 @@
+"""Regression CART (variance-reduction splits) — the GBDT base learner.
+
+Same struct-of-arrays design and vectorized split search as the
+classification tree, but targets are continuous: a split minimizes the
+weighted sum of child variances, and leaves store a value supplied by
+the caller (plain mean for least squares; a Newton step for the
+logistic-loss boosting in :mod:`repro.offline.gbdt`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.offline.tree import FrozenTree, _NodeArrays
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array_2d, check_feature_count, check_positive
+
+#: leaf_value_fn(rows) -> float; defaults to the plain target mean
+LeafValueFn = Callable[[np.ndarray], float]
+
+
+def _best_regression_split(
+    x: np.ndarray, targets: np.ndarray, min_leaf: int
+) -> Tuple[float, float]:
+    """Best (SSE reduction, threshold) of one feature at one node.
+
+    Uses the prefix-sum identity ``SSE = Σt² - (Σt)²/n`` so the scan over
+    all candidate boundaries is fully vectorized.  Returns (-inf, nan)
+    when no valid split exists.
+    """
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    ts = targets[order]
+    n = xs.shape[0]
+
+    boundary = np.flatnonzero(xs[:-1] < xs[1:])
+    if boundary.size == 0:
+        return -np.inf, np.nan
+
+    csum = np.cumsum(ts)
+    csq = np.cumsum(ts * ts)
+    total_sum, total_sq = csum[-1], csq[-1]
+
+    nl = boundary + 1
+    nr = n - nl
+    valid = (nl >= min_leaf) & (nr >= min_leaf)
+    if not valid.any():
+        return -np.inf, np.nan
+
+    ls, lq = csum[boundary], csq[boundary]
+    rs, rq = total_sum - ls, total_sq - lq
+    sse_children = (lq - ls * ls / nl) + (rq - rs * rs / nr)
+    sse_parent = total_sq - total_sum * total_sum / n
+    gain = np.where(valid, sse_parent - sse_children, -np.inf)
+    best = int(np.argmax(gain))
+    thr = 0.5 * (xs[boundary[best]] + xs[boundary[best] + 1])
+    return float(gain[best]), float(thr)
+
+
+class RegressionTree:
+    """CART for continuous targets.
+
+    Parameters
+    ----------
+    max_depth, min_samples_split, min_samples_leaf, max_features:
+        Capacity controls with the same semantics as the classification
+        tree (sample counts here are unweighted row counts).
+    leaf_value_fn:
+        Optional override of the leaf value: receives the row indices of
+        a leaf and returns its prediction.  Boosting passes a Newton
+        step here; ``None`` uses the target mean.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 3,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(max_depth, "max_depth")
+        check_positive(min_samples_split, "min_samples_split")
+        check_positive(min_samples_leaf, "min_samples_leaf")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_features = max_features
+        self._rng = as_generator(seed)
+        self.tree_: Optional[FrozenTree] = None
+        self.n_features_: Optional[int] = None
+
+    def fit(
+        self,
+        X,
+        targets: np.ndarray,
+        *,
+        leaf_value_fn: Optional[LeafValueFn] = None,
+    ) -> "RegressionTree":
+        """Grow the tree on continuous targets; returns self."""
+        X = check_array_2d(X, "X", min_rows=1)
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.shape != (X.shape[0],):
+            raise ValueError("targets must have one entry per row")
+        n, n_features = X.shape
+        self.n_features_ = n_features
+        if leaf_value_fn is None:
+            leaf_value_fn = lambda rows: float(targets[rows].mean())
+        k = (
+            min(int(self.max_features), n_features)
+            if self.max_features is not None
+            else n_features
+        )
+
+        nodes = _NodeArrays()
+        root = nodes.add_node(leaf_value_fn(np.arange(n)), n, float(targets.var()))
+        frontier: List[Tuple[int, np.ndarray, int]] = [(root, np.arange(n), 0)]
+
+        while frontier:
+            nid, rows, depth = frontier.pop(0)
+            if depth >= self.max_depth or rows.size < self.min_samples_split:
+                continue
+            if k < n_features:
+                cand = self._rng.choice(n_features, size=k, replace=False)
+            else:
+                cand = np.arange(n_features)
+            best_gain, best_thr, best_f = -np.inf, np.nan, -1
+            for f in cand:
+                gain, thr = _best_regression_split(
+                    X[rows, f], targets[rows], self.min_samples_leaf
+                )
+                if gain > best_gain:
+                    best_gain, best_thr, best_f = gain, thr, int(f)
+            if best_f < 0 or best_gain <= 1e-12:
+                continue
+            go_left = X[rows, best_f] <= best_thr
+            left_rows, right_rows = rows[go_left], rows[~go_left]
+            if left_rows.size == 0 or right_rows.size == 0:
+                continue
+            left_id = nodes.add_node(
+                leaf_value_fn(left_rows), left_rows.size, float(targets[left_rows].var())
+            )
+            right_id = nodes.add_node(
+                leaf_value_fn(right_rows), right_rows.size, float(targets[right_rows].var())
+            )
+            nodes.feature[nid] = best_f
+            nodes.threshold[nid] = best_thr
+            nodes.left[nid] = left_id
+            nodes.right[nid] = right_id
+            frontier.append((left_id, left_rows, depth + 1))
+            frontier.append((right_id, right_rows, depth + 1))
+
+        self.tree_ = nodes.finalize()
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Leaf value per row (vectorized group traversal)."""
+        if self.tree_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = check_array_2d(X, "X")
+        check_feature_count(X, self.n_features_, "X")
+        return self.tree_.predict_proba_positive(X)  # same traversal, any value

@@ -1,0 +1,64 @@
+"""Class-imbalance handling for offline training — Eq. (4) of the paper.
+
+The offline models never see the raw sample stream; their training input
+is ``D_p + D_nc`` where ``D_nc`` is a random subset of the negatives with
+``|D_nc| = λ · |D_p|`` (NegSampleRatio).  ``λ = None`` reproduces the
+paper's "Max" row: no balancing at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_binary_labels
+
+
+def neg_sample_ratio(y: np.ndarray) -> float:
+    """The realized λ = |negatives| / |positives| of a labeled set."""
+    y = check_binary_labels(y)
+    n_pos = int(np.sum(y == 1))
+    if n_pos == 0:
+        return float("inf")
+    return float(np.sum(y == 0)) / n_pos
+
+
+def downsample_negatives(
+    y: np.ndarray,
+    lam: Optional[float],
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Row indices of the balanced subset ``D_p + D_nc``.
+
+    Keeps every positive and a uniform random subset of negatives of size
+    ``round(λ · n_pos)`` (all negatives if fewer are available, or when
+    ``lam`` is ``None`` — the paper's "Max" setting).  The returned index
+    array is sorted so downstream slices stay in temporal order.
+    """
+    y = check_binary_labels(y)
+    pos_idx = np.flatnonzero(y == 1)
+    neg_idx = np.flatnonzero(y == 0)
+    if lam is None:
+        return np.sort(np.concatenate([pos_idx, neg_idx]))
+    if lam <= 0:
+        raise ValueError(f"lam must be > 0 (or None for Max), got {lam}")
+    n_keep = int(round(lam * pos_idx.size))
+    if n_keep >= neg_idx.size:
+        kept_neg = neg_idx
+    else:
+        rng = as_generator(seed)
+        kept_neg = rng.choice(neg_idx, size=n_keep, replace=False)
+    return np.sort(np.concatenate([pos_idx, kept_neg]))
+
+
+def downsample_dataset(
+    X: np.ndarray,
+    y: np.ndarray,
+    lam: Optional[float],
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Convenience wrapper returning the balanced (X, y) pair directly."""
+    idx = downsample_negatives(y, lam, seed)
+    return X[idx], np.asarray(y)[idx]

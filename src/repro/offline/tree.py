@@ -1,0 +1,409 @@
+"""CART decision tree (Gini impurity) for binary classification.
+
+A from-scratch equivalent of the configuration the paper uses for its DT
+baseline (Matlab ``fitctree`` with ``SplitCriterion = gdi`` and
+``MaxNumSplits``), and the base learner of the offline random forest.
+
+Split search is vectorized per feature: one argsort, prefix sums of
+weighted class counts, and a single vectorized gain evaluation over all
+candidate thresholds — no Python loop over samples.  Tree growth is
+breadth-first so the global ``max_num_splits`` cap has fitctree's
+semantics (the *shallowest* splits win when the budget runs out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import (
+    check_array_2d,
+    check_binary_labels,
+    check_feature_count,
+    check_positive,
+)
+
+ClassWeight = Union[None, str, Dict[int, float]]
+
+
+def gini_impurity(w0: np.ndarray, w1: np.ndarray) -> np.ndarray:
+    """Weighted Gini impurity ``2 p0 p1`` (== the paper's Eq. (1)).
+
+    Accepts scalars or arrays of per-partition class weights; empty
+    partitions (total weight 0) have impurity 0.
+    """
+    total = w0 + w1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p1 = np.where(total > 0, w1 / total, 0.0)
+    return 2.0 * p1 * (1.0 - p1)
+
+
+def resolve_class_weight(
+    class_weight: ClassWeight, y: np.ndarray
+) -> Tuple[float, float]:
+    """Per-class multipliers (w_neg, w_pos) from a class_weight spec.
+
+    ``None`` → (1, 1); ``"balanced"`` → ``n / (2 * n_c)`` per class (so the
+    weighted class masses are equal); a dict gives explicit weights.
+    """
+    if class_weight is None:
+        return 1.0, 1.0
+    if class_weight == "balanced":
+        n = y.shape[0]
+        n1 = int(np.sum(y == 1))
+        n0 = n - n1
+        if n0 == 0 or n1 == 0:
+            return 1.0, 1.0
+        return n / (2.0 * n0), n / (2.0 * n1)
+    if isinstance(class_weight, dict):
+        return float(class_weight.get(0, 1.0)), float(class_weight.get(1, 1.0))
+    raise ValueError(f"unsupported class_weight {class_weight!r}")
+
+
+@dataclass
+class _NodeArrays:
+    """Flat array representation of a built tree (struct-of-arrays)."""
+
+    feature: List[int] = field(default_factory=list)
+    threshold: List[float] = field(default_factory=list)
+    left: List[int] = field(default_factory=list)
+    right: List[int] = field(default_factory=list)
+    value: List[float] = field(default_factory=list)  # P(y = 1) at node
+    n_samples: List[int] = field(default_factory=list)
+    impurity: List[float] = field(default_factory=list)
+
+    def add_node(self, value: float, n_samples: int, impurity: float) -> int:
+        """Append a leaf record; returns the new node id."""
+        nid = len(self.feature)
+        self.feature.append(-1)
+        self.threshold.append(np.nan)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(value)
+        self.n_samples.append(n_samples)
+        self.impurity.append(impurity)
+        return nid
+
+    def finalize(self) -> "FrozenTree":
+        """Freeze the growth buffers into immutable arrays."""
+        return FrozenTree(
+            feature=np.asarray(self.feature, dtype=np.int32),
+            threshold=np.asarray(self.threshold, dtype=np.float64),
+            left=np.asarray(self.left, dtype=np.int32),
+            right=np.asarray(self.right, dtype=np.int32),
+            value=np.asarray(self.value, dtype=np.float64),
+            n_samples=np.asarray(self.n_samples, dtype=np.int64),
+            impurity=np.asarray(self.impurity, dtype=np.float64),
+        )
+
+
+@dataclass(frozen=True)
+class FrozenTree:
+    """Immutable fitted tree; traversal operates on these arrays only."""
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+    n_samples: np.ndarray
+    impurity: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (branches + leaves)."""
+        return int(self.feature.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count (nodes with no split feature)."""
+        return int(np.sum(self.feature < 0))
+
+    @property
+    def max_depth(self) -> int:
+        """Depth of the deepest node (root = 0)."""
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        for nid in range(self.n_nodes):  # parents precede children
+            for child in (self.left[nid], self.right[nid]):
+                if child >= 0:
+                    depth[child] = depth[nid] + 1
+        return int(depth.max()) if self.n_nodes else 0
+
+    def predict_proba_positive(self, X: np.ndarray) -> np.ndarray:
+        """P(y = 1) per row, by vectorized group traversal."""
+        n = X.shape[0]
+        out = np.empty(n, dtype=np.float64)
+        stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(n))]
+        while stack:
+            nid, rows = stack.pop()
+            f = self.feature[nid]
+            if f < 0 or rows.size == 0:
+                out[rows] = self.value[nid]
+                continue
+            go_left = X[rows, f] <= self.threshold[nid]
+            stack.append((int(self.left[nid]), rows[go_left]))
+            stack.append((int(self.right[nid]), rows[~go_left]))
+        return out
+
+
+def _best_split_for_feature(
+    x: np.ndarray, w_pos: np.ndarray, w_neg: np.ndarray, min_leaf_weight: float
+) -> Tuple[float, float]:
+    """Best (gain_numerator, threshold) of one feature at one node.
+
+    Returns (-inf, nan) when no valid split exists.  The returned "gain"
+    is the *unnormalized* impurity decrease ``W·ΔG`` — constant across
+    features at a node, so the argmax is unchanged and we avoid a divide.
+    """
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    cp = np.cumsum(w_pos[order])
+    cn = np.cumsum(w_neg[order])
+    total_p, total_n = cp[-1], cn[-1]
+    total = total_p + total_n
+
+    # candidate boundaries: between strictly increasing consecutive values
+    boundary = np.flatnonzero(xs[:-1] < xs[1:])
+    if boundary.size == 0:
+        return -np.inf, np.nan
+
+    lp, ln = cp[boundary], cn[boundary]
+    rp, rn = total_p - lp, total_n - ln
+    lw, rw = lp + ln, rp + rn
+    valid = (lw >= min_leaf_weight) & (rw >= min_leaf_weight)
+    if not valid.any():
+        return -np.inf, np.nan
+
+    parent = total * gini_impurity(total_n, total_p)
+    children = lw * gini_impurity(ln, lp) + rw * gini_impurity(rn, rp)
+    gain = np.where(valid, parent - children, -np.inf)
+    best = int(np.argmax(gain))
+    thr = 0.5 * (xs[boundary[best]] + xs[boundary[best] + 1])
+    return float(gain[best]), float(thr)
+
+
+class DecisionTreeClassifier:
+    """Binary CART with Gini impurity.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (root = depth 0); ``None`` = unbounded.
+    min_samples_split / min_samples_leaf:
+        Minimum *weighted* sample mass for a node to split / per child.
+    max_num_splits:
+        Global cap on the number of branch nodes (fitctree's
+        ``MaxNumSplits``); growth is breadth-first so shallow splits win.
+    max_features:
+        Per-node feature subsampling: int, float fraction, "sqrt", "log2"
+        or ``None`` (all features).  This is the randomness knob the
+        random forest uses.
+    min_impurity_decrease:
+        Minimum normalized gain ΔG for a split to be accepted.
+    class_weight:
+        ``None``, ``"balanced"`` or ``{0: w0, 1: w1}``.
+    laplace:
+        Additive smoothing of leaf probabilities: a leaf with weighted
+        class masses (w0, w1) predicts ``(w1 + a) / (w0 + w1 + 2a)``.
+        Without it, pure leaves score exactly 0/1 and a single tree's
+        scores are too coarse to tune to a FAR budget.
+    seed:
+        RNG for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_num_splits: Optional[int] = None,
+        max_features: Union[None, int, float, str] = None,
+        min_impurity_decrease: float = 0.0,
+        class_weight: ClassWeight = None,
+        laplace: float = 1.0,
+        seed: SeedLike = None,
+    ) -> None:
+        if max_depth is not None:
+            check_positive(max_depth, "max_depth")
+        check_positive(min_samples_split, "min_samples_split")
+        check_positive(min_samples_leaf, "min_samples_leaf")
+        if max_num_splits is not None:
+            check_positive(max_num_splits, "max_num_splits", strict=False)
+        if min_impurity_decrease < 0:
+            raise ValueError("min_impurity_decrease must be >= 0")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_num_splits = max_num_splits
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.class_weight = class_weight
+        if laplace < 0:
+            raise ValueError("laplace must be >= 0")
+        self.laplace = float(laplace)
+        self._rng = as_generator(seed)
+        self.tree_: Optional[FrozenTree] = None
+        self.n_features_: Optional[int] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ fit
+    def _n_candidate_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if mf == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError("float max_features must be in (0, 1]")
+            return max(1, int(mf * n_features))
+        if isinstance(mf, (int, np.integer)):
+            if mf <= 0:
+                raise ValueError("int max_features must be > 0")
+            return min(int(mf), n_features)
+        raise ValueError(f"unsupported max_features {mf!r}")
+
+    def fit(
+        self,
+        X,
+        y,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "DecisionTreeClassifier":
+        """Grow the tree on (X, y); returns self."""
+        X = check_array_2d(X, "X", min_rows=1)
+        y = check_binary_labels(y, n_rows=X.shape[0])
+        n, n_features = X.shape
+        self.n_features_ = n_features
+
+        if sample_weight is None:
+            weights = np.ones(n, dtype=np.float64)
+        else:
+            weights = np.asarray(sample_weight, dtype=np.float64)
+            if weights.shape != (n,):
+                raise ValueError("sample_weight must have one entry per row")
+            if np.any(weights < 0):
+                raise ValueError("sample_weight must be non-negative")
+        w0, w1 = resolve_class_weight(self.class_weight, y)
+        weights = weights * np.where(y == 1, w1, w0)
+
+        w_pos = weights * (y == 1)
+        w_neg = weights * (y == 0)
+        k_features = self._n_candidate_features(n_features)
+
+        nodes = _NodeArrays()
+        importances = np.zeros(n_features, dtype=np.float64)
+        total_weight = float(weights.sum())
+
+        laplace = self.laplace
+
+        def node_value(rows: np.ndarray) -> Tuple[float, float, float]:
+            wp = float(w_pos[rows].sum())
+            wn = float(w_neg[rows].sum())
+            tw = wp + wn
+            prob = (wp + laplace) / (tw + 2.0 * laplace) if tw + laplace > 0 else 0.5
+            return prob, tw, float(gini_impurity(wn, wp))
+
+        prob, tw, imp = node_value(np.arange(n))
+        root = nodes.add_node(prob, n, imp)
+        # breadth-first frontier: (node_id, row indices, depth)
+        frontier: List[Tuple[int, np.ndarray, int]] = [(root, np.arange(n), 0)]
+        n_splits = 0
+
+        while frontier:
+            nid, rows, depth = frontier.pop(0)
+            prob, tw, imp = node_value(rows)
+            if (
+                imp <= 0.0
+                or tw < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or (self.max_num_splits is not None and n_splits >= self.max_num_splits)
+            ):
+                continue
+
+            if k_features < n_features:
+                cand = self._rng.choice(n_features, size=k_features, replace=False)
+            else:
+                cand = np.arange(n_features)
+
+            best_gain, best_thr, best_f = -np.inf, np.nan, -1
+            for f in cand:
+                gain, thr = _best_split_for_feature(
+                    X[rows, f], w_pos[rows], w_neg[rows], self.min_samples_leaf
+                )
+                if gain > best_gain:
+                    best_gain, best_thr, best_f = gain, thr, int(f)
+
+            if best_f < 0 or not np.isfinite(best_gain):
+                continue
+            normalized_gain = best_gain / tw  # ΔG of Eq. (2)
+            if normalized_gain < self.min_impurity_decrease:
+                continue
+
+            go_left = X[rows, best_f] <= best_thr
+            left_rows, right_rows = rows[go_left], rows[~go_left]
+            if left_rows.size == 0 or right_rows.size == 0:
+                continue
+
+            lp, ltw, limp = node_value(left_rows)
+            rp, rtw, rimp = node_value(right_rows)
+            left_id = nodes.add_node(lp, left_rows.size, limp)
+            right_id = nodes.add_node(rp, right_rows.size, rimp)
+            nodes.feature[nid] = best_f
+            nodes.threshold[nid] = best_thr
+            nodes.left[nid] = left_id
+            nodes.right[nid] = right_id
+            importances[best_f] += best_gain / total_weight
+            n_splits += 1
+            frontier.append((left_id, left_rows, depth + 1))
+            frontier.append((right_id, right_rows, depth + 1))
+
+        self.tree_ = nodes.finalize()
+        total_imp = importances.sum()
+        self.feature_importances_ = (
+            importances / total_imp if total_imp > 0 else importances
+        )
+        return self
+
+    # -------------------------------------------------------------- predict
+    def _require_fitted(self) -> FrozenTree:
+        if self.tree_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return self.tree_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """``(n, 2)`` array of [P(y=0), P(y=1)] per row."""
+        tree = self._require_fitted()
+        X = check_array_2d(X, "X")
+        check_feature_count(X, self.n_features_, "X")
+        p1 = tree.predict_proba_positive(X)
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict_score(self, X) -> np.ndarray:
+        """P(y = 1) per row — the score used for FAR-constrained thresholds."""
+        return self.predict_proba(X)[:, 1]
+
+    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 labels at a score threshold."""
+        return (self.predict_score(X) >= threshold).astype(np.int8)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def n_nodes(self) -> int:
+        """Total node count of the fitted tree."""
+        return self._require_fitted().n_nodes
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count of the fitted tree."""
+        return self._require_fitted().n_leaves
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree (root = 0)."""
+        return self._require_fitted().max_depth

@@ -1,0 +1,25 @@
+"""Operational consumers of failure predictions.
+
+The paper motivates prediction with what an operator *does* with it:
+Algorithm 2 "recommends immediate data migration" on an alarm, and the
+related work (Mahdisoltani et al., ATC'17) adjusts scrub rates from
+error predictions to shrink the window of vulnerability.  This
+subpackage implements both consumers so the repo's examples and benches
+can measure prediction quality in operational units (data-at-risk,
+time-to-detection) rather than only FDR/FAR.
+"""
+
+from repro.ops.migration import MigrationOutcome, MigrationScheduler
+from repro.ops.scrubbing import (
+    ScrubOutcome,
+    adaptive_scrub_simulation,
+    proportional_scrub_allocation,
+)
+
+__all__ = [
+    "MigrationScheduler",
+    "MigrationOutcome",
+    "proportional_scrub_allocation",
+    "adaptive_scrub_simulation",
+    "ScrubOutcome",
+]

@@ -1,0 +1,154 @@
+"""Risk-adaptive scrub scheduling — the Mahdisoltani et al. use case.
+
+Latent sector errors sit undetected until a scrub (or an unlucky read)
+finds them; while undetected they are a window of vulnerability — a
+concurrent drive failure in the same group loses data.  Mahdisoltani et
+al. (ATC'17) showed that steering scrub bandwidth toward drives a
+predictor flags as risky sharply cuts the mean time to detection (MTTD)
+of latent errors.  The paper reproduces that motivation in its related
+work; this module makes it measurable.
+
+:func:`adaptive_scrub_simulation` compares two policies under the same
+total scrub budget:
+
+* **uniform** — every drive is scrubbed on the same fixed cadence;
+* **risk-weighted** — cadence scales with the predictor's risk score
+  (:func:`proportional_scrub_allocation`), floored so healthy drives
+  are never starved entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+
+def proportional_scrub_allocation(
+    risk_scores: np.ndarray,
+    total_scrubs_per_day: float,
+    *,
+    floor_fraction: float = 0.2,
+) -> np.ndarray:
+    """Per-drive scrub rates (scrubs/day) proportional to risk.
+
+    A ``floor_fraction`` of the budget is spread uniformly so zero-risk
+    drives still get scrubbed; the rest follows the scores.  The
+    returned rates always sum to ``total_scrubs_per_day``.
+    """
+    check_positive(total_scrubs_per_day, "total_scrubs_per_day")
+    if not 0.0 <= floor_fraction <= 1.0:
+        raise ValueError("floor_fraction must be in [0, 1]")
+    scores = np.asarray(risk_scores, dtype=np.float64)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValueError("risk_scores must be a non-empty 1-D array")
+    if np.any(scores < 0):
+        raise ValueError("risk_scores must be non-negative")
+    n = scores.size
+    uniform_part = floor_fraction * total_scrubs_per_day / n
+    total_score = scores.sum()
+    if total_score <= 0:
+        return np.full(n, total_scrubs_per_day / n)
+    weighted_part = (1.0 - floor_fraction) * total_scrubs_per_day * scores / total_score
+    return uniform_part + weighted_part
+
+
+@dataclass(frozen=True)
+class ScrubOutcome:
+    """Mean time-to-detection of latent errors under one policy."""
+
+    policy: str
+    n_errors: int
+    n_detected: int
+    mean_time_to_detection_days: float
+    undetected_at_end: int
+
+
+def _simulate_policy(
+    rng: np.random.Generator,
+    error_days: np.ndarray,
+    error_drives: np.ndarray,
+    scrub_rates: np.ndarray,
+    horizon_days: int,
+    policy: str,
+) -> ScrubOutcome:
+    """Detection delay per error ~ Exponential(drive's scrub rate)."""
+    delays = np.full(error_days.shape[0], np.inf)
+    rates = scrub_rates[error_drives]
+    positive = rates > 0
+    delays[positive] = rng.exponential(1.0 / rates[positive])
+    detection_days = error_days + delays
+    detected = detection_days <= horizon_days
+    mttd = (
+        float((detection_days[detected] - error_days[detected]).mean())
+        if detected.any()
+        else float("nan")
+    )
+    return ScrubOutcome(
+        policy=policy,
+        n_errors=int(error_days.shape[0]),
+        n_detected=int(detected.sum()),
+        mean_time_to_detection_days=mttd,
+        undetected_at_end=int((~detected).sum()),
+    )
+
+
+def adaptive_scrub_simulation(
+    risk_scores: np.ndarray,
+    error_probability: np.ndarray,
+    *,
+    total_scrubs_per_day: float,
+    horizon_days: int = 180,
+    floor_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> Tuple[ScrubOutcome, ScrubOutcome]:
+    """Compare uniform vs. risk-weighted scrubbing on one fleet snapshot.
+
+    Parameters
+    ----------
+    risk_scores:
+        Per-drive predictor scores (higher = likelier to develop errors).
+    error_probability:
+        Per-drive probability of developing a latent error within the
+        horizon (ground truth; correlate it with the scores to model a
+        *useful* predictor, decorrelate to model a useless one).
+    total_scrubs_per_day:
+        Fleet-wide scrub budget, identical for both policies.
+
+    Returns
+    -------
+    (uniform_outcome, adaptive_outcome)
+    """
+    check_positive(horizon_days, "horizon_days")
+    rng = as_generator(seed)
+    scores = np.asarray(risk_scores, dtype=np.float64)
+    probs = np.asarray(error_probability, dtype=np.float64)
+    if scores.shape != probs.shape:
+        raise ValueError("risk_scores and error_probability must align")
+    if np.any((probs < 0) | (probs > 1)):
+        raise ValueError("error_probability must be in [0, 1]")
+
+    n = scores.size
+    has_error = rng.uniform(size=n) < probs
+    error_drives = np.flatnonzero(has_error)
+    error_days = rng.uniform(0, horizon_days, size=error_drives.size)
+
+    uniform_rates = np.full(n, total_scrubs_per_day / n)
+    adaptive_rates = proportional_scrub_allocation(
+        scores, total_scrubs_per_day, floor_fraction=floor_fraction
+    )
+
+    # one RNG child per policy so both see the same error population but
+    # independent detection draws
+    uni_rng, ada_rng = rng.spawn(2)
+    uniform = _simulate_policy(
+        uni_rng, error_days, error_drives, uniform_rates, horizon_days, "uniform"
+    )
+    adaptive = _simulate_policy(
+        ada_rng, error_days, error_drives, adaptive_rates, horizon_days, "risk-weighted"
+    )
+    return uniform, adaptive

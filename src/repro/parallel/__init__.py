@@ -1,0 +1,32 @@
+"""Tree-parallel execution substrate.
+
+The paper notes (§3.2) that ORF training and testing parallelize trivially
+because every tree is built and queried independently.  This subpackage
+provides the executor abstraction the forest classes use: a serial
+executor (default — deterministic, zero overhead), a thread-pool executor
+(effective for the NumPy-heavy batch-prediction path, which releases the
+GIL inside vectorized kernels), and a process-pool executor for
+update-heavy workloads on multi-core hosts.
+"""
+
+from repro.parallel.chunking import chunk_indices, chunk_slices, split_work
+from repro.parallel.pool import (
+    ExecutorKind,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    TreeExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "ExecutorKind",
+    "TreeExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "chunk_indices",
+    "chunk_slices",
+    "split_work",
+]

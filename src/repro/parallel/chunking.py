@@ -1,0 +1,68 @@
+"""Work-partitioning helpers for data-parallel batch operations.
+
+Batch prediction over a large snapshot table is split into contiguous row
+chunks (contiguous = cache-friendly, per the optimization guide) that the
+executor maps over workers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def chunk_slices(n_items: int, n_chunks: int) -> List[slice]:
+    """Split ``range(n_items)`` into at most *n_chunks* contiguous slices.
+
+    Chunk sizes differ by at most one; empty slices are never returned.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if n_chunks <= 0:
+        raise ValueError(f"n_chunks must be > 0, got {n_chunks}")
+    n_chunks = min(n_chunks, n_items) or (1 if n_items == 0 else n_chunks)
+    if n_items == 0:
+        return []
+    base, extra = divmod(n_items, n_chunks)
+    slices, start = [], 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+def chunk_indices(n_items: int, chunk_size: int) -> List[np.ndarray]:
+    """Split ``range(n_items)`` into index arrays of at most *chunk_size*."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be > 0, got {chunk_size}")
+    return [
+        np.arange(start, min(start + chunk_size, n_items))
+        for start in range(0, n_items, chunk_size)
+    ]
+
+
+def split_work(items: Sequence[T], n_workers: int) -> List[List[T]]:
+    """Deal *items* into *n_workers* near-equal groups, preserving order.
+
+    Used to assign trees to workers: group ``i`` gets the contiguous run of
+    trees whose results are later concatenated back in order, so the output
+    is identical to the serial path.
+    """
+    groups: List[List[T]] = []
+    for sl in chunk_slices(len(items), n_workers):
+        groups.append(list(items[sl]))
+    return groups
+
+
+def interleave_round_robin(items: Sequence[T], n_groups: int) -> List[List[T]]:
+    """Deal *items* round-robin — balances heterogeneous per-item cost."""
+    if n_groups <= 0:
+        raise ValueError(f"n_groups must be > 0, got {n_groups}")
+    groups: List[List[T]] = [[] for _ in range(min(n_groups, max(len(items), 1)))]
+    for i, item in enumerate(items):
+        groups[i % len(groups)].append(item)
+    return [g for g in groups if g]

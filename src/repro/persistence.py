@@ -1,0 +1,382 @@
+"""Model persistence: checkpoint and restore every model in the library.
+
+A deployed Algorithm-2 monitor runs for months; being able to snapshot
+it (and the offline baselines, the scaler, the feature selection) to a
+single file is what makes restarts, migrations between hosts, and
+A/B-ing model versions possible.
+
+Format: one ``.npz`` archive per object.  All numeric state lives in
+named arrays; structural metadata (class name, hyper-parameters, RNG
+bit-generator state) lives in a JSON blob under the ``__meta__`` key.
+Restores are *exact*: a restored online forest continues the stream
+bit-for-bit identically to the original (RNG state included), which the
+tests assert.
+
+Public API::
+
+    save_model(model, path)
+    model = load_model(path)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Union
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.node_stats import LeafStats
+from repro.core.online_tree import OnlineDecisionTree
+from repro.core.oobe import OOBETracker
+from repro.core.random_tests import RandomTestSet
+from repro.features.scaling import MinMaxScaler
+from repro.features.selection import FeatureSelection
+from repro.offline.forest import RandomForestClassifier
+from repro.offline.tree import DecisionTreeClassifier, FrozenTree
+
+PathLike = Union[str, Path]
+
+_SAVERS: Dict[type, Callable] = {}
+_LOADERS: Dict[str, Callable] = {}
+
+
+def _register(cls):
+    def wrap(saver_loader):
+        saver, loader = saver_loader()
+        _SAVERS[cls] = saver
+        _LOADERS[cls.__name__] = loader
+        return saver_loader
+
+    return wrap
+
+
+def _rng_state(gen: np.random.Generator) -> dict:
+    return gen.bit_generator.state
+
+
+def _restore_rng(state: dict) -> np.random.Generator:
+    gen = np.random.default_rng(0)
+    gen.bit_generator.state = state
+    return gen
+
+
+# --------------------------------------------------------------------------
+# public API
+# --------------------------------------------------------------------------
+def save_model(model: Any, path: PathLike) -> None:
+    """Serialize *model* to a single ``.npz`` file.
+
+    Supported: :class:`OnlineRandomForest`, :class:`RandomForestClassifier`,
+    :class:`DecisionTreeClassifier`, :class:`MinMaxScaler`,
+    :class:`FeatureSelection`.
+    """
+    saver = _SAVERS.get(type(model))
+    if saver is None:
+        raise TypeError(
+            f"cannot serialize {type(model).__name__}; supported: "
+            f"{sorted(c.__name__ for c in _SAVERS)}"
+        )
+    meta, arrays = saver(model)
+    meta["__class__"] = type(model).__name__
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_model(path: PathLike) -> Any:
+    """Restore a model saved by :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files}
+    raw = arrays.pop("__meta__", None)
+    if raw is None:
+        raise ValueError(f"{path} is not a repro model checkpoint")
+    meta = json.loads(bytes(raw.tobytes()).decode("utf-8"))
+    loader = _LOADERS.get(meta.get("__class__"))
+    if loader is None:
+        raise ValueError(f"unknown checkpoint class {meta.get('__class__')!r}")
+    return loader(meta, arrays)
+
+
+# --------------------------------------------------------------------------
+# FrozenTree (shared by the offline models)
+# --------------------------------------------------------------------------
+def _pack_frozen_tree(tree: FrozenTree, prefix: str, arrays: dict) -> None:
+    arrays[f"{prefix}feature"] = tree.feature
+    arrays[f"{prefix}threshold"] = tree.threshold
+    arrays[f"{prefix}left"] = tree.left
+    arrays[f"{prefix}right"] = tree.right
+    arrays[f"{prefix}value"] = tree.value
+    arrays[f"{prefix}n_samples"] = tree.n_samples
+    arrays[f"{prefix}impurity"] = tree.impurity
+
+
+def _unpack_frozen_tree(prefix: str, arrays: dict) -> FrozenTree:
+    return FrozenTree(
+        feature=arrays[f"{prefix}feature"],
+        threshold=arrays[f"{prefix}threshold"],
+        left=arrays[f"{prefix}left"],
+        right=arrays[f"{prefix}right"],
+        value=arrays[f"{prefix}value"],
+        n_samples=arrays[f"{prefix}n_samples"],
+        impurity=arrays[f"{prefix}impurity"],
+    )
+
+
+# --------------------------------------------------------------------------
+# DecisionTreeClassifier
+# --------------------------------------------------------------------------
+@_register(DecisionTreeClassifier)
+def _decision_tree_io():
+    PARAMS = (
+        "max_depth", "min_samples_split", "min_samples_leaf", "max_num_splits",
+        "max_features", "min_impurity_decrease", "class_weight", "laplace",
+    )
+
+    def save(model: DecisionTreeClassifier):
+        if model.tree_ is None:
+            raise ValueError("refusing to checkpoint an unfitted model")
+        meta = {"params": {p: getattr(model, p) for p in PARAMS},
+                "n_features": model.n_features_}
+        arrays: dict = {"feature_importances": model.feature_importances_}
+        _pack_frozen_tree(model.tree_, "tree/", arrays)
+        return meta, arrays
+
+    def load(meta, arrays):
+        model = DecisionTreeClassifier(**meta["params"])
+        model.tree_ = _unpack_frozen_tree("tree/", arrays)
+        model.n_features_ = meta["n_features"]
+        model.feature_importances_ = arrays["feature_importances"]
+        return model
+
+    return save, load
+
+
+# --------------------------------------------------------------------------
+# RandomForestClassifier
+# --------------------------------------------------------------------------
+@_register(RandomForestClassifier)
+def _random_forest_io():
+    PARAMS = (
+        "n_trees", "max_depth", "min_samples_split", "min_samples_leaf",
+        "max_features", "min_impurity_decrease", "class_weight", "vote",
+        "bootstrap",
+    )
+
+    def save(model: RandomForestClassifier):
+        if not model.trees_:
+            raise ValueError("refusing to checkpoint an unfitted model")
+        meta = {
+            "params": {p: getattr(model, p) for p in PARAMS},
+            "n_features": model.n_features_,
+            "tree_laplace": [t.laplace for t in model.trees_],
+        }
+        arrays: dict = {}
+        for i, tree in enumerate(model.trees_):
+            _pack_frozen_tree(tree.tree_, f"tree{i}/", arrays)
+            arrays[f"tree{i}/feature_importances"] = tree.feature_importances_
+        return meta, arrays
+
+    def load(meta, arrays):
+        model = RandomForestClassifier(**meta["params"])
+        model.n_features_ = meta["n_features"]
+        model.trees_ = []
+        for i, laplace in enumerate(meta["tree_laplace"]):
+            tree = DecisionTreeClassifier(laplace=laplace)
+            tree.tree_ = _unpack_frozen_tree(f"tree{i}/", arrays)
+            tree.n_features_ = meta["n_features"]
+            tree.feature_importances_ = arrays[f"tree{i}/feature_importances"]
+            model.trees_.append(tree)
+        return model
+
+    return save, load
+
+
+# --------------------------------------------------------------------------
+# MinMaxScaler / FeatureSelection
+# --------------------------------------------------------------------------
+@_register(MinMaxScaler)
+def _scaler_io():
+    def save(model: MinMaxScaler):
+        if model.min_ is None:
+            raise ValueError("refusing to checkpoint an unfitted scaler")
+        return {"clip": model.clip}, {"min": model.min_, "range": model.range_}
+
+    def load(meta, arrays):
+        scaler = MinMaxScaler(clip=meta["clip"])
+        scaler.min_ = arrays["min"]
+        scaler.range_ = arrays["range"]
+        return scaler
+
+    return save, load
+
+
+@_register(FeatureSelection)
+def _selection_io():
+    def save(model: FeatureSelection):
+        meta = {"names": list(model.names)}
+        arrays: dict = {"indices": np.asarray(model.indices)}
+        if model.survived_ranksum is not None:
+            arrays["survived_ranksum"] = np.asarray(model.survived_ranksum)
+        if model.importances is not None:
+            arrays["importances"] = np.asarray(model.importances)
+        return meta, arrays
+
+    def load(meta, arrays):
+        return FeatureSelection(
+            indices=arrays["indices"],
+            names=meta["names"],
+            survived_ranksum=arrays.get("survived_ranksum"),
+            importances=arrays.get("importances"),
+        )
+
+    return save, load
+
+
+# --------------------------------------------------------------------------
+# OnlineRandomForest (full streaming state, RNG included)
+# --------------------------------------------------------------------------
+def _pack_online_tree(tree: OnlineDecisionTree, prefix: str, arrays: dict) -> dict:
+    arrays[f"{prefix}feature"] = np.asarray(tree._feature, dtype=np.int64)
+    arrays[f"{prefix}threshold"] = np.asarray(tree._threshold, dtype=np.float64)
+    arrays[f"{prefix}left"] = np.asarray(tree._left, dtype=np.int64)
+    arrays[f"{prefix}right"] = np.asarray(tree._right, dtype=np.int64)
+    arrays[f"{prefix}depth"] = np.asarray(tree._depth, dtype=np.int64)
+    arrays[f"{prefix}ranges"] = tree.feature_ranges
+    arrays[f"{prefix}importance"] = tree.importance_
+    leaf_meta = []
+    for nid, stats in tree._leaf_stats.items():
+        key = f"{prefix}leaf{nid}/"
+        arrays[key + "class_counts"] = stats.class_counts
+        has_tests = stats.tests is not None
+        if has_tests:
+            arrays[key + "test_features"] = stats.tests.features
+            arrays[key + "test_thresholds"] = stats.tests.thresholds
+            arrays[key + "test_stats"] = stats.test_stats
+        leaf_meta.append({"nid": nid, "n_seen": stats.n_seen, "has_tests": has_tests})
+    return {
+        "age": tree.age,
+        "n_splits": tree.n_splits,
+        "rng": _rng_state(tree._rng),
+        "leaves": leaf_meta,
+    }
+
+
+def _unpack_online_tree(
+    prefix: str, arrays: dict, tree_meta: dict, params: dict
+) -> OnlineDecisionTree:
+    tree = OnlineDecisionTree(
+        params["n_features"],
+        n_tests=params["n_tests"],
+        min_parent_size=params["min_parent_size"],
+        min_gain=params["min_gain"],
+        max_depth=params["max_depth"],
+        feature_ranges=arrays[f"{prefix}ranges"],
+        split_check_interval=params["split_check_interval"],
+        seed=0,
+    )
+    tree._feature = arrays[f"{prefix}feature"].astype(int).tolist()
+    tree._threshold = arrays[f"{prefix}threshold"].tolist()
+    tree._left = arrays[f"{prefix}left"].astype(int).tolist()
+    tree._right = arrays[f"{prefix}right"].astype(int).tolist()
+    tree._depth = arrays[f"{prefix}depth"].astype(int).tolist()
+    tree.age = tree_meta["age"]
+    tree.n_splits = tree_meta["n_splits"]
+    if f"{prefix}importance" in arrays:
+        tree.importance_ = arrays[f"{prefix}importance"].copy()
+    tree._rng = _restore_rng(tree_meta["rng"])
+    tree._leaf_stats = {}
+    for leaf in tree_meta["leaves"]:
+        nid = leaf["nid"]
+        key = f"{prefix}leaf{nid}/"
+        if leaf["has_tests"]:
+            tests = RandomTestSet(
+                features=arrays[key + "test_features"],
+                thresholds=arrays[key + "test_thresholds"],
+            )
+            stats = LeafStats(tests)
+            stats.test_stats = arrays[key + "test_stats"].copy()
+        else:
+            stats = LeafStats(None)
+        stats.class_counts = arrays[key + "class_counts"].copy()
+        stats.n_seen = leaf["n_seen"]
+        tree._leaf_stats[int(nid)] = stats
+    return tree
+
+
+@_register(OnlineRandomForest)
+def _online_forest_io():
+    PARAMS = (
+        "n_features", "n_trees", "n_tests", "min_parent_size", "min_gain",
+        "oobe_threshold", "age_threshold", "oobe_decay",
+        "oobe_min_observations", "vote", "max_depth", "split_check_interval",
+    )
+
+    def save(model: OnlineRandomForest):
+        meta: dict = {
+            "params": {p: getattr(model, p) for p in PARAMS},
+            "lambda_pos": model.bagger.lambda_pos,
+            "lambda_neg": model.bagger.lambda_neg,
+            "bagger_rng": _rng_state(model.bagger._rng),
+            "factory_rng": _rng_state(model._rng_factory._root),
+            "n_samples_seen": model.n_samples_seen,
+            "n_replacements": model.n_replacements,
+            "trackers": [
+                {
+                    "err_pos": tr.err_pos, "err_neg": tr.err_neg,
+                    "n_pos": tr.n_pos, "n_neg": tr.n_neg,
+                }
+                for tr in model.trackers
+            ],
+        }
+        arrays: dict = {}
+        tree_metas = []
+        for i, tree in enumerate(model.trees):
+            tree_metas.append(_pack_online_tree(tree, f"t{i}/", arrays))
+        meta["trees"] = tree_metas
+        return meta, arrays
+
+    def load(meta, arrays):
+        params = meta["params"]
+        model = OnlineRandomForest(
+            params["n_features"],
+            n_trees=params["n_trees"],
+            n_tests=params["n_tests"],
+            min_parent_size=params["min_parent_size"],
+            min_gain=params["min_gain"],
+            lambda_pos=meta["lambda_pos"],
+            lambda_neg=meta["lambda_neg"],
+            oobe_threshold=params["oobe_threshold"],
+            age_threshold=params["age_threshold"],
+            oobe_decay=params["oobe_decay"],
+            oobe_min_observations=params["oobe_min_observations"],
+            vote=params["vote"],
+            max_depth=params["max_depth"],
+            split_check_interval=params["split_check_interval"],
+            seed=0,
+        )
+        model.bagger._rng = _restore_rng(meta["bagger_rng"])
+        model._rng_factory._root = _restore_rng(meta["factory_rng"])
+        model.n_samples_seen = meta["n_samples_seen"]
+        model.n_replacements = meta["n_replacements"]
+        tree_params = dict(params)
+        model.trees = [
+            _unpack_online_tree(f"t{i}/", arrays, tm, tree_params)
+            for i, tm in enumerate(meta["trees"])
+        ]
+        model.trackers = []
+        for tr_meta in meta["trackers"]:
+            tracker = OOBETracker(
+                decay=params["oobe_decay"],
+                min_observations=params["oobe_min_observations"],
+            )
+            tracker.err_pos = tr_meta["err_pos"]
+            tracker.err_neg = tr_meta["err_neg"]
+            tracker.n_pos = tr_meta["n_pos"]
+            tracker.n_neg = tr_meta["n_neg"]
+            model.trackers.append(tracker)
+        return model
+
+    return save, load

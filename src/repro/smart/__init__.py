@@ -1,0 +1,66 @@
+"""Synthetic SMART field-data substrate.
+
+The paper evaluates on the public Backblaze dataset (daily SMART
+snapshots of >100k drives).  That data cannot be shipped or downloaded
+here, so this subpackage implements the closest synthetic equivalent: a
+drive-population simulator that emits Backblaze-schema daily snapshots
+with
+
+* per-drive lifecycles (staggered deployment, Weibull failure hazard,
+  replacement with newer "vintage" drives),
+* pre-failure degradation signatures on the paper's Table-2 attributes,
+* a fraction of *unpredictable* failures with no SMART signature
+  (the paper's footnote 1),
+* benign "scare" events on healthy drives (the FDR/FAR trade-off is
+  meaningless without hard negatives), and
+* month-scale distribution drift — the root cause of the model-aging
+  effect the paper studies.
+
+See DESIGN.md §3 for the full substitution argument.
+"""
+
+from repro.smart.attributes import (
+    ALL_ATTRIBUTES,
+    ATTRIBUTE_BY_ID,
+    NUM_ATTRIBUTES,
+    SELECTED_FEATURES,
+    SmartAttribute,
+    candidate_feature_names,
+    feature_index,
+    selected_feature_indices,
+)
+from repro.smart.cleaning import ValidationIssue, clean_dataset, validate_dataset
+from repro.smart.dataset import SmartDataset
+from repro.smart.drive_model import (
+    DriveModelSpec,
+    STA,
+    STB,
+    scaled_spec,
+)
+from repro.smart.generator import generate_dataset
+from repro.smart.io import read_backblaze_csv, write_backblaze_csv
+from repro.smart.population import DriveLifecycle, simulate_population
+
+__all__ = [
+    "SmartAttribute",
+    "ALL_ATTRIBUTES",
+    "ATTRIBUTE_BY_ID",
+    "NUM_ATTRIBUTES",
+    "SELECTED_FEATURES",
+    "candidate_feature_names",
+    "feature_index",
+    "selected_feature_indices",
+    "DriveModelSpec",
+    "STA",
+    "STB",
+    "scaled_spec",
+    "DriveLifecycle",
+    "simulate_population",
+    "generate_dataset",
+    "SmartDataset",
+    "read_backblaze_csv",
+    "write_backblaze_csv",
+    "clean_dataset",
+    "validate_dataset",
+    "ValidationIssue",
+]

@@ -1,0 +1,148 @@
+"""SMART attribute catalogue.
+
+Each monitored drive reports 24 SMART attributes; every attribute carries
+a vendor-normalized 1-byte value (*Norm*) and a 6-byte raw counter
+(*Raw*), giving 48 candidate features (§4.2 of the paper).  The paper's
+Table 2 selects 19 of them (9 Norms + 10 Raws); :data:`SELECTED_FEATURES`
+reproduces that table, including the per-attribute contribution rank.
+
+Feature-vector convention used throughout the library: column order is
+``[attr_0_norm, attr_0_raw, attr_1_norm, attr_1_raw, ...]`` with
+attributes sorted by SMART ID, i.e. column ``2*i`` is the Norm and
+``2*i + 1`` the Raw of :data:`ALL_ATTRIBUTES`\\ ``[i]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SmartAttribute:
+    """Static description of one SMART attribute.
+
+    Parameters
+    ----------
+    id:
+        The SMART attribute ID (the ``#`` column of the paper's Table 2).
+    name:
+        Canonical attribute name.
+    cumulative:
+        True for counters that only ever grow over a drive's life
+        (Power-On Hours, Reallocated Sectors Count, ...).  The paper
+        identifies these as the strong failure indicators whose shifting
+        distribution drives model aging.
+    error_counter:
+        True for attributes that count error events (zero on a pristine
+        drive) as opposed to workload/usage meters.
+    """
+
+    id: int
+    name: str
+    cumulative: bool
+    error_counter: bool
+
+
+#: The 24 attributes reported by the simulated Seagate-like drives.  The 13
+#: attributes of the paper's Table 2 are all present; the remainder are the
+#: usual workload/environment attributes Backblaze drives of this era report
+#: (they carry little failure signal and exist so feature selection has
+#: something to reject).
+ALL_ATTRIBUTES: Tuple[SmartAttribute, ...] = (
+    SmartAttribute(1, "Read Error Rate", False, True),
+    SmartAttribute(3, "Spin-Up Time", False, False),
+    SmartAttribute(4, "Start/Stop Count", True, False),
+    SmartAttribute(5, "Reallocated Sectors Count", True, True),
+    SmartAttribute(7, "Seek Error Rate", False, True),
+    SmartAttribute(9, "Power-On Hours", True, False),
+    SmartAttribute(10, "Spin Retry Count", True, True),
+    SmartAttribute(12, "Power Cycle Count", True, False),
+    SmartAttribute(183, "Runtime Bad Block", True, True),
+    SmartAttribute(184, "End-to-End Error", True, True),
+    SmartAttribute(187, "Reported Uncorrectable Errors", True, True),
+    SmartAttribute(188, "Command Timeout", True, True),
+    SmartAttribute(189, "High Fly Writes", True, True),
+    SmartAttribute(190, "Airflow Temperature", False, False),
+    SmartAttribute(192, "Power-off Retract Count", True, False),
+    SmartAttribute(193, "Load Cycle Count", True, False),
+    SmartAttribute(194, "Temperature", False, False),
+    SmartAttribute(195, "Hardware ECC Recovered", False, True),
+    SmartAttribute(197, "Current Pending Sector Count", False, True),
+    SmartAttribute(198, "Uncorrectable Sector Count", True, True),
+    SmartAttribute(199, "UltraDMA CRC Error Count", True, True),
+    SmartAttribute(240, "Head Flying Hours", True, False),
+    SmartAttribute(241, "Total LBAs Written", True, False),
+    SmartAttribute(242, "Total LBAs Read", True, False),
+)
+
+NUM_ATTRIBUTES: int = len(ALL_ATTRIBUTES)
+NUM_CANDIDATE_FEATURES: int = 2 * NUM_ATTRIBUTES
+
+ATTRIBUTE_BY_ID: Dict[int, SmartAttribute] = {a.id: a for a in ALL_ATTRIBUTES}
+
+_ID_TO_POS: Dict[int, int] = {a.id: i for i, a in enumerate(ALL_ATTRIBUTES)}
+
+#: Table 2 of the paper: (smart_id, kind, rank).  ``kind`` is "norm" or
+#: "raw"; ``rank`` is the attribute-level contribution rank (1 = strongest).
+SELECTED_FEATURES: Tuple[Tuple[int, str, int], ...] = (
+    (187, "norm", 1),
+    (187, "raw", 1),
+    (197, "norm", 2),
+    (197, "raw", 2),
+    (5, "norm", 3),
+    (5, "raw", 3),
+    (184, "norm", 4),
+    (184, "raw", 4),
+    (9, "raw", 5),
+    (193, "norm", 6),
+    (193, "raw", 6),
+    (7, "norm", 7),
+    (183, "raw", 8),
+    (198, "norm", 9),
+    (198, "raw", 9),
+    (189, "norm", 10),
+    (12, "raw", 11),
+    (199, "raw", 12),
+    (1, "norm", 13),
+)
+
+
+def feature_index(smart_id: int, kind: str) -> int:
+    """Column index of a (smart_id, kind) feature in the 48-wide layout."""
+    if smart_id not in _ID_TO_POS:
+        raise KeyError(f"unknown SMART attribute id {smart_id}")
+    if kind not in ("norm", "raw"):
+        raise ValueError(f"kind must be 'norm' or 'raw', got {kind!r}")
+    return 2 * _ID_TO_POS[smart_id] + (0 if kind == "norm" else 1)
+
+
+def feature_name(smart_id: int, kind: str) -> str:
+    """Backblaze-style column name, e.g. ``smart_5_raw``."""
+    if kind not in ("norm", "raw"):
+        raise ValueError(f"kind must be 'norm' or 'raw', got {kind!r}")
+    suffix = "normalized" if kind == "norm" else "raw"
+    return f"smart_{smart_id}_{suffix}"
+
+
+def candidate_feature_names() -> List[str]:
+    """Names of all 48 candidate features, in column order."""
+    names: List[str] = []
+    for attr in ALL_ATTRIBUTES:
+        names.append(feature_name(attr.id, "norm"))
+        names.append(feature_name(attr.id, "raw"))
+    return names
+
+
+def selected_feature_indices(
+    selection: Sequence[Tuple[int, str, int]] = SELECTED_FEATURES,
+) -> List[int]:
+    """Column indices (48-wide layout) of a Table-2-style selection."""
+    return [feature_index(sid, kind) for sid, kind, _rank in selection]
+
+
+def selected_feature_names(
+    selection: Sequence[Tuple[int, str, int]] = SELECTED_FEATURES,
+) -> List[str]:
+    """Backblaze-style names of a Table-2-style selection."""
+    return [feature_name(sid, kind) for sid, kind, _rank in selection]

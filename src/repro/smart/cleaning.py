@@ -1,0 +1,173 @@
+"""Field-data cleaning and validation.
+
+The public Backblaze archive is not pristine: drives skip reporting
+days, attributes appear and disappear with firmware versions, and some
+raw fields carry sentinel garbage.  The synthetic generator never
+produces such data — but `read_backblaze_csv` + the real archive will,
+and every model in this library rejects NaN/inf inputs by design.
+
+:func:`clean_dataset` makes a dataset model-ready (per-drive forward
+fill, then global fallback, plus physical-range clipping);
+:func:`validate_dataset` reports integrity problems without mutating
+anything, so users can decide what to do about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.smart.attributes import ALL_ATTRIBUTES, feature_index
+from repro.smart.dataset import SmartDataset
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One integrity problem found in a dataset."""
+
+    kind: str
+    serial: int  # -1 for dataset-wide issues
+    detail: str
+
+
+def validate_dataset(
+    dataset: SmartDataset, *, max_drives_checked: int = 500
+) -> List[ValidationIssue]:
+    """Report integrity problems; never mutates the dataset.
+
+    Checks: non-finite feature values; duplicate (serial, day) rows;
+    failed drives whose failure flag is missing; Norm columns outside
+    the 1-byte [0, 255] range; cumulative counters that go backwards.
+    Per-drive checks are capped at *max_drives_checked* drives (the
+    dataset-wide checks always run in full).
+    """
+    issues: List[ValidationIssue] = []
+
+    n_bad = int(np.sum(~np.isfinite(dataset.X)))
+    if n_bad:
+        issues.append(
+            ValidationIssue("non_finite", -1, f"{n_bad} non-finite feature values")
+        )
+
+    pairs = dataset.serials.astype(np.int64) * 10**7 + dataset.days
+    n_dup = pairs.size - np.unique(pairs).size
+    if n_dup:
+        issues.append(
+            ValidationIssue("duplicate_rows", -1, f"{n_dup} duplicate (serial, day) rows")
+        )
+
+    flagged = set(dataset.serials[dataset.failure_flags].tolist())
+    for d in dataset.drives:
+        if d.failed and d.serial not in flagged:
+            issues.append(
+                ValidationIssue(
+                    "missing_failure_flag", d.serial,
+                    f"drive failed on day {d.fail_day} but no row is flagged",
+                )
+            )
+
+    norm_cols = [feature_index(a.id, "norm") for a in ALL_ATTRIBUTES]
+    with np.errstate(invalid="ignore"):
+        norms = dataset.X[:, norm_cols]
+        out_of_range = int(np.sum((norms < 0) | (norms > 255)))
+    if out_of_range:
+        issues.append(
+            ValidationIssue(
+                "norm_out_of_range", -1,
+                f"{out_of_range} Norm values outside [0, 255]",
+            )
+        )
+
+    cumulative_cols = [
+        feature_index(a.id, "raw") for a in ALL_ATTRIBUTES if a.cumulative
+    ]
+    for d in dataset.drives[:max_drives_checked]:
+        rows = dataset.rows_for_serial(d.serial)
+        if rows.size < 2:
+            continue
+        vals = dataset.X[rows][:, cumulative_cols]
+        finite = np.isfinite(vals).all(axis=0)
+        if not finite.any():
+            continue
+        drops = np.diff(vals[:, finite], axis=0) < -1e-3
+        if drops.any():
+            issues.append(
+                ValidationIssue(
+                    "cumulative_decrease", d.serial,
+                    f"{int(drops.sum())} backward step(s) in cumulative counters",
+                )
+            )
+    return issues
+
+
+def clean_dataset(dataset: SmartDataset) -> SmartDataset:
+    """Return a model-ready copy of *dataset*.
+
+    * non-finite values are forward-filled within each drive's day-ordered
+      rows, then back-filled, then replaced by the column median (0 when
+      the whole column is missing);
+    * Norm columns are clipped into [0, 255];
+    * raw error counters are floored at 0.
+
+    The original dataset is untouched.
+    """
+    X = dataset.X.astype(np.float32).copy()
+
+    if not np.isfinite(X).all():
+        # per-drive forward/backward fill, vectorized per drive
+        for d in dataset.drives:
+            rows = dataset.rows_for_serial(d.serial)
+            block = X[rows]
+            bad = ~np.isfinite(block)
+            if not bad.any():
+                continue
+            idx = np.arange(block.shape[0])[:, None]
+            # forward fill: index of the last finite row at or before i
+            last_good = np.where(bad, -1, idx)
+            last_good = np.maximum.accumulate(last_good, axis=0)
+            fillable = last_good >= 0
+            cols = np.broadcast_to(
+                np.arange(block.shape[1]), block.shape
+            )
+            block = np.where(
+                fillable, block[np.maximum(last_good, 0), cols], block
+            )
+            # backward fill what the forward pass could not reach
+            bad = ~np.isfinite(block)
+            if bad.any():
+                nxt_good = np.where(bad, block.shape[0], idx)
+                nxt_good = np.minimum.accumulate(nxt_good[::-1], axis=0)[::-1]
+                fillable = nxt_good < block.shape[0]
+                block = np.where(
+                    fillable,
+                    block[np.minimum(nxt_good, block.shape[0] - 1), cols],
+                    block,
+                )
+            X[rows] = block
+        # global fallback: column medians of the finite entries
+        still_bad = ~np.isfinite(X)
+        if still_bad.any():
+            medians = np.zeros(X.shape[1], dtype=np.float32)
+            for j in np.flatnonzero(still_bad.any(axis=0)):
+                col = X[:, j]
+                finite = np.isfinite(col)
+                medians[j] = np.median(col[finite]) if finite.any() else 0.0
+            X = np.where(still_bad, medians[None, :], X)
+
+    norm_cols = [feature_index(a.id, "norm") for a in ALL_ATTRIBUTES]
+    X[:, norm_cols] = np.clip(X[:, norm_cols], 0.0, 255.0)
+    error_raw_cols = [
+        feature_index(a.id, "raw") for a in ALL_ATTRIBUTES if a.error_counter
+    ]
+    X[:, error_raw_cols] = np.maximum(X[:, error_raw_cols], 0.0)
+
+    return SmartDataset(
+        spec=dataset.spec,
+        drives=list(dataset.drives),
+        serials=dataset.serials.copy(),
+        days=dataset.days.copy(),
+        X=X,
+        failure_flags=dataset.failure_flags.copy(),
+    )

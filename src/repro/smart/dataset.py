@@ -1,0 +1,175 @@
+"""The SMART snapshot table and its drive-level views.
+
+:class:`SmartDataset` is the single data currency of the library: a flat,
+columnar table of daily snapshots (one row per drive-day) plus the fleet's
+lifecycle metadata.  Everything downstream — feature selection, the
+labeling protocol, monthly evaluation — works on row masks over this
+table, so no per-drive Python object ever holds samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.smart.attributes import NUM_CANDIDATE_FEATURES
+from repro.smart.drive_model import DriveModelSpec
+from repro.smart.population import DriveLifecycle
+
+DAYS_PER_MONTH = 30
+
+
+@dataclass
+class SmartDataset:
+    """Columnar daily-snapshot table for one drive model.
+
+    Attributes
+    ----------
+    spec:
+        The drive-model specification the data was generated from.
+    drives:
+        Lifecycle records for every drive appearing in the table.
+    serials, days:
+        Per-row drive serial and calendar day (int64).
+    X:
+        ``(n_rows, 48)`` float32 candidate-feature matrix in the layout of
+        :mod:`repro.smart.attributes` (Norm/Raw interleaved by SMART id).
+    failure_flags:
+        Per-row bool; True exactly on a failed drive's final snapshot
+        (the Backblaze ``failure`` column).
+    """
+
+    spec: DriveModelSpec
+    drives: List[DriveLifecycle]
+    serials: np.ndarray
+    days: np.ndarray
+    X: np.ndarray
+    failure_flags: np.ndarray
+    _row_index: Optional[Dict[int, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        n = self.serials.shape[0]
+        if not (self.days.shape[0] == n == self.X.shape[0] == self.failure_flags.shape[0]):
+            raise ValueError("column lengths disagree")
+        if self.X.ndim != 2 or self.X.shape[1] != NUM_CANDIDATE_FEATURES:
+            raise ValueError(
+                f"X must be (n, {NUM_CANDIDATE_FEATURES}), got {self.X.shape}"
+            )
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def n_rows(self) -> int:
+        """Number of drive-day snapshot rows."""
+        return int(self.serials.shape[0])
+
+    @property
+    def n_drives(self) -> int:
+        """Number of drives with lifecycle records."""
+        return len(self.drives)
+
+    @property
+    def n_failed_drives(self) -> int:
+        """Drives that failed within the observation window."""
+        return sum(1 for d in self.drives if d.failed)
+
+    @property
+    def n_good_drives(self) -> int:
+        """Drives that survived the observation window."""
+        return self.n_drives - self.n_failed_drives
+
+    @property
+    def duration_months(self) -> int:
+        """Observation-window length in 30-day months."""
+        return self.spec.duration_months
+
+    # --------------------------------------------------------------- indexing
+    @property
+    def months(self) -> np.ndarray:
+        """Calendar month index (0-based) of every row."""
+        return self.days // DAYS_PER_MONTH
+
+    def rows_for_serial(self, serial: int) -> np.ndarray:
+        """Row indices belonging to one drive, in day order."""
+        if self._row_index is None:
+            order = np.argsort(self.serials, kind="stable")
+            sorted_serials = self.serials[order]
+            boundaries = np.flatnonzero(np.diff(sorted_serials)) + 1
+            groups = np.split(order, boundaries)
+            self._row_index = {int(self.serials[g[0]]): g for g in groups}
+        try:
+            rows = self._row_index[int(serial)]
+        except KeyError:
+            raise KeyError(f"serial {serial} has no rows in this dataset") from None
+        return rows[np.argsort(self.days[rows], kind="stable")]
+
+    def fail_day_by_serial(self) -> Dict[int, Optional[int]]:
+        """Map serial → fail day (None for good drives)."""
+        return {d.serial: d.fail_day for d in self.drives}
+
+    @property
+    def failed_serials(self) -> np.ndarray:
+        """Sorted serials of drives that failed in the window."""
+        return np.array(sorted(d.serial for d in self.drives if d.failed), dtype=np.int64)
+
+    @property
+    def good_serials(self) -> np.ndarray:
+        """Sorted serials of drives that survived the window."""
+        return np.array(
+            sorted(d.serial for d in self.drives if not d.failed), dtype=np.int64
+        )
+
+    def days_to_failure(self) -> np.ndarray:
+        """Per-row days until the drive's failure; +inf for good drives.
+
+        Zero on the failure-day snapshot.  This is the quantity the
+        labeling protocol thresholds at 7 days.
+        """
+        fail_by_serial = self.fail_day_by_serial()
+        max_serial = int(self.serials.max()) if self.n_rows else -1
+        lut = np.full(max_serial + 1, np.inf)
+        for serial, fail_day in fail_by_serial.items():
+            if fail_day is not None and serial <= max_serial:
+                lut[serial] = fail_day
+        return lut[self.serials] - self.days
+
+    # ---------------------------------------------------------------- subsets
+    def subset_rows(self, mask_or_indices) -> "SmartDataset":
+        """New dataset restricted to some rows (drive metadata is kept whole)."""
+        idx = np.asarray(mask_or_indices)
+        if idx.dtype == bool:
+            if idx.shape[0] != self.n_rows:
+                raise ValueError("boolean mask length must equal n_rows")
+        present = None  # computed only if someone asks; drives list stays intact
+        return SmartDataset(
+            spec=self.spec,
+            drives=self.drives,
+            serials=self.serials[idx],
+            days=self.days[idx],
+            X=self.X[idx],
+            failure_flags=self.failure_flags[idx],
+        )
+
+    def subset_serials(self, serials: Sequence[int]) -> "SmartDataset":
+        """New dataset containing only the given drives' rows and lifecycles."""
+        wanted = np.asarray(sorted(set(int(s) for s in serials)), dtype=np.int64)
+        mask = np.isin(self.serials, wanted)
+        kept_drives = [d for d in self.drives if d.serial in set(wanted.tolist())]
+        out = self.subset_rows(mask)
+        out.drives = kept_drives
+        return out
+
+    # ---------------------------------------------------------------- summary
+    def summary(self) -> dict:
+        """Table-1-style overview of the dataset."""
+        return {
+            "DiskModel": self.spec.name,
+            "Capacity(TB)": self.spec.capacity_tb,
+            "#GoodDisks": self.n_good_drives,
+            "#FailedDisks": self.n_failed_drives,
+            "Duration": f"{self.spec.duration_months} months",
+            "#Snapshots": self.n_rows,
+        }

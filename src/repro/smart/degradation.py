@@ -1,0 +1,141 @@
+"""Pre-failure degradation and benign-anomaly processes.
+
+All functions here are vectorized over one drive's observation days and
+return per-day *increments* or *levels* for SMART error counters.  The
+generator composes them into the 24-attribute snapshot table.
+
+Two kinds of events exist:
+
+* **Degradation ramps** (failing, predictable drives only): inside the
+  degradation window, error events arrive as an inhomogeneous Poisson
+  process whose rate accelerates exponentially toward the failure day —
+  ``rate(p) = base * exp(acceleration * p)`` with ``p`` the window
+  progress in [0, 1].
+* **Benign scares** (any drive): rare, small media events that persist
+  but never progress.  They are the hard negatives that make the paper's
+  FDR/FAR trade-off (Tables 3 & 4) non-trivial, and their frequency
+  grows with drive age (one of the drift mechanisms of §4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.signal import lfilter
+
+from repro.smart.drive_model import DegradationProfile
+
+
+def window_progress(
+    days: np.ndarray, start_day: Optional[int], fail_day: Optional[int]
+) -> np.ndarray:
+    """Degradation-window progress p ∈ [0, 1] per day; 0 outside the window.
+
+    ``p`` ramps linearly from 0 at ``start_day`` to 1 at ``fail_day``.
+    """
+    p = np.zeros(days.shape, dtype=np.float64)
+    if start_day is None or fail_day is None or fail_day <= start_day:
+        return p
+    inside = (days >= start_day) & (days <= fail_day)
+    p[inside] = (days[inside] - start_day) / float(fail_day - start_day)
+    return p
+
+
+def accelerating_event_increments(
+    rng: np.random.Generator,
+    progress: np.ndarray,
+    base_rate: float,
+    acceleration: float,
+) -> np.ndarray:
+    """Daily Poisson event counts with exponentially accelerating rate.
+
+    Days with ``progress == 0`` (outside the window) produce no events.
+    """
+    if base_rate < 0:
+        raise ValueError(f"base_rate must be >= 0, got {base_rate}")
+    rate = np.where(progress > 0, base_rate * np.exp(acceleration * progress), 0.0)
+    return rng.poisson(rate).astype(np.float64)
+
+
+def scare_event_increments(
+    rng: np.random.Generator,
+    n_days: int,
+    daily_rate: np.ndarray,
+    magnitude: float,
+    *,
+    tail_prob: float = 0.08,
+    tail_scale: float = 12.0,
+) -> np.ndarray:
+    """Benign scare events: Bernoulli(day rate) occurrences of size ~Poisson.
+
+    A fraction ``tail_prob`` of events is heavy-tailed (×~``tail_scale``):
+    healthy drives occasionally remap dozens of sectors and live on.
+    These are the hard negatives — without them, any error count cleanly
+    separates failing from healthy drives and the paper's FDR/FAR
+    trade-off (Tables 3/4) degenerates.
+
+    Returns per-day sector increments; almost all days are zero.
+    """
+    if daily_rate.shape != (n_days,):
+        raise ValueError("daily_rate must have one entry per day")
+    if not 0.0 <= tail_prob <= 1.0:
+        raise ValueError(f"tail_prob must be in [0, 1], got {tail_prob}")
+    hits = rng.uniform(size=n_days) < daily_rate
+    increments = np.zeros(n_days, dtype=np.float64)
+    n_hits = int(hits.sum())
+    if n_hits:
+        sizes = 1.0 + rng.poisson(magnitude, size=n_hits)
+        heavy = rng.uniform(size=n_hits) < tail_prob
+        sizes = np.where(
+            heavy, sizes * rng.uniform(0.5 * tail_scale, 2.0 * tail_scale, size=n_hits), sizes
+        )
+        increments[hits] = sizes
+    return increments
+
+
+def decaying_level(increments: np.ndarray, retention: float) -> np.ndarray:
+    """Current-value counter: new events pile up, then drain geometrically.
+
+    Models Current Pending Sector Count, where pending sectors are later
+    either reallocated or cleared:  ``level[t] = retention * level[t-1] +
+    increments[t]``.  Implemented with :func:`scipy.signal.lfilter` so the
+    recursion stays vectorized.
+    """
+    if not 0.0 <= retention < 1.0:
+        raise ValueError(f"retention must be in [0, 1), got {retention}")
+    if increments.size == 0:
+        return increments.astype(np.float64)
+    return lfilter([1.0], [1.0, -retention], increments.astype(np.float64))
+
+
+def derived_event_increments(
+    rng: np.random.Generator, source_increments: np.ndarray, probability: float
+) -> np.ndarray:
+    """Thin a parent event stream: each parent event spawns a child w.p. p.
+
+    Used to correlate counters (e.g. uncorrectable sectors are a random
+    subset of pending-sector events), which matters for feature-selection
+    experiments — correlated features should be found redundant.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    counts = np.maximum(source_increments, 0.0).astype(np.int64)
+    out = np.zeros(counts.shape, dtype=np.float64)
+    nz = counts > 0
+    if nz.any():
+        out[nz] = rng.binomial(counts[nz], probability)
+    return out
+
+
+def degradation_rates(profile: DegradationProfile) -> dict:
+    """Base event rates per counter, keyed by SMART attribute id."""
+    return {
+        5: profile.realloc_rate,
+        183: profile.bad_block_rate,
+        184: profile.end_to_end_rate,
+        187: profile.uncorrectable_rate,
+        189: profile.high_fly_rate,
+        197: profile.pending_rate,
+        199: profile.crc_rate,
+    }

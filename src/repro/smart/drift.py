@@ -1,0 +1,76 @@
+"""Month-scale drift processes — the root cause of model aging.
+
+The paper (§1) attributes model aging to the shifting distribution of
+cumulative SMART attributes as the fleet ages.  This module centralizes
+every non-stationary knob of the simulator so the mechanisms are explicit
+and individually testable:
+
+* :func:`scare_rate_by_day` — healthy drives develop benign media events
+  more often as they age, pushing a stale decision boundary toward false
+  alarms (drives Figures 4/5's "No updating" FAR climb);
+* :func:`load_cycle_rate_by_day` — workload policy drift of the
+  load/unload rate (shifts Load Cycle Count, a Table-2 feature);
+* :func:`recalibration_offset_by_day` — a vendor firmware update lands at
+  a fixed month and shifts the normalization of the seek/read error
+  attributes (an abrupt covariate shift);
+* :func:`vintage_norm_offset` — drives of newer vintage report slightly
+  different Norm baselines (population turnover shift).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.smart.drive_model import DriftProfile
+
+DAYS_PER_MONTH = 30
+
+
+def month_of_day(days: np.ndarray) -> np.ndarray:
+    """Calendar month index (0-based) of each day index."""
+    return np.asarray(days) // DAYS_PER_MONTH
+
+
+def scare_rate_by_day(
+    drift: DriftProfile, days: np.ndarray, drive_age_days: np.ndarray
+) -> np.ndarray:
+    """Per-day probability of a benign scare event for a healthy drive.
+
+    Grows geometrically with the *drive's* age (wear) — month-scale fleet
+    aging then emerges from the fleet's age mix.
+    """
+    age_months = np.minimum(np.maximum(drive_age_days, 0) / DAYS_PER_MONTH, 1200.0)
+    rate = drift.scare_rate_per_day * (1.0 + drift.scare_growth_per_month) ** age_months
+    return np.minimum(rate, 0.25)  # sanity ceiling
+
+
+def load_cycle_rate_by_day(
+    drift: DriftProfile, days: np.ndarray, base_rate: float = 8.0
+) -> np.ndarray:
+    """Expected load/unload cycles per day; drifts with calendar month."""
+    months = month_of_day(days)
+    return base_rate * (1.0 + drift.load_cycle_drift_per_month) ** months
+
+
+def recalibration_offset_by_day(drift: DriftProfile, days: np.ndarray) -> np.ndarray:
+    """Additive Norm offset for rate-type attributes from the firmware update.
+
+    Ramps linearly from 0 at ``recalibration_month`` to the full shift
+    ``recalibration_ramp_months`` later (staged fleet-wide rollout).
+    """
+    days = np.asarray(days)
+    if drift.recalibration_month is None:
+        return np.zeros(days.shape, dtype=np.float64)
+    start = drift.recalibration_month * DAYS_PER_MONTH
+    ramp_days = max(drift.recalibration_ramp_months, 1) * DAYS_PER_MONTH
+    fraction = np.clip((days - start) / ramp_days, 0.0, 1.0)
+    return fraction * drift.recalibration_shift
+
+
+def vintage_norm_offset(vintage_month: int) -> float:
+    """Small Norm baseline offset for newer-vintage drives.
+
+    Vintage -1 (the day-0 fleet) is the reference; each year of vintage
+    shifts rate-type Norm baselines by about +2 points.
+    """
+    return 2.0 * max(vintage_month, 0) / 12.0

@@ -1,0 +1,202 @@
+"""Drive-model specifications for the synthetic field-data simulator.
+
+Two presets mirror the paper's Table 1 datasets:
+
+* :data:`STA` — an ST4000DM000-like 4 TB model: large, fairly reliable
+  fleet observed for 39 months.
+* :data:`STB` — an ST3000DM001-like 3 TB model: smaller fleet with a
+  much higher failure rate observed for 20 months (the infamous 3 TB
+  Seagate).  Its failures are also harder to predict (more mechanical
+  failures without a SMART signature), which is why the paper's FDR on
+  STB plateaus around 85% instead of 98%.
+
+Fleet sizes here are scaled down ~40x from Backblaze so experiments run
+on one laptop core; hazards are scaled *up* so the absolute number of
+failures stays statistically useful.  The *sample-level* class imbalance
+the paper fights (hundreds-to-thousands of negatives per positive) is
+preserved, because positives are only the last 7 daily samples of each
+failed drive.  Use :func:`scaled_spec` to shrink further for unit tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DegradationProfile:
+    """Shape of the pre-failure SMART signature.
+
+    A failing drive enters a degradation window of random length
+    ``Uniform[min_days, max_days]`` before its failure day.  During the
+    window, error counters accrete with accelerating intensity: the rate
+    at window-relative progress ``p`` in [0, 1] is
+    ``base_rate * exp(acceleration * p)``.
+    """
+
+    min_days: int = 21
+    max_days: int = 60
+    #: expected error events/day at the start of the window, keyed by counter
+    realloc_rate: float = 1.0
+    pending_rate: float = 1.3
+    uncorrectable_rate: float = 0.4
+    end_to_end_rate: float = 0.05
+    bad_block_rate: float = 0.12
+    high_fly_rate: float = 0.10
+    crc_rate: float = 0.04
+    #: exponential acceleration over the window (signal strength knob)
+    acceleration: float = 2.2
+    #: multiplier applied to read/seek error raw rates during the window
+    error_rate_inflation: float = 6.0
+    #: probability each error counter participates in a given drive's
+    #: signature — failures are heterogeneous, so a model must see many
+    #: of them before it generalizes (drives the convergence curves of
+    #: Figures 2/3)
+    signature_activation_prob: float = 0.55
+    #: log-normal sigma of each active counter's per-drive magnitude
+    signature_magnitude_sigma: float = 0.6
+
+
+@dataclass(frozen=True)
+class DriftProfile:
+    """Month-scale non-stationarity of the healthy population.
+
+    These processes are what makes an offline model trained on the first
+    few months go stale (§1, §4.5 of the paper):
+
+    * the fleet ages, so cumulative attributes (Power-On Hours, Load
+      Cycle Count, Total LBAs) keep growing past the training range;
+    * healthy drives develop more benign media events per day as they
+      age (``scare_growth_per_month``), so a stale decision boundary
+      fires ever more false alarms;
+    * at ``recalibration_month`` the vendor ships a firmware update that
+      shifts normalization of the seek/read error attributes
+      (``recalibration_shift`` Norm points).
+    """
+
+    #: probability/day that a *young* healthy drive starts a benign scare
+    scare_rate_per_day: float = 3.0e-4
+    #: multiplicative growth of the scare rate per month of fleet age
+    scare_growth_per_month: float = 0.03
+    #: expected size of a benign scare (sectors)
+    scare_magnitude: float = 4.0
+    #: month at which the firmware recalibration starts rolling out
+    #: (None = never)
+    recalibration_month: int = 10
+    #: additive shift of seek/read error Norm values once fully rolled out
+    recalibration_shift: float = -2.5
+    #: months over which the rollout ramps from 0 to the full shift
+    #: (fleet-wide firmware updates are staged, not a step)
+    recalibration_ramp_months: int = 4
+    #: per-month multiplicative drift of the load-cycle accrual rate
+    load_cycle_drift_per_month: float = 0.02
+
+
+@dataclass(frozen=True)
+class DriveModelSpec:
+    """Everything the simulator needs to emit one drive model's telemetry."""
+
+    name: str
+    capacity_tb: int
+    #: initial fleet size at day 0
+    initial_fleet: int
+    #: observation window, in months (1 month = 30 days)
+    duration_months: int
+    #: new drives deployed per month (fleet growth + replacement)
+    monthly_deployment: int
+    #: Weibull hazard shape (k > 1 ⇒ wear-out dominated)
+    weibull_shape: float
+    #: Weibull scale in days (smaller ⇒ drives die sooner)
+    weibull_scale_days: float
+    #: fraction of failures with *no* SMART precursor (footnote 1)
+    unpredictable_fraction: float
+    #: mean initial age (days) of the day-0 fleet (drives already in service)
+    initial_age_mean_days: float = 240.0
+    degradation: DegradationProfile = DegradationProfile()
+    drift: DriftProfile = DriftProfile()
+
+    @property
+    def duration_days(self) -> int:
+        """Observation-window length in days (30 per month)."""
+        return self.duration_months * 30
+
+    def __post_init__(self) -> None:
+        if self.initial_fleet <= 0:
+            raise ValueError("initial_fleet must be > 0")
+        if self.duration_months <= 0:
+            raise ValueError("duration_months must be > 0")
+        if self.weibull_shape <= 0 or self.weibull_scale_days <= 0:
+            raise ValueError("Weibull parameters must be > 0")
+        if not 0.0 <= self.unpredictable_fraction <= 1.0:
+            raise ValueError("unpredictable_fraction must be in [0, 1]")
+
+
+#: ST4000DM000-like model ("STA" in the paper): 39 months, moderate hazard,
+#: mostly predictable failures.
+STA = DriveModelSpec(
+    name="ST4000DM000",
+    capacity_tb=4,
+    initial_fleet=800,
+    duration_months=39,
+    monthly_deployment=6,
+    weibull_shape=1.6,
+    weibull_scale_days=2300.0,
+    unpredictable_fraction=0.05,
+)
+
+#: ST3000DM001-like model ("STB"): 20 months, much higher hazard, a larger
+#: share of signature-less mechanical failures, weaker degradation signal.
+STB = DriveModelSpec(
+    name="ST3000DM001",
+    capacity_tb=3,
+    initial_fleet=450,
+    duration_months=20,
+    monthly_deployment=4,
+    weibull_shape=1.4,
+    weibull_scale_days=1050.0,
+    unpredictable_fraction=0.13,
+    degradation=DegradationProfile(
+        min_days=14,
+        max_days=45,
+        realloc_rate=0.55,
+        pending_rate=0.7,
+        uncorrectable_rate=0.18,
+        acceleration=1.8,
+        error_rate_inflation=4.0,
+    ),
+    drift=DriftProfile(
+        scare_rate_per_day=4.5e-4,
+        scare_growth_per_month=0.055,
+        recalibration_month=8,
+    ),
+)
+
+
+def scaled_spec(
+    spec: DriveModelSpec,
+    *,
+    fleet_scale: float = 1.0,
+    duration_months: int | None = None,
+    name: str | None = None,
+) -> DriveModelSpec:
+    """Return a copy of *spec* with the fleet and/or window resized.
+
+    Used by tests (tiny fleets) and by benches that trade fidelity for
+    runtime.  Scaling never drops below one drive / one month.
+    """
+    if fleet_scale <= 0:
+        raise ValueError("fleet_scale must be > 0")
+    changes = {
+        "initial_fleet": max(1, int(round(spec.initial_fleet * fleet_scale))),
+        "monthly_deployment": max(
+            0, int(round(spec.monthly_deployment * fleet_scale))
+        ),
+    }
+    if duration_months is not None:
+        if duration_months <= 0:
+            raise ValueError("duration_months must be > 0")
+        changes["duration_months"] = duration_months
+    if name is not None:
+        changes["name"] = name
+    return dataclasses.replace(spec, **changes)

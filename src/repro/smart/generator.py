@@ -1,0 +1,367 @@
+"""Daily SMART snapshot rendering.
+
+Turns a simulated fleet (:mod:`repro.smart.population`) into the table of
+daily snapshots the rest of the library consumes: one row per drive-day,
+48 columns (Norm and Raw of the 24 attributes, see
+:mod:`repro.smart.attributes` for the layout).
+
+The rendering is vectorized *within* a drive (one pass of NumPy ops over
+its observation days); the outer loop over drives is Python but touches
+only hundreds-to-thousands of items.  All randomness flows from per-drive
+child generators spawned off the caller's seed, so the dataset is fully
+reproducible and independent of drive iteration order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.smart import degradation as deg
+from repro.smart import drift as drf
+from repro.smart.attributes import NUM_CANDIDATE_FEATURES, feature_index
+from repro.smart.dataset import SmartDataset
+from repro.smart.drive_model import DriveModelSpec
+from repro.smart.population import DriveLifecycle, simulate_population
+from repro.utils.rng import SeedLike, as_generator
+
+DAYS_PER_MONTH = 30
+
+
+def _count_norm(raw: np.ndarray, weight: float) -> np.ndarray:
+    """Vendor-style normalization of an error counter: 100 → worse as it grows."""
+    return np.clip(100.0 - weight * np.log1p(np.maximum(raw, 0.0)), 1.0, 100.0)
+
+
+def _signature_mix(fail_day: Optional[int], duration_days: int) -> float:
+    """Failure-mode mix shift over calendar time, in [0, 1].
+
+    0 = early-window failure (reallocation-dominant signature), 1 = end of
+    the observation window (pending-sector-dominant).  A stale model keyed
+    to the early mix loses FDR on late failures (Figures 6/7).
+    """
+    if fail_day is None:
+        return 0.0
+    return min(max(fail_day / max(duration_days - 1, 1), 0.0), 1.0)
+
+
+_SIGNATURE_COUNTERS = (5, 197, 187, 184, 183, 189, 199, "rate")
+_STRONG_COUNTERS = (5, 197, 187)
+
+
+def _signature_expression(
+    rng: np.random.Generator, prof, *, active: bool
+) -> dict:
+    """Per-drive multipliers of each degradation channel.
+
+    A channel participates with probability ``signature_activation_prob``
+    and, when active, at a log-normal magnitude.  At least one *strong*
+    channel (reallocated / pending / reported-uncorrectable) is always
+    active, otherwise the drive would be de-facto unpredictable — that
+    budget is governed by ``unpredictable_fraction``, not by this draw.
+    The RNG is consumed identically for healthy drives (``active=False``
+    yields all-zero multipliers) to keep per-drive streams aligned.
+    """
+    on = rng.uniform(size=len(_SIGNATURE_COUNTERS)) < prof.signature_activation_prob
+    mags = rng.lognormal(0.0, prof.signature_magnitude_sigma, size=len(_SIGNATURE_COUNTERS))
+    forced_strong = int(rng.integers(0, len(_STRONG_COUNTERS)))
+    if not active:
+        return {key: 0.0 for key in _SIGNATURE_COUNTERS}
+    expr = {
+        key: (mags[i] if on[i] else 0.0)
+        for i, key in enumerate(_SIGNATURE_COUNTERS)
+    }
+    if all(expr[k] == 0.0 for k in _STRONG_COUNTERS):
+        expr[_STRONG_COUNTERS[forced_strong]] = mags[forced_strong]
+    return expr
+
+
+def _render_drive(
+    rng: np.random.Generator, spec: DriveModelSpec, drive: DriveLifecycle
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Render one drive's full observation as (days, X[n_days, 48])."""
+    n = drive.n_days_observed
+    days = np.arange(drive.deploy_day, drive.last_observed_day + 1, dtype=np.int64)
+    ages = days - drive.deploy_day + drive.initial_age_days
+    prof = spec.degradation
+    drift = spec.drift
+
+    fail_day = drive.fail_day if drive.predictable else None
+    progress = deg.window_progress(days, drive.degradation_start_day, fail_day)
+    mix = _signature_mix(drive.fail_day, spec.duration_days)
+
+    X = np.empty((n, NUM_CANDIDATE_FEATURES), dtype=np.float64)
+
+    def put(sid: int, kind: str, values: np.ndarray) -> None:
+        X[:, feature_index(sid, kind)] = values
+
+    # --- benign scare events (healthy wear; rate grows with drive age) ----
+    # A few drives are "lemons": chronically scarred but long-lived — the
+    # hardest negatives a detector faces in the field.
+    is_lemon = rng.uniform() < 0.06
+    lemon_factor = 5.0 if is_lemon else 1.0
+    scare_rate = drf.scare_rate_by_day(drift, days, ages) * lemon_factor
+    # lemons also accrete media defects steadily (tens-to-hundreds of
+    # remapped sectors over a lifetime) without ever accelerating — the
+    # survivors that fool a model trained on too few negatives
+    lemon_ramp = (
+        rng.poisson(rng.uniform(0.03, 0.15), size=n).astype(np.float64)
+        if is_lemon
+        else np.zeros(n)
+    )
+    # realloc scares are heavy-tailed (healthy drives can remap dozens of
+    # sectors and live on); pending/uncorrectable scares stay small, so the
+    # 187/197 channels remain the clean discriminators the paper ranks top.
+    scare_realloc = deg.scare_event_increments(
+        rng, n, scare_rate, drift.scare_magnitude, tail_prob=0.05, tail_scale=8.0
+    )
+    scare_pending = deg.scare_event_increments(
+        rng, n, scare_rate, drift.scare_magnitude, tail_prob=0.0
+    )
+
+    # --- degradation ramps (predictable failures only) ---------------------
+    # Each failing drive expresses its own random subset of the error
+    # counters, at its own magnitude: failure signatures are heterogeneous
+    # in the field, and a predictor must see many failures before it
+    # covers the signature space (the convergence effect of Figures 2/3).
+    acc = prof.acceleration
+    expression = _signature_expression(rng, prof, active=bool(progress.any()))
+    realloc_ramp = deg.accelerating_event_increments(
+        rng, progress, expression[5] * prof.realloc_rate * (1.0 - 0.5 * mix), acc
+    )
+    pending_ramp = deg.accelerating_event_increments(
+        rng, progress, expression[197] * prof.pending_rate * (1.0 + 0.8 * mix), acc
+    )
+    uncorr_ramp = deg.accelerating_event_increments(
+        rng, progress, expression[187] * prof.uncorrectable_rate * (1.0 - 0.3 * mix), acc
+    )
+    e2e_ramp = deg.accelerating_event_increments(
+        rng, progress, expression[184] * prof.end_to_end_rate, acc
+    )
+    badblock_ramp = deg.accelerating_event_increments(
+        rng, progress, expression[183] * prof.bad_block_rate, acc
+    )
+    highfly_ramp = deg.accelerating_event_increments(
+        rng, progress, expression[189] * prof.high_fly_rate, acc
+    )
+    crc_ramp = deg.accelerating_event_increments(
+        rng, progress, expression[199] * prof.crc_rate, acc
+    )
+
+    # --- SMART 5: Reallocated Sectors Count (cumulative) -------------------
+    pending_events = pending_ramp + scare_pending
+    reallocated_from_pending = deg.derived_event_increments(rng, pending_events, 0.45)
+    realloc_raw = np.cumsum(
+        realloc_ramp + scare_realloc + reallocated_from_pending + lemon_ramp
+    )
+    put(5, "raw", realloc_raw)
+    put(5, "norm", _count_norm(realloc_raw, 8.0))
+
+    # --- SMART 197: Current Pending Sector Count (current value) -----------
+    pending_level = deg.decaying_level(pending_events, retention=0.90)
+    put(197, "raw", pending_level)
+    put(197, "norm", _count_norm(pending_level, 12.0))
+
+    # --- SMART 198: Uncorrectable Sector Count (cumulative) ----------------
+    uncorr_sectors = deg.derived_event_increments(rng, pending_events, 0.35)
+    uncorr198_raw = np.cumsum(uncorr_sectors)
+    put(198, "raw", uncorr198_raw)
+    put(198, "norm", _count_norm(uncorr198_raw, 12.0))
+
+    # --- SMART 187: Reported Uncorrectable Errors (cumulative) -------------
+    background_187 = rng.poisson(1.0e-4, size=n)
+    raw187 = np.cumsum(
+        uncorr_ramp + background_187 + deg.derived_event_increments(rng, scare_pending, 0.30)
+    )
+    put(187, "raw", raw187)
+    put(187, "norm", _count_norm(raw187, 15.0))
+
+    # --- SMART 184 / 183 / 189 / 188: rarer error counters ------------------
+    raw184 = np.cumsum(e2e_ramp)
+    put(184, "raw", raw184)
+    put(184, "norm", _count_norm(raw184, 25.0))
+
+    raw183 = np.cumsum(badblock_ramp + rng.poisson(2.0e-4, size=n))
+    put(183, "raw", raw183)
+    put(183, "norm", _count_norm(raw183, 10.0))
+
+    raw189 = np.cumsum(highfly_ramp + rng.poisson(3.0e-4, size=n))
+    put(189, "raw", raw189)
+    put(189, "norm", _count_norm(raw189, 6.0))
+
+    timeout_rate = np.where(progress > 0, 2.5e-3, 5.0e-4)
+    raw188 = np.cumsum(rng.poisson(timeout_rate))
+    put(188, "raw", raw188)
+    put(188, "norm", _count_norm(raw188, 8.0))
+
+    # --- SMART 199: UltraDMA CRC errors (mostly cabling) -------------------
+    cable_quality = rng.lognormal(mean=0.0, sigma=1.0)  # per-drive multiplier
+    raw199 = np.cumsum(crc_ramp + rng.poisson(2.0e-4 * cable_quality, size=n))
+    put(199, "raw", raw199)
+    put(199, "norm", _count_norm(raw199, 8.0))
+
+    # --- SMART 10: Spin Retry Count -----------------------------------------
+    raw10 = np.zeros(n)
+    if drive.predictable and drive.failed and rng.uniform() < 0.15:
+        raw10 = np.cumsum(deg.accelerating_event_increments(rng, progress, 0.02, acc))
+    put(10, "raw", raw10)
+    put(10, "norm", np.clip(100.0 - 3.0 * raw10, 1.0, 100.0))
+
+    # --- rate-type attributes: 1 (read), 7 (seek), 195 (ECC) ----------------
+    recal = drf.recalibration_offset_by_day(drift, days)
+    vintage = drf.vintage_norm_offset(drive.vintage_month)
+    rate_expr = min(expression["rate"], 2.0)  # cap so norms stay in range
+    inflation = 1.0 + (prof.error_rate_inflation - 1.0) * progress * rate_expr
+
+    raw1 = np.exp(rng.normal(15.0, 1.2, size=n)) * inflation
+    put(1, "raw", raw1)
+    put(
+        1,
+        "norm",
+        np.clip(
+            83.0 + vintage + recal - 10.0 * progress * rate_expr + rng.normal(0.0, 1.5, size=n),
+            1.0,
+            100.0,
+        ),
+    )
+
+    raw7 = np.exp(rng.normal(17.0, 0.9, size=n)) * inflation
+    put(7, "raw", raw7)
+    put(
+        7,
+        "norm",
+        np.clip(
+            87.0 + vintage + recal - 8.0 * progress * rate_expr + rng.normal(0.0, 1.2, size=n),
+            1.0,
+            100.0,
+        ),
+    )
+
+    raw195 = np.exp(rng.normal(13.0, 1.0, size=n))
+    put(195, "raw", raw195)
+    put(195, "norm", np.clip(60.0 + rng.normal(0.0, 3.0, size=n), 1.0, 100.0))
+
+    # --- usage meters --------------------------------------------------------
+    poh_hours = ages * 24.0 + rng.uniform(0.0, 24.0, size=n)
+    put(9, "raw", poh_hours)
+    put(9, "norm", np.clip(100.0 - poh_hours / 720.0, 1.0, 100.0))
+
+    # derived from the monotone age clock (not the jittered POH) so the
+    # counter never runs backwards
+    raw240 = ages * 24.0 * rng.uniform(0.93, 0.98) + rng.uniform(0.0, 24.0)
+    put(240, "raw", np.maximum(raw240, 0.0))
+    put(240, "norm", np.clip(100.0 - raw240 / 720.0, 1.0, 100.0))
+
+    initial_cycles = rng.poisson(0.02 * max(drive.initial_age_days, 0))
+    raw12 = initial_cycles + np.cumsum(rng.poisson(0.015, size=n))
+    put(12, "raw", raw12)
+    put(12, "norm", _count_norm(raw12, 4.0))
+
+    raw4 = raw12 + np.cumsum(rng.poisson(0.01, size=n))
+    put(4, "raw", raw4)
+    put(4, "norm", _count_norm(raw4, 5.0))
+
+    raw192 = np.floor(raw12 * rng.uniform(0.6, 0.9))
+    put(192, "raw", raw192)
+    put(192, "norm", _count_norm(raw192, 4.0))
+
+    load_rate = drf.load_cycle_rate_by_day(drift, days)
+    raw193 = drive.initial_age_days * 8.0 + np.cumsum(rng.poisson(load_rate))
+    put(193, "raw", raw193)
+    put(193, "norm", np.clip(100.0 - raw193 / 650.0, 1.0, 100.0))
+
+    workload_write = rng.lognormal(mean=0.0, sigma=0.35) * 5.0e7
+    raw241 = (ages + 1) * workload_write
+    put(241, "raw", raw241)
+    put(241, "norm", np.full(n, 100.0))
+
+    raw242 = (ages + 1) * workload_write * rng.uniform(1.5, 3.0)
+    put(242, "raw", raw242)
+    put(242, "norm", np.full(n, 100.0))
+
+    # --- environment ---------------------------------------------------------
+    drive_temp_offset = rng.normal(0.0, 1.5)
+    temp = (
+        26.0
+        + 4.0 * np.sin(2.0 * np.pi * (days + rng.uniform(0, 365)) / 365.0)
+        + drive_temp_offset
+        + 1.5 * progress
+        + rng.normal(0.0, 0.8, size=n)
+    )
+    put(194, "raw", temp)
+    put(194, "norm", np.clip(100.0 - temp, 1.0, 100.0))
+    put(190, "raw", temp + rng.normal(0.0, 0.3, size=n))
+    put(190, "norm", np.clip(100.0 - temp, 1.0, 100.0))
+
+    raw3 = 420.0 + 0.002 * ages + 6.0 * progress + rng.normal(0.0, 12.0, size=n)
+    put(3, "raw", raw3)
+    put(3, "norm", np.clip(100.0 - raw3 / 50.0, 1.0, 100.0))
+
+    return days, X
+
+
+def generate_dataset(
+    spec: DriveModelSpec,
+    seed: SeedLike = None,
+    *,
+    sample_every_days: int = 1,
+    replace_failures: bool = True,
+    drives: Optional[List[DriveLifecycle]] = None,
+) -> SmartDataset:
+    """Generate a full synthetic field dataset for one drive model.
+
+    Parameters
+    ----------
+    spec:
+        Drive model specification (see :data:`repro.smart.STA` / ``STB``).
+    seed:
+        Seed / generator for full reproducibility.
+    sample_every_days:
+        Keep every k-th daily snapshot per drive (phase staggered by
+        serial).  The failure-day snapshot is always kept so failed drives
+        are never silently dropped.  Use >1 to shrink benches.
+    replace_failures:
+        Deploy replacement drives after failures (fleet turnover drift).
+    drives:
+        Pre-simulated lifecycles; when given, only rendering happens
+        (used by tests that need a handcrafted population).
+    """
+    if sample_every_days < 1:
+        raise ValueError(f"sample_every_days must be >= 1, got {sample_every_days}")
+    rng = as_generator(seed)
+    if drives is None:
+        drives = simulate_population(
+            spec, rng.spawn(1)[0], replace_failures=replace_failures
+        )
+
+    drive_rngs = rng.spawn(len(drives))
+    all_serials: List[np.ndarray] = []
+    all_days: List[np.ndarray] = []
+    all_X: List[np.ndarray] = []
+    all_fail_flags: List[np.ndarray] = []
+
+    for drive, drng in zip(drives, drive_rngs):
+        days, X = _render_drive(drng, spec, drive)
+        if sample_every_days > 1:
+            phase = drive.serial % sample_every_days
+            keep = (np.arange(days.size) % sample_every_days) == phase
+            keep[-1] = True  # always keep the final (possibly failure) day
+            days, X = days[keep], X[keep]
+        n = days.size
+        all_serials.append(np.full(n, drive.serial, dtype=np.int64))
+        all_days.append(days)
+        fail = np.zeros(n, dtype=bool)
+        if drive.failed:
+            fail[-1] = days[-1] == drive.fail_day
+        all_fail_flags.append(fail)
+        all_X.append(X.astype(np.float32))
+
+    return SmartDataset(
+        spec=spec,
+        drives=list(drives),
+        serials=np.concatenate(all_serials),
+        days=np.concatenate(all_days).astype(np.int64),
+        X=np.concatenate(all_X, axis=0),
+        failure_flags=np.concatenate(all_fail_flags),
+    )

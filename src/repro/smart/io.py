@@ -1,0 +1,164 @@
+"""Backblaze-schema CSV interchange.
+
+The public Backblaze data ships as daily CSVs with columns::
+
+    date, serial_number, model, capacity_bytes, failure,
+    smart_1_normalized, smart_1_raw, smart_3_normalized, smart_3_raw, ...
+
+This module writes/reads that exact schema so (a) the synthetic datasets
+can be inspected with standard tooling, and (b) a user with the real
+Backblaze archive can load it into :class:`~repro.smart.SmartDataset` and
+run every experiment in this repo against field data.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.smart.attributes import ALL_ATTRIBUTES, feature_index
+from repro.smart.dataset import SmartDataset
+from repro.smart.drive_model import DriveModelSpec
+from repro.smart.population import DriveLifecycle
+
+#: Backblaze's first published snapshot date; day 0 maps here.
+EPOCH = _dt.date(2013, 4, 10)
+
+
+def _header() -> List[str]:
+    cols = ["date", "serial_number", "model", "capacity_bytes", "failure"]
+    for attr in ALL_ATTRIBUTES:
+        cols.append(f"smart_{attr.id}_normalized")
+        cols.append(f"smart_{attr.id}_raw")
+    return cols
+
+
+def _serial_string(serial: int) -> str:
+    return f"SYN{serial:08d}"
+
+
+def write_backblaze_csv(dataset: SmartDataset, path: Union[str, Path]) -> int:
+    """Write *dataset* as one Backblaze-schema CSV; returns rows written."""
+    path = Path(path)
+    order = np.lexsort((dataset.serials, dataset.days))  # day-major like Backblaze
+    capacity_bytes = dataset.spec.capacity_tb * 10**12
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_header())
+        for i in order:
+            day = int(dataset.days[i])
+            row: List[object] = [
+                (EPOCH + _dt.timedelta(days=day)).isoformat(),
+                _serial_string(int(dataset.serials[i])),
+                dataset.spec.name,
+                capacity_bytes,
+                int(dataset.failure_flags[i]),
+            ]
+            for attr in ALL_ATTRIBUTES:
+                norm = dataset.X[i, feature_index(attr.id, "norm")]
+                raw = dataset.X[i, feature_index(attr.id, "raw")]
+                row.append(f"{float(norm):.0f}")
+                row.append(f"{float(raw):.0f}")
+            writer.writerow(row)
+    return int(order.size)
+
+
+def read_backblaze_csv(
+    path: Union[str, Path], spec: Optional[DriveModelSpec] = None
+) -> SmartDataset:
+    """Load a Backblaze-schema CSV into a :class:`SmartDataset`.
+
+    Lifecycle metadata is reconstructed from the data itself: a drive's
+    window is [first row day, last row day]; a drive failed iff any row has
+    ``failure == 1``.  Degradation-window fields (which only the simulator
+    knows) are left unset — nothing downstream requires them.
+
+    Unknown ``smart_*`` columns are ignored; missing ones read as 0 (the
+    real archive has sparse columns for some models).
+    """
+    path = Path(path)
+    serial_map: Dict[str, int] = {}
+    serials: List[int] = []
+    days: List[int] = []
+    failure: List[bool] = []
+    rows_X: List[List[float]] = []
+    model_name = spec.name if spec is not None else "unknown"
+    capacity_tb = spec.capacity_tb if spec is not None else 0
+
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path} is empty")
+        for rec in reader:
+            serial_str = rec["serial_number"]
+            serial = serial_map.setdefault(serial_str, len(serial_map))
+            day = (_dt.date.fromisoformat(rec["date"]) - EPOCH).days
+            serials.append(serial)
+            days.append(day)
+            failure.append(rec["failure"] in ("1", "1.0", "True"))
+            if spec is None:
+                model_name = rec.get("model", model_name) or model_name
+                cap = rec.get("capacity_bytes")
+                if cap:
+                    capacity_tb = max(capacity_tb, int(round(float(cap) / 10**12)))
+            x = [0.0] * (2 * len(ALL_ATTRIBUTES))
+            for attr in ALL_ATTRIBUTES:
+                norm_v = rec.get(f"smart_{attr.id}_normalized") or 0.0
+                raw_v = rec.get(f"smart_{attr.id}_raw") or 0.0
+                x[feature_index(attr.id, "norm")] = float(norm_v)
+                x[feature_index(attr.id, "raw")] = float(raw_v)
+            rows_X.append(x)
+
+    if not serials:
+        raise ValueError(f"{path} contains no data rows")
+
+    serials_arr = np.asarray(serials, dtype=np.int64)
+    days_arr = np.asarray(days, dtype=np.int64)
+    fail_arr = np.asarray(failure, dtype=bool)
+    X = np.asarray(rows_X, dtype=np.float32)
+
+    duration_months = max(1, int(days_arr.max()) // 30 + 1)
+    if spec is None:
+        spec = DriveModelSpec(
+            name=model_name,
+            capacity_tb=max(capacity_tb, 1),
+            initial_fleet=len(serial_map),
+            duration_months=duration_months,
+            monthly_deployment=0,
+            weibull_shape=1.5,
+            weibull_scale_days=3000.0,
+            unpredictable_fraction=0.0,
+        )
+
+    drives: List[DriveLifecycle] = []
+    for serial in range(len(serial_map)):
+        mask = serials_arr == serial
+        d_days = days_arr[mask]
+        failed_rows = fail_arr[mask]
+        fail_day = int(d_days[failed_rows].min()) if failed_rows.any() else None
+        deploy = int(d_days.min())
+        drives.append(
+            DriveLifecycle(
+                serial=serial,
+                deploy_day=deploy,
+                initial_age_days=0,
+                last_observed_day=int(d_days.max()),
+                fail_day=fail_day,
+                predictable=fail_day is not None,
+                degradation_start_day=None,
+                vintage_month=max(deploy // 30, -1),
+            )
+        )
+
+    return SmartDataset(
+        spec=spec,
+        drives=drives,
+        serials=serials_arr,
+        days=days_arr,
+        X=X,
+        failure_flags=fail_arr,
+    )

@@ -1,0 +1,169 @@
+"""Drive-fleet lifecycle simulation.
+
+Produces, for one drive model, the set of :class:`DriveLifecycle` records
+the telemetry generator then renders into daily SMART snapshots.  The
+fleet is non-stationary by construction — staggered deployments, failures,
+and replacements with newer-vintage drives — because fleet turnover is one
+of the drift mechanisms behind the paper's model-aging effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.smart.drive_model import DriveModelSpec
+from repro.utils.rng import SeedLike, as_generator
+
+DAYS_PER_MONTH = 30
+
+
+@dataclass(frozen=True)
+class DriveLifecycle:
+    """One drive's life within the observation window.
+
+    Day indices are relative to the dataset epoch (day 0); the window is
+    ``[deploy_day, last_observed_day]`` inclusive.  ``fail_day`` is the day
+    the drive dies (its last snapshot), or ``None`` for drives that survive
+    the window (censored — "good disks" in the paper's terminology).
+    """
+
+    serial: int
+    deploy_day: int
+    initial_age_days: int
+    last_observed_day: int
+    fail_day: Optional[int]
+    #: does the failure carry a SMART precursor signature?
+    predictable: bool
+    #: first day of the degradation window (predictable failures only)
+    degradation_start_day: Optional[int]
+    #: calendar month (0-based) the drive was deployed; drives deployed
+    #: before day 0 have vintage -1
+    vintage_month: int
+
+    @property
+    def failed(self) -> bool:
+        """True when the drive died within the observation window."""
+        return self.fail_day is not None
+
+    @property
+    def n_days_observed(self) -> int:
+        """Number of daily snapshots this drive contributes."""
+        return self.last_observed_day - self.deploy_day + 1
+
+    def age_on_day(self, day: int) -> int:
+        """Drive age in days on calendar *day*."""
+        return self.initial_age_days + (day - self.deploy_day)
+
+
+def _conditional_weibull_lifetime(
+    rng: np.random.Generator, shape: float, scale: float, age_days: float
+) -> float:
+    """Sample a total lifetime T | T > age_days from Weibull(shape, scale).
+
+    Inverse-CDF of the conditional survival function:
+    ``T = scale * ((age/scale)^k - ln U)^(1/k)``.
+    """
+    u = rng.uniform(1e-12, 1.0)
+    return scale * ((age_days / scale) ** shape - np.log(u)) ** (1.0 / shape)
+
+
+def _make_drive(
+    rng: np.random.Generator,
+    spec: DriveModelSpec,
+    serial: int,
+    deploy_day: int,
+    initial_age: int,
+    vintage_month: int,
+) -> DriveLifecycle:
+    horizon = spec.duration_days - 1
+    lifetime = _conditional_weibull_lifetime(
+        rng, spec.weibull_shape, spec.weibull_scale_days, float(initial_age)
+    )
+    remaining = int(np.ceil(lifetime - initial_age))
+    fail_day: Optional[int] = None
+    predictable = False
+    degradation_start: Optional[int] = None
+    candidate_fail = deploy_day + max(remaining, 1)
+    if candidate_fail <= horizon:
+        fail_day = candidate_fail
+        predictable = rng.uniform() >= spec.unpredictable_fraction
+        if predictable:
+            window = int(
+                rng.integers(spec.degradation.min_days, spec.degradation.max_days + 1)
+            )
+            degradation_start = max(deploy_day, fail_day - window)
+    last_observed = fail_day if fail_day is not None else horizon
+    return DriveLifecycle(
+        serial=serial,
+        deploy_day=deploy_day,
+        initial_age_days=initial_age,
+        last_observed_day=last_observed,
+        fail_day=fail_day,
+        predictable=predictable,
+        degradation_start_day=degradation_start,
+        vintage_month=vintage_month,
+    )
+
+
+def simulate_population(
+    spec: DriveModelSpec,
+    seed: SeedLike = None,
+    *,
+    replace_failures: bool = True,
+) -> List[DriveLifecycle]:
+    """Simulate one drive model's fleet over the observation window.
+
+    Returns lifecycles sorted by serial number.  The initial fleet deploys
+    on day 0 with exponentially distributed prior service age; every month
+    ``spec.monthly_deployment`` brand-new drives join; failed drives are
+    replaced (with a ~one-week logistics delay) when *replace_failures* is
+    set, so the fleet size stays roughly constant and its vintage mix
+    shifts over time.
+    """
+    rng = as_generator(seed)
+    drives: List[DriveLifecycle] = []
+    serial = 0
+    horizon = spec.duration_days - 1
+
+    pending_deploys: List[tuple] = []  # (deploy_day, initial_age, vintage)
+    for _ in range(spec.initial_fleet):
+        age = int(rng.exponential(spec.initial_age_mean_days))
+        pending_deploys.append((0, age, -1))
+    for month in range(1, spec.duration_months):
+        for _ in range(spec.monthly_deployment):
+            day = int(rng.integers(month * DAYS_PER_MONTH, (month + 1) * DAYS_PER_MONTH))
+            if day <= horizon:
+                pending_deploys.append((day, 0, month))
+
+    while pending_deploys:
+        deploy_day, age, vintage = pending_deploys.pop()
+        drive = _make_drive(rng, spec, serial, deploy_day, age, vintage)
+        serial += 1
+        drives.append(drive)
+        if replace_failures and drive.failed:
+            redeploy = drive.fail_day + int(rng.integers(3, 11))
+            if redeploy <= horizon - 7:  # too late to matter otherwise
+                pending_deploys.append(
+                    (redeploy, 0, redeploy // DAYS_PER_MONTH)
+                )
+
+    drives.sort(key=lambda d: d.serial)
+    return drives
+
+
+def population_summary(drives: List[DriveLifecycle]) -> dict:
+    """Aggregate counts used by the Table-1 bench and sanity tests."""
+    n_failed = sum(1 for d in drives if d.failed)
+    n_good = len(drives) - n_failed
+    n_unpredictable = sum(1 for d in drives if d.failed and not d.predictable)
+    total_days = sum(d.n_days_observed for d in drives)
+    return {
+        "n_drives": len(drives),
+        "n_good": n_good,
+        "n_failed": n_failed,
+        "n_unpredictable_failures": n_unpredictable,
+        "total_drive_days": total_days,
+    }

@@ -1,0 +1,236 @@
+"""Model-update strategies as first-class deployment objects.
+
+§4.5 of the paper compares four policies for keeping a disk-failure
+predictor alive: never update, retrain on the last month ("1-month
+replacing", Zhu et al.), retrain on all history ("accumulation"), and
+the paper's answer — keep learning online.  The experiment harness
+(`repro.eval.longterm`) hard-codes these for the reproduction; this
+module exposes them as objects user code can deploy and swap:
+
+    strategy = AccumulationStrategy(make_rf, neg_sample_ratio=3.0, seed=0)
+    strategy.start(X_warmup, y_warmup)
+    ...
+    strategy.month_end(X_june, y_june)      # when a month's labels close
+    scores = strategy.predict_score(X_live)
+
+Every strategy exposes the same three-call protocol, so the surrounding
+plumbing (threshold tuning, drift watchdogs, persistence) never cares
+which policy is active.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.offline.sampling import downsample_negatives
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_array_2d, check_binary_labels, check_positive
+
+#: factory(rng) -> offline model exposing fit(X, y) and predict_score(X)
+ModelFactory = Callable[[np.random.Generator], object]
+
+
+class UpdateStrategy:
+    """Common three-call protocol: start → month_end* → predict_score."""
+
+    name: str = "abstract"
+
+    def start(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Deploy on the warm-up data."""
+        raise NotImplementedError
+
+    def month_end(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Absorb the month whose labels just closed."""
+        raise NotImplementedError
+
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
+        """Positive score per row from the currently deployed model."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- helpers
+    def _check(self, X, y):
+        X = check_array_2d(X, "X")
+        y = check_binary_labels(y, n_rows=X.shape[0])
+        return X, y
+
+
+class _OfflineStrategyBase(UpdateStrategy):
+    """Shared machinery for the three offline policies."""
+
+    def __init__(
+        self,
+        model_factory: ModelFactory,
+        *,
+        neg_sample_ratio: Optional[float] = 3.0,
+        seed: SeedLike = None,
+    ) -> None:
+        self._factory = model_factory
+        self.neg_sample_ratio = neg_sample_ratio
+        self._rng = as_generator(seed)
+        self.model: Optional[object] = None
+        self.n_retrains = 0
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> bool:
+        """Train a fresh model on the λ-balanced pool; False if untrainable."""
+        if np.unique(y).size < 2:
+            return False
+        idx = downsample_negatives(y, self.neg_sample_ratio, self._rng.spawn(1)[0])
+        model = self._factory(self._rng.spawn(1)[0])
+        model.fit(X[idx], y[idx])
+        self.model = model
+        self.n_retrains += 1
+        return True
+
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
+        """Positive score per row from the current offline model."""
+        if self.model is None:
+            raise RuntimeError(f"{self.name}: start() has not trained a model yet")
+        return self.model.predict_score(check_array_2d(X, "X"))
+
+
+class FrozenStrategy(_OfflineStrategyBase):
+    """The "no updating" policy: train at deployment, never again.
+
+    Exists mostly as the control — §4.5 shows exactly how it rots.
+    """
+
+    name = "frozen"
+
+    def start(self, X, y) -> None:
+        """Train the one and only model."""
+        X, y = self._check(X, y)
+        if not self._fit(X, y):
+            raise ValueError("warm-up data contains a single class")
+
+    def month_end(self, X, y) -> None:
+        """Ignore the new month — the whole point of this control."""
+
+
+class ReplacingStrategy(_OfflineStrategyBase):
+    """Zhu et al.'s replacing policy: retrain on the last k closed months.
+
+    ``memory_months=1`` is the paper's "1-month replacing".  Months
+    without both classes reuse the previous model (what an operator
+    would do).
+    """
+
+    name = "replacing"
+
+    def __init__(
+        self,
+        model_factory: ModelFactory,
+        *,
+        memory_months: int = 1,
+        neg_sample_ratio: Optional[float] = 3.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(model_factory, neg_sample_ratio=neg_sample_ratio, seed=seed)
+        check_positive(memory_months, "memory_months")
+        self.memory_months = int(memory_months)
+        self._window: List = []
+
+    def start(self, X, y) -> None:
+        """Train on the warm-up window (counts as the first memory month)."""
+        X, y = self._check(X, y)
+        self._window = [(X, y)]
+        if not self._fit(X, y):
+            raise ValueError("warm-up data contains a single class")
+
+    def month_end(self, X, y) -> None:
+        """Retrain on the last ``memory_months`` closed months."""
+        X, y = self._check(X, y)
+        self._window.append((X, y))
+        self._window = self._window[-self.memory_months:]
+        Xw = np.concatenate([b[0] for b in self._window])
+        yw = np.concatenate([b[1] for b in self._window])
+        self._fit(Xw, yw)  # keeps the old model if the window is one-class
+
+
+class AccumulationStrategy(_OfflineStrategyBase):
+    """Zhu et al.'s accumulation policy: retrain on everything so far.
+
+    ``max_history_rows`` caps memory on long deployments by dropping the
+    *oldest* rows first (the accumulation paper keeps all; the cap is an
+    operational concession, off by default).
+    """
+
+    name = "accumulation"
+
+    def __init__(
+        self,
+        model_factory: ModelFactory,
+        *,
+        neg_sample_ratio: Optional[float] = 3.0,
+        max_history_rows: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(model_factory, neg_sample_ratio=neg_sample_ratio, seed=seed)
+        if max_history_rows is not None:
+            check_positive(max_history_rows, "max_history_rows")
+        self.max_history_rows = max_history_rows
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def _append(self, X, y) -> None:
+        if self._X is None:
+            self._X, self._y = X.copy(), y.copy()
+        else:
+            self._X = np.concatenate([self._X, X])
+            self._y = np.concatenate([self._y, y])
+        if self.max_history_rows is not None and self._X.shape[0] > self.max_history_rows:
+            self._X = self._X[-self.max_history_rows:]
+            self._y = self._y[-self.max_history_rows:]
+
+    def start(self, X, y) -> None:
+        """Train on the warm-up data (the first slice of the history)."""
+        X, y = self._check(X, y)
+        self._append(X, y)
+        if not self._fit(self._X, self._y):
+            raise ValueError("warm-up data contains a single class")
+
+    def month_end(self, X, y) -> None:
+        """Append the month and retrain on the full history."""
+        X, y = self._check(X, y)
+        self._append(X, y)
+        self._fit(self._X, self._y)
+
+    @property
+    def history_rows(self) -> int:
+        """Rows currently held in the training history."""
+        return 0 if self._X is None else int(self._X.shape[0])
+
+
+class OnlineStrategy(UpdateStrategy):
+    """The paper's answer: an ORF that just keeps streaming.
+
+    ``month_end`` folds the month's labeled samples in (mini-batched by
+    default — ablation A8); no retraining ever happens.
+    """
+
+    name = "online"
+
+    def __init__(
+        self,
+        forest: OnlineRandomForest,
+        *,
+        chunk_size: int = 2000,
+    ) -> None:
+        self.forest = forest
+        self.chunk_size = int(chunk_size)
+
+    def start(self, X, y) -> None:
+        """Stream the warm-up data through the forest."""
+        X, y = self._check(X, y)
+        self.forest.partial_fit(X, y, chunk_size=self.chunk_size)
+
+    def month_end(self, X, y) -> None:
+        """Stream the month's labeled samples (no retraining, ever)."""
+        X, y = self._check(X, y)
+        self.forest.partial_fit(X, y, chunk_size=self.chunk_size)
+
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
+        """Positive score per row from the evolving forest."""
+        return self.forest.predict_score(check_array_2d(X, "X"))

@@ -1,0 +1,18 @@
+"""Alternative streaming learners.
+
+The ORF is not the only way to learn from a SMART stream; the
+online-learning ecosystem's workhorse is the Hoeffding tree (VFDT —
+what river and MOA ship as their default stream classifier).  This
+subpackage provides from-scratch implementations so the repo can
+compare the paper's choice against the standard alternative on equal
+footing (ablation bench A6).
+"""
+
+from repro.streaming.hoeffding import HoeffdingTreeClassifier
+from repro.streaming.baselines import MajorityClassBaseline, PriorProbabilityBaseline
+
+__all__ = [
+    "HoeffdingTreeClassifier",
+    "MajorityClassBaseline",
+    "PriorProbabilityBaseline",
+]

@@ -1,0 +1,69 @@
+"""Trivial streaming baselines — the floors any real model must beat.
+
+On data this imbalanced, raw accuracy is a meaningless yardstick (always
+predicting "healthy" is 99.9% accurate and 0% useful, §3.2 of the
+paper).  These two baselines make that concrete in tests and benches:
+
+* :class:`MajorityClassBaseline` — predicts the majority class's
+  probability; detects nothing.
+* :class:`PriorProbabilityBaseline` — scores every sample with the
+  running positive rate; its FDR/FAR curve is the diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d, check_binary_labels
+
+
+class _CountingBaseline:
+    def __init__(self) -> None:
+        self.n_pos = 0.0
+        self.n_neg = 0.0
+
+    def update(self, x, y: int, weight: float = 1.0) -> None:
+        """Count one labeled sample (features are ignored)."""
+        if y not in (0, 1):
+            raise ValueError(f"y must be 0 or 1, got {y!r}")
+        if y == 1:
+            self.n_pos += weight
+        else:
+            self.n_neg += weight
+
+    def partial_fit(self, X, y):
+        """Count a batch of labels; returns self."""
+        X = check_array_2d(X, "X")
+        y = check_binary_labels(y, n_rows=X.shape[0])
+        for label in y:
+            self.update(None, int(label))
+        return self
+
+    @property
+    def positive_rate(self) -> float:
+        """Running P(y = 1); 0.5 before any observation."""
+        total = self.n_pos + self.n_neg
+        return self.n_pos / total if total > 0 else 0.5
+
+    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels at a score threshold."""
+        return (self.predict_score(X) >= threshold).astype(np.int8)
+
+
+class MajorityClassBaseline(_CountingBaseline):
+    """Scores 1.0 when positives are the majority, else 0.0."""
+
+    def predict_score(self, X) -> np.ndarray:
+        """1.0 for every row when positives are the majority, else 0.0."""
+        X = check_array_2d(X, "X")
+        score = 1.0 if self.n_pos > self.n_neg else 0.0
+        return np.full(X.shape[0], score)
+
+
+class PriorProbabilityBaseline(_CountingBaseline):
+    """Scores every sample with the running base rate P(y = 1)."""
+
+    def predict_score(self, X) -> np.ndarray:
+        """The running base rate, for every row."""
+        X = check_array_2d(X, "X")
+        return np.full(X.shape[0], self.positive_rate)

@@ -1,0 +1,270 @@
+"""Hoeffding tree (VFDT) for binary classification on [0, 1] features.
+
+Domingos & Hulten's Very Fast Decision Tree: a leaf accumulates
+sufficient statistics and splits on the best attribute once the
+Hoeffding bound guarantees (with confidence 1-δ) that the observed best
+beats the runner-up on the true distribution::
+
+    ε = sqrt(R² ln(1/δ) / 2n)      split when ΔG_best - ΔG_second > ε
+                                   (or ε < τ — the tie break)
+
+Numeric attributes are handled with fixed equi-width histograms, which
+is exact for this library's min-max-scaled features (all values lie in
+[0, 1]).  Split quality is Gini gain, matching the ORF so the A6
+comparison isolates the *algorithmic* difference (Hoeffding bound +
+exhaustive per-feature histograms vs. random tests + α/β gates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.node_stats import gini
+from repro.utils.validation import (
+    check_array_2d,
+    check_binary_labels,
+    check_feature_count,
+    check_in_range,
+    check_positive,
+)
+
+
+class _LeafStats:
+    """Per-leaf histograms: counts[feature, bin, class]."""
+
+    __slots__ = ("counts", "class_counts", "n_seen", "n_since_check")
+
+    def __init__(self, n_features: int, n_bins: int) -> None:
+        self.counts = np.zeros((n_features, n_bins, 2), dtype=np.float64)
+        self.class_counts = np.zeros(2, dtype=np.float64)
+        self.n_seen = 0.0
+        self.n_since_check = 0
+
+    def update(self, bins: np.ndarray, y: int, weight: float) -> None:
+        """Fold one binned sample into the histograms."""
+        self.counts[np.arange(bins.shape[0]), bins, y] += weight
+        self.class_counts[y] += weight
+        self.n_seen += weight
+        self.n_since_check += 1
+
+    def best_two_splits(self) -> Tuple[float, float, int, int]:
+        """(best ΔG, second-best ΔG, best feature, best bin boundary).
+
+        For every feature, prefix sums over bins give the class masses on
+        each side of every boundary; Gini gain is evaluated vectorized
+        for all (feature, boundary) pairs at once.
+        """
+        total = self.class_counts.sum()
+        if total <= 0:
+            return 0.0, 0.0, -1, -1
+        parent_g = float(gini(self.class_counts))
+
+        left = np.cumsum(self.counts, axis=1)[:, :-1, :]  # (F, B-1, 2)
+        right = self.class_counts[None, None, :] - left
+        lw = left.sum(axis=2)
+        rw = right.sum(axis=2)
+        child = (lw * gini(left) + rw * gini(right)) / total
+        gains = parent_g - child  # (F, B-1)
+        # boundaries with an empty side are useless; mask them out
+        gains = np.where((lw > 0) & (rw > 0), gains, -np.inf)
+
+        flat = gains.ravel()
+        if flat.size == 0 or not np.isfinite(flat.max()):
+            return 0.0, 0.0, -1, -1
+        best_idx = int(np.argmax(flat))
+        best = float(flat[best_idx])
+        f, b = divmod(best_idx, gains.shape[1])
+        # second best must come from a *different feature* (splitting on a
+        # neighbouring boundary of the same feature is not a real rival)
+        other = gains.copy()
+        other[f, :] = -np.inf
+        second = float(other.max()) if np.isfinite(other.max()) else 0.0
+        return best, max(second, 0.0), int(f), int(b)
+
+    def posterior_positive(self, laplace: float = 1.0) -> float:
+        """Smoothed P(y = 1) at this leaf."""
+        c0, c1 = self.class_counts
+        return (c1 + laplace) / (c0 + c1 + 2.0 * laplace)
+
+
+class HoeffdingTreeClassifier:
+    """Binary VFDT over min-max-scaled features.
+
+    Parameters
+    ----------
+    n_features:
+        Input dimensionality; values are assumed in [0, 1] (clipped).
+    n_bins:
+        Histogram resolution per feature.
+    delta:
+        Hoeffding confidence parameter (split when the bound allows).
+    tau:
+        Tie-break threshold: split anyway when ε < τ.
+    grace_period:
+        Samples between split checks at a leaf.
+    max_depth:
+        Depth cap.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        *,
+        n_bins: int = 16,
+        delta: float = 1e-5,
+        tau: float = 0.05,
+        grace_period: int = 100,
+        max_depth: int = 20,
+    ) -> None:
+        check_positive(n_features, "n_features")
+        check_positive(n_bins, "n_bins")
+        check_in_range(delta, "delta", 0.0, 1.0, inclusive=False)
+        check_positive(tau, "tau", strict=False)
+        check_positive(grace_period, "grace_period")
+        check_positive(max_depth, "max_depth")
+        self.n_features = int(n_features)
+        self.n_bins = int(n_bins)
+        self.delta = float(delta)
+        self.tau = float(tau)
+        self.grace_period = int(grace_period)
+        self.max_depth = int(max_depth)
+
+        self._feature: List[int] = []
+        self._threshold: List[float] = []
+        self._left: List[int] = []
+        self._right: List[int] = []
+        self._depth: List[int] = []
+        self._leaf_stats: Dict[int, _LeafStats] = {}
+        self._add_leaf(0)
+        self.n_samples_seen = 0.0
+
+    # ------------------------------------------------------------- plumbing
+    def _add_leaf(self, depth: int) -> int:
+        nid = len(self._feature)
+        self._feature.append(-1)
+        self._threshold.append(math.nan)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._depth.append(depth)
+        self._leaf_stats[nid] = _LeafStats(self.n_features, self.n_bins)
+        return nid
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (branches + leaves)."""
+        return len(self._feature)
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count."""
+        return len(self._leaf_stats)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the deepest node (root = 0)."""
+        return max(self._depth) if self._depth else 0
+
+    def _find_leaf(self, x: np.ndarray) -> int:
+        nid = 0
+        while self._feature[nid] >= 0:
+            nid = (
+                self._right[nid]
+                if x[self._feature[nid]] > self._threshold[nid]
+                else self._left[nid]
+            )
+        return nid
+
+    def _bins_of(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(
+            (np.clip(x, 0.0, 1.0) * self.n_bins).astype(np.int64),
+            0,
+            self.n_bins - 1,
+        )
+
+    def _hoeffding_bound(self, n: float) -> float:
+        # Gini gain range R = 0.5 for binary labels (impurity in [0, 0.5])
+        r = 0.5
+        return math.sqrt(r * r * math.log(1.0 / self.delta) / (2.0 * max(n, 1.0)))
+
+    # ----------------------------------------------------------------- train
+    def update(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
+        """Fold one labeled sample into the tree."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_features,):
+            raise ValueError(f"x must have shape ({self.n_features},)")
+        if y not in (0, 1):
+            raise ValueError(f"y must be 0 or 1, got {y!r}")
+        self.n_samples_seen += weight
+        nid = self._find_leaf(x)
+        stats = self._leaf_stats[nid]
+        stats.update(self._bins_of(x), y, weight)
+        if (
+            stats.n_since_check >= self.grace_period
+            and self._depth[nid] < self.max_depth
+        ):
+            stats.n_since_check = 0
+            self._maybe_split(nid, stats)
+
+    def _maybe_split(self, nid: int, stats: _LeafStats) -> None:
+        best, second, f, b = stats.best_two_splits()
+        if f < 0 or best <= 0:
+            return
+        eps = self._hoeffding_bound(stats.n_seen)
+        if best - second > eps or eps < self.tau:
+            threshold = (b + 1) / self.n_bins
+            depth = self._depth[nid]
+            left_id = self._add_leaf(depth + 1)
+            right_id = self._add_leaf(depth + 1)
+            # children inherit the parent's class distribution on their side
+            left_counts = stats.counts[f, : b + 1, :].sum(axis=0)
+            right_counts = stats.counts[f, b + 1 :, :].sum(axis=0)
+            self._leaf_stats[left_id].class_counts += left_counts
+            self._leaf_stats[right_id].class_counts += right_counts
+            self._feature[nid] = f
+            self._threshold[nid] = threshold
+            self._left[nid] = left_id
+            self._right[nid] = right_id
+            del self._leaf_stats[nid]
+
+    def partial_fit(self, X, y, *, weights: Optional[np.ndarray] = None):
+        """Stream a batch in row order; returns self."""
+        X = check_array_2d(X, "X")
+        check_feature_count(X, self.n_features, "X")
+        y = check_binary_labels(y, n_rows=X.shape[0])
+        if weights is None:
+            weights = np.ones(X.shape[0])
+        for i in range(X.shape[0]):
+            if weights[i] > 0:
+                self.update(X[i], int(y[i]), float(weights[i]))
+        return self
+
+    # ------------------------------------------------------------ prediction
+    def predict_one(self, x: np.ndarray) -> float:
+        """P(y = 1) for one sample."""
+        return self._leaf_stats[self._find_leaf(np.asarray(x))].posterior_positive()
+
+    def predict_score(self, X) -> np.ndarray:
+        """P(y = 1) per row (vectorized group traversal)."""
+        X = check_array_2d(X, "X")
+        check_feature_count(X, self.n_features, "X")
+        out = np.empty(X.shape[0])
+        stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(X.shape[0]))]
+        while stack:
+            nid, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            f = self._feature[nid]
+            if f < 0:
+                out[rows] = self._leaf_stats[nid].posterior_positive()
+                continue
+            go_right = X[rows, f] > self._threshold[nid]
+            stack.append((self._left[nid], rows[~go_right]))
+            stack.append((self._right[nid], rows[go_right]))
+        return out
+
+    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 labels at a score threshold."""
+        return (self.predict_score(X) >= threshold).astype(np.int8)

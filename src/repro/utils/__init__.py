@@ -1,0 +1,28 @@
+"""Shared utilities: seeded RNG streams, validation helpers, ASCII tables.
+
+These are deliberately small, dependency-free building blocks used across
+every other subpackage.  Nothing in here knows about disks or forests.
+"""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.tables import format_table, format_markdown_table
+from repro.utils.validation import (
+    check_array_2d,
+    check_binary_labels,
+    check_in_range,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "format_table",
+    "format_markdown_table",
+    "check_array_2d",
+    "check_binary_labels",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+]

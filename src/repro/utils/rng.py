@@ -1,0 +1,97 @@
+"""Reproducible random-number-generator plumbing.
+
+Every stochastic component in the library (online bagging, bootstrap
+sampling, the SMART field-data simulator, ...) takes either an integer
+seed, ``None``, or a ``numpy.random.Generator``.  Components that own
+sub-components (e.g. a forest owning trees) hand each child an
+*independent* stream derived with :func:`numpy.random.Generator.spawn`,
+so results do not depend on scheduling order when trees are updated in
+parallel (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    ``None`` gives fresh OS entropy; an ``int`` or ``SeedSequence`` seeds a
+    new PCG64 stream; an existing ``Generator`` is passed through untouched
+    (so callers can share a stream deliberately).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(seed))
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot interpret {type(seed).__name__!r} as a random seed")
+
+
+def spawn_generators(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
+    """Derive *n* statistically independent child generators from *rng*.
+
+    The parent stream is advanced exactly once per call regardless of *n*,
+    so spawning is itself reproducible.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return list(rng.spawn(n))
+
+
+class RngFactory:
+    """A reproducible well of independent generators.
+
+    The factory is seeded once; every :meth:`make` call returns a new
+    independent stream.  This lets long-lived objects (e.g. an online
+    forest that replaces decayed trees over months of simulated time)
+    create fresh tree RNGs without correlating with the data stream.
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._root = as_generator(seed)
+
+    def make(self) -> np.random.Generator:
+        """Return a new generator independent of all previous ones."""
+        return self._root.spawn(1)[0]
+
+    def make_many(self, n: int) -> List[np.random.Generator]:
+        """Return *n* new mutually independent generators."""
+        return spawn_generators(self._root, n)
+
+
+def poisson_draws(
+    rng: np.random.Generator, lam: float, size: Optional[int] = None
+) -> Union[int, np.ndarray]:
+    """Poisson(λ) draw(s) that tolerate λ == 0 (always 0) and negative λ (error)."""
+    if lam < 0:
+        raise ValueError(f"Poisson rate must be >= 0, got {lam}")
+    if lam == 0:
+        return 0 if size is None else np.zeros(size, dtype=np.int64)
+    return rng.poisson(lam, size)
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, n: int, k: int
+) -> np.ndarray:
+    """Sample *k* distinct indices from ``range(n)``; clamp k to n."""
+    k = min(k, n)
+    return rng.choice(n, size=k, replace=False)
+
+
+def stable_hash_seed(*parts: Iterable) -> int:
+    """Derive a deterministic 63-bit seed from arbitrary hashable parts.
+
+    Used to give named entities (e.g. a drive serial number) reproducible
+    private randomness without threading a generator through every call.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(repr(tuple(parts)).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") >> 1

@@ -1,0 +1,78 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows the paper's corresponding table/figure
+reports; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _stringify(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with a ruled header row.
+
+    Floats are formatted with two decimals; pass pre-formatted strings for
+    anything fancier (e.g. ``"98.08 ± 0.37"``).
+    """
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(rule))
+    lines.append(fmt_row(list(headers)))
+    lines.append(rule)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_mean_std(mean: float, std: float, *, digits: int = 2) -> str:
+    """Format ``mean ± std`` the way the paper's tables report it."""
+    return f"{mean:.{digits}f} ± {std:.{digits}f}"
+
+
+def format_series(
+    xs: Sequence[Any], ys: Sequence[float], *, x_name: str = "x", y_name: str = "y"
+) -> str:
+    """Render a figure's (x, y) series as a two-column table."""
+    return format_table([x_name, y_name], list(zip(xs, ys)))

@@ -1,0 +1,49 @@
+"""Shared fixtures: tiny synthetic datasets sized for fast unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.selection import FeatureSelection
+from repro.smart.drive_model import STA, STB, scaled_spec
+from repro.smart.generator import generate_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_sta_dataset():
+    """~60 drives over 8 months — enough failures to exercise every path."""
+    spec = scaled_spec(STA, fleet_scale=0.07, duration_months=8)
+    return generate_dataset(spec, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_stb_dataset():
+    """STB-flavoured tiny fleet (higher failure rate, weaker signal)."""
+    spec = scaled_spec(STB, fleet_scale=0.1, duration_months=8)
+    return generate_dataset(spec, seed=4321)
+
+
+@pytest.fixture(scope="session")
+def table2_selection():
+    return FeatureSelection.paper_table2()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def imbalanced_blobs():
+    """A fixed imbalanced binary problem with signal in features 0 and 1."""
+    gen = np.random.default_rng(7)
+    n_neg, n_pos = 3000, 150
+    X_neg = gen.uniform(size=(n_neg, 8))
+    X_pos = gen.uniform(size=(n_pos, 8))
+    X_pos[:, 0] = gen.uniform(0.6, 1.0, size=n_pos)
+    X_pos[:, 1] = gen.uniform(0.55, 1.0, size=n_pos)
+    X = np.vstack([X_neg, X_pos])
+    y = np.concatenate([np.zeros(n_neg, dtype=np.int8), np.ones(n_pos, dtype=np.int8)])
+    order = gen.permutation(X.shape[0])
+    return X[order], y[order]

@@ -1,0 +1,149 @@
+"""Tests for the chunked (mini-batch) ORF streaming fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.oobe import OOBETracker
+from repro.core.online_tree import OnlineDecisionTree
+
+
+def stream(n, seed=0, p=0.05, d=6):
+    rng = np.random.default_rng(seed)
+    y = (rng.uniform(size=n) < p).astype(np.int8)
+    X = rng.uniform(size=(n, d))
+    pos = y == 1
+    X[pos, 0] = rng.uniform(0.6, 1.0, size=pos.sum())
+    return X, y
+
+
+def make_forest(seed=3, **kw):
+    defaults = dict(
+        n_trees=8, n_tests=25, min_parent_size=60, min_gain=0.04,
+        lambda_pos=1.0, lambda_neg=0.1, seed=seed,
+    )
+    defaults.update(kw)
+    return OnlineRandomForest(6, **defaults)
+
+
+class TestTrackerBatch:
+    def test_batch_matches_sequential_exactly(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, size=200).astype(np.int8)
+        y_pred = rng.integers(0, 2, size=200).astype(np.int8)
+        seq = OOBETracker(decay=0.03, min_observations=5)
+        for t, p in zip(y_true, y_pred):
+            seq.observe(int(t), int(p))
+        batch = OOBETracker(decay=0.03, min_observations=5)
+        batch.observe_batch(y_true, y_pred)
+        assert batch.err_pos == pytest.approx(seq.err_pos, rel=1e-10)
+        assert batch.err_neg == pytest.approx(seq.err_neg, rel=1e-10)
+        assert batch.n_pos == seq.n_pos and batch.n_neg == seq.n_neg
+
+    def test_batch_composes(self):
+        rng = np.random.default_rng(1)
+        y_true = rng.integers(0, 2, size=100).astype(np.int8)
+        y_pred = rng.integers(0, 2, size=100).astype(np.int8)
+        one = OOBETracker(decay=0.05)
+        one.observe_batch(y_true, y_pred)
+        two = OOBETracker(decay=0.05)
+        two.observe_batch(y_true[:37], y_pred[:37])
+        two.observe_batch(y_true[37:], y_pred[37:])
+        assert one.err_pos == pytest.approx(two.err_pos, rel=1e-10)
+        assert one.err_neg == pytest.approx(two.err_neg, rel=1e-10)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            OOBETracker().observe_batch(np.zeros(3), np.zeros(2))
+
+
+class TestTreeBatchUpdate:
+    def test_route_batch_matches_find_leaf(self):
+        tree = OnlineDecisionTree(
+            3, n_tests=30, min_parent_size=40, min_gain=0.03, seed=0
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(600):
+            x = rng.uniform(size=3)
+            tree.update(x, int(x[0] > 0.5))
+        X = rng.uniform(size=(50, 3))
+        routed = tree.route_batch(X)
+        singles = [tree.find_leaf(X[i]) for i in range(50)]
+        assert routed.tolist() == singles
+
+    def test_batch_accumulates_same_mass(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(200, 3))
+        y = (X[:, 0] > 0.5).astype(np.int8)
+        w = np.ones(200)
+        a = OnlineDecisionTree(3, n_tests=20, min_parent_size=10**9, seed=5)
+        b = OnlineDecisionTree(3, n_tests=20, min_parent_size=10**9, seed=5)
+        for i in range(200):
+            a.update(X[i], int(y[i]))
+        b.update_batch(X, y, w)
+        # no splits possible (huge alpha) → identical leaf statistics
+        assert a.age == b.age
+        sa = a._leaf_stats[0]
+        sb = b._leaf_stats[0]
+        assert np.allclose(sa.class_counts, sb.class_counts)
+        assert np.allclose(sa.test_stats, sb.test_stats)
+
+    def test_batch_can_split(self):
+        tree = OnlineDecisionTree(
+            3, n_tests=40, min_parent_size=50, min_gain=0.03, seed=2
+        )
+        X, y = stream(1500, seed=2, p=0.5, d=3)
+        tree.update_batch(X, y, np.ones(len(X)))
+        assert tree.n_splits >= 1
+
+    def test_empty_batch_noop(self):
+        tree = OnlineDecisionTree(3, seed=0)
+        tree.update_batch(np.zeros((0, 3)), np.zeros(0, np.int8), np.zeros(0))
+        assert tree.age == 0.0
+
+
+class TestForestChunked:
+    def test_quality_comparable_to_exact(self):
+        X, y = stream(20000, seed=3)
+        Xt, yt = stream(4000, seed=4)
+        exact = make_forest(seed=7).partial_fit(X, y)
+        chunked = make_forest(seed=7).partial_fit(X, y, chunk_size=1000)
+        def sep(f):
+            s = f.predict_score(Xt)
+            return s[yt == 1].mean() - s[yt == 0].mean()
+        assert sep(chunked) > 0.5 * sep(exact)
+        assert sep(chunked) > 0.1
+
+    def test_counters_maintained(self):
+        X, y = stream(5000, seed=5)
+        f = make_forest().partial_fit(X, y, chunk_size=500)
+        assert f.n_samples_seen == 5000
+        assert f.tree_ages().sum() > 0
+
+    def test_chunked_replacement_fires_under_drift(self):
+        rng = np.random.default_rng(0)
+        f = make_forest(
+            lambda_neg=0.5, oobe_threshold=0.2, age_threshold=200,
+            oobe_decay=0.05, oobe_min_observations=20, seed=8,
+        )
+        X1 = rng.uniform(size=(3000, 6))
+        y1 = (X1[:, 0] > 0.5).astype(np.int8)
+        X2 = rng.uniform(size=(3000, 6))
+        y2 = (X2[:, 0] <= 0.5).astype(np.int8)
+        f.partial_fit(X1, y1, chunk_size=500)
+        f.partial_fit(X2, y2, chunk_size=500)
+        assert f.n_replacements > 0
+
+    def test_chunk_size_zero_is_exact_path(self):
+        X, y = stream(1000, seed=6)
+        a = make_forest(seed=9).partial_fit(X, y)
+        b = make_forest(seed=9).partial_fit(X, y, chunk_size=0)
+        Xt, _ = stream(100, seed=7)
+        assert np.allclose(a.predict_score(Xt), b.predict_score(Xt))
+
+    def test_reproducible(self):
+        X, y = stream(4000, seed=8)
+        a = make_forest(seed=11).partial_fit(X, y, chunk_size=700)
+        b = make_forest(seed=11).partial_fit(X, y, chunk_size=700)
+        Xt, _ = stream(100, seed=9)
+        assert np.allclose(a.predict_score(Xt), b.predict_score(Xt))

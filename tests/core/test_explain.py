@@ -1,0 +1,97 @@
+"""Tests for alarm explanation (the §3.2 interpretability claim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import Explanation, explain_score, explain_tree, feature_usage
+from repro.core.forest import OnlineRandomForest
+
+
+@pytest.fixture(scope="module")
+def trained_forest():
+    """Signal lives in features 0 and 1; 2-5 are noise."""
+    rng = np.random.default_rng(0)
+    forest = OnlineRandomForest(
+        6, n_trees=10, n_tests=40, min_parent_size=60, min_gain=0.03,
+        lambda_pos=1.0, lambda_neg=0.3, seed=1,
+    )
+    n = 8000
+    X = rng.uniform(size=(n, 6))
+    y = ((X[:, 0] > 0.6) & (X[:, 1] > 0.5)).astype(np.int8)
+    forest.partial_fit(X, y)
+    return forest
+
+
+class TestExplainScore:
+    def test_decomposition_matches_score(self, trained_forest):
+        """prior + Σ contributions must equal the soft score exactly."""
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            x = rng.uniform(size=6)
+            exp = explain_score(trained_forest, x)
+            assert exp.score == pytest.approx(trained_forest.predict_one(x), abs=1e-9)
+            assert exp.score == pytest.approx(
+                exp.prior + exp.contributions.sum(), abs=1e-9
+            )
+
+    def test_signal_features_explain_alarms(self, trained_forest):
+        """A clearly-positive sample's score must be attributed to the
+        signal features, not the noise."""
+        x = np.array([0.95, 0.9, 0.5, 0.5, 0.5, 0.5])
+        exp = explain_score(trained_forest, x)
+        signal = np.abs(exp.contributions[:2]).sum()
+        noise = np.abs(exp.contributions[2:]).sum()
+        assert signal > noise
+
+    def test_negative_sample_gets_negative_contributions(self, trained_forest):
+        x = np.array([0.05, 0.05, 0.5, 0.5, 0.5, 0.5])
+        exp = explain_score(trained_forest, x)
+        assert exp.contributions[:2].sum() < 0.05  # pulled down, not up
+
+    def test_top_features_ranked(self, trained_forest):
+        x = np.array([0.95, 0.9, 0.5, 0.5, 0.5, 0.5])
+        names = [f"smart_{i}" for i in range(6)]
+        top = explain_score(trained_forest, x).top_features(3, names=names)
+        assert len(top) >= 1
+        assert top[0][0] in ("smart_0", "smart_1")
+        mags = [abs(v) for _, v in top]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_shape_validated(self, trained_forest):
+        with pytest.raises(ValueError):
+            explain_score(trained_forest, np.zeros(3))
+
+    def test_fresh_forest_all_zero(self):
+        forest = OnlineRandomForest(4, n_trees=3, seed=0)
+        exp = explain_score(forest, np.full(4, 0.5))
+        assert exp.prior == pytest.approx(0.5)
+        assert np.all(exp.contributions == 0.0)
+
+
+class TestExplainTree:
+    def test_single_tree_decomposition(self, trained_forest):
+        tree = trained_forest.trees[0]
+        x = np.array([0.9, 0.9, 0.2, 0.2, 0.2, 0.2])
+        prior, contrib = explain_tree(tree, x)
+        assert prior + contrib.sum() == pytest.approx(tree.predict_one(x), abs=1e-9)
+
+
+class TestFeatureUsage:
+    def test_normalized(self, trained_forest):
+        usage = feature_usage(trained_forest)
+        assert usage.sum() == pytest.approx(1.0)
+        assert np.all(usage >= 0)
+
+    def test_signal_features_dominate(self, trained_forest):
+        usage = feature_usage(trained_forest)
+        assert usage[:2].sum() > usage[2:].sum()
+
+    def test_unsplit_forest_zero(self):
+        forest = OnlineRandomForest(4, n_trees=2, seed=0)
+        assert np.all(feature_usage(forest) == 0.0)
+
+
+class TestExplanationContainer:
+    def test_top_features_skips_zeros(self):
+        exp = Explanation(score=0.6, prior=0.5, contributions=np.array([0.1, 0.0]))
+        assert exp.top_features(5) == [("feature_0", pytest.approx(0.1))]

@@ -1,0 +1,138 @@
+"""Tests for the multi-level health assessor."""
+
+import numpy as np
+import pytest
+
+from repro.core.health import (
+    DEFAULT_HORIZONS,
+    HealthLevels,
+    OnlineHealthAssessor,
+    health_level_accuracy,
+)
+
+
+class TestHealthLevels:
+    def test_default_levels(self):
+        levels = HealthLevels()
+        assert levels.horizons == DEFAULT_HORIZONS
+        assert levels.n_levels == 5
+
+    def test_level_of_boundaries(self):
+        levels = HealthLevels((7, 30))
+        assert levels.level_of(0) == 0
+        assert levels.level_of(6.9) == 0
+        assert levels.level_of(7) == 1
+        assert levels.level_of(29) == 1
+        assert levels.level_of(30) == 2
+        assert levels.level_of(float("inf")) == 2
+
+    def test_levels_of_vectorized(self):
+        levels = HealthLevels((7, 30))
+        dtf = np.array([0.0, 10.0, 100.0, np.inf])
+        assert levels.levels_of(dtf).tolist() == [0, 1, 2, 2]
+
+    def test_levels_of_matches_scalar(self):
+        levels = HealthLevels()
+        dtf = np.array([0, 5, 7, 13, 14, 29, 30, 89, 90, 10**6], dtype=float)
+        vec = levels.levels_of(dtf)
+        scalars = [levels.level_of(v) for v in dtf]
+        assert vec.tolist() == scalars
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthLevels(())
+        with pytest.raises(ValueError):
+            HealthLevels((7, 7))
+        with pytest.raises(ValueError):
+            HealthLevels((30, 7))
+        with pytest.raises(ValueError):
+            HealthLevels((-1, 7))
+        with pytest.raises(ValueError):
+            HealthLevels().level_of(-3)
+
+
+@pytest.fixture(scope="module")
+def trained_assessor():
+    """Synthetic residual-life problem: feature 0 encodes urgency."""
+    rng = np.random.default_rng(0)
+    assessor = OnlineHealthAssessor(
+        4,
+        levels=HealthLevels((7, 30)),
+        n_trees=8,
+        n_tests=25,
+        min_parent_size=50,
+        min_gain=0.03,
+        lambda_neg=0.1,
+        seed=1,
+    )
+    n = 6000
+    X = rng.uniform(size=(n, 4))
+    # dtf shrinks as feature 0 grows: x0>0.8 → dying now, x0>0.6 → weeks
+    dtf = np.where(
+        X[:, 0] > 0.8, rng.uniform(0, 7, n),
+        np.where(X[:, 0] > 0.6, rng.uniform(7, 30, n), np.inf),
+    )
+    assessor.partial_fit(X, dtf)
+    return assessor
+
+
+class TestAssessor:
+    def test_horizon_scores_shape(self, trained_assessor):
+        X = np.random.default_rng(1).uniform(size=(10, 4))
+        assert trained_assessor.horizon_scores(X).shape == (10, 2)
+
+    def test_urgent_drive_flagged_most_urgent(self, trained_assessor):
+        x = np.array([0.95, 0.5, 0.5, 0.5])
+        assert trained_assessor.assess_one(x) == 0
+
+    def test_healthy_drive_flagged_healthy(self, trained_assessor):
+        x = np.array([0.1, 0.5, 0.5, 0.5])
+        assert trained_assessor.assess_one(x) == 2
+
+    def test_intermediate_drive(self, trained_assessor):
+        x = np.array([0.7, 0.5, 0.5, 0.5])
+        assert trained_assessor.assess_one(x) in (0, 1)
+
+    def test_batch_assessment_accuracy(self, trained_assessor):
+        rng = np.random.default_rng(2)
+        n = 800
+        X = rng.uniform(size=(n, 4))
+        dtf = np.where(
+            X[:, 0] > 0.8, 3.0, np.where(X[:, 0] > 0.6, 15.0, np.inf)
+        )
+        actual = trained_assessor.levels.levels_of(dtf)
+        predicted = trained_assessor.assess(X)
+        assert health_level_accuracy(predicted, actual) > 0.7
+        assert health_level_accuracy(predicted, actual, tolerance=1) > 0.9
+
+    def test_lambda_neg_scales_with_horizon(self):
+        assessor = OnlineHealthAssessor(3, lambda_neg=0.02, n_trees=2, seed=0)
+        lams = [f.lambda_neg for f in assessor.forests]
+        assert lams == sorted(lams)
+        assert lams[0] == pytest.approx(0.02)
+
+    def test_threshold_count_validated(self):
+        with pytest.raises(ValueError, match="one threshold per horizon"):
+            OnlineHealthAssessor(3, thresholds=[0.5], n_trees=2, seed=0)
+
+    def test_partial_fit_validates_length(self):
+        assessor = OnlineHealthAssessor(3, n_trees=2, seed=0)
+        with pytest.raises(ValueError):
+            assessor.partial_fit(np.zeros((3, 3)), np.zeros(2))
+
+
+class TestAccuracyMetric:
+    def test_exact(self):
+        assert health_level_accuracy(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_tolerance(self):
+        assert health_level_accuracy(
+            np.array([0, 1, 2]), np.array([0, 1, 1]), tolerance=1
+        ) == 1.0
+
+    def test_empty_nan(self):
+        assert np.isnan(health_level_accuracy(np.array([]), np.array([])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            health_level_accuracy(np.array([1]), np.array([1, 2]))

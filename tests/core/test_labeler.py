@@ -1,0 +1,109 @@
+"""Tests for the automatic online label method (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeler import OnlineLabeler
+
+
+class TestObserve:
+    def test_no_release_until_queue_full(self):
+        labeler = OnlineLabeler(queue_length=3)
+        for i in range(3):
+            assert labeler.observe("d1", np.array([float(i)])) == []
+        assert labeler.pending_for("d1") == 3
+
+    def test_oldest_released_as_negative(self):
+        """Figure 1(a): new sample at a full queue confirms the oldest negative."""
+        labeler = OnlineLabeler(queue_length=3)
+        for i in range(3):
+            labeler.observe("d1", np.array([float(i)]), tag=i)
+        released = labeler.observe("d1", np.array([3.0]), tag=3)
+        assert len(released) == 1
+        assert released[0].y == 0
+        assert released[0].x[0] == 0.0  # FIFO: the oldest sample
+        assert released[0].tag == 0
+
+    def test_queue_length_is_stable(self):
+        labeler = OnlineLabeler(queue_length=4)
+        for i in range(20):
+            labeler.observe("d1", np.array([float(i)]))
+        assert labeler.pending_for("d1") == 4
+
+    def test_disks_independent(self):
+        labeler = OnlineLabeler(queue_length=2)
+        labeler.observe("a", np.zeros(1))
+        labeler.observe("b", np.zeros(1))
+        labeler.observe("a", np.zeros(1))
+        released = labeler.observe("a", np.zeros(1))
+        assert len(released) == 1
+        assert labeler.pending_for("b") == 1
+
+
+class TestFail:
+    def test_all_queued_become_positive(self):
+        """Figure 1(b): failure flushes the entire queue as positives."""
+        labeler = OnlineLabeler(queue_length=7)
+        for i in range(5):
+            labeler.observe("d1", np.array([float(i)]), tag=i)
+        released = labeler.fail("d1")
+        assert len(released) == 5
+        assert all(s.y == 1 for s in released)
+        assert [s.tag for s in released] == [0, 1, 2, 3, 4]
+
+    def test_disk_removed_after_failure(self):
+        labeler = OnlineLabeler(queue_length=3)
+        labeler.observe("d1", np.zeros(1))
+        labeler.fail("d1")
+        assert labeler.pending_for("d1") == 0
+        assert labeler.n_disks == 0
+
+    def test_fail_unknown_disk_is_empty(self):
+        assert OnlineLabeler().fail("ghost") == []
+
+    def test_failed_disk_can_reappear_fresh(self):
+        labeler = OnlineLabeler(queue_length=2)
+        labeler.observe("d1", np.zeros(1))
+        labeler.fail("d1")
+        labeler.observe("d1", np.ones(1))
+        assert labeler.pending_for("d1") == 1
+
+
+class TestRetire:
+    def test_samples_discarded_without_labels(self):
+        labeler = OnlineLabeler(queue_length=5)
+        for i in range(4):
+            labeler.observe("d1", np.zeros(1))
+        assert labeler.retire("d1") == 4
+        assert labeler.n_disks == 0
+
+    def test_retire_unknown_disk(self):
+        assert OnlineLabeler().retire("ghost") == 0
+
+
+class TestBookkeeping:
+    def test_n_pending_total(self):
+        labeler = OnlineLabeler(queue_length=5)
+        labeler.observe("a", np.zeros(1))
+        labeler.observe("a", np.zeros(1))
+        labeler.observe("b", np.zeros(1))
+        assert labeler.n_pending == 3
+        assert labeler.n_disks == 2
+
+    def test_queue_length_validation(self):
+        with pytest.raises(ValueError):
+            OnlineLabeler(queue_length=0)
+
+    def test_conservation(self):
+        """Every observed sample is eventually released, flushed, or pending."""
+        rng = np.random.default_rng(0)
+        labeler = OnlineLabeler(queue_length=7)
+        n_in = n_out = 0
+        for step in range(500):
+            disk = f"d{rng.integers(0, 10)}"
+            if rng.uniform() < 0.02:
+                n_out += len(labeler.fail(disk))
+            else:
+                n_in += 1
+                n_out += len(labeler.observe(disk, rng.uniform(size=2)))
+        assert n_in == n_out + labeler.n_pending

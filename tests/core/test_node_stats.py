@@ -1,0 +1,144 @@
+"""Tests for per-leaf statistics and the Gini-gain computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.node_stats import LeafStats, gini
+from repro.core.random_tests import default_feature_ranges, make_random_tests
+
+
+def make_leaf(n_tests=10, n_features=3, seed=0):
+    ts = make_random_tests(seed, n_tests, n_features, default_feature_ranges(n_features))
+    return LeafStats(ts), ts
+
+
+class TestGini:
+    def test_matches_paper_formula(self):
+        """Eq. 1: G = p0(1-p0) + p1(1-p1) == 2 p0 p1."""
+        counts = np.array([3.0, 1.0])
+        p1 = 0.25
+        expected = p1 * (1 - p1) + (1 - p1) * p1
+        assert np.isclose(gini(counts), expected)
+
+    def test_empty_zero(self):
+        assert gini(np.zeros(2)) == 0.0
+
+    def test_max_half(self):
+        assert np.isclose(gini(np.array([5.0, 5.0])), 0.5)
+
+    @given(st.floats(0, 1000), st.floats(0, 1000))
+    def test_property_range(self, c0, c1):
+        g = float(gini(np.array([c0, c1])))
+        assert 0.0 <= g <= 0.5 + 1e-12
+
+
+class TestUpdate:
+    def test_class_counts_accumulate(self):
+        leaf, _ = make_leaf()
+        leaf.update(np.array([0.1, 0.2, 0.3]), 0)
+        leaf.update(np.array([0.9, 0.8, 0.7]), 1)
+        leaf.update(np.array([0.9, 0.8, 0.7]), 1, weight=2.0)
+        assert leaf.class_counts.tolist() == [1.0, 3.0]
+        assert leaf.n_seen == 4.0
+
+    def test_test_stats_partition_consistency(self):
+        """Per test, left+right class totals equal the leaf's own counts."""
+        leaf, _ = make_leaf(n_tests=25)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            leaf.update(rng.uniform(size=3), int(rng.integers(0, 2)))
+        per_test_totals = leaf.test_stats.sum(axis=1)  # (N, class)
+        assert np.allclose(per_test_totals, leaf.class_counts[None, :])
+
+    def test_update_batch_matches_sequential(self):
+        leaf_a, ts = make_leaf(n_tests=15, seed=3)
+        leaf_b = LeafStats(ts)
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(30, 3))
+        y = (rng.uniform(size=30) < 0.3).astype(np.int64)
+        w = np.ones(30)
+        for i in range(30):
+            leaf_a.update(X[i], int(y[i]), w[i])
+        leaf_b.update_batch(X, y, w)
+        assert np.allclose(leaf_a.test_stats, leaf_b.test_stats)
+        assert np.allclose(leaf_a.class_counts, leaf_b.class_counts)
+
+    def test_leaf_without_tests_tracks_counts_only(self):
+        leaf = LeafStats(None)
+        leaf.update(np.array([0.5]), 1)
+        assert leaf.test_stats is None
+        assert leaf.class_counts[1] == 1.0
+
+
+class TestGains:
+    def test_no_gain_on_unseen_leaf(self):
+        leaf, _ = make_leaf()
+        assert np.all(leaf.gains() == 0.0)
+
+    def test_perfect_test_gets_max_gain(self):
+        """A test that splits classes exactly reaches ΔG == parent Gini."""
+        from repro.core.random_tests import RandomTestSet
+
+        ts = RandomTestSet(
+            features=np.array([0, 0], dtype=np.int32),
+            thresholds=np.array([0.5, 0.99]),
+        )
+        leaf = LeafStats(ts)
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            leaf.update(np.array([rng.uniform(0.0, 0.4)]), 0)
+            leaf.update(np.array([rng.uniform(0.6, 0.9)]), 1)
+        gains = leaf.gains()
+        assert np.isclose(gains[0], 0.5)  # perfect separation of a 50/50 leaf
+        assert gains[1] < 0.05  # threshold 0.99 sends everything left
+
+    def test_best_split_picks_argmax(self):
+        leaf, _ = make_leaf(n_tests=40, seed=5)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            x = rng.uniform(size=3)
+            leaf.update(x, int(x[0] > 0.5))
+        idx, gain = leaf.best_split()
+        gains = leaf.gains()
+        assert gain == gains[idx] == gains.max()
+
+    def test_best_split_without_tests(self):
+        leaf = LeafStats(None)
+        assert leaf.best_split() == (-1, 0.0)
+
+    def test_gains_never_negative_in_expectation(self):
+        leaf, _ = make_leaf(n_tests=30, seed=9)
+        rng = np.random.default_rng(4)
+        for _ in range(300):
+            leaf.update(rng.uniform(size=3), int(rng.integers(0, 2)))
+        assert leaf.gains().min() > -1e-9
+
+
+class TestPosterior:
+    def test_empty_leaf_half(self):
+        leaf = LeafStats(None)
+        assert leaf.posterior_positive() == 0.5
+
+    def test_laplace_pull_toward_half(self):
+        leaf = LeafStats(None)
+        leaf.update(np.zeros(1), 1)
+        assert 0.5 < leaf.posterior_positive() < 1.0
+
+    def test_prior_counts_inherited(self):
+        leaf = LeafStats(None, prior_counts=np.array([10.0, 0.0]))
+        assert leaf.posterior_positive() < 0.2
+        assert leaf.n_seen == 0.0  # inherited mass doesn't count toward |D|
+
+    def test_child_counts_partition(self):
+        leaf, _ = make_leaf(n_tests=5, seed=2)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            leaf.update(rng.uniform(size=3), int(rng.integers(0, 2)))
+        left, right = leaf.child_counts(2)
+        assert np.allclose(left + right, leaf.class_counts)
+
+    def test_child_counts_requires_tests(self):
+        with pytest.raises(RuntimeError):
+            LeafStats(None).child_counts(0)

@@ -1,0 +1,104 @@
+"""Tests for OOBE tracking and the tree-decay rule."""
+
+import pytest
+
+from repro.core.oobe import OOBETracker
+
+
+class TestObserve:
+    def test_starts_at_zero(self):
+        assert OOBETracker().value() == 0.0
+
+    def test_under_observed_reads_zero(self):
+        tracker = OOBETracker(min_observations=10)
+        for _ in range(9):
+            tracker.observe(0, 1)  # all mistakes
+            tracker.observe(1, 0)
+        assert tracker.value() == 0.0  # 9 < 10 per class
+
+    def test_all_mistakes_converges_to_one(self):
+        tracker = OOBETracker(decay=0.05, min_observations=5)
+        for _ in range(500):
+            tracker.observe(0, 1)
+            tracker.observe(1, 0)
+        assert tracker.value() > 0.9
+
+    def test_all_correct_stays_zero(self):
+        tracker = OOBETracker(min_observations=5)
+        for _ in range(100):
+            tracker.observe(0, 0)
+            tracker.observe(1, 1)
+        assert tracker.value() == 0.0
+
+    def test_balanced_error_is_mean_of_classes(self):
+        """Negatives always right, positives always wrong → 0.5."""
+        tracker = OOBETracker(decay=0.05, min_observations=5)
+        for _ in range(500):
+            tracker.observe(0, 0)
+            tracker.observe(1, 0)
+        assert tracker.value() == pytest.approx(0.5, abs=0.05)
+
+    def test_imbalance_does_not_drown_positive_errors(self):
+        """1000 correct negatives must not hide a dead positive class."""
+        tracker = OOBETracker(decay=0.05, min_observations=5)
+        for _ in range(1000):
+            tracker.observe(0, 0)
+        for _ in range(20):
+            tracker.observe(1, 0)
+        assert tracker.value() > 0.3
+
+    def test_counts(self):
+        tracker = OOBETracker()
+        tracker.observe(0, 0)
+        tracker.observe(1, 1)
+        tracker.observe(1, 0)
+        assert tracker.n_neg == 1 and tracker.n_pos == 2
+        assert tracker.n_observations == 3
+
+
+class TestDecayRule:
+    def _saturated(self):
+        tracker = OOBETracker(decay=0.1, min_observations=5)
+        for _ in range(200):
+            tracker.observe(0, 1)
+            tracker.observe(1, 0)
+        return tracker
+
+    def test_requires_both_conditions(self):
+        tracker = self._saturated()
+        assert tracker.is_decayed(5000, oobe_threshold=0.5, age_threshold=2000)
+        assert not tracker.is_decayed(100, oobe_threshold=0.5, age_threshold=2000)
+        assert not tracker.is_decayed(5000, oobe_threshold=1.0, age_threshold=2000)
+
+    def test_young_accurate_tree_never_decayed(self):
+        tracker = OOBETracker()
+        tracker.observe(0, 0)
+        assert not tracker.is_decayed(10, oobe_threshold=0.1, age_threshold=5)
+
+
+class TestReset:
+    def test_clears_everything(self):
+        tracker = self._make_dirty()
+        tracker.reset()
+        assert tracker.value() == 0.0
+        assert tracker.n_observations == 0
+
+    @staticmethod
+    def _make_dirty():
+        tracker = OOBETracker(decay=0.2, min_observations=1)
+        for _ in range(50):
+            tracker.observe(1, 0)
+            tracker.observe(0, 1)
+        return tracker
+
+
+class TestValidation:
+    def test_decay_bounds(self):
+        with pytest.raises(ValueError):
+            OOBETracker(decay=0.0)
+        with pytest.raises(ValueError):
+            OOBETracker(decay=1.0)
+
+    def test_min_observations_positive(self):
+        with pytest.raises(ValueError):
+            OOBETracker(min_observations=0)

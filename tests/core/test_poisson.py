@@ -1,0 +1,64 @@
+"""Tests for imbalance-aware online bagging (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.poisson import ImbalanceBagger
+
+
+class TestRates:
+    def test_rate_per_class(self):
+        bagger = ImbalanceBagger(1.0, 0.02, seed=0)
+        assert bagger.rate_for(1) == 1.0
+        assert bagger.rate_for(0) == 0.02
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            ImbalanceBagger().rate_for(2)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            ImbalanceBagger(lambda_pos=-1.0)
+
+
+class TestDraws:
+    def test_shape(self):
+        ks = ImbalanceBagger(seed=0).draw(1, 25)
+        assert ks.shape == (25,)
+        assert ks.dtype == np.int64
+
+    def test_zero_lambda_always_zero(self):
+        bagger = ImbalanceBagger(lambda_pos=0.0, seed=0)
+        assert np.all(bagger.draw(1, 100) == 0)
+
+    def test_positive_mean_approximates_lambda_pos(self):
+        bagger = ImbalanceBagger(1.0, 0.02, seed=0)
+        draws = np.concatenate([bagger.draw(1, 100) for _ in range(200)])
+        assert abs(draws.mean() - 1.0) < 0.05
+
+    def test_negatives_rarely_selected(self):
+        """With λn = 0.02, ~98% of negative draws are zero (the OOB path)."""
+        bagger = ImbalanceBagger(1.0, 0.02, seed=0)
+        draws = np.concatenate([bagger.draw(0, 100) for _ in range(200)])
+        assert (draws == 0).mean() > 0.95
+
+    def test_invalid_tree_count(self):
+        with pytest.raises(ValueError):
+            ImbalanceBagger().draw(1, 0)
+
+    def test_reproducible(self):
+        a = ImbalanceBagger(seed=5).draw(1, 50)
+        b = ImbalanceBagger(seed=5).draw(1, 50)
+        assert np.array_equal(a, b)
+
+
+class TestExpectedUpdateFraction:
+    def test_matches_poisson_mass(self):
+        bagger = ImbalanceBagger(1.0, 0.02)
+        assert bagger.expected_update_fraction(1) == pytest.approx(1 - np.exp(-1))
+        assert bagger.expected_update_fraction(0) == pytest.approx(1 - np.exp(-0.02))
+
+    def test_empirical_agreement(self):
+        bagger = ImbalanceBagger(0.5, 0.1, seed=1)
+        draws = np.concatenate([bagger.draw(1, 100) for _ in range(300)])
+        assert abs((draws > 0).mean() - bagger.expected_update_fraction(1)) < 0.02

@@ -1,0 +1,145 @@
+"""Tests for the Algorithm-2 streaming monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.predictor import OnlineDiskFailurePredictor
+
+
+def make_predictor(**kwargs):
+    forest = OnlineRandomForest(
+        4,
+        n_trees=8,
+        n_tests=25,
+        min_parent_size=40,
+        min_gain=0.03,
+        lambda_pos=1.0,
+        lambda_neg=0.2,
+        seed=0,
+    )
+    defaults = dict(queue_length=3, alarm_threshold=0.6)
+    defaults.update(kwargs)
+    return OnlineDiskFailurePredictor(forest, **defaults)
+
+
+def healthy_x(rng):
+    return rng.uniform(0.0, 0.4, size=4)
+
+
+def sick_x(rng):
+    return rng.uniform(0.7, 1.0, size=4)
+
+
+class TestUpdatePhase:
+    def test_negatives_flow_into_forest(self):
+        pred = make_predictor()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            pred.process_sample("d1", healthy_x(rng))
+        # queue_length 3 → first 3 pending, 7 released as negatives
+        assert pred.stats.n_updates_neg == 7
+        assert pred.forest.n_samples_seen == 7
+
+    def test_failure_flushes_positives(self):
+        pred = make_predictor()
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            pred.process_sample("d1", sick_x(rng))
+        n = pred.process_failure("d1")
+        assert n == 3
+        assert pred.stats.n_updates_pos == 3
+        assert pred.stats.n_failures == 1
+
+    def test_process_combined_routes(self):
+        pred = make_predictor()
+        rng = np.random.default_rng(0)
+        pred.process("d1", healthy_x(rng), failed=False)
+        pred.process("d1", sick_x(rng), failed=True)  # final snapshot + failure
+        assert pred.stats.n_failures == 1
+        assert pred.stats.n_updates_pos == 2  # both queued samples flushed
+
+    def test_process_requires_x_for_working_disk(self):
+        pred = make_predictor()
+        with pytest.raises(ValueError):
+            pred.process("d1", None, failed=False)
+
+    def test_failure_without_final_snapshot(self):
+        pred = make_predictor()
+        rng = np.random.default_rng(0)
+        pred.process_sample("d1", sick_x(rng))
+        pred.process("d1", None, failed=True)
+        assert pred.stats.n_updates_pos == 1
+
+
+class TestAlarms:
+    def _train(self, pred, n_disks=40, rng=None):
+        """Simulate a fleet where high-feature disks die."""
+        rng = rng or np.random.default_rng(1)
+        for d in range(n_disks):
+            disk = f"h{d}"
+            for _ in range(8):
+                pred.process_sample(disk, healthy_x(rng))
+        for d in range(25):
+            disk = f"s{d}"
+            for _ in range(3):
+                pred.process_sample(disk, sick_x(rng))
+            pred.process_failure(disk)
+
+    def test_risky_disk_raises_alarm(self):
+        pred = make_predictor(alarm_threshold=0.6)
+        rng = np.random.default_rng(1)
+        self._train(pred, rng=rng)
+        alarm = pred.process_sample("new-sick", sick_x(rng))
+        assert alarm is not None
+        assert alarm.score >= 0.6
+        assert alarm.disk_id == "new-sick"
+
+    def test_healthy_disk_quiet(self):
+        pred = make_predictor(alarm_threshold=0.6)
+        rng = np.random.default_rng(1)
+        self._train(pred, rng=rng)
+        before = pred.stats.n_alarms
+        for _ in range(5):
+            pred.process_sample("new-healthy", healthy_x(rng))
+        # allow at most incidental noise alarms
+        assert pred.stats.n_alarms - before <= 1
+
+    def test_warmup_suppresses_early_alarms(self):
+        pred = make_predictor(alarm_threshold=0.0, warmup_samples=10**9)
+        rng = np.random.default_rng(1)
+        self._train(pred, rng=rng)
+        assert pred.stats.n_alarms == 0
+
+    def test_alarm_recording_toggle(self):
+        pred = make_predictor(alarm_threshold=0.0, record_alarms=False)
+        rng = np.random.default_rng(1)
+        self._train(pred, rng=rng)
+        assert pred.stats.n_alarms > 0
+        assert pred.stats.alarms == []
+
+    def test_alarm_tags_carried(self):
+        pred = make_predictor(alarm_threshold=0.0)
+        rng = np.random.default_rng(1)
+        self._train(pred, rng=rng)
+        alarm = pred.process_sample("x", sick_x(rng), tag="day-42")
+        assert alarm is not None and alarm.tag == "day-42"
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        forest = OnlineRandomForest(4, n_trees=2, seed=0)
+        with pytest.raises(ValueError):
+            OnlineDiskFailurePredictor(forest, alarm_threshold=1.5)
+
+    def test_warmup_nonnegative(self):
+        forest = OnlineRandomForest(4, n_trees=2, seed=0)
+        with pytest.raises(ValueError):
+            OnlineDiskFailurePredictor(forest, warmup_samples=-1)
+
+    def test_monitored_disk_count(self):
+        pred = make_predictor()
+        rng = np.random.default_rng(0)
+        pred.process_sample("a", healthy_x(rng))
+        pred.process_sample("b", healthy_x(rng))
+        assert pred.n_monitored_disks == 2

@@ -1,0 +1,97 @@
+"""Tests for random candidate-test generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.random_tests import (
+    RandomTestSet,
+    default_feature_ranges,
+    make_random_tests,
+    validate_feature_ranges,
+)
+
+
+class TestMakeRandomTests:
+    def test_shapes(self):
+        ranges = default_feature_ranges(5)
+        ts = make_random_tests(0, 20, 5, ranges)
+        assert ts.n_tests == 20
+        assert ts.features.shape == (20,)
+        assert ts.thresholds.shape == (20,)
+
+    def test_features_in_range(self):
+        ranges = default_feature_ranges(5)
+        ts = make_random_tests(0, 100, 5, ranges)
+        assert ts.features.min() >= 0 and ts.features.max() < 5
+
+    def test_thresholds_within_feature_ranges(self):
+        ranges = np.array([[0.0, 1.0], [5.0, 10.0]])
+        ts = make_random_tests(0, 200, 2, ranges)
+        for f, thr in zip(ts.features, ts.thresholds):
+            lo, hi = ranges[f]
+            assert lo <= thr <= hi
+
+    def test_reproducible(self):
+        ranges = default_feature_ranges(3)
+        a = make_random_tests(7, 10, 3, ranges)
+        b = make_random_tests(7, 10, 3, ranges)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.thresholds, b.thresholds)
+
+    def test_degenerate_range(self):
+        ranges = np.array([[0.5, 0.5]])
+        ts = make_random_tests(0, 10, 1, ranges)
+        assert np.all(ts.thresholds == 0.5)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            make_random_tests(0, 0, 3, default_feature_ranges(3))
+
+
+class TestEvaluate:
+    def test_single_sample_sides(self):
+        ts = RandomTestSet(
+            features=np.array([0, 1], dtype=np.int32),
+            thresholds=np.array([0.5, 0.5]),
+        )
+        x = np.array([0.9, 0.1])
+        assert ts.evaluate(x).tolist() == [1, 0]
+
+    def test_boundary_goes_left(self):
+        """x == θ is NOT > θ, so it routes left (side 0)."""
+        ts = RandomTestSet(
+            features=np.array([0], dtype=np.int32), thresholds=np.array([0.5])
+        )
+        assert ts.evaluate(np.array([0.5])).tolist() == [0]
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(0)
+        ts = make_random_tests(rng, 30, 4, default_feature_ranges(4))
+        X = rng.uniform(size=(10, 4))
+        batch = ts.evaluate_batch(X)
+        for i in range(10):
+            assert np.array_equal(batch[i], ts.evaluate(X[i]))
+
+
+class TestValidateRanges:
+    def test_accepts_valid(self):
+        out = validate_feature_ranges([[0, 1], [2, 3]], 2)
+        assert out.shape == (2, 2)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            validate_feature_ranges(np.zeros((3, 2)), 2)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            validate_feature_ranges([[1.0, 0.0]], 1)
+
+    @given(st.integers(1, 20), st.integers(1, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_tests_valid(self, n_features, n_tests):
+        ranges = default_feature_ranges(n_features)
+        ts = make_random_tests(3, n_tests, n_features, ranges)
+        assert np.all((ts.thresholds >= 0.0) & (ts.thresholds <= 1.0))
+        assert np.all((ts.features >= 0) & (ts.features < n_features))

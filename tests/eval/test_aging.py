@@ -1,0 +1,104 @@
+"""Tests for the score-drift watchdog."""
+
+import numpy as np
+import pytest
+
+from repro.eval.aging import DriftAlert, ScoreDriftMonitor
+
+
+def make_monitor(**kw):
+    defaults = dict(
+        baseline_size=500, window_size=300, psi_threshold=0.25, check_every=50
+    )
+    defaults.update(kw)
+    return ScoreDriftMonitor(**defaults)
+
+
+class TestBaseline:
+    def test_baseline_freezes_after_n(self):
+        monitor = make_monitor()
+        rng = np.random.default_rng(0)
+        for _ in range(499):
+            monitor.observe(rng.uniform())
+        assert not monitor.baseline_ready
+        monitor.observe(rng.uniform())
+        assert monitor.baseline_ready
+
+    def test_no_alerts_during_baseline(self):
+        monitor = make_monitor()
+        rng = np.random.default_rng(0)
+        alerts = monitor.observe_batch(rng.uniform(size=400))
+        assert alerts == []
+
+
+class TestDetection:
+    def test_stationary_scores_stay_quiet(self):
+        monitor = make_monitor()
+        rng = np.random.default_rng(0)
+        monitor.observe_batch(rng.beta(2, 8, size=500))   # baseline
+        alerts = monitor.observe_batch(rng.beta(2, 8, size=3000))
+        assert alerts == []
+
+    def test_shifted_scores_alert(self):
+        monitor = make_monitor()
+        rng = np.random.default_rng(0)
+        monitor.observe_batch(rng.beta(2, 8, size=500))   # low scores
+        alerts = monitor.observe_batch(rng.beta(8, 2, size=1500))  # high scores
+        assert alerts
+        first = alerts[0]
+        assert isinstance(first, DriftAlert)
+        assert first.recent_mean > first.baseline_mean
+        assert first.psi > 0.25
+
+    def test_gradual_drift_eventually_alerts(self):
+        monitor = make_monitor()
+        rng = np.random.default_rng(1)
+        monitor.observe_batch(rng.beta(2, 8, size=500))
+        alerts = []
+        for step in range(30):
+            shift = 2 + 6 * step / 30
+            alerts += monitor.observe_batch(rng.beta(shift, 8 - 0.2 * step, size=200))
+        assert alerts
+
+    def test_alert_records_accumulate(self):
+        monitor = make_monitor()
+        rng = np.random.default_rng(0)
+        monitor.observe_batch(rng.beta(2, 8, size=500))
+        monitor.observe_batch(rng.beta(8, 2, size=2000))
+        assert len(monitor.alerts) >= 1
+
+
+class TestLifecycle:
+    def test_current_psi_nan_until_ready(self):
+        monitor = make_monitor()
+        assert np.isnan(monitor.current_psi())
+        rng = np.random.default_rng(0)
+        monitor.observe_batch(rng.uniform(size=500))
+        assert np.isnan(monitor.current_psi())  # window not full yet
+        monitor.observe_batch(rng.uniform(size=300))
+        assert np.isfinite(monitor.current_psi())
+
+    def test_reset_baseline_restarts(self):
+        monitor = make_monitor()
+        rng = np.random.default_rng(0)
+        monitor.observe_batch(rng.beta(2, 8, size=500))
+        monitor.observe_batch(rng.beta(8, 2, size=500))
+        monitor.reset_baseline()
+        assert not monitor.baseline_ready
+        # quiet after re-baselining on the new distribution
+        monitor.observe_batch(rng.beta(8, 2, size=500))
+        alerts = monitor.observe_batch(rng.beta(8, 2, size=1000))
+        assert alerts == []
+
+    def test_check_every_throttles(self):
+        monitor = make_monitor(check_every=10**9)
+        rng = np.random.default_rng(0)
+        monitor.observe_batch(rng.beta(2, 8, size=500))
+        alerts = monitor.observe_batch(rng.beta(8, 2, size=2000))
+        assert alerts == []  # PSI never evaluated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoreDriftMonitor(baseline_size=0)
+        with pytest.raises(ValueError):
+            ScoreDriftMonitor(psi_threshold=0.0)

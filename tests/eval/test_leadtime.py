@@ -1,0 +1,86 @@
+"""Tests for lead-time and AUC metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.leadtime import (
+    curve_auc,
+    lead_time_distribution,
+    lead_time_summary,
+    migration_feasible_rate,
+)
+
+
+class TestLeadTime:
+    def _scenario(self):
+        """Disk 1 alarms 5 days before death, disk 2 never, disk 3 only
+        40 days before (outside the credit window)."""
+        serials = np.array([1, 1, 1, 2, 2, 3, 3])
+        days = np.array([90, 95, 99, 90, 99, 60, 95])
+        scores = np.array([0.1, 0.9, 0.9, 0.1, 0.2, 0.9, 0.1])
+        fail = {1: 100, 2: 100, 3: 100}
+        return scores, serials, days, fail
+
+    def test_first_alarm_sets_lead(self):
+        scores, serials, days, fail = self._scenario()
+        lt = lead_time_distribution(scores, serials, days, fail, 0.5)
+        assert lt[1] == 5.0
+
+    def test_undetected_is_minus_one(self):
+        scores, serials, days, fail = self._scenario()
+        lt = lead_time_distribution(scores, serials, days, fail, 0.5)
+        assert lt[2] == -1.0
+
+    def test_stale_alarm_not_credited(self):
+        scores, serials, days, fail = self._scenario()
+        lt = lead_time_distribution(scores, serials, days, fail, 0.5, max_lead_days=30)
+        assert lt[3] == -1.0
+
+    def test_summary(self):
+        scores, serials, days, fail = self._scenario()
+        lt = lead_time_distribution(scores, serials, days, fail, 0.5)
+        s = lead_time_summary(lt)
+        assert s["n_failed"] == 3 and s["n_detected"] == 1
+        assert s["median_days"] == 5.0
+
+    def test_summary_empty(self):
+        s = lead_time_summary({1: -1.0})
+        assert s["n_detected"] == 0
+        assert np.isnan(s["median_days"])
+
+    def test_migration_feasible_rate(self):
+        lt = {1: 5.0, 2: -1.0, 3: 10.0}
+        assert migration_feasible_rate(lt, 4.0) == pytest.approx(2 / 3)
+        assert migration_feasible_rate(lt, 8.0) == pytest.approx(1 / 3)
+
+    def test_feasible_rate_validates(self):
+        with pytest.raises(ValueError):
+            migration_feasible_rate({1: 5.0}, 0.0)
+        assert np.isnan(migration_feasible_rate({}, 1.0))
+
+
+class TestCurveAuc:
+    def _rows(self, separation, seed=0, n_disks=300):
+        rng = np.random.default_rng(seed)
+        serials = np.repeat(np.arange(n_disks), 4)
+        failed = serials < n_disks // 3
+        scores = rng.uniform(size=serials.size) + separation * failed
+        return scores, serials, failed, ~failed
+
+    def test_perfect_separation_auc_one(self):
+        scores, serials, det, fa = self._rows(10.0)
+        assert curve_auc(scores, serials, det, fa) == pytest.approx(1.0, abs=0.01)
+
+    def test_no_separation_auc_half(self):
+        scores, serials, det, fa = self._rows(0.0)
+        assert abs(curve_auc(scores, serials, det, fa) - 0.5) < 0.1
+
+    def test_monotone_in_separation(self):
+        weak = curve_auc(*self._rows(0.2))
+        strong = curve_auc(*self._rows(1.0))
+        assert strong > weak
+
+    def test_bounded(self):
+        scores, serials, det, fa = self._rows(0.5)
+        auc = curve_auc(scores, serials, det, fa)
+        assert 0.0 <= auc <= 1.0

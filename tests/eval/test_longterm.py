@@ -1,0 +1,102 @@
+"""Integration tests for the §4.5 long-term-use simulation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.longterm import LongTermConfig, run_longterm
+from repro.smart.drive_model import STA, scaled_spec
+from repro.smart.generator import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    spec = scaled_spec(STA, fleet_scale=0.15, duration_months=12)
+    return generate_dataset(spec, seed=31, sample_every_days=2)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return LongTermConfig(
+        warmup_months=4,
+        fdr_window_months=3,
+        rf_params=dict(n_trees=8, max_features="sqrt", min_samples_leaf=2),
+        orf_params=dict(
+            n_trees=8, n_tests=25, min_parent_size=60.0, min_gain=0.05,
+            lambda_pos=1.0, lambda_neg=0.03,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def results(dataset, fast_config):
+    return run_longterm(dataset, config=fast_config, seed=13)
+
+
+class TestStructure:
+    def test_all_strategies_present(self, results):
+        assert set(results) == {"no_update", "replacing", "accumulation", "orf"}
+
+    def test_months_start_after_warmup(self, results, fast_config):
+        for series in results.values():
+            assert all(p.month >= fast_config.warmup_months for p in series)
+
+    def test_rates_valid(self, results):
+        for series in results.values():
+            for p in series:
+                assert 0.0 <= p.far <= 1.0
+                assert np.isnan(p.fdr) or 0.0 <= p.fdr <= 1.0
+                assert p.n_good >= 0
+
+    def test_thresholds_recorded(self, results):
+        for series in results.values():
+            assert all(0.0 <= p.threshold <= 1.0 + 1e-6 for p in series)
+
+
+class TestAgingShape:
+    def test_no_update_far_drifts_up(self, results):
+        """The headline model-aging effect: stale model's FAR climbs."""
+        series = results["no_update"]
+        early = np.mean([p.far for p in series[:2]])
+        late = np.mean([p.far for p in series[-2:]])
+        assert late >= early
+
+    def test_orf_far_stays_bounded(self, results):
+        series = results["orf"]
+        late = np.mean([p.far for p in series[-3:]])
+        assert late < 0.10
+
+    def test_orf_far_not_worse_than_no_update(self, results):
+        """At this tiny scale drift may not have bitten yet, so compare with
+        slack; the full-scale comparison lives in the Figure-4 bench."""
+        orf_mean = np.mean([p.far for p in results["orf"][-3:]])
+        stale_mean = np.mean([p.far for p in results["no_update"][-3:]])
+        assert orf_mean <= max(stale_mean, 0.05)
+
+    def test_adaptive_strategies_detect_failures(self, results):
+        for name in ("accumulation", "orf"):
+            fdrs = [p.fdr for p in results[name] if not np.isnan(p.fdr)]
+            if fdrs:
+                assert np.mean(fdrs) > 0.4, name
+
+
+class TestConfigValidation:
+    def test_unknown_strategy(self, dataset):
+        with pytest.raises(ValueError, match="unknown strategies"):
+            run_longterm(
+                dataset,
+                config=LongTermConfig(strategies=("orf", "magic")),
+                seed=0,
+            )
+
+    def test_warmup_too_long(self, dataset):
+        with pytest.raises(ValueError, match="leaves no months"):
+            run_longterm(
+                dataset, config=LongTermConfig(warmup_months=100), seed=0
+            )
+
+    def test_subset_of_strategies(self, dataset, fast_config):
+        import dataclasses
+
+        cfg = dataclasses.replace(fast_config, strategies=("orf",))
+        res = run_longterm(dataset, config=cfg, seed=13)
+        assert set(res) == {"orf"}

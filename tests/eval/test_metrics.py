@@ -1,0 +1,140 @@
+"""Tests for disk-level FDR/FAR metrics (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    DiskLevelCounts,
+    detection_mask,
+    disk_level_rates,
+    disk_max_scores,
+    false_alarm_mask,
+    fdr_far_curve,
+    sample_level_rates,
+)
+
+
+class TestMasks:
+    def test_detection_within_horizon(self):
+        dtf = np.array([0, 3, 6, 7, 10, np.inf])
+        mask = detection_mask(dtf, horizon=7)
+        assert mask.tolist() == [True, True, True, False, False, False]
+
+    def test_detection_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            detection_mask(np.array([1.0]), horizon=0)
+
+    def test_false_alarm_excludes_failed_disks(self):
+        dtf = np.array([5.0, np.inf])
+        days = np.array([10, 10])
+        last = np.array([15, 100])
+        mask = false_alarm_mask(dtf, days, last, horizon=7)
+        assert mask.tolist() == [False, True]
+
+    def test_false_alarm_excludes_final_week(self):
+        dtf = np.full(3, np.inf)
+        days = np.array([90, 93, 94])
+        last = np.array([100, 100, 100])
+        mask = false_alarm_mask(dtf, days, last, horizon=7)
+        assert mask.tolist() == [True, True, False]
+
+
+class TestDiskMaxScores:
+    def test_per_disk_max(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.2])
+        serials = np.array([1, 1, 2, 2])
+        mask = np.ones(4, dtype=bool)
+        uniq, mx = disk_max_scores(scores, serials, mask)
+        assert uniq.tolist() == [1, 2]
+        assert mx.tolist() == [0.9, 0.5]
+
+    def test_mask_respected(self):
+        scores = np.array([0.9, 0.1])
+        serials = np.array([1, 1])
+        mask = np.array([False, True])
+        _, mx = disk_max_scores(scores, serials, mask)
+        assert mx.tolist() == [0.1]
+
+    def test_empty_mask(self):
+        uniq, mx = disk_max_scores(np.array([0.5]), np.array([1]), np.array([False]))
+        assert uniq.size == 0 and mx.size == 0
+
+
+class TestDiskLevelRates:
+    def make_scenario(self):
+        """2 failed disks (one detectable), 3 good disks (one alarming)."""
+        scores = np.array([0.9, 0.1, 0.2, 0.1, 0.8, 0.3, 0.1, 0.2])
+        serials = np.array([1, 1, 2, 2, 3, 3, 4, 5])
+        det = np.array([True, True, True, True, False, False, False, False])
+        fa = ~det
+        return scores, serials, det, fa
+
+    def test_counts(self):
+        scores, serials, det, fa = self.make_scenario()
+        counts = disk_level_rates(scores, serials, det, fa, threshold=0.5)
+        assert counts.n_failed == 2 and counts.n_detected == 1
+        assert counts.n_good == 3 and counts.n_false_alarms == 1
+
+    def test_rates(self):
+        scores, serials, det, fa = self.make_scenario()
+        counts = disk_level_rates(scores, serials, det, fa, threshold=0.5)
+        assert counts.fdr == 0.5
+        assert counts.far == pytest.approx(1 / 3)
+
+    def test_nan_when_no_disks(self):
+        counts = DiskLevelCounts(0, 0, 0, 0)
+        assert np.isnan(counts.fdr) and np.isnan(counts.far)
+
+    def test_threshold_monotonicity(self):
+        scores, serials, det, fa = self.make_scenario()
+        loose = disk_level_rates(scores, serials, det, fa, 0.05)
+        strict = disk_level_rates(scores, serials, det, fa, 0.95)
+        assert loose.n_detected >= strict.n_detected
+        assert loose.n_false_alarms >= strict.n_false_alarms
+
+
+class TestCurve:
+    def test_monotone_decreasing(self):
+        rng = np.random.default_rng(0)
+        n = 500
+        scores = rng.uniform(size=n)
+        serials = rng.integers(0, 60, size=n)
+        det = serials < 20
+        fa = ~det
+        thr, fdr, far = fdr_far_curve(scores, serials, det, fa)
+        assert np.all(np.diff(fdr) <= 1e-12)
+        assert np.all(np.diff(far) <= 1e-12)
+
+    def test_extremes(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(0.2, 0.8, size=100)
+        serials = np.arange(100)
+        det = serials < 30
+        thr, fdr, far = fdr_far_curve(scores, serials, det, ~det)
+        assert fdr[0] == 1.0 and far[0] == 1.0  # lowest threshold catches all
+
+    def test_empty_inputs(self):
+        thr, fdr, far = fdr_far_curve(
+            np.array([]), np.array([], dtype=int), np.array([], bool), np.array([], bool)
+        )
+        assert thr.size == 0
+
+    def test_subsampling_cap(self):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(size=5000)
+        serials = np.arange(5000)
+        det = serials < 2500
+        thr, _, _ = fdr_far_curve(scores, serials, det, ~det, n_thresholds=50)
+        assert thr.size <= 50
+
+
+class TestSampleLevel:
+    def test_recall_and_fpr(self):
+        scores = np.array([0.9, 0.2, 0.8, 0.1])
+        y = np.array([1, 1, 0, 0])
+        recall, fpr = sample_level_rates(scores, y, 0.5)
+        assert recall == 0.5 and fpr == 0.5
+
+    def test_nan_without_class(self):
+        recall, fpr = sample_level_rates(np.array([0.5]), np.array([0]), 0.4)
+        assert np.isnan(recall) and fpr == 1.0

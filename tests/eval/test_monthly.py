@@ -1,0 +1,90 @@
+"""Integration tests for the §4.4 monthly-comparison protocol."""
+
+import numpy as np
+import pytest
+
+from repro.eval.monthly import MonthlyConfig, run_monthly_comparison
+from repro.smart.drive_model import STA, scaled_spec
+from repro.smart.generator import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    spec = scaled_spec(STA, fleet_scale=0.15, duration_months=9)
+    return generate_dataset(spec, seed=21, sample_every_days=2)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return MonthlyConfig(
+        eval_months=[3, 6, 8],
+        models=("orf", "rf"),
+        orf_params=dict(
+            n_trees=8, n_tests=25, min_parent_size=60.0, min_gain=0.05,
+            lambda_pos=1.0, lambda_neg=0.03,
+        ),
+        rf_params=dict(n_trees=8, max_features="sqrt", min_samples_leaf=2),
+    )
+
+
+@pytest.fixture(scope="module")
+def results(dataset, fast_config):
+    return run_monthly_comparison(dataset, config=fast_config, seed=3)
+
+
+class TestStructure:
+    def test_requested_models_present(self, results):
+        assert set(results) == {"orf", "rf"}
+
+    def test_months_recorded_in_order(self, results):
+        for r in results.values():
+            assert r.months == sorted(r.months)
+            assert set(r.months) <= {3, 6, 8}
+
+    def test_rates_in_unit_interval(self, results):
+        for r in results.values():
+            for fdr, far in zip(r.fdr, r.far):
+                assert 0.0 <= fdr <= 1.0
+                assert 0.0 <= far <= 1.0
+
+    def test_threshold_recorded(self, results):
+        for r in results.values():
+            assert len(r.threshold) == len(r.months)
+
+
+class TestLearningSignal:
+    def test_models_eventually_detect_failures(self, results):
+        """By the last month both models should beat a coin flip at FAR≈1%."""
+        for name, r in results.items():
+            assert r.fdr[-1] > 0.5, f"{name} failed to learn"
+
+    def test_far_pinned_near_target(self, results, fast_config):
+        for name, r in results.items():
+            # granularity limits precision on a tiny fleet: stay under 5x target
+            assert r.far[-1] <= 5 * fast_config.far_target + 0.02
+
+
+class TestConfig:
+    def test_svm_and_dt_paths_run(self, dataset):
+        cfg = MonthlyConfig(
+            eval_months=[6],
+            models=("dt", "svm"),
+            svm_max_train=400,
+            svm_params=dict(C=5.0, gamma=2.0, max_iter=30),
+        )
+        res = run_monthly_comparison(dataset, config=cfg, seed=3)
+        assert set(res) == {"dt", "svm"}
+
+    def test_default_eval_months_cover_duration(self, dataset):
+        cfg = MonthlyConfig(
+            models=("rf",), start_month=7,
+            rf_params=dict(n_trees=4),
+        )
+        res = run_monthly_comparison(dataset, config=cfg, seed=3)
+        assert res["rf"].months[0] >= 7
+
+    def test_reproducible(self, dataset, fast_config):
+        a = run_monthly_comparison(dataset, config=fast_config, seed=11)
+        b = run_monthly_comparison(dataset, config=fast_config, seed=11)
+        assert a["orf"].fdr == b["orf"].fdr
+        assert a["rf"].far == b["rf"].far

@@ -1,0 +1,119 @@
+"""Tests for the labeling rules and disk-level split (§4.4 setup)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import (
+    labels_and_mask,
+    last_day_per_row,
+    prepare_arrays,
+    split_disks,
+    stream_order,
+)
+from repro.features.selection import FeatureSelection
+
+
+class TestSplitDisks:
+    def test_partition_complete_and_disjoint(self, tiny_sta_dataset):
+        train, test = split_disks(tiny_sta_dataset, seed=0)
+        assert not set(train) & set(test)
+        all_serials = {d.serial for d in tiny_sta_dataset.drives}
+        assert set(train) | set(test) == all_serials
+
+    def test_stratified_over_failures(self, tiny_sta_dataset):
+        train, test = split_disks(tiny_sta_dataset, test_fraction=0.3, seed=0)
+        failed = set(tiny_sta_dataset.failed_serials.tolist())
+        n_failed_test = len(failed & set(test.tolist()))
+        expected = round(0.3 * len(failed))
+        assert abs(n_failed_test - expected) <= 1
+
+    def test_fraction_respected(self, tiny_sta_dataset):
+        train, test = split_disks(tiny_sta_dataset, test_fraction=0.3, seed=0)
+        total = len(train) + len(test)
+        assert abs(len(test) / total - 0.3) < 0.05
+
+    def test_reproducible(self, tiny_sta_dataset):
+        a = split_disks(tiny_sta_dataset, seed=4)
+        b = split_disks(tiny_sta_dataset, seed=4)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_invalid_fraction(self, tiny_sta_dataset):
+        with pytest.raises(ValueError):
+            split_disks(tiny_sta_dataset, test_fraction=0.0)
+
+
+class TestLabels:
+    def test_positive_only_last_week_of_failed(self, tiny_sta_dataset):
+        y, usable = labels_and_mask(tiny_sta_dataset, horizon=7)
+        dtf = tiny_sta_dataset.days_to_failure()
+        assert np.all(y[dtf < 7] == 1)
+        assert np.all(y[(dtf >= 7) & np.isfinite(dtf)] == 0)
+
+    def test_good_disk_tail_unusable(self, tiny_sta_dataset):
+        y, usable = labels_and_mask(tiny_sta_dataset, horizon=7)
+        last = last_day_per_row(tiny_sta_dataset)
+        dtf = tiny_sta_dataset.days_to_failure()
+        good_tail = ~np.isfinite(dtf) & (tiny_sta_dataset.days > last - 7)
+        assert not usable[good_tail].any()
+
+    def test_failed_disk_rows_all_usable(self, tiny_sta_dataset):
+        y, usable = labels_and_mask(tiny_sta_dataset, horizon=7)
+        dtf = tiny_sta_dataset.days_to_failure()
+        assert usable[np.isfinite(dtf)].all()
+
+    def test_last_day_per_row(self, tiny_sta_dataset):
+        last = last_day_per_row(tiny_sta_dataset)
+        by_serial = {d.serial: d.last_observed_day for d in tiny_sta_dataset.drives}
+        for i in range(0, tiny_sta_dataset.n_rows, 997):
+            assert last[i] == by_serial[int(tiny_sta_dataset.serials[i])]
+
+
+class TestStreamOrder:
+    def test_days_non_decreasing(self, tiny_sta_dataset):
+        order = stream_order(tiny_sta_dataset.days, tiny_sta_dataset.serials)
+        assert np.all(np.diff(tiny_sta_dataset.days[order]) >= 0)
+
+    def test_serials_break_ties(self, tiny_sta_dataset):
+        order = stream_order(tiny_sta_dataset.days, tiny_sta_dataset.serials)
+        days = tiny_sta_dataset.days[order]
+        serials = tiny_sta_dataset.serials[order]
+        same_day = np.diff(days) == 0
+        assert np.all(np.diff(serials)[same_day] > 0)
+
+
+class TestPrepareArrays:
+    def test_scaled_features_in_unit_interval(self, tiny_sta_dataset, table2_selection):
+        arrays, scaler = prepare_arrays(tiny_sta_dataset, table2_selection)
+        assert arrays.X.shape[1] == 19
+        assert arrays.X.min() >= 0.0 and arrays.X.max() <= 1.0
+
+    def test_scaler_reuse_for_test_split(self, tiny_sta_dataset, table2_selection):
+        train_s, test_s = split_disks(tiny_sta_dataset, seed=0)
+        ds_train = tiny_sta_dataset.subset_serials(train_s)
+        ds_test = tiny_sta_dataset.subset_serials(test_s)
+        _, scaler = prepare_arrays(ds_train, table2_selection)
+        test_arrays, scaler2 = prepare_arrays(
+            ds_test, table2_selection, scaler=scaler
+        )
+        assert scaler2 is scaler
+        assert test_arrays.X.max() <= 1.0  # clipped under drift
+
+    def test_masks_wired_through(self, tiny_sta_dataset, table2_selection):
+        arrays, _ = prepare_arrays(tiny_sta_dataset, table2_selection)
+        det = arrays.detection_mask()
+        fa = arrays.false_alarm_mask()
+        assert not (det & fa).any()  # a row is never both
+        assert det.sum() > 0
+
+    def test_month_slices_partition_rows(self, tiny_sta_dataset, table2_selection):
+        arrays, _ = prepare_arrays(tiny_sta_dataset, table2_selection)
+        total = sum(
+            arrays.month_slice(m).sum() for m in range(int(arrays.months.max()) + 1)
+        )
+        assert total == arrays.n_rows
+
+    def test_training_rows_exclude_unusable(self, tiny_sta_dataset, table2_selection):
+        arrays, _ = prepare_arrays(tiny_sta_dataset, table2_selection)
+        rows = arrays.training_rows()
+        assert arrays.usable[rows].all()
+        assert rows.size < arrays.n_rows  # something was excluded

@@ -1,0 +1,92 @@
+"""Tests for experiment-result rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval.longterm import MonthRates
+from repro.eval.monthly import MonthlyResult
+from repro.eval.report import (
+    longterm_series_table,
+    longterm_summary,
+    monthly_fdr_table,
+)
+
+
+@pytest.fixture()
+def monthly_results():
+    a = MonthlyResult("orf")
+    a.append(2, 0.7, 0.01, 0.5)
+    a.append(4, 0.85, 0.012, 0.5)
+    b = MonthlyResult("rf")
+    b.append(4, 0.8, 0.011, 0.6)
+    return {"orf": a, "rf": b}
+
+
+@pytest.fixture()
+def longterm_results():
+    def series(fars, fdrs):
+        return [
+            MonthRates(month=6 + i, fdr=fdr, far=far, n_failed=3, n_good=50,
+                       threshold=0.5)
+            for i, (far, fdr) in enumerate(zip(fars, fdrs))
+        ]
+
+    return {
+        "no_update": series([0.01, 0.02, 0.05, 0.09, 0.12, 0.15],
+                            [0.9, 0.9, 0.8, float("nan"), 0.8, 0.7]),
+        "orf": series([0.01, 0.01, 0.0, 0.01, 0.01, 0.0],
+                      [0.9, 0.9, 0.9, 0.9, 0.9, 0.9]),
+    }
+
+
+class TestMonthlyTable:
+    def test_contains_all_months_and_models(self, monthly_results):
+        out = monthly_fdr_table(monthly_results)
+        assert "m2" in out and "m4" in out
+        assert "ORF" in out and "RF" in out
+
+    def test_missing_month_dashed(self, monthly_results):
+        out = monthly_fdr_table(monthly_results)
+        rf_line = next(l for l in out.splitlines() if l.startswith("RF"))
+        assert "-" in rf_line
+
+    def test_markdown_mode(self, monthly_results):
+        out = monthly_fdr_table(monthly_results, markdown=True)
+        assert out.startswith("| Model |")
+
+
+class TestLongtermTable:
+    def test_far_values_formatted(self, longterm_results):
+        out = longterm_series_table(longterm_results, "far")
+        assert "15.0" in out  # 0.15 → 15.0%
+
+    def test_nan_fdr_dashed(self, longterm_results):
+        out = longterm_series_table(longterm_results, "fdr")
+        no_update_line = next(
+            l for l in out.splitlines() if l.startswith("no_update")
+        )
+        assert "-" in no_update_line
+
+    def test_invalid_metric(self, longterm_results):
+        with pytest.raises(ValueError):
+            longterm_series_table(longterm_results, "accuracy")
+
+    def test_markdown_mode(self, longterm_results):
+        out = longterm_series_table(longterm_results, "far", markdown=True)
+        assert out.splitlines()[1].startswith("|---")
+
+
+class TestSummary:
+    def test_aging_trend_positive_for_stale_model(self, longterm_results):
+        summary = longterm_summary(longterm_results)
+        assert summary["no_update"]["far_trend"] > 0.05
+        assert abs(summary["orf"]["far_trend"]) < 0.02
+
+    def test_nan_fdr_months_dropped(self, longterm_results):
+        summary = longterm_summary(longterm_results)
+        assert np.isfinite(summary["no_update"]["mean_fdr"])
+
+    def test_counts(self, longterm_results):
+        summary = longterm_summary(longterm_results)
+        assert summary["orf"]["n_months"] == 6
+        assert summary["orf"]["max_far"] == pytest.approx(0.01)

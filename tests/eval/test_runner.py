@@ -1,0 +1,64 @@
+"""Tests for seed replication and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import (
+    MeanStd,
+    aggregate_mean_std,
+    aggregate_rate_pairs,
+    derive_seeds,
+    repeat_with_seeds,
+)
+
+
+class TestDeriveSeeds:
+    def test_reproducible(self):
+        assert derive_seeds(0, 5) == derive_seeds(0, 5)
+
+    def test_distinct(self):
+        seeds = derive_seeds(0, 10)
+        assert len(set(seeds)) == 10
+
+    def test_master_matters(self):
+        assert derive_seeds(0, 3) != derive_seeds(1, 3)
+
+
+class TestRepeat:
+    def test_runs_n_times(self):
+        results = repeat_with_seeds(lambda s: s, n_repeats=4, master_seed=0)
+        assert len(results) == 4
+        assert results == derive_seeds(0, 4)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            repeat_with_seeds(lambda s: s, n_repeats=0)
+
+
+class TestAggregate:
+    def test_mean_std(self):
+        agg = aggregate_mean_std([1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.std == pytest.approx(np.std([1, 2, 3]))
+        assert agg.n == 3
+
+    def test_nans_dropped(self):
+        agg = aggregate_mean_std([1.0, float("nan"), 3.0])
+        assert agg.mean == 2.0 and agg.n == 2
+
+    def test_all_nan(self):
+        agg = aggregate_mean_std([float("nan")])
+        assert np.isnan(agg.mean) and agg.n == 0
+
+    def test_str_format(self):
+        assert str(MeanStd(98.077, 0.374, 5)) == "98.08 ± 0.37"
+
+    def test_as_percent(self):
+        agg = MeanStd(0.981, 0.004, 5).as_percent()
+        assert agg.mean == pytest.approx(98.1)
+        assert agg.std == pytest.approx(0.4)
+
+    def test_rate_pairs(self):
+        out = aggregate_rate_pairs([(0.9, 0.01), (0.92, 0.012)])
+        assert out["fdr"].mean == pytest.approx(91.0)
+        assert out["far"].mean == pytest.approx(1.1)

@@ -1,0 +1,94 @@
+"""Tests for FAR-pinned operating-point selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.threshold import fdr_at_far, threshold_for_far
+
+
+class TestThresholdForFar:
+    def test_under_mode_respects_budget(self):
+        good = np.linspace(0, 1, 101)  # 101 good disks with distinct maxima
+        thr = threshold_for_far(good, 0.05, mode="under")
+        far = np.mean(good >= thr)
+        assert far <= 0.05
+
+    def test_under_mode_maximizes_alarms_within_budget(self):
+        good = np.linspace(0, 1, 101)
+        thr = threshold_for_far(good, 0.05, mode="under")
+        far = np.mean(good >= thr)
+        assert far > 0.03  # not pathologically conservative
+
+    def test_closest_mode_lands_near_target(self):
+        good = np.linspace(0, 1, 1001)
+        thr = threshold_for_far(good, 0.01, mode="closest")
+        far = np.mean(good >= thr)
+        assert abs(far - 0.01) < 0.005
+
+    def test_zero_target_silences_all(self):
+        good = np.array([0.2, 0.5, 0.9])
+        thr = threshold_for_far(good, 0.0, mode="under")
+        assert np.all(good < thr)
+
+    def test_target_one_allows_everything(self):
+        good = np.array([0.2, 0.5, 0.9])
+        thr = threshold_for_far(good, 1.0, mode="under")
+        assert np.all(good >= thr)
+
+    def test_ties_handled(self):
+        good = np.array([0.5] * 100)
+        thr = threshold_for_far(good, 0.01, mode="under")
+        assert np.mean(good >= thr) <= 0.01  # all-or-nothing: must pick nothing
+
+    def test_empty_scores_default(self):
+        assert threshold_for_far(np.array([]), 0.01) == 0.5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            threshold_for_far(np.array([0.5]), 1.5)
+        with pytest.raises(ValueError):
+            threshold_for_far(np.array([0.5]), 0.01, mode="sideways")
+
+    @given(st.integers(0, 10**6), st.floats(0.0, 0.5))
+    @settings(max_examples=40, deadline=None)
+    def test_property_under_never_exceeds_target(self, seed, target):
+        rng = np.random.default_rng(seed)
+        good = rng.uniform(size=rng.integers(1, 300))
+        thr = threshold_for_far(good, target, mode="under")
+        assert np.mean(good >= thr) <= target + 1e-12
+
+
+class TestFdrAtFar:
+    def make_rows(self, seed=0, n_disks=200, sep=0.4):
+        rng = np.random.default_rng(seed)
+        serials = np.repeat(np.arange(n_disks), 5)
+        failed = serials < n_disks // 4
+        scores = rng.uniform(size=serials.size) + sep * failed
+        det = failed
+        fa = ~failed
+        return scores, serials, det, fa
+
+    def test_returns_consistent_triple(self):
+        scores, serials, det, fa = self.make_rows()
+        fdr, far, thr = fdr_at_far(scores, serials, det, fa, 0.05)
+        assert 0 <= far <= 1 and 0 <= fdr <= 1
+        # recompute far from scratch at thr
+        from repro.eval.metrics import disk_max_scores
+
+        _, good_max = disk_max_scores(scores, serials, fa)
+        assert far == pytest.approx(np.mean(good_max >= thr))
+
+    def test_stronger_separation_higher_fdr(self):
+        weak = fdr_at_far(*self.make_rows(sep=0.1), 0.05)[0]
+        strong = fdr_at_far(*self.make_rows(sep=1.0), 0.05)[0]
+        assert strong >= weak
+
+    def test_no_failed_disks_nan_fdr(self):
+        scores = np.array([0.1, 0.2])
+        serials = np.array([0, 1])
+        det = np.zeros(2, bool)
+        fa = np.ones(2, bool)
+        fdr, far, _ = fdr_at_far(scores, serials, det, fa, 0.01)
+        assert np.isnan(fdr)

@@ -1,0 +1,85 @@
+"""Tests for RF contribution ranking and redundancy elimination."""
+
+import numpy as np
+import pytest
+
+from repro.features.importance import (
+    correlation_redundancy_filter,
+    rf_contribution_ranking,
+)
+
+
+@pytest.fixture(scope="module")
+def correlated_data():
+    rng = np.random.default_rng(0)
+    n = 1200
+    y = (rng.uniform(size=n) < 0.15).astype(np.int8)
+    signal = rng.normal(size=n) + 2.5 * y
+    X = np.column_stack(
+        [
+            signal,                                   # 0: strong signal
+            signal + rng.normal(0, 0.05, size=n),     # 1: near-duplicate of 0
+            rng.normal(size=n) + 1.0 * y,             # 2: weaker independent signal
+            rng.normal(size=n),                       # 3: noise
+            np.zeros(n),                              # 4: constant
+        ]
+    )
+    return X, y
+
+
+class TestRanking:
+    def test_signal_ranked_first(self, correlated_data):
+        X, y = correlated_data
+        order, importances = rf_contribution_ranking(X, y, seed=0)
+        assert order[0] in (0, 1)  # the duplicated strong signal
+        assert importances[3] < importances[order[0]]
+
+    def test_importances_normalized(self, correlated_data):
+        X, y = correlated_data
+        _, importances = rf_contribution_ranking(X, y, seed=0)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_reproducible(self, correlated_data):
+        X, y = correlated_data
+        o1, _ = rf_contribution_ranking(X, y, seed=42)
+        o2, _ = rf_contribution_ranking(X, y, seed=42)
+        assert np.array_equal(o1, o2)
+
+
+class TestRedundancyFilter:
+    def test_near_duplicate_dropped(self, correlated_data):
+        X, y = correlated_data
+        order, _ = rf_contribution_ranking(X, y, seed=0)
+        kept = correlation_redundancy_filter(X, order, max_abs_correlation=0.9)
+        assert not ({0, 1} <= set(kept.tolist()))  # at most one of the twins
+
+    def test_constant_feature_never_kept(self, correlated_data):
+        X, y = correlated_data
+        kept = correlation_redundancy_filter(X, np.arange(X.shape[1]))
+        assert 4 not in kept.tolist()
+
+    def test_max_features_cap(self, correlated_data):
+        X, y = correlated_data
+        kept = correlation_redundancy_filter(
+            X, np.arange(X.shape[1]), max_features=2
+        )
+        assert kept.size <= 2
+
+    def test_kept_in_ranking_order(self, correlated_data):
+        X, _ = correlated_data
+        order = np.array([2, 0, 3, 1, 4])
+        kept = correlation_redundancy_filter(X, order, max_abs_correlation=0.9)
+        positions = [list(order).index(k) for k in kept]
+        assert positions == sorted(positions)
+
+    def test_threshold_one_keeps_duplicates(self, correlated_data):
+        X, _ = correlated_data
+        kept = correlation_redundancy_filter(
+            X, np.arange(4), max_abs_correlation=1.0
+        )
+        assert {0, 1} <= set(kept.tolist())
+
+    def test_invalid_threshold(self, correlated_data):
+        X, _ = correlated_data
+        with pytest.raises(ValueError):
+            correlation_redundancy_filter(X, np.arange(4), max_abs_correlation=0.0)

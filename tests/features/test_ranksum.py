@@ -1,0 +1,105 @@
+"""Tests for the from-scratch Wilcoxon rank-sum test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.features.ranksum import rank_sum_filter, wilcoxon_rank_sum
+
+
+class TestAgainstScipy:
+    """Cross-check the from-scratch implementation against scipy."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_u_statistic_matches(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0, 1, size=40)
+        b = rng.normal(0.5, 1, size=55)
+        ours = wilcoxon_rank_sum(a, b)
+        ref = sps.mannwhitneyu(a, b, alternative="two-sided")
+        assert ours.u_statistic == pytest.approx(ref.statistic)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_p_value_close_to_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(0, 1, size=60)
+        b = rng.normal(0.3, 1, size=60)
+        ours = wilcoxon_rank_sum(a, b)
+        ref = sps.mannwhitneyu(a, b, alternative="two-sided", method="asymptotic")
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=0.02, abs=1e-4)
+
+    def test_tied_data_matches_scipy(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 5, size=80).astype(float)
+        b = rng.integers(1, 6, size=70).astype(float)
+        ours = wilcoxon_rank_sum(a, b)
+        ref = sps.mannwhitneyu(a, b, alternative="two-sided", method="asymptotic")
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=0.05, abs=1e-4)
+
+
+class TestBehaviour:
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(0)
+        res = wilcoxon_rank_sum(rng.normal(size=200), rng.normal(size=200))
+        assert res.p_value > 0.01
+
+    def test_shifted_distributions_significant(self):
+        rng = np.random.default_rng(0)
+        res = wilcoxon_rank_sum(rng.normal(size=200), rng.normal(2.0, 1, size=200))
+        assert res.significant(0.01)
+
+    def test_empty_sample_degenerate(self):
+        res = wilcoxon_rank_sum(np.array([]), np.array([1.0, 2.0]))
+        assert res.p_value == 1.0
+
+    def test_constant_data_degenerate(self):
+        res = wilcoxon_rank_sum(np.ones(10), np.ones(20))
+        assert res.p_value == 1.0
+        assert not res.significant()
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_p_value_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=rng.integers(2, 50))
+        b = rng.normal(size=rng.integers(2, 50))
+        res = wilcoxon_rank_sum(a, b)
+        assert 0.0 <= res.p_value <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=30), rng.normal(0.5, 1, size=30)
+        assert wilcoxon_rank_sum(a, b).p_value == pytest.approx(
+            wilcoxon_rank_sum(b, a).p_value
+        )
+
+
+class TestRankSumFilter:
+    def test_keeps_signal_drops_noise(self):
+        rng = np.random.default_rng(0)
+        n = 600
+        y = (rng.uniform(size=n) < 0.3).astype(np.int8)
+        X = rng.normal(size=(n, 4))
+        X[y == 1, 0] += 2.0  # feature 0 separates; 1..3 are noise
+        keep = rank_sum_filter(X, y, alpha=0.001)
+        assert keep[0]
+        assert not keep[1:].any()
+
+    def test_subsampling_path(self):
+        rng = np.random.default_rng(0)
+        n = 5000
+        y = (rng.uniform(size=n) < 0.5).astype(np.int8)
+        X = rng.normal(size=(n, 2))
+        X[y == 1, 0] += 1.0
+        keep = rank_sum_filter(X, y, max_samples_per_class=200, seed=1)
+        assert keep[0] and not keep[1]
+
+    def test_reproducible_with_seed(self):
+        rng = np.random.default_rng(0)
+        y = (rng.uniform(size=1000) < 0.5).astype(np.int8)
+        X = rng.normal(size=(1000, 3))
+        a = rank_sum_filter(X, y, max_samples_per_class=100, seed=3)
+        b = rank_sum_filter(X, y, max_samples_per_class=100, seed=3)
+        assert np.array_equal(a, b)

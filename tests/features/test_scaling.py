@@ -1,0 +1,79 @@
+"""Tests for min-max scaling (Eq. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.scaling import MinMaxScaler
+
+
+class TestFitTransform:
+    def test_maps_to_unit_interval(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 100, size=(50, 3))
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_extremes_hit_bounds(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        out = MinMaxScaler().fit_transform(X)
+        assert out[0, 0] == 0.0 and out[2, 0] == 1.0 and out[1, 0] == 0.5
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.full((10, 2), 7.0)
+        out = MinMaxScaler().fit_transform(X)
+        assert np.all(out == 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((1, 2)))
+
+    def test_feature_count_checked(self):
+        scaler = MinMaxScaler().fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((1, 3)))
+
+
+class TestDriftBehaviour:
+    def test_clip_bounds_out_of_range_values(self):
+        scaler = MinMaxScaler(clip=True).fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[20.0], [-5.0]]))
+        assert out[0, 0] == 1.0 and out[1, 0] == 0.0
+
+    def test_no_clip_extrapolates(self):
+        scaler = MinMaxScaler(clip=False).fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[20.0]]))
+        assert out[0, 0] == 2.0
+
+
+class TestTransformOne:
+    def test_matches_batch(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 4))
+        scaler = MinMaxScaler().fit(X)
+        x = rng.normal(size=4)
+        assert np.allclose(scaler.transform_one(x), scaler.transform(x.reshape(1, -1))[0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform_one(np.zeros(2))
+
+
+class TestProperties:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_training_data_in_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, rng.uniform(0.1, 50), size=(20, 3))
+        out = MinMaxScaler().fit_transform(X)
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_order_preserved_per_feature(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(15, 2))
+        out = MinMaxScaler().fit_transform(X)
+        for j in range(2):
+            assert np.array_equal(np.argsort(X[:, j]), np.argsort(out[:, j]))

@@ -1,0 +1,83 @@
+"""Tests for the full §4.2 feature-selection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.eval.protocol import labels_and_mask
+from repro.features.selection import FeatureSelection, select_features
+from repro.smart.attributes import NUM_CANDIDATE_FEATURES, feature_index
+
+
+class TestPaperTable2:
+    def test_nineteen_columns(self):
+        sel = FeatureSelection.paper_table2()
+        assert sel.n_features == 19
+        assert len(sel.names) == 19
+
+    def test_names_match_indices(self):
+        sel = FeatureSelection.paper_table2()
+        assert "smart_187_normalized" in sel.names
+        assert feature_index(187, "norm") in sel.indices.tolist()
+
+    def test_apply_projects_columns(self):
+        sel = FeatureSelection.paper_table2()
+        X = np.arange(2 * NUM_CANDIDATE_FEATURES, dtype=float).reshape(2, -1)
+        out = sel.apply(X)
+        assert out.shape == (2, 19)
+        assert np.array_equal(out[0], X[0, sel.indices])
+
+
+class TestSelectFeatures:
+    @pytest.fixture(scope="class")
+    def labeled(self, tiny_sta_dataset):
+        y, usable = labels_and_mask(tiny_sta_dataset)
+        rows = np.flatnonzero(usable)
+        return tiny_sta_dataset.X[rows].astype(np.float64), y[rows]
+
+    def test_pipeline_selects_failure_indicators(self, labeled):
+        X, y = labeled
+        if y.sum() < 10:
+            pytest.skip("too few positives in the tiny dataset")
+        sel = select_features(X, y, seed=0)
+        assert sel.n_features >= 3
+        # at least one strong Table-2 attribute must survive
+        strong = {
+            feature_index(5, "raw"),
+            feature_index(197, "raw"),
+            feature_index(187, "raw"),
+            feature_index(5, "norm"),
+            feature_index(197, "norm"),
+            feature_index(187, "norm"),
+        }
+        assert strong & set(sel.indices.tolist())
+
+    def test_stage_records_populated(self, labeled):
+        X, y = labeled
+        if y.sum() < 10:
+            pytest.skip("too few positives")
+        sel = select_features(X, y, seed=0)
+        assert sel.survived_ranksum is not None
+        assert set(sel.indices.tolist()) <= set(sel.survived_ranksum.tolist())
+        assert sel.importances is not None
+
+    def test_max_features_cap(self, labeled):
+        X, y = labeled
+        if y.sum() < 10:
+            pytest.skip("too few positives")
+        sel = select_features(X, y, max_features=5, seed=0)
+        assert sel.n_features <= 5
+
+    def test_no_signal_raises(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, NUM_CANDIDATE_FEATURES))
+        y = (rng.uniform(size=300) < 0.3).astype(np.int8)
+        with pytest.raises(ValueError, match="no signal"):
+            select_features(X, y, alpha=1e-12, seed=0)
+
+    def test_reproducible(self, labeled):
+        X, y = labeled
+        if y.sum() < 10:
+            pytest.skip("too few positives")
+        a = select_features(X, y, seed=7)
+        b = select_features(X, y, seed=7)
+        assert np.array_equal(a.indices, b.indices)

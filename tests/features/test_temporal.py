@@ -1,0 +1,89 @@
+"""Tests for change-rate feature augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.features.temporal import add_change_rates, per_drive_change_rates
+
+
+class TestPerDriveRates:
+    def test_linear_ramp_constant_rate(self):
+        days = np.arange(0, 30)
+        values = 2.0 * days
+        rates = per_drive_change_rates(values, days, window_days=7)
+        assert np.allclose(rates[7:], 2.0)
+
+    def test_no_history_zero(self):
+        days = np.arange(0, 10)
+        rates = per_drive_change_rates(days * 1.0, days, window_days=7)
+        assert np.all(rates[:7] == 0.0)
+
+    def test_flat_signal_zero_rate(self):
+        days = np.arange(0, 20)
+        rates = per_drive_change_rates(np.full(20, 5.0), days, window_days=7)
+        assert np.all(rates == 0.0)
+
+    def test_irregular_sampling_normalized_by_gap(self):
+        days = np.array([0, 10])
+        values = np.array([0.0, 30.0])
+        rates = per_drive_change_rates(values, days, window_days=7)
+        assert rates[1] == pytest.approx(3.0)  # 30 over 10 days
+
+    def test_empty(self):
+        out = per_drive_change_rates(np.zeros(0), np.zeros(0, int))
+        assert out.size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            per_drive_change_rates(np.zeros(3), np.arange(3), window_days=0)
+
+
+class TestAddChangeRates:
+    def make(self):
+        """Two drives: drive 0 ramps on feature 0, drive 1 is flat."""
+        days = np.concatenate([np.arange(20), np.arange(20)])
+        serials = np.concatenate([np.zeros(20, int), np.ones(20, int)])
+        X = np.zeros((40, 2))
+        X[:20, 0] = np.arange(20) * 3.0  # ramp
+        X[:, 1] = 7.0  # constant everywhere
+        return X, serials, days
+
+    def test_output_shape(self):
+        X, serials, days = self.make()
+        Xa, sources = add_change_rates(X, serials, days)
+        assert Xa.shape == (40, 4)
+        assert sources.tolist() == [0, 1]
+
+    def test_ramp_detected_per_drive(self):
+        X, serials, days = self.make()
+        Xa, _ = add_change_rates(X, serials, days, window_days=7)
+        drive0 = serials == 0
+        drive1 = serials == 1
+        assert np.allclose(Xa[drive0, 2][7:], 3.0)
+        assert np.all(Xa[drive1, 2] == 0.0)
+
+    def test_original_columns_untouched(self):
+        X, serials, days = self.make()
+        Xa, _ = add_change_rates(X, serials, days)
+        assert np.array_equal(Xa[:, :2], X)
+
+    def test_row_order_independence(self):
+        X, serials, days = self.make()
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(40)
+        Xa_sorted, _ = add_change_rates(X, serials, days)
+        Xa_perm, _ = add_change_rates(X[perm], serials[perm], days[perm])
+        assert np.allclose(Xa_perm, Xa_sorted[perm])
+
+    def test_subset_of_columns(self):
+        X, serials, days = self.make()
+        Xa, sources = add_change_rates(X, serials, days, source_columns=[0])
+        assert Xa.shape == (40, 3)
+        assert sources.tolist() == [0]
+
+    def test_validation(self):
+        X, serials, days = self.make()
+        with pytest.raises(ValueError, match="align"):
+            add_change_rates(X, serials[:-1], days)
+        with pytest.raises(ValueError, match="out of range"):
+            add_change_rates(X, serials, days, source_columns=[5])

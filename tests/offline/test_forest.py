@@ -1,0 +1,101 @@
+"""Tests for the offline random forest."""
+
+import numpy as np
+import pytest
+
+from repro.offline.forest import RandomForestClassifier
+from repro.parallel.pool import ThreadExecutor
+
+
+class TestFit:
+    def test_learns_signal(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        rf = RandomForestClassifier(n_trees=10, seed=0).fit(X, y)
+        scores = rf.predict_score(X)
+        assert scores[y == 1].mean() > scores[y == 0].mean() + 0.2
+
+    def test_tree_count(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        rf = RandomForestClassifier(n_trees=7, seed=0).fit(X, y)
+        assert len(rf.trees_) == 7
+
+    def test_reproducible(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        s1 = RandomForestClassifier(n_trees=5, seed=3).fit(X, y).predict_score(X[:40])
+        s2 = RandomForestClassifier(n_trees=5, seed=3).fit(X, y).predict_score(X[:40])
+        assert np.allclose(s1, s2)
+
+    def test_seed_changes_model(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        s1 = RandomForestClassifier(n_trees=5, seed=1).fit(X, y).predict_score(X[:40])
+        s2 = RandomForestClassifier(n_trees=5, seed=2).fit(X, y).predict_score(X[:40])
+        assert not np.allclose(s1, s2)
+
+    def test_bootstrap_off_trains_on_full_set(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        rf = RandomForestClassifier(
+            n_trees=3, bootstrap=False, max_features=None, seed=0
+        ).fit(X, y)
+        # without bootstrap or feature subsampling, trees are identical
+        s = [t.predict_score(X[:30]) for t in rf.trees_]
+        assert np.allclose(s[0], s[1]) and np.allclose(s[1], s[2])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(vote="loud")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+
+class TestPrediction:
+    def test_scores_in_unit_interval(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        rf = RandomForestClassifier(n_trees=8, seed=0).fit(X, y)
+        s = rf.predict_score(X[:100])
+        assert np.all((0 <= s) & (s <= 1))
+
+    def test_hard_vote_granularity(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        rf = RandomForestClassifier(n_trees=4, vote="hard", seed=0).fit(X, y)
+        s = rf.predict_score(X[:200])
+        assert set(np.round(s * 4)) <= {0, 1, 2, 3, 4}
+
+    def test_proba_shape(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        rf = RandomForestClassifier(n_trees=3, seed=0).fit(X, y)
+        proba = rf.predict_proba(X[:10])
+        assert proba.shape == (10, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_threshold_controls_positives(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        rf = RandomForestClassifier(n_trees=8, seed=0).fit(X, y)
+        loose = rf.predict(X, threshold=0.1).sum()
+        strict = rf.predict(X, threshold=0.9).sum()
+        assert strict <= loose
+
+    def test_feature_importances(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        rf = RandomForestClassifier(n_trees=10, seed=0).fit(X, y)
+        imp = rf.feature_importances_
+        assert imp.shape == (X.shape[1],)
+        # each signal feature out-ranks the average noise feature
+        assert imp[0] > imp[2:].mean()
+        assert imp[1] > imp[2:].mean()
+
+
+class TestParallelEquivalence:
+    def test_thread_executor_identical_predictions(self, imbalanced_blobs):
+        """Parallel prediction must be observationally identical to serial."""
+        X, y = imbalanced_blobs
+        serial_rf = RandomForestClassifier(n_trees=6, seed=4).fit(X, y)
+        with ThreadExecutor(3) as pool:
+            par_rf = RandomForestClassifier(n_trees=6, seed=4, executor=pool)
+            par_rf.fit(X, y)
+            assert np.allclose(
+                serial_rf.predict_score(X[:100]), par_rf.predict_score(X[:100])
+            )

@@ -1,0 +1,97 @@
+"""Tests for the gradient-boosted-trees baseline."""
+
+import numpy as np
+import pytest
+
+from repro.offline.gbdt import GradientBoostedTrees, _sigmoid
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        assert _sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert _sigmoid(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert _sigmoid(np.array([-100.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_numerically_stable(self):
+        z = np.array([-1000.0, 1000.0])
+        out = _sigmoid(z)
+        assert np.all(np.isfinite(out))
+
+
+class TestFit:
+    def test_learns_signal(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        gbdt = GradientBoostedTrees(n_rounds=40, learning_rate=0.2, seed=0).fit(X, y)
+        s = gbdt.predict_score(X)
+        assert s[y == 1].mean() > s[y == 0].mean() + 0.2
+
+    def test_deviance_monotone_decreasing(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        gbdt = GradientBoostedTrees(n_rounds=30, learning_rate=0.2, seed=0).fit(X, y)
+        dev = np.array(gbdt.train_deviance_)
+        # full-batch logistic GBM: training deviance never increases
+        assert np.all(np.diff(dev) <= 1e-9)
+
+    def test_more_rounds_fit_better(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        few = GradientBoostedTrees(n_rounds=5, learning_rate=0.2, seed=0).fit(X, y)
+        many = GradientBoostedTrees(n_rounds=60, learning_rate=0.2, seed=0).fit(X, y)
+        assert many.train_deviance_[-1] < few.train_deviance_[-1]
+
+    def test_prior_matches_base_rate(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        gbdt = GradientBoostedTrees(n_rounds=1, seed=0).fit(X, y)
+        assert _sigmoid(np.array([gbdt.f0_]))[0] == pytest.approx(y.mean(), rel=1e-6)
+
+    def test_subsample_runs(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        gbdt = GradientBoostedTrees(n_rounds=10, subsample=0.5, seed=0).fit(X, y)
+        assert len(gbdt.trees_) == 10
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            GradientBoostedTrees(n_rounds=2).fit(np.zeros((5, 2)), np.zeros(5, int))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_rounds=0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=0.0)
+
+    def test_reproducible(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        a = GradientBoostedTrees(n_rounds=8, subsample=0.7, seed=3).fit(X, y)
+        b = GradientBoostedTrees(n_rounds=8, subsample=0.7, seed=3).fit(X, y)
+        assert np.allclose(a.predict_score(X[:50]), b.predict_score(X[:50]))
+
+
+class TestPredict:
+    def test_scores_are_probabilities(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        gbdt = GradientBoostedTrees(n_rounds=15, seed=0).fit(X, y)
+        s = gbdt.predict_score(X[:200])
+        assert np.all((s > 0) & (s < 1))
+
+    def test_proba_sums_to_one(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        gbdt = GradientBoostedTrees(n_rounds=10, seed=0).fit(X, y)
+        assert np.allclose(gbdt.predict_proba(X[:20]).sum(axis=1), 1.0)
+
+    def test_decision_function_consistent(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        gbdt = GradientBoostedTrees(n_rounds=10, seed=0).fit(X, y)
+        assert np.allclose(
+            gbdt.predict_score(X[:20]), _sigmoid(gbdt.decision_function(X[:20]))
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict_score(np.zeros((1, 2)))
+
+    def test_feature_mismatch(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        gbdt = GradientBoostedTrees(n_rounds=3, seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            gbdt.predict_score(np.zeros((1, X.shape[1] + 1)))

@@ -1,0 +1,86 @@
+"""Tests for FAR-constrained model selection."""
+
+import pytest
+
+from repro.offline.grid_search import FarConstrainedSearch, SearchResult, expand_grid
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        combos = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(combos) == 4
+        assert {"a": 1, "b": "y"} in combos
+
+    def test_empty_grid(self):
+        assert expand_grid({}) == [{}]
+
+    def test_deterministic_order(self):
+        assert expand_grid({"b": [1], "a": [2]}) == expand_grid({"a": [2], "b": [1]})
+
+
+def _search_over(outcomes, far_cap=0.01):
+    """Build a search whose score_fn reads (fdr, far) from the params."""
+    search = FarConstrainedSearch(
+        fit_fn=lambda p: p,  # "model" is just the params
+        score_fn=lambda m: outcomes[m["name"]],
+        far_cap=far_cap,
+    )
+    return search, [{"name": k} for k in outcomes]
+
+
+class TestSelectionRule:
+    def test_highest_fdr_under_cap_wins(self):
+        outcomes = {
+            "a": (0.90, 0.005),
+            "b": (0.95, 0.009),   # winner: best FDR within budget
+            "c": (0.99, 0.050),   # over budget
+        }
+        search, candidates = _search_over(outcomes)
+        assert search.run(candidates).params["name"] == "b"
+
+    def test_far_breaks_fdr_ties(self):
+        outcomes = {"a": (0.9, 0.008), "b": (0.9, 0.002)}
+        search, candidates = _search_over(outcomes)
+        assert search.run(candidates).params["name"] == "b"
+
+    def test_fallback_lowest_far_when_nothing_fits(self):
+        outcomes = {"a": (0.99, 0.20), "b": (0.50, 0.05)}
+        search, candidates = _search_over(outcomes)
+        assert search.run(candidates).params["name"] == "b"
+
+    def test_all_results_recorded(self):
+        outcomes = {"a": (0.9, 0.001), "b": (0.8, 0.001)}
+        search, candidates = _search_over(outcomes)
+        search.run(candidates)
+        assert len(search.results_) == 2
+
+    def test_winner_keeps_model(self):
+        outcomes = {"a": (0.9, 0.001)}
+        search, candidates = _search_over(outcomes)
+        best = search.run(candidates)
+        assert best.model == {"name": "a"}
+
+    def test_empty_candidates_raise(self):
+        search, _ = _search_over({"a": (0.9, 0.001)})
+        with pytest.raises(ValueError, match="no candidates"):
+            search.run([])
+
+    def test_run_grid(self):
+        search = FarConstrainedSearch(
+            fit_fn=lambda p: p,
+            score_fn=lambda m: (m["c"] / 10.0, 0.001),
+            far_cap=0.01,
+        )
+        best = search.run_grid({"c": [1, 5, 3]})
+        assert best.params == {"c": 5}
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            FarConstrainedSearch(lambda p: p, lambda m: (0, 0), far_cap=-0.1)
+
+
+class TestSearchResult:
+    def test_satisfies(self):
+        r = SearchResult(params={}, fdr=0.9, far=0.005)
+        assert r.satisfies(0.01)
+        assert not r.satisfies(0.001)

@@ -1,0 +1,62 @@
+"""Tests for kernel functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline.kernels import kernel_diag_rbf, linear_kernel, rbf_kernel
+
+
+class TestLinearKernel:
+    def test_matches_dot(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.normal(size=(5, 3)), rng.normal(size=(4, 3))
+        assert np.allclose(linear_kernel(A, B), A @ B.T)
+
+
+class TestRbfKernel:
+    def test_self_similarity_one(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(6, 4))
+        K = rbf_kernel(A, A, gamma=0.7)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(6, 4))
+        K = rbf_kernel(A, A, gamma=0.7)
+        assert np.allclose(K, K.T)
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.normal(size=(5, 3)), rng.normal(size=(7, 3))
+        K = rbf_kernel(A, B, gamma=2.0)
+        assert np.all((K > 0) & (K <= 1.0))
+
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(1)
+        A, B = rng.normal(size=(4, 2)), rng.normal(size=(3, 2))
+        K = rbf_kernel(A, B, gamma=0.5)
+        naive = np.array(
+            [[np.exp(-0.5 * np.sum((a - b) ** 2)) for b in B] for a in A]
+        )
+        assert np.allclose(K, naive)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((2, 2)), np.zeros((2, 2)), gamma=0.0)
+
+    @given(st.floats(0.01, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_psd_diagonal(self, gamma):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(10, 3))
+        K = rbf_kernel(A, A, gamma)
+        eigvals = np.linalg.eigvalsh(K)
+        assert eigvals.min() > -1e-8  # PSD up to rounding
+
+
+class TestDiag:
+    def test_ones(self):
+        assert np.all(kernel_diag_rbf(np.zeros((5, 2))) == 1.0)

@@ -1,0 +1,78 @@
+"""Tests for the regression CART (GBDT base learner)."""
+
+import numpy as np
+import pytest
+
+from repro.offline.regression_tree import RegressionTree, _best_regression_split
+
+
+class TestSplitSearch:
+    def test_perfect_step_function(self):
+        x = np.array([0.0, 0.1, 0.2, 0.8, 0.9, 1.0])
+        t = np.array([1.0, 1.0, 1.0, 5.0, 5.0, 5.0])
+        gain, thr = _best_regression_split(x, t, 1)
+        assert 0.2 < thr < 0.8
+        assert gain == pytest.approx(((t - t.mean()) ** 2).sum())
+
+    def test_constant_feature_no_split(self):
+        gain, thr = _best_regression_split(np.ones(5), np.arange(5.0), 1)
+        assert gain == -np.inf and np.isnan(thr)
+
+    def test_min_leaf_respected(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        t = np.array([0.0, 0.0, 10.0, 10.0])
+        gain, thr = _best_regression_split(x, t, 2)
+        assert 1.0 < thr < 2.0  # only the middle boundary leaves 2+2
+
+    def test_constant_targets_zero_gain(self):
+        gain, _ = _best_regression_split(np.arange(5.0), np.ones(5), 1)
+        assert gain == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFit:
+    def test_learns_piecewise_constant(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(500, 3))
+        t = np.where(X[:, 1] > 0.5, 3.0, -1.0)
+        tree = RegressionTree(max_depth=2, seed=0).fit(X, t)
+        pred = tree.predict(X)
+        assert np.abs(pred - t).mean() < 0.1
+
+    def test_depth_cap(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(400, 2))
+        t = np.sin(6 * X[:, 0])
+        deep = RegressionTree(max_depth=6, seed=0).fit(X, t)
+        shallow = RegressionTree(max_depth=1, seed=0).fit(X, t)
+        assert deep.tree_.n_nodes > shallow.tree_.n_nodes
+        assert shallow.tree_.n_nodes <= 3
+
+    def test_custom_leaf_value_fn(self):
+        X = np.array([[0.0], [1.0]])
+        t = np.array([2.0, 4.0])
+        tree = RegressionTree(max_depth=1, min_samples_leaf=1).fit(
+            X, t, leaf_value_fn=lambda rows: 42.0
+        )
+        assert np.all(tree.predict(X) == 42.0)
+
+    def test_target_length_validated(self):
+        with pytest.raises(ValueError, match="one entry per row"):
+            RegressionTree().fit(np.zeros((3, 2)), np.zeros(2))
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_mean_prediction_when_no_split(self):
+        X = np.ones((10, 2))
+        t = np.arange(10.0)
+        tree = RegressionTree(max_depth=3).fit(X, t)
+        assert tree.predict(X)[0] == pytest.approx(t.mean())
+
+    def test_max_features_reproducible(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 5))
+        t = X[:, 0] * 2
+        p1 = RegressionTree(max_depth=3, max_features=2, seed=9).fit(X, t).predict(X)
+        p2 = RegressionTree(max_depth=3, max_features=2, seed=9).fit(X, t).predict(X)
+        assert np.allclose(p1, p2)

@@ -1,0 +1,88 @@
+"""Tests for NegSampleRatio downsampling (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline.sampling import (
+    downsample_dataset,
+    downsample_negatives,
+    neg_sample_ratio,
+)
+
+
+def _labels(n_pos, n_neg, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.concatenate([np.ones(n_pos, int), np.zeros(n_neg, int)])
+    return rng.permutation(y)
+
+
+class TestNegSampleRatio:
+    def test_basic(self):
+        assert neg_sample_ratio(_labels(10, 30)) == 3.0
+
+    def test_no_positives_infinite(self):
+        assert neg_sample_ratio(np.zeros(5, int)) == float("inf")
+
+    def test_all_positive_zero(self):
+        assert neg_sample_ratio(np.ones(5, int)) == 0.0
+
+
+class TestDownsample:
+    def test_keeps_all_positives(self):
+        y = _labels(20, 400)
+        idx = downsample_negatives(y, 3.0, seed=0)
+        assert int(y[idx].sum()) == 20
+
+    def test_achieves_requested_ratio(self):
+        y = _labels(20, 400)
+        idx = downsample_negatives(y, 3.0, seed=0)
+        assert neg_sample_ratio(y[idx]) == pytest.approx(3.0)
+
+    def test_lam_none_keeps_everything(self):
+        y = _labels(20, 400)
+        idx = downsample_negatives(y, None)
+        assert idx.size == y.size
+
+    def test_lam_larger_than_available_keeps_all_negatives(self):
+        y = _labels(100, 50)
+        idx = downsample_negatives(y, 10.0, seed=0)
+        assert idx.size == 150
+
+    def test_indices_sorted(self):
+        y = _labels(20, 400)
+        idx = downsample_negatives(y, 2.0, seed=0)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_reproducible(self):
+        y = _labels(20, 400)
+        a = downsample_negatives(y, 3.0, seed=5)
+        b = downsample_negatives(y, 3.0, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            downsample_negatives(_labels(5, 5), 0.0)
+        with pytest.raises(ValueError):
+            downsample_negatives(_labels(5, 5), -2.0)
+
+    @given(st.integers(1, 50), st.integers(1, 500), st.floats(0.5, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_ratio_bounded(self, n_pos, n_neg, lam):
+        y = _labels(n_pos, n_neg, seed=1)
+        idx = downsample_negatives(y, lam, seed=1)
+        kept = y[idx]
+        assert int(kept.sum()) == n_pos  # positives always all kept
+        assert int((kept == 0).sum()) <= max(int(round(lam * n_pos)), n_neg)
+
+
+class TestDownsampleDataset:
+    def test_pairs_aligned(self):
+        y = _labels(10, 90)
+        X = np.arange(100.0).reshape(-1, 1)
+        Xb, yb = downsample_dataset(X, y, 2.0, seed=0)
+        assert Xb.shape[0] == yb.shape[0]
+        # X rows still map to their original labels
+        orig = {float(x): int(lbl) for x, lbl in zip(X[:, 0], y)}
+        assert all(orig[float(x)] == int(lbl) for x, lbl in zip(Xb[:, 0], yb))

@@ -1,0 +1,104 @@
+"""Tests for the vendor SMART threshold baseline (raw-Norm operation)."""
+
+import numpy as np
+import pytest
+
+from repro.features.selection import FeatureSelection
+from repro.offline.smart_threshold import (
+    DEFAULT_VENDOR_THRESHOLDS,
+    SmartThresholdDetector,
+)
+
+
+@pytest.fixture()
+def detector_and_layout():
+    det = SmartThresholdDetector()
+    sel = FeatureSelection.paper_table2()
+    healthy = np.full((1, 19), 95.0)  # raw Norm bytes near the top
+    return det, sel, healthy
+
+
+class TestConstruction:
+    def test_monitors_only_norm_columns_with_thresholds(self, detector_and_layout):
+        det, sel, _ = detector_and_layout
+        assert det.n_monitored > 0
+        for pos in det._columns:
+            assert sel.names[pos].endswith("_normalized")
+
+    def test_custom_thresholds(self):
+        det = SmartThresholdDetector(vendor_thresholds={5: 36.0})
+        assert det.n_monitored == 1
+
+    def test_empty_threshold_map(self):
+        det = SmartThresholdDetector(vendor_thresholds={})
+        assert det.n_monitored == 0
+        assert np.all(det.predict_score(np.zeros((3, 19))) == 0.0)
+
+    def test_fit_is_noop_but_validates(self, detector_and_layout):
+        det, _, healthy = detector_and_layout
+        assert det.fit(healthy) is det
+        with pytest.raises(ValueError):
+            det.fit(np.zeros((1, 5)))
+
+
+class TestDetection:
+    def test_healthy_drive_never_alarms(self, detector_and_layout):
+        det, _, healthy = detector_and_layout
+        assert det.predict(healthy)[0] == 0
+
+    def test_tripped_attribute_alarms(self, detector_and_layout):
+        det, sel, healthy = detector_and_layout
+        sick = healthy.copy()
+        sick[0, sel.names.index("smart_5_normalized")] = 10.0  # << 36
+        assert det.predict(sick)[0] == 1
+        assert det.predict_score(sick)[0] > 0
+
+    def test_score_counts_tripped_fraction(self, detector_and_layout):
+        det, sel, healthy = detector_and_layout
+        one = healthy.copy()
+        one[0, sel.names.index("smart_5_normalized")] = 5.0
+        two = one.copy()
+        two[0, sel.names.index("smart_7_normalized")] = 5.0
+        assert det.predict_score(two)[0] > det.predict_score(one)[0]
+
+    def test_conservative_by_design(self, detector_and_layout):
+        """Mild degradation (Norm 70) stays above the vendor thresholds
+        for the error counters — exactly why the rule misses failures."""
+        det, sel, healthy = detector_and_layout
+        mild = healthy.copy()
+        mild[0, sel.names.index("smart_5_normalized")] = 70.0
+        assert det.predict(mild)[0] == 0
+
+    def test_boundary_inclusive(self, detector_and_layout):
+        det, sel, healthy = detector_and_layout
+        at = healthy.copy()
+        at[0, sel.names.index("smart_5_normalized")] = 36.0  # == threshold
+        assert det.predict(at)[0] == 1
+
+    def test_default_thresholds_plausible(self):
+        assert all(0 < v <= 100 for v in DEFAULT_VENDOR_THRESHOLDS.values())
+
+
+class TestOnSyntheticFleet:
+    def test_low_far_low_fdr_on_dataset(self, tiny_sta_dataset):
+        """On real(istic) telemetry: conservative FAR, poor FDR."""
+        from repro.eval.metrics import disk_level_rates
+        from repro.eval.protocol import labels_and_mask, last_day_per_row
+        from repro.eval.metrics import detection_mask, false_alarm_mask
+
+        ds = tiny_sta_dataset
+        sel = FeatureSelection.paper_table2()
+        X_raw = sel.apply(ds.X.astype(np.float64))
+        det = SmartThresholdDetector()
+        scores = det.predict_score(X_raw)
+        dtf = ds.days_to_failure()
+        counts = disk_level_rates(
+            scores,
+            ds.serials,
+            detection_mask(dtf, 7),
+            false_alarm_mask(dtf, ds.days, last_day_per_row(ds), 7),
+            1e-9,
+        )
+        if counts.n_failed >= 2:
+            assert counts.fdr <= 0.6  # misses plenty
+        assert counts.far <= 0.1      # but rarely cries wolf

@@ -1,0 +1,119 @@
+"""Tests for the SMO-trained C-SVC."""
+
+import numpy as np
+import pytest
+
+from repro.offline.svm import SVC
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    n = 300
+    X0 = rng.normal(-1.0, 0.7, size=(n, 4))
+    X1 = rng.normal(1.0, 0.7, size=(n, 4))
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(n, int), np.ones(n, int)])
+    order = rng.permutation(2 * n)
+    return X[order], y[order]
+
+
+class TestFit:
+    def test_separable_blobs_high_accuracy(self, blobs):
+        X, y = blobs
+        svm = SVC(C=5.0, gamma=0.3, seed=1).fit(X, y)
+        assert (svm.predict(X) == y).mean() > 0.95
+
+    def test_support_vectors_subset(self, blobs):
+        X, y = blobs
+        svm = SVC(C=1.0, gamma=0.3, seed=1).fit(X, y)
+        assert 0 < svm.n_support_ <= X.shape[0]
+
+    def test_gamma_scale_resolution(self, blobs):
+        X, y = blobs
+        svm = SVC(gamma="scale", seed=0).fit(X, y)
+        assert svm.gamma_ == pytest.approx(1.0 / (X.shape[1] * X.var()))
+
+    def test_explicit_gamma(self, blobs):
+        X, y = blobs
+        svm = SVC(gamma=0.25, seed=0).fit(X, y)
+        assert svm.gamma_ == 0.25
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError, match="both classes"):
+            SVC().fit(np.random.default_rng(0).normal(size=(10, 2)), np.zeros(10, int))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+        with pytest.raises(ValueError):
+            SVC(tol=-1.0)
+
+    def test_reproducible(self, blobs):
+        X, y = blobs
+        a = SVC(C=1.0, gamma=0.3, seed=5).fit(X, y).decision_function(X[:20])
+        b = SVC(C=1.0, gamma=0.3, seed=5).fit(X, y).decision_function(X[:20])
+        assert np.allclose(a, b)
+
+
+class TestDecisionFunction:
+    def test_sign_matches_predict(self, blobs):
+        X, y = blobs
+        svm = SVC(C=2.0, gamma=0.3, seed=1).fit(X, y)
+        df = svm.decision_function(X)
+        assert np.array_equal((df >= 0).astype(np.int8), svm.predict(X))
+
+    def test_threshold_shifts_positives(self, blobs):
+        X, y = blobs
+        svm = SVC(C=2.0, gamma=0.3, seed=1).fit(X, y)
+        assert svm.predict(X, threshold=2.0).sum() <= svm.predict(X, threshold=-2.0).sum()
+
+    def test_predict_score_alias(self, blobs):
+        X, y = blobs
+        svm = SVC(C=2.0, gamma=0.3, seed=1).fit(X, y)
+        assert np.allclose(svm.predict_score(X[:5]), svm.decision_function(X[:5]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SVC().decision_function(np.zeros((1, 2)))
+
+    def test_feature_mismatch(self, blobs):
+        X, y = blobs
+        svm = SVC(seed=0).fit(X, y)
+        with pytest.raises(ValueError):
+            svm.decision_function(np.zeros((1, X.shape[1] + 1)))
+
+
+class TestClassWeight:
+    def test_upweighting_positives_raises_recall(self):
+        rng = np.random.default_rng(3)
+        # overlapping classes, imbalanced
+        X0 = rng.normal(0.0, 1.0, size=(500, 3))
+        X1 = rng.normal(0.8, 1.0, size=(50, 3))
+        X = np.vstack([X0, X1])
+        y = np.concatenate([np.zeros(500, int), np.ones(50, int)])
+        plain = SVC(C=1.0, gamma=0.5, seed=0).fit(X, y)
+        weighted = SVC(C=1.0, gamma=0.5, class_weight={1: 10.0}, seed=0).fit(X, y)
+        recall_plain = plain.predict(X)[y == 1].mean()
+        recall_weighted = weighted.predict(X)[y == 1].mean()
+        assert recall_weighted >= recall_plain
+
+    def test_balanced_mode_runs(self, blobs):
+        X, y = blobs
+        svm = SVC(class_weight="balanced", seed=0).fit(X, y)
+        assert svm.n_support_ > 0
+
+    def test_invalid_class_weight(self, blobs):
+        X, y = blobs
+        with pytest.raises(ValueError):
+            SVC(class_weight="magic").fit(X, y)
+
+
+class TestDualConstraints:
+    def test_alpha_within_box_and_kkt_balance(self, blobs):
+        """Σ αᵢ yᵢ == 0 and 0 ≤ αᵢ ≤ C after training."""
+        X, y = blobs
+        svm = SVC(C=1.5, gamma=0.3, seed=2).fit(X, y)
+        # dual_coef_ = alpha * y_pm at SVs; |alpha| ≤ C and balance holds
+        assert np.all(np.abs(svm.dual_coef_) <= 1.5 + 1e-6)
+        assert abs(svm.dual_coef_.sum()) < 1e-6

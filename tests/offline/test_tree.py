@@ -1,0 +1,215 @@
+"""Tests for the from-scratch CART implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline.tree import (
+    DecisionTreeClassifier,
+    gini_impurity,
+    resolve_class_weight,
+)
+
+
+class TestGiniImpurity:
+    def test_pure_node_zero(self):
+        assert gini_impurity(np.array(10.0), np.array(0.0)) == 0.0
+        assert gini_impurity(np.array(0.0), np.array(5.0)) == 0.0
+
+    def test_balanced_node_half(self):
+        assert np.isclose(gini_impurity(np.array(5.0), np.array(5.0)), 0.5)
+
+    def test_empty_node_zero(self):
+        assert gini_impurity(np.array(0.0), np.array(0.0)) == 0.0
+
+    def test_vectorized(self):
+        w0 = np.array([1.0, 0.0, 3.0])
+        w1 = np.array([1.0, 4.0, 1.0])
+        out = gini_impurity(w0, w1)
+        assert out.shape == (3,)
+        assert np.isclose(out[0], 0.5)
+
+    @given(st.floats(0.0, 100.0), st.floats(0.0, 100.0))
+    def test_property_range(self, w0, w1):
+        g = float(gini_impurity(np.array(w0), np.array(w1)))
+        assert 0.0 <= g <= 0.5 + 1e-12
+
+
+class TestClassWeights:
+    def test_none(self):
+        assert resolve_class_weight(None, np.array([0, 1])) == (1.0, 1.0)
+
+    def test_balanced(self):
+        y = np.array([0] * 90 + [1] * 10)
+        w0, w1 = resolve_class_weight("balanced", y)
+        assert np.isclose(w0 * 90, w1 * 10)
+
+    def test_dict(self):
+        assert resolve_class_weight({1: 5.0}, np.array([0, 1])) == (1.0, 5.0)
+
+    def test_single_class_balanced(self):
+        assert resolve_class_weight("balanced", np.zeros(5, int)) == (1.0, 1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_class_weight("magic", np.array([0, 1]))
+
+
+class TestFitBasics:
+    def test_perfect_split_single_feature(self):
+        X = np.array([[0.1], [0.2], [0.8], [0.9]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.array_equal(tree.predict(X), y)
+        assert tree.n_nodes == 3  # root + two leaves
+
+    def test_threshold_at_midpoint(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        tree = DecisionTreeClassifier(laplace=0.0).fit(X, y)
+        assert np.isclose(tree.tree_.threshold[0], 0.5)
+
+    def test_pure_labels_yield_stump(self):
+        X = np.random.default_rng(0).uniform(size=(20, 3))
+        tree = DecisionTreeClassifier().fit(X, np.zeros(20, dtype=int))
+        assert tree.n_nodes == 1
+
+    def test_xor_needs_depth_two(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(400, 2))
+        y = ((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5)).astype(int)
+        tree = DecisionTreeClassifier(min_samples_leaf=5).fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+        assert tree.depth >= 2
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_feature_count_mismatch(self):
+        tree = DecisionTreeClassifier().fit(np.zeros((4, 3)), [0, 0, 1, 1])
+        with pytest.raises(ValueError, match="feature"):
+            tree.predict(np.zeros((1, 2)))
+
+
+class TestCapacityControls:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(800, 5))
+        y = (X[:, 0] + 0.3 * rng.normal(size=800) > 0.5).astype(int)
+        return X, y
+
+    def test_max_depth(self, data):
+        X, y = data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_max_num_splits(self, data):
+        X, y = data
+        tree = DecisionTreeClassifier(max_num_splits=5).fit(X, y)
+        assert tree.n_nodes - tree.n_leaves <= 5
+
+    def test_min_samples_leaf(self, data):
+        X, y = data
+        tree = DecisionTreeClassifier(min_samples_leaf=50).fit(X, y)
+        assert tree.tree_.n_samples[tree.tree_.feature < 0].min() >= 50
+
+    def test_min_impurity_decrease_prunes(self, data):
+        X, y = data
+        loose = DecisionTreeClassifier(min_impurity_decrease=0.0).fit(X, y)
+        strict = DecisionTreeClassifier(min_impurity_decrease=0.2).fit(X, y)
+        assert strict.n_nodes < loose.n_nodes
+
+    def test_max_features_subsampling_reproducible(self, data):
+        X, y = data
+        t1 = DecisionTreeClassifier(max_features=2, seed=7).fit(X, y)
+        t2 = DecisionTreeClassifier(max_features=2, seed=7).fit(X, y)
+        assert np.array_equal(t1.tree_.feature, t2.tree_.feature)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_impurity_decrease=-0.1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(laplace=-1.0)
+
+
+class TestProbabilitiesAndWeights:
+    def test_proba_rows_sum_to_one(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X[:50])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_laplace_smoothing_avoids_extremes(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        tree = DecisionTreeClassifier(max_depth=6, laplace=1.0).fit(X, y)
+        scores = tree.predict_score(X)
+        assert scores.max() < 1.0 and scores.min() > 0.0
+
+    def test_zero_laplace_allows_pure_leaves(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        tree = DecisionTreeClassifier(laplace=0.0).fit(X, y)
+        assert set(tree.predict_score(X)) == {0.0, 1.0}
+
+    def test_class_weight_shifts_boundary(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        plain = DecisionTreeClassifier(max_depth=5, seed=0).fit(X, y)
+        weighted = DecisionTreeClassifier(
+            max_depth=5, class_weight={1: 20.0}, seed=0
+        ).fit(X, y)
+        # upweighting positives must not lower recall
+        recall_plain = plain.predict(X)[y == 1].mean()
+        recall_weighted = weighted.predict(X)[y == 1].mean()
+        assert recall_weighted >= recall_plain
+
+    def test_sample_weight_equivalent_to_duplication(self):
+        X = np.array([[0.0], [0.4], [0.6], [1.0]])
+        y = np.array([0, 0, 1, 1])
+        dup = DecisionTreeClassifier(laplace=0.0).fit(
+            np.vstack([X, X[[3]]]), np.concatenate([y, [1]])
+        )
+        weighted = DecisionTreeClassifier(laplace=0.0).fit(
+            X, y, sample_weight=np.array([1.0, 1.0, 1.0, 2.0])
+        )
+        grid = np.linspace(0, 1, 21).reshape(-1, 1)
+        assert np.allclose(dup.predict_score(grid), weighted.predict_score(grid))
+
+    def test_negative_sample_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(
+                np.zeros((2, 1)), [0, 1], sample_weight=np.array([1.0, -1.0])
+            )
+
+    def test_feature_importances_sum_to_one(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        assert np.isclose(tree.feature_importances_.sum(), 1.0)
+        # signal features carry the importance
+        assert tree.feature_importances_[[0, 1]].sum() > 0.5
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_predictions_are_valid_probabilities(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(size=(60, 3))
+        y = (rng.uniform(size=60) < 0.4).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4, seed=seed).fit(X, y)
+        s = tree.predict_score(X)
+        assert np.all((s >= 0) & (s <= 1))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_deeper_never_fewer_nodes(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(size=(200, 4))
+        y = (X[:, 0] > rng.uniform(0.3, 0.7)).astype(int)
+        shallow = DecisionTreeClassifier(max_depth=1, seed=0).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=6, seed=0).fit(X, y)
+        assert deep.n_nodes >= shallow.n_nodes

@@ -1,0 +1,100 @@
+"""Tests for the alarm-driven migration scheduler."""
+
+import pytest
+
+from repro.ops.migration import MigrationOutcome, MigrationScheduler
+
+
+def scheduler(bw=4.0, cap=4.0):
+    return MigrationScheduler(capacity_tb=cap, bandwidth_tb_per_day=bw)
+
+
+class TestBasicReplay:
+    def test_timely_alarm_saves_drive(self):
+        out = scheduler().replay(
+            alarms=[(0, "d1", 0.9)], failures={"d1": 3}
+        )
+        assert out.n_saved == 1
+        assert out.data_lost_tb == 0.0
+        assert out.save_rate == 1.0
+
+    def test_late_alarm_loses_data(self):
+        # 4 TB at 1 TB/day, alarm 2 days before death → 2 TB lost
+        out = MigrationScheduler(capacity_tb=4.0, bandwidth_tb_per_day=1.0).replay(
+            alarms=[(0, "d1", 0.9)], failures={"d1": 2}
+        )
+        assert out.n_saved == 0
+        assert out.n_partially_saved == 1
+        assert out.data_lost_tb == pytest.approx(2.0)
+
+    def test_no_alarm_is_unwarned(self):
+        out = scheduler().replay(alarms=[], failures={"d1": 5})
+        assert out.n_unwarned == 1
+        assert out.data_lost_tb == pytest.approx(4.0)
+
+    def test_false_alarm_counts_wasted(self):
+        out = scheduler().replay(alarms=[(0, "good", 0.8)], failures={})
+        assert out.n_wasted_migrations == 1
+        assert out.n_failed_drives == 0
+
+    def test_empty_inputs(self):
+        out = scheduler().replay(alarms=[], failures={})
+        assert out == MigrationOutcome(0, 0, 0, 0, 0, 0.0, 0.0)
+
+
+class TestPrioritization:
+    def test_higher_score_migrates_first(self):
+        # bandwidth only saves one drive before both die on day 2
+        out = MigrationScheduler(capacity_tb=4.0, bandwidth_tb_per_day=2.0).replay(
+            alarms=[(0, "low", 0.3), (0, "high", 0.9)],
+            failures={"low": 2, "high": 2},
+        )
+        assert out.n_saved == 1  # only the high-score drive fits the budget
+
+    def test_bandwidth_split_across_days(self):
+        out = MigrationScheduler(capacity_tb=4.0, bandwidth_tb_per_day=2.0).replay(
+            alarms=[(0, "d1", 0.9)], failures={"d1": 2}
+        )
+        assert out.n_saved == 1  # 2 days × 2 TB/day = 4 TB
+
+    def test_duplicate_alarms_do_not_duplicate_work(self):
+        out = MigrationScheduler(capacity_tb=4.0, bandwidth_tb_per_day=2.0).replay(
+            alarms=[(0, "d1", 0.9), (1, "d1", 0.95), (0, "d2", 0.5)],
+            failures={"d1": 2, "d2": 2},
+        )
+        assert out.n_saved == 1
+
+
+class TestAccounting:
+    def test_data_at_risk_accumulates(self):
+        # 4 TB drive, 1 TB/day: pending 3+2+1 TB over the evacuation days
+        out = MigrationScheduler(capacity_tb=4.0, bandwidth_tb_per_day=1.0).replay(
+            alarms=[(0, "d1", 0.9)], failures={}
+        )
+        assert out.data_at_risk_tb_days == pytest.approx(3.0 + 2.0 + 1.0)
+
+    def test_dead_drive_job_tombstoned(self):
+        # death on day 1 stops both work and at-risk accounting
+        out = MigrationScheduler(capacity_tb=10.0, bandwidth_tb_per_day=1.0).replay(
+            alarms=[(0, "d1", 0.9)], failures={"d1": 1}
+        )
+        assert out.data_lost_tb == pytest.approx(9.0)
+        assert out.data_at_risk_tb_days == pytest.approx(9.0)
+
+    def test_save_rate_nan_without_failures(self):
+        out = scheduler().replay(alarms=[(0, "x", 0.5)], failures={})
+        assert out.save_rate != out.save_rate  # NaN
+
+    def test_horizon_truncates(self):
+        out = MigrationScheduler(capacity_tb=4.0, bandwidth_tb_per_day=1.0).replay(
+            alarms=[(0, "d1", 0.9)], failures={}, horizon_day=1
+        )
+        assert out.n_wasted_migrations == 0  # evacuation unfinished at cut
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MigrationScheduler(capacity_tb=0.0, bandwidth_tb_per_day=1.0)
+        with pytest.raises(ValueError):
+            MigrationScheduler(capacity_tb=1.0, bandwidth_tb_per_day=0.0)

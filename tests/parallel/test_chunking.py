@@ -1,0 +1,89 @@
+"""Tests for repro.parallel.chunking — partition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel.chunking import (
+    chunk_indices,
+    chunk_slices,
+    interleave_round_robin,
+    split_work,
+)
+
+
+class TestChunkSlices:
+    def test_covers_everything_in_order(self):
+        slices = chunk_slices(10, 3)
+        covered = [i for sl in slices for i in range(sl.start, sl.stop)]
+        assert covered == list(range(10))
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [sl.stop - sl.start for sl in chunk_slices(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_fewer_items_than_chunks(self):
+        slices = chunk_slices(2, 10)
+        assert len(slices) == 2
+
+    def test_empty_input(self):
+        assert chunk_slices(0, 4) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chunk_slices(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_slices(5, 0)
+
+    @given(st.integers(0, 500), st.integers(1, 32))
+    def test_property_partition(self, n, k):
+        slices = chunk_slices(n, k)
+        covered = [i for sl in slices for i in range(sl.start, sl.stop)]
+        assert covered == list(range(n))
+        assert all((sl.stop - sl.start) > 0 for sl in slices)
+
+
+class TestChunkIndices:
+    def test_sizes(self):
+        chunks = chunk_indices(10, 4)
+        assert [c.size for c in chunks] == [4, 4, 2]
+
+    def test_concatenation_identity(self):
+        chunks = chunk_indices(17, 5)
+        assert np.array_equal(np.concatenate(chunks), np.arange(17))
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_indices(10, 0)
+
+
+class TestSplitWork:
+    def test_preserves_order(self):
+        groups = split_work(list("abcdefg"), 3)
+        assert [x for g in groups for x in g] == list("abcdefg")
+
+    def test_group_count(self):
+        assert len(split_work([1, 2, 3, 4], 2)) == 2
+
+    def test_more_workers_than_items(self):
+        groups = split_work([1, 2], 5)
+        assert [x for g in groups for x in g] == [1, 2]
+
+
+class TestRoundRobin:
+    def test_deal_pattern(self):
+        groups = interleave_round_robin([0, 1, 2, 3, 4], 2)
+        assert groups == [[0, 2, 4], [1, 3]]
+
+    def test_no_empty_groups(self):
+        assert all(interleave_round_robin([1], 5))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            interleave_round_robin([1], 0)
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 8))
+    def test_property_conserves_items(self, items, k):
+        groups = interleave_round_robin(items, k)
+        assert sorted(x for g in groups for x in g) == sorted(items)

@@ -1,0 +1,77 @@
+"""Tests for repro.parallel.pool — executor interchangeability."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import (
+    ExecutorKind,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+    def test_exception_propagates(self):
+        def boom(_):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            SerialExecutor().map(boom, [1])
+
+
+class TestThreadExecutor:
+    def test_matches_serial(self):
+        items = list(range(20))
+        with ThreadExecutor(4) as pool:
+            assert pool.map(_square, items) == SerialExecutor().map(_square, items)
+
+    def test_numpy_payloads(self):
+        arrays = [np.arange(5) * i for i in range(6)]
+        with ThreadExecutor(2) as pool:
+            out = pool.map(lambda a: a.sum(), arrays)
+        assert out == [a.sum() for a in arrays]
+
+    def test_exception_propagates(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("worker died")
+            return x
+
+        with ThreadExecutor(2) as pool, pytest.raises(ValueError, match="worker died"):
+            pool.map(boom, range(6))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)
+
+
+class TestMakeExecutor:
+    def test_kinds(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        pool = make_executor("thread", 2)
+        assert isinstance(pool, ThreadExecutor)
+        pool.shutdown()
+
+    def test_enum_accepted(self):
+        assert isinstance(make_executor(ExecutorKind.SERIAL), SerialExecutor)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu")
+
+
+class TestContextManager:
+    def test_serial_context(self):
+        with SerialExecutor() as pool:
+            assert pool.map(_square, [2]) == [4]

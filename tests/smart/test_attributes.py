@@ -1,0 +1,88 @@
+"""Tests for the SMART attribute catalogue."""
+
+import pytest
+
+from repro.smart.attributes import (
+    ALL_ATTRIBUTES,
+    ATTRIBUTE_BY_ID,
+    NUM_ATTRIBUTES,
+    NUM_CANDIDATE_FEATURES,
+    SELECTED_FEATURES,
+    candidate_feature_names,
+    feature_index,
+    feature_name,
+    selected_feature_indices,
+    selected_feature_names,
+)
+
+
+class TestCatalogue:
+    def test_twenty_four_attributes(self):
+        """The paper: each drive reports 24 SMART attributes."""
+        assert NUM_ATTRIBUTES == 24
+        assert NUM_CANDIDATE_FEATURES == 48
+
+    def test_ids_unique_and_sorted(self):
+        ids = [a.id for a in ALL_ATTRIBUTES]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_lookup_by_id(self):
+        assert ATTRIBUTE_BY_ID[5].name == "Reallocated Sectors Count"
+        assert ATTRIBUTE_BY_ID[9].cumulative
+
+    def test_table2_ids_all_present(self):
+        for sid, _kind, _rank in SELECTED_FEATURES:
+            assert sid in ATTRIBUTE_BY_ID
+
+
+class TestTable2Selection:
+    def test_nineteen_features(self):
+        """Table 2 selects 19 features."""
+        assert len(SELECTED_FEATURES) == 19
+
+    def test_nine_norms_ten_raws(self):
+        norms = sum(1 for _, kind, _ in SELECTED_FEATURES if kind == "norm")
+        raws = sum(1 for _, kind, _ in SELECTED_FEATURES if kind == "raw")
+        assert (norms, raws) == (9, 10)
+
+    def test_rank_one_is_attr_187(self):
+        """Reported Uncorrectable Errors tops the paper's contribution ranks."""
+        top = [sid for sid, _, rank in SELECTED_FEATURES if rank == 1]
+        assert set(top) == {187}
+
+    def test_thirteen_distinct_attributes(self):
+        assert len({sid for sid, _, _ in SELECTED_FEATURES}) == 13
+
+    def test_indices_valid_and_unique(self):
+        idx = selected_feature_indices()
+        assert len(set(idx)) == 19
+        assert all(0 <= i < NUM_CANDIDATE_FEATURES for i in idx)
+
+
+class TestFeatureIndexing:
+    def test_norm_raw_adjacent(self):
+        for attr in ALL_ATTRIBUTES:
+            assert feature_index(attr.id, "raw") == feature_index(attr.id, "norm") + 1
+
+    def test_unknown_attribute(self):
+        with pytest.raises(KeyError):
+            feature_index(999, "raw")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            feature_index(5, "cooked")
+
+    def test_names_backblaze_style(self):
+        assert feature_name(5, "raw") == "smart_5_raw"
+        assert feature_name(5, "norm") == "smart_5_normalized"
+
+    def test_candidate_names_align_with_indices(self):
+        names = candidate_feature_names()
+        assert len(names) == NUM_CANDIDATE_FEATURES
+        assert names[feature_index(187, "raw")] == "smart_187_raw"
+
+    def test_selected_names(self):
+        names = selected_feature_names()
+        assert "smart_187_normalized" in names
+        assert len(names) == 19

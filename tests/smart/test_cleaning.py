@@ -1,0 +1,133 @@
+"""Tests for field-data cleaning and validation."""
+
+import numpy as np
+import pytest
+
+from repro.smart.attributes import feature_index
+from repro.smart.cleaning import clean_dataset, validate_dataset
+from repro.smart.dataset import SmartDataset
+
+
+def corrupt(dataset, *, nans=True, norm_overflow=False, negative_counter=False):
+    """Return a copy of *dataset* with injected corruption."""
+    ds = SmartDataset(
+        spec=dataset.spec,
+        drives=list(dataset.drives),
+        serials=dataset.serials.copy(),
+        days=dataset.days.copy(),
+        X=dataset.X.copy(),
+        failure_flags=dataset.failure_flags.copy(),
+    )
+    rng = np.random.default_rng(0)
+    if nans:
+        rows = rng.choice(ds.n_rows, size=ds.n_rows // 20, replace=False)
+        cols = rng.integers(0, ds.X.shape[1], size=rows.size)
+        ds.X[rows, cols] = np.nan
+    if norm_overflow:
+        ds.X[0, feature_index(5, "norm")] = 999.0
+    if negative_counter:
+        ds.X[1, feature_index(187, "raw")] = -5.0
+    return ds
+
+
+class TestValidate:
+    def test_clean_dataset_has_no_issues(self, tiny_sta_dataset):
+        issues = validate_dataset(tiny_sta_dataset)
+        assert issues == []
+
+    def test_detects_nans(self, tiny_sta_dataset):
+        ds = corrupt(tiny_sta_dataset)
+        kinds = {i.kind for i in validate_dataset(ds)}
+        assert "non_finite" in kinds
+
+    def test_detects_norm_overflow(self, tiny_sta_dataset):
+        ds = corrupt(tiny_sta_dataset, nans=False, norm_overflow=True)
+        kinds = {i.kind for i in validate_dataset(ds)}
+        assert "norm_out_of_range" in kinds
+
+    def test_detects_duplicate_rows(self, tiny_sta_dataset):
+        ds = tiny_sta_dataset
+        dup = SmartDataset(
+            spec=ds.spec,
+            drives=list(ds.drives),
+            serials=np.concatenate([ds.serials, ds.serials[:1]]),
+            days=np.concatenate([ds.days, ds.days[:1]]),
+            X=np.concatenate([ds.X, ds.X[:1]]),
+            failure_flags=np.concatenate([ds.failure_flags, ds.failure_flags[:1]]),
+        )
+        kinds = {i.kind for i in validate_dataset(dup)}
+        assert "duplicate_rows" in kinds
+
+    def test_detects_cumulative_decrease(self, tiny_sta_dataset):
+        ds = corrupt(tiny_sta_dataset, nans=False)
+        serial = int(ds.serials[0])
+        rows = ds.rows_for_serial(serial)
+        col = feature_index(9, "raw")  # Power-On Hours
+        ds.X[rows[-1], col] = 0.0  # hours going backwards
+        issues = validate_dataset(ds)
+        assert any(
+            i.kind == "cumulative_decrease" and i.serial == serial for i in issues
+        )
+
+    def test_detects_missing_failure_flag(self, tiny_sta_dataset):
+        ds = corrupt(tiny_sta_dataset, nans=False)
+        if not ds.failure_flags.any():
+            pytest.skip("no failures in fixture")
+        ds.failure_flags[:] = False
+        kinds = {i.kind for i in validate_dataset(ds)}
+        assert "missing_failure_flag" in kinds
+
+
+class TestClean:
+    def test_removes_all_nans(self, tiny_sta_dataset):
+        dirty = corrupt(tiny_sta_dataset)
+        cleaned = clean_dataset(dirty)
+        assert np.isfinite(cleaned.X).all()
+
+    def test_forward_fill_uses_previous_value(self, tiny_sta_dataset):
+        dirty = corrupt(tiny_sta_dataset, nans=False)
+        serial = int(dirty.serials[0])
+        rows = dirty.rows_for_serial(serial)
+        col = feature_index(9, "raw")
+        original_prev = float(dirty.X[rows[5], col])
+        dirty.X[rows[6], col] = np.nan
+        cleaned = clean_dataset(dirty)
+        assert cleaned.X[rows[6], col] == pytest.approx(original_prev)
+
+    def test_backfill_handles_leading_nan(self, tiny_sta_dataset):
+        dirty = corrupt(tiny_sta_dataset, nans=False)
+        serial = int(dirty.serials[0])
+        rows = dirty.rows_for_serial(serial)
+        col = feature_index(5, "raw")
+        second = float(dirty.X[rows[1], col])
+        dirty.X[rows[0], col] = np.nan
+        cleaned = clean_dataset(dirty)
+        assert cleaned.X[rows[0], col] == pytest.approx(second)
+
+    def test_norms_clipped(self, tiny_sta_dataset):
+        dirty = corrupt(tiny_sta_dataset, nans=False, norm_overflow=True)
+        cleaned = clean_dataset(dirty)
+        assert cleaned.X[0, feature_index(5, "norm")] == 255.0
+
+    def test_error_counters_floored(self, tiny_sta_dataset):
+        dirty = corrupt(tiny_sta_dataset, nans=False, negative_counter=True)
+        cleaned = clean_dataset(dirty)
+        assert cleaned.X[1, feature_index(187, "raw")] == 0.0
+
+    def test_original_untouched(self, tiny_sta_dataset):
+        dirty = corrupt(tiny_sta_dataset)
+        before = dirty.X.copy()
+        clean_dataset(dirty)
+        assert np.array_equal(dirty.X, before, equal_nan=True)
+
+    def test_clean_is_idempotent_on_clean_data(self, tiny_sta_dataset):
+        once = clean_dataset(tiny_sta_dataset)
+        twice = clean_dataset(once)
+        assert np.allclose(once.X, twice.X)
+
+    def test_validation_passes_after_cleaning(self, tiny_sta_dataset):
+        dirty = corrupt(tiny_sta_dataset, norm_overflow=True, negative_counter=True)
+        cleaned = clean_dataset(dirty)
+        kinds = {i.kind for i in validate_dataset(cleaned)}
+        assert "non_finite" not in kinds
+        assert "norm_out_of_range" not in kinds

@@ -1,0 +1,107 @@
+"""Tests for SmartDataset views and indexing."""
+
+import numpy as np
+import pytest
+
+from repro.smart.dataset import SmartDataset
+
+
+class TestBasics:
+    def test_summary_counts(self, tiny_sta_dataset):
+        s = tiny_sta_dataset.summary()
+        assert s["#GoodDisks"] == tiny_sta_dataset.n_good_drives
+        assert s["#FailedDisks"] == tiny_sta_dataset.n_failed_drives
+        assert s["#GoodDisks"] + s["#FailedDisks"] == tiny_sta_dataset.n_drives
+
+    def test_months_derived_from_days(self, tiny_sta_dataset):
+        assert np.array_equal(
+            tiny_sta_dataset.months, tiny_sta_dataset.days // 30
+        )
+
+    def test_column_length_validation(self, tiny_sta_dataset):
+        ds = tiny_sta_dataset
+        with pytest.raises(ValueError, match="column lengths"):
+            SmartDataset(
+                spec=ds.spec,
+                drives=ds.drives,
+                serials=ds.serials[:-1],
+                days=ds.days,
+                X=ds.X,
+                failure_flags=ds.failure_flags,
+            )
+
+    def test_feature_width_validation(self, tiny_sta_dataset):
+        ds = tiny_sta_dataset
+        with pytest.raises(ValueError, match="X must be"):
+            SmartDataset(
+                spec=ds.spec,
+                drives=ds.drives,
+                serials=ds.serials,
+                days=ds.days,
+                X=ds.X[:, :10],
+                failure_flags=ds.failure_flags,
+            )
+
+
+class TestRowIndex:
+    def test_rows_sorted_by_day(self, tiny_sta_dataset):
+        serial = int(tiny_sta_dataset.serials[0])
+        rows = tiny_sta_dataset.rows_for_serial(serial)
+        assert np.all(np.diff(tiny_sta_dataset.days[rows]) > 0)
+
+    def test_rows_cover_all_of_serial(self, tiny_sta_dataset):
+        serial = int(tiny_sta_dataset.serials[0])
+        rows = tiny_sta_dataset.rows_for_serial(serial)
+        assert rows.size == int((tiny_sta_dataset.serials == serial).sum())
+
+    def test_unknown_serial_raises(self, tiny_sta_dataset):
+        with pytest.raises(KeyError, match="no rows"):
+            tiny_sta_dataset.rows_for_serial(10**9)
+
+
+class TestFailureViews:
+    def test_failed_and_good_partition(self, tiny_sta_dataset):
+        ds = tiny_sta_dataset
+        assert len(ds.failed_serials) + len(ds.good_serials) == ds.n_drives
+        assert not set(ds.failed_serials) & set(ds.good_serials)
+
+    def test_days_to_failure_semantics(self, tiny_sta_dataset):
+        ds = tiny_sta_dataset
+        dtf = ds.days_to_failure()
+        fail_map = ds.fail_day_by_serial()
+        # good drives: +inf
+        good_mask = np.isin(ds.serials, ds.good_serials)
+        assert np.all(np.isinf(dtf[good_mask]))
+        # failed drives: zero exactly on the failure-day snapshot
+        for serial in ds.failed_serials[:5]:
+            rows = ds.rows_for_serial(int(serial))
+            assert dtf[rows[-1]] == 0
+            assert np.all(dtf[rows] >= 0)
+            assert np.all(dtf[rows] == fail_map[int(serial)] - ds.days[rows])
+
+
+class TestSubsets:
+    def test_subset_rows_by_mask(self, tiny_sta_dataset):
+        ds = tiny_sta_dataset
+        mask = ds.days < 60
+        sub = ds.subset_rows(mask)
+        assert sub.n_rows == int(mask.sum())
+        assert np.all(sub.days < 60)
+
+    def test_subset_rows_bad_mask_length(self, tiny_sta_dataset):
+        with pytest.raises(ValueError):
+            tiny_sta_dataset.subset_rows(np.zeros(3, dtype=bool))
+
+    def test_subset_serials_restricts_rows_and_drives(self, tiny_sta_dataset):
+        ds = tiny_sta_dataset
+        pick = [int(s) for s in np.unique(ds.serials)[:4]]
+        sub = ds.subset_serials(pick)
+        assert set(np.unique(sub.serials)) == set(pick)
+        assert {d.serial for d in sub.drives} == set(pick)
+
+    def test_subset_preserves_row_contents(self, tiny_sta_dataset):
+        ds = tiny_sta_dataset
+        serial = int(ds.serials[0])
+        sub = ds.subset_serials([serial])
+        rows = ds.rows_for_serial(serial)
+        assert np.array_equal(np.sort(sub.days), np.sort(ds.days[rows]))

@@ -1,0 +1,141 @@
+"""Tests for degradation/anomaly event processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smart import degradation as deg
+from repro.smart.drive_model import DegradationProfile
+
+
+class TestWindowProgress:
+    def test_zero_outside_window(self):
+        days = np.arange(0, 100)
+        p = deg.window_progress(days, 50, 80)
+        assert np.all(p[:50] == 0)
+        assert np.all(p[81:] == 0)
+
+    def test_linear_ramp(self):
+        days = np.arange(0, 100)
+        p = deg.window_progress(days, 50, 80)
+        assert p[50] == 0.0
+        assert p[80] == 1.0
+        assert abs(p[65] - 0.5) < 1e-12
+
+    def test_none_window(self):
+        p = deg.window_progress(np.arange(10), None, None)
+        assert np.all(p == 0)
+
+    def test_degenerate_window(self):
+        p = deg.window_progress(np.arange(10), 5, 5)
+        assert np.all(p == 0)
+
+
+class TestAcceleratingEvents:
+    def test_no_events_outside_window(self):
+        rng = np.random.default_rng(0)
+        progress = np.zeros(50)
+        out = deg.accelerating_event_increments(rng, progress, 5.0, 2.0)
+        assert np.all(out == 0)
+
+    def test_rate_accelerates(self):
+        rng = np.random.default_rng(0)
+        progress = np.linspace(0.01, 1.0, 2000)
+        out = deg.accelerating_event_increments(rng, progress, 1.0, 3.0)
+        early = out[:500].mean()
+        late = out[-500:].mean()
+        assert late > 3 * early
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            deg.accelerating_event_increments(
+                np.random.default_rng(0), np.ones(3), -1.0, 1.0
+            )
+
+    def test_zero_base_rate_yields_nothing(self):
+        out = deg.accelerating_event_increments(
+            np.random.default_rng(0), np.ones(100), 0.0, 2.0
+        )
+        assert np.all(out == 0)
+
+
+class TestScareEvents:
+    def test_rate_zero_no_events(self):
+        out = deg.scare_event_increments(
+            np.random.default_rng(0), 100, np.zeros(100), 4.0
+        )
+        assert np.all(out == 0)
+
+    def test_events_positive_when_hit(self):
+        out = deg.scare_event_increments(
+            np.random.default_rng(0), 5000, np.full(5000, 0.5), 4.0
+        )
+        hits = out[out > 0]
+        assert hits.size > 1000
+        assert np.all(hits >= 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            deg.scare_event_increments(np.random.default_rng(0), 10, np.zeros(5), 1.0)
+
+
+class TestDecayingLevel:
+    def test_single_impulse_decays_geometrically(self):
+        inc = np.zeros(10)
+        inc[0] = 8.0
+        level = deg.decaying_level(inc, 0.5)
+        assert np.allclose(level, 8.0 * 0.5 ** np.arange(10))
+
+    def test_zero_retention_passthrough(self):
+        inc = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(deg.decaying_level(inc, 0.0), inc)
+
+    def test_invalid_retention(self):
+        with pytest.raises(ValueError):
+            deg.decaying_level(np.ones(3), 1.0)
+        with pytest.raises(ValueError):
+            deg.decaying_level(np.ones(3), -0.1)
+
+    def test_empty_input(self):
+        assert deg.decaying_level(np.zeros(0), 0.5).size == 0
+
+    @given(st.floats(0.0, 0.99), st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_level_nonnegative(self, retention, n):
+        rng = np.random.default_rng(0)
+        inc = rng.poisson(1.0, size=n).astype(float)
+        level = deg.decaying_level(inc, retention)
+        assert np.all(level >= -1e-9)
+
+
+class TestDerivedEvents:
+    def test_thinning_bounds(self):
+        rng = np.random.default_rng(0)
+        src = rng.poisson(5.0, size=1000).astype(float)
+        child = deg.derived_event_increments(rng, src, 0.4)
+        assert np.all(child <= src)
+        assert np.all(child >= 0)
+
+    def test_probability_zero_and_one(self):
+        rng = np.random.default_rng(0)
+        src = np.full(10, 3.0)
+        assert np.all(deg.derived_event_increments(rng, src, 0.0) == 0)
+        assert np.allclose(deg.derived_event_increments(rng, src, 1.0), src)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            deg.derived_event_increments(np.random.default_rng(0), np.ones(2), 1.5)
+
+    def test_mean_fraction(self):
+        rng = np.random.default_rng(0)
+        src = np.full(20000, 10.0)
+        child = deg.derived_event_increments(rng, src, 0.3)
+        assert abs(child.mean() - 3.0) < 0.1
+
+
+class TestDegradationRates:
+    def test_keys_cover_error_counters(self):
+        rates = deg.degradation_rates(DegradationProfile())
+        assert set(rates) == {5, 183, 184, 187, 189, 197, 199}
+        assert all(v >= 0 for v in rates.values())

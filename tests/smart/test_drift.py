@@ -1,0 +1,83 @@
+"""Tests for the drift processes behind model aging."""
+
+import numpy as np
+
+from repro.smart import drift as drf
+from repro.smart.drive_model import DriftProfile
+
+
+class TestMonthOfDay:
+    def test_boundaries(self):
+        assert drf.month_of_day(np.array([0, 29, 30, 59, 60])).tolist() == [0, 0, 1, 1, 2]
+
+
+class TestScareRate:
+    def test_grows_with_drive_age(self):
+        p = DriftProfile()
+        days = np.zeros(2, dtype=int)
+        rate = drf.scare_rate_by_day(p, days, np.array([0, 900]))
+        assert rate[1] > rate[0]
+
+    def test_young_drive_at_base_rate(self):
+        p = DriftProfile()
+        rate = drf.scare_rate_by_day(p, np.array([500]), np.array([0]))
+        assert np.isclose(rate[0], p.scare_rate_per_day)
+
+    def test_capped(self):
+        p = DriftProfile()
+        rate = drf.scare_rate_by_day(p, np.zeros(1, int), np.array([10**6]))
+        assert rate[0] <= 0.25
+
+
+class TestLoadCycleRate:
+    def test_drifts_with_calendar_month(self):
+        p = DriftProfile()
+        rate = drf.load_cycle_rate_by_day(p, np.array([0, 360]))
+        expected_growth = (1 + p.load_cycle_drift_per_month) ** 12
+        assert np.isclose(rate[1] / rate[0], expected_growth)
+
+    def test_base_rate_respected(self):
+        p = DriftProfile()
+        rate = drf.load_cycle_rate_by_day(p, np.array([0]), base_rate=5.0)
+        assert np.isclose(rate[0], 5.0)
+
+
+class TestRecalibration:
+    def test_zero_before_rollout(self):
+        p = DriftProfile(recalibration_month=10)
+        days = np.array([0, 299])
+        assert np.all(drf.recalibration_offset_by_day(p, days) == 0.0)
+
+    def test_full_shift_after_ramp(self):
+        p = DriftProfile(recalibration_month=10, recalibration_ramp_months=4)
+        day = np.array([(10 + 4) * 30 + 1])
+        assert np.isclose(drf.recalibration_offset_by_day(p, day)[0], p.recalibration_shift)
+
+    def test_ramp_is_gradual(self):
+        p = DriftProfile(recalibration_month=10, recalibration_ramp_months=4)
+        mid = np.array([(10 + 2) * 30])
+        offset = drf.recalibration_offset_by_day(p, mid)[0]
+        assert 0 > offset > p.recalibration_shift
+
+    def test_disabled(self):
+        p = DriftProfile(recalibration_month=None)
+        assert np.all(drf.recalibration_offset_by_day(p, np.arange(1000)) == 0.0)
+
+    def test_monotone_in_time(self):
+        p = DriftProfile()
+        days = np.arange(0, 900)
+        offs = drf.recalibration_offset_by_day(p, days)
+        assert np.all(np.diff(offs) <= 1e-12)  # shift is negative → non-increasing
+
+
+class TestVintageOffset:
+    def test_reference_fleet_zero(self):
+        assert drf.vintage_norm_offset(-1) == 0.0
+        assert drf.vintage_norm_offset(0) == 0.0
+
+    def test_two_points_per_vintage_year(self):
+        assert np.isclose(drf.vintage_norm_offset(12), 2.0)
+
+    def test_monotone(self):
+        offs = [drf.vintage_norm_offset(m) for m in range(0, 36)]
+        assert all(b >= a for a, b in zip(offs, offs[1:]))

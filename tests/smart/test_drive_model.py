@@ -1,0 +1,82 @@
+"""Tests for drive-model specifications."""
+
+import pytest
+
+from repro.smart.drive_model import STA, STB, DriveModelSpec, scaled_spec
+
+
+class TestPresets:
+    def test_sta_matches_table1_shape(self):
+        assert STA.name == "ST4000DM000"
+        assert STA.capacity_tb == 4
+        assert STA.duration_months == 39
+
+    def test_stb_matches_table1_shape(self):
+        assert STB.name == "ST3000DM001"
+        assert STB.capacity_tb == 3
+        assert STB.duration_months == 20
+
+    def test_stb_fails_harder(self):
+        """ST3000DM001 is the famously unreliable model."""
+        assert STB.weibull_scale_days < STA.weibull_scale_days
+        assert STB.unpredictable_fraction > STA.unpredictable_fraction
+
+    def test_duration_days(self):
+        assert STA.duration_days == 39 * 30
+
+
+class TestValidation:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            DriveModelSpec(
+                name="x", capacity_tb=1, initial_fleet=0, duration_months=1,
+                monthly_deployment=0, weibull_shape=1.0, weibull_scale_days=100.0,
+                unpredictable_fraction=0.0,
+            )
+
+    def test_rejects_bad_weibull(self):
+        with pytest.raises(ValueError):
+            DriveModelSpec(
+                name="x", capacity_tb=1, initial_fleet=1, duration_months=1,
+                monthly_deployment=0, weibull_shape=-1.0, weibull_scale_days=100.0,
+                unpredictable_fraction=0.0,
+            )
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            DriveModelSpec(
+                name="x", capacity_tb=1, initial_fleet=1, duration_months=1,
+                monthly_deployment=0, weibull_shape=1.0, weibull_scale_days=100.0,
+                unpredictable_fraction=1.5,
+            )
+
+
+class TestScaledSpec:
+    def test_fleet_scaling(self):
+        small = scaled_spec(STA, fleet_scale=0.1)
+        assert small.initial_fleet == round(STA.initial_fleet * 0.1)
+
+    def test_duration_override(self):
+        small = scaled_spec(STA, duration_months=6)
+        assert small.duration_months == 6
+        assert small.initial_fleet == STA.initial_fleet
+
+    def test_never_below_one_drive(self):
+        tiny = scaled_spec(STA, fleet_scale=1e-9)
+        assert tiny.initial_fleet == 1
+
+    def test_name_override(self):
+        assert scaled_spec(STA, name="custom").name == "custom"
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_spec(STA, fleet_scale=0.0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            scaled_spec(STA, duration_months=0)
+
+    def test_original_untouched(self):
+        before = STA.initial_fleet
+        scaled_spec(STA, fleet_scale=0.5)
+        assert STA.initial_fleet == before

@@ -1,0 +1,124 @@
+"""Tests for the SMART snapshot generator — signal and drift sanity."""
+
+import numpy as np
+import pytest
+
+from repro.smart.attributes import NUM_CANDIDATE_FEATURES, feature_index
+from repro.smart.drive_model import STA, scaled_spec
+from repro.smart.generator import generate_dataset
+
+SPEC = scaled_spec(STA, fleet_scale=0.08, duration_months=10)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_dataset(SPEC, seed=77)
+
+
+class TestShapeAndSchema:
+    def test_feature_width(self, dataset):
+        assert dataset.X.shape[1] == NUM_CANDIDATE_FEATURES
+
+    def test_row_alignment(self, dataset):
+        n = dataset.n_rows
+        assert dataset.serials.shape == (n,)
+        assert dataset.days.shape == (n,)
+        assert dataset.failure_flags.shape == (n,)
+
+    def test_one_row_per_drive_day(self, dataset):
+        pairs = set(zip(dataset.serials.tolist(), dataset.days.tolist()))
+        assert len(pairs) == dataset.n_rows
+
+    def test_failure_flag_count_equals_failed_drives(self, dataset):
+        assert int(dataset.failure_flags.sum()) == dataset.n_failed_drives
+
+    def test_values_finite(self, dataset):
+        assert np.all(np.isfinite(dataset.X))
+
+    def test_norms_in_range(self, dataset):
+        # Norm columns are even indices; all within [1, 100]
+        norm_cols = np.arange(0, NUM_CANDIDATE_FEATURES, 2)
+        norms = dataset.X[:, norm_cols]
+        assert norms.min() >= 1.0 - 1e-6
+        assert norms.max() <= 100.0 + 1e-6
+
+
+class TestReproducibility:
+    def test_same_seed_same_data(self):
+        a = generate_dataset(SPEC, seed=5)
+        b = generate_dataset(SPEC, seed=5)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.serials, b.serials)
+
+    def test_different_seed_differs(self):
+        a = generate_dataset(SPEC, seed=5)
+        b = generate_dataset(SPEC, seed=6)
+        assert not np.array_equal(a.X, b.X)
+
+
+class TestFailureSignal:
+    def test_predictable_failures_show_error_growth(self, dataset):
+        """At least one strong counter must rise before a predictable failure."""
+        strong_cols = [feature_index(i, "raw") for i in (5, 197, 187)]
+        checked = 0
+        for d in dataset.drives:
+            if not (d.failed and d.predictable):
+                continue
+            rows = dataset.rows_for_serial(d.serial)
+            if rows.size < 15:
+                continue
+            final = dataset.X[rows[-3:], :][:, strong_cols].max()
+            early = dataset.X[rows[: rows.size // 3], :][:, strong_cols].max()
+            assert final > early or final > 5.0
+            checked += 1
+        assert checked >= 1
+
+    def test_cumulative_counters_monotone(self, dataset):
+        """SMART 5 raw only ever grows within a drive's life."""
+        col = feature_index(5, "raw")
+        for d in dataset.drives[:25]:
+            rows = dataset.rows_for_serial(d.serial)
+            vals = dataset.X[rows, col]
+            assert np.all(np.diff(vals) >= -1e-5)
+
+    def test_power_on_hours_track_age(self, dataset):
+        col = feature_index(9, "raw")
+        for d in dataset.drives[:10]:
+            rows = dataset.rows_for_serial(d.serial)
+            poh = dataset.X[rows, col]
+            ages = d.initial_age_days + (dataset.days[rows] - d.deploy_day)
+            assert np.all(np.abs(poh - ages * 24.0) <= 24.0 + 1e-6)
+
+    def test_most_healthy_drives_clean(self, dataset):
+        col = feature_index(5, "raw")
+        finals = []
+        for d in dataset.drives:
+            if not d.failed:
+                rows = dataset.rows_for_serial(d.serial)
+                finals.append(dataset.X[rows[-1], col])
+        finals = np.array(finals)
+        assert np.median(finals) == 0.0  # typical healthy drive has no realloc
+
+
+class TestSampling:
+    def test_stride_keeps_failure_day(self):
+        ds = generate_dataset(SPEC, seed=3, sample_every_days=3)
+        for d in ds.drives:
+            if d.failed:
+                rows = ds.rows_for_serial(d.serial)
+                assert ds.days[rows].max() == d.fail_day
+
+    def test_stride_reduces_rows(self):
+        full = generate_dataset(SPEC, seed=3)
+        strided = generate_dataset(SPEC, seed=3, sample_every_days=3)
+        assert strided.n_rows < full.n_rows * 0.5
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            generate_dataset(SPEC, seed=3, sample_every_days=0)
+
+    def test_custom_drives_rendering(self, dataset):
+        subset = dataset.drives[:3]
+        ds = generate_dataset(SPEC, seed=9, drives=subset)
+        assert ds.n_drives == 3
+        assert set(np.unique(ds.serials)) == {d.serial for d in subset}

@@ -1,0 +1,104 @@
+"""Tests for Backblaze-schema CSV round-tripping."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.smart.attributes import feature_index
+from repro.smart.io import read_backblaze_csv, write_backblaze_csv
+
+
+class TestWrite:
+    def test_header_schema(self, tiny_sta_dataset, tmp_path):
+        path = tmp_path / "out.csv"
+        n = write_backblaze_csv(tiny_sta_dataset, path)
+        assert n == tiny_sta_dataset.n_rows
+        with path.open() as fh:
+            header = next(csv.reader(fh))
+        assert header[:5] == [
+            "date", "serial_number", "model", "capacity_bytes", "failure",
+        ]
+        assert "smart_5_normalized" in header
+        assert "smart_5_raw" in header
+
+    def test_day_major_ordering(self, tiny_sta_dataset, tmp_path):
+        path = tmp_path / "out.csv"
+        write_backblaze_csv(tiny_sta_dataset, path)
+        with path.open() as fh:
+            reader = csv.DictReader(fh)
+            dates = [row["date"] for row in reader]
+        assert dates == sorted(dates)
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def roundtripped(self, tiny_sta_dataset, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "rt.csv"
+        write_backblaze_csv(tiny_sta_dataset, path)
+        return read_backblaze_csv(path, spec=tiny_sta_dataset.spec)
+
+    def test_row_count(self, tiny_sta_dataset, roundtripped):
+        assert roundtripped.n_rows == tiny_sta_dataset.n_rows
+
+    def test_drive_counts(self, tiny_sta_dataset, roundtripped):
+        assert roundtripped.n_drives == tiny_sta_dataset.n_drives
+        assert roundtripped.n_failed_drives == tiny_sta_dataset.n_failed_drives
+
+    def test_failure_flags_preserved(self, tiny_sta_dataset, roundtripped):
+        assert int(roundtripped.failure_flags.sum()) == int(
+            tiny_sta_dataset.failure_flags.sum()
+        )
+
+    def test_values_match_within_rounding(self, tiny_sta_dataset, roundtripped):
+        """CSV stores integers, so values agree to ±0.5."""
+        col = feature_index(9, "raw")
+        orig = np.sort(tiny_sta_dataset.X[:, col])
+        back = np.sort(roundtripped.X[:, col])
+        assert np.all(np.abs(orig - back) <= 0.5 + 1e-6)
+
+    def test_lifecycles_reconstructed(self, tiny_sta_dataset, roundtripped):
+        orig_fail_days = sorted(
+            d.fail_day for d in tiny_sta_dataset.drives if d.failed
+        )
+        back_fail_days = sorted(
+            d.fail_day for d in roundtripped.drives if d.failed
+        )
+        assert orig_fail_days == back_fail_days
+
+
+class TestReadEdgeCases:
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_backblaze_csv(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("date,serial_number,model,capacity_bytes,failure\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            read_backblaze_csv(path)
+
+    def test_missing_smart_columns_read_as_zero(self, tmp_path):
+        path = tmp_path / "sparse.csv"
+        path.write_text(
+            "date,serial_number,model,capacity_bytes,failure,smart_5_raw\n"
+            "2013-04-10,D1,M,4000000000000,0,12\n"
+        )
+        ds = read_backblaze_csv(path)
+        assert ds.n_rows == 1
+        assert ds.X[0, feature_index(5, "raw")] == 12.0
+        assert ds.X[0, feature_index(187, "raw")] == 0.0
+
+    def test_spec_inferred_when_absent(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text(
+            "date,serial_number,model,capacity_bytes,failure\n"
+            "2013-04-10,D1,SOMEMODEL,3000000000000,0\n"
+            "2013-04-11,D1,SOMEMODEL,3000000000000,1\n"
+        )
+        ds = read_backblaze_csv(path)
+        assert ds.spec.name == "SOMEMODEL"
+        assert ds.spec.capacity_tb == 3
+        assert ds.n_failed_drives == 1

@@ -1,0 +1,115 @@
+"""Tests for the fleet lifecycle simulator."""
+
+import numpy as np
+import pytest
+
+from repro.smart.drive_model import STA, scaled_spec
+from repro.smart.population import (
+    DriveLifecycle,
+    population_summary,
+    simulate_population,
+)
+
+SPEC = scaled_spec(STA, fleet_scale=0.2, duration_months=12)
+
+
+@pytest.fixture(scope="module")
+def drives():
+    return simulate_population(SPEC, seed=5)
+
+
+class TestLifecycleInvariants:
+    def test_serials_unique_and_sorted(self, drives):
+        serials = [d.serial for d in drives]
+        assert serials == sorted(serials)
+        assert len(set(serials)) == len(serials)
+
+    def test_windows_within_observation(self, drives):
+        horizon = SPEC.duration_days - 1
+        for d in drives:
+            assert 0 <= d.deploy_day <= d.last_observed_day <= horizon
+
+    def test_fail_day_is_last_observed(self, drives):
+        for d in drives:
+            if d.failed:
+                assert d.fail_day == d.last_observed_day
+
+    def test_good_drives_observed_to_horizon(self, drives):
+        horizon = SPEC.duration_days - 1
+        for d in drives:
+            if not d.failed:
+                assert d.last_observed_day == horizon
+
+    def test_degradation_window_precedes_failure(self, drives):
+        for d in drives:
+            if d.failed and d.predictable:
+                assert d.degradation_start_day is not None
+                assert d.deploy_day <= d.degradation_start_day < d.fail_day
+
+    def test_unpredictable_failures_have_no_window(self, drives):
+        for d in drives:
+            if d.failed and not d.predictable:
+                assert d.degradation_start_day is None
+
+    def test_good_drives_not_flagged_predictable(self, drives):
+        for d in drives:
+            if not d.failed:
+                assert not d.predictable
+
+    def test_age_on_day(self):
+        d = DriveLifecycle(0, 10, 100, 20, None, False, None, 0)
+        assert d.age_on_day(10) == 100
+        assert d.age_on_day(15) == 105
+
+    def test_n_days_observed(self):
+        d = DriveLifecycle(0, 3, 0, 5, None, False, None, 0)
+        assert d.n_days_observed == 3
+
+
+class TestPopulationDynamics:
+    def test_initial_fleet_deploys_day_zero(self, drives):
+        day0 = [d for d in drives if d.deploy_day == 0]
+        assert len(day0) >= SPEC.initial_fleet
+
+    def test_later_vintages_present(self, drives):
+        assert any(d.vintage_month > 0 for d in drives)
+
+    def test_replacements_enlarge_fleet(self):
+        with_rep = simulate_population(SPEC, seed=5, replace_failures=True)
+        without = simulate_population(SPEC, seed=5, replace_failures=False)
+        n_failed = sum(1 for d in without if d.failed)
+        if n_failed:
+            assert len(with_rep) > len(without)
+
+    def test_reproducible(self):
+        a = simulate_population(SPEC, seed=9)
+        b = simulate_population(SPEC, seed=9)
+        assert [(d.serial, d.fail_day) for d in a] == [(d.serial, d.fail_day) for d in b]
+
+    def test_seed_matters(self):
+        a = simulate_population(SPEC, seed=1)
+        b = simulate_population(SPEC, seed=2)
+        assert [(d.fail_day) for d in a] != [(d.fail_day) for d in b]
+
+    def test_some_failures_occur(self, drives):
+        assert sum(1 for d in drives if d.failed) >= 3
+
+    def test_most_drives_survive(self, drives):
+        n_failed = sum(1 for d in drives if d.failed)
+        assert n_failed < len(drives) / 2
+
+
+class TestSummary:
+    def test_counts_consistent(self, drives):
+        s = population_summary(drives)
+        assert s["n_good"] + s["n_failed"] == s["n_drives"] == len(drives)
+        assert 0 <= s["n_unpredictable_failures"] <= s["n_failed"]
+        assert s["total_drive_days"] == sum(d.n_days_observed for d in drives)
+
+    def test_unpredictable_fraction_roughly_respected(self):
+        spec = scaled_spec(STA, fleet_scale=1.5, duration_months=12)
+        drives = simulate_population(spec, seed=3)
+        s = population_summary(drives)
+        if s["n_failed"] >= 40:
+            frac = s["n_unpredictable_failures"] / s["n_failed"]
+            assert frac < 0.25  # spec says 5%; allow generous sampling noise

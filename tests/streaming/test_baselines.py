@@ -1,0 +1,45 @@
+"""Tests for the trivial streaming baselines."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.baselines import MajorityClassBaseline, PriorProbabilityBaseline
+
+
+class TestMajority:
+    def test_majority_negative_scores_zero(self):
+        model = MajorityClassBaseline()
+        model.partial_fit(np.zeros((100, 2)), np.r_[np.ones(5), np.zeros(95)].astype(int))
+        assert np.all(model.predict_score(np.zeros((4, 2))) == 0.0)
+
+    def test_majority_positive_scores_one(self):
+        model = MajorityClassBaseline()
+        model.partial_fit(np.zeros((10, 2)), np.r_[np.ones(8), np.zeros(2)].astype(int))
+        assert np.all(model.predict_score(np.zeros((4, 2))) == 1.0)
+
+    def test_detects_nothing_on_imbalanced_data(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        model = MajorityClassBaseline().partial_fit(X, y)
+        assert model.predict(X).sum() == 0  # the paper's accuracy trap
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            MajorityClassBaseline().update(None, 3)
+
+
+class TestPrior:
+    def test_scores_equal_base_rate(self, imbalanced_blobs):
+        X, y = imbalanced_blobs
+        model = PriorProbabilityBaseline().partial_fit(X, y)
+        s = model.predict_score(X[:10])
+        assert np.allclose(s, y.mean())
+
+    def test_empty_model_half(self):
+        model = PriorProbabilityBaseline()
+        assert model.positive_rate == 0.5
+
+    def test_weighted_updates(self):
+        model = PriorProbabilityBaseline()
+        model.update(None, 1, weight=3.0)
+        model.update(None, 0, weight=1.0)
+        assert model.positive_rate == pytest.approx(0.75)

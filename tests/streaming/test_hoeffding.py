@@ -1,0 +1,118 @@
+"""Tests for the Hoeffding tree (VFDT)."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.hoeffding import HoeffdingTreeClassifier
+
+
+def stream_signal(tree, n, seed=0, flip_after=None):
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        x = rng.uniform(size=tree.n_features)
+        y = int(x[0] > 0.5)
+        if flip_after is not None and i >= flip_after:
+            y = 1 - y
+        tree.update(x, y)
+    return tree
+
+
+class TestGrowth:
+    def test_starts_as_leaf(self):
+        tree = HoeffdingTreeClassifier(3)
+        assert tree.n_nodes == 1 and tree.depth == 0
+
+    def test_splits_on_signal(self):
+        tree = HoeffdingTreeClassifier(3, grace_period=50)
+        stream_signal(tree, 2000)
+        assert tree.n_nodes > 1
+        # the first split should be on the signal feature
+        assert tree._feature[0] == 0
+
+    def test_split_threshold_near_boundary(self):
+        tree = HoeffdingTreeClassifier(2, n_bins=16, grace_period=50)
+        stream_signal(tree, 3000)
+        assert abs(tree._threshold[0] - 0.5) < 0.15
+
+    def test_no_split_on_noise(self):
+        tree = HoeffdingTreeClassifier(3, grace_period=50, tau=0.0, delta=1e-7)
+        rng = np.random.default_rng(0)
+        for _ in range(2000):
+            tree.update(rng.uniform(size=3), int(rng.integers(0, 2)))
+        assert tree.n_nodes == 1
+
+    def test_max_depth_respected(self):
+        tree = HoeffdingTreeClassifier(2, grace_period=30, max_depth=2, tau=0.5)
+        stream_signal(tree, 5000)
+        assert tree.depth <= 2
+
+    def test_grace_period_delays_splitting(self):
+        eager = HoeffdingTreeClassifier(3, grace_period=25)
+        lazy = HoeffdingTreeClassifier(3, grace_period=2000)
+        stream_signal(eager, 1000, seed=1)
+        stream_signal(lazy, 1000, seed=1)
+        assert eager.n_nodes >= lazy.n_nodes
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HoeffdingTreeClassifier(0)
+        with pytest.raises(ValueError):
+            HoeffdingTreeClassifier(2, delta=0.0)
+        with pytest.raises(ValueError):
+            HoeffdingTreeClassifier(2, grace_period=0)
+
+
+class TestPrediction:
+    def test_learns_threshold_function(self):
+        tree = HoeffdingTreeClassifier(3, grace_period=50)
+        stream_signal(tree, 4000)
+        rng = np.random.default_rng(9)
+        X = rng.uniform(size=(500, 3))
+        y = (X[:, 0] > 0.5).astype(int)
+        pred = tree.predict(X)
+        assert (pred == y).mean() > 0.9
+
+    def test_batch_matches_single(self):
+        tree = HoeffdingTreeClassifier(3, grace_period=50)
+        stream_signal(tree, 2000)
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(40, 3))
+        batch = tree.predict_score(X)
+        singles = [tree.predict_one(X[i]) for i in range(40)]
+        assert np.allclose(batch, singles)
+
+    def test_fresh_tree_predicts_half(self):
+        tree = HoeffdingTreeClassifier(2)
+        assert tree.predict_one(np.zeros(2)) == 0.5
+
+    def test_children_inherit_distribution(self):
+        tree = HoeffdingTreeClassifier(1, grace_period=100, n_bins=16)
+        stream_signal(tree, 2000)
+        lo = tree.predict_one(np.array([0.1]))
+        hi = tree.predict_one(np.array([0.9]))
+        assert lo < 0.3 and hi > 0.7
+
+    def test_update_validates(self):
+        tree = HoeffdingTreeClassifier(2)
+        with pytest.raises(ValueError):
+            tree.update(np.zeros(3), 0)
+        with pytest.raises(ValueError):
+            tree.update(np.zeros(2), 5)
+
+    def test_weighted_updates(self):
+        tree = HoeffdingTreeClassifier(2, grace_period=10)
+        tree.update(np.array([0.2, 0.5]), 0, weight=10.0)
+        tree.update(np.array([0.8, 0.5]), 1, weight=1.0)
+        assert tree.n_samples_seen == 11.0
+        assert tree.predict_one(np.array([0.5, 0.5])) < 0.5
+
+
+class TestHoeffdingBound:
+    def test_bound_shrinks_with_n(self):
+        tree = HoeffdingTreeClassifier(2)
+        assert tree._hoeffding_bound(100) > tree._hoeffding_bound(10000)
+
+    def test_bound_grows_with_confidence(self):
+        strict = HoeffdingTreeClassifier(2, delta=1e-9)
+        loose = HoeffdingTreeClassifier(2, delta=0.1)
+        assert strict._hoeffding_bound(500) > loose._hoeffding_bound(500)

@@ -1,0 +1,119 @@
+"""Tests for Oza-Russell online bagging and boosting."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.hoeffding import HoeffdingTreeClassifier
+from repro.streaming.oza import OnlineBaggingEnsemble, OzaBoostClassifier
+
+
+def ht_factory(n_features=3, grace=40):
+    def factory(rng):
+        return HoeffdingTreeClassifier(n_features, grace_period=grace)
+
+    return factory
+
+
+def make_stream(n, seed=0, noise=0.0, n_features=3):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, n_features))
+    y = (X[:, 0] > 0.5).astype(np.int8)
+    if noise:
+        flip = rng.uniform(size=n) < noise
+        y[flip] = 1 - y[flip]
+    return X, y
+
+
+class TestOnlineBagging:
+    def test_learns_signal(self):
+        X, y = make_stream(3000, seed=1)
+        bag = OnlineBaggingEnsemble(ht_factory(), n_estimators=5, seed=0)
+        bag.partial_fit(X, y)
+        Xt, yt = make_stream(500, seed=2)
+        assert (bag.predict(Xt) == yt).mean() > 0.85
+
+    def test_member_count(self):
+        bag = OnlineBaggingEnsemble(ht_factory(), n_estimators=7, seed=0)
+        assert len(bag.estimators) == 7
+
+    def test_members_diverge(self):
+        """Poisson resampling must give members different trees."""
+        X, y = make_stream(2000, seed=1)
+        bag = OnlineBaggingEnsemble(ht_factory(grace=30), n_estimators=4, seed=0)
+        bag.partial_fit(X, y)
+        node_counts = {est.n_nodes for est in bag.estimators}
+        sample_counts = {est.n_samples_seen for est in bag.estimators}
+        assert len(sample_counts) > 1 or len(node_counts) > 1
+
+    def test_scores_valid(self):
+        X, y = make_stream(1500, seed=3)
+        bag = OnlineBaggingEnsemble(ht_factory(), n_estimators=3, seed=0)
+        bag.partial_fit(X, y)
+        s = bag.predict_score(X[:100])
+        assert np.all((s >= 0) & (s <= 1))
+
+    def test_reproducible(self):
+        X, y = make_stream(1000, seed=4)
+        a = OnlineBaggingEnsemble(ht_factory(), n_estimators=3, seed=9).partial_fit(X, y)
+        b = OnlineBaggingEnsemble(ht_factory(), n_estimators=3, seed=9).partial_fit(X, y)
+        assert np.allclose(a.predict_score(X[:50]), b.predict_score(X[:50]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            OnlineBaggingEnsemble(ht_factory(), n_estimators=0)
+        with pytest.raises(ValueError):
+            OnlineBaggingEnsemble(ht_factory(), lam=0.0)
+
+
+class TestOzaBoost:
+    def test_learns_signal(self):
+        X, y = make_stream(3000, seed=1)
+        boost = OzaBoostClassifier(ht_factory(), n_estimators=5, seed=0)
+        boost.partial_fit(X, y)
+        Xt, yt = make_stream(500, seed=2)
+        assert (boost.predict(Xt) == yt).mean() > 0.8
+
+    def test_stage_errors_tracked(self):
+        X, y = make_stream(2000, seed=1)
+        boost = OzaBoostClassifier(ht_factory(), n_estimators=4, seed=0)
+        boost.partial_fit(X, y)
+        eps = boost.stage_errors()
+        assert eps.shape == (4,)
+        assert np.all((eps >= 0) & (eps <= 1))
+        assert eps[0] < 0.5  # the first stage must beat chance on easy data
+
+    def test_unobserved_stage_error_is_half(self):
+        boost = OzaBoostClassifier(ht_factory(), n_estimators=2, seed=0)
+        assert np.all(boost.stage_errors() == 0.5)
+
+    def test_fresh_model_scores_half(self):
+        boost = OzaBoostClassifier(ht_factory(), n_estimators=2, seed=0)
+        s = boost.predict_score(np.random.default_rng(0).uniform(size=(5, 3)))
+        assert np.allclose(s, 0.5)
+
+    def test_scores_valid_under_noise(self):
+        X, y = make_stream(2000, seed=5, noise=0.2)
+        boost = OzaBoostClassifier(ht_factory(), n_estimators=4, seed=0)
+        boost.partial_fit(X, y)
+        s = boost.predict_score(X[:100])
+        assert np.all((s >= 0) & (s <= 1))
+        assert np.all(np.isfinite(s))
+
+
+class TestNoiseRobustnessClaim:
+    """§3.2: forests are more robust against label noise than boosting.
+
+    At high label noise, bagging's accuracy should degrade no worse
+    than boosting's (boosting amplifies the mislabeled samples)."""
+
+    @pytest.mark.parametrize("noise", [0.25])
+    def test_bagging_not_worse_under_heavy_noise(self, noise):
+        X, y = make_stream(4000, seed=7, noise=noise)
+        Xt, yt = make_stream(800, seed=8)  # clean test labels
+        bag = OnlineBaggingEnsemble(ht_factory(), n_estimators=5, seed=1)
+        boost = OzaBoostClassifier(ht_factory(), n_estimators=5, seed=1)
+        bag.partial_fit(X, y)
+        boost.partial_fit(X, y)
+        acc_bag = (bag.predict(Xt) == yt).mean()
+        acc_boost = (boost.predict(Xt) == yt).mean()
+        assert acc_bag >= acc_boost - 0.05

@@ -1,0 +1,136 @@
+"""Tests for model checkpointing: restores must be exact."""
+
+import numpy as np
+import pytest
+
+from repro.core.forest import OnlineRandomForest
+from repro.features.scaling import MinMaxScaler
+from repro.features.selection import FeatureSelection
+from repro.offline.forest import RandomForestClassifier
+from repro.offline.tree import DecisionTreeClassifier
+from repro.persistence import load_model, save_model
+
+
+@pytest.fixture()
+def stream():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(4000, 5))
+    y = ((X[:, 0] > 0.6) & (X[:, 1] > 0.4)).astype(np.int8)
+    return X, y
+
+
+class TestOnlineForestCheckpoint:
+    def make(self, X, y):
+        forest = OnlineRandomForest(
+            5, n_trees=6, n_tests=20, min_parent_size=60, min_gain=0.03,
+            lambda_pos=1.0, lambda_neg=0.2, oobe_threshold=0.3,
+            age_threshold=500, seed=42,
+        )
+        forest.partial_fit(X, y)
+        return forest
+
+    def test_predictions_identical(self, stream, tmp_path):
+        X, y = stream
+        forest = self.make(X, y)
+        save_model(forest, tmp_path / "orf.npz")
+        restored = load_model(tmp_path / "orf.npz")
+        Xt = np.random.default_rng(1).uniform(size=(200, 5))
+        assert np.allclose(forest.predict_score(Xt), restored.predict_score(Xt))
+
+    def test_stream_continuation_bit_identical(self, stream, tmp_path):
+        """The checkpoint must capture RNG state: continuing the stream on
+        the restored model matches continuing on the original."""
+        X, y = stream
+        forest = self.make(X[:2500], y[:2500])
+        save_model(forest, tmp_path / "orf.npz")
+        restored = load_model(tmp_path / "orf.npz")
+
+        forest.partial_fit(X[2500:], y[2500:])
+        restored.partial_fit(X[2500:], y[2500:])
+        Xt = np.random.default_rng(2).uniform(size=(300, 5))
+        assert np.allclose(forest.predict_score(Xt), restored.predict_score(Xt))
+        assert forest.n_samples_seen == restored.n_samples_seen
+
+    def test_counters_preserved(self, stream, tmp_path):
+        X, y = stream
+        forest = self.make(X, y)
+        save_model(forest, tmp_path / "orf.npz")
+        restored = load_model(tmp_path / "orf.npz")
+        assert restored.n_samples_seen == forest.n_samples_seen
+        assert np.allclose(restored.tree_ages(), forest.tree_ages())
+        assert np.allclose(restored.oobe_values(), forest.oobe_values())
+
+    def test_hyper_parameters_preserved(self, stream, tmp_path):
+        X, y = stream
+        forest = self.make(X, y)
+        save_model(forest, tmp_path / "orf.npz")
+        restored = load_model(tmp_path / "orf.npz")
+        assert restored.lambda_neg == forest.lambda_neg
+        assert restored.min_gain == forest.min_gain
+        assert restored.n_trees == forest.n_trees
+
+
+class TestOfflineCheckpoints:
+    def test_decision_tree_roundtrip(self, stream, tmp_path):
+        X, y = stream
+        tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(X, y)
+        save_model(tree, tmp_path / "dt.npz")
+        restored = load_model(tmp_path / "dt.npz")
+        assert np.allclose(tree.predict_score(X[:100]), restored.predict_score(X[:100]))
+        assert np.allclose(tree.feature_importances_, restored.feature_importances_)
+
+    def test_random_forest_roundtrip(self, stream, tmp_path):
+        X, y = stream
+        rf = RandomForestClassifier(n_trees=5, seed=0).fit(X, y)
+        save_model(rf, tmp_path / "rf.npz")
+        restored = load_model(tmp_path / "rf.npz")
+        assert np.allclose(rf.predict_score(X[:100]), restored.predict_score(X[:100]))
+        assert restored.vote == rf.vote
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_model(DecisionTreeClassifier(), tmp_path / "x.npz")
+        with pytest.raises(ValueError, match="unfitted"):
+            save_model(RandomForestClassifier(), tmp_path / "x.npz")
+
+
+class TestPreprocessingCheckpoints:
+    def test_scaler_roundtrip(self, stream, tmp_path):
+        X, _ = stream
+        scaler = MinMaxScaler().fit(X)
+        save_model(scaler, tmp_path / "scaler.npz")
+        restored = load_model(tmp_path / "scaler.npz")
+        assert np.allclose(scaler.transform(X[:50]), restored.transform(X[:50]))
+
+    def test_selection_roundtrip(self, tmp_path):
+        sel = FeatureSelection.paper_table2()
+        save_model(sel, tmp_path / "sel.npz")
+        restored = load_model(tmp_path / "sel.npz")
+        assert np.array_equal(sel.indices, restored.indices)
+        assert sel.names == restored.names
+
+
+class TestErrorHandling:
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            save_model(object(), tmp_path / "x.npz")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        np.savez(tmp_path / "junk.npz", a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro model checkpoint"):
+            load_model(tmp_path / "junk.npz")
+
+
+class TestImportancePersistence:
+    def test_importances_survive_roundtrip(self, stream, tmp_path):
+        X, y = stream
+        forest = OnlineRandomForest(
+            5, n_trees=5, n_tests=20, min_parent_size=50, min_gain=0.03,
+            lambda_neg=0.3, seed=0,
+        )
+        forest.partial_fit(X, y)
+        save_model(forest, tmp_path / "orf.npz")
+        restored = load_model(tmp_path / "orf.npz")
+        assert np.allclose(
+            forest.feature_importances_, restored.feature_importances_
+        )

@@ -1,0 +1,155 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property targets an invariant users rely on implicitly: models
+never crash on well-formed streams, scores stay probabilities, the
+evaluation machinery is monotone where it must be, and serialization is
+lossless.  These run on randomized inputs hypothesis shrinks for us.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.labeler import OnlineLabeler
+from repro.eval.metrics import disk_level_rates
+from repro.eval.threshold import threshold_for_far
+from repro.features.scaling import MinMaxScaler
+from repro.offline.tree import DecisionTreeClassifier
+from repro.streaming.hoeffding import HoeffdingTreeClassifier
+
+COMMON = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestForestStreamInvariants:
+    @given(st.integers(0, 10**6), st.floats(0.0, 0.5))
+    @settings(**COMMON)
+    def test_any_unit_stream_is_survivable(self, seed, p_pos):
+        """No crash, scores ∈ [0,1], counters consistent — for arbitrary
+        label rates including all-negative streams."""
+        rng = np.random.default_rng(seed)
+        n = 400
+        X = rng.uniform(size=(n, 4))
+        y = (rng.uniform(size=n) < p_pos).astype(np.int8)
+        forest = OnlineRandomForest(
+            4, n_trees=4, n_tests=10, min_parent_size=30, min_gain=0.01,
+            lambda_neg=0.3, seed=seed,
+        )
+        forest.partial_fit(X, y)
+        s = forest.predict_score(X[:50])
+        assert np.all((s >= 0) & (s <= 1))
+        assert forest.n_samples_seen == n
+
+    @given(st.integers(0, 10**6))
+    @settings(**COMMON)
+    def test_duplicate_heavy_streams(self, seed):
+        """Streams full of identical samples must not divide-by-zero."""
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(size=4)
+        forest = OnlineRandomForest(
+            4, n_trees=3, n_tests=8, min_parent_size=20, min_gain=0.0,
+            lambda_neg=1.0, seed=seed,
+        )
+        for i in range(300):
+            forest.update(x, i % 2)
+        assert 0.0 <= forest.predict_one(x) <= 1.0
+
+
+class TestHoeffdingInvariants:
+    @given(st.integers(0, 10**6))
+    @settings(**COMMON)
+    def test_scores_remain_probabilities(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = HoeffdingTreeClassifier(3, grace_period=20)
+        for _ in range(500):
+            x = rng.uniform(size=3)
+            tree.update(x, int(rng.uniform() < 0.3))
+        s = tree.predict_score(rng.uniform(size=(50, 3)))
+        assert np.all((s >= 0) & (s <= 1))
+
+
+class TestLabelerConservation:
+    @given(st.integers(0, 10**6), st.integers(1, 12))
+    @settings(**COMMON)
+    def test_no_sample_lost_or_duplicated(self, seed, queue_len):
+        rng = np.random.default_rng(seed)
+        labeler = OnlineLabeler(queue_length=queue_len)
+        n_in = n_out = 0
+        for _ in range(300):
+            disk = int(rng.integers(0, 8))
+            if rng.uniform() < 0.05:
+                n_out += len(labeler.fail(disk))
+            else:
+                n_in += 1
+                n_out += len(labeler.observe(disk, rng.uniform(size=2)))
+        assert n_in == n_out + labeler.n_pending
+
+    @given(st.integers(0, 10**6))
+    @settings(**COMMON)
+    def test_released_negatives_are_oldest_first(self, seed):
+        rng = np.random.default_rng(seed)
+        labeler = OnlineLabeler(queue_length=3)
+        tags = []
+        for t in range(20):
+            for rel in labeler.observe("d", np.zeros(1), tag=t):
+                tags.append(rel.tag)
+        assert tags == sorted(tags)
+
+
+class TestMetricMonotonicity:
+    @given(st.integers(0, 10**6))
+    @settings(**COMMON)
+    def test_rates_monotone_in_threshold(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 300
+        serials = rng.integers(0, 40, size=n)
+        scores = rng.uniform(size=n)
+        det = serials < 15
+        fa = ~det
+        prev_fdr, prev_far = 1.1, 1.1
+        for thr in np.linspace(0, 1, 8):
+            counts = disk_level_rates(scores, serials, det, fa, thr)
+            assert counts.fdr <= prev_fdr + 1e-12
+            assert counts.far <= prev_far + 1e-12
+            prev_fdr, prev_far = counts.fdr, counts.far
+
+    @given(st.integers(0, 10**6), st.floats(0.0, 0.3))
+    @settings(**COMMON)
+    def test_threshold_for_far_honours_budget(self, seed, target):
+        rng = np.random.default_rng(seed)
+        good = rng.uniform(size=rng.integers(2, 200))
+        thr = threshold_for_far(good, target, mode="under")
+        assert np.mean(good >= thr) <= target + 1e-12
+
+
+class TestScalingProperties:
+    @given(st.integers(0, 10**6))
+    @settings(**COMMON)
+    def test_transform_inverse_range(self, seed):
+        """Scaled training data always spans exactly [0, 1] per varying column."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3)) * rng.uniform(0.1, 100)
+        out = MinMaxScaler().fit_transform(X)
+        for j in range(3):
+            if X[:, j].std() > 0:
+                assert out[:, j].min() == pytest.approx(0.0)
+                assert out[:, j].max() == pytest.approx(1.0)
+
+
+class TestTreeDeterminism:
+    @given(st.integers(0, 10**6))
+    @settings(**COMMON)
+    def test_fit_is_pure(self, seed):
+        """Two fits with identical inputs yield identical models."""
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(size=(100, 4))
+        y = (X[:, 0] > 0.5).astype(np.int8)
+        t1 = DecisionTreeClassifier(max_depth=4, seed=seed).fit(X, y)
+        t2 = DecisionTreeClassifier(max_depth=4, seed=seed).fit(X, y)
+        assert np.array_equal(t1.tree_.feature, t2.tree_.feature)
+        assert np.allclose(t1.tree_.threshold, t2.tree_.threshold, equal_nan=True)

@@ -1,0 +1,160 @@
+"""Tests for the first-class update strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.forest import OnlineRandomForest
+from repro.offline.forest import RandomForestClassifier
+from repro.strategies import (
+    AccumulationStrategy,
+    FrozenStrategy,
+    OnlineStrategy,
+    ReplacingStrategy,
+)
+
+
+def rf_factory(rng):
+    return RandomForestClassifier(n_trees=8, min_samples_leaf=2, seed=rng)
+
+
+def month(concept, n=800, seed=0, p=0.1):
+    """One month of labeled data under a given concept.
+
+    concept 'A': positive iff x0 > 0.7; concept 'B': positive iff x1 > 0.7.
+    """
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 4))
+    col = 0 if concept == "A" else 1
+    y = (X[:, col] > 0.7).astype(np.int8)
+    return X, y
+
+
+class TestFrozen:
+    def test_never_retrains(self):
+        s = FrozenStrategy(rf_factory, seed=0)
+        s.start(*month("A", seed=1))
+        assert s.n_retrains == 1
+        s.month_end(*month("A", seed=2))
+        s.month_end(*month("B", seed=3))
+        assert s.n_retrains == 1
+
+    def test_predictions_stable_across_months(self):
+        s = FrozenStrategy(rf_factory, seed=0)
+        s.start(*month("A", seed=1))
+        Xt, _ = month("A", seed=9)
+        before = s.predict_score(Xt)
+        s.month_end(*month("B", seed=3))
+        assert np.allclose(before, s.predict_score(Xt))
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError, match="single class"):
+            FrozenStrategy(rf_factory, seed=0).start(
+                np.random.default_rng(0).uniform(size=(50, 4)),
+                np.zeros(50, dtype=np.int8),
+            )
+
+    def test_predict_before_start(self):
+        with pytest.raises(RuntimeError):
+            FrozenStrategy(rf_factory).predict_score(np.zeros((1, 4)))
+
+
+class TestReplacing:
+    def test_forgets_old_concept(self):
+        s = ReplacingStrategy(rf_factory, memory_months=1, seed=0)
+        s.start(*month("A", seed=1))
+        for m in range(3):
+            s.month_end(*month("B", seed=10 + m))
+        Xt, yt = month("B", seed=99)
+        scores = s.predict_score(Xt)
+        assert scores[yt == 1].mean() > scores[yt == 0].mean() + 0.2
+
+    def test_one_class_month_keeps_previous_model(self):
+        s = ReplacingStrategy(rf_factory, memory_months=1, seed=0)
+        s.start(*month("A", seed=1))
+        retrains = s.n_retrains
+        X = np.random.default_rng(5).uniform(size=(100, 4))
+        s.month_end(X, np.zeros(100, dtype=np.int8))
+        assert s.n_retrains == retrains  # skipped, model kept
+        assert s.model is not None
+
+    def test_memory_window(self):
+        s = ReplacingStrategy(rf_factory, memory_months=2, seed=0)
+        s.start(*month("A", seed=1))
+        for m in range(4):
+            s.month_end(*month("A", seed=20 + m))
+        assert len(s._window) == 2
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            ReplacingStrategy(rf_factory, memory_months=0)
+
+
+class TestAccumulation:
+    def test_history_grows(self):
+        s = AccumulationStrategy(rf_factory, seed=0)
+        s.start(*month("A", n=300, seed=1))
+        s.month_end(*month("A", n=300, seed=2))
+        s.month_end(*month("A", n=300, seed=3))
+        assert s.history_rows == 900
+        assert s.n_retrains == 3
+
+    def test_history_cap(self):
+        s = AccumulationStrategy(rf_factory, max_history_rows=500, seed=0)
+        s.start(*month("A", n=300, seed=1))
+        s.month_end(*month("A", n=300, seed=2))
+        assert s.history_rows == 500
+
+    def test_remembers_old_concept_alongside_new(self):
+        """With history of both concepts, both test sets score decently."""
+        s = AccumulationStrategy(rf_factory, seed=0)
+        s.start(*month("A", n=1500, seed=1))
+        s.month_end(*month("B", n=1500, seed=2))
+        for concept in ("A", "B"):
+            Xt, yt = month(concept, seed=90 + ord(concept))
+            scores = s.predict_score(Xt)
+            assert scores[yt == 1].mean() > scores[yt == 0].mean() + 0.1, concept
+
+
+class TestOnline:
+    def make(self):
+        forest = OnlineRandomForest(
+            4, n_trees=8, n_tests=25, min_parent_size=50, min_gain=0.03,
+            lambda_pos=1.0, lambda_neg=0.3, oobe_threshold=0.25,
+            age_threshold=300, oobe_decay=0.05, oobe_min_observations=20,
+            seed=3,
+        )
+        return OnlineStrategy(forest, chunk_size=400)
+
+    def test_learns_from_stream(self):
+        s = self.make()
+        s.start(*month("A", n=3000, seed=1))
+        Xt, yt = month("A", seed=9)
+        scores = s.predict_score(Xt)
+        assert scores[yt == 1].mean() > scores[yt == 0].mean() + 0.2
+
+    def test_adapts_without_retraining(self):
+        s = self.make()
+        s.start(*month("A", n=2500, seed=1))
+        for m in range(4):
+            s.month_end(*month("B", n=2500, seed=30 + m))
+        Xt, yt = month("B", seed=77)
+        scores = s.predict_score(Xt)
+        assert scores[yt == 1].mean() > scores[yt == 0].mean() + 0.15
+
+    def test_shared_protocol(self):
+        """All four strategies satisfy the same call pattern."""
+        strategies = [
+            FrozenStrategy(rf_factory, seed=0),
+            ReplacingStrategy(rf_factory, seed=0),
+            AccumulationStrategy(rf_factory, seed=0),
+            self.make(),
+        ]
+        Xw, yw = month("A", n=1200, seed=1)
+        Xm, ym = month("A", n=600, seed=2)
+        Xt, _ = month("A", n=100, seed=3)
+        for s in strategies:
+            s.start(Xw, yw)
+            s.month_end(Xm, ym)
+            out = s.predict_score(Xt)
+            assert out.shape == (100,)
+            assert np.all((out >= 0) & (out <= 1))

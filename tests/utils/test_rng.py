@@ -1,0 +1,119 @@
+"""Tests for repro.utils.rng: reproducibility and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngFactory,
+    as_generator,
+    choice_without_replacement,
+    poisson_draws,
+    spawn_generators,
+    stable_hash_seed,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).integers(0, 1000, 10)
+        b = as_generator(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9, 20)
+        b = as_generator(2).integers(0, 10**9, 20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        gen = as_generator(np.random.SeedSequence(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="cannot interpret"):
+            as_generator("not a seed")
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            as_generator(3.14)
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        parent = as_generator(0)
+        c1, c2 = spawn_generators(parent, 2)
+        assert not np.array_equal(c1.integers(0, 10**9, 50), c2.integers(0, 10**9, 50))
+
+    def test_spawn_count(self):
+        assert len(spawn_generators(as_generator(0), 5)) == 5
+
+    def test_spawn_zero(self):
+        assert spawn_generators(as_generator(0), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(as_generator(0), -1)
+
+    def test_spawn_is_reproducible(self):
+        a = spawn_generators(as_generator(7), 3)[2].integers(0, 10**9, 5)
+        b = spawn_generators(as_generator(7), 3)[2].integers(0, 10**9, 5)
+        assert np.array_equal(a, b)
+
+
+class TestRngFactory:
+    def test_make_streams_differ(self):
+        factory = RngFactory(0)
+        a, b = factory.make(), factory.make()
+        assert not np.array_equal(a.integers(0, 10**9, 20), b.integers(0, 10**9, 20))
+
+    def test_factory_reproducible(self):
+        vals1 = RngFactory(3).make().integers(0, 10**9, 5)
+        vals2 = RngFactory(3).make().integers(0, 10**9, 5)
+        assert np.array_equal(vals1, vals2)
+
+    def test_make_many(self):
+        assert len(RngFactory(0).make_many(4)) == 4
+
+
+class TestPoissonDraws:
+    def test_zero_rate_scalar(self):
+        assert poisson_draws(as_generator(0), 0.0) == 0
+
+    def test_zero_rate_vector(self):
+        out = poisson_draws(as_generator(0), 0.0, size=10)
+        assert np.array_equal(out, np.zeros(10, dtype=np.int64))
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            poisson_draws(as_generator(0), -0.5)
+
+    def test_mean_approximates_lambda(self):
+        draws = poisson_draws(as_generator(0), 2.5, size=20000)
+        assert abs(draws.mean() - 2.5) < 0.1
+
+
+class TestChoiceWithoutReplacement:
+    def test_distinct(self):
+        out = choice_without_replacement(as_generator(0), 100, 30)
+        assert len(np.unique(out)) == 30
+
+    def test_clamps_k(self):
+        out = choice_without_replacement(as_generator(0), 5, 50)
+        assert sorted(out.tolist()) == [0, 1, 2, 3, 4]
+
+
+class TestStableHashSeed:
+    def test_deterministic(self):
+        assert stable_hash_seed("drive", 42) == stable_hash_seed("drive", 42)
+
+    def test_distinct_inputs(self):
+        assert stable_hash_seed("a") != stable_hash_seed("b")
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= stable_hash_seed("x", 1, 2.5) < 2**63

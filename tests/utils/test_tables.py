@@ -1,0 +1,64 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import (
+    format_markdown_table,
+    format_mean_std,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a ")
+        assert "---" in lines[1].replace("-+-", "---")
+        # all rows same width
+        assert len({len(l) for l in lines}) <= 2
+
+    def test_floats_two_decimals(self):
+        out = format_table(["x"], [[3.14159]])
+        assert "3.14" in out and "3.142" not in out
+
+    def test_title_present(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["only", "headers"], [])
+        assert "only" in out
+
+
+class TestMarkdownTable:
+    def test_pipe_structure(self):
+        out = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])
+
+
+class TestMeanStd:
+    def test_format(self):
+        assert format_mean_std(98.077, 0.374) == "98.08 ± 0.37"
+
+    def test_digits(self):
+        assert format_mean_std(1.0, 0.5, digits=1) == "1.0 ± 0.5"
+
+
+class TestSeries:
+    def test_columns(self):
+        out = format_series([1, 2], [0.5, 0.7], x_name="month", y_name="fdr")
+        assert "month" in out and "fdr" in out
+        assert "0.70" in out

@@ -1,0 +1,137 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_2d,
+    check_binary_labels,
+    check_feature_count,
+    check_in_range,
+    check_monotonic,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3, "x") == 3
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive(0, "x")
+
+    def test_accepts_zero_nonstrict(self):
+        assert check_positive(0, "x", strict=False) == 0
+
+    def test_rejects_negative_nonstrict(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_positive(-1, "x", strict=False)
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_positive(-2, "my_param")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_below_low(self):
+        with pytest.raises(ValueError, match=">="):
+            check_in_range(-0.1, "x", low=0.0)
+
+    def test_above_high(self):
+        with pytest.raises(ValueError, match="<="):
+            check_in_range(1.1, "x", high=1.0)
+
+    def test_unbounded_sides(self):
+        assert check_in_range(-1e9, "x", high=0.0) == -1e9
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+
+class TestCheckArray2d:
+    def test_coerces_lists(self):
+        out = check_array_2d([[1, 2], [3, 4]])
+        assert out.shape == (2, 2) and out.dtype == np.float64
+
+    def test_promotes_1d_to_row(self):
+        assert check_array_2d([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_array_2d(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array_2d([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_array_2d([[np.inf, 0.0]])
+
+    def test_min_rows(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            check_array_2d([[1.0, 2.0]], min_rows=2)
+
+    def test_output_contiguous(self):
+        arr = np.asfortranarray(np.ones((4, 3)))
+        assert check_array_2d(arr).flags["C_CONTIGUOUS"]
+
+
+class TestCheckBinaryLabels:
+    def test_valid(self):
+        out = check_binary_labels([0, 1, 1, 0])
+        assert out.dtype == np.int8
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError, match="0/1"):
+            check_binary_labels([0, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_binary_labels([[0], [1]])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            check_binary_labels([0, 1], n_rows=3)
+
+    def test_all_one_class_ok(self):
+        assert check_binary_labels([0, 0, 0]).sum() == 0
+
+
+class TestCheckFeatureCount:
+    def test_match(self):
+        X = np.zeros((2, 5))
+        assert check_feature_count(X, 5) is X
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError, match="built with 4"):
+            check_feature_count(np.zeros((2, 5)), 4)
+
+
+class TestCheckMonotonic:
+    def test_non_decreasing_ok(self):
+        check_monotonic([1, 1, 2, 5], "t")
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            check_monotonic([1, 0], "t")
+
+    def test_empty_and_singleton_ok(self):
+        check_monotonic([], "t")
+        check_monotonic([7], "t")
