@@ -7,20 +7,30 @@ times (splitting when the α/β condition fires); trees with k = 0 treat
 the sample as out-of-bag, update their OOBE, and are discarded and
 regrown when decayed (OOBE > θ_OOBE and AGE > θ_AGE).
 
-Trees are mutually independent, so ``partial_fit`` and ``predict_score``
-map over a :class:`~repro.parallel.TreeExecutor` when one is supplied.
+Trees are mutually independent, so ``update``, ``partial_fit`` and
+``predict_score`` all map over a :class:`~repro.parallel.TreeExecutor`
+when one is supplied.  Each tree travels as one picklable
+:class:`TreeSlot` bundle — the tree, its OOBE tracker, and a private RNG
+stream that feeds both its Poisson draws and the seeds of any
+replacement trees — so a slot's trajectory depends only on its own
+stream, never on scheduling order or on which worker processed it.  The
+serial executor is the bit-exact reference; thread and process backends
+produce observationally identical forests (the equivalence test suite
+asserts this).  All mapped functions are module-level with explicit
+payloads, so ``ExecutorKind.PROCESS`` works for both fit and predict.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.online_tree import OnlineDecisionTree
 from repro.core.oobe import OOBETracker
 from repro.core.poisson import ImbalanceBagger
-from repro.parallel.chunking import split_work
+from repro.parallel.chunking import assemble_groups, split_work
 from repro.parallel.pool import SerialExecutor, TreeExecutor
 from repro.utils.rng import RngFactory, SeedLike
 from repro.utils.validation import (
@@ -30,6 +40,125 @@ from repro.utils.validation import (
     check_in_range,
     check_positive,
 )
+
+
+@dataclass
+class TreeSlot:
+    """One tree's complete streaming state, picklable as a unit.
+
+    ``rng`` is the slot's private stream: it supplies the per-sample
+    Poisson multiplicities *and* the integer seeds of replacement trees,
+    so regrowth inside a worker process stays deterministic without any
+    callback to the parent.
+    """
+
+    tree: OnlineDecisionTree
+    tracker: OOBETracker
+    rng: np.random.Generator
+
+
+@dataclass(frozen=True)
+class _FitSpec:
+    """Everything a fit worker needs beyond the slots and the data."""
+
+    lambda_pos: float
+    lambda_neg: float
+    oobe_threshold: Optional[float]
+    age_threshold: float
+    chunk_size: int
+    tree_params: dict
+
+
+def _regrow_tree(spec: _FitSpec, rng: np.random.Generator) -> OnlineDecisionTree:
+    """Fresh tree seeded from the slot's own stream (deterministic per slot)."""
+    seed = int(rng.integers(0, 2**63))
+    return OnlineDecisionTree(seed=seed, **spec.tree_params)
+
+
+def _maybe_replace(slot: TreeSlot, spec: _FitSpec) -> int:
+    """Apply the decay rule; returns 1 if the tree was replaced."""
+    if spec.oobe_threshold is None:
+        return 0
+    if slot.tracker.is_decayed(
+        slot.tree.age,
+        oobe_threshold=spec.oobe_threshold,
+        age_threshold=spec.age_threshold,
+    ):
+        slot.tree = _regrow_tree(spec, slot.rng)
+        slot.tracker.reset()
+        return 1
+    return 0
+
+
+def _fit_slot_exact(
+    slot: TreeSlot, X: np.ndarray, y: np.ndarray, lam: np.ndarray, spec: _FitSpec
+) -> int:
+    """Per-sample Algorithm 1 for one slot over the whole batch, row order."""
+    n_replaced = 0
+    ks = slot.rng.poisson(lam)
+    for i in range(X.shape[0]):
+        k = int(ks[i])
+        if k > 0:
+            slot.tree.update_repeated(X[i], int(y[i]), k)
+        else:
+            # out-of-bag: score the sample, update OOBE, maybe replace
+            pred = 1 if slot.tree.predict_one(X[i]) > 0.5 else 0
+            slot.tracker.observe(int(y[i]), pred)
+            n_replaced += _maybe_replace(slot, spec)
+    return n_replaced
+
+
+def _fit_slot_chunked(
+    slot: TreeSlot, X: np.ndarray, y: np.ndarray, lam: np.ndarray, spec: _FitSpec
+) -> int:
+    """Mini-batch fast path for one slot: vectorized draws, bulk folds,
+    closed-form batch OOBE, decay checked once per chunk."""
+    n_replaced = 0
+    for start in range(0, X.shape[0], spec.chunk_size):
+        sl = slice(start, min(start + spec.chunk_size, X.shape[0]))
+        Xc, yc = X[sl], y[sl]
+        ks = slot.rng.poisson(lam[sl])
+        in_bag = ks > 0
+        if in_bag.any():
+            slot.tree.update_batch(
+                Xc[in_bag], yc[in_bag], ks[in_bag].astype(np.float64)
+            )
+        oob = ~in_bag
+        if oob.any():
+            preds = (slot.tree.predict_batch(Xc[oob]) > 0.5).astype(np.int8)
+            slot.tracker.observe_batch(yc[oob], preds)
+            n_replaced += _maybe_replace(slot, spec)
+    return n_replaced
+
+
+def _fit_slots(payload) -> Tuple[List[TreeSlot], int]:
+    """Worker: stream one batch through a group of slots.
+
+    Module-level so process pools can pickle it; returns the (possibly
+    copied, in process workers) slots so the caller can reinstall them.
+    """
+    slots, X, y, spec = payload
+    lam = np.where(y == 1, spec.lambda_pos, spec.lambda_neg)
+    fit_one = _fit_slot_exact if spec.chunk_size <= 0 else _fit_slot_chunked
+    n_replaced = 0
+    for slot in slots:
+        n_replaced += fit_one(slot, X, y, lam, spec)
+    return slots, n_replaced
+
+
+def _score_trees(payload) -> np.ndarray:
+    """Worker: per-tree score rows for a group of trees (picklable payload).
+
+    Returning one row per tree (not a group-local sum) lets the caller
+    reduce over the full ``(T, n)`` stack in tree order, so the result is
+    bit-identical whatever the executor's grouping.
+    """
+    trees, X, vote = payload
+    out = np.empty((len(trees), X.shape[0]), dtype=np.float64)
+    for i, tree in enumerate(trees):
+        p = tree.predict_batch(X)
+        out[i] = (p > 0.5).astype(np.float64) if vote == "hard" else p
+    return out
 
 
 class OnlineRandomForest:
@@ -58,8 +187,11 @@ class OnlineRandomForest:
     max_depth, split_check_interval, feature_ranges:
         Forwarded to every tree (see :class:`OnlineDecisionTree`).
     executor:
-        Optional :class:`TreeExecutor`; trees are mapped over it in
-        groups for batch prediction and stream updates.
+        Optional :class:`TreeExecutor`; per-tree work — both stream
+        updates and batch prediction — is dealt into contiguous slot
+        groups and mapped over it.  Because every slot owns its RNG
+        stream, thread and process backends are observationally
+        identical to the serial reference under the same seed.
     """
 
     def __init__(
@@ -109,12 +241,11 @@ class OnlineRandomForest:
         self.bagger = ImbalanceBagger(
             lambda_pos, lambda_neg, seed=self._rng_factory.make()
         )
-        self.trees: List[OnlineDecisionTree] = [
-            self._new_tree() for _ in range(self.n_trees)
-        ]
-        self.trackers: List[OOBETracker] = [
-            OOBETracker(
-                decay=self.oobe_decay, min_observations=self.oobe_min_observations
+        self.slots: List[TreeSlot] = [
+            TreeSlot(
+                tree=self._new_tree(),
+                tracker=self._new_tracker(),
+                rng=self._rng_factory.make(),
             )
             for _ in range(self.n_trees)
         ]
@@ -124,17 +255,47 @@ class OnlineRandomForest:
         self.n_replacements = 0
 
     # --------------------------------------------------------------- plumbing
-    def _new_tree(self) -> OnlineDecisionTree:
-        return OnlineDecisionTree(
-            self.n_features,
+    def _tree_params(self) -> dict:
+        """Constructor kwargs shared by every tree (picklable, seed-free)."""
+        return dict(
+            n_features=self.n_features,
             n_tests=self.n_tests,
             min_parent_size=self.min_parent_size,
             min_gain=self.min_gain,
             max_depth=self.max_depth,
             feature_ranges=self.feature_ranges,
             split_check_interval=self.split_check_interval,
-            seed=self._rng_factory.make(),
         )
+
+    def _new_tree(self, seed: SeedLike = None) -> OnlineDecisionTree:
+        if seed is None:
+            seed = self._rng_factory.make()
+        return OnlineDecisionTree(seed=seed, **self._tree_params())
+
+    def _new_tracker(self) -> OOBETracker:
+        return OOBETracker(
+            decay=self.oobe_decay, min_observations=self.oobe_min_observations
+        )
+
+    def _fit_spec(self, chunk_size: int) -> _FitSpec:
+        return _FitSpec(
+            lambda_pos=self.bagger.lambda_pos,
+            lambda_neg=self.bagger.lambda_neg,
+            oobe_threshold=self.oobe_threshold,
+            age_threshold=self.age_threshold,
+            chunk_size=int(chunk_size),
+            tree_params=self._tree_params(),
+        )
+
+    @property
+    def trees(self) -> List[OnlineDecisionTree]:
+        """Current trees, in slot order (read-only view)."""
+        return [slot.tree for slot in self.slots]
+
+    @property
+    def trackers(self) -> List[OOBETracker]:
+        """Current OOBE trackers, in slot order (read-only view)."""
+        return [slot.tracker for slot in self.slots]
 
     @property
     def lambda_pos(self) -> float:
@@ -147,6 +308,16 @@ class OnlineRandomForest:
         return self.bagger.lambda_neg
 
     # ----------------------------------------------------------------- update
+    def _map_fit(self, X: np.ndarray, y: np.ndarray, chunk_size: int) -> None:
+        """Deal slots into worker groups, stream the batch, reinstall."""
+        spec = self._fit_spec(chunk_size)
+        groups = split_work(self.slots, getattr(self._executor, "n_workers", 1))
+        payloads = [(group, X, y, spec) for group in groups]
+        results = self._executor.map(_fit_slots, payloads)
+        # process workers mutate copies; reinstall whatever came back
+        self.slots = assemble_groups([slots for slots, _ in results])
+        self.n_replacements += sum(n for _, n in results)
+
     def update(self, x: np.ndarray, y: int) -> None:
         """Fold one labeled sample into the forest (Algorithm 1)."""
         x = np.asarray(x, dtype=np.float64)
@@ -157,26 +328,7 @@ class OnlineRandomForest:
         if y not in (0, 1):
             raise ValueError(f"y must be 0 or 1, got {y!r}")
         self.n_samples_seen += 1
-        ks = self.bagger.draw(y, self.n_trees)
-        for t in range(self.n_trees):
-            k = ks[t]
-            tree = self.trees[t]
-            if k > 0:
-                for _ in range(k):
-                    tree.update(x, y)
-            else:
-                # out-of-bag: score the sample, update OOBE, maybe replace
-                tracker = self.trackers[t]
-                pred = 1 if tree.predict_one(x) > 0.5 else 0
-                tracker.observe(y, pred)
-                if self.oobe_threshold is not None and tracker.is_decayed(
-                    tree.age,
-                    oobe_threshold=self.oobe_threshold,
-                    age_threshold=self.age_threshold,
-                ):
-                    self.trees[t] = self._new_tree()
-                    tracker.reset()
-                    self.n_replacements += 1
+        self._map_fit(x[None, :], np.array([y], dtype=np.int64), 0)
 
     def partial_fit(self, X, y, *, chunk_size: int = 0) -> "OnlineRandomForest":
         """Stream a batch of labeled samples, in row order; returns self.
@@ -191,42 +343,18 @@ class OnlineRandomForest:
         Semantics relax slightly (splits/replacements can lag by up to
         one chunk) in exchange for a large constant-factor speedup on
         negative-heavy streams — see the A8 throughput bench.
+
+        Both paths map per-tree work over the forest's executor; because
+        each slot owns its RNG stream, the resulting forest is identical
+        for serial, thread, and process backends under the same seed.
         """
         X = check_array_2d(X, "X")
         check_feature_count(X, self.n_features, "X")
         y = check_binary_labels(y, n_rows=X.shape[0])
-        if chunk_size <= 0:
-            for i in range(X.shape[0]):
-                self.update(X[i], int(y[i]))
+        if X.shape[0] == 0:
             return self
-
-        lam = np.where(y == 1, self.bagger.lambda_pos, self.bagger.lambda_neg)
-        rng = self.bagger._rng
-        for start in range(0, X.shape[0], chunk_size):
-            sl = slice(start, min(start + chunk_size, X.shape[0]))
-            Xc, yc, lamc = X[sl], y[sl], lam[sl]
-            self.n_samples_seen += Xc.shape[0]
-            for t in range(self.n_trees):
-                tree = self.trees[t]
-                ks = rng.poisson(lamc)
-                in_bag = ks > 0
-                if in_bag.any():
-                    tree.update_batch(
-                        Xc[in_bag], yc[in_bag], ks[in_bag].astype(np.float64)
-                    )
-                oob = ~in_bag
-                if oob.any():
-                    preds = (tree.predict_batch(Xc[oob]) > 0.5).astype(np.int8)
-                    tracker = self.trackers[t]
-                    tracker.observe_batch(yc[oob], preds)
-                    if self.oobe_threshold is not None and tracker.is_decayed(
-                        tree.age,
-                        oobe_threshold=self.oobe_threshold,
-                        age_threshold=self.age_threshold,
-                    ):
-                        self.trees[t] = self._new_tree()
-                        tracker.reset()
-                        self.n_replacements += 1
+        self.n_samples_seen += X.shape[0]
+        self._map_fit(X, np.asarray(y, dtype=np.int64), chunk_size)
         return self
 
     # ------------------------------------------------------------- prediction
@@ -235,16 +363,9 @@ class OnlineRandomForest:
         X = check_array_2d(X, "X")
         check_feature_count(X, self.n_features, "X")
         groups = split_work(self.trees, getattr(self._executor, "n_workers", 1))
-
-        def score_group(trees: List[OnlineDecisionTree]) -> np.ndarray:
-            acc = np.zeros(X.shape[0], dtype=np.float64)
-            for tree in trees:
-                p = tree.predict_batch(X)
-                acc += (p > 0.5).astype(np.float64) if self.vote == "hard" else p
-            return acc
-
-        partials = self._executor.map(score_group, groups)
-        return np.sum(partials, axis=0) / self.n_trees
+        payloads = [(group, X, self.vote) for group in groups]
+        partials = self._executor.map(_score_trees, payloads)
+        return np.sum(np.vstack(partials), axis=0) / self.n_trees
 
     def predict_proba(self, X) -> np.ndarray:
         """``(n, 2)`` class probabilities."""
@@ -259,18 +380,22 @@ class OnlineRandomForest:
         """Score a single sample (the Algorithm-2 per-snapshot path)."""
         x = np.asarray(x, dtype=np.float64)
         if self.vote == "hard":
-            votes = sum(1 for tree in self.trees if tree.predict_one(x) > 0.5)
+            votes = sum(
+                1 for slot in self.slots if slot.tree.predict_one(x) > 0.5
+            )
             return votes / self.n_trees
-        return float(np.mean([tree.predict_one(x) for tree in self.trees]))
+        return float(
+            np.mean([slot.tree.predict_one(x) for slot in self.slots])
+        )
 
     # ------------------------------------------------------------- inspection
     def tree_ages(self) -> np.ndarray:
         """Weighted samples folded into each tree (AGE_t)."""
-        return np.array([tree.age for tree in self.trees])
+        return np.array([slot.tree.age for slot in self.slots])
 
     def oobe_values(self) -> np.ndarray:
         """Current balanced OOBE of each tree."""
-        return np.array([tr.value() for tr in self.trackers])
+        return np.array([slot.tracker.value() for slot in self.slots])
 
     @property
     def feature_importances_(self) -> np.ndarray:
@@ -280,7 +405,7 @@ class OnlineRandomForest:
         impurity decrease at split time); the forest view is the mean
         over trees, normalized to sum to 1 (all-zero before any split).
         """
-        total = np.sum([t.importance_ for t in self.trees], axis=0)
+        total = np.sum([slot.tree.importance_ for slot in self.slots], axis=0)
         s = total.sum()
         return total / s if s > 0 else total
 
@@ -291,6 +416,6 @@ class OnlineRandomForest:
             "n_replacements": self.n_replacements,
             "mean_tree_age": float(self.tree_ages().mean()),
             "mean_oobe": float(self.oobe_values().mean()),
-            "total_nodes": int(sum(t.n_nodes for t in self.trees)),
-            "mean_depth": float(np.mean([t.depth for t in self.trees])),
+            "total_nodes": int(sum(s.tree.n_nodes for s in self.slots)),
+            "mean_depth": float(np.mean([s.tree.depth for s in self.slots])),
         }

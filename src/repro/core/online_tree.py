@@ -150,6 +150,16 @@ class OnlineDecisionTree:
         stats.update(x, y, weight)
         self._maybe_split(nid, stats)
 
+    def update_repeated(self, x: np.ndarray, y: int, k: int, weight: float = 1.0) -> None:
+        """Fold one sample in *k* times (the k ~ Poisson multiplicity).
+
+        Each repetition re-routes from the root: a split fired by an
+        earlier repetition changes where the later ones land, exactly as
+        in the sample-by-sample Algorithm 1.
+        """
+        for _ in range(k):
+            self.update(x, y, weight)
+
     def _maybe_split(self, nid: int, stats: LeafStats) -> None:
         if stats.tests is None or stats.n_seen < self.min_parent_size:
             return
@@ -224,23 +234,14 @@ class OnlineDecisionTree:
         return self._leaf_stats[self.find_leaf(x)].posterior_positive(laplace=laplace)
 
     def predict_batch(self, X: np.ndarray, *, laplace: float = 1.0) -> np.ndarray:
-        """P(y = 1) per row, by vectorized group traversal."""
-        n = X.shape[0]
-        out = np.empty(n, dtype=np.float64)
-        stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(n))]
-        feature = self._feature
-        threshold = self._threshold
-        while stack:
-            nid, rows = stack.pop()
-            if rows.size == 0:
-                continue
-            f = feature[nid]
-            if f < 0:
-                out[rows] = self._leaf_stats[nid].posterior_positive(laplace=laplace)
-                continue
-            go_right = X[rows, f] > threshold[nid]
-            stack.append((self._left[nid], rows[~go_right]))
-            stack.append((self._right[nid], rows[go_right]))
+        """P(y = 1) per row: one vectorized routing pass, then each
+        reached leaf's posterior is computed once and broadcast."""
+        leaf_ids = self.route_batch(X)
+        out = np.empty(X.shape[0], dtype=np.float64)
+        for nid in np.unique(leaf_ids):
+            out[leaf_ids == nid] = self._leaf_stats[int(nid)].posterior_positive(
+                laplace=laplace
+            )
         return out
 
     # ----------------------------------------------------------- introspection

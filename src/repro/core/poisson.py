@@ -31,11 +31,42 @@ class ImbalanceBagger:
         self.lambda_neg = float(lambda_neg)
         self._rng = as_generator(seed)
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The bagger's own draw stream (public handle; also settable so
+        checkpoint restores can reinstall a saved stream)."""
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: "SeedLike") -> None:
+        self._rng = as_generator(value)
+
     def rate_for(self, y: int) -> float:
         """λ applicable to a sample of class *y*."""
         if y not in (0, 1):
             raise ValueError(f"y must be 0 or 1, got {y!r}")
         return self.lambda_pos if y == 1 else self.lambda_neg
+
+    def rate_vector(self, y: np.ndarray) -> np.ndarray:
+        """λ per row for an array of binary labels (vectorized
+        :meth:`rate_for`; the chunked forest path uses this)."""
+        y = np.asarray(y)
+        return np.where(y == 1, self.lambda_pos, self.lambda_neg)
+
+    def draw_using(
+        self, rng: np.random.Generator, y: int, n_trees: int
+    ) -> np.ndarray:
+        """Like :meth:`draw`, but from an explicit stream.
+
+        Parallel forests give every tree slot its own generator so draws
+        are independent of scheduling; this method keeps the λ == 0
+        semantics identical between the owned and external streams.
+        """
+        check_positive(n_trees, "n_trees")
+        lam = self.rate_for(y)
+        if lam == 0.0:
+            return np.zeros(n_trees, dtype=np.int64)
+        return rng.poisson(lam, size=n_trees)
 
     def draw(self, y: int, n_trees: int) -> np.ndarray:
         """k for each of *n_trees* trees for one sample of class *y*.
@@ -43,11 +74,7 @@ class ImbalanceBagger:
         λ == 0 yields all-zero k without touching the RNG stream's
         Poisson path (the sample is then pure out-of-bag for every tree).
         """
-        check_positive(n_trees, "n_trees")
-        lam = self.rate_for(y)
-        if lam == 0.0:
-            return np.zeros(n_trees, dtype=np.int64)
-        return self._rng.poisson(lam, size=n_trees)
+        return self.draw_using(self._rng, y, n_trees)
 
     def expected_update_fraction(self, y: int) -> float:
         """P(k > 0) for class *y* — useful for sanity checks and docs."""

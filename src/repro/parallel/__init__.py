@@ -9,9 +9,16 @@ GIL inside vectorized kernels), and a process-pool executor for
 update-heavy workloads on multi-core hosts.
 """
 
-from repro.parallel.chunking import chunk_indices, chunk_slices, split_work
+from repro.parallel.chunking import (
+    assemble_groups,
+    chunk_indices,
+    chunk_slices,
+    interleave_round_robin,
+    split_work,
+)
 from repro.parallel.pool import (
     ExecutorKind,
+    default_worker_count,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -26,7 +33,10 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "default_worker_count",
+    "assemble_groups",
     "chunk_indices",
     "chunk_slices",
     "split_work",
+    "interleave_round_robin",
 ]

@@ -58,6 +58,19 @@ def split_work(items: Sequence[T], n_workers: int) -> List[List[T]]:
     return groups
 
 
+def assemble_groups(groups: Sequence[Sequence[T]]) -> List[T]:
+    """Inverse of :func:`split_work`: flatten worker groups in order.
+
+    Executors return group results in submission order, so concatenating
+    them restores the original item order exactly — forests rely on this
+    to reinstall per-tree state after a mapped update.
+    """
+    out: List[T] = []
+    for group in groups:
+        out.extend(group)
+    return out
+
+
 def interleave_round_robin(items: Sequence[T], n_groups: int) -> List[List[T]]:
     """Deal *items* round-robin — balances heterogeneous per-item cost."""
     if n_groups <= 0:

@@ -9,9 +9,13 @@ interchangeable:
 * the serial executor is the reference implementation — parallel
   executors must be observationally identical for pure functions.
 
-Process pools only help when the mapped function releases the GIL rarely
-and payloads pickle cheaply; for this library's workloads the thread pool
-is usually the right choice because the hot loops sit inside NumPy.
+Backend choice is workload-dependent: batch *prediction* spends its time
+inside NumPy kernels that release the GIL, so the thread pool scales it
+well; stream *updates* run Python-level per-sample logic that holds the
+GIL, so only the process pool buys real speedup there — provided the
+batch is large enough to amortize pickling the tree state both ways.
+Mapped functions must be module-level (picklable) for the process
+backend; see ``docs/operations.md`` §5 for selection guidance.
 """
 
 from __future__ import annotations
@@ -32,6 +36,9 @@ class ExecutorKind(str, enum.Enum):
 
 class TreeExecutor:
     """Interface: map a function over independent work items."""
+
+    #: parallelism the executor offers; callers use it to size work groups
+    n_workers: int = 1
 
     def map(self, fn: Callable[..., Any], items: Sequence[Any]) -> List[Any]:
         """Apply *fn* to every item; results in submission order."""
@@ -93,8 +100,17 @@ class ProcessExecutor(_PoolExecutor):
 
 
 def default_worker_count() -> int:
-    """Worker count matched to the host: cpu_count, at least 1."""
-    return max(os.cpu_count() or 1, 1)
+    """Worker count matched to the CPUs this process may actually use.
+
+    Containers and batch schedulers routinely pin processes to a subset
+    of the host's cores (cgroups cpusets, ``taskset``); sizing pools by
+    ``os.cpu_count()`` then oversubscribes the allowed cores.  Prefer the
+    scheduling affinity mask where the platform exposes it.
+    """
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except (AttributeError, OSError):  # non-Linux platforms
+        return max(os.cpu_count() or 1, 1)
 
 
 def make_executor(

@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict, Union
 
 import numpy as np
 
-from repro.core.forest import OnlineRandomForest
+from repro.core.forest import OnlineRandomForest, TreeSlot
 from repro.core.node_stats import LeafStats
 from repro.core.online_tree import OnlineDecisionTree
 from repro.core.oobe import OOBETracker
@@ -319,8 +319,11 @@ def _online_forest_io():
             "params": {p: getattr(model, p) for p in PARAMS},
             "lambda_pos": model.bagger.lambda_pos,
             "lambda_neg": model.bagger.lambda_neg,
-            "bagger_rng": _rng_state(model.bagger._rng),
+            "bagger_rng": _rng_state(model.bagger.rng),
             "factory_rng": _rng_state(model._rng_factory._root),
+            # per-slot Poisson/regrow streams: restoring them is what makes
+            # stream continuation bit-identical after a reload
+            "slot_rngs": [_rng_state(slot.rng) for slot in model.slots],
             "n_samples_seen": model.n_samples_seen,
             "n_replacements": model.n_replacements,
             "trackers": [
@@ -357,16 +360,16 @@ def _online_forest_io():
             split_check_interval=params["split_check_interval"],
             seed=0,
         )
-        model.bagger._rng = _restore_rng(meta["bagger_rng"])
+        model.bagger.rng = _restore_rng(meta["bagger_rng"])
         model._rng_factory._root = _restore_rng(meta["factory_rng"])
         model.n_samples_seen = meta["n_samples_seen"]
         model.n_replacements = meta["n_replacements"]
         tree_params = dict(params)
-        model.trees = [
+        trees = [
             _unpack_online_tree(f"t{i}/", arrays, tm, tree_params)
             for i, tm in enumerate(meta["trees"])
         ]
-        model.trackers = []
+        trackers = []
         for tr_meta in meta["trackers"]:
             tracker = OOBETracker(
                 decay=params["oobe_decay"],
@@ -376,7 +379,17 @@ def _online_forest_io():
             tracker.err_neg = tr_meta["err_neg"]
             tracker.n_pos = tr_meta["n_pos"]
             tracker.n_neg = tr_meta["n_neg"]
-            model.trackers.append(tracker)
+            trackers.append(tracker)
+        # checkpoints predating per-slot streams keep the fresh slot rngs
+        slot_rngs = [_restore_rng(st) for st in meta.get("slot_rngs", [])]
+        model.slots = [
+            TreeSlot(
+                tree=tree,
+                tracker=tracker,
+                rng=slot_rngs[i] if i < len(slot_rngs) else model.slots[i].rng,
+            )
+            for i, (tree, tracker) in enumerate(zip(trees, trackers))
+        ]
         return model
 
     return save, load

@@ -156,7 +156,16 @@ class TestTreeReplacement:
         assert forest.n_replacements == 0
 
     def test_stable_stream_no_replacement(self):
-        forest = make_forest(oobe_threshold=0.35, age_threshold=500, seed=3)
+        """Trees that actually learn a stationary concept stay healthy.
+
+        λn is raised so trees see enough negatives to learn the signal;
+        their OOBE then sits far below the threshold and no replacement
+        fires (with the paper's tiny λn trees learn so little that the
+        balanced OOBE hovers at the decay gate by construction).
+        """
+        forest = make_forest(
+            lambda_neg=0.5, oobe_threshold=0.35, age_threshold=500, seed=3
+        )
         X, y = imbalanced_stream(10000, seed=7)
         forest.partial_fit(X, y)
         assert forest.n_replacements == 0

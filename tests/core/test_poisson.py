@@ -52,6 +52,38 @@ class TestDraws:
         assert np.array_equal(a, b)
 
 
+class TestPublicStreamAPI:
+    def test_rng_accessor_is_the_draw_stream(self):
+        bagger = ImbalanceBagger(seed=7)
+        state = bagger.rng.bit_generator.state
+        fresh = np.random.Generator(np.random.PCG64())
+        fresh.bit_generator.state = state
+        assert np.array_equal(bagger.draw(1, 30), fresh.poisson(1.0, size=30))
+
+    def test_rng_settable_for_restore(self):
+        bagger = ImbalanceBagger(seed=0)
+        bagger.rng = np.random.default_rng(123)
+        other = np.random.default_rng(123)
+        assert np.array_equal(bagger.draw(1, 20), other.poisson(1.0, size=20))
+
+    def test_rate_vector_matches_rate_for(self):
+        bagger = ImbalanceBagger(1.0, 0.02)
+        y = np.array([0, 1, 1, 0, 1])
+        expected = [bagger.rate_for(int(v)) for v in y]
+        assert np.array_equal(bagger.rate_vector(y), expected)
+
+    def test_draw_using_external_stream(self):
+        """draw_using must consume only the explicit stream and keep the
+        λ == 0 guard of draw()."""
+        bagger = ImbalanceBagger(1.0, 0.0, seed=0)
+        own_state = bagger.rng.bit_generator.state
+        rng = np.random.default_rng(5)
+        ks = bagger.draw_using(rng, 1, 40)
+        assert np.array_equal(ks, np.random.default_rng(5).poisson(1.0, size=40))
+        assert np.all(bagger.draw_using(rng, 0, 40) == 0)  # λn == 0 → all OOB
+        assert bagger.rng.bit_generator.state == own_state  # own stream untouched
+
+
 class TestExpectedUpdateFraction:
     def test_matches_poisson_mass(self):
         bagger = ImbalanceBagger(1.0, 0.02)

@@ -1,12 +1,16 @@
 """Tests for repro.parallel.pool — executor interchangeability."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.parallel.pool import (
     ExecutorKind,
+    ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    default_worker_count,
     make_executor,
 )
 
@@ -56,12 +60,37 @@ class TestThreadExecutor:
             ThreadExecutor(0)
 
 
+class TestProcessExecutor:
+    def test_matches_serial(self):
+        items = list(range(12))
+        with ProcessExecutor(2) as pool:
+            assert pool.map(_square, items) == SerialExecutor().map(_square, items)
+
+    def test_numpy_payloads_roundtrip(self):
+        arrays = [np.arange(4) * i for i in range(5)]
+        with ProcessExecutor(2) as pool:
+            out = pool.map(np.sum, arrays)
+        assert [int(v) for v in out] == [int(a.sum()) for a in arrays]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(0)
+
+
 class TestMakeExecutor:
     def test_kinds(self):
         assert isinstance(make_executor("serial"), SerialExecutor)
         pool = make_executor("thread", 2)
         assert isinstance(pool, ThreadExecutor)
         pool.shutdown()
+
+    def test_process_kind_end_to_end(self):
+        """Regression: "process" must build a pool that really maps a
+        module-level function across worker processes."""
+        with make_executor("process", 2) as pool:
+            assert isinstance(pool, ProcessExecutor)
+            assert pool.n_workers == 2
+            assert pool.map(_square, [3, 4]) == [9, 16]
 
     def test_enum_accepted(self):
         assert isinstance(make_executor(ExecutorKind.SERIAL), SerialExecutor)
@@ -75,3 +104,22 @@ class TestContextManager:
     def test_serial_context(self):
         with SerialExecutor() as pool:
             assert pool.map(_square, [2]) == [4]
+
+
+class TestDefaultWorkerCount:
+    def test_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_respects_cpu_affinity(self, monkeypatch):
+        """Under cgroups/taskset pinning, the affinity mask — not the raw
+        host CPU count — must size the pool."""
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_worker_count() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert default_worker_count() == 6
