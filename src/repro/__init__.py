@@ -13,6 +13,9 @@ Synthetic Backblaze-like field data:
 Feature pipeline and evaluation protocols:
     >>> from repro import FeatureSelection, run_monthly_comparison, run_longterm
 
+Fleet service layer (sharded serving, alarms, checkpoints, metrics):
+    >>> from repro import FleetMonitor, AlarmManager, CheckpointRotator
+
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
@@ -40,7 +43,14 @@ from repro.offline import (
     downsample_negatives,
 )
 from repro.ops import MigrationScheduler, adaptive_scrub_simulation
-from repro.persistence import load_model, save_model
+from repro.persistence import load_bundle, load_model, save_bundle, save_model
+from repro.service import (
+    AlarmManager,
+    CheckpointRotator,
+    DiskEvent,
+    FleetMonitor,
+    MetricsRegistry,
+)
 from repro.strategies import (
     AccumulationStrategy,
     FrozenStrategy,
@@ -74,6 +84,13 @@ __all__ = [
     "adaptive_scrub_simulation",
     "save_model",
     "load_model",
+    "save_bundle",
+    "load_bundle",
+    "FleetMonitor",
+    "DiskEvent",
+    "AlarmManager",
+    "CheckpointRotator",
+    "MetricsRegistry",
     "HoeffdingTreeClassifier",
     "FrozenStrategy",
     "ReplacingStrategy",

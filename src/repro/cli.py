@@ -1,16 +1,20 @@
 """Command-line interface.
 
-Four subcommands cover the operational lifecycle::
+Six subcommands cover the operational lifecycle::
 
     repro generate   --spec sta --scale 0.2 --months 15 -o fleet.csv
     repro train      --data fleet.csv --model orf -o model.npz
     repro evaluate   --data fleet.csv --model-file model.npz --far 0.01
     repro monitor    --data fleet.csv --model-file model.npz
+    repro serve      --data fleet.csv --model-file model.npz --shards 4
     repro experiment --data fleet.csv --kind monthly
 
 All commands accept Backblaze-schema CSVs, so they run unchanged against
-the real public archive.  ``main`` takes an argv list (tests call it
-directly) and returns a process exit code.
+the real public archive.  ``train`` writes a *bundle* — the model plus
+the feature selection and the scaler fitted on the training split — and
+``evaluate``/``monitor``/``serve`` reuse that scaler instead of
+re-fitting one on the data they are judging.  ``main`` takes an argv
+list (tests call it directly) and returns a process exit code.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from repro.offline.gbdt import GradientBoostedTrees
 from repro.offline.sampling import downsample_negatives
 from repro.offline.svm import SVC
 from repro.offline.tree import DecisionTreeClassifier
-from repro.persistence import load_model, save_model
+from repro.persistence import load_bundle, load_model, save_bundle, save_model
 from repro.smart.drive_model import STA, STB, scaled_spec
 from repro.smart.generator import generate_dataset
 from repro.smart.io import read_backblaze_csv, write_backblaze_csv
@@ -43,14 +47,31 @@ def _load_dataset(path: str):
     return read_backblaze_csv(path)
 
 
-def _prepare(dataset, seed: int):
-    selection = FeatureSelection.paper_table2()
+def _prepare(dataset, seed: int, *, selection=None, scaler=None):
+    """Split, project, scale.  A persisted scaler is reused, never refit."""
+    selection = selection or FeatureSelection.paper_table2()
     train_s, test_s = split_disks(dataset, seed=seed)
-    train, scaler = prepare_arrays(dataset.subset_serials(train_s), selection)
+    train, scaler = prepare_arrays(
+        dataset.subset_serials(train_s), selection, scaler=scaler
+    )
     test, _ = prepare_arrays(
         dataset.subset_serials(test_s), selection, scaler=scaler
     )
-    return train, test, scaler
+    return train, test, scaler, selection
+
+
+def _load_model_bundle(path: str):
+    """(model, scaler, selection) from a bundle or legacy single archive."""
+    bundle = load_bundle(path)
+    scaler = bundle.get("scaler")
+    if scaler is None:
+        print(
+            f"warning: {path} has no persisted scaler (legacy checkpoint); "
+            "fitting one on the evaluated data — retrain to pin the "
+            "training-time scaling",
+            file=sys.stderr,
+        )
+    return bundle.get("model"), scaler, bundle.get("selection")
 
 
 # ------------------------------------------------------------------ commands
@@ -74,7 +95,7 @@ def _cmd_generate(args) -> int:
 
 def _cmd_train(args) -> int:
     dataset = _load_dataset(args.data)
-    train, _test, _scaler = _prepare(dataset, args.seed)
+    train, _test, scaler, selection = _prepare(dataset, args.seed)
     rows = train.training_rows()
 
     if args.model == "orf":
@@ -108,7 +129,9 @@ def _cmd_train(args) -> int:
         model.fit(Xb, yb)
 
     if args.model in ("orf", "rf", "dt"):
-        save_model(model, args.output)
+        # bundle the preprocessing with the model: a checkpoint is
+        # meaningless without the exact scaler that fed it
+        save_bundle(args.output, model=model, scaler=scaler, selection=selection)
         print(f"trained {args.model} on {rows.size:,} samples -> {args.output}")
     else:
         print(
@@ -122,8 +145,10 @@ def _cmd_train(args) -> int:
 
 def _cmd_evaluate(args) -> int:
     dataset = _load_dataset(args.data)
-    _train, test, _scaler = _prepare(dataset, args.seed)
-    model = load_model(args.model_file)
+    model, scaler, selection = _load_model_bundle(args.model_file)
+    _train, test, _scaler, _sel = _prepare(
+        dataset, args.seed, selection=selection, scaler=scaler
+    )
     scores = model.predict_score(test.X)
     fdr, far, thr = fdr_at_far(
         scores,
@@ -138,9 +163,9 @@ def _cmd_evaluate(args) -> int:
 
 def _cmd_monitor(args) -> int:
     dataset = _load_dataset(args.data)
-    selection = FeatureSelection.paper_table2()
-    arrays, _ = prepare_arrays(dataset, selection)
-    model = load_model(args.model_file)
+    model, scaler, selection = _load_model_bundle(args.model_file)
+    selection = selection or FeatureSelection.paper_table2()
+    arrays, _ = prepare_arrays(dataset, selection, scaler=scaler)
     if not isinstance(model, OnlineRandomForest):
         print("monitor requires an ORF checkpoint", file=sys.stderr)
         return 2
@@ -162,6 +187,106 @@ def _cmd_monitor(args) -> int:
         f"{monitor.stats.n_failures} failures, "
         f"{monitor.stats.n_alarms} alarms"
     )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.parallel.pool import make_executor
+    from repro.service import (
+        AlarmManager,
+        CheckpointRotator,
+        FleetMonitor,
+        MetricsRegistry,
+        fleet_events,
+    )
+
+    dataset = _load_dataset(args.data)
+    model, scaler, selection = _load_model_bundle(args.model_file)
+    if not isinstance(model, OnlineRandomForest):
+        print("serve requires an ORF checkpoint", file=sys.stderr)
+        return 2
+    selection = selection or FeatureSelection.paper_table2()
+    arrays, _ = prepare_arrays(dataset, selection, scaler=scaler)
+
+    # every shard starts from an independent copy of the checkpoint
+    forests = [model] + [
+        load_bundle(args.model_file)["model"] for _ in range(args.shards - 1)
+    ]
+    shards = [
+        OnlineDiskFailurePredictor(
+            forest,
+            queue_length=7,
+            alarm_threshold=args.threshold,
+            warmup_samples=args.warmup,
+            record_alarms=False,
+        )
+        for forest in forests
+    ]
+    registry = MetricsRegistry()
+    manager = AlarmManager(
+        cooldown=args.cooldown,
+        escalate_after=args.escalate_after,
+        registry=registry,
+    )
+    rotator = None
+    if args.checkpoint_dir:
+        rotator = CheckpointRotator(
+            args.checkpoint_dir,
+            every_samples=args.checkpoint_every,
+            retention=args.retention,
+        )
+    fleet = FleetMonitor(
+        shards,
+        alarm_manager=manager,
+        registry=registry,
+        rotator=rotator,
+        mode=args.mode,
+        executor=make_executor(args.executor),
+    )
+
+    fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
+    next_digest = args.digest_every
+    batch = []
+    for event in fleet_events(arrays, fail_day):
+        batch.append(event)
+        if len(batch) < args.batch_size:
+            continue
+        for emitted in fleet.ingest(batch):
+            a = emitted.alarm
+            print(
+                f"day {a.tag!s:>5}  {emitted.action.value.upper():9s} "
+                f"drive {a.disk_id}  score {a.score:.3f}  "
+                f"(shard {emitted.shard})"
+            )
+        batch = []
+        if args.digest_every and fleet.n_samples >= next_digest:
+            d = fleet.digest()
+            print(
+                f"# digest: {d['samples']:,} samples  "
+                f"{d['failures']} failures  alarms {d['alarms']}  "
+                f"queue {d['queue_depth']}  "
+                f"{d['samples_per_sec']:,.0f} samples/s"
+            )
+            next_digest += args.digest_every
+    if batch:
+        for emitted in fleet.ingest(batch):
+            a = emitted.alarm
+            print(
+                f"day {a.tag!s:>5}  {emitted.action.value.upper():9s} "
+                f"drive {a.disk_id}  score {a.score:.3f}  "
+                f"(shard {emitted.shard})"
+            )
+
+    d = fleet.digest()
+    print(
+        f"# served {d['samples']:,} samples across {fleet.n_shards} shard(s): "
+        f"{d['failures']} failures, alarms {d['alarms']}, "
+        f"{d['tree_replacements']} tree replacements"
+    )
+    if rotator is not None and rotator.latest is not None:
+        print(f"# latest checkpoint: {rotator.latest}")
+    if args.dump_metrics:
+        print(registry.render(), end="")
     return 0
 
 
@@ -246,6 +371,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model-file", required=True)
     p.add_argument("--threshold", type=float, default=0.5)
     p.set_defaults(fn=_cmd_monitor)
+
+    p = sub.add_parser(
+        "serve", help="replay a dataset CSV through the sharded fleet monitor"
+    )
+    p.add_argument("--data", required=True)
+    p.add_argument("--model-file", required=True)
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument("--warmup", type=int, default=0, help="warmup samples per shard")
+    p.add_argument("--batch-size", type=int, default=256)
+    p.add_argument("--mode", choices=("exact", "batch"), default="exact")
+    p.add_argument("--executor", choices=("serial", "thread"), default="serial")
+    p.add_argument(
+        "--cooldown", type=int, default=None,
+        help="per-disk samples before an open alarm re-notifies (default: never)",
+    )
+    p.add_argument("--escalate-after", type=int, default=3)
+    p.add_argument("--checkpoint-dir", default=None)
+    p.add_argument("--checkpoint-every", type=int, default=10_000)
+    p.add_argument("--retention", type=int, default=3)
+    p.add_argument(
+        "--digest-every", type=int, default=10_000,
+        help="print a metrics digest every N samples (0 disables)",
+    )
+    p.add_argument(
+        "--dump-metrics", action="store_true",
+        help="print the Prometheus text exposition after the replay",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "experiment", help="run the paper's §4.4/§4.5 protocols on a dataset CSV"

@@ -63,7 +63,9 @@ class OnlineLabeler:
         if len(q) >= self.queue_length:
             old_x, old_tag = q.popleft()
             released.append(LabeledSample(disk_id, old_x, 0, old_tag))
-        q.append((np.asarray(x, dtype=np.float64), tag))
+        # always copy: np.asarray aliases float64 input, and a sample may
+        # sit queued for days while the caller reuses its buffer
+        q.append((np.array(x, dtype=np.float64, copy=True), tag))
         return released
 
     def fail(self, disk_id: Hashable) -> List[LabeledSample]:

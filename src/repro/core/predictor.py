@@ -10,8 +10,9 @@ data migration.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +61,10 @@ class OnlineDiskFailurePredictor:
     record_alarms:
         Keep every alarm on :attr:`stats` (handy in notebooks; switch off
         for unbounded streams).
+    max_recorded_alarms:
+        When set (and ``record_alarms`` is on), :attr:`stats.alarms`
+        becomes a ring buffer holding only the most recent alarms, so a
+        months-long replay cannot grow memory without bound.
     """
 
     def __init__(
@@ -70,16 +75,22 @@ class OnlineDiskFailurePredictor:
         alarm_threshold: float = 0.5,
         warmup_samples: int = 0,
         record_alarms: bool = True,
+        max_recorded_alarms: Optional[int] = None,
     ) -> None:
         check_probability(alarm_threshold, "alarm_threshold")
         if warmup_samples < 0:
             raise ValueError("warmup_samples must be >= 0")
+        if max_recorded_alarms is not None and max_recorded_alarms <= 0:
+            raise ValueError("max_recorded_alarms must be > 0 or None")
         self.forest = forest
         self.labeler = OnlineLabeler(queue_length)
         self.alarm_threshold = float(alarm_threshold)
         self.warmup_samples = int(warmup_samples)
         self.record_alarms = record_alarms
+        self.max_recorded_alarms = max_recorded_alarms
         self.stats = PredictorStats()
+        if record_alarms and max_recorded_alarms is not None:
+            self.stats.alarms = deque(maxlen=max_recorded_alarms)
 
     # ----------------------------------------------------------------- events
     def process_sample(
@@ -135,13 +146,88 @@ class OnlineDiskFailurePredictor:
         """
         if failed:
             if x is not None:
-                # final snapshot exists: it is part of the last week too
-                self.labeler.observe(disk_id, x, tag)
+                # final snapshot exists: it is part of the last week too,
+                # and the eviction it may cause is a real confirmed
+                # negative (that sample's window elapsed before death)
+                for labeled in self.labeler.observe(disk_id, x, tag):
+                    self.forest.update(labeled.x, labeled.y)
+                    self.stats.n_updates_neg += 1
             self.process_failure(disk_id)
             return None
         if x is None:
             raise ValueError("x is required for a working disk")
         return self.process_sample(disk_id, x, tag)
+
+    def process_batch(
+        self,
+        events: Sequence[Tuple[Hashable, Optional[np.ndarray], bool, object]],
+    ) -> List[Optional[Alarm]]:
+        """Micro-batched Algorithm 2 over ``(disk_id, x, failed, tag)`` rows.
+
+        The labeler runs event by event (so queue semantics are exact),
+        the released labels are folded with *one* ``partial_fit`` call in
+        release order, and all working samples are scored with *one*
+        ``predict_score`` call — routing every tree through the
+        vectorized batch path and the forest's executor.  The resulting
+        **forest state is bit-identical** to processing the events one
+        at a time: the exact ``partial_fit`` path consumes each slot's
+        RNG stream element-for-element like per-sample ``update``.
+
+        What relaxes is scoring: every sample in the batch is scored
+        against the forest *after* all of the batch's updates (the
+        per-sample loop scores each sample mid-batch), and the warmup
+        gate sees the post-batch absorbed count — so alarms near a
+        model-state boundary can differ within one batch.  Returns one
+        entry per event, aligned with the input (None for failures and
+        quiet samples).
+        """
+        updates: List[Tuple[np.ndarray, int]] = []
+        to_score: List[Tuple[int, Hashable, np.ndarray, object]] = []
+        n_pos = n_neg = 0
+        for i, (disk_id, x, failed, tag) in enumerate(events):
+            if failed:
+                if x is not None:
+                    x = np.asarray(x, dtype=np.float64)
+                    for labeled in self.labeler.observe(disk_id, x, tag):
+                        updates.append((labeled.x, 0))
+                        n_neg += 1
+                self.stats.n_failures += 1
+                for labeled in self.labeler.fail(disk_id):
+                    updates.append((labeled.x, 1))
+                    n_pos += 1
+                continue
+            if x is None:
+                raise ValueError("x is required for a working disk")
+            x = np.asarray(x, dtype=np.float64)
+            self.stats.n_samples += 1
+            for labeled in self.labeler.observe(disk_id, x, tag):
+                updates.append((labeled.x, 0))
+                n_neg += 1
+            to_score.append((i, disk_id, x, tag))
+
+        if updates:
+            self.forest.partial_fit(
+                np.stack([u[0] for u in updates]),
+                np.array([u[1] for u in updates], dtype=np.int64),
+            )
+            self.stats.n_updates_pos += n_pos
+            self.stats.n_updates_neg += n_neg
+
+        results: List[Optional[Alarm]] = [None] * len(events)
+        if to_score:
+            scores = self.forest.predict_score(
+                np.stack([row[2] for row in to_score])
+            )
+            n_absorbed = self.stats.n_updates_pos + self.stats.n_updates_neg
+            warm = n_absorbed >= self.warmup_samples
+            for (i, disk_id, _x, tag), score in zip(to_score, scores):
+                if warm and score >= self.alarm_threshold:
+                    alarm = Alarm(disk_id, float(score), tag)
+                    self.stats.n_alarms += 1
+                    if self.record_alarms:
+                        self.stats.alarms.append(alarm)
+                    results[i] = alarm
+        return results
 
     # ------------------------------------------------------------- inspection
     @property

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,13 +59,25 @@ class MigrationScheduler:
         Capacity of each drive (what must be evacuated).
     bandwidth_tb_per_day:
         Total evacuation bandwidth across the fleet.
+    on_drained:
+        Optional ``(disk_id, day)`` callback invoked the day a drive's
+        evacuation completes.  The service layer uses it to auto-suppress
+        further alarms for the drive
+        (``on_drained=lambda disk, day: alarm_manager.mark_drained(disk)``).
     """
 
-    def __init__(self, *, capacity_tb: float, bandwidth_tb_per_day: float) -> None:
+    def __init__(
+        self,
+        *,
+        capacity_tb: float,
+        bandwidth_tb_per_day: float,
+        on_drained: Optional[Callable[[Hashable, int], None]] = None,
+    ) -> None:
         check_positive(capacity_tb, "capacity_tb")
         check_positive(bandwidth_tb_per_day, "bandwidth_tb_per_day")
         self.capacity_tb = float(capacity_tb)
         self.bandwidth = float(bandwidth_tb_per_day)
+        self.on_drained = on_drained
 
     def replay(
         self,
@@ -148,6 +160,8 @@ class MigrationScheduler:
                     jobs.pop(job.disk_id, None)
                     if job.disk_id in failures:
                         saved.add(job.disk_id)
+                    if self.on_drained is not None:
+                        self.on_drained(job.disk_id, day)
 
             # 4. data-at-risk accounting for jobs still pending
             for job in jobs.values():

@@ -16,6 +16,16 @@ Public API::
 
     save_model(model, path)
     model = load_model(path)
+
+    save_bundle(path, model=model, scaler=scaler, selection=selection)
+    bundle = load_bundle(path)        # {"model": ..., "scaler": ..., ...}
+
+A *bundle* packs several models into one archive — the trained model
+plus the exact preprocessing (scaler, feature selection) that fed it,
+which is what ``repro train`` writes so ``evaluate``/``monitor``/
+``serve`` never re-fit a scaler on the data they are judging.
+``load_model`` on a bundle transparently returns its ``"model"``
+component, so old call sites keep working.
 """
 
 from __future__ import annotations
@@ -27,9 +37,11 @@ from typing import Any, Callable, Dict, Union
 import numpy as np
 
 from repro.core.forest import OnlineRandomForest, TreeSlot
+from repro.core.labeler import OnlineLabeler
 from repro.core.node_stats import LeafStats
 from repro.core.online_tree import OnlineDecisionTree
 from repro.core.oobe import OOBETracker
+from repro.core.predictor import OnlineDiskFailurePredictor
 from repro.core.random_tests import RandomTestSet
 from repro.features.scaling import MinMaxScaler
 from repro.features.selection import FeatureSelection
@@ -87,17 +99,108 @@ def save_model(model: Any, path: PathLike) -> None:
 
 
 def load_model(path: PathLike) -> Any:
-    """Restore a model saved by :func:`save_model`."""
+    """Restore a model saved by :func:`save_model`.
+
+    Given a bundle (see :func:`save_bundle`), returns its ``"model"``
+    component so legacy call sites read new checkpoints unchanged.
+    """
+    meta, arrays = _read_archive(path)
+    if meta.get("__class__") == _BUNDLE_CLASS:
+        bundle = _load_bundle_parts(meta, arrays)
+        if "model" not in bundle:
+            raise ValueError(
+                f"{path} is a bundle without a 'model' component; "
+                f"use load_bundle (components: {sorted(bundle)})"
+            )
+        return bundle["model"]
+    return _load_one(meta, arrays, path)
+
+
+def _read_archive(path: PathLike):
     with np.load(Path(path), allow_pickle=False) as data:
         arrays = {k: data[k] for k in data.files}
     raw = arrays.pop("__meta__", None)
     if raw is None:
         raise ValueError(f"{path} is not a repro model checkpoint")
     meta = json.loads(bytes(raw.tobytes()).decode("utf-8"))
+    return meta, arrays
+
+
+def _load_one(meta: dict, arrays: dict, path: PathLike) -> Any:
     loader = _LOADERS.get(meta.get("__class__"))
     if loader is None:
         raise ValueError(f"unknown checkpoint class {meta.get('__class__')!r}")
     return loader(meta, arrays)
+
+
+# --------------------------------------------------------------------------
+# bundles: several models in one archive
+# --------------------------------------------------------------------------
+_BUNDLE_CLASS = "__bundle__"
+
+
+def save_bundle(path: PathLike, **components: Any) -> None:
+    """Serialize named *components* into one ``.npz`` archive.
+
+    Every component must be a :func:`save_model`-supported type; use the
+    conventional names ``model``, ``scaler``, ``selection`` so
+    :func:`load_model` and the CLI find them.
+    """
+    if not components:
+        raise ValueError("a bundle needs at least one component")
+    metas: Dict[str, dict] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    for name, component in components.items():
+        if not name.isidentifier():
+            raise ValueError(f"invalid bundle component name {name!r}")
+        saver = _SAVERS.get(type(component))
+        if saver is None:
+            raise TypeError(
+                f"cannot serialize component {name!r} of type "
+                f"{type(component).__name__}; supported: "
+                f"{sorted(c.__name__ for c in _SAVERS)}"
+            )
+        comp_meta, comp_arrays = saver(component)
+        comp_meta["__class__"] = type(component).__name__
+        metas[name] = comp_meta
+        for key, value in comp_arrays.items():
+            arrays[f"{name}/{key}"] = value
+    meta = {"__class__": _BUNDLE_CLASS, "components": metas}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_bundle(path: PathLike) -> Dict[str, Any]:
+    """Restore a bundle as ``{name: model}``.
+
+    A plain (non-bundle) checkpoint loads as ``{"model": object}``, so
+    callers can treat every archive uniformly.
+    """
+    meta, arrays = _read_archive(path)
+    if meta.get("__class__") != _BUNDLE_CLASS:
+        return {"model": _load_one(meta, arrays, path)}
+    return _load_bundle_parts(meta, arrays)
+
+
+def _load_bundle_parts(meta: dict, arrays: dict) -> Dict[str, Any]:
+    bundle: Dict[str, Any] = {}
+    for name, comp_meta in meta["components"].items():
+        prefix = f"{name}/"
+        comp_arrays = {
+            key[len(prefix):]: value
+            for key, value in arrays.items()
+            if key.startswith(prefix)
+        }
+        loader = _LOADERS.get(comp_meta.get("__class__"))
+        if loader is None:
+            raise ValueError(
+                f"unknown bundle component class "
+                f"{comp_meta.get('__class__')!r} for {name!r}"
+            )
+        bundle[name] = loader(comp_meta, comp_arrays)
+    return bundle
 
 
 # --------------------------------------------------------------------------
@@ -390,6 +493,87 @@ def _online_forest_io():
             )
             for i, (tree, tracker) in enumerate(zip(trees, trackers))
         ]
+        return model
+
+    return save, load
+
+
+# --------------------------------------------------------------------------
+# OnlineDiskFailurePredictor (forest + labeling queues + counters)
+# --------------------------------------------------------------------------
+@_register(OnlineDiskFailurePredictor)
+def _predictor_io():
+    """Checkpoint the whole Algorithm-2 monitor, not just its forest.
+
+    The labeling queues *are* model state: losing them on restart means
+    a week of samples never gets labeled.  Disk ids and tags must be
+    JSON-serializable (int/str) — the fleet replay uses serials and day
+    indices, which are.  The recorded alarm history is deliberately not
+    persisted (it is an unbounded notebook convenience, and the service
+    layer keeps alarm state in the :class:`AlarmManager`); all counters
+    are, so warmup gating continues exactly after a restore.
+    """
+
+    STATS = ("n_samples", "n_failures", "n_alarms",
+             "n_updates_pos", "n_updates_neg")
+
+    def save(model: OnlineDiskFailurePredictor):
+        forest_meta, arrays = _SAVERS[OnlineRandomForest](model.forest)
+        arrays = {f"forest/{k}": v for k, v in arrays.items()}
+        disks = []
+        pending = []
+        for disk_id, queue in model.labeler._queues.items():
+            tags = [tag for _x, tag in queue]
+            disks.append([disk_id, len(queue), tags])
+            pending.extend(x for x, _tag in queue)
+        try:
+            roundtrip = json.loads(json.dumps(disks))
+        except TypeError as exc:
+            raise TypeError(
+                "predictor checkpoints need JSON-serializable disk ids "
+                f"and tags: {exc}"
+            ) from None
+        if roundtrip != disks:
+            # e.g. tuple ids serialize fine but come back as lists,
+            # silently changing disk identity on restore
+            raise TypeError(
+                "predictor checkpoints need JSON-round-trippable disk ids "
+                "and tags; use int or str"
+            )
+        arrays["labeler/pending"] = (
+            np.stack(pending)
+            if pending
+            else np.empty((0, model.forest.n_features))
+        )
+        meta = {
+            "forest": forest_meta,
+            "params": {
+                "queue_length": model.labeler.queue_length,
+                "alarm_threshold": model.alarm_threshold,
+                "warmup_samples": model.warmup_samples,
+                "record_alarms": model.record_alarms,
+                "max_recorded_alarms": model.max_recorded_alarms,
+            },
+            "stats": {name: getattr(model.stats, name) for name in STATS},
+            "disks": disks,
+        }
+        return meta, arrays
+
+    def load(meta, arrays):
+        prefix = "forest/"
+        forest_arrays = {
+            k[len(prefix):]: v for k, v in arrays.items() if k.startswith(prefix)
+        }
+        forest = _LOADERS["OnlineRandomForest"](meta["forest"], forest_arrays)
+        model = OnlineDiskFailurePredictor(forest, **meta["params"])
+        for name, value in meta["stats"].items():
+            setattr(model.stats, name, value)
+        pending = arrays["labeler/pending"]
+        offset = 0
+        for disk_id, n, tags in meta["disks"]:
+            for j in range(n):
+                model.labeler.observe(disk_id, pending[offset + j], tags[j])
+            offset += n
         return model
 
     return save, load

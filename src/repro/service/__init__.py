@@ -1,0 +1,66 @@
+"""Fleet service layer: the gap between a classifier and a deployment.
+
+The paper's §5 deployment story needs more than Algorithm 2: something
+has to shard the fleet across predictors, manage the life of an alarm
+after it fires, keep checkpoints fresh and bounded, and expose the
+numbers an operator watches.  This subpackage is that serving layer:
+
+* :class:`FleetMonitor` — hash-sharded, micro-batched, deterministic
+  replay of the Algorithm-2 loop at fleet scale;
+* :class:`AlarmManager` — dedup, cooldown, escalation, drain
+  suppression (the alarm lifecycle);
+* :class:`CheckpointRotator` — cadence-driven shard snapshots with
+  retention and a crash-consistent ``LATEST`` pointer;
+* :class:`MetricsRegistry` — dependency-free counters/gauges/histograms
+  with Prometheus-style text exposition.
+
+``repro serve`` on the CLI wires all four together over a CSV replay.
+"""
+
+from repro.service.alarms import (
+    AlarmAction,
+    AlarmDecision,
+    AlarmManager,
+    AlarmRecord,
+    AlarmState,
+)
+from repro.service.checkpoint import (
+    CheckpointRotator,
+    load_checkpoint,
+    load_latest,
+)
+from repro.service.fleet import (
+    DiskEvent,
+    EmittedAlarm,
+    FleetMonitor,
+    fleet_events,
+    shard_of,
+    shard_seeds,
+)
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "FleetMonitor",
+    "DiskEvent",
+    "EmittedAlarm",
+    "fleet_events",
+    "shard_of",
+    "shard_seeds",
+    "AlarmManager",
+    "AlarmAction",
+    "AlarmDecision",
+    "AlarmRecord",
+    "AlarmState",
+    "CheckpointRotator",
+    "load_checkpoint",
+    "load_latest",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+]

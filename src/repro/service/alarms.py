@@ -1,0 +1,356 @@
+"""Alarm lifecycle management for fleet serving.
+
+Algorithm 2 emits a raw :class:`~repro.core.predictor.Alarm` for every
+risky-looking sample, so a degrading disk that reports daily fires daily
+— useless to an operator who already dispatched a migration on day one.
+The :class:`AlarmManager` sits between the raw predictor stream and the
+operator and implements the lifecycle the deployment story (§5) needs:
+
+* **dedup** — repeated alarms for a disk fold into one open
+  :class:`AlarmRecord` instead of re-paging;
+* **cooldown** — an optional per-disk re-notification interval, counted
+  in that disk's own samples (``cooldown=None`` never re-notifies while
+  the record is open; ``0`` re-emits every alarm, the raw passthrough
+  the shard-equivalence tests rely on);
+* **escalation** — after K *consecutive* positive samples the record
+  escalates once (a persistent signal beats a flapping one);
+* **auto-suppression** — once migration reports the disk drained
+  (:meth:`mark_drained`, wired to
+  ``MigrationScheduler(on_drained=...)``), further alarms for it are
+  suppressed: the operator already acted;
+* **resolution** — after N consecutive negative samples the record
+  closes, so a disk that recovers can legitimately re-alarm later.
+
+All decisions depend only on the per-disk sample order, which the fleet
+monitor preserves under any shard count or executor — the lifecycle is
+therefore deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, Optional
+
+from repro.core.predictor import Alarm
+from repro.service.metrics import MetricsRegistry
+
+
+class AlarmState(str, enum.Enum):
+    """Where an alarm record is in its life."""
+
+    ACTIVE = "active"
+    ESCALATED = "escalated"
+    SUPPRESSED = "suppressed"
+    RESOLVED = "resolved"
+
+
+class AlarmAction(str, enum.Enum):
+    """What the manager decided for one observed sample."""
+
+    NONE = "none"              # negative sample, nothing open
+    RAISED = "raised"          # emitted: new record or cooldown re-notify
+    ESCALATED = "escalated"    # emitted: K consecutive positives
+    DEDUPED = "deduped"        # folded into the open record, not emitted
+    SUPPRESSED = "suppressed"  # disk drained; alarm swallowed
+    RESOLVED = "resolved"      # record closed after quiet streak
+
+
+#: actions that reach the operator
+EMITTING_ACTIONS = frozenset({AlarmAction.RAISED, AlarmAction.ESCALATED})
+
+#: lifecycle counters the manager maintains (and mirrors into a registry)
+COUNTED_ACTIONS = (
+    "raised", "escalated", "deduped", "suppressed", "resolved",
+)
+
+
+@dataclass
+class AlarmRecord:
+    """One open (or historical) alarm for one disk.
+
+    Clocks (``opened_at`` etc.) tick in *that disk's* observed samples,
+    not wall time, so records are comparable across replay speeds.
+    """
+
+    disk_id: Hashable
+    state: AlarmState
+    opened_at: int
+    last_seen: int
+    last_emit: int
+    n_alarms: int = 1
+    max_score: float = 0.0
+
+
+@dataclass(frozen=True)
+class AlarmDecision:
+    """The manager's verdict on one observed sample."""
+
+    action: AlarmAction
+    emitted: bool
+    alarm: Optional[Alarm] = None
+    record: Optional[AlarmRecord] = None
+
+
+_NONE_DECISION = AlarmDecision(AlarmAction.NONE, False)
+
+
+@dataclass
+class _DiskState:
+    """Per-disk bookkeeping (sample clock, streaks, open record)."""
+
+    clock: int = 0
+    streak: int = 0       # consecutive positive samples
+    neg_streak: int = 0   # consecutive negative samples
+    drained: bool = False
+    record: Optional[AlarmRecord] = None
+
+
+class AlarmManager:
+    """Stateful alarm lifecycle over a stream of per-disk verdicts.
+
+    Parameters
+    ----------
+    cooldown:
+        Per-disk re-notification interval while a record is open, in that
+        disk's samples.  ``None`` (default) never re-notifies — pure
+        dedup until the record resolves.  ``0`` emits every alarm.
+    escalate_after:
+        Escalate the open record once the disk has alarmed this many
+        *consecutive* samples.  ``None`` disables escalation.
+    resolve_after:
+        Close the open record after this many consecutive negative
+        samples.  ``None`` keeps records open until drain or retirement.
+    registry:
+        Optional :class:`MetricsRegistry`; lifecycle counters are
+        mirrored into ``repro_alarms_<action>_total`` counters.
+    history_limit:
+        Closed records kept on :attr:`history` (a ring buffer).
+    """
+
+    def __init__(
+        self,
+        *,
+        cooldown: Optional[int] = None,
+        escalate_after: Optional[int] = 3,
+        resolve_after: Optional[int] = 7,
+        registry: Optional[MetricsRegistry] = None,
+        history_limit: int = 256,
+    ) -> None:
+        if cooldown is not None and cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0 or None, got {cooldown}")
+        if escalate_after is not None and escalate_after < 1:
+            raise ValueError(
+                f"escalate_after must be >= 1 or None, got {escalate_after}"
+            )
+        if resolve_after is not None and resolve_after < 1:
+            raise ValueError(
+                f"resolve_after must be >= 1 or None, got {resolve_after}"
+            )
+        self.cooldown = cooldown
+        self.escalate_after = escalate_after
+        self.resolve_after = resolve_after
+        self.history: Deque[AlarmRecord] = deque(maxlen=history_limit)
+        self._disks: Dict[Hashable, _DiskState] = {}
+        self._counts: Dict[str, int] = {a: 0 for a in COUNTED_ACTIONS}
+        self._counts["drained_disks"] = 0
+        self._counts["retired_disks"] = 0
+        self._metric_counters = {}
+        if registry is not None:
+            for action in COUNTED_ACTIONS:
+                self._metric_counters[action] = registry.counter(
+                    f"repro_alarms_{action}_total",
+                    help=f"alarm lifecycle decisions: {action}",
+                )
+
+    def _count(self, action: str) -> None:
+        self._counts[action] += 1
+        counter = self._metric_counters.get(action)
+        if counter is not None:
+            counter.inc()
+
+    # ---------------------------------------------------------------- stream
+    def observe(self, disk_id: Hashable, alarm: Optional[Alarm]) -> AlarmDecision:
+        """Feed one scored sample's verdict; returns the lifecycle decision.
+
+        Call for *every* scored sample — ``alarm=None`` for a sample
+        below the threshold — so streaks and resolution clocks advance.
+        """
+        st = self._disks.setdefault(disk_id, _DiskState())
+        st.clock += 1
+
+        if alarm is None:
+            st.streak = 0
+            st.neg_streak += 1
+            rec = st.record
+            if (
+                rec is not None
+                and rec.state in (AlarmState.ACTIVE, AlarmState.ESCALATED)
+                and self.resolve_after is not None
+                and st.neg_streak >= self.resolve_after
+            ):
+                rec.state = AlarmState.RESOLVED
+                st.record = None
+                self.history.append(rec)
+                self._count("resolved")
+                return AlarmDecision(AlarmAction.RESOLVED, False, None, rec)
+            return _NONE_DECISION
+
+        st.streak += 1
+        st.neg_streak = 0
+        if st.drained:
+            self._count("suppressed")
+            return AlarmDecision(AlarmAction.SUPPRESSED, False, alarm, st.record)
+
+        rec = st.record
+        if rec is None:
+            rec = AlarmRecord(
+                disk_id=disk_id,
+                state=AlarmState.ACTIVE,
+                opened_at=st.clock,
+                last_seen=st.clock,
+                last_emit=st.clock,
+                max_score=float(alarm.score),
+            )
+            st.record = rec
+            self._count("raised")
+            return AlarmDecision(AlarmAction.RAISED, True, alarm, rec)
+
+        rec.n_alarms += 1
+        rec.last_seen = st.clock
+        rec.max_score = max(rec.max_score, float(alarm.score))
+        if (
+            self.escalate_after is not None
+            and st.streak >= self.escalate_after
+            and rec.state is not AlarmState.ESCALATED
+        ):
+            rec.state = AlarmState.ESCALATED
+            rec.last_emit = st.clock
+            self._count("escalated")
+            return AlarmDecision(AlarmAction.ESCALATED, True, alarm, rec)
+        if self.cooldown is not None and st.clock - rec.last_emit >= self.cooldown:
+            rec.last_emit = st.clock
+            self._count("raised")
+            return AlarmDecision(AlarmAction.RAISED, True, alarm, rec)
+        self._count("deduped")
+        return AlarmDecision(AlarmAction.DEDUPED, False, alarm, rec)
+
+    # ------------------------------------------------------------ operations
+    def mark_drained(self, disk_id: Hashable) -> bool:
+        """Migration finished evacuating *disk_id*: suppress its alarms.
+
+        Wire directly to the migration layer::
+
+            scheduler = MigrationScheduler(
+                capacity_tb=4, bandwidth_tb_per_day=8,
+                on_drained=lambda disk, day: manager.mark_drained(disk),
+            )
+
+        Returns True if the disk was newly marked.
+        """
+        st = self._disks.setdefault(disk_id, _DiskState())
+        newly = not st.drained
+        st.drained = True
+        if newly:
+            self._counts["drained_disks"] += 1
+        rec = st.record
+        if rec is not None:
+            rec.state = AlarmState.SUPPRESSED
+            st.record = None
+            self.history.append(rec)
+        return newly
+
+    def mark_active(self, disk_id: Hashable) -> None:
+        """Undo :meth:`mark_drained` (disk restored to service)."""
+        st = self._disks.get(disk_id)
+        if st is not None:
+            st.drained = False
+
+    def retire(self, disk_id: Hashable) -> None:
+        """Drop all state for a disk that left the fleet (failed/removed)."""
+        st = self._disks.pop(disk_id, None)
+        if st is None:
+            return
+        self._counts["retired_disks"] += 1
+        if st.record is not None:
+            st.record.state = AlarmState.RESOLVED
+            self.history.append(st.record)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Copy of the lifecycle counters."""
+        return dict(self._counts)
+
+    @property
+    def active_records(self) -> Dict[Hashable, AlarmRecord]:
+        """Open records keyed by disk id."""
+        return {
+            disk: st.record
+            for disk, st in self._disks.items()
+            if st.record is not None
+        }
+
+    def is_drained(self, disk_id: Hashable) -> bool:
+        """Whether the disk is currently drain-suppressed."""
+        st = self._disks.get(disk_id)
+        return st is not None and st.drained
+
+    # ----------------------------------------------------------- persistence
+    def state_dict(self) -> dict:
+        """JSON-serializable dynamic state (history excluded).
+
+        Disk ids must themselves be JSON-serializable (int/str) for the
+        dict to round-trip through a checkpoint manifest.
+        """
+        disks = []
+        for disk, st in self._disks.items():
+            rec = st.record
+            disks.append([
+                disk,
+                {
+                    "clock": st.clock,
+                    "streak": st.streak,
+                    "neg_streak": st.neg_streak,
+                    "drained": st.drained,
+                    "record": None if rec is None else {
+                        "state": rec.state.value,
+                        "opened_at": rec.opened_at,
+                        "last_seen": rec.last_seen,
+                        "last_emit": rec.last_emit,
+                        "n_alarms": rec.n_alarms,
+                        "max_score": rec.max_score,
+                    },
+                },
+            ])
+        return {"disks": disks, "counts": dict(self._counts)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output; decisions continue exactly.
+
+        Registry counters (if any) are not rewound — :attr:`counts` is
+        the authoritative lifetime tally after a restore.
+        """
+        self._disks.clear()
+        for disk, st in state["disks"]:
+            rec_meta = st["record"]
+            record = None
+            if rec_meta is not None:
+                record = AlarmRecord(
+                    disk_id=disk,
+                    state=AlarmState(rec_meta["state"]),
+                    opened_at=rec_meta["opened_at"],
+                    last_seen=rec_meta["last_seen"],
+                    last_emit=rec_meta["last_emit"],
+                    n_alarms=rec_meta["n_alarms"],
+                    max_score=rec_meta["max_score"],
+                )
+            self._disks[disk] = _DiskState(
+                clock=st["clock"],
+                streak=st["streak"],
+                neg_streak=st["neg_streak"],
+                drained=st["drained"],
+                record=record,
+            )
+        self._counts.update(state.get("counts", {}))

@@ -1,0 +1,204 @@
+"""Checkpoint rotation with crash-consistent latest-pointer semantics.
+
+A fleet monitor runs for months; losing the forest to a host crash means
+re-warming on live traffic.  The :class:`CheckpointRotator` snapshots
+every shard (via :mod:`repro.persistence`, so restores are bit-exact,
+labeling queues included) on a sample-count cadence, with:
+
+* **atomicity** — a checkpoint is staged in a hidden temp directory and
+  published with one ``os.rename``; readers never see a partial one;
+* **crash-consistent latest pointer** — ``LATEST`` is a one-line file
+  updated via write-temp + ``os.replace``, so it always names a fully
+  written checkpoint even if the process dies mid-rotation;
+* **retention** — only the newest *retention* checkpoints are kept
+  (the one ``LATEST`` names is never pruned).
+
+Layout::
+
+    <dir>/ckpt-00000003/shard0.npz ... shardN.npz manifest.json
+    <dir>/LATEST                 # contains "ckpt-00000003"
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import Any, List, Optional, Tuple, Union
+
+from repro.persistence import load_model, save_model
+from repro.utils.validation import check_positive
+
+PathLike = Union[str, Path]
+
+LATEST_NAME = "LATEST"
+MANIFEST_NAME = "manifest.json"
+_FORMAT = 1
+
+
+def load_checkpoint(path: PathLike) -> Tuple[dict, List[Any]]:
+    """Load one checkpoint directory; returns ``(manifest, shards)``.
+
+    Shards come back as fully restored
+    :class:`~repro.core.predictor.OnlineDiskFailurePredictor` objects in
+    shard order.
+    """
+    path = Path(path)
+    manifest = json.loads((path / MANIFEST_NAME).read_text())
+    shards = [
+        load_model(path / f"shard{i}.npz") for i in range(manifest["n_shards"])
+    ]
+    return manifest, shards
+
+
+def load_latest(directory: PathLike) -> Optional[Tuple[dict, List[Any]]]:
+    """Load the checkpoint ``LATEST`` points at; None if there is none."""
+    directory = Path(directory)
+    pointer = directory / LATEST_NAME
+    if not pointer.exists():
+        return None
+    name = pointer.read_text().strip()
+    target = directory / name
+    if not target.is_dir():
+        raise FileNotFoundError(
+            f"LATEST names {name!r} but {target} does not exist"
+        )
+    return load_checkpoint(target)
+
+
+class CheckpointRotator:
+    """Cadence-driven shard snapshots with retention.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live (created if missing).
+    every_samples:
+        Rotate once this many fleet samples accumulated since the last
+        rotation (:meth:`maybe_rotate` checks; :meth:`rotate` forces).
+    retention:
+        Checkpoints kept on disk (>= 1); older ones are pruned after
+        each successful rotation.
+    prefix:
+        Checkpoint directory name prefix.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        every_samples: int,
+        retention: int = 3,
+        prefix: str = "ckpt",
+    ) -> None:
+        check_positive(every_samples, "every_samples")
+        check_positive(retention, "retention")
+        if not re.match(r"^[A-Za-z0-9_.-]+$", prefix):
+            raise ValueError(f"invalid checkpoint prefix {prefix!r}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every_samples = int(every_samples)
+        self.retention = int(retention)
+        self.prefix = prefix
+        self._seq_re = re.compile(rf"^{re.escape(prefix)}-(\d+)$")
+        existing = self._existing_seqs()
+        self._next_seq = (max(existing) + 1) if existing else 0
+        # resume the cadence from the latest manifest when one exists
+        self._last_rotate_samples = 0
+        latest = self.latest
+        if latest is not None:
+            try:
+                manifest = json.loads((latest / MANIFEST_NAME).read_text())
+                self._last_rotate_samples = int(manifest.get("n_samples", 0))
+            except (OSError, ValueError):
+                pass
+
+    # -------------------------------------------------------------- plumbing
+    def _existing_seqs(self) -> List[int]:
+        seqs = []
+        for entry in self.directory.iterdir():
+            m = self._seq_re.match(entry.name)
+            if m and entry.is_dir():
+                seqs.append(int(m.group(1)))
+        return seqs
+
+    def checkpoints(self) -> List[Path]:
+        """Published checkpoint directories, oldest first."""
+        return [
+            self.directory / f"{self.prefix}-{seq:08d}"
+            for seq in sorted(self._existing_seqs())
+        ]
+
+    @property
+    def latest(self) -> Optional[Path]:
+        """The checkpoint ``LATEST`` points at (None before any rotation)."""
+        pointer = self.directory / LATEST_NAME
+        if not pointer.exists():
+            return None
+        target = self.directory / pointer.read_text().strip()
+        return target if target.is_dir() else None
+
+    def samples_since_rotate(self, n_samples: int) -> int:
+        """Fleet samples accumulated since the last rotation."""
+        return max(int(n_samples) - self._last_rotate_samples, 0)
+
+    # -------------------------------------------------------------- rotation
+    def maybe_rotate(self, fleet) -> Optional[Path]:
+        """Rotate iff the cadence elapsed; returns the new path or None."""
+        if self.samples_since_rotate(fleet.n_samples) >= self.every_samples:
+            return self.rotate(fleet)
+        return None
+
+    def rotate(self, fleet) -> Path:
+        """Snapshot every shard now; returns the published directory.
+
+        *fleet* is anything exposing ``shards`` (a sequence of
+        checkpointable monitors), ``n_samples``, and ``alarm_state()``
+        — i.e. a :class:`~repro.service.fleet.FleetMonitor`.
+        """
+        seq = self._next_seq
+        name = f"{self.prefix}-{seq:08d}"
+        final = self.directory / name
+        tmp = self.directory / f".{name}.tmp"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        shards = list(fleet.shards)
+        for i, shard in enumerate(shards):
+            save_model(shard, tmp / f"shard{i}.npz")
+        manifest = {
+            "format": _FORMAT,
+            "seq": seq,
+            "n_samples": int(fleet.n_samples),
+            "n_shards": len(shards),
+            "alarms": fleet.alarm_state(),
+        }
+        (tmp / MANIFEST_NAME).write_text(json.dumps(manifest))
+        os.rename(tmp, final)      # atomic publish of the whole directory
+        self._publish_latest(name)
+        self._next_seq = seq + 1
+        self._last_rotate_samples = int(fleet.n_samples)
+        self._prune()
+        return final
+
+    def _publish_latest(self, name: str) -> None:
+        pointer = self.directory / LATEST_NAME
+        tmp = self.directory / f".{LATEST_NAME}.tmp"
+        tmp.write_text(name + "\n")
+        os.replace(tmp, pointer)   # atomic pointer swap
+
+    def _prune(self) -> None:
+        keep = {p.name for p in self.checkpoints()[-self.retention:]}
+        latest = self.latest
+        if latest is not None:
+            keep.add(latest.name)
+        for path in self.checkpoints():
+            if path.name not in keep:
+                shutil.rmtree(path)
+
+    # -------------------------------------------------------------- restore
+    def load_latest(self) -> Optional[Tuple[dict, List[Any]]]:
+        """Load the newest checkpoint in this rotator's directory."""
+        return load_latest(self.directory)

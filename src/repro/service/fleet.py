@@ -1,0 +1,406 @@
+"""Fleet-scale serving: hash-sharded Algorithm-2 monitors.
+
+The paper's deployment (§5, Fig. 1) watches *every* disk in a data
+center continuously.  One :class:`~repro.core.predictor.
+OnlineDiskFailurePredictor` is a single stream; the
+:class:`FleetMonitor` scales it out by hash-sharding disks across N
+independent predictor shards — each with its own labeler and forest —
+and driving micro-batched ingestion over them:
+
+* **stable sharding** — ``crc32(repr(disk_id)) % N``; never Python's
+  salted ``hash()``, so replays are deterministic across processes;
+* **micro-batching** — events are bucketed per shard and each shard
+  processes its bucket in arrival order, either sample-exact
+  (``mode="exact"``, bit-identical to the plain predictor loop) or
+  through :meth:`~repro.core.predictor.OnlineDiskFailurePredictor.
+  process_batch` (``mode="batch"``, which funnels updates through
+  ``partial_fit`` and scoring through the vectorized
+  ``predict_score``/``route_batch`` path);
+* **parallel shards** — buckets map over a
+  :class:`~repro.parallel.pool.TreeExecutor` (serial or thread; shards
+  are mutated in place, so the process backend belongs *inside* each
+  shard's forest, not at the fleet level);
+* **deterministic replay** — with one shard and the serial executor the
+  fleet is bit-identical (alarms and final forest) to the plain
+  Algorithm-2 loop under the same seed; with N shards every disk's
+  trajectory depends only on its own shard's stream, so per-disk alarm
+  sets are a stable partition.
+
+Alarm decisions flow through an :class:`~repro.service.alarms.
+AlarmManager`, operational counters through a
+:class:`~repro.service.metrics.MetricsRegistry`, and snapshots through
+an attached :class:`~repro.service.checkpoint.CheckpointRotator`.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.predictor import Alarm, OnlineDiskFailurePredictor
+from repro.parallel.pool import ProcessExecutor, SerialExecutor, TreeExecutor
+from repro.service.alarms import AlarmAction, AlarmManager
+from repro.service.checkpoint import CheckpointRotator, load_checkpoint
+from repro.service.metrics import MetricsRegistry
+from repro.utils.rng import SeedLike
+
+
+def shard_of(disk_id: Hashable, n_shards: int) -> int:
+    """Stable shard assignment for a disk id.
+
+    Uses ``crc32`` of the id's ``repr`` — Python's builtin ``hash`` is
+    salted per process and would break deterministic replay.
+    """
+    return zlib.crc32(repr(disk_id).encode("utf-8")) % n_shards
+
+
+def shard_seeds(seed: SeedLike, n_shards: int) -> list:
+    """Independent per-shard seeds derived from one fleet seed.
+
+    With one shard the fleet inherits the caller's seed unchanged, which
+    is what makes the N=1 fleet bit-identical to a plain predictor built
+    with the same seed.
+    """
+    if n_shards == 1:
+        return [seed]
+    return list(np.random.SeedSequence(seed).spawn(n_shards))
+
+
+@dataclass(frozen=True)
+class DiskEvent:
+    """One fleet event: a SMART sample, or a disk's death.
+
+    ``x`` may be None only for a failure with no final snapshot.
+    """
+
+    disk_id: Hashable
+    x: Optional[np.ndarray]
+    failed: bool = False
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class EmittedAlarm:
+    """An alarm that survived the lifecycle manager and reached the operator."""
+
+    alarm: Alarm
+    action: AlarmAction
+    shard: int
+    seq: int
+
+
+def _drain_shard(payload) -> List[Tuple[int, DiskEvent, Optional[Alarm]]]:
+    """Worker: run one shard's event bucket, in arrival order.
+
+    Module-level with an explicit payload, matching the executor
+    contract of :mod:`repro.core.forest`.
+    """
+    predictor, bucket, mode = payload
+    if mode == "batch":
+        alarms = predictor.process_batch(
+            [(ev.disk_id, ev.x, ev.failed, ev.tag) for _, ev in bucket]
+        )
+        return [(seq, ev, alarm) for (seq, ev), alarm in zip(bucket, alarms)]
+    return [
+        (seq, ev, predictor.process(ev.disk_id, ev.x, ev.failed, ev.tag))
+        for seq, ev in bucket
+    ]
+
+
+class FleetMonitor:
+    """Sharded, observable, checkpointable Algorithm-2 serving layer.
+
+    Parameters
+    ----------
+    shards:
+        One :class:`OnlineDiskFailurePredictor` per shard; disk ids are
+        routed by :func:`shard_of`.  Build with :meth:`build` for
+        seed-derived shard forests.
+    alarm_manager:
+        Lifecycle policy; a default :class:`AlarmManager` (registered on
+        *registry*) is created when omitted.
+    registry:
+        Metrics sink; a private one is created when omitted.
+    executor:
+        Maps per-shard buckets during :meth:`ingest`.  Serial (default)
+        or thread — shards are mutated in place, so the process backend
+        is rejected here (use it *inside* shard forests instead).
+    mode:
+        ``"exact"`` replays Algorithm 2 sample by sample (bit-identical
+        to the unsharded loop); ``"batch"`` uses the micro-batched
+        predictor path (same forest evolution, scores computed once per
+        bucket after its updates).
+    rotator:
+        Optional :class:`CheckpointRotator`; its cadence is checked
+        after every ingest.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[OnlineDiskFailurePredictor],
+        *,
+        alarm_manager: Optional[AlarmManager] = None,
+        registry: Optional[MetricsRegistry] = None,
+        executor: Optional[TreeExecutor] = None,
+        mode: str = "exact",
+        rotator: Optional[CheckpointRotator] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        if mode not in ("exact", "batch"):
+            raise ValueError(f"mode must be 'exact' or 'batch', got {mode!r}")
+        if isinstance(executor, ProcessExecutor):
+            raise ValueError(
+                "process executors cannot map fleet shards (workers mutate "
+                "copies); attach one to each shard's forest instead"
+            )
+        self.shards = list(shards)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.alarms = (
+            alarm_manager
+            if alarm_manager is not None
+            else AlarmManager(registry=self.registry)
+        )
+        self.mode = mode
+        self.rotator = rotator
+        self._executor = executor or SerialExecutor()
+        self._seq = 0
+        self._instrument()
+
+    def _instrument(self) -> None:
+        reg = self.registry
+        n = len(self.shards)
+        self._samples_c = []
+        self._failures_c = []
+        for i, shard in enumerate(self.shards):
+            labels = {"shard": str(i)}
+            self._samples_c.append(reg.counter(
+                "repro_fleet_samples_total",
+                help="SMART samples ingested", labels=labels,
+            ))
+            self._failures_c.append(reg.counter(
+                "repro_fleet_failures_total",
+                help="disk failures observed", labels=labels,
+            ))
+            reg.gauge(
+                "repro_fleet_queue_depth",
+                help="samples awaiting a label", labels=labels,
+                fn=lambda s=shard: s.labeler.n_pending,
+            )
+            reg.gauge(
+                "repro_fleet_monitored_disks",
+                help="disks holding a labeling queue", labels=labels,
+                fn=lambda s=shard: s.n_monitored_disks,
+            )
+            reg.gauge(
+                "repro_fleet_tree_replacements_total",
+                help="decayed trees regrown", labels=labels,
+                fn=lambda s=shard: s.forest.n_replacements,
+            )
+        reg.gauge(
+            "repro_fleet_shards", help="shard count", fn=lambda: n,
+        )
+        reg.gauge(
+            "repro_fleet_checkpoint_age_samples",
+            help="fleet samples since the last checkpoint rotation",
+            fn=lambda: (
+                self.rotator.samples_since_rotate(self.n_samples)
+                if self.rotator is not None else 0
+            ),
+        )
+        self._ingest_hist = reg.histogram(
+            "repro_fleet_ingest_seconds",
+            help="wall time per ingest() micro-batch",
+        )
+
+    # -------------------------------------------------------------- builders
+    @classmethod
+    def build(
+        cls,
+        n_features: int,
+        *,
+        n_shards: int = 1,
+        seed: SeedLike = None,
+        forest_kwargs: Optional[dict] = None,
+        queue_length: int = 7,
+        alarm_threshold: float = 0.5,
+        warmup_samples: int = 0,
+        record_alarms: bool = False,
+        max_recorded_alarms: Optional[int] = None,
+        **fleet_kwargs,
+    ) -> "FleetMonitor":
+        """Construct a fleet of fresh seed-derived shards.
+
+        With ``n_shards=1`` the single forest is seeded with *seed*
+        itself, so the fleet reproduces a plain
+        ``OnlineDiskFailurePredictor(OnlineRandomForest(..., seed=seed))``
+        loop bit for bit.
+        """
+        shards = [
+            OnlineDiskFailurePredictor(
+                OnlineRandomForest(n_features, seed=s, **(forest_kwargs or {})),
+                queue_length=queue_length,
+                alarm_threshold=alarm_threshold,
+                warmup_samples=warmup_samples,
+                record_alarms=record_alarms,
+                max_recorded_alarms=max_recorded_alarms,
+            )
+            for s in shard_seeds(seed, n_shards)
+        ]
+        return cls(shards, **fleet_kwargs)
+
+    @classmethod
+    def from_checkpoint(cls, path, **fleet_kwargs) -> "FleetMonitor":
+        """Resume a fleet from a checkpoint directory.
+
+        Shard predictors (forests, labeling queues, counters) restore
+        bit-exactly; the alarm manager's dynamic state is reloaded from
+        the manifest into the manager passed via ``alarm_manager`` (or
+        the default one).
+        """
+        manifest, shards = load_checkpoint(path)
+        fleet = cls(shards, **fleet_kwargs)
+        fleet._seq = int(manifest.get("n_samples", 0))
+        alarm_state = manifest.get("alarms")
+        if alarm_state is not None:
+            fleet.alarms.load_state_dict(alarm_state)
+        return fleet
+
+    # ---------------------------------------------------------------- stream
+    def shard_index(self, disk_id: Hashable) -> int:
+        """Which shard owns *disk_id*."""
+        return shard_of(disk_id, len(self.shards))
+
+    def ingest(self, events: Sequence[DiskEvent]) -> List[EmittedAlarm]:
+        """Process one micro-batch of events; returns emitted alarms.
+
+        Events are bucketed per shard (preserving per-disk arrival
+        order), shard buckets run on the fleet executor, and lifecycle
+        decisions are applied in global arrival order — so the emitted
+        stream is deterministic for any executor or shard count.
+        """
+        t0 = time.perf_counter()
+        buckets: List[List[Tuple[int, DiskEvent]]] = [[] for _ in self.shards]
+        for ev in events:
+            buckets[self.shard_index(ev.disk_id)].append((self._seq, ev))
+            self._seq += 1
+        busy = [(i, b) for i, b in enumerate(buckets) if b]
+        payloads = [(self.shards[i], b, self.mode) for i, b in busy]
+        if len(busy) <= 1 or isinstance(self._executor, SerialExecutor):
+            results = [_drain_shard(p) for p in payloads]
+        else:
+            results = self._executor.map(_drain_shard, payloads)
+
+        merged: List[Tuple[int, int, DiskEvent, Optional[Alarm]]] = []
+        for (shard_i, _), shard_results in zip(busy, results):
+            for seq, ev, alarm in shard_results:
+                merged.append((seq, shard_i, ev, alarm))
+        merged.sort(key=lambda item: item[0])
+
+        emitted: List[EmittedAlarm] = []
+        for seq, shard_i, ev, alarm in merged:
+            if ev.failed:
+                self._failures_c[shard_i].inc()
+                self.alarms.retire(ev.disk_id)
+                continue
+            self._samples_c[shard_i].inc()
+            decision = self.alarms.observe(ev.disk_id, alarm)
+            if decision.emitted:
+                emitted.append(EmittedAlarm(
+                    alarm=decision.alarm,
+                    action=decision.action,
+                    shard=shard_i,
+                    seq=seq,
+                ))
+        self._ingest_hist.observe(time.perf_counter() - t0)
+        if self.rotator is not None:
+            self.rotator.maybe_rotate(self)
+        return emitted
+
+    def replay(
+        self, events: Iterable[DiskEvent], *, batch_size: int = 256
+    ) -> List[EmittedAlarm]:
+        """Drive an event stream through :meth:`ingest` in micro-batches."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {batch_size}")
+        emitted: List[EmittedAlarm] = []
+        batch: List[DiskEvent] = []
+        for ev in events:
+            batch.append(ev)
+            if len(batch) >= batch_size:
+                emitted.extend(self.ingest(batch))
+                batch = []
+        if batch:
+            emitted.extend(self.ingest(batch))
+        return emitted
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def n_shards(self) -> int:
+        """Number of predictor shards."""
+        return len(self.shards)
+
+    @property
+    def n_samples(self) -> int:
+        """Total events ingested (samples + failures) — the rotation clock."""
+        return self._seq
+
+    def alarm_state(self) -> Optional[dict]:
+        """Alarm-manager dynamic state for checkpoint manifests."""
+        return self.alarms.state_dict()
+
+    def checkpoint(self) -> Optional[object]:
+        """Force a rotation now (None when no rotator is attached)."""
+        if self.rotator is None:
+            return None
+        return self.rotator.rotate(self)
+
+    def digest(self) -> dict:
+        """One-line health summary for logs and the ``serve`` CLI."""
+        samples = sum(int(c.value) for c in self._samples_c)
+        seconds = self._ingest_hist.sum
+        return {
+            "events": self._seq,
+            "samples": samples,
+            "failures": sum(int(c.value) for c in self._failures_c),
+            "queue_depth": sum(s.labeler.n_pending for s in self.shards),
+            "monitored_disks": sum(s.n_monitored_disks for s in self.shards),
+            "tree_replacements": sum(
+                s.forest.n_replacements for s in self.shards
+            ),
+            "alarms": {
+                k: v for k, v in self.alarms.counts.items() if v
+            },
+            "samples_per_sec": (samples / seconds) if seconds > 0 else 0.0,
+            "checkpoint_age": (
+                self.rotator.samples_since_rotate(self.n_samples)
+                if self.rotator is not None else None
+            ),
+        }
+
+
+def fleet_events(arrays, fail_day: dict) -> Iterable[DiskEvent]:
+    """Yield :class:`DiskEvent`\\ s from prepared arrays in stream order.
+
+    *arrays* is a :class:`~repro.eval.protocol.LabeledArrays`;
+    *fail_day* maps serial → failure day (the day's sample becomes the
+    final snapshot of a ``failed=True`` event, matching the CLI monitor
+    loop).
+    """
+    from repro.eval.protocol import stream_order
+
+    order = stream_order(arrays.days, arrays.serials)
+    for i in order:
+        serial = int(arrays.serials[i])
+        day = int(arrays.days[i])
+        yield DiskEvent(
+            disk_id=serial,
+            x=arrays.X[i],
+            failed=fail_day.get(serial) == day,
+            tag=day,
+        )

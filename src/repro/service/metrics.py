@@ -1,0 +1,329 @@
+"""Dependency-free metrics registry with a text exposition format.
+
+A serving layer is only operable if its internals are observable:
+samples/s, labeling-queue depth, alarms raised vs. suppressed, tree
+replacements, checkpoint age.  This module provides the three standard
+instrument kinds — :class:`Counter` (monotone), :class:`Gauge` (set or
+callback-backed), :class:`Histogram` (fixed buckets) — behind a
+:class:`MetricsRegistry` that renders the whole set in the
+Prometheus-compatible text format, without depending on any client
+library.
+
+Instruments are identified by ``(name, labels)``; asking the registry
+for the same pair twice returns the same instrument, so call sites never
+need to thread instrument handles around.  All mutation is lock-guarded,
+matching the thread-backed shard executor of the fleet monitor.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram bucket upper bounds (seconds-flavored, Prometheus's)
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelMap = Mapping[str, str]
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[LabelMap]) -> _LabelKey:
+    if not labels:
+        return ()
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ValueError(f"invalid label name {k!r}")
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{v.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _render_value(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+class _Instrument:
+    """Base: a named, labeled sample source."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_key: _LabelKey) -> None:
+        self.name = name
+        self.help = help
+        self._label_key = label_key
+        self._lock = threading.Lock()
+
+    def sample_lines(self) -> List[str]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (events, samples, alarms)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label_key: _LabelKey) -> None:
+        super().__init__(name, help, label_key)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+    def sample_lines(self) -> List[str]:
+        return [
+            f"{self.name}{_render_labels(self._label_key)} "
+            f"{_render_value(self._value)}"
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down — or be computed on demand.
+
+    Pass ``fn`` to make the gauge callback-backed: its value is read from
+    the callable at exposition time (queue depths, checkpoint age), so
+    the serving loop never has to remember to push updates.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_key: _LabelKey,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(name, help, label_key)
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Set the gauge (invalid for callback-backed gauges)."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (may be negative)."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract *amount*."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value (invokes the callback if one backs the gauge)."""
+        return float(self._fn()) if self._fn is not None else self._value
+
+    def sample_lines(self) -> List[str]:
+        return [
+            f"{self.name}{_render_labels(self._label_key)} "
+            f"{_render_value(self.value)}"
+        ]
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution (latencies, batch sizes, scores)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_key: _LabelKey,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_key)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = overflow (+Inf)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def sample_lines(self) -> List[str]:
+        lines: List[str] = []
+        cumulative = 0
+        for bound, c in zip(self.bounds, self._counts):
+            cumulative += c
+            le = _render_labels(self._label_key, ("le", _render_value(bound)))
+            lines.append(f"{self.name}_bucket{le} {cumulative}")
+        le = _render_labels(self._label_key, ("le", "+Inf"))
+        lines.append(f"{self.name}_bucket{le} {self._count}")
+        labels = _render_labels(self._label_key)
+        lines.append(f"{self.name}_sum{labels} {_render_value(self._sum)}")
+        lines.append(f"{self.name}_count{labels} {self._count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with text exposition.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("samples_total", help="samples seen").inc()
+    >>> print(reg.render())        # doctest: +SKIP
+    # HELP samples_total samples seen
+    # TYPE samples_total counter
+    samples_total 1
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, _LabelKey], _Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+        self._helps: Dict[str, str] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------- factories
+    def counter(
+        self, name: str, *, help: str = "", labels: Optional[LabelMap] = None
+    ) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self,
+        name: str,
+        *,
+        help: str = "",
+        labels: Optional[LabelMap] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        """Get or create a gauge (optionally callback-backed via *fn*)."""
+        return self._get_or_create(Gauge, name, help, labels, fn=fn)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        help: str = "",
+        labels: Optional[LabelMap] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram with the given bucket bounds."""
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Instrument:
+        if not _NAME_RE.match(name or ""):
+            raise ValueError(f"invalid metric name {name!r}")
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            if name in self._kinds and self._kinds[name] != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{self._kinds[name]}, not {cls.kind}"
+                )
+            instrument = cls(name, help, key[1], **kwargs)
+            self._instruments[key] = instrument
+            if name not in self._kinds:
+                self._kinds[name] = cls.kind
+                self._helps[name] = help
+                self._order.append(name)
+            return instrument
+
+    # ------------------------------------------------------------ inspection
+    def get(
+        self, name: str, labels: Optional[LabelMap] = None
+    ) -> Optional[_Instrument]:
+        """Look up an instrument; None if never registered."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def value(self, name: str, labels: Optional[LabelMap] = None) -> float:
+        """Current value of a counter or gauge (KeyError if absent)."""
+        instrument = self.get(name, labels)
+        if instrument is None:
+            raise KeyError(f"no metric {name!r} with labels {labels!r}")
+        return instrument.value  # type: ignore[union-attr]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{name{labels}: value}`` view of counters and gauges."""
+        out: Dict[str, float] = {}
+        with self._lock:
+            items = list(self._instruments.items())
+        for (name, key), instrument in items:
+            if isinstance(instrument, (Counter, Gauge)):
+                out[f"{name}{_render_labels(key)}"] = instrument.value
+        return out
+
+    def render(self) -> str:
+        """Render every instrument in the Prometheus text format."""
+        with self._lock:
+            by_name: Dict[str, List[_Instrument]] = {}
+            for (name, _), instrument in self._instruments.items():
+                by_name.setdefault(name, []).append(instrument)
+            order = list(self._order)
+        lines: List[str] = []
+        for name in order:
+            if self._helps.get(name):
+                lines.append(f"# HELP {name} {self._helps[name]}")
+            lines.append(f"# TYPE {name} {self._kinds[name]}")
+            for instrument in by_name.get(name, []):
+                lines.extend(instrument.sample_lines())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -69,7 +69,48 @@ class TestFail:
         assert labeler.pending_for("d1") == 1
 
 
+class TestBufferOwnership:
+    def test_observe_copies_caller_buffer(self):
+        """A queued sample must not alias the caller's array: monitors
+        reuse feature buffers, and a sample sits queued for days."""
+        labeler = OnlineLabeler(queue_length=2)
+        buf = np.array([1.0, 2.0])
+        labeler.observe("d1", buf)
+        buf[:] = -99.0  # caller clobbers its buffer
+        labeler.observe("d1", np.zeros(2))
+        released = labeler.observe("d1", np.zeros(2))
+        assert len(released) == 1
+        assert np.array_equal(released[0].x, [1.0, 2.0])
+
+    def test_copies_even_float64_input(self):
+        # np.asarray would alias this dtype; the labeler must still copy
+        labeler = OnlineLabeler(queue_length=1)
+        buf = np.array([5.0], dtype=np.float64)
+        labeler.observe("d1", buf)
+        buf[0] = 0.0
+        released = labeler.fail("d1")
+        assert released[0].x[0] == 5.0
+
+
 class TestRetire:
+    def test_retire_mid_window_then_reobserve_starts_fresh(self):
+        """A retired id that reappears gets a brand-new queue: nothing
+        from the old window may leak labels into the new life."""
+        labeler = OnlineLabeler(queue_length=3)
+        for i in range(2):
+            labeler.observe("d1", np.array([float(i)]), tag=("old", i))
+        assert labeler.retire("d1") == 2
+        # same id re-enters the fleet
+        assert labeler.observe("d1", np.array([10.0]), tag=("new", 0)) == []
+        assert labeler.pending_for("d1") == 1
+        labeler.observe("d1", np.array([11.0]), tag=("new", 1))
+        labeler.observe("d1", np.array([12.0]), tag=("new", 2))
+        released = labeler.observe("d1", np.array([13.0]), tag=("new", 3))
+        # the first release is from the new life, not the discarded window
+        assert [s.tag for s in released] == [("new", 0)]
+        flushed = labeler.fail("d1")
+        assert all(tag[0] == "new" for s in flushed for tag in [s.tag])
+
     def test_samples_discarded_without_labels(self):
         labeler = OnlineLabeler(queue_length=5)
         for i in range(4):

@@ -42,6 +42,28 @@ class TestBasicReplay:
         assert out == MigrationOutcome(0, 0, 0, 0, 0, 0.0, 0.0)
 
 
+class TestDrainCallback:
+    def test_on_drained_fires_on_completion(self):
+        drained = []
+        MigrationScheduler(
+            capacity_tb=4.0,
+            bandwidth_tb_per_day=4.0,
+            on_drained=lambda disk, day: drained.append((disk, day)),
+        ).replay(alarms=[(0, "d1", 0.9), (1, "d2", 0.8)], failures={"d1": 9})
+        # 4 TB at 4 TB/day: d1 completes on day 0, d2 on day 1
+        assert drained == [("d1", 0), ("d2", 1)]
+
+    def test_on_drained_not_fired_for_dead_drive(self):
+        drained = []
+        MigrationScheduler(
+            capacity_tb=4.0,
+            bandwidth_tb_per_day=1.0,
+            on_drained=lambda disk, day: drained.append(disk),
+        ).replay(alarms=[(0, "d1", 0.9)], failures={"d1": 2})
+        # evacuation unfinished at death -> never reported drained
+        assert drained == []
+
+
 class TestPrioritization:
     def test_higher_score_migrates_first(self):
         # bandwidth only saves one drive before both die on day 2

@@ -1,0 +1,80 @@
+"""Shared helpers for the service-layer suite."""
+
+import numpy as np
+import pytest
+
+from repro import persistence
+from repro.core.forest import OnlineRandomForest
+from repro.service import DiskEvent
+
+#: small-but-splitting forest config used across the fleet tests
+FOREST_KW = dict(
+    n_trees=6,
+    n_tests=10,
+    min_parent_size=20,
+    min_gain=0.02,
+    lambda_pos=1.0,
+    lambda_neg=0.3,
+)
+
+
+def make_events(seed=1, n_disks=8, n_days=40, fail=None, n_features=4):
+    """A deterministic fleet stream with a couple of dying disks."""
+    rng = np.random.default_rng(seed)
+    fail = {0: 30, 1: 35} if fail is None else fail
+    events = []
+    for day in range(n_days):
+        for disk in range(n_disks):
+            fd = fail.get(disk)
+            if fd is not None and day > fd:
+                continue
+            x = rng.normal(size=n_features) + (1.2 if disk in fail else 0.0)
+            events.append(DiskEvent(disk, x, failed=(fd == day), tag=day))
+    return events
+
+
+def _arrays_equal(a, b):
+    if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+        return False
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    if a.dtype.kind == "f":
+        return np.array_equal(a, b, equal_nan=True)
+    return np.array_equal(a, b)
+
+
+def deep_equal(a, b):
+    """Structural equality that handles ndarrays (NaN-aware) anywhere."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return _arrays_equal(a, b)
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and set(a) == set(b)
+            and all(deep_equal(a[k], b[k]) for k in a)
+        )
+    if isinstance(a, (list, tuple)):
+        return (
+            isinstance(b, (list, tuple))
+            and len(a) == len(b)
+            and all(deep_equal(x, y) for x, y in zip(a, b))
+        )
+    return a == b
+
+
+def same_forest(f1, f2):
+    """Bit-identity of two forests via their persistence packing.
+
+    The packing captures everything — tree structure, leaf statistics,
+    OOBE trackers, and each slot's RNG state — so equality here means the
+    two forests are indistinguishable forever after.
+    """
+    saver = persistence._SAVERS[OnlineRandomForest]
+    m1, a1 = saver(f1)
+    m2, a2 = saver(f2)
+    return deep_equal(m1, m2) and deep_equal(a1, a2)
+
+
+@pytest.fixture
+def events():
+    return make_events()

@@ -1,0 +1,207 @@
+"""Tests for the alarm lifecycle manager."""
+
+import pytest
+
+from repro.core.predictor import Alarm
+from repro.service import AlarmManager, MetricsRegistry
+from repro.service.alarms import AlarmAction, AlarmState
+
+
+def alarm(disk="d1", score=0.9, tag=None):
+    return Alarm(disk, score, tag)
+
+
+class TestDedup:
+    def test_first_alarm_raises_then_dedups(self):
+        mgr = AlarmManager(escalate_after=None)
+        d1 = mgr.observe("d1", alarm())
+        assert d1.action is AlarmAction.RAISED and d1.emitted
+        d2 = mgr.observe("d1", alarm(score=0.95))
+        assert d2.action is AlarmAction.DEDUPED and not d2.emitted
+        rec = mgr.active_records["d1"]
+        assert rec.n_alarms == 2
+        assert rec.max_score == 0.95
+
+    def test_negative_sample_is_quiet(self):
+        mgr = AlarmManager()
+        d = mgr.observe("d1", None)
+        assert d.action is AlarmAction.NONE and not d.emitted
+
+    def test_independent_disks(self):
+        mgr = AlarmManager(escalate_after=None)
+        assert mgr.observe("a", alarm("a")).emitted
+        assert mgr.observe("b", alarm("b")).emitted
+        assert not mgr.observe("a", alarm("a")).emitted
+
+
+class TestCooldown:
+    def test_cooldown_renotifies_after_interval(self):
+        mgr = AlarmManager(cooldown=3, escalate_after=None, resolve_after=None)
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.RAISED
+        # clocks tick in the disk's own samples, including negatives
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.DEDUPED
+        assert mgr.observe("d", None).action is AlarmAction.NONE
+        # 3 samples since last emit -> re-notify
+        d = mgr.observe("d", alarm("d"))
+        assert d.action is AlarmAction.RAISED and d.emitted
+
+    def test_cooldown_zero_is_raw_passthrough(self):
+        mgr = AlarmManager(cooldown=0, escalate_after=None, resolve_after=None)
+        for _ in range(5):
+            assert mgr.observe("d", alarm("d")).emitted
+
+    def test_cooldown_none_never_renotifies(self):
+        mgr = AlarmManager(cooldown=None, escalate_after=None, resolve_after=None)
+        assert mgr.observe("d", alarm("d")).emitted
+        for _ in range(50):
+            assert not mgr.observe("d", alarm("d")).emitted
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            AlarmManager(cooldown=-1)
+
+
+class TestEscalation:
+    def test_escalates_after_consecutive_positives(self):
+        mgr = AlarmManager(escalate_after=3, resolve_after=None)
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.RAISED
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.DEDUPED
+        d3 = mgr.observe("d", alarm("d"))
+        assert d3.action is AlarmAction.ESCALATED and d3.emitted
+        assert d3.record.state is AlarmState.ESCALATED
+        # escalation fires once
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.DEDUPED
+
+    def test_streak_reset_by_negative(self):
+        mgr = AlarmManager(escalate_after=3, resolve_after=None)
+        mgr.observe("d", alarm("d"))
+        mgr.observe("d", alarm("d"))
+        mgr.observe("d", None)  # streak broken
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.DEDUPED
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.DEDUPED
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.ESCALATED
+
+
+class TestResolution:
+    def test_resolves_after_quiet_streak_and_can_realarm(self):
+        mgr = AlarmManager(escalate_after=None, resolve_after=3)
+        mgr.observe("d", alarm("d"))
+        mgr.observe("d", None)
+        mgr.observe("d", None)
+        d = mgr.observe("d", None)
+        assert d.action is AlarmAction.RESOLVED
+        assert d.record.state is AlarmState.RESOLVED
+        assert "d" not in mgr.active_records
+        assert len(mgr.history) == 1
+        # a recovered disk can legitimately alarm again
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.RAISED
+
+    def test_no_resolution_without_open_record(self):
+        mgr = AlarmManager(resolve_after=1)
+        assert mgr.observe("d", None).action is AlarmAction.NONE
+
+
+class TestDrainSuppression:
+    def test_drained_disk_is_suppressed(self):
+        mgr = AlarmManager(escalate_after=None)
+        mgr.observe("d", alarm("d"))
+        assert mgr.mark_drained("d")
+        assert mgr.is_drained("d")
+        assert "d" not in mgr.active_records  # open record moved to history
+        assert mgr.history[-1].state is AlarmState.SUPPRESSED
+        d = mgr.observe("d", alarm("d"))
+        assert d.action is AlarmAction.SUPPRESSED and not d.emitted
+
+    def test_mark_drained_idempotent(self):
+        mgr = AlarmManager()
+        assert mgr.mark_drained("d")
+        assert not mgr.mark_drained("d")
+        assert mgr.counts["drained_disks"] == 1
+
+    def test_mark_active_restores(self):
+        mgr = AlarmManager(escalate_after=None)
+        mgr.mark_drained("d")
+        mgr.mark_active("d")
+        assert not mgr.is_drained("d")
+        assert mgr.observe("d", alarm("d")).emitted
+
+    def test_migration_callback_wiring(self):
+        from repro.ops.migration import MigrationScheduler
+
+        mgr = AlarmManager(escalate_after=None)
+        mgr.observe("d1", alarm("d1"))
+        sched = MigrationScheduler(
+            capacity_tb=4.0,
+            bandwidth_tb_per_day=8.0,
+            on_drained=lambda disk, day: mgr.mark_drained(disk),
+        )
+        sched.replay([(0, "d1", 0.9)], {"d1": 10})
+        assert mgr.is_drained("d1")
+        assert not mgr.observe("d1", alarm("d1")).emitted
+
+
+class TestRetire:
+    def test_retire_closes_record_and_forgets_disk(self):
+        mgr = AlarmManager(escalate_after=None)
+        mgr.observe("d", alarm("d"))
+        mgr.retire("d")
+        assert "d" not in mgr.active_records
+        assert mgr.history[-1].state is AlarmState.RESOLVED
+        assert mgr.counts["retired_disks"] == 1
+        # same id later starts a fresh lifecycle
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.RAISED
+
+    def test_retire_unknown_disk_is_noop(self):
+        mgr = AlarmManager()
+        mgr.retire("ghost")
+        assert mgr.counts["retired_disks"] == 0
+
+
+class TestCountsAndMetrics:
+    def test_counts_mirrored_into_registry(self):
+        reg = MetricsRegistry()
+        mgr = AlarmManager(escalate_after=2, resolve_after=None, registry=reg)
+        mgr.observe("d", alarm("d"))          # raised
+        mgr.observe("d", alarm("d"))          # escalated
+        mgr.observe("d", alarm("d"))          # deduped
+        assert reg.value("repro_alarms_raised_total") == 1
+        assert reg.value("repro_alarms_escalated_total") == 1
+        assert reg.value("repro_alarms_deduped_total") == 1
+        assert mgr.counts["raised"] == 1
+        assert mgr.counts["escalated"] == 1
+        assert mgr.counts["deduped"] == 1
+
+
+class TestStatePersistence:
+    def test_state_dict_roundtrip_continues_identically(self):
+        def drive(mgr, verdicts):
+            return [
+                mgr.observe(d, alarm(d) if pos else None).action
+                for d, pos in verdicts
+            ]
+
+        head = [("a", True), ("a", True), ("b", True), ("a", False)]
+        tail = [
+            ("a", True), ("a", True), ("b", False), ("b", False),
+            ("b", False), ("a", True), ("c", True),
+        ]
+        kw = dict(cooldown=4, escalate_after=3, resolve_after=3)
+        m1 = AlarmManager(**kw)
+        drive(m1, head)
+        m2 = AlarmManager(**kw)
+        m2.load_state_dict(m1.state_dict())
+        assert drive(m1, tail) == drive(m2, tail)
+        assert m1.counts == m2.counts
+
+    def test_state_dict_is_json_serializable(self):
+        import json
+
+        mgr = AlarmManager()
+        mgr.observe("d1", alarm("d1"))
+        mgr.observe(42, alarm(42))
+        mgr.mark_drained(42)
+        restored = json.loads(json.dumps(mgr.state_dict()))
+        m2 = AlarmManager()
+        m2.load_state_dict(restored)
+        assert m2.is_drained(42)
+        assert "d1" in m2.active_records

@@ -1,0 +1,124 @@
+"""Tests for checkpoint rotation, retention, and resume."""
+
+import json
+
+import pytest
+
+from repro.service import CheckpointRotator, FleetMonitor, load_latest
+from repro.service.checkpoint import LATEST_NAME, MANIFEST_NAME
+
+from tests.service.conftest import FOREST_KW, make_events, same_forest
+from tests.service.test_fleet import alarm_keys, build_fleet
+
+
+class TestRotation:
+    def test_cadence(self, tmp_path, events):
+        rot = CheckpointRotator(tmp_path, every_samples=100, retention=10)
+        fleet = build_fleet(n_shards=2, rotator=rot)
+        fleet.replay(events, batch_size=50)
+        # one rotation per 100 ingested events (check runs post-ingest)
+        assert len(rot.checkpoints()) == len(events) // 100
+        assert rot.samples_since_rotate(fleet.n_samples) < 100
+
+    def test_forced_checkpoint_and_latest_pointer(self, tmp_path, events):
+        rot = CheckpointRotator(tmp_path, every_samples=10**9)
+        fleet = build_fleet(rotator=rot)
+        assert rot.latest is None
+        fleet.replay(events[:50], batch_size=25)
+        path = fleet.checkpoint()
+        assert path.is_dir()
+        assert rot.latest == path
+        assert (tmp_path / LATEST_NAME).read_text().strip() == path.name
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        assert manifest["n_samples"] == 50
+        assert manifest["n_shards"] == 1
+
+    def test_no_rotator_checkpoint_is_none(self):
+        assert build_fleet().checkpoint() is None
+
+    def test_retention_prunes_oldest(self, tmp_path, events):
+        rot = CheckpointRotator(tmp_path, every_samples=10**9, retention=2)
+        fleet = build_fleet(rotator=rot)
+        fleet.replay(events[:30], batch_size=30)
+        names = [fleet.checkpoint().name for _ in range(4)]
+        kept = [p.name for p in rot.checkpoints()]
+        assert kept == names[-2:]
+        assert rot.latest.name == names[-1]
+
+    def test_no_temp_dirs_left_behind(self, tmp_path, events):
+        rot = CheckpointRotator(tmp_path, every_samples=10**9)
+        fleet = build_fleet(rotator=rot)
+        fleet.replay(events[:30], batch_size=30)
+        fleet.checkpoint()
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+        assert leftovers == []
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointRotator(tmp_path, every_samples=0)
+        with pytest.raises(ValueError):
+            CheckpointRotator(tmp_path, every_samples=10, retention=0)
+        with pytest.raises(ValueError):
+            CheckpointRotator(tmp_path, every_samples=10, prefix="../evil")
+
+
+class TestResume:
+    def test_rotate_and_resume_is_bit_exact(self, tmp_path):
+        events = make_events()
+        mid = len(events) // 2
+        rot = CheckpointRotator(tmp_path, every_samples=10**9)
+        f1 = build_fleet(n_shards=2, rotator=rot)
+        f1.replay(events[:mid], batch_size=16)
+        ckpt = f1.checkpoint()
+        tail1 = f1.replay(events[mid:], batch_size=16)
+
+        from tests.service.test_fleet import passthrough_manager
+
+        f2 = FleetMonitor.from_checkpoint(
+            ckpt, alarm_manager=passthrough_manager()
+        )
+        assert f2.n_shards == 2
+        assert f2.n_samples == mid
+        tail2 = f2.replay(events[mid:], batch_size=16)
+        assert alarm_keys(tail1) == alarm_keys(tail2)
+        for s1, s2 in zip(f1.shards, f2.shards):
+            assert same_forest(s1.forest, s2.forest)
+            assert s1.stats.n_samples == s2.stats.n_samples
+            assert s1.stats.n_updates_neg == s2.stats.n_updates_neg
+
+    def test_alarm_lifecycle_survives_resume(self, tmp_path):
+        # open records and drain marks ride in the manifest
+        events = make_events()
+        rot = CheckpointRotator(tmp_path, every_samples=10**9)
+        f1 = build_fleet(n_shards=2, rotator=rot)
+        f1.replay(events[: len(events) // 2], batch_size=16)
+        f1.alarms.mark_drained(3)
+        ckpt = f1.checkpoint()
+
+        f2 = FleetMonitor.from_checkpoint(ckpt)
+        assert f2.alarms.is_drained(3)
+        assert set(f2.alarms.active_records) == set(f1.alarms.active_records)
+        assert f2.alarms.counts == f1.alarms.counts
+
+    def test_load_latest(self, tmp_path, events):
+        assert load_latest(tmp_path) is None
+        rot = CheckpointRotator(tmp_path, every_samples=10**9)
+        fleet = build_fleet(rotator=rot)
+        fleet.replay(events[:30], batch_size=30)
+        fleet.checkpoint()
+        manifest, shards = rot.load_latest()
+        assert manifest["n_samples"] == 30
+        assert len(shards) == 1
+        assert same_forest(shards[0].forest, fleet.shards[0].forest)
+
+    def test_new_rotator_resumes_cadence_and_sequence(self, tmp_path, events):
+        rot1 = CheckpointRotator(tmp_path, every_samples=10**9)
+        fleet = build_fleet(rotator=rot1)
+        fleet.replay(events[:40], batch_size=20)
+        first = fleet.checkpoint()
+
+        rot2 = CheckpointRotator(tmp_path, every_samples=100)
+        # cadence resumes from the persisted sample count, not zero
+        assert rot2.samples_since_rotate(fleet.n_samples) == 0
+        second = rot2.rotate(fleet)
+        assert second.name > first.name  # sequence numbers keep increasing

@@ -1,0 +1,221 @@
+"""Tests for the sharded fleet monitor.
+
+The load-bearing claims: an N=1 fleet on the serial executor is
+bit-identical to the plain Algorithm-2 loop; batch mode evolves the same
+forest; N>1 shards partition the per-disk alarm sets; the thread
+executor changes nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.predictor import OnlineDiskFailurePredictor
+from repro.parallel.pool import ProcessExecutor, ThreadExecutor
+from repro.service import (
+    AlarmManager,
+    DiskEvent,
+    FleetMonitor,
+    shard_of,
+    shard_seeds,
+)
+
+from tests.service.conftest import FOREST_KW, make_events, same_forest
+
+
+def passthrough_manager():
+    """Raw alarm passthrough: every predictor alarm reaches the operator."""
+    return AlarmManager(cooldown=0, escalate_after=None, resolve_after=None)
+
+
+def build_fleet(n_shards=1, seed=5, **kwargs):
+    kwargs.setdefault("alarm_manager", passthrough_manager())
+    return FleetMonitor.build(
+        4,
+        n_shards=n_shards,
+        seed=seed,
+        forest_kwargs=FOREST_KW,
+        queue_length=3,
+        alarm_threshold=0.4,
+        **kwargs,
+    )
+
+
+def plain_predictor(seed=5):
+    return OnlineDiskFailurePredictor(
+        OnlineRandomForest(4, seed=seed, **FOREST_KW),
+        queue_length=3,
+        alarm_threshold=0.4,
+    )
+
+
+def alarm_keys(emitted):
+    return [(e.alarm.disk_id, e.alarm.tag, e.alarm.score) for e in emitted]
+
+
+class TestSharding:
+    def test_shard_of_stable_and_in_range(self):
+        for disk in ("Z305B2QN", 12345, ("rack", 7)):
+            idx = shard_of(disk, 8)
+            assert 0 <= idx < 8
+            assert idx == shard_of(disk, 8)  # deterministic, not hash()-salted
+
+    def test_shard_seeds_n1_is_identity(self):
+        assert shard_seeds(17, 1) == [17]
+
+    def test_shard_seeds_unique_streams(self):
+        seeds = shard_seeds(0, 4)
+        forests = [
+            OnlineRandomForest(4, seed=s, n_trees=2, n_tests=5) for s in seeds
+        ]
+        states = [
+            str(f.slots[0].rng.bit_generator.state) for f in forests
+        ]
+        assert len(set(states)) == 4
+
+    def test_fleet_requires_shards(self):
+        with pytest.raises(ValueError):
+            FleetMonitor([])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_fleet(mode="turbo")
+
+    def test_process_executor_rejected(self):
+        ex = ProcessExecutor(n_workers=2)
+        try:
+            with pytest.raises(ValueError, match="process"):
+                build_fleet(executor=ex)
+        finally:
+            ex.shutdown()
+
+
+class TestSingleShardEquivalence:
+    def test_bit_identical_to_plain_loop(self, events):
+        plain = plain_predictor()
+        plain_alarms = []
+        for ev in events:
+            a = plain.process(ev.disk_id, ev.x, ev.failed, ev.tag)
+            if a is not None:
+                plain_alarms.append((a.disk_id, a.tag, a.score))
+
+        fleet = build_fleet(n_shards=1)
+        emitted = fleet.replay(events, batch_size=17)
+        assert alarm_keys(emitted) == plain_alarms
+        assert len(plain_alarms) > 0
+        assert same_forest(plain.forest, fleet.shards[0].forest)
+
+    def test_batch_mode_same_forest(self, events):
+        exact = build_fleet(n_shards=1)
+        exact.replay(events, batch_size=17)
+        batched = build_fleet(n_shards=1, mode="batch")
+        batched.replay(events, batch_size=17)
+        assert same_forest(
+            exact.shards[0].forest, batched.shards[0].forest
+        )
+
+
+class TestMultiShard:
+    def test_per_disk_alarms_partition_across_shards(self, events):
+        fleet = build_fleet(n_shards=3)
+        emitted = fleet.replay(events, batch_size=16)
+        assert emitted, "scenario must produce alarms"
+        for e in emitted:
+            assert e.shard == fleet.shard_index(e.alarm.disk_id)
+        by_shard = {}
+        for e in emitted:
+            by_shard.setdefault(e.shard, set()).add(e.alarm.disk_id)
+        seen = list(by_shard.values())
+        for i in range(len(seen)):
+            for j in range(i + 1, len(seen)):
+                assert not (seen[i] & seen[j])
+
+    def test_thread_executor_is_deterministic(self, events):
+        serial = build_fleet(n_shards=3)
+        got_serial = serial.replay(events, batch_size=16)
+        ex = ThreadExecutor(n_workers=3)
+        try:
+            threaded = build_fleet(n_shards=3, executor=ex)
+            got_threaded = threaded.replay(events, batch_size=16)
+        finally:
+            ex.shutdown()
+        assert alarm_keys(got_serial) == alarm_keys(got_threaded)
+        for s1, s2 in zip(serial.shards, threaded.shards):
+            assert same_forest(s1.forest, s2.forest)
+
+    def test_failure_retires_alarm_state(self):
+        fleet = build_fleet(n_shards=2)
+        events = make_events()
+        fleet.replay(events, batch_size=32)
+        # both dying disks (0, 1) were retired from the alarm manager
+        assert fleet.alarms.counts["retired_disks"] == 2
+        assert 0 not in fleet.alarms.active_records
+        assert 1 not in fleet.alarms.active_records
+
+
+class TestObservability:
+    def test_counters_and_gauges_track_the_stream(self, events):
+        fleet = build_fleet(n_shards=2)
+        fleet.replay(events, batch_size=16)
+        reg = fleet.registry
+        n_failures = sum(1 for e in events if e.failed)
+        samples = sum(
+            reg.value("repro_fleet_samples_total", {"shard": str(i)})
+            for i in range(2)
+        )
+        failures = sum(
+            reg.value("repro_fleet_failures_total", {"shard": str(i)})
+            for i in range(2)
+        )
+        assert samples == len(events) - n_failures
+        assert failures == n_failures
+        depth = sum(
+            reg.value("repro_fleet_queue_depth", {"shard": str(i)})
+            for i in range(2)
+        )
+        assert depth == sum(s.labeler.n_pending for s in fleet.shards)
+        assert reg.value("repro_fleet_shards") == 2
+
+    def test_digest_summary(self, events):
+        fleet = build_fleet(n_shards=2)
+        fleet.replay(events, batch_size=16)
+        d = fleet.digest()
+        assert d["events"] == len(events) == fleet.n_samples
+        assert d["failures"] == sum(1 for e in events if e.failed)
+        assert d["samples_per_sec"] > 0
+        assert d["alarms"].get("raised", 0) > 0
+
+    def test_replay_validates_batch_size(self):
+        with pytest.raises(ValueError):
+            build_fleet().replay([], batch_size=0)
+
+
+class TestEventHelpers:
+    def test_fleet_events_matches_monitor_loop(self):
+        from repro.eval.protocol import prepare_arrays, stream_order
+        from repro.features.selection import FeatureSelection
+        from repro.service import fleet_events
+        from repro.smart.drive_model import STA, scaled_spec
+        from repro.smart.generator import generate_dataset
+
+        spec = scaled_spec(STA, fleet_scale=0.01, duration_months=2)
+        dataset = generate_dataset(spec, seed=0)
+        arrays, _ = prepare_arrays(dataset, FeatureSelection.paper_table2())
+        fail_day = {
+            d.serial: d.fail_day for d in dataset.drives if d.failed
+        }
+        events = list(fleet_events(arrays, fail_day))
+        assert len(events) == arrays.X.shape[0]
+        order = stream_order(arrays.days, arrays.serials)
+        assert [e.tag for e in events] == [int(d) for d in arrays.days[order]]
+        expected_failures = sum(
+            1
+            for s, d in zip(arrays.serials, arrays.days)
+            if fail_day.get(int(s)) == int(d)
+        )
+        assert sum(e.failed for e in events) == expected_failures
+
+    def test_disk_event_is_frozen(self):
+        ev = DiskEvent("d", np.zeros(4))
+        with pytest.raises(AttributeError):
+            ev.failed = True

@@ -1,0 +1,125 @@
+"""Tests for the dependency-free metrics registry."""
+
+import pytest
+
+from repro.service import MetricsRegistry
+from repro.service.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("events_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels={"shard": "0"})
+        b = reg.counter("x_total", labels={"shard": "0"})
+        c = reg.counter("x_total", labels={"shard": "1"})
+        assert a is b
+        assert a is not c
+        a.inc()
+        assert reg.value("x_total", {"shard": "0"}) == 1
+        assert reg.value("x_total", {"shard": "1"}) == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_callback_backed(self):
+        state = {"v": 0}
+        g = MetricsRegistry().gauge("depth", fn=lambda: state["v"])
+        state["v"] = 42
+        assert g.value == 42
+
+    def test_callback_gauge_rejects_set(self):
+        g = MetricsRegistry().gauge("depth", fn=lambda: 1)
+        with pytest.raises(ValueError):
+            g.set(5)
+        with pytest.raises(ValueError):
+            g.inc()
+
+
+class TestHistogram:
+    def test_bucket_counts_cumulative(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        lines = h.sample_lines()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1"} 3' in lines
+        assert 'lat_bucket{le="+Inf"} 4' in lines
+        assert "lat_count 4" in lines
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x", labels={"a": "b"})  # same name, any labels
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("2bad")
+        with pytest.raises(ValueError):
+            reg.counter("ok", labels={"0bad": "v"})
+
+    def test_render_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("samples_total", help="samples seen").inc(3)
+        reg.gauge("depth", help="queue depth", labels={"shard": "0"}).set(2)
+        text = reg.render()
+        assert "# HELP samples_total samples seen\n" in text
+        assert "# TYPE samples_total counter\n" in text
+        assert "samples_total 3\n" in text
+        assert "# TYPE depth gauge\n" in text
+        assert 'depth{shard="0"} 2\n' in text
+
+    def test_render_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"p": 'a"b\\c'}).inc()
+        assert 'c{p="a\\"b\\\\c"} 1' in reg.render()
+
+    def test_snapshot_flattens(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.gauge("b", labels={"k": "v"}).set(2)
+        snap = reg.snapshot()
+        assert snap == {"a_total": 1, 'b{k="v"}': 2}
+
+    def test_value_missing_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().value("nope")
+
+    def test_get_returns_typed_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        reg.histogram("c")
+        assert isinstance(reg.get("a"), Counter)
+        assert isinstance(reg.get("b"), Gauge)
+        assert isinstance(reg.get("c"), Histogram)
+        assert reg.get("missing") is None

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.persistence import load_model
+from repro.persistence import load_bundle, load_model
 from repro.smart.io import read_backblaze_csv
 
 
@@ -53,6 +53,23 @@ class TestTrainEvaluate:
         out = capsys.readouterr().out
         assert "FDR" in out and "FAR" in out
 
+    def test_train_bundles_scaler_and_selection(self, fleet_csv, tmp_path):
+        """The checkpoint must carry the preprocessing that fed the model,
+        so evaluate/monitor/serve never refit a scaler on judged data."""
+        from repro.features.scaling import MinMaxScaler
+        from repro.features.selection import FeatureSelection
+
+        ckpt = tmp_path / "orf.npz"
+        rc = main([
+            "train", "--data", str(fleet_csv), "--model", "orf",
+            "--trees", "4", "--seed", "1", "-o", str(ckpt),
+        ])
+        assert rc == 0
+        bundle = load_bundle(ckpt)
+        assert isinstance(bundle["scaler"], MinMaxScaler)
+        assert isinstance(bundle["selection"], FeatureSelection)
+        assert bundle["model"].n_trees == 4
+
     def test_rf_train(self, fleet_csv, tmp_path):
         ckpt = tmp_path / "rf.npz"
         rc = main([
@@ -94,6 +111,42 @@ class TestMonitor:
         ])
         rc = main([
             "monitor", "--data", str(fleet_csv), "--model-file", str(ckpt),
+        ])
+        assert rc == 2
+
+
+class TestServe:
+    def test_serve_replays_fleet(self, fleet_csv, tmp_path, capsys):
+        ckpt = tmp_path / "orf.npz"
+        main([
+            "train", "--data", str(fleet_csv), "--model", "orf",
+            "--trees", "5", "--seed", "1", "-o", str(ckpt),
+        ])
+        capsys.readouterr()
+        ckpt_dir = tmp_path / "ckpts"
+        rc = main([
+            "serve", "--data", str(fleet_csv), "--model-file", str(ckpt),
+            "--shards", "2", "--threshold", "0.6", "--mode", "batch",
+            "--batch-size", "512", "--digest-every", "2000",
+            "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "2000",
+            "--dump-metrics",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# served" in out
+        assert "2 shard(s)" in out
+        assert "# digest:" in out
+        assert "repro_fleet_samples_total" in out
+        assert (ckpt_dir / "LATEST").exists()
+
+    def test_serve_rejects_offline_checkpoint(self, fleet_csv, tmp_path):
+        ckpt = tmp_path / "rf.npz"
+        main([
+            "train", "--data", str(fleet_csv), "--model", "rf",
+            "--trees", "3", "--seed", "1", "-o", str(ckpt),
+        ])
+        rc = main([
+            "serve", "--data", str(fleet_csv), "--model-file", str(ckpt),
         ])
         assert rc == 2
 

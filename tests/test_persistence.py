@@ -8,7 +8,8 @@ from repro.features.scaling import MinMaxScaler
 from repro.features.selection import FeatureSelection
 from repro.offline.forest import RandomForestClassifier
 from repro.offline.tree import DecisionTreeClassifier
-from repro.persistence import load_model, save_model
+from repro.core.predictor import OnlineDiskFailurePredictor
+from repro.persistence import load_bundle, load_model, save_bundle, save_model
 
 
 @pytest.fixture()
@@ -119,6 +120,117 @@ class TestErrorHandling:
         np.savez(tmp_path / "junk.npz", a=np.zeros(3))
         with pytest.raises(ValueError, match="not a repro model checkpoint"):
             load_model(tmp_path / "junk.npz")
+
+
+class TestPredictorCheckpoint:
+    def drive(self, pred, lo, hi, rng_seed=0):
+        """Deterministic event stream segment [lo, hi) over 6 disks."""
+        rng = np.random.default_rng(rng_seed)
+        all_alarms = []
+        for step in range(hi):
+            x = rng.uniform(size=(6, 5))  # one row per disk, every step
+            if step < lo:
+                continue
+            for disk in range(6):
+                if disk == 0 and step == 40:
+                    pred.process(disk, x[disk], failed=True, tag=step)
+                    continue
+                if disk == 0 and step > 40:
+                    continue
+                alarm = pred.process(disk, x[disk], failed=False, tag=step)
+                if alarm is not None:
+                    all_alarms.append((alarm.disk_id, alarm.tag, alarm.score))
+        return all_alarms
+
+    def make(self):
+        forest = OnlineRandomForest(
+            5, n_trees=5, n_tests=15, min_parent_size=30, min_gain=0.02,
+            lambda_neg=0.3, seed=7,
+        )
+        return OnlineDiskFailurePredictor(
+            forest, queue_length=3, alarm_threshold=0.3, warmup_samples=10,
+        )
+
+    def test_roundtrip_continues_stream_identically(self, tmp_path):
+        pred = self.make()
+        self.drive(pred, 0, 30)
+        save_model(pred, tmp_path / "pred.npz")
+        restored = load_model(tmp_path / "pred.npz")
+        tail_orig = self.drive(pred, 30, 60)
+        tail_rest = self.drive(restored, 30, 60)
+        assert tail_orig == tail_rest
+        assert pred.forest.n_samples_seen == restored.forest.n_samples_seen
+
+    def test_counters_and_queues_preserved(self, tmp_path):
+        pred = self.make()
+        self.drive(pred, 0, 30)
+        save_model(pred, tmp_path / "pred.npz")
+        restored = load_model(tmp_path / "pred.npz")
+        assert restored.stats.n_samples == pred.stats.n_samples
+        assert restored.stats.n_failures == pred.stats.n_failures
+        assert restored.stats.n_updates_neg == pred.stats.n_updates_neg
+        assert restored.labeler.n_pending == pred.labeler.n_pending
+        assert restored.labeler.n_disks == pred.labeler.n_disks
+        for disk in range(1, 6):
+            assert restored.labeler.pending_for(disk) == pred.labeler.pending_for(disk)
+        assert restored.alarm_threshold == pred.alarm_threshold
+        assert restored.warmup_samples == pred.warmup_samples
+
+    def test_unserializable_disk_id_rejected(self, tmp_path):
+        pred = self.make()
+        pred.process_sample(("tuple", "id"), np.zeros(5))
+        with pytest.raises(TypeError, match="JSON"):
+            save_model(pred, tmp_path / "pred.npz")
+
+
+class TestBundles:
+    def test_bundle_roundtrip(self, stream, tmp_path):
+        X, y = stream
+        forest = OnlineRandomForest(
+            5, n_trees=4, n_tests=10, min_parent_size=50, min_gain=0.03,
+            lambda_neg=0.3, seed=0,
+        ).partial_fit(X[:500], y[:500])
+        scaler = MinMaxScaler().fit(X)
+        sel = FeatureSelection.paper_table2()
+        save_bundle(tmp_path / "b.npz", model=forest, scaler=scaler, selection=sel)
+        bundle = load_bundle(tmp_path / "b.npz")
+        assert set(bundle) == {"model", "scaler", "selection"}
+        assert np.allclose(
+            bundle["model"].predict_score(X[:50]), forest.predict_score(X[:50])
+        )
+        assert np.allclose(
+            bundle["scaler"].transform(X[:20]), scaler.transform(X[:20])
+        )
+        assert bundle["selection"].names == sel.names
+
+    def test_load_model_on_bundle_returns_model(self, stream, tmp_path):
+        X, y = stream
+        forest = OnlineRandomForest(
+            5, n_trees=3, n_tests=10, min_parent_size=50, seed=0,
+        ).partial_fit(X[:300], y[:300])
+        save_bundle(tmp_path / "b.npz", model=forest, scaler=MinMaxScaler().fit(X))
+        restored = load_model(tmp_path / "b.npz")
+        assert isinstance(restored, OnlineRandomForest)
+        assert restored.n_trees == 3
+
+    def test_load_bundle_on_plain_file_wraps_as_model(self, stream, tmp_path):
+        X, _ = stream
+        scaler = MinMaxScaler().fit(X)
+        save_model(scaler, tmp_path / "s.npz")
+        bundle = load_bundle(tmp_path / "s.npz")
+        assert set(bundle) == {"model"}
+        assert np.allclose(bundle["model"].transform(X[:10]), scaler.transform(X[:10]))
+
+    def test_load_model_on_modelless_bundle_raises(self, stream, tmp_path):
+        X, _ = stream
+        save_bundle(tmp_path / "b.npz", scaler=MinMaxScaler().fit(X))
+        with pytest.raises(ValueError, match="model"):
+            load_model(tmp_path / "b.npz")
+
+    def test_invalid_component_name_rejected(self, stream, tmp_path):
+        X, _ = stream
+        with pytest.raises(ValueError):
+            save_bundle(tmp_path / "b.npz", **{"bad/name": MinMaxScaler().fit(X)})
 
 
 class TestImportancePersistence:
