@@ -174,14 +174,24 @@ def _cmd_monitor(args) -> int:
     )
     fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
     order = stream_order(arrays.days, arrays.serials)
+    seen = set()
+    death_emitted = set()
     for i in order:
         serial = int(arrays.serials[i])
         day = int(arrays.days[i])
-        alarm = monitor.process(
-            serial, arrays.X[i], failed=fail_day.get(serial) == day, tag=day
-        )
+        failed = fail_day.get(serial) == day
+        seen.add(serial)
+        if failed:
+            death_emitted.add(serial)
+        alarm = monitor.process(serial, arrays.X[i], failed=failed, tag=day)
         if alarm is not None:
             print(f"day {day:5d}  ALARM drive {serial}  score {alarm.score:.3f}")
+    # disks that reported nothing on their death day still died: flush
+    # their queued positives into the forest instead of leaking them
+    for serial in sorted(seen - death_emitted):
+        fd = fail_day.get(serial)
+        if fd is not None:
+            monitor.process(serial, None, failed=True, tag=int(fd))
     print(
         f"# processed {monitor.stats.n_samples:,} samples, "
         f"{monitor.stats.n_failures} failures, "
@@ -242,12 +252,24 @@ def _cmd_serve(args) -> int:
         rotator=rotator,
         mode=args.mode,
         executor=make_executor(args.executor),
+        strict=args.strict,
+        max_dead_letters=args.dead_letter_max,
     )
 
     fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
+    events = fleet_events(arrays, fail_day)
+    if args.fault_rate > 0:
+        from repro.service import salt_events
+
+        events = salt_events(
+            events,
+            rate=args.fault_rate,
+            n_features=fleet.n_features,
+            seed=args.fault_seed,
+        )
     next_digest = args.digest_every
     batch = []
-    for event in fleet_events(arrays, fail_day):
+    for event in events:
         batch.append(event)
         if len(batch) < args.batch_size:
             continue
@@ -282,6 +304,14 @@ def _cmd_serve(args) -> int:
         f"# served {d['samples']:,} samples across {fleet.n_shards} shard(s): "
         f"{d['failures']} failures, alarms {d['alarms']}, "
         f"{d['tree_replacements']} tree replacements"
+    )
+    reasons = ", ".join(
+        f"{k}={v}" for k, v in sorted(d["quarantine_reasons"].items())
+    )
+    print(f"# quarantined: {d['quarantined']}" + (f" ({reasons})" if reasons else ""))
+    print(
+        "# degraded shards: "
+        + (", ".join(map(str, d["degraded_shards"])) or "none")
     )
     if rotator is not None and rotator.latest is not None:
         print(f"# latest checkpoint: {rotator.latest}")
@@ -398,6 +428,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--dump-metrics", action="store_true",
         help="print the Prometheus text exposition after the replay",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="raise on invalid events instead of quarantining them "
+             "(serving defaults to tolerant mode with a dead-letter queue)",
+    )
+    p.add_argument(
+        "--dead-letter-max", type=int, default=1024,
+        help="quarantined events retained for inspection",
+    )
+    p.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="chaos drill: corrupt this fraction of working-disk events "
+             "(NaN/Inf/wrong-dim/missing vectors) before ingest",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for --fault-rate corruption",
     )
     p.set_defaults(fn=_cmd_serve)
 

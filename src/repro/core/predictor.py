@@ -93,6 +93,32 @@ class OnlineDiskFailurePredictor:
             self.stats.alarms = deque(maxlen=max_recorded_alarms)
 
     # ----------------------------------------------------------------- events
+    def _checked_vector(self, disk_id: Hashable, x) -> np.ndarray:
+        """Validate one SMART vector *before* any state mutates.
+
+        A wrong-dimension or NaN/Inf vector used to surface as a cryptic
+        numpy error deep inside the forest — after the labeler had
+        already queued it, leaving the monitor half-mutated.  Rejecting
+        it here keeps every predictor entry point all-or-nothing.
+        """
+        try:
+            arr = np.asarray(x, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"disk {disk_id!r}: sample is not a numeric vector: {exc}"
+            ) from None
+        expected = (int(self.forest.n_features),)
+        if arr.shape != expected:
+            raise ValueError(
+                f"disk {disk_id!r}: expected a SMART vector of shape "
+                f"{expected}, got {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(
+                f"disk {disk_id!r}: SMART vector contains NaN/Inf values"
+            )
+        return arr
+
     def process_sample(
         self, disk_id: Hashable, x: np.ndarray, tag: object = None
     ) -> Optional[Alarm]:
@@ -102,7 +128,7 @@ class OnlineDiskFailurePredictor:
         negative, which updates the forest.  Prediction phase: the fresh
         sample is scored; returns an :class:`Alarm` if risky, else None.
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = self._checked_vector(disk_id, x)
         self.stats.n_samples += 1
         for labeled in self.labeler.observe(disk_id, x, tag):
             self.forest.update(labeled.x, labeled.y)
@@ -149,6 +175,7 @@ class OnlineDiskFailurePredictor:
                 # final snapshot exists: it is part of the last week too,
                 # and the eviction it may cause is a real confirmed
                 # negative (that sample's window elapsed before death)
+                x = self._checked_vector(disk_id, x)
                 for labeled in self.labeler.observe(disk_id, x, tag):
                     self.forest.update(labeled.x, labeled.y)
                     self.stats.n_updates_neg += 1
@@ -187,7 +214,7 @@ class OnlineDiskFailurePredictor:
         for i, (disk_id, x, failed, tag) in enumerate(events):
             if failed:
                 if x is not None:
-                    x = np.asarray(x, dtype=np.float64)
+                    x = self._checked_vector(disk_id, x)
                     for labeled in self.labeler.observe(disk_id, x, tag):
                         updates.append((labeled.x, 0))
                         n_neg += 1
@@ -198,7 +225,7 @@ class OnlineDiskFailurePredictor:
                 continue
             if x is None:
                 raise ValueError("x is required for a working disk")
-            x = np.asarray(x, dtype=np.float64)
+            x = self._checked_vector(disk_id, x)
             self.stats.n_samples += 1
             for labeled in self.labeler.observe(disk_id, x, tag):
                 updates.append((labeled.x, 0))

@@ -12,9 +12,12 @@ numbers an operator watches.  This subpackage is that serving layer:
 * :class:`CheckpointRotator` — cadence-driven shard snapshots with
   retention and a crash-consistent ``LATEST`` pointer;
 * :class:`MetricsRegistry` — dependency-free counters/gauges/histograms
-  with Prometheus-style text exposition.
+  with Prometheus-style text exposition;
+* :mod:`~repro.service.faults` — event admission checks, the
+  :class:`DeadLetterQueue` quarantine, :class:`ShardHealth` fencing,
+  and the fault-injection harness that proves the degradation story.
 
-``repro serve`` on the CLI wires all four together over a CSV replay.
+``repro serve`` on the CLI wires all of it together over a CSV replay.
 """
 
 from repro.service.alarms import (
@@ -28,6 +31,15 @@ from repro.service.checkpoint import (
     CheckpointRotator,
     load_checkpoint,
     load_latest,
+)
+from repro.service.faults import (
+    DeadLetterQueue,
+    FaultyPredictor,
+    QuarantinedEvent,
+    ShardFault,
+    ShardHealth,
+    salt_events,
+    validate_event,
 )
 from repro.service.fleet import (
     DiskEvent,
@@ -59,6 +71,13 @@ __all__ = [
     "CheckpointRotator",
     "load_checkpoint",
     "load_latest",
+    "DeadLetterQueue",
+    "QuarantinedEvent",
+    "ShardFault",
+    "ShardHealth",
+    "FaultyPredictor",
+    "salt_events",
+    "validate_event",
     "MetricsRegistry",
     "Counter",
     "Gauge",

@@ -25,6 +25,7 @@ import json
 import os
 import re
 import shutil
+import time
 from pathlib import Path
 from typing import Any, List, Optional, Tuple, Union
 
@@ -83,6 +84,14 @@ class CheckpointRotator:
         each successful rotation.
     prefix:
         Checkpoint directory name prefix.
+    retries:
+        Extra snapshot attempts after a failed one.  Checkpoint I/O hits
+        transient ``OSError``\\ s in real deployments (NFS hiccups, disk
+        pressure, a laggy unmount) — one of those must not cost months
+        of accumulated model state, so :meth:`rotate` retries with
+        exponential backoff before giving up.
+    backoff_seconds:
+        Sleep before the first retry; doubles on each subsequent one.
     """
 
     def __init__(
@@ -92,16 +101,27 @@ class CheckpointRotator:
         every_samples: int,
         retention: int = 3,
         prefix: str = "ckpt",
+        retries: int = 2,
+        backoff_seconds: float = 0.1,
     ) -> None:
         check_positive(every_samples, "every_samples")
         check_positive(retention, "retention")
         if not re.match(r"^[A-Za-z0-9_.-]+$", prefix):
             raise ValueError(f"invalid checkpoint prefix {prefix!r}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {backoff_seconds}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.every_samples = int(every_samples)
         self.retention = int(retention)
         self.prefix = prefix
+        self.retries = int(retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.n_retries = 0  # lifetime retry tally, for observability
         self._seq_re = re.compile(rf"^{re.escape(prefix)}-(\d+)$")
         existing = self._existing_seqs()
         self._next_seq = (max(existing) + 1) if existing else 0
@@ -156,27 +176,49 @@ class CheckpointRotator:
 
         *fleet* is anything exposing ``shards`` (a sequence of
         checkpointable monitors), ``n_samples``, and ``alarm_state()``
-        — i.e. a :class:`~repro.service.fleet.FleetMonitor`.
+        — i.e. a :class:`~repro.service.fleet.FleetMonitor`.  Transient
+        ``OSError``\\ s are retried up to :attr:`retries` times with
+        exponential backoff; only after every attempt fails does the
+        last error propagate.  Failed attempts leave no partial
+        checkpoint behind — the staged temp directory is torn down and
+        ``LATEST`` still names the previous good snapshot.
         """
+        last_exc: Optional[OSError] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.n_retries += 1
+                time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+            try:
+                return self._rotate_once(fleet)
+            except OSError as exc:
+                last_exc = exc
+        assert last_exc is not None
+        raise last_exc
+
+    def _rotate_once(self, fleet) -> Path:
         seq = self._next_seq
         name = f"{self.prefix}-{seq:08d}"
         final = self.directory / name
         tmp = self.directory / f".{name}.tmp"
-        if tmp.exists():
-            shutil.rmtree(tmp)
-        tmp.mkdir()
-        shards = list(fleet.shards)
-        for i, shard in enumerate(shards):
-            save_model(shard, tmp / f"shard{i}.npz")
-        manifest = {
-            "format": _FORMAT,
-            "seq": seq,
-            "n_samples": int(fleet.n_samples),
-            "n_shards": len(shards),
-            "alarms": fleet.alarm_state(),
-        }
-        (tmp / MANIFEST_NAME).write_text(json.dumps(manifest))
-        os.rename(tmp, final)      # atomic publish of the whole directory
+        try:
+            if tmp.exists():
+                shutil.rmtree(tmp)
+            tmp.mkdir()
+            shards = list(fleet.shards)
+            for i, shard in enumerate(shards):
+                save_model(shard, tmp / f"shard{i}.npz")
+            manifest = {
+                "format": _FORMAT,
+                "seq": seq,
+                "n_samples": int(fleet.n_samples),
+                "n_shards": len(shards),
+                "alarms": fleet.alarm_state(),
+            }
+            (tmp / MANIFEST_NAME).write_text(json.dumps(manifest))
+            os.rename(tmp, final)  # atomic publish of the whole directory
+        except OSError:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
         self._publish_latest(name)
         self._next_seq = seq + 1
         self._last_rotate_samples = int(fleet.n_samples)

@@ -46,6 +46,15 @@ from repro.core.predictor import Alarm, OnlineDiskFailurePredictor
 from repro.parallel.pool import ProcessExecutor, SerialExecutor, TreeExecutor
 from repro.service.alarms import AlarmAction, AlarmManager
 from repro.service.checkpoint import CheckpointRotator, load_checkpoint
+from repro.service.faults import (
+    REASON_DEGRADED_SHARD,
+    REASON_SHARD_FAULT,
+    REASON_UNSHARDABLE_ID,
+    DeadLetterQueue,
+    ShardFault,
+    ShardHealth,
+    validate_event,
+)
 from repro.service.metrics import MetricsRegistry
 from repro.utils.rng import SeedLike
 
@@ -54,8 +63,18 @@ def shard_of(disk_id: Hashable, n_shards: int) -> int:
     """Stable shard assignment for a disk id.
 
     Uses ``crc32`` of the id's ``repr`` — Python's builtin ``hash`` is
-    salted per process and would break deterministic replay.
+    salted per process and would break deterministic replay.  Ids whose
+    type inherits the default ``object.__repr__`` are rejected: that
+    repr embeds a per-process memory address, so the "stable" shard
+    assignment would silently change on every run.
     """
+    if type(disk_id).__repr__ is object.__repr__:
+        raise TypeError(
+            f"disk id of type {type(disk_id).__name__!r} has no stable "
+            "repr (object.__repr__ embeds a memory address, so shard "
+            "assignment would differ across processes); use int or str "
+            "ids, or define __repr__ on the id type"
+        )
     return zlib.crc32(repr(disk_id).encode("utf-8")) % n_shards
 
 
@@ -94,22 +113,34 @@ class EmittedAlarm:
     seq: int
 
 
-def _drain_shard(payload) -> List[Tuple[int, DiskEvent, Optional[Alarm]]]:
+def _drain_shard(payload):
     """Worker: run one shard's event bucket, in arrival order.
 
     Module-level with an explicit payload, matching the executor
-    contract of :mod:`repro.core.forest`.
+    contract of :mod:`repro.core.forest`.  Returns ``(results, error)``
+    — a raising bucket is *captured*, never propagated through the
+    executor, so one faulting shard can never abort its siblings'
+    already-running buckets.
     """
     predictor, bucket, mode = payload
-    if mode == "batch":
-        alarms = predictor.process_batch(
-            [(ev.disk_id, ev.x, ev.failed, ev.tag) for _, ev in bucket]
+    try:
+        if mode == "batch":
+            alarms = predictor.process_batch(
+                [(ev.disk_id, ev.x, ev.failed, ev.tag) for _, ev in bucket]
+            )
+            return (
+                [(seq, ev, alarm) for (seq, ev), alarm in zip(bucket, alarms)],
+                None,
+            )
+        return (
+            [
+                (seq, ev, predictor.process(ev.disk_id, ev.x, ev.failed, ev.tag))
+                for seq, ev in bucket
+            ],
+            None,
         )
-        return [(seq, ev, alarm) for (seq, ev), alarm in zip(bucket, alarms)]
-    return [
-        (seq, ev, predictor.process(ev.disk_id, ev.x, ev.failed, ev.tag))
-        for seq, ev in bucket
-    ]
+    except Exception as exc:  # the shard is now in an indeterminate state
+        return [], exc
 
 
 class FleetMonitor:
@@ -138,6 +169,20 @@ class FleetMonitor:
     rotator:
         Optional :class:`CheckpointRotator`; its cadence is checked
         after every ingest.
+    strict:
+        ``True`` (default): an invalid event makes :meth:`ingest` raise
+        *before any shard mutates* (the batch is admission-checked up
+        front, so ``_seq`` never advances with sibling shards
+        half-updated), and a faulting shard re-raises as
+        :exc:`ShardFault` after the healthy shards' results are applied.
+        ``False`` (tolerant serving): invalid events and the traffic of
+        degraded shards divert to the dead-letter queue with a reason
+        code instead of raising, and checkpoint I/O errors are counted
+        rather than fatal.
+    dead_letters:
+        Quarantine sink for rejected events; a fresh bounded
+        :class:`~repro.service.faults.DeadLetterQueue` of
+        *max_dead_letters* entries is created when omitted.
     """
 
     def __init__(
@@ -149,6 +194,9 @@ class FleetMonitor:
         executor: Optional[TreeExecutor] = None,
         mode: str = "exact",
         rotator: Optional[CheckpointRotator] = None,
+        strict: bool = True,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_dead_letters: int = 1024,
     ) -> None:
         if not shards:
             raise ValueError("a fleet needs at least one shard")
@@ -168,6 +216,13 @@ class FleetMonitor:
         )
         self.mode = mode
         self.rotator = rotator
+        self.strict = bool(strict)
+        self.dead_letters = (
+            dead_letters
+            if dead_letters is not None
+            else DeadLetterQueue(max_dead_letters)
+        )
+        self.health = ShardHealth(len(self.shards))
         self._executor = executor or SerialExecutor()
         self._seq = 0
         self._instrument()
@@ -179,14 +234,29 @@ class FleetMonitor:
         self._failures_c = []
         for i, shard in enumerate(self.shards):
             labels = {"shard": str(i)}
-            self._samples_c.append(reg.counter(
+            samples_c = reg.counter(
                 "repro_fleet_samples_total",
                 help="SMART samples ingested", labels=labels,
-            ))
-            self._failures_c.append(reg.counter(
+            )
+            failures_c = reg.counter(
                 "repro_fleet_failures_total",
                 help="disk failures observed", labels=labels,
-            ))
+            )
+            # seed from the shard's lifetime stats so counters and
+            # digest() agree with PredictorStats after a checkpoint
+            # resume (fresh shards contribute zero)
+            if shard.stats.n_samples > samples_c.value:
+                samples_c.inc(int(shard.stats.n_samples) - int(samples_c.value))
+            if shard.stats.n_failures > failures_c.value:
+                failures_c.inc(int(shard.stats.n_failures) - int(failures_c.value))
+            self._samples_c.append(samples_c)
+            self._failures_c.append(failures_c)
+            reg.gauge(
+                "repro_fleet_shard_healthy",
+                help="1 while the shard serves, 0 once degraded",
+                labels=labels,
+                fn=lambda i=i: 0.0 if self.health.is_degraded(i) else 1.0,
+            )
             reg.gauge(
                 "repro_fleet_queue_depth",
                 help="samples awaiting a label", labels=labels,
@@ -204,6 +274,21 @@ class FleetMonitor:
             )
         reg.gauge(
             "repro_fleet_shards", help="shard count", fn=lambda: n,
+        )
+        reg.gauge(
+            "repro_fleet_degraded_shards",
+            help="shards fenced off after a mid-batch fault",
+            fn=lambda: self.health.n_degraded,
+        )
+        reg.gauge(
+            "repro_fleet_dead_letter_depth",
+            help="quarantined events retained for inspection",
+            fn=lambda: len(self.dead_letters),
+        )
+        self._quarantine_c = {}
+        self._ckpt_failures_c = reg.counter(
+            "repro_fleet_checkpoint_failures_total",
+            help="checkpoint rotations abandoned after I/O retries",
         )
         reg.gauge(
             "repro_fleet_checkpoint_age_samples",
@@ -276,18 +361,97 @@ class FleetMonitor:
         """Which shard owns *disk_id*."""
         return shard_of(disk_id, len(self.shards))
 
+    @property
+    def n_features(self) -> int:
+        """Feature dimension every ingested vector must match."""
+        return int(self.shards[0].forest.n_features)
+
+    def _quarantine(
+        self,
+        ev: DiskEvent,
+        reason: str,
+        *,
+        shard: Optional[int] = None,
+        seq: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self.dead_letters.put(ev, reason, shard=shard, seq=seq, detail=detail)
+        counter = self._quarantine_c.get(reason)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_fleet_quarantined_total",
+                help="events diverted to the dead-letter queue",
+                labels={"reason": reason},
+            )
+            self._quarantine_c[reason] = counter
+        counter.inc()
+
+    def _admit(
+        self, events: Sequence[DiskEvent]
+    ) -> Tuple[List[Tuple[int, DiskEvent]], List[Tuple[DiskEvent, str, Optional[int]]]]:
+        """Admission-check a whole batch before any shard mutates.
+
+        Returns ``(accepted, rejected)`` where accepted entries carry
+        their shard index and rejected entries a reason code.  In strict
+        mode the first rejection raises instead — crucially *before*
+        ``_seq`` has advanced or any bucket has been dispatched, so a
+        bad micro-batch leaves the fleet exactly as it found it.
+        """
+        n_features = self.n_features
+        accepted: List[Tuple[int, DiskEvent]] = []
+        rejected: List[Tuple[DiskEvent, str, Optional[int]]] = []
+        for pos, ev in enumerate(events):
+            reason = validate_event(ev, n_features)
+            if reason is not None:
+                if self.strict:
+                    raise ValueError(
+                        f"invalid event at batch position {pos} "
+                        f"(disk {ev.disk_id!r}): {reason}; no shard was "
+                        "mutated — pass strict=False to quarantine instead"
+                    )
+                rejected.append((ev, reason, None))
+                continue
+            try:
+                shard_i = self.shard_index(ev.disk_id)
+            except TypeError as exc:
+                if self.strict:
+                    raise
+                rejected.append((ev, REASON_UNSHARDABLE_ID, None))
+                del exc
+                continue
+            if self.health.is_degraded(shard_i):
+                # a degraded shard's state is untrusted; fence its
+                # traffic off rather than deepening the corruption
+                if self.strict:
+                    raise ShardFault(
+                        shard_i,
+                        RuntimeError(self.health.errors.get(shard_i, "degraded")),
+                    )
+                rejected.append((ev, REASON_DEGRADED_SHARD, shard_i))
+                continue
+            accepted.append((shard_i, ev))
+        return accepted, rejected
+
     def ingest(self, events: Sequence[DiskEvent]) -> List[EmittedAlarm]:
         """Process one micro-batch of events; returns emitted alarms.
 
-        Events are bucketed per shard (preserving per-disk arrival
-        order), shard buckets run on the fleet executor, and lifecycle
-        decisions are applied in global arrival order — so the emitted
-        stream is deterministic for any executor or shard count.
+        The whole batch is admission-checked first (see
+        :func:`~repro.service.faults.validate_event`); only then are
+        events bucketed per shard (preserving per-disk arrival order),
+        shard buckets run on the fleet executor, and lifecycle decisions
+        applied in global arrival order — so the emitted stream is
+        deterministic for any executor or shard count.  A shard whose
+        bucket raises is marked degraded and its bucket quarantined;
+        sibling shards complete the batch unaffected.
         """
         t0 = time.perf_counter()
+        accepted, rejected = self._admit(events)
+        for ev, reason, shard_i in rejected:
+            self._quarantine(ev, reason, shard=shard_i)
+
         buckets: List[List[Tuple[int, DiskEvent]]] = [[] for _ in self.shards]
-        for ev in events:
-            buckets[self.shard_index(ev.disk_id)].append((self._seq, ev))
+        for shard_i, ev in accepted:
+            buckets[shard_i].append((self._seq, ev))
             self._seq += 1
         busy = [(i, b) for i, b in enumerate(buckets) if b]
         payloads = [(self.shards[i], b, self.mode) for i, b in busy]
@@ -297,7 +461,19 @@ class FleetMonitor:
             results = self._executor.map(_drain_shard, payloads)
 
         merged: List[Tuple[int, int, DiskEvent, Optional[Alarm]]] = []
-        for (shard_i, _), shard_results in zip(busy, results):
+        faults: List[Tuple[int, BaseException]] = []
+        for (shard_i, bucket), (shard_results, error) in zip(busy, results):
+            if error is not None:
+                # the shard is half-mutated and untrusted: fence it off
+                # and account for every event of its bucket
+                self.health.mark_degraded(shard_i, error)
+                for seq, ev in bucket:
+                    self._quarantine(
+                        ev, REASON_SHARD_FAULT,
+                        shard=shard_i, seq=seq, detail=str(error),
+                    )
+                faults.append((shard_i, error))
+                continue
             for seq, ev, alarm in shard_results:
                 merged.append((seq, shard_i, ev, alarm))
         merged.sort(key=lambda item: item[0])
@@ -319,7 +495,15 @@ class FleetMonitor:
                 ))
         self._ingest_hist.observe(time.perf_counter() - t0)
         if self.rotator is not None:
-            self.rotator.maybe_rotate(self)
+            try:
+                self.rotator.maybe_rotate(self)
+            except OSError:
+                self._ckpt_failures_c.inc()
+                if self.strict:
+                    raise
+        if faults and self.strict:
+            shard_i, error = faults[0]
+            raise ShardFault(shard_i, error)
         return emitted
 
     def replay(
@@ -376,6 +560,9 @@ class FleetMonitor:
             "alarms": {
                 k: v for k, v in self.alarms.counts.items() if v
             },
+            "quarantined": self.dead_letters.total,
+            "quarantine_reasons": self.dead_letters.reason_counts,
+            "degraded_shards": self.health.degraded,
             "samples_per_sec": (samples / seconds) if seconds > 0 else 0.0,
             "checkpoint_age": (
                 self.rotator.samples_since_rotate(self.n_samples)
@@ -391,16 +578,32 @@ def fleet_events(arrays, fail_day: dict) -> Iterable[DiskEvent]:
     *fail_day* maps serial → failure day (the day's sample becomes the
     final snapshot of a ``failed=True`` event, matching the CLI monitor
     loop).
+
+    A dead disk often reports *nothing* on its death day, so a failed
+    serial may have no SMART row at ``fail_day`` — without an explicit
+    death event its labeling queue would leak forever and its queued
+    positives would never reach the forest.  Such disks get a trailing
+    ``DiskEvent(x=None, failed=True)`` after the stream.
     """
     from repro.eval.protocol import stream_order
 
     order = stream_order(arrays.days, arrays.serials)
+    seen: set = set()
+    death_emitted: set = set()
     for i in order:
         serial = int(arrays.serials[i])
         day = int(arrays.days[i])
+        failed = fail_day.get(serial) == day
+        seen.add(serial)
+        if failed:
+            death_emitted.add(serial)
         yield DiskEvent(
             disk_id=serial,
             x=arrays.X[i],
-            failed=fail_day.get(serial) == day,
+            failed=failed,
             tag=day,
         )
+    for serial in sorted(seen - death_emitted):
+        fd = fail_day.get(serial)
+        if fd is not None:
+            yield DiskEvent(disk_id=serial, x=None, failed=True, tag=int(fd))

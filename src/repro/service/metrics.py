@@ -56,11 +56,16 @@ def _render_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> s
 
 
 def _render_value(v: float) -> str:
+    v = float(v)
+    if v != v:
+        return "NaN"
     if v == float("inf"):
         return "+Inf"
-    if float(v).is_integer():
+    if v == float("-inf"):
+        return "-Inf"
+    if v.is_integer():
         return str(int(v))
-    return repr(float(v))
+    return repr(v)
 
 
 class _Instrument:
@@ -147,8 +152,19 @@ class Gauge(_Instrument):
 
     @property
     def value(self) -> float:
-        """Current value (invokes the callback if one backs the gauge)."""
-        return float(self._fn()) if self._fn is not None else self._value
+        """Current value (invokes the callback if one backs the gauge).
+
+        A raising callback yields NaN rather than propagating: one
+        broken gauge (e.g. reading a degraded shard) must not take the
+        whole metrics exposition — the operator's only window into the
+        failure — down with it.
+        """
+        if self._fn is None:
+            return self._value
+        try:
+            return float(self._fn())
+        except Exception:
+            return float("nan")
 
     def sample_lines(self) -> List[str]:
         return [
@@ -179,8 +195,11 @@ class Histogram(_Instrument):
         self._count = 0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation (NaN is rejected: it would poison
+        ``_sum`` and every derived rate forever)."""
         value = float(value)
+        if value != value:
+            raise ValueError(f"cannot observe NaN on histogram {self.name!r}")
         with self._lock:
             self._sum += value
             self._count += 1

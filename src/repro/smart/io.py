@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import csv
 import datetime as _dt
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -68,7 +69,10 @@ def write_backblaze_csv(dataset: SmartDataset, path: Union[str, Path]) -> int:
 
 
 def read_backblaze_csv(
-    path: Union[str, Path], spec: Optional[DriveModelSpec] = None
+    path: Union[str, Path],
+    spec: Optional[DriveModelSpec] = None,
+    *,
+    strict: bool = False,
 ) -> SmartDataset:
     """Load a Backblaze-schema CSV into a :class:`SmartDataset`.
 
@@ -79,6 +83,12 @@ def read_backblaze_csv(
 
     Unknown ``smart_*`` columns are ignored; missing ones read as 0 (the
     real archive has sparse columns for some models).
+
+    Real archives also contain outright malformed rows — non-numeric
+    SMART fields, unparseable dates, missing serials.  By default such
+    rows are *skipped* and tallied in one summary
+    :class:`RuntimeWarning`; with ``strict=True`` the first malformed
+    row raises a :class:`ValueError` naming its line number.
     """
     path = Path(path)
     serial_map: Dict[str, int] = {}
@@ -88,30 +98,62 @@ def read_backblaze_csv(
     rows_X: List[List[float]] = []
     model_name = spec.name if spec is not None else "unknown"
     capacity_tb = spec.capacity_tb if spec is not None else 0
+    n_skipped = 0
+    first_skip = ""
 
     with path.open(newline="") as fh:
         reader = csv.DictReader(fh)
         if reader.fieldnames is None:
             raise ValueError(f"{path} is empty")
-        for rec in reader:
-            serial_str = rec["serial_number"]
+        # line 1 is the header, so data rows start at line 2
+        for line_no, rec in enumerate(reader, start=2):
+            try:
+                serial_str = rec.get("serial_number")
+                if not serial_str:
+                    raise ValueError("missing serial_number")
+                date_str = rec.get("date")
+                if not date_str:
+                    raise ValueError("missing date")
+                day = (_dt.date.fromisoformat(date_str) - EPOCH).days
+                failed = rec.get("failure") in ("1", "1.0", "True")
+                x = [0.0] * (2 * len(ALL_ATTRIBUTES))
+                for attr in ALL_ATTRIBUTES:
+                    norm_v = rec.get(f"smart_{attr.id}_normalized") or 0.0
+                    raw_v = rec.get(f"smart_{attr.id}_raw") or 0.0
+                    x[feature_index(attr.id, "norm")] = float(norm_v)
+                    x[feature_index(attr.id, "raw")] = float(raw_v)
+                cap_tb = 0
+                if spec is None:
+                    cap = rec.get("capacity_bytes")
+                    if cap:
+                        cap_tb = int(round(float(cap) / 10**12))
+            except (KeyError, TypeError, ValueError) as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed row: {exc}"
+                    ) from None
+                n_skipped += 1
+                if not first_skip:
+                    first_skip = f"line {line_no}: {exc}"
+                continue
+            # only mutate shared state once the whole row parsed, so a
+            # malformed row can never leak a serial with zero samples
             serial = serial_map.setdefault(serial_str, len(serial_map))
-            day = (_dt.date.fromisoformat(rec["date"]) - EPOCH).days
             serials.append(serial)
             days.append(day)
-            failure.append(rec["failure"] in ("1", "1.0", "True"))
+            failure.append(failed)
             if spec is None:
                 model_name = rec.get("model", model_name) or model_name
-                cap = rec.get("capacity_bytes")
-                if cap:
-                    capacity_tb = max(capacity_tb, int(round(float(cap) / 10**12)))
-            x = [0.0] * (2 * len(ALL_ATTRIBUTES))
-            for attr in ALL_ATTRIBUTES:
-                norm_v = rec.get(f"smart_{attr.id}_normalized") or 0.0
-                raw_v = rec.get(f"smart_{attr.id}_raw") or 0.0
-                x[feature_index(attr.id, "norm")] = float(norm_v)
-                x[feature_index(attr.id, "raw")] = float(raw_v)
+                capacity_tb = max(capacity_tb, cap_tb)
             rows_X.append(x)
+
+    if n_skipped:
+        warnings.warn(
+            f"{path}: skipped {n_skipped} malformed row(s) "
+            f"(first: {first_skip}); pass strict=True to raise instead",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     if not serials:
         raise ValueError(f"{path} contains no data rows")

@@ -86,6 +86,35 @@ class TestResume:
             assert s1.stats.n_samples == s2.stats.n_samples
             assert s1.stats.n_updates_neg == s2.stats.n_updates_neg
 
+    def test_resume_restores_counters_and_digest(self, tmp_path):
+        # regression: from_checkpoint restored _seq but left the
+        # samples/failures counters at zero, so digest() and the
+        # exposition lied after every resume until traffic caught up
+        events = make_events()
+        rot = CheckpointRotator(tmp_path, every_samples=10**9)
+        f1 = build_fleet(n_shards=2, rotator=rot)
+        f1.replay(events, batch_size=16)
+        ckpt = f1.checkpoint()
+
+        from tests.service.test_fleet import passthrough_manager
+
+        f2 = FleetMonitor.from_checkpoint(
+            ckpt, alarm_manager=passthrough_manager()
+        )
+        d1, d2 = f1.digest(), f2.digest()
+        for key in ("events", "samples", "failures", "queue_depth",
+                    "monitored_disks"):
+            assert d1[key] == d2[key], key
+        for i in range(2):
+            labels = {"shard": str(i)}
+            for name in ("repro_fleet_samples_total",
+                         "repro_fleet_failures_total"):
+                assert f2.registry.value(name, labels) == \
+                    f1.registry.value(name, labels)
+            assert f2.registry.value(
+                "repro_fleet_samples_total", labels
+            ) == f2.shards[i].stats.n_samples
+
     def test_alarm_lifecycle_survives_resume(self, tmp_path):
         # open records and drain marks ride in the manifest
         events = make_events()

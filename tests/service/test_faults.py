@@ -1,0 +1,419 @@
+"""Fault-injection suite for the hardened ingest path.
+
+The load-bearing claims: invalid events are rejected *before* any shard
+mutates (strict) or quarantined with a reason code (tolerant); a shard
+that raises mid-batch is fenced off while its siblings stay bit-identical
+to an unfaulted replay of their own streams; checkpoint I/O failures are
+retried and survivable; and every rejected event is accounted for in the
+dead-letter queue and metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    DeadLetterQueue,
+    DiskEvent,
+    FaultyPredictor,
+    ShardFault,
+    ShardHealth,
+    salt_events,
+    validate_event,
+)
+from repro.service.faults import (
+    REASON_DEGRADED_SHARD,
+    REASON_MISSING_VECTOR,
+    REASON_NON_FINITE,
+    REASON_SHARD_FAULT,
+    REASON_WRONG_DIMENSION,
+)
+
+from tests.service.conftest import make_events, same_forest
+from tests.service.test_fleet import build_fleet
+
+
+class TestValidateEvent:
+    def test_good_sample_passes(self):
+        assert validate_event(DiskEvent(1, np.zeros(4)), 4) is None
+
+    def test_failure_without_vector_passes(self):
+        assert validate_event(DiskEvent(1, None, failed=True), 4) is None
+
+    def test_working_disk_without_vector(self):
+        ev = DiskEvent(1, None, failed=False)
+        assert validate_event(ev, 4) == REASON_MISSING_VECTOR
+
+    def test_wrong_dimension(self):
+        assert validate_event(DiskEvent(1, np.zeros(5)), 4) == REASON_WRONG_DIMENSION
+        assert validate_event(DiskEvent(1, np.zeros((2, 2))), 4) == REASON_WRONG_DIMENSION
+
+    def test_non_finite(self):
+        nan = np.array([0.0, np.nan, 0.0, 0.0])
+        inf = np.array([0.0, np.inf, 0.0, 0.0])
+        assert validate_event(DiskEvent(1, nan), 4) == REASON_NON_FINITE
+        assert validate_event(DiskEvent(1, inf), 4) == REASON_NON_FINITE
+        # a failure's final snapshot feeds the labeler too: same rules
+        assert validate_event(DiskEvent(1, nan, failed=True), 4) == REASON_NON_FINITE
+
+    def test_unconvertible_vector(self):
+        assert validate_event(DiskEvent(1, ["a", "b", "c", "d"]), 4) is not None
+
+
+class TestDeadLetterQueue:
+    def test_bounded_with_honest_totals(self):
+        dlq = DeadLetterQueue(maxlen=3)
+        for i in range(5):
+            dlq.put(DiskEvent(i, None), REASON_MISSING_VECTOR)
+        assert len(dlq) == 3
+        assert dlq.total == 5
+        assert dlq.dropped == 2
+        assert dlq.reason_counts == {REASON_MISSING_VECTOR: 5}
+        # ring keeps the most recent entries
+        assert [q.event.disk_id for q in dlq.items()] == [2, 3, 4]
+
+    def test_drain_keeps_totals(self):
+        dlq = DeadLetterQueue(maxlen=8)
+        dlq.put(DiskEvent(0, None), REASON_MISSING_VECTOR, shard=1, seq=7)
+        drained = dlq.drain()
+        assert len(drained) == 1
+        assert drained[0].shard == 1 and drained[0].seq == 7
+        assert len(dlq) == 0
+        assert dlq.total == 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            DeadLetterQueue(maxlen=0)
+
+
+class TestShardHealth:
+    def test_mark_and_restore(self):
+        h = ShardHealth(3)
+        assert h.degraded == [] and h.n_degraded == 0
+        assert h.mark_degraded(1, RuntimeError("boom"))
+        assert "boom" in h.errors[1]
+        assert not h.mark_degraded(1, "again")  # already degraded; error updates
+        assert h.is_degraded(1) and not h.is_degraded(0)
+        assert h.degraded == [1]
+        assert h.restore(1)
+        assert not h.is_degraded(1)
+        assert not h.restore(1)
+
+    def test_range_checked(self):
+        h = ShardHealth(2)
+        with pytest.raises(IndexError):
+            h.mark_degraded(2)
+
+
+def corrupt(events, every=13, n_features=4):
+    """Deterministically replace every k-th working sample with junk."""
+    kinds = [
+        np.full(n_features, np.nan),
+        np.zeros(n_features + 2),
+        None,
+        np.full(n_features, np.inf),
+    ]
+    out, bad = [], 0
+    for i, ev in enumerate(events):
+        if not ev.failed and i % every == 0:
+            out.append(DiskEvent(ev.disk_id, kinds[bad % 4], failed=False, tag=ev.tag))
+            bad += 1
+        else:
+            out.append(ev)
+    return out, bad
+
+
+class TestStrictIngest:
+    def test_raises_before_any_mutation(self, events):
+        fleet = build_fleet(n_shards=2, strict=True)
+        fleet.replay(events[:64], batch_size=32)
+        seq_before = fleet.n_samples
+        witness = build_fleet(n_shards=2, strict=True)
+        witness.replay(events[:64], batch_size=32)
+
+        poisoned = list(events[64:96])
+        poisoned[7] = DiskEvent(
+            poisoned[7].disk_id, np.full(4, np.nan), failed=False, tag="bad"
+        )
+        with pytest.raises(ValueError, match="non_finite"):
+            fleet.ingest(poisoned)
+        # nothing moved: no seq advance, no shard mutated, nothing queued
+        assert fleet.n_samples == seq_before
+        assert fleet.dead_letters.total == 0
+        for s1, s2 in zip(fleet.shards, witness.shards):
+            assert same_forest(s1.forest, s2.forest)
+            assert s1.stats.n_samples == s2.stats.n_samples
+        # the identical valid remainder still ingests identically
+        valid = [ev for i, ev in enumerate(poisoned) if i != 7]
+        fleet.ingest(valid)
+        witness.ingest(valid)
+        for s1, s2 in zip(fleet.shards, witness.shards):
+            assert same_forest(s1.forest, s2.forest)
+
+    def test_missing_vector_raises(self):
+        fleet = build_fleet(strict=True)
+        with pytest.raises(ValueError, match="missing_vector"):
+            fleet.ingest([DiskEvent(0, None, failed=False)])
+
+
+class TestTolerantQuarantine:
+    def test_malformed_events_divert_not_raise(self, events):
+        dirty, n_bad = corrupt(events)
+        assert n_bad > 0
+        tolerant = build_fleet(n_shards=2, strict=False)
+        emitted_dirty = tolerant.replay(dirty, batch_size=32)
+
+        clean = [ev for ev in dirty if validate_event(ev, 4) is None]
+        reference = build_fleet(n_shards=2, strict=True)
+        emitted_clean = reference.replay(clean, batch_size=32)
+
+        # the fleet is bit-identical to a replay of only the valid events
+        for s1, s2 in zip(tolerant.shards, reference.shards):
+            assert same_forest(s1.forest, s2.forest)
+        assert [
+            (e.alarm.disk_id, e.alarm.tag, e.alarm.score) for e in emitted_dirty
+        ] == [
+            (e.alarm.disk_id, e.alarm.tag, e.alarm.score) for e in emitted_clean
+        ]
+        # and every rejected event is accounted for
+        assert tolerant.dead_letters.total == n_bad
+        reasons = tolerant.dead_letters.reason_counts
+        assert sum(reasons.values()) == n_bad
+        assert set(reasons) <= {
+            REASON_MISSING_VECTOR, REASON_NON_FINITE, REASON_WRONG_DIMENSION,
+        }
+        total_metric = sum(
+            tolerant.registry.value(
+                "repro_fleet_quarantined_total", {"reason": r}
+            )
+            for r in reasons
+        )
+        assert total_metric == n_bad
+        d = tolerant.digest()
+        assert d["quarantined"] == n_bad
+        assert d["degraded_shards"] == []
+
+    def test_unshardable_id_quarantined(self):
+        class Reprless:
+            __hash__ = object.__hash__
+
+        fleet = build_fleet(strict=False)
+        fleet.ingest([DiskEvent(Reprless(), np.zeros(4))])
+        assert fleet.dead_letters.reason_counts == {"unshardable_id": 1}
+
+
+class TestShardFaultIsolation:
+    def poisoned_fleet(self, fail_after, strict, **kwargs):
+        fleet = build_fleet(n_shards=2, strict=strict, **kwargs)
+        victim = next(
+            i for i in range(2)
+            if any(fleet.shard_index(d) == i for d in range(8))
+        )
+        fleet.shards[victim] = FaultyPredictor(
+            fleet.shards[victim], fail_after=fail_after
+        )
+        return fleet, victim
+
+    @pytest.mark.parametrize("mode", ["exact", "batch"])
+    def test_healthy_shards_bit_identical(self, events, mode):
+        fleet, victim = self.poisoned_fleet(
+            fail_after=40, strict=False, mode=mode
+        )
+        emitted = fleet.replay(events, batch_size=32)  # must not raise
+        assert fleet.health.degraded == [victim]
+
+        survivor = 1 - victim
+        # unfaulted replay of the survivor's own event stream
+        own = [ev for ev in events if fleet.shard_index(ev.disk_id) == survivor]
+        reference = build_fleet(n_shards=2, strict=True, mode=mode)
+        ref_emitted = reference.replay(own, batch_size=32)
+        assert same_forest(
+            fleet.shards[survivor].forest, reference.shards[survivor].forest
+        )
+        assert [
+            (e.alarm.disk_id, e.alarm.tag, e.alarm.score)
+            for e in emitted if e.shard == survivor
+        ] == [
+            (e.alarm.disk_id, e.alarm.tag, e.alarm.score) for e in ref_emitted
+        ]
+        # full accounting of the victim's stream: every one of its events
+        # was either applied before the fault or quarantined (events of
+        # the faulted bucket that were applied pre-fault count as both —
+        # the shard's state is untrusted, so the whole bucket diverts)
+        reasons = fleet.dead_letters.reason_counts
+        assert reasons.get(REASON_SHARD_FAULT, 0) > 0
+        assert set(reasons) <= {REASON_SHARD_FAULT, REASON_DEGRADED_SHARD}
+        victim_events = [
+            ev for ev in events if fleet.shard_index(ev.disk_id) == victim
+        ]
+        processed = fleet.shards[victim].n_processed
+        quarantined = fleet.dead_letters.total
+        assert quarantined == sum(reasons.values())
+        assert processed + quarantined >= len(victim_events)
+        assert quarantined <= len(victim_events)
+        assert all(
+            fleet.shard_index(q.event.disk_id) == victim
+            for q in fleet.dead_letters.items()
+        )
+        d = fleet.digest()
+        assert d["degraded_shards"] == [victim]
+        assert fleet.registry.value(
+            "repro_fleet_shard_healthy", {"shard": str(victim)}
+        ) == 0.0
+        assert fleet.registry.value(
+            "repro_fleet_shard_healthy", {"shard": str(survivor)}
+        ) == 1.0
+        assert fleet.registry.value("repro_fleet_degraded_shards") == 1
+
+    def test_strict_mode_raises_shard_fault(self, events):
+        fleet, victim = self.poisoned_fleet(fail_after=10, strict=True)
+        with pytest.raises(ShardFault) as excinfo:
+            fleet.replay(events, batch_size=32)
+        assert excinfo.value.shard == victim
+        assert fleet.health.is_degraded(victim)
+
+    def test_degraded_shard_traffic_reroutes(self, events):
+        fleet, victim = self.poisoned_fleet(fail_after=0, strict=False)
+        fleet.replay(events[:64], batch_size=32)
+        # after the first faulted batch, later batches never dispatch to
+        # the degraded shard — its traffic lands in the dead letters
+        reasons = fleet.dead_letters.reason_counts
+        assert reasons.get(REASON_DEGRADED_SHARD, 0) > 0
+        assert fleet.shards[victim].n_processed == 0
+
+
+class TestCheckpointFaults:
+    def test_rotate_retries_transient_oserror(self, tmp_path, events, monkeypatch):
+        from repro.service import CheckpointRotator
+        from repro.service import checkpoint as ckpt_mod
+
+        rot = CheckpointRotator(
+            tmp_path, every_samples=10**9, backoff_seconds=0.0
+        )
+        fleet = build_fleet(rotator=rot)
+        fleet.replay(events[:32], batch_size=32)
+
+        real_save = ckpt_mod.save_model
+        calls = {"n": 0}
+
+        def flaky_save(model, path):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient NFS hiccup")
+            return real_save(model, path)
+
+        monkeypatch.setattr(ckpt_mod, "save_model", flaky_save)
+        path = rot.rotate(fleet)
+        assert path.is_dir()
+        assert rot.n_retries == 1
+        # the failed attempt left no staged temp directory behind
+        assert [p for p in tmp_path.iterdir() if p.name.startswith(".ckpt")] == []
+
+    def test_persistent_failure_raises_after_retries(
+        self, tmp_path, events, monkeypatch
+    ):
+        from repro.service import CheckpointRotator
+        from repro.service import checkpoint as ckpt_mod
+
+        rot = CheckpointRotator(
+            tmp_path, every_samples=10**9, retries=2, backoff_seconds=0.0
+        )
+        fleet = build_fleet(rotator=rot)
+        fleet.replay(events[:32], batch_size=32)
+
+        def readonly_save(model, path):
+            raise PermissionError("read-only checkpoint directory")
+
+        monkeypatch.setattr(ckpt_mod, "save_model", readonly_save)
+        with pytest.raises(OSError):
+            rot.rotate(fleet)
+        assert rot.n_retries == 2
+        assert rot.latest is None
+
+    def test_tolerant_ingest_survives_checkpoint_failure(
+        self, tmp_path, events, monkeypatch
+    ):
+        from repro.service import CheckpointRotator
+        from repro.service import checkpoint as ckpt_mod
+
+        def readonly_save(model, path):
+            raise PermissionError("read-only checkpoint directory")
+
+        monkeypatch.setattr(ckpt_mod, "save_model", readonly_save)
+        rot = CheckpointRotator(
+            tmp_path, every_samples=10, retries=1, backoff_seconds=0.0
+        )
+        tolerant = build_fleet(n_shards=2, strict=False, rotator=rot)
+        emitted = tolerant.replay(events, batch_size=32)  # must not raise
+        assert tolerant.registry.value(
+            "repro_fleet_checkpoint_failures_total"
+        ) > 0
+
+        # the stream itself was served identically to a rotator-less run
+        reference = build_fleet(n_shards=2, strict=True)
+        ref_emitted = reference.replay(events, batch_size=32)
+        assert [
+            (e.alarm.disk_id, e.alarm.tag) for e in emitted
+        ] == [(e.alarm.disk_id, e.alarm.tag) for e in ref_emitted]
+        for s1, s2 in zip(tolerant.shards, reference.shards):
+            assert same_forest(s1.forest, s2.forest)
+
+    def test_strict_ingest_propagates_checkpoint_failure(
+        self, tmp_path, events, monkeypatch
+    ):
+        from repro.service import CheckpointRotator
+        from repro.service import checkpoint as ckpt_mod
+
+        monkeypatch.setattr(
+            ckpt_mod, "save_model",
+            lambda model, path: (_ for _ in ()).throw(PermissionError("ro")),
+        )
+        rot = CheckpointRotator(
+            tmp_path, every_samples=10, retries=0, backoff_seconds=0.0
+        )
+        strict = build_fleet(strict=True, rotator=rot)
+        with pytest.raises(OSError):
+            strict.replay(events, batch_size=32)
+
+
+class TestInjectionHarness:
+    def test_faulty_predictor_partial_batch_mutation(self):
+        from repro.core.forest import OnlineRandomForest
+        from repro.core.predictor import OnlineDiskFailurePredictor
+
+        from tests.service.conftest import FOREST_KW
+
+        inner = OnlineDiskFailurePredictor(
+            OnlineRandomForest(4, seed=9, **FOREST_KW), queue_length=3
+        )
+        faulty = FaultyPredictor(inner, fail_after=2)
+        rows = [(d, np.zeros(4), False, None) for d in range(4)]
+        with pytest.raises(RuntimeError, match="injected"):
+            faulty.process_batch(rows)
+        # the first two events genuinely mutated the shard (half-updated)
+        assert faulty.n_processed == 2
+        assert inner.stats.n_samples == 2
+        # proxying exposes the wrapped predictor's attributes
+        assert faulty.forest is inner.forest
+        assert faulty.n_monitored_disks == inner.n_monitored_disks
+
+    def test_salt_events_deterministic_and_bounded(self):
+        events = make_events()
+        a = list(salt_events(events, rate=0.2, n_features=4, seed=5))
+        b = list(salt_events(events, rate=0.2, n_features=4, seed=5))
+        assert len(a) == len(events)
+        for ev_a, ev_b in zip(a, b):
+            assert ev_a.disk_id == ev_b.disk_id
+            xa, xb = ev_a.x, ev_b.x
+            assert (xa is None) == (xb is None)
+            if xa is not None:
+                assert np.array_equal(xa, xb, equal_nan=True)
+        n_bad = sum(1 for ev in a if validate_event(ev, 4) is not None)
+        assert 0 < n_bad < len(events) // 2
+        # failures pass through untouched — their semantics are load-bearing
+        for ev, orig in zip(a, events):
+            if orig.failed:
+                assert ev.failed and ev.x is orig.x
+
+    def test_salt_events_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            list(salt_events([], rate=1.5, n_features=4))

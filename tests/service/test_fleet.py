@@ -73,6 +73,21 @@ class TestSharding:
         ]
         assert len(set(states)) == 4
 
+    def test_shard_of_rejects_default_repr_ids(self):
+        # object.__repr__ embeds a memory address: crc32(repr(id)) would
+        # assign a different shard every process, silently breaking replay
+        class OpaqueId:
+            pass
+
+        with pytest.raises(TypeError, match="stable"):
+            shard_of(OpaqueId(), 4)
+
+        class NamedId:
+            def __repr__(self):
+                return "NamedId(7)"
+
+        assert shard_of(NamedId(), 4) == shard_of(NamedId(), 4)
+
     def test_fleet_requires_shards(self):
         with pytest.raises(ValueError):
             FleetMonitor([])
@@ -214,6 +229,34 @@ class TestEventHelpers:
             if fail_day.get(int(s)) == int(d)
         )
         assert sum(e.failed for e in events) == expected_failures
+
+    def test_fleet_events_emits_trailing_death_for_silent_failures(self):
+        # regression: a dead disk often reports nothing on its death day.
+        # fleet_events used to key failed= on "row at fail_day exists", so
+        # such disks never got a death event — their labeling queues
+        # leaked and their queued positives never reached the forest.
+        from types import SimpleNamespace
+
+        from repro.service import fleet_events
+
+        serials = np.array([0, 1, 0, 1, 0, 1], dtype=np.int64)
+        days = np.array([0, 0, 1, 1, 2, 2], dtype=np.int64)
+        X = np.arange(24, dtype=np.float64).reshape(6, 4)
+        arrays = SimpleNamespace(serials=serials, days=days, X=X)
+        fail_day = {0: 3}  # disk 0 dies on day 3 — no SMART row that day
+
+        events = list(fleet_events(arrays, fail_day))
+        assert len(events) == 7
+        assert not any(e.failed for e in events[:6])
+        last = events[-1]
+        assert (last.disk_id, last.failed, last.tag) == (0, True, 3)
+        assert last.x is None
+
+        # the trailing death event actually closes out the disk
+        fleet = build_fleet()
+        fleet.replay(events)
+        assert fleet.digest()["failures"] == 1
+        assert fleet.shards[0].labeler.pending_for(0) == 0
 
     def test_disk_event_is_frozen(self):
         ev = DiskEvent("d", np.zeros(4))

@@ -91,6 +91,48 @@ class TestReadEdgeCases:
         assert ds.X[0, feature_index(5, "raw")] == 12.0
         assert ds.X[0, feature_index(187, "raw")] == 0.0
 
+    def test_malformed_rows_skipped_with_warning(self, tmp_path):
+        # regression: a bad date / non-numeric SMART field / missing
+        # serial used to crash the whole load with a context-free
+        # ValueError; real archives contain all three
+        path = tmp_path / "dirty.csv"
+        path.write_text(
+            "date,serial_number,model,capacity_bytes,failure,smart_5_raw\n"
+            "2013-04-10,D1,M,4000000000000,0,12\n"
+            "not-a-date,D1,M,4000000000000,0,13\n"       # line 3
+            "2013-04-12,D1,M,4000000000000,0,oops\n"      # line 4
+            "2013-04-13,,M,4000000000000,0,14\n"          # line 5
+            "2013-04-14,D1,M,4000000000000,0,15\n"
+        )
+        with pytest.warns(RuntimeWarning, match=r"skipped 3 malformed"):
+            ds = read_backblaze_csv(path)
+        assert ds.n_rows == 2
+        assert ds.n_drives == 1
+        assert [float(v) for v in ds.X[:, feature_index(5, "raw")]] == [12.0, 15.0]
+
+    def test_malformed_row_strict_names_line_number(self, tmp_path):
+        path = tmp_path / "dirty.csv"
+        path.write_text(
+            "date,serial_number,model,capacity_bytes,failure,smart_5_raw\n"
+            "2013-04-10,D1,M,4000000000000,0,12\n"
+            "2013-04-11,D1,M,4000000000000,0,oops\n"
+        )
+        with pytest.raises(ValueError, match=r"dirty\.csv:3: malformed row"):
+            read_backblaze_csv(path, strict=True)
+
+    def test_malformed_only_drive_does_not_leak(self, tmp_path):
+        # a serial whose every row is malformed must not survive as a
+        # zero-sample drive (that used to crash lifecycle reconstruction)
+        path = tmp_path / "ghost.csv"
+        path.write_text(
+            "date,serial_number,model,capacity_bytes,failure\n"
+            "2013-04-10,D1,M,4000000000000,0\n"
+            "bogus,GHOST,M,4000000000000,0\n"
+        )
+        with pytest.warns(RuntimeWarning):
+            ds = read_backblaze_csv(path)
+        assert ds.n_drives == 1
+
     def test_spec_inferred_when_absent(self, tmp_path):
         path = tmp_path / "one.csv"
         path.write_text(

@@ -103,6 +103,41 @@ class TestMonitor:
         out = capsys.readouterr().out
         assert "# processed" in out
 
+    def test_monitor_counts_silent_death_days(
+        self, fleet_csv, tmp_path, capsys, monkeypatch
+    ):
+        # regression: a drive whose fail_day has no SMART row (dead disks
+        # often report nothing on their death day) was never flushed, so
+        # its queued positives leaked and the failure went uncounted
+        import dataclasses
+        import re
+
+        import repro.cli as cli_mod
+
+        ckpt = tmp_path / "orf.npz"
+        main([
+            "train", "--data", str(fleet_csv), "--model", "orf",
+            "--trees", "4", "--seed", "1", "-o", str(ckpt),
+        ])
+        ds = read_backblaze_csv(fleet_csv)
+        drives = list(ds.drives)
+        idx = next(i for i, d in enumerate(drives) if d.failed)
+        drives[idx] = dataclasses.replace(
+            drives[idx], fail_day=drives[idx].last_observed_day + 3
+        )
+        tampered = dataclasses.replace(ds, drives=drives)
+        monkeypatch.setattr(cli_mod, "_load_dataset", lambda path: tampered)
+        capsys.readouterr()
+        rc = main([
+            "monitor", "--data", str(fleet_csv),
+            "--model-file", str(ckpt), "--threshold", "0.6",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        n_failed = sum(1 for d in tampered.drives if d.failed)
+        m = re.search(r"(\d+) failures", out)
+        assert m is not None and int(m.group(1)) == n_failed
+
     def test_monitor_rejects_offline_checkpoint(self, fleet_csv, tmp_path):
         ckpt = tmp_path / "rf.npz"
         main([
@@ -138,6 +173,43 @@ class TestServe:
         assert "# digest:" in out
         assert "repro_fleet_samples_total" in out
         assert (ckpt_dir / "LATEST").exists()
+
+    def test_serve_fault_rate_quarantines_without_dying(
+        self, fleet_csv, tmp_path, capsys
+    ):
+        # chaos drill: salt the stream with malformed events; tolerant
+        # serving must finish the replay and account for every rejection
+        ckpt = tmp_path / "orf.npz"
+        main([
+            "train", "--data", str(fleet_csv), "--model", "orf",
+            "--trees", "4", "--seed", "1", "-o", str(ckpt),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "serve", "--data", str(fleet_csv), "--model-file", str(ckpt),
+            "--shards", "2", "--threshold", "0.6",
+            "--fault-rate", "0.01", "--fault-seed", "7",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# served" in out
+        import re
+
+        m = re.search(r"# quarantined: (\d+)", out)
+        assert m is not None and int(m.group(1)) > 0
+        assert "# degraded shards: none" in out
+
+    def test_serve_strict_raises_on_salted_stream(self, fleet_csv, tmp_path):
+        ckpt = tmp_path / "orf.npz"
+        main([
+            "train", "--data", str(fleet_csv), "--model", "orf",
+            "--trees", "4", "--seed", "1", "-o", str(ckpt),
+        ])
+        with pytest.raises(ValueError, match="no shard was mutated"):
+            main([
+                "serve", "--data", str(fleet_csv), "--model-file", str(ckpt),
+                "--strict", "--fault-rate", "0.01", "--fault-seed", "7",
+            ])
 
     def test_serve_rejects_offline_checkpoint(self, fleet_csv, tmp_path):
         ckpt = tmp_path / "rf.npz"
