@@ -1,0 +1,50 @@
+"""Static analysis for reproducibility invariants.
+
+The evaluation protocol of the paper (monthly snapshots, long-term
+FDR/FAR simulation) is only meaningful over bit-reproducible streams.
+PRs 1-3 *proved* backend equivalence test by test; this package
+*enforces* the invariants that make those proofs hold, as machine-checked
+AST rules:
+
+* :mod:`repro.analysis.rules.determinism` — no unseeded RNG entry
+  points, no wall-clock reads outside a narrow allowlist;
+* :mod:`repro.analysis.rules.numerics` — no ``==``/``!=`` on
+  float-typed expressions, no silent float-narrowing casts;
+* :mod:`repro.analysis.rules.hygiene` — no mutable default arguments,
+  no broad exception swallowing, disciplined metric registration;
+* :mod:`repro.analysis.rules.api` — ``__all__`` consistent with the
+  public definitions of each module.
+
+The engine (:mod:`repro.analysis.engine`) walks files, dispatches one
+shared AST per file to every applicable rule, honours inline
+``# repro: noqa RPR101 — reason`` suppressions, and diffs findings
+against a committed baseline (:mod:`repro.analysis.baseline`) so the
+tool lands strict-by-default.  Exposed on the CLI as ``repro lint``.
+"""
+
+from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    Severity,
+    iter_python_files,
+    lint_paths,
+)
+from repro.analysis.rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "iter_python_files",
+    "lint_paths",
+    "load_baseline",
+    "rules_by_id",
+    "write_baseline",
+]

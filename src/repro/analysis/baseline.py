@@ -1,0 +1,112 @@
+"""Committed-baseline support: land strict-by-default, burn debt down.
+
+A baseline is a JSON file mapping finding fingerprints (see
+:meth:`repro.analysis.engine.Finding.fingerprint`) to a short
+description.  Findings whose fingerprint appears in the baseline are
+*grandfathered* — reported but not failing — so the linter can be
+enabled on a codebase with pre-existing debt and still block every
+**new** violation.  This repo's committed baseline is empty: the whole
+tree lints clean, and any regression fails CI immediately.
+
+Fingerprints hash (rule id, path, source snippet), never line numbers,
+so editing unrelated code above a grandfathered finding does not
+resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.engine import Finding
+
+#: default baseline location, repo-relative
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of grandfathered finding fingerprints."""
+
+    fingerprints: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.fingerprints
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition *findings* into ``(new, grandfathered)``."""
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for f in findings:
+            (old if f.fingerprint() in self else new).append(f)
+        return new, old
+
+    def stale_entries(self, findings: Sequence[Finding]) -> List[str]:
+        """Baseline fingerprints no current finding matches (fixed debt).
+
+        Surfaced so the baseline can be re-tightened: a stale entry
+        means someone fixed a grandfathered violation and the baseline
+        should be regenerated to stop it silently coming back.
+        """
+        live = {f.fingerprint() for f in findings}
+        return sorted(fp for fp in self.fingerprints if fp not in live)
+
+
+def load_baseline(path: str = DEFAULT_BASELINE) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline()
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"{path} is not a lint baseline (no 'fingerprints' key)")
+    version = data.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"{path} has baseline version {version!r}; this tool reads "
+            f"version {_VERSION} — regenerate with 'repro lint --write-baseline'"
+        )
+    fps = data["fingerprints"]
+    if not isinstance(fps, dict):
+        raise ValueError(f"{path}: 'fingerprints' must be an object")
+    return Baseline(fingerprints=dict(fps))
+
+
+def write_baseline(
+    findings: Sequence[Finding], path: str = DEFAULT_BASELINE
+) -> Baseline:
+    """Serialize *findings* as the new baseline at *path*.
+
+    Entries carry the human-readable location and message next to the
+    fingerprint so a reviewer can audit what debt is being accepted.
+    """
+    fingerprints: Dict[str, Dict[str, object]] = {}
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule_id)):
+        fingerprints[f.fingerprint()] = {
+            "rule": f.rule_id,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+        }
+    baseline = Baseline(fingerprints=fingerprints)
+    payload = {
+        "version": _VERSION,
+        "comment": (
+            "Grandfathered lint findings. Regenerate with "
+            "'repro lint --write-baseline'; keep this empty."
+        ),
+        "fingerprints": fingerprints,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return baseline

@@ -1,0 +1,301 @@
+"""Rule engine: file walker, per-rule AST dispatch, findings, suppression.
+
+Design constraints, in order:
+
+1. **Dependency-free** — stdlib ``ast`` only, so the linter can run in
+   CI, pre-commit, and the container image without any extra install.
+2. **One parse per file** — every rule receives the same
+   :class:`FileContext` (source, lines, parsed tree), so adding rules
+   is O(rules), not O(rules × parses).
+3. **Deterministic output** — files are walked in sorted order and
+   findings are sorted by (path, line, col, rule), so two runs over the
+   same tree emit byte-identical reports; the linter holds itself to
+   the invariants it checks.
+
+Suppression uses an inline comment on the flagged line::
+
+    value = X.astype(np.float32)  # repro: noqa RPR202 — SMART schema is float32
+
+``# repro: noqa`` with no ids suppresses every rule on that line; with
+ids it suppresses exactly those.  Suppressed findings are counted (they
+appear in ``--stats``) but never fail a run.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import hashlib
+import re
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: ``# repro: noqa`` / ``# repro: noqa RPR101, RPR102 — reason``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\s*:?\s*(?P<ids>RPR\d+(?:\s*,\s*RPR\d+)*))?"
+    r"(?:\s*[—–-]+\s*(?P<reason>\S.*))?",
+)
+
+#: rule id reserved for files the engine itself cannot parse
+PARSE_ERROR_RULE = "RPR000"
+
+
+class Severity(str, enum.Enum):
+    """How bad a finding is; ``ERROR`` findings fail the run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a file:line:col.
+
+    ``snippet`` is the stripped source line: it feeds the baseline
+    fingerprint, which is deliberately *line-number free* so that
+    unrelated edits above a grandfathered finding do not un-baseline it.
+    """
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — clickable in most terminals."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline diffing (rule + path + snippet)."""
+        payload = f"{self.rule_id}\x00{self.path}\x00{self.snippet}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one file: parsed once, shared."""
+
+    path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a :class:`Finding` for *node* under *rule*."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        snippet = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=severity or rule.severity,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=snippet,
+        )
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``rule_id`` (stable, ``RPR###``), ``severity``,
+    ``description`` (one line, surfaced in docs and ``--stats``), and
+    optionally ``skip_globs`` — path patterns where the invariant does
+    not apply (e.g. benchmarks are *supposed* to read the clock).  Path
+    scoping lives on the rule, not in per-file noqa spam, so the policy
+    is auditable in one place.
+    """
+
+    rule_id: str = "RPR999"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    skip_globs: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """False when *path* matches one of the rule's ``skip_globs``."""
+        return not any(_match_glob(path, g) for g in self.skip_globs)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file; override in subclasses."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.rule_id}: {self.description}>"
+
+
+def _match_glob(path: str, pattern: str) -> bool:
+    """fnmatch that tolerates both repo-relative and nested prefixes."""
+    return fnmatch(path, pattern) or fnmatch(path, "*/" + pattern)
+
+
+def _suppressed_ids(line: str) -> Optional[frozenset]:
+    """Rule ids a ``# repro: noqa`` comment on *line* suppresses.
+
+    Returns None when the line has no suppression, an empty frozenset
+    for a blanket ``# repro: noqa``, and the listed ids otherwise.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    ids = m.group("ids")
+    if not ids:
+        return frozenset()
+    return frozenset(part.strip() for part in ids.split(","))
+
+
+def is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    """True when the finding's source line carries a matching noqa."""
+    if not (0 < finding.line <= len(lines)):
+        return False
+    ids = _suppressed_ids(lines[finding.line - 1])
+    if ids is None:
+        return False
+    return not ids or finding.rule_id in ids
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: findings plus run statistics."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    runtime_seconds: float = 0.0
+    rules_run: int = 0
+
+    def stats(self) -> Dict[str, object]:
+        """``--stats`` payload: per-rule / per-severity counts, totals."""
+        by_rule: Dict[str, int] = {}
+        by_severity: Dict[str, int] = {}
+        for f in self.findings:
+            by_rule[f.rule_id] = by_rule.get(f.rule_id, 0) + 1
+            by_severity[f.severity.value] = by_severity.get(f.severity.value, 0) + 1
+        return {
+            "files_scanned": self.files_scanned,
+            "rules_run": self.rules_run,
+            "findings_total": len(self.findings),
+            "suppressed_total": len(self.suppressed),
+            "findings_by_rule": dict(sorted(by_rule.items())),
+            "findings_by_severity": dict(sorted(by_severity.items())),
+            "runtime_seconds": round(self.runtime_seconds, 4),
+        }
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield ``.py`` files under *paths* (files or directories), sorted.
+
+    Hidden directories and ``__pycache__`` are skipped; a path that does
+    not exist raises ``FileNotFoundError`` rather than silently linting
+    nothing (a typo must not report a clean run).
+    """
+    seen = set()
+    for raw in paths:
+        p = Path(raw)
+        if not p.exists():
+            raise FileNotFoundError(f"lint target does not exist: {raw}")
+        if p.is_file():
+            candidates: Iterable[Path] = [p] if p.suffix == ".py" else []
+        else:
+            candidates = sorted(p.rglob("*.py"))
+        for f in candidates:
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in f.parts
+            ):
+                continue
+            key = f.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            yield f
+
+
+def _relative_posix(path: Path) -> str:
+    """Repo-relative posix path when possible, else as given."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file; returns ``(active, suppressed)`` findings."""
+    rel = _relative_posix(path)
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id=PARSE_ERROR_RULE,
+            severity=Severity.ERROR,
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+            snippet=(exc.text or "").strip(),
+        )
+        return [finding], []
+    ctx = FileContext(path=rel, source=source, lines=lines, tree=tree)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(rel):
+            continue
+        for finding in rule.check(ctx):
+            if is_suppressed(finding, lines):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+    return active, suppressed
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+) -> LintReport:
+    """Walk *paths* and run every rule; the single library entry point."""
+    if rules is None:
+        from repro.analysis.rules import ALL_RULES
+
+        rules = ALL_RULES
+    # lint runtime is report metadata, not part of any reproducible
+    # result stream — the one sanctioned clock read in src/
+    t0 = time.perf_counter()  # repro: noqa RPR102 — lint runtime is report metadata
+    report = LintReport(rules_run=len(rules))
+    for path in iter_python_files(paths):
+        active, suppressed = lint_file(path, rules)
+        report.findings.extend(active)
+        report.suppressed.extend(suppressed)
+        report.files_scanned += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    report.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    report.runtime_seconds = time.perf_counter() - t0  # repro: noqa RPR102 — lint runtime is report metadata
+    return report

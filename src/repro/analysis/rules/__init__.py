@@ -1,0 +1,30 @@
+"""Rule registry: every invariant the linter enforces, in id order.
+
+Adding a rule = write a :class:`~repro.analysis.engine.Rule` subclass
+in the thematic module, append it to that module's ``RULES`` tuple, and
+document it in ``docs/static_analysis.md``.  Ids are stable forever —
+they appear in noqa comments and baselines — so retired rules leave a
+gap rather than being renumbered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules import api, determinism, hygiene, numerics
+
+ALL_RULES: Tuple[Rule, ...] = (
+    *determinism.RULES,
+    *numerics.RULES,
+    *hygiene.RULES,
+    *api.RULES,
+)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """``{rule_id: rule}`` for docs, ``--stats`` and tests."""
+    return {rule.rule_id: rule for rule in ALL_RULES}
+
+
+__all__ = ["ALL_RULES", "rules_by_id", "api", "determinism", "hygiene", "numerics"]

@@ -1,0 +1,135 @@
+"""RPR4xx — public API surface: ``__all__`` ↔ definition consistency.
+
+**RPR401** checks every module that declares a top-level ``__all__``:
+
+* each exported name must actually be bound at module top level (an
+  import, def, class, or assignment) — a stale ``__all__`` entry makes
+  ``from pkg import *`` raise and misleads readers about the surface;
+* each *public* top-level ``def``/``class`` (no leading underscore)
+  must appear in ``__all__`` — an unlisted public definition is an
+  accidental API that persistence ids and docs then depend on without
+  the package ever promising it.
+
+Modules without ``__all__`` are skipped (they make no export claim),
+as is any module using ``from x import *`` (its bindings cannot be
+resolved statically).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import FileContext, Finding, Rule, Severity
+
+
+def _all_declaration(
+    tree: ast.Module,
+) -> Tuple[Optional[ast.expr], List[str]]:
+    """The ``__all__ = [...]`` node and its string entries, if declared."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+        ):
+            continue
+        names: List[str] = []
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    names.append(elt.value)
+        return value, names
+    return None, []
+
+
+def _top_level_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Names bound at module top level, and whether ``import *`` occurs."""
+    bound: Set[str] = set()
+    star = False
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    star = True
+                else:
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                for n in ast.walk(t):
+                    if isinstance(n, ast.Name):
+                        bound.add(n.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # conditional imports (TYPE_CHECKING guards, optional deps)
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Import):
+                    for alias in sub.names:
+                        bound.add((alias.asname or alias.name).split(".")[0])
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add(alias.asname or alias.name)
+                elif isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    bound.add(sub.name)
+    return bound, star
+
+
+class DunderAllConsistencyRule(Rule):
+    """RPR401: ``__all__`` entries exist; public defs are exported."""
+
+    rule_id = "RPR401"
+    severity = Severity.ERROR
+    description = (
+        "__all__ out of sync with the module: stale export entries, or "
+        "public top-level def/class missing from __all__"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        all_node, exported = _all_declaration(ctx.tree)
+        if all_node is None:
+            return
+        bound, star = _top_level_bindings(ctx.tree)
+        if not star:
+            for name in exported:
+                if name not in bound:
+                    yield ctx.finding(
+                        self,
+                        all_node,
+                        f"__all__ exports {name!r} but the module never "
+                        "binds it — stale entry or missing import",
+                    )
+        exported_set = set(exported)
+        for node in ctx.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_") or node.name in exported_set:
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"public {node.name!r} is not in __all__ — export it or "
+                "rename it with a leading underscore",
+            )
+        dupes = {n for n in exported if exported.count(n) > 1}
+        for name in sorted(dupes):
+            yield ctx.finding(
+                self, all_node, f"__all__ lists {name!r} more than once"
+            )
+
+
+RULES: Tuple[Rule, ...] = (DunderAllConsistencyRule(),)

@@ -1,0 +1,202 @@
+"""RPR1xx — determinism: seeded RNG discipline, no wall-clock reads.
+
+The repo's core contract (ROADMAP, PRs 1-3) is that every stream is
+exactly replayable under one seed: forest updates, shard routing,
+checkpoint resume.  Two classes of call silently break that contract:
+
+* **RPR101** — RNG entry points that draw from global or OS-seeded
+  state: any ``np.random.*`` legacy function (module-global
+  ``RandomState``), argless ``np.random.default_rng()`` /
+  ``RandomState()`` (OS entropy), and the stdlib ``random`` module's
+  global functions.  All randomness must flow through an explicit
+  seeded :class:`numpy.random.Generator` (see :mod:`repro.utils.rng`).
+* **RPR102** — wall-clock reads (``time.time``, ``time.perf_counter``,
+  ``time.monotonic``, ``time.sleep``, ``datetime.now`` …) in library
+  code.  Timing belongs in benchmarks, or behind an injectable clock
+  (see ``FleetMonitor(clock=...)``) so tests can fake time and replays
+  never depend on the machine's speed.
+
+``CLOCK_ALLOWLIST`` is the single, auditable list of paths where a real
+clock is legitimate.  Keep it narrow: benchmarks (timing is their
+output) and checkpoint retry backoff (sleeping between I/O retries is
+inherently about real time).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import FileContext, Finding, Rule, Severity
+
+#: paths where wall-clock reads are sanctioned (keep this narrow — the
+#: serving layer itself takes an injectable clock instead)
+CLOCK_ALLOWLIST: Tuple[str, ...] = (
+    "benchmarks/*",
+    "src/repro/service/checkpoint.py",  # exponential backoff between I/O retries
+)
+
+#: np.random.* names that are NOT the legacy global-state API
+_NP_RANDOM_OK = frozenset(
+    {
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: constructors that are fine *with* an explicit seed argument
+_NP_RANDOM_SEEDABLE = frozenset({"default_rng", "RandomState"})
+
+_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+#: bare-name calls distinctive enough to flag after ``from time import …``
+_CLOCK_BARE_NAMES = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns", "time_ns"}
+)
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _attr_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``np.random.default_rng`` → ("np", "random", "default_rng")."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class UnseededRandomRule(Rule):
+    """RPR101: all randomness must come from an explicitly seeded stream."""
+
+    rule_id = "RPR101"
+    severity = Severity.ERROR
+    description = (
+        "unseeded RNG entry point (np.random.* legacy API, argless "
+        "default_rng()/RandomState(), or stdlib random.*)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or len(chain) == 1:
+                # bare default_rng() via `from numpy.random import default_rng`
+                if (
+                    chain == ("default_rng",)
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "argless default_rng() seeds from OS entropy; pass "
+                        "an explicit seed (see repro.utils.rng.ensure_rng)",
+                    )
+                continue
+            if len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+                fn = chain[2]
+                if fn in _NP_RANDOM_OK:
+                    continue
+                if fn in _NP_RANDOM_SEEDABLE:
+                    if not node.args and not node.keywords:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"argless np.random.{fn}() seeds from OS entropy; "
+                            "pass an explicit seed",
+                        )
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"np.random.{fn}() draws from the module-global "
+                    "RandomState; use an explicit seeded "
+                    "np.random.Generator instead",
+                )
+            elif len(chain) == 2 and chain[0] == "random":
+                fn = chain[1]
+                if fn == "Random":
+                    if not node.args and not node.keywords:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "argless random.Random() seeds from OS entropy; "
+                            "pass an explicit seed",
+                        )
+                    continue
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"random.{fn}() uses the interpreter-global RNG; use an "
+                    "explicit seeded generator instead",
+                )
+
+
+class WallClockRule(Rule):
+    """RPR102: no wall-clock reads outside the allowlist."""
+
+    rule_id = "RPR102"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock call (time.*, datetime.now/utcnow/today) outside the "
+        "clock allowlist — inject a clock or move the timing to benchmarks"
+    )
+    skip_globs = CLOCK_ALLOWLIST
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            if chain is None or len(chain) == 1:
+                if chain is not None and chain[0] in _CLOCK_BARE_NAMES:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{chain[0]}() reads the wall clock; inject a "
+                        "clock callable so replays and tests control time",
+                    )
+                continue
+            if len(chain) == 2 and chain[0] == "time" and chain[1] in _CLOCK_TIME_ATTRS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"time.{chain[1]}() reads the wall clock; inject a clock "
+                    "callable so replays and tests control time",
+                )
+            elif (
+                chain[-1] in _DATETIME_ATTRS
+                and len(chain) >= 2
+                and chain[0] == "datetime"
+                and all(p in ("datetime", "date") for p in chain[:-1])
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{'.'.join(chain)}() reads the wall clock; pass "
+                    "timestamps in explicitly",
+                )
+
+
+RULES: Tuple[Rule, ...] = (UnseededRandomRule(), WallClockRule())

@@ -1,0 +1,206 @@
+"""RPR3xx — engineering hygiene: the defect classes Han et al. found
+dominating real disk-prediction deployments.
+
+* **RPR301** — mutable default arguments (``def f(x=[])``): the default
+  is evaluated once, so state leaks across calls — across *streams* in
+  this codebase, which corrupts replays in ways no seed can fix.
+* **RPR302** — swallowed broad exceptions: ``except:`` /
+  ``except Exception:`` whose body neither re-raises, nor binds and
+  *uses* the exception, nor logs.  Silent swallowing is how a
+  half-updated shard keeps serving; fault handling must account for
+  the error (see ``_drain_shard``) or escalate it.
+* **RPR303** — metric registration discipline on
+  ``MetricsRegistry.counter/gauge/histogram`` calls: names must carry
+  the ``repro_`` namespace prefix (dashboards and alert rules key on
+  it) and literal label sets must stay small (≤ ``MAX_LABELS`` keys) —
+  label cardinality is a time-series-per-metric multiplier, and an
+  unbounded label set is a slow memory leak in the metrics backend.
+  Scoped out of ``tests/``: the registry's own unit tests exercise
+  arbitrary names deliberately.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import FileContext, Finding, Rule, Severity
+
+#: maximum keys in a literal ``labels={...}`` registration
+MAX_LABELS = 3
+
+#: the MetricsRegistry factory method names
+_REGISTRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+_METRIC_PREFIX = "repro_"
+
+_LOGGING_HINTS = frozenset(
+    {"print", "warn", "warning", "error", "exception", "debug", "info", "log"}
+)
+
+
+class MutableDefaultRule(Rule):
+    """RPR301: no mutable default arguments."""
+
+    rule_id = "RPR301"
+    severity = Severity.ERROR
+    description = (
+        "mutable default argument ([], {}, set(), list(), dict()) — "
+        "evaluated once, shared across every call"
+    )
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "deque"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"mutable default in {node.name}(): use None and "
+                        "construct inside the body",
+                    )
+
+
+def _handler_catches_broadly(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception``, ``except BaseException``."""
+    t = handler.type
+    if t is None:
+        return True
+    names = []
+    if isinstance(t, ast.Tuple):
+        names = [e.id for e in t.elts if isinstance(e, ast.Name)]
+    elif isinstance(t, ast.Name):
+        names = [t.id]
+    return any(n in ("Exception", "BaseException") for n in names)
+
+
+def _body_accounts_for_error(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises, uses the bound error, or logs."""
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            handler.name
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            fn = node.func
+            name = (
+                fn.id
+                if isinstance(fn, ast.Name)
+                else fn.attr if isinstance(fn, ast.Attribute) else ""
+            )
+            if name in _LOGGING_HINTS:
+                return True
+    return False
+
+
+class SwallowedExceptionRule(Rule):
+    """RPR302: broad except must re-raise, use the error, or log it."""
+
+    rule_id = "RPR302"
+    severity = Severity.ERROR
+    description = (
+        "bare/broad except that swallows the error without re-raising, "
+        "using, or logging it"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _handler_catches_broadly(node):
+                continue
+            if _body_accounts_for_error(node):
+                continue
+            caught = "bare except" if node.type is None else "broad except"
+            yield ctx.finding(
+                self,
+                node,
+                f"{caught} swallows the error: re-raise, log, or handle "
+                "the bound exception explicitly (or noqa with the "
+                "containment rationale)",
+            )
+
+
+class MetricRegistrationRule(Rule):
+    """RPR303: namespaced metric names, bounded literal label sets."""
+
+    rule_id = "RPR303"
+    severity = Severity.ERROR
+    description = (
+        f"MetricsRegistry registration without the '{_METRIC_PREFIX}' "
+        f"name prefix, or a literal labels dict over {MAX_LABELS} keys"
+    )
+    # the registry's own unit tests exercise arbitrary names on purpose
+    skip_globs = ("tests/*",)
+
+    def _literal_name(
+        self, node: ast.expr
+    ) -> Tuple[Optional[str], bool]:
+        """(name-or-prefix, is_literal) for str / f-string first args."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value, True
+        if isinstance(node, ast.JoinedStr) and node.values:
+            head = node.values[0]
+            if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                return head.value, True
+        return None, False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if not (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in _REGISTRY_FACTORIES
+                and node.args
+            ):
+                continue
+            name, is_literal = self._literal_name(node.args[0])
+            if not is_literal:
+                continue  # not a registry-style literal registration
+            if name is not None and not name.startswith(_METRIC_PREFIX):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"metric name {name!r} lacks the {_METRIC_PREFIX!r} "
+                    "namespace prefix dashboards key on",
+                )
+            for kw in node.keywords:
+                if kw.arg != "labels" or not isinstance(kw.value, ast.Dict):
+                    continue
+                n_keys = len(kw.value.keys)
+                if n_keys > MAX_LABELS:
+                    yield ctx.finding(
+                        self,
+                        kw.value,
+                        f"{n_keys} label keys on one metric (max "
+                        f"{MAX_LABELS}): label cardinality multiplies "
+                        "time-series count",
+                    )
+
+
+RULES: Tuple[Rule, ...] = (
+    MutableDefaultRule(),
+    SwallowedExceptionRule(),
+    MetricRegistrationRule(),
+)

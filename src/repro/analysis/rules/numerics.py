@@ -1,0 +1,148 @@
+"""RPR2xx — numeric hygiene: float equality, silent precision loss.
+
+* **RPR201** — ``==`` / ``!=`` where an operand is syntactically
+  float-valued (a float literal, a ``float(...)`` / ``np.float64(...)``
+  call, or a negated float literal).  Exact float comparison is how
+  "bit-identical under one seed" claims silently rot: a refactor that
+  reassociates an expression changes the last ulp and the comparison
+  flips.  Use ``math.isclose`` / ``np.isclose`` for approximate intent,
+  order comparisons (``<=``) for thresholds, ``math.isnan`` /
+  ``math.isinf`` for specials — or suppress with a reason when exact
+  equality *is* the contract (sentinel values written as exact
+  constants).  Scoped out of ``tests/``: exact-equality assertions
+  there are deliberate bit-reproducibility checks.
+* **RPR202** — float-narrowing casts: ``.astype(np.float32/float16)``
+  and ``np.float32(...)`` constructors.  Narrowing quietly discards
+  mantissa bits, so two code paths that "compute the same thing" stop
+  agreeing bitwise.  Integer casts are not flagged (label vectors are
+  intentionally small ints).  Where float32 is the *schema* (SMART
+  payloads), suppress with the reason inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.engine import FileContext, Finding, Rule, Severity
+
+_FLOAT_CALLS = frozenset({"float", "float64", "float32", "float16"})
+_NARROW_FLOAT_NAMES = frozenset({"float32", "float16", "half", "single"})
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    """Syntactically certainly-float: literal, float() call, -literal."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.Call):
+        fn = node.func
+        if isinstance(fn, ast.Name):
+            return fn.id in _FLOAT_CALLS
+        if isinstance(fn, ast.Attribute):
+            return fn.attr in _FLOAT_CALLS
+    return False
+
+
+def _describe(node: ast.expr) -> str:
+    return ast.unparse(node)
+
+
+class FloatEqualityRule(Rule):
+    """RPR201: no ``==``/``!=`` against float-typed expressions."""
+
+    rule_id = "RPR201"
+    severity = Severity.ERROR
+    description = (
+        "== / != on a float-typed expression — use math.isclose / an "
+        "order comparison / math.isnan, or suppress where exactness is "
+        "the contract"
+    )
+    # exact-equality assertions in tests ARE the reproducibility proof
+    skip_globs = ("tests/*",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                guilty = next(
+                    (o for o in (left, right) if _is_float_expr(o)), None
+                )
+                if guilty is None:
+                    continue
+                sym = "==" if isinstance(op, ast.Eq) else "!="
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"float equality: {_describe(left)} {sym} "
+                    f"{_describe(right)} — exact float comparison drifts "
+                    "under refactoring; use math.isclose / an order "
+                    "comparison, or noqa with the exactness contract",
+                )
+
+
+class NarrowingCastRule(Rule):
+    """RPR202: no silent float32/float16 narrowing."""
+
+    rule_id = "RPR202"
+    severity = Severity.WARNING
+    description = (
+        "float-narrowing cast (.astype(float32/float16), np.float32(...)) "
+        "— discards mantissa bits silently; suppress where the schema is "
+        "genuinely 32-bit"
+    )
+
+    def _dtype_name(self, node: ast.expr) -> Optional[str]:
+        """'float32' for np.float32 / 'float32' / "float32" arguments."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        else:
+            return None
+        return name if name in _NARROW_FLOAT_NAMES else None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            # X.astype(np.float32) / X.astype("float32") / dtype= kwarg
+            if isinstance(fn, ast.Attribute) and fn.attr == "astype":
+                candidates = list(node.args[:1]) + [
+                    kw.value for kw in node.keywords if kw.arg == "dtype"
+                ]
+                for cand in candidates:
+                    name = self._dtype_name(cand)
+                    if name is not None:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f".astype({name}) narrows float precision "
+                            "silently; keep float64 or suppress with the "
+                            "schema rationale",
+                        )
+            # np.float32(x) constructor-style narrowing
+            elif (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in _NARROW_FLOAT_NAMES
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in ("np", "numpy")
+                and node.args
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"np.{fn.attr}(...) narrows float precision silently; "
+                    "keep float64 or suppress with the schema rationale",
+                )
+
+
+RULES: Tuple[Rule, ...] = (FloatEqualityRule(), NarrowingCastRule())

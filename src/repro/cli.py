@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the operational lifecycle::
+Seven subcommands cover the operational lifecycle::
 
     repro generate   --spec sta --scale 0.2 --months 15 -o fleet.csv
     repro train      --data fleet.csv --model orf -o model.npz
@@ -8,6 +8,7 @@ Six subcommands cover the operational lifecycle::
     repro monitor    --data fleet.csv --model-file model.npz
     repro serve      --data fleet.csv --model-file model.npz --shards 4
     repro experiment --data fleet.csv --kind monthly
+    repro lint       src tests benchmarks --format json --stats
 
 All commands accept Backblaze-schema CSVs, so they run unchanged against
 the real public archive.  ``train`` writes a *bundle* — the model plus
@@ -21,14 +22,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.forest import OnlineRandomForest
 from repro.core.predictor import OnlineDiskFailurePredictor
-from repro.eval.protocol import prepare_arrays, split_disks, stream_order
+from repro.eval.protocol import LabeledArrays, prepare_arrays, split_disks, stream_order
 from repro.eval.threshold import fdr_at_far
+from repro.features.scaling import MinMaxScaler
 from repro.features.selection import FeatureSelection
 from repro.offline.forest import RandomForestClassifier
 from repro.offline.gbdt import GradientBoostedTrees
@@ -36,6 +38,7 @@ from repro.offline.sampling import downsample_negatives
 from repro.offline.svm import SVC
 from repro.offline.tree import DecisionTreeClassifier
 from repro.persistence import load_bundle, load_model, save_bundle, save_model
+from repro.smart.dataset import SmartDataset
 from repro.smart.drive_model import STA, STB, scaled_spec
 from repro.smart.generator import generate_dataset
 from repro.smart.io import read_backblaze_csv, write_backblaze_csv
@@ -43,11 +46,17 @@ from repro.smart.io import read_backblaze_csv, write_backblaze_csv
 _SPECS = {"sta": STA, "stb": STB}
 
 
-def _load_dataset(path: str):
+def _load_dataset(path: str) -> SmartDataset:
     return read_backblaze_csv(path)
 
 
-def _prepare(dataset, seed: int, *, selection=None, scaler=None):
+def _prepare(
+    dataset: SmartDataset,
+    seed: int,
+    *,
+    selection: Optional[FeatureSelection] = None,
+    scaler: Optional[MinMaxScaler] = None,
+) -> Tuple[LabeledArrays, LabeledArrays, MinMaxScaler, FeatureSelection]:
     """Split, project, scale.  A persisted scaler is reused, never refit."""
     selection = selection or FeatureSelection.paper_table2()
     train_s, test_s = split_disks(dataset, seed=seed)
@@ -60,7 +69,9 @@ def _prepare(dataset, seed: int, *, selection=None, scaler=None):
     return train, test, scaler, selection
 
 
-def _load_model_bundle(path: str):
+def _load_model_bundle(
+    path: str,
+) -> Tuple[Any, Optional[MinMaxScaler], Optional[FeatureSelection]]:
     """(model, scaler, selection) from a bundle or legacy single archive."""
     bundle = load_bundle(path)
     scaler = bundle.get("scaler")
@@ -75,7 +86,7 @@ def _load_model_bundle(path: str):
 
 
 # ------------------------------------------------------------------ commands
-def _cmd_generate(args) -> int:
+def _cmd_generate(args: argparse.Namespace) -> int:
     spec = scaled_spec(
         _SPECS[args.spec],
         fleet_scale=args.scale,
@@ -93,7 +104,7 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _cmd_train(args) -> int:
+def _cmd_train(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.data)
     train, _test, scaler, selection = _prepare(dataset, args.seed)
     rows = train.training_rows()
@@ -143,7 +154,7 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_evaluate(args) -> int:
+def _cmd_evaluate(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.data)
     model, scaler, selection = _load_model_bundle(args.model_file)
     _train, test, _scaler, _sel = _prepare(
@@ -161,7 +172,7 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
-def _cmd_monitor(args) -> int:
+def _cmd_monitor(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.data)
     model, scaler, selection = _load_model_bundle(args.model_file)
     selection = selection or FeatureSelection.paper_table2()
@@ -200,7 +211,7 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.parallel.pool import make_executor
     from repro.service import (
         AlarmManager,
@@ -320,7 +331,66 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_experiment(args) -> int:
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import lint_paths, load_baseline, write_baseline
+    from repro.analysis.baseline import DEFAULT_BASELINE
+
+    try:
+        report = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(report.findings, args.baseline or DEFAULT_BASELINE)
+        print(
+            f"wrote baseline with {len(report.findings)} finding(s) to "
+            f"{args.baseline or DEFAULT_BASELINE}"
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline or DEFAULT_BASELINE)
+    new, grandfathered = baseline.split(report.findings)
+    stats = report.stats()
+    stats["new_findings"] = len(new)
+    stats["grandfathered_findings"] = len(grandfathered)
+    stats["stale_baseline_entries"] = len(baseline.stale_entries(report.findings))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in new],
+                    "grandfathered": [f.to_dict() for f in grandfathered],
+                    "stats": stats,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for f in new:
+            print(f"{f.location}: {f.rule_id} [{f.severity.value}] {f.message}")
+        for f in grandfathered:
+            print(
+                f"{f.location}: {f.rule_id} [baseline] {f.message}",
+                file=sys.stderr,
+            )
+        summary = (
+            f"# scanned {stats['files_scanned']} files with "
+            f"{stats['rules_run']} rules in "
+            f"{stats['runtime_seconds']:.2f}s: "
+            f"{len(new)} new finding(s), {len(grandfathered)} grandfathered, "
+            f"{stats['suppressed_total']} suppressed"
+        )
+        print(summary, file=sys.stderr if new else sys.stdout)
+        if args.stats:
+            print(json.dumps(stats, indent=2))
+    return 1 if new else 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval.longterm import LongTermConfig, run_longterm
     from repro.eval.monthly import MonthlyConfig, run_monthly_comparison
     from repro.eval.report import (
@@ -448,6 +518,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for --fault-rate corruption",
     )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "lint", help="check reproducibility invariants via AST static analysis"
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file for grandfathered findings "
+             "(default: lint-baseline.json when present)",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="append a JSON stats summary (per-rule/severity counts, "
+             "files scanned, runtime) for lint-debt tracking",
+    )
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "experiment", help="run the paper's §4.4/§4.5 protocols on a dataset CSV"

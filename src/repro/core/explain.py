@@ -70,7 +70,9 @@ class Explanation:
         order = np.argsort(-np.abs(self.contributions))[:k]
         out = []
         for idx in order:
-            if self.contributions[idx] == 0.0:
+            # exact-zero sentinel: untouched features are initialized to
+            # literal 0.0 and only ever receive nonzero credits
+            if self.contributions[idx] == 0.0:  # repro: noqa RPR201 — exact-zero sentinel for features never tested on the path
                 break
             label = names[idx] if names is not None else f"feature_{idx}"
             out.append((label, float(self.contributions[idx])))

@@ -131,7 +131,7 @@ def _fit_slot_chunked(
     return n_replaced
 
 
-def _fit_slots(payload) -> Tuple[List[TreeSlot], int]:
+def _fit_slots(payload: Tuple[List[TreeSlot], np.ndarray, np.ndarray, np.ndarray]) -> Tuple[List[TreeSlot], int]:
     """Worker: stream one batch through a group of slots.
 
     Module-level so process pools can pickle it; returns the (possibly
@@ -146,7 +146,7 @@ def _fit_slots(payload) -> Tuple[List[TreeSlot], int]:
     return slots, n_replaced
 
 
-def _score_trees(payload) -> np.ndarray:
+def _score_trees(payload: Tuple[List[TreeSlot], np.ndarray, str]) -> np.ndarray:
     """Worker: per-tree score rows for a group of trees (picklable payload).
 
     Returning one row per tree (not a group-local sum) lets the caller
@@ -330,7 +330,7 @@ class OnlineRandomForest:
         self.n_samples_seen += 1
         self._map_fit(x[None, :], np.array([y], dtype=np.int64), 0)
 
-    def partial_fit(self, X, y, *, chunk_size: int = 0) -> "OnlineRandomForest":
+    def partial_fit(self, X: np.ndarray, y: np.ndarray, *, chunk_size: int = 0) -> "OnlineRandomForest":
         """Stream a batch of labeled samples, in row order; returns self.
 
         ``chunk_size = 0`` (default) replays Algorithm 1 exactly, sample
@@ -358,7 +358,7 @@ class OnlineRandomForest:
         return self
 
     # ------------------------------------------------------------- prediction
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """Positive score per row (mean posterior, or vote fraction)."""
         X = check_array_2d(X, "X")
         check_feature_count(X, self.n_features, "X")
@@ -367,12 +367,12 @@ class OnlineRandomForest:
         partials = self._executor.map(_score_trees, payloads)
         return np.sum(np.vstack(partials), axis=0) / self.n_trees
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """``(n, 2)`` class probabilities."""
         p1 = self.predict_score(X)
         return np.column_stack([1.0 - p1, p1])
 
-    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         """Hard labels at a score threshold."""
         return (self.predict_score(X) >= threshold).astype(np.int8)
 

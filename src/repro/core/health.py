@@ -18,7 +18,7 @@ model-aging resistance of the binary predictor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -97,7 +97,7 @@ class OnlineHealthAssessor:
         levels: Optional[HealthLevels] = None,
         thresholds: Optional[Sequence[float]] = None,
         seed: SeedLike = None,
-        **orf_params,
+        **orf_params: Any,
     ) -> None:
         check_positive(n_features, "n_features")
         self.levels = levels or HealthLevels()
@@ -135,7 +135,7 @@ class OnlineHealthAssessor:
         for horizon, forest in zip(self.levels.horizons, self.forests):
             forest.update(x, int(days_to_failure < horizon))
 
-    def partial_fit(self, X, days_to_failure: np.ndarray) -> "OnlineHealthAssessor":
+    def partial_fit(self, X: np.ndarray, days_to_failure: np.ndarray) -> "OnlineHealthAssessor":
         """Stream a batch of (sample, residual life) pairs in row order."""
         X = check_array_2d(X, "X")
         dtf = np.asarray(days_to_failure, dtype=np.float64)
@@ -146,12 +146,12 @@ class OnlineHealthAssessor:
         return self
 
     # ----------------------------------------------------------------- score
-    def horizon_scores(self, X) -> np.ndarray:
+    def horizon_scores(self, X: np.ndarray) -> np.ndarray:
         """``(n_rows, n_horizons)`` matrix of per-horizon failure scores."""
         X = check_array_2d(X, "X")
         return np.column_stack([f.predict_score(X) for f in self.forests])
 
-    def assess(self, X) -> np.ndarray:
+    def assess(self, X: np.ndarray) -> np.ndarray:
         """Health level per row: the most urgent horizon whose forest fires.
 
         Rows where no forest fires get the healthiest level.

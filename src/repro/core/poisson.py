@@ -64,7 +64,7 @@ class ImbalanceBagger:
         """
         check_positive(n_trees, "n_trees")
         lam = self.rate_for(y)
-        if lam == 0.0:
+        if lam <= 0.0:
             return np.zeros(n_trees, dtype=np.int64)
         return rng.poisson(lam, size=n_trees)
 

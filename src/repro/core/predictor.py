@@ -93,7 +93,7 @@ class OnlineDiskFailurePredictor:
             self.stats.alarms = deque(maxlen=max_recorded_alarms)
 
     # ----------------------------------------------------------------- events
-    def _checked_vector(self, disk_id: Hashable, x) -> np.ndarray:
+    def _checked_vector(self, disk_id: Hashable, x: Union[np.ndarray, Sequence[float]]) -> np.ndarray:
         """Validate one SMART vector *before* any state mutates.
 
         A wrong-dimension or NaN/Inf vector used to surface as a cryptic

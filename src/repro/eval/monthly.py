@@ -10,7 +10,7 @@ and each figure point reports FDR at the FAR ≈ 1% operating point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -93,7 +93,9 @@ class MonthlyResult:
 
 
 def _evaluate_on_test(
-    score_fn, test: LabeledArrays, config: MonthlyConfig
+    score_fn: Callable[[np.ndarray], np.ndarray],
+    test: LabeledArrays,
+    config: MonthlyConfig,
 ) -> tuple:
     scores = score_fn(test.X)
     return fdr_at_far(
@@ -112,7 +114,7 @@ def _fit_offline(
     y: np.ndarray,
     config: MonthlyConfig,
     rng: np.random.Generator,
-):
+) -> Optional[Union[RandomForestClassifier, DecisionTreeClassifier, SVC]]:
     """Train one offline baseline on a λ-balanced snapshot of the pool."""
     idx = downsample_negatives(y, config.neg_sample_ratio, rng.spawn(1)[0])
     Xb, yb = X[idx], y[idx]

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.utils.rng import SeedLike
+
 
 @dataclass(frozen=True)
 class RankSumResult:
@@ -94,7 +96,7 @@ def rank_sum_filter(
     *,
     alpha: float = 0.01,
     max_samples_per_class: int = 20000,
-    seed=None,
+    seed: SeedLike = None,
 ) -> np.ndarray:
     """Boolean keep-mask over columns of X: True ⇔ the feature separates classes.
 

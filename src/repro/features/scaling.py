@@ -31,7 +31,7 @@ class MinMaxScaler:
         self.min_: Optional[np.ndarray] = None
         self.range_: Optional[np.ndarray] = None
 
-    def fit(self, X) -> "MinMaxScaler":
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
         """Record per-feature min and range from training rows."""
         X = check_array_2d(X, "X", min_rows=1)
         self.min_ = X.min(axis=0)
@@ -40,7 +40,7 @@ class MinMaxScaler:
         self.range_ = np.where(span > 0, span, 1.0)
         return self
 
-    def transform(self, X) -> np.ndarray:
+    def transform(self, X: np.ndarray) -> np.ndarray:
         """Apply Eq. (5); returns a new float64 array."""
         if self.min_ is None:
             raise RuntimeError("scaler is not fitted; call fit() first")
@@ -51,7 +51,7 @@ class MinMaxScaler:
             np.clip(out, 0.0, 1.0, out=out)
         return out
 
-    def fit_transform(self, X) -> np.ndarray:
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
         """Fit on *X* and return its scaled copy."""
         return self.fit(X).transform(X)
 

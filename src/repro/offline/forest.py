@@ -79,7 +79,7 @@ class RandomForestClassifier:
         self.n_features_: Optional[int] = None
 
     # ------------------------------------------------------------------ fit
-    def _make_tree(self, tree_rng) -> DecisionTreeClassifier:
+    def _make_tree(self, tree_rng: np.random.Generator) -> DecisionTreeClassifier:
         return DecisionTreeClassifier(
             max_depth=self.max_depth,
             min_samples_split=self.min_samples_split,
@@ -90,7 +90,7 @@ class RandomForestClassifier:
             seed=tree_rng,
         )
 
-    def fit(self, X, y) -> "RandomForestClassifier":
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         """Fit all trees on bootstrap resamples of (X, y); returns self."""
         X = check_array_2d(X, "X", min_rows=1)
         y = check_binary_labels(y, n_rows=X.shape[0])
@@ -98,7 +98,7 @@ class RandomForestClassifier:
         n = X.shape[0]
         tree_rngs = self._rng.spawn(self.n_trees)
 
-        def fit_one(tree_rng) -> DecisionTreeClassifier:
+        def fit_one(tree_rng: np.random.Generator) -> DecisionTreeClassifier:
             tree = self._make_tree(tree_rng)
             if self.bootstrap:
                 counts = np.bincount(
@@ -118,7 +118,7 @@ class RandomForestClassifier:
             raise RuntimeError("model is not fitted; call fit() first")
         return self.trees_
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """Positive score per row (mean tree probability or vote fraction)."""
         trees = self._require_fitted()
         X = check_array_2d(X, "X")
@@ -131,12 +131,12 @@ class RandomForestClassifier:
         per_tree = self._executor.map(score_one, trees)
         return np.mean(per_tree, axis=0)
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """``(n, 2)`` array of class probabilities (vote-fraction based)."""
         p1 = self.predict_score(X)
         return np.column_stack([1.0 - p1, p1])
 
-    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         """Hard labels at a score threshold (0.5 = plain majority vote)."""
         return (self.predict_score(X) >= threshold).astype(np.int8)
 

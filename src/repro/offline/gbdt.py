@@ -84,7 +84,7 @@ class GradientBoostedTrees:
         self.train_deviance_: List[float] = []
 
     # ------------------------------------------------------------------ fit
-    def fit(self, X, y) -> "GradientBoostedTrees":
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
         """Run the boosting rounds on (X, y); returns self."""
         X = check_array_2d(X, "X", min_rows=2)
         y = check_binary_labels(y, n_rows=X.shape[0]).astype(np.float64)
@@ -132,7 +132,7 @@ class GradientBoostedTrees:
         return self
 
     # -------------------------------------------------------------- predict
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Raw log-odds per row."""
         if not self.trees_:
             raise RuntimeError("model is not fitted; call fit() first")
@@ -143,15 +143,15 @@ class GradientBoostedTrees:
             F += self.learning_rate * tree.predict(X)
         return F
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """P(y = 1) per row."""
         return _sigmoid(self.decision_function(X))
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """``(n, 2)`` array of class probabilities."""
         p1 = self.predict_score(X)
         return np.column_stack([1.0 - p1, p1])
 
-    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         """Hard 0/1 labels at a probability threshold."""
         return (self.predict_score(X) >= threshold).astype(np.int8)

@@ -95,7 +95,7 @@ class RegressionTree:
 
     def fit(
         self,
-        X,
+        X: np.ndarray,
         targets: np.ndarray,
         *,
         leaf_value_fn: Optional[LeafValueFn] = None,
@@ -156,7 +156,7 @@ class RegressionTree:
         self.tree_ = nodes.finalize()
         return self
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Leaf value per row (vectorized group traversal)."""
         if self.tree_ is None:
             raise RuntimeError("model is not fitted; call fit() first")

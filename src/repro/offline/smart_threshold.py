@@ -94,7 +94,7 @@ class SmartThresholdDetector:
         """Number of Norm columns the rule watches."""
         return int(self._columns.size)
 
-    def fit(self, X=None, y=None) -> "SmartThresholdDetector":
+    def fit(self, X: Optional[np.ndarray] = None, y: Optional[np.ndarray] = None) -> "SmartThresholdDetector":
         """No-op (the vendor rule has no parameters to learn).
 
         Exists for API parity with the learned models; validates the
@@ -105,7 +105,7 @@ class SmartThresholdDetector:
             check_feature_count(X, len(self.selection.names), "X")
         return self
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """Fraction of monitored attributes at/below their threshold.
 
         IMPORTANT: *X must carry raw (unscaled) Norm values* — the
@@ -125,6 +125,6 @@ class SmartThresholdDetector:
         tripped = X[:, self._columns] <= self._limits[None, :]
         return tripped.mean(axis=1)
 
-    def predict(self, X, *, threshold: float = 1e-9) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 1e-9) -> np.ndarray:
         """The vendor rule: alarm when any monitored attribute trips."""
         return (self.predict_score(X) > threshold).astype(np.int8)

@@ -17,7 +17,7 @@ thresholds it (not at 0) to pin FAR at the target operating point.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -54,8 +54,8 @@ class SVC:
         self,
         *,
         C: float = 1.0,
-        gamma="scale",
-        class_weight=None,
+        gamma: Union[str, float] = "scale",
+        class_weight: Optional[Union[str, Dict[int, float]]] = None,
         tol: float = 1e-3,
         max_passes: int = 8,
         max_iter: int = 200,
@@ -105,7 +105,7 @@ class SVC:
             raise ValueError(f"unsupported class_weight {self.class_weight!r}")
         return self.C * np.where(y01 == 1, w1, w0)
 
-    def fit(self, X, y) -> "SVC":
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVC":
         """Solve the dual with SMO; returns self."""
         X = check_array_2d(X, "X", min_rows=2)
         y01 = check_binary_labels(y, n_rows=X.shape[0])
@@ -155,7 +155,13 @@ class SVC:
         return self
 
     @staticmethod
-    def _bounds(i, j, alpha, y_pm, C_i):
+    def _bounds(
+        i: int,
+        j: int,
+        alpha: np.ndarray,
+        y_pm: np.ndarray,
+        C_i: np.ndarray,
+    ) -> Tuple[float, float]:
         if y_pm[i] != y_pm[j]:
             L = max(0.0, alpha[j] - alpha[i])
             H = min(C_i[j], C_i[i] + alpha[j] - alpha[i])
@@ -164,7 +170,17 @@ class SVC:
             H = min(C_i[j], alpha[i] + alpha[j])
         return L, H
 
-    def _take_step(self, i, j, alpha, E, y_pm, K, C_i, b_ref) -> bool:
+    def _take_step(
+        self,
+        i: int,
+        j: int,
+        alpha: np.ndarray,
+        E: np.ndarray,
+        y_pm: np.ndarray,
+        K: np.ndarray,
+        C_i: np.ndarray,
+        b_ref: List[float],
+    ) -> bool:
         if i == j:
             return False
         L, H = self._bounds(i, j, alpha, y_pm, C_i)
@@ -215,7 +231,7 @@ class SVC:
         if self.support_vectors_ is None:
             raise RuntimeError("model is not fitted; call fit() first")
 
-    def decision_function(self, X) -> np.ndarray:
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
         """Signed margin per row (positive ⇒ predicted failure)."""
         self._require_fitted()
         X = check_array_2d(X, "X")
@@ -225,11 +241,11 @@ class SVC:
         K = rbf_kernel(X, self.support_vectors_, self.gamma_)
         return K @ self.dual_coef_ + self.intercept_
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """Alias of :meth:`decision_function` (uniform scoring API)."""
         return self.decision_function(X)
 
-    def predict(self, X, *, threshold: float = 0.0) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.0) -> np.ndarray:
         """Hard labels at a margin threshold."""
         return (self.decision_function(X) >= threshold).astype(np.int8)
 

@@ -271,8 +271,8 @@ class DecisionTreeClassifier:
 
     def fit(
         self,
-        X,
-        y,
+        X: np.ndarray,
+        y: np.ndarray,
         sample_weight: Optional[np.ndarray] = None,
     ) -> "DecisionTreeClassifier":
         """Grow the tree on (X, y); returns self."""
@@ -376,7 +376,7 @@ class DecisionTreeClassifier:
             raise RuntimeError("model is not fitted; call fit() first")
         return self.tree_
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """``(n, 2)`` array of [P(y=0), P(y=1)] per row."""
         tree = self._require_fitted()
         X = check_array_2d(X, "X")
@@ -384,11 +384,11 @@ class DecisionTreeClassifier:
         p1 = tree.predict_proba_positive(X)
         return np.column_stack([1.0 - p1, p1])
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """P(y = 1) per row — the score used for FAR-constrained thresholds."""
         return self.predict_proba(X)[:, 1]
 
-    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         """Hard 0/1 labels at a score threshold."""
         return (self.predict_score(X) >= threshold).astype(np.int8)
 

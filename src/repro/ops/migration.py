@@ -171,7 +171,7 @@ class MigrationScheduler:
         failed_set = set(failures)
         unwarned = {
             d for d in failed_set
-            if d not in saved and d not in partially and evacuated.get(d, 0.0) == 0.0
+            if d not in saved and d not in partially and evacuated.get(d, 0.0) <= 0.0
         }
         data_lost = sum(
             max(self.capacity_tb - evacuated.get(d, 0.0), 0.0)

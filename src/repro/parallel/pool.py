@@ -50,7 +50,7 @@ class TreeExecutor:
     def __enter__(self) -> "TreeExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
 

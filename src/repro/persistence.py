@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Callable, Dict, Union
+from typing import Any, Callable, Dict, Tuple, Union
 
 import numpy as np
 
@@ -50,12 +50,19 @@ from repro.offline.tree import DecisionTreeClassifier, FrozenTree
 
 PathLike = Union[str, Path]
 
-_SAVERS: Dict[type, Callable] = {}
-_LOADERS: Dict[str, Callable] = {}
+#: checkpoint payload halves: JSON-serializable metadata + named arrays
+Meta = Dict[str, Any]
+Arrays = Dict[str, Any]
+SaveFn = Callable[[Any], Tuple[Meta, Arrays]]
+LoadFn = Callable[[Meta, Arrays], Any]
+IOFactory = Callable[[], Tuple[SaveFn, LoadFn]]
+
+_SAVERS: Dict[type, SaveFn] = {}
+_LOADERS: Dict[str, LoadFn] = {}
 
 
-def _register(cls):
-    def wrap(saver_loader):
+def _register(cls: type) -> Callable[[IOFactory], IOFactory]:
+    def wrap(saver_loader: IOFactory) -> IOFactory:
         saver, loader = saver_loader()
         _SAVERS[cls] = saver
         _LOADERS[cls.__name__] = loader
@@ -116,7 +123,7 @@ def load_model(path: PathLike) -> Any:
     return _load_one(meta, arrays, path)
 
 
-def _read_archive(path: PathLike):
+def _read_archive(path: PathLike) -> Tuple[Meta, Arrays]:
     with np.load(Path(path), allow_pickle=False) as data:
         arrays = {k: data[k] for k in data.files}
     raw = arrays.pop("__meta__", None)
@@ -232,13 +239,13 @@ def _unpack_frozen_tree(prefix: str, arrays: dict) -> FrozenTree:
 # DecisionTreeClassifier
 # --------------------------------------------------------------------------
 @_register(DecisionTreeClassifier)
-def _decision_tree_io():
+def _decision_tree_io() -> Tuple[SaveFn, LoadFn]:
     PARAMS = (
         "max_depth", "min_samples_split", "min_samples_leaf", "max_num_splits",
         "max_features", "min_impurity_decrease", "class_weight", "laplace",
     )
 
-    def save(model: DecisionTreeClassifier):
+    def save(model: DecisionTreeClassifier) -> Tuple[Meta, Arrays]:
         if model.tree_ is None:
             raise ValueError("refusing to checkpoint an unfitted model")
         meta = {"params": {p: getattr(model, p) for p in PARAMS},
@@ -247,7 +254,7 @@ def _decision_tree_io():
         _pack_frozen_tree(model.tree_, "tree/", arrays)
         return meta, arrays
 
-    def load(meta, arrays):
+    def load(meta: Meta, arrays: Arrays) -> Any:
         model = DecisionTreeClassifier(**meta["params"])
         model.tree_ = _unpack_frozen_tree("tree/", arrays)
         model.n_features_ = meta["n_features"]
@@ -261,14 +268,14 @@ def _decision_tree_io():
 # RandomForestClassifier
 # --------------------------------------------------------------------------
 @_register(RandomForestClassifier)
-def _random_forest_io():
+def _random_forest_io() -> Tuple[SaveFn, LoadFn]:
     PARAMS = (
         "n_trees", "max_depth", "min_samples_split", "min_samples_leaf",
         "max_features", "min_impurity_decrease", "class_weight", "vote",
         "bootstrap",
     )
 
-    def save(model: RandomForestClassifier):
+    def save(model: RandomForestClassifier) -> Tuple[Meta, Arrays]:
         if not model.trees_:
             raise ValueError("refusing to checkpoint an unfitted model")
         meta = {
@@ -282,7 +289,7 @@ def _random_forest_io():
             arrays[f"tree{i}/feature_importances"] = tree.feature_importances_
         return meta, arrays
 
-    def load(meta, arrays):
+    def load(meta: Meta, arrays: Arrays) -> Any:
         model = RandomForestClassifier(**meta["params"])
         model.n_features_ = meta["n_features"]
         model.trees_ = []
@@ -301,13 +308,13 @@ def _random_forest_io():
 # MinMaxScaler / FeatureSelection
 # --------------------------------------------------------------------------
 @_register(MinMaxScaler)
-def _scaler_io():
-    def save(model: MinMaxScaler):
+def _scaler_io() -> Tuple[SaveFn, LoadFn]:
+    def save(model: MinMaxScaler) -> Tuple[Meta, Arrays]:
         if model.min_ is None:
             raise ValueError("refusing to checkpoint an unfitted scaler")
         return {"clip": model.clip}, {"min": model.min_, "range": model.range_}
 
-    def load(meta, arrays):
+    def load(meta: Meta, arrays: Arrays) -> Any:
         scaler = MinMaxScaler(clip=meta["clip"])
         scaler.min_ = arrays["min"]
         scaler.range_ = arrays["range"]
@@ -317,8 +324,8 @@ def _scaler_io():
 
 
 @_register(FeatureSelection)
-def _selection_io():
-    def save(model: FeatureSelection):
+def _selection_io() -> Tuple[SaveFn, LoadFn]:
+    def save(model: FeatureSelection) -> Tuple[Meta, Arrays]:
         meta = {"names": list(model.names)}
         arrays: dict = {"indices": np.asarray(model.indices)}
         if model.survived_ranksum is not None:
@@ -327,7 +334,7 @@ def _selection_io():
             arrays["importances"] = np.asarray(model.importances)
         return meta, arrays
 
-    def load(meta, arrays):
+    def load(meta: Meta, arrays: Arrays) -> Any:
         return FeatureSelection(
             indices=arrays["indices"],
             names=meta["names"],
@@ -410,14 +417,14 @@ def _unpack_online_tree(
 
 
 @_register(OnlineRandomForest)
-def _online_forest_io():
+def _online_forest_io() -> Tuple[SaveFn, LoadFn]:
     PARAMS = (
         "n_features", "n_trees", "n_tests", "min_parent_size", "min_gain",
         "oobe_threshold", "age_threshold", "oobe_decay",
         "oobe_min_observations", "vote", "max_depth", "split_check_interval",
     )
 
-    def save(model: OnlineRandomForest):
+    def save(model: OnlineRandomForest) -> Tuple[Meta, Arrays]:
         meta: dict = {
             "params": {p: getattr(model, p) for p in PARAMS},
             "lambda_pos": model.bagger.lambda_pos,
@@ -444,7 +451,7 @@ def _online_forest_io():
         meta["trees"] = tree_metas
         return meta, arrays
 
-    def load(meta, arrays):
+    def load(meta: Meta, arrays: Arrays) -> Any:
         params = meta["params"]
         model = OnlineRandomForest(
             params["n_features"],
@@ -502,7 +509,7 @@ def _online_forest_io():
 # OnlineDiskFailurePredictor (forest + labeling queues + counters)
 # --------------------------------------------------------------------------
 @_register(OnlineDiskFailurePredictor)
-def _predictor_io():
+def _predictor_io() -> Tuple[SaveFn, LoadFn]:
     """Checkpoint the whole Algorithm-2 monitor, not just its forest.
 
     The labeling queues *are* model state: losing them on restart means
@@ -517,7 +524,7 @@ def _predictor_io():
     STATS = ("n_samples", "n_failures", "n_alarms",
              "n_updates_pos", "n_updates_neg")
 
-    def save(model: OnlineDiskFailurePredictor):
+    def save(model: OnlineDiskFailurePredictor) -> Tuple[Meta, Arrays]:
         forest_meta, arrays = _SAVERS[OnlineRandomForest](model.forest)
         arrays = {f"forest/{k}": v for k, v in arrays.items()}
         disks = []
@@ -559,7 +566,7 @@ def _predictor_io():
         }
         return meta, arrays
 
-    def load(meta, arrays):
+    def load(meta: Meta, arrays: Arrays) -> Any:
         prefix = "forest/"
         forest_arrays = {
             k[len(prefix):]: v for k, v in arrays.items() if k.startswith(prefix)

@@ -27,9 +27,12 @@ import re
 import shutil
 import time
 from pathlib import Path
-from typing import Any, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple, Union
 
 from repro.persistence import load_model, save_model
+
+if TYPE_CHECKING:  # circular at runtime: fleet.py imports this module
+    from repro.service.fleet import FleetMonitor
 from repro.utils.validation import check_positive
 
 PathLike = Union[str, Path]
@@ -165,13 +168,13 @@ class CheckpointRotator:
         return max(int(n_samples) - self._last_rotate_samples, 0)
 
     # -------------------------------------------------------------- rotation
-    def maybe_rotate(self, fleet) -> Optional[Path]:
+    def maybe_rotate(self, fleet: "FleetMonitor") -> Optional[Path]:
         """Rotate iff the cadence elapsed; returns the new path or None."""
         if self.samples_since_rotate(fleet.n_samples) >= self.every_samples:
             return self.rotate(fleet)
         return None
 
-    def rotate(self, fleet) -> Path:
+    def rotate(self, fleet: "FleetMonitor") -> Path:
         """Snapshot every shard now; returns the published directory.
 
         *fleet* is anything exposing ``shards`` (a sequence of
@@ -195,7 +198,7 @@ class CheckpointRotator:
         assert last_exc is not None
         raise last_exc
 
-    def _rotate_once(self, fleet) -> Path:
+    def _rotate_once(self, fleet: "FleetMonitor") -> Path:
         seq = self._next_seq
         name = f"{self.prefix}-{seq:08d}"
         final = self.directory / name

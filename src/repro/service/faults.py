@@ -28,9 +28,27 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, Iterator, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 import numpy as np
+
+from repro.core.predictor import Alarm
+
+if TYPE_CHECKING:  # circular at runtime: fleet.py imports this module
+    from repro.service.fleet import DiskEvent
 
 # stable reason codes recorded on quarantined events and metric labels
 REASON_MISSING_VECTOR = "missing_vector"
@@ -42,7 +60,7 @@ REASON_SHARD_FAULT = "shard_fault"
 REASON_DEGRADED_SHARD = "degraded_shard"
 
 
-def validate_event(event, n_features: int) -> Optional[str]:
+def validate_event(event: "DiskEvent", n_features: int) -> Optional[str]:
     """Admission check for one :class:`~repro.service.fleet.DiskEvent`.
 
     Returns a reason code when the event would corrupt or crash a
@@ -94,7 +112,7 @@ class DeadLetterQueue:
 
     def put(
         self,
-        event,
+        event: "DiskEvent",
         reason: str,
         *,
         shard: Optional[int] = None,
@@ -219,10 +237,10 @@ class FaultyPredictor:
 
     def __init__(
         self,
-        inner,
+        inner: Any,
         *,
         fail_after: int,
-        exc_type=RuntimeError,
+        exc_type: Type[BaseException] = RuntimeError,
         message: str = "injected shard fault",
     ) -> None:
         if fail_after < 0:
@@ -233,11 +251,11 @@ class FaultyPredictor:
         self._message = message
         self._n_processed = 0
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)
 
     @property
-    def inner(self):
+    def inner(self) -> Any:
         """The wrapped predictor."""
         return self._inner
 
@@ -251,11 +269,20 @@ class FaultyPredictor:
             raise self._exc_type(self._message)
         self._n_processed += 1
 
-    def process(self, disk_id, x, failed, tag=None):
+    def process(
+        self,
+        disk_id: Hashable,
+        x: Optional[np.ndarray],
+        failed: bool,
+        tag: Any = None,
+    ) -> Optional[Alarm]:
         self._tick()
         return self._inner.process(disk_id, x, failed, tag)
 
-    def process_batch(self, events):
+    def process_batch(
+        self,
+        events: Sequence[Tuple[Hashable, Optional[np.ndarray], bool, Any]],
+    ) -> List[Optional[Alarm]]:
         remaining = self._fail_after - self._n_processed
         if remaining >= len(events):
             self._n_processed += len(events)

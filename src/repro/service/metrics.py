@@ -17,9 +17,10 @@ matching the thread-backed shard executor of the fleet monitor.
 
 from __future__ import annotations
 
+import math
 import re
 import threading
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -57,12 +58,10 @@ def _render_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> s
 
 def _render_value(v: float) -> str:
     v = float(v)
-    if v != v:
+    if math.isnan(v):
         return "NaN"
-    if v == float("inf"):
-        return "+Inf"
-    if v == float("-inf"):
-        return "-Inf"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
     if v.is_integer():
         return str(int(v))
     return repr(v)
@@ -163,7 +162,7 @@ class Gauge(_Instrument):
             return self._value
         try:
             return float(self._fn())
-        except Exception:
+        except Exception:  # repro: noqa RPR302 — one broken gauge must not take down the whole exposition; NaN is the documented containment value
             return float("nan")
 
     def sample_lines(self) -> List[str]:
@@ -198,7 +197,7 @@ class Histogram(_Instrument):
         """Record one observation (NaN is rejected: it would poison
         ``_sum`` and every derived rate forever)."""
         value = float(value)
-        if value != value:
+        if math.isnan(value):
             raise ValueError(f"cannot observe NaN on histogram {self.name!r}")
         with self._lock:
             self._sum += value
@@ -281,7 +280,14 @@ class MetricsRegistry:
         """Get or create a histogram with the given bucket bounds."""
         return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
 
-    def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Instrument:
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Optional[LabelMap],
+        **kwargs: Any,
+    ) -> _Instrument:
         if not _NAME_RE.match(name or ""):
             raise ValueError(f"invalid metric name {name!r}")
         key = (name, _label_key(labels))

@@ -113,7 +113,7 @@ def clean_dataset(dataset: SmartDataset) -> SmartDataset:
 
     The original dataset is untouched.
     """
-    X = dataset.X.astype(np.float32).copy()
+    X = dataset.X.astype(np.float32).copy()  # repro: noqa RPR202 — SmartDataset.X is float32 by schema (Backblaze payload width)
 
     if not np.isfinite(X).all():
         # per-drive forward/backward fill, vectorized per drive

@@ -137,7 +137,7 @@ class SmartDataset:
         return lut[self.serials] - self.days
 
     # ---------------------------------------------------------------- subsets
-    def subset_rows(self, mask_or_indices) -> "SmartDataset":
+    def subset_rows(self, mask_or_indices: np.ndarray) -> "SmartDataset":
         """New dataset restricted to some rows (drive metadata is kept whole)."""
         idx = np.asarray(mask_or_indices)
         if idx.dtype == bool:

@@ -14,7 +14,7 @@ reproducible and independent of drive iteration order.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from repro.smart import degradation as deg
 from repro.smart import drift as drf
 from repro.smart.attributes import NUM_CANDIDATE_FEATURES, feature_index
 from repro.smart.dataset import SmartDataset
-from repro.smart.drive_model import DriveModelSpec
+from repro.smart.drive_model import DegradationProfile, DriveModelSpec
 from repro.smart.population import DriveLifecycle, simulate_population
 from repro.utils.rng import SeedLike, as_generator
 
@@ -51,8 +51,8 @@ _STRONG_COUNTERS = (5, 197, 187)
 
 
 def _signature_expression(
-    rng: np.random.Generator, prof, *, active: bool
-) -> dict:
+    rng: np.random.Generator, prof: DegradationProfile, *, active: bool
+) -> Dict[str, float]:
     """Per-drive multipliers of each degradation channel.
 
     A channel participates with probability ``signature_activation_prob``
@@ -72,7 +72,14 @@ def _signature_expression(
         key: (mags[i] if on[i] else 0.0)
         for i, key in enumerate(_SIGNATURE_COUNTERS)
     }
-    if all(expr[k] == 0.0 for k in _STRONG_COUNTERS):
+    # a channel is expressed iff its activation flag drew true (lognormal
+    # magnitudes are strictly positive), so test the flags, not the floats
+    strong_active = any(
+        on[i]
+        for i, key in enumerate(_SIGNATURE_COUNTERS)
+        if key in _STRONG_COUNTERS
+    )
+    if not strong_active:
         expr[_STRONG_COUNTERS[forced_strong]] = mags[forced_strong]
     return expr
 
@@ -355,7 +362,7 @@ def generate_dataset(
         if drive.failed:
             fail[-1] = days[-1] == drive.fail_day
         all_fail_flags.append(fail)
-        all_X.append(X.astype(np.float32))
+        all_X.append(X.astype(np.float32))  # repro: noqa RPR202 — SmartDataset.X is float32 by schema (Backblaze payload width)
 
     return SmartDataset(
         spec=spec,

@@ -51,7 +51,7 @@ class UpdateStrategy:
         raise NotImplementedError
 
     # ------------------------------------------------------------- helpers
-    def _check(self, X, y):
+    def _check(self, X: np.ndarray, y: np.ndarray) -> None:
         X = check_array_2d(X, "X")
         y = check_binary_labels(y, n_rows=X.shape[0])
         return X, y
@@ -99,13 +99,13 @@ class FrozenStrategy(_OfflineStrategyBase):
 
     name = "frozen"
 
-    def start(self, X, y) -> None:
+    def start(self, X: np.ndarray, y: np.ndarray) -> None:
         """Train the one and only model."""
         X, y = self._check(X, y)
         if not self._fit(X, y):
             raise ValueError("warm-up data contains a single class")
 
-    def month_end(self, X, y) -> None:
+    def month_end(self, X: np.ndarray, y: np.ndarray) -> None:
         """Ignore the new month — the whole point of this control."""
 
 
@@ -132,14 +132,14 @@ class ReplacingStrategy(_OfflineStrategyBase):
         self.memory_months = int(memory_months)
         self._window: List = []
 
-    def start(self, X, y) -> None:
+    def start(self, X: np.ndarray, y: np.ndarray) -> None:
         """Train on the warm-up window (counts as the first memory month)."""
         X, y = self._check(X, y)
         self._window = [(X, y)]
         if not self._fit(X, y):
             raise ValueError("warm-up data contains a single class")
 
-    def month_end(self, X, y) -> None:
+    def month_end(self, X: np.ndarray, y: np.ndarray) -> None:
         """Retrain on the last ``memory_months`` closed months."""
         X, y = self._check(X, y)
         self._window.append((X, y))
@@ -174,7 +174,7 @@ class AccumulationStrategy(_OfflineStrategyBase):
         self._X: Optional[np.ndarray] = None
         self._y: Optional[np.ndarray] = None
 
-    def _append(self, X, y) -> None:
+    def _append(self, X: np.ndarray, y: np.ndarray) -> None:
         if self._X is None:
             self._X, self._y = X.copy(), y.copy()
         else:
@@ -184,14 +184,14 @@ class AccumulationStrategy(_OfflineStrategyBase):
             self._X = self._X[-self.max_history_rows:]
             self._y = self._y[-self.max_history_rows:]
 
-    def start(self, X, y) -> None:
+    def start(self, X: np.ndarray, y: np.ndarray) -> None:
         """Train on the warm-up data (the first slice of the history)."""
         X, y = self._check(X, y)
         self._append(X, y)
         if not self._fit(self._X, self._y):
             raise ValueError("warm-up data contains a single class")
 
-    def month_end(self, X, y) -> None:
+    def month_end(self, X: np.ndarray, y: np.ndarray) -> None:
         """Append the month and retrain on the full history."""
         X, y = self._check(X, y)
         self._append(X, y)
@@ -221,12 +221,12 @@ class OnlineStrategy(UpdateStrategy):
         self.forest = forest
         self.chunk_size = int(chunk_size)
 
-    def start(self, X, y) -> None:
+    def start(self, X: np.ndarray, y: np.ndarray) -> None:
         """Stream the warm-up data through the forest."""
         X, y = self._check(X, y)
         self.forest.partial_fit(X, y, chunk_size=self.chunk_size)
 
-    def month_end(self, X, y) -> None:
+    def month_end(self, X: np.ndarray, y: np.ndarray) -> None:
         """Stream the month's labeled samples (no retraining, ever)."""
         X, y = self._check(X, y)
         self.forest.partial_fit(X, y, chunk_size=self.chunk_size)

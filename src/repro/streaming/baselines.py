@@ -12,6 +12,8 @@ paper).  These two baselines make that concrete in tests and benches:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.utils.validation import check_array_2d, check_binary_labels
@@ -22,7 +24,7 @@ class _CountingBaseline:
         self.n_pos = 0.0
         self.n_neg = 0.0
 
-    def update(self, x, y: int, weight: float = 1.0) -> None:
+    def update(self, x: Optional[np.ndarray], y: int, weight: float = 1.0) -> None:
         """Count one labeled sample (features are ignored)."""
         if y not in (0, 1):
             raise ValueError(f"y must be 0 or 1, got {y!r}")
@@ -31,7 +33,7 @@ class _CountingBaseline:
         else:
             self.n_neg += weight
 
-    def partial_fit(self, X, y):
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "_CountingBaseline":
         """Count a batch of labels; returns self."""
         X = check_array_2d(X, "X")
         y = check_binary_labels(y, n_rows=X.shape[0])
@@ -45,7 +47,7 @@ class _CountingBaseline:
         total = self.n_pos + self.n_neg
         return self.n_pos / total if total > 0 else 0.5
 
-    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         """Hard labels at a score threshold."""
         return (self.predict_score(X) >= threshold).astype(np.int8)
 
@@ -53,7 +55,7 @@ class _CountingBaseline:
 class MajorityClassBaseline(_CountingBaseline):
     """Scores 1.0 when positives are the majority, else 0.0."""
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """1.0 for every row when positives are the majority, else 0.0."""
         X = check_array_2d(X, "X")
         score = 1.0 if self.n_pos > self.n_neg else 0.0
@@ -63,7 +65,7 @@ class MajorityClassBaseline(_CountingBaseline):
 class PriorProbabilityBaseline(_CountingBaseline):
     """Scores every sample with the running base rate P(y = 1)."""
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """The running base rate, for every row."""
         X = check_array_2d(X, "X")
         return np.full(X.shape[0], self.positive_rate)

@@ -229,7 +229,7 @@ class HoeffdingTreeClassifier:
             self._right[nid] = right_id
             del self._leaf_stats[nid]
 
-    def partial_fit(self, X, y, *, weights: Optional[np.ndarray] = None):
+    def partial_fit(self, X: np.ndarray, y: np.ndarray, *, weights: Optional[np.ndarray] = None) -> "HoeffdingTreeClassifier":
         """Stream a batch in row order; returns self."""
         X = check_array_2d(X, "X")
         check_feature_count(X, self.n_features, "X")
@@ -246,7 +246,7 @@ class HoeffdingTreeClassifier:
         """P(y = 1) for one sample."""
         return self._leaf_stats[self._find_leaf(np.asarray(x))].posterior_positive()
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """P(y = 1) per row (vectorized group traversal)."""
         X = check_array_2d(X, "X")
         check_feature_count(X, self.n_features, "X")
@@ -265,6 +265,6 @@ class HoeffdingTreeClassifier:
             stack.append((self._right[nid], rows[go_right]))
         return out
 
-    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         """Hard 0/1 labels at a score threshold."""
         return (self.predict_score(X) >= threshold).astype(np.int8)

@@ -73,7 +73,7 @@ class OnlineBaggingEnsemble:
             if k > 0:
                 est.update(x, y, float(k))
 
-    def partial_fit(self, X, y) -> "OnlineBaggingEnsemble":
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "OnlineBaggingEnsemble":
         """Stream a batch in row order; returns self."""
         X = check_array_2d(X, "X")
         y = check_binary_labels(y, n_rows=X.shape[0])
@@ -81,12 +81,12 @@ class OnlineBaggingEnsemble:
             self.update(X[i], int(y[i]))
         return self
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """Mean member score per row."""
         X = check_array_2d(X, "X")
         return np.mean([est.predict_score(X) for est in self.estimators], axis=0)
 
-    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         """Hard labels at a score threshold."""
         return (self.predict_score(X) >= threshold).astype(np.int8)
 
@@ -138,7 +138,7 @@ class OzaBoostClassifier:
                 lam *= total / (2.0 * self.lambda_wrong[m])
             lam = min(lam, 1e4)  # guard against runaway amplification
 
-    def partial_fit(self, X, y) -> "OzaBoostClassifier":
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "OzaBoostClassifier":
         """Stream a batch in row order; returns self."""
         X = check_array_2d(X, "X")
         y = check_binary_labels(y, n_rows=X.shape[0])
@@ -153,7 +153,7 @@ class OzaBoostClassifier:
             eps = np.where(total > 0, self.lambda_wrong / np.where(total > 0, total, 1), 0.5)
         return eps
 
-    def predict_score(self, X) -> np.ndarray:
+    def predict_score(self, X: np.ndarray) -> np.ndarray:
         """Weighted-vote positive score, normalized to [0, 1]."""
         X = check_array_2d(X, "X")
         eps = np.clip(self.stage_errors(), 1e-6, 1 - 1e-6)
@@ -169,6 +169,6 @@ class OzaBoostClassifier:
         )  # (M, n)
         return (weights[:, None] * votes).sum(axis=0) / weights.sum()
 
-    def predict(self, X, *, threshold: float = 0.5) -> np.ndarray:
+    def predict(self, X: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
         """Hard labels at a weighted-vote threshold."""
         return (self.predict_score(X) >= threshold).astype(np.int8)

@@ -54,7 +54,7 @@ def check_probability(value: Number, name: str) -> float:
 
 
 def check_array_2d(
-    X, name: str = "X", *, dtype=np.float64, min_rows: int = 0
+    X: object, name: str = "X", *, dtype: np.dtype = np.float64, min_rows: int = 0
 ) -> np.ndarray:
     """Coerce *X* to a C-contiguous 2-D float array; reject NaN/inf."""
     arr = np.ascontiguousarray(X, dtype=dtype)
@@ -72,7 +72,7 @@ def check_array_2d(
 
 
 def check_binary_labels(
-    y, name: str = "y", *, n_rows: Optional[int] = None
+    y: object, name: str = "y", *, n_rows: Optional[int] = None
 ) -> np.ndarray:
     """Coerce labels to an int8 vector of {0, 1}."""
     arr = np.asarray(y)

@@ -1,0 +1,34 @@
+"""Shared helpers for the static-analysis suite.
+
+Every rule test writes a known-good and a known-bad snippet to a temp
+file and lints it in isolation, so fixtures double as executable
+documentation of what each rule id accepts and rejects.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_paths
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Lint a source snippet; returns the full LintReport.
+
+    ``filename`` may carry directories (``tests/test_x.py``) to
+    exercise per-rule path scoping.
+    """
+
+    def _lint(source, rules=None, filename="snippet.py"):
+        path = tmp_path / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return lint_paths([str(path)], rules=rules)
+
+    return _lint
+
+
+def rule_ids(report):
+    """Sorted active rule ids of a report, for compact assertions."""
+    return sorted(f.rule_id for f in report.findings)

@@ -1,0 +1,112 @@
+"""RPR401 (__all__ consistency) fixtures."""
+
+from repro.analysis.rules.api import DunderAllConsistencyRule
+
+from tests.analysis.conftest import rule_ids
+
+RULES = [DunderAllConsistencyRule()]
+
+
+class TestRPR401DunderAll:
+    def test_stale_export_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            __all__ = ["exists", "vanished"]
+
+            def exists():
+                return 1
+            """,
+            rules=RULES,
+        )
+        assert rule_ids(report) == ["RPR401"]
+        assert "vanished" in report.findings[0].message
+
+    def test_unlisted_public_def_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            __all__ = ["listed"]
+
+            def listed():
+                return 1
+
+            def accidental_api():
+                return 2
+
+            class AlsoAccidental:
+                pass
+            """,
+            rules=RULES,
+        )
+        assert rule_ids(report) == ["RPR401", "RPR401"]
+
+    def test_duplicate_export_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            __all__ = ["f", "f"]
+
+            def f():
+                return 1
+            """,
+            rules=RULES,
+        )
+        assert rule_ids(report) == ["RPR401"]
+        assert "more than once" in report.findings[0].message
+
+    def test_consistent_module_clean(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from collections import deque
+
+            __all__ = ["Public", "deque", "helper", "CONST"]
+
+            CONST = 3
+
+            def helper():
+                return 1
+
+            class Public:
+                pass
+
+            def _private():
+                return 2
+            """,
+            rules=RULES,
+        )
+        assert report.findings == []
+
+    def test_module_without_dunder_all_skipped(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def anything_goes():
+                return 1
+            """,
+            rules=RULES,
+        )
+        assert report.findings == []
+
+    def test_conditional_imports_count_as_bindings(self, lint_snippet):
+        report = lint_snippet(
+            """
+            __all__ = ["maybe"]
+
+            try:
+                from fastpath import maybe
+            except ImportError:
+                def maybe():
+                    return None
+            """,
+            rules=RULES,
+        )
+        assert report.findings == []
+
+    def test_every_package_init_in_repo_is_consistent(self):
+        # the real package __init__ files are the rule's primary target;
+        # lint them directly so a drifted __all__ fails here too
+        from repro.analysis import lint_paths
+        from pathlib import Path
+        import repro
+
+        pkg_root = Path(repro.__file__).parent
+        inits = sorted(str(p) for p in pkg_root.rglob("__init__.py"))
+        report = lint_paths(inits, rules=RULES)
+        assert report.findings == []

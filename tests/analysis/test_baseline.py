@@ -1,0 +1,105 @@
+"""Baseline round-trip, diffing, stale-entry detection."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_paths, load_baseline, write_baseline
+from repro.analysis.engine import Finding, Severity
+from repro.analysis.rules.numerics import FloatEqualityRule
+
+FLOAT_EQ = [FloatEqualityRule()]
+
+
+def findings_for(tmp_path, source, name="mod.py"):
+    p = tmp_path / name
+    p.write_text(source)
+    return lint_paths([str(p)], rules=FLOAT_EQ).findings
+
+
+class TestRoundTrip:
+    def test_write_then_load_grandfathers_everything(self, tmp_path):
+        findings = findings_for(tmp_path, "def f(x):\n    return x == 0.0\n")
+        assert findings
+        bl_path = tmp_path / "baseline.json"
+        write_baseline(findings, str(bl_path))
+        baseline = load_baseline(str(bl_path))
+        new, old = baseline.split(findings)
+        assert new == []
+        assert old == findings
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = load_baseline(str(tmp_path / "absent.json"))
+        assert len(baseline) == 0
+        f = Finding("RPR201", Severity.ERROR, "x.py", 1, 1, "m")
+        new, old = baseline.split([f])
+        assert new == [f] and old == []
+
+    def test_entries_carry_audit_fields(self, tmp_path):
+        findings = findings_for(tmp_path, "def f(x):\n    return x == 0.0\n")
+        bl_path = tmp_path / "baseline.json"
+        write_baseline(findings, str(bl_path))
+        data = json.loads(bl_path.read_text())
+        assert data["version"] == 1
+        entry = next(iter(data["fingerprints"].values()))
+        assert entry["rule"] == "RPR201"
+        assert entry["path"].endswith("mod.py")
+        assert entry["line"] == 2
+
+
+class TestDiffing:
+    def test_new_violation_not_grandfathered(self, tmp_path):
+        old_findings = findings_for(
+            tmp_path, "def f(x):\n    return x == 0.0\n", name="a.py"
+        )
+        bl_path = tmp_path / "baseline.json"
+        write_baseline(old_findings, str(bl_path))
+        baseline = load_baseline(str(bl_path))
+        fresh = findings_for(
+            tmp_path, "def g(y):\n    return y != 2.5\n", name="b.py"
+        )
+        new, old = baseline.split(old_findings + fresh)
+        assert new == fresh
+        assert old == old_findings
+
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        before = findings_for(
+            tmp_path, "def f(x):\n    return x == 0.0\n", name="a.py"
+        )
+        after = findings_for(
+            tmp_path,
+            "# a comment pushing the code down\n\n\ndef f(x):\n    return x == 0.0\n",
+            name="a.py",
+        )
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint() == after[0].fingerprint()
+
+    def test_stale_entries_reported(self, tmp_path):
+        findings = findings_for(tmp_path, "def f(x):\n    return x == 0.0\n")
+        bl_path = tmp_path / "baseline.json"
+        write_baseline(findings, str(bl_path))
+        baseline = load_baseline(str(bl_path))
+        assert baseline.stale_entries(findings) == []
+        assert len(baseline.stale_entries([])) == 1
+
+
+class TestValidation:
+    def test_wrong_version_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"version": 99, "fingerprints": {}}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(p))
+
+    def test_non_baseline_json_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError, match="fingerprints"):
+            load_baseline(str(p))
+
+    def test_repo_baseline_is_empty(self):
+        # the committed baseline must stay empty: all debt is paid
+        from pathlib import Path
+
+        repo_baseline = Path(__file__).resolve().parents[2] / "lint-baseline.json"
+        baseline = load_baseline(str(repo_baseline))
+        assert len(baseline) == 0

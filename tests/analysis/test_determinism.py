@@ -1,0 +1,138 @@
+"""RPR101 (unseeded RNG) and RPR102 (wall clock) fixtures."""
+
+from repro.analysis.rules.determinism import UnseededRandomRule, WallClockRule
+
+from tests.analysis.conftest import rule_ids
+
+RNG = [UnseededRandomRule()]
+CLOCK = [WallClockRule()]
+
+
+class TestRPR101UnseededRandom:
+    def test_legacy_np_random_functions_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            np.random.seed(0)
+            idx = np.random.randint(0, 10)
+            """,
+            rules=RNG,
+        )
+        assert rule_ids(report) == ["RPR101", "RPR101", "RPR101"]
+        assert all(f.severity.value == "error" for f in report.findings)
+
+    def test_argless_default_rng_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+            from numpy.random import default_rng
+            a = np.random.default_rng()
+            b = default_rng()
+            c = np.random.RandomState()
+            """,
+            rules=RNG,
+        )
+        assert rule_ids(report) == ["RPR101", "RPR101", "RPR101"]
+        assert "OS entropy" in report.findings[0].message
+
+    def test_seeded_streams_are_clean(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+            from numpy.random import default_rng
+            a = np.random.default_rng(7)
+            b = default_rng(seed=3)
+            c = np.random.RandomState(0)
+            d = np.random.SeedSequence(42).spawn(4)
+            gen = np.random.Generator(np.random.PCG64(1))
+            """,
+            rules=RNG,
+        )
+        assert report.findings == []
+
+    def test_stdlib_random_module_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import random
+            x = random.random()
+            r_bad = random.Random()
+            r_ok = random.Random(17)
+            """,
+            rules=RNG,
+        )
+        assert rule_ids(report) == ["RPR101", "RPR101"]
+
+    def test_methods_on_generator_objects_are_clean(self, lint_snippet):
+        # rng.random() is a *seeded Generator* method, not the module
+        report = lint_snippet(
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.random(5)
+            y = rng.poisson(1.0, size=3)
+            """,
+            rules=RNG,
+        )
+        assert report.findings == []
+
+
+class TestRPR102WallClock:
+    def test_time_module_calls_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import time
+            t0 = time.time()
+            t1 = time.perf_counter()
+            time.sleep(0.1)
+            """,
+            rules=CLOCK,
+        )
+        assert rule_ids(report) == ["RPR102", "RPR102", "RPR102"]
+
+    def test_datetime_now_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import datetime
+            a = datetime.datetime.now()
+            b = datetime.date.today()
+            """,
+            rules=CLOCK,
+        )
+        assert rule_ids(report) == ["RPR102", "RPR102"]
+
+    def test_bare_imported_perf_counter_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            from time import perf_counter
+            t = perf_counter()
+            """,
+            rules=CLOCK,
+        )
+        assert rule_ids(report) == ["RPR102"]
+
+    def test_injected_clock_default_is_clean(self, lint_snippet):
+        # referencing the clock as an injectable default is the
+        # sanctioned pattern — only *calls* read the wall clock
+        report = lint_snippet(
+            """
+            import time
+
+            def ingest(batch, clock=time.perf_counter):
+                t0 = clock()
+                return t0
+            """,
+            rules=CLOCK,
+        )
+        assert report.findings == []
+
+    def test_benchmarks_are_allowlisted(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import time
+            t0 = time.perf_counter()
+            """,
+            rules=CLOCK,
+            filename="benchmarks/bench_scratch.py",
+        )
+        assert report.findings == []

@@ -1,0 +1,157 @@
+"""Engine behavior: walking, suppression, determinism, parse errors."""
+
+import pytest
+
+from repro.analysis import ALL_RULES, lint_paths, rules_by_id
+from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    Severity,
+    is_suppressed,
+    iter_python_files,
+)
+from repro.analysis.rules.numerics import FloatEqualityRule
+
+from tests.analysis.conftest import rule_ids
+
+FLOAT_EQ = [FloatEqualityRule()]
+
+
+class TestRegistry:
+    def test_rule_ids_are_unique_and_stable(self):
+        ids = [r.rule_id for r in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        assert set(rules_by_id()) == {
+            "RPR101", "RPR102", "RPR201", "RPR202",
+            "RPR301", "RPR302", "RPR303", "RPR401",
+        }
+
+    def test_every_rule_documents_itself(self):
+        for rule in ALL_RULES:
+            assert rule.description, rule.rule_id
+            assert rule.severity in (Severity.ERROR, Severity.WARNING)
+
+
+class TestWalker:
+    def test_missing_target_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["definitely/not/a/path"])
+
+    def test_pycache_and_hidden_dirs_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x == 0.0\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "junk.py").write_text("x == 0.0\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        files = list(iter_python_files([str(tmp_path)]))
+        assert [f.name for f in files] == ["real.py"]
+
+    def test_duplicate_targets_linted_once(self, tmp_path):
+        p = tmp_path / "one.py"
+        p.write_text("x = 1\n")
+        report = lint_paths([str(p), str(p), str(tmp_path)])
+        assert report.files_scanned == 1
+
+    def test_output_is_deterministic(self, tmp_path):
+        for name in ("b.py", "a.py", "c.py"):
+            (tmp_path / name).write_text("def f(x):\n    return x == 0.5\n")
+        r1 = lint_paths([str(tmp_path)], rules=FLOAT_EQ)
+        r2 = lint_paths([str(tmp_path)], rules=FLOAT_EQ)
+        assert [f.to_dict() for f in r1.findings] == [
+            f.to_dict() for f in r2.findings
+        ]
+        assert [f.path for f in r1.findings] == sorted(
+            f.path for f in r1.findings
+        )
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses_all_rules_on_line(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(x):
+                return x == 0.0  # repro: noqa
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert report.findings == []
+        assert rule_ids_suppressed(report) == ["RPR201"]
+
+    def test_targeted_noqa_with_reason(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(x):
+                return x == 0.0  # repro: noqa RPR201 — exact-zero sentinel
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert report.findings == []
+        assert rule_ids_suppressed(report) == ["RPR201"]
+
+    def test_noqa_for_other_rule_does_not_suppress(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(x):
+                return x == 0.0  # repro: noqa RPR999 — wrong id
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert rule_ids(report) == ["RPR201"]
+
+    def test_multiple_ids_comma_separated(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(x):
+                return x == 0.0  # repro: noqa RPR999, RPR201 — two ids
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert report.findings == []
+
+    def test_plain_ascii_dash_reason_accepted(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(x):
+                return x == 0.0  # repro: noqa RPR201 - ascii dash reason
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert report.findings == []
+
+    def test_is_suppressed_ignores_unrelated_comments(self):
+        from repro.analysis.engine import Finding
+
+        f = Finding("RPR201", Severity.ERROR, "x.py", 1, 1, "m")
+        assert not is_suppressed(f, ["x == 0.0  # regular comment"])
+        assert is_suppressed(f, ["x == 0.0  # repro: noqa"])
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rpr000(self, lint_snippet):
+        report = lint_snippet("def broken(:\n")
+        assert [f.rule_id for f in report.findings] == [PARSE_ERROR_RULE]
+        assert report.findings[0].severity is Severity.ERROR
+        assert report.findings[0].line >= 1
+
+
+class TestStats:
+    def test_stats_shape(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(x):
+                a = x == 0.0
+                b = x == 0.5  # repro: noqa RPR201 — fixture
+                return a, b
+            """,
+            rules=FLOAT_EQ,
+        )
+        stats = report.stats()
+        assert stats["files_scanned"] == 1
+        assert stats["findings_total"] == 1
+        assert stats["suppressed_total"] == 1
+        assert stats["findings_by_rule"] == {"RPR201": 1}
+        assert stats["findings_by_severity"] == {"error": 1}
+        assert stats["runtime_seconds"] >= 0
+
+
+def rule_ids_suppressed(report):
+    return sorted(f.rule_id for f in report.suppressed)

@@ -1,0 +1,170 @@
+"""RPR301 (mutable defaults), RPR302 (swallowed except), RPR303
+(metric registration) fixtures."""
+
+from repro.analysis.rules.hygiene import (
+    MetricRegistrationRule,
+    MutableDefaultRule,
+    SwallowedExceptionRule,
+)
+
+from tests.analysis.conftest import rule_ids
+
+MUTABLE = [MutableDefaultRule()]
+EXCEPT = [SwallowedExceptionRule()]
+METRICS = [MetricRegistrationRule()]
+
+
+class TestRPR301MutableDefault:
+    def test_literal_and_call_defaults_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(a=[], b={}, c=set()):
+                return a, b, c
+
+            def g(*, opts=list()):
+                return opts
+            """,
+            rules=MUTABLE,
+        )
+        assert rule_ids(report) == ["RPR301", "RPR301", "RPR301", "RPR301"]
+
+    def test_none_and_immutable_defaults_clean(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(a=None, b=(), c="x", d=0, e=frozenset()):
+                a = [] if a is None else a
+                return a, b, c, d, e
+            """,
+            rules=MUTABLE,
+        )
+        assert report.findings == []
+
+
+class TestRPR302SwallowedException:
+    def test_silent_broad_except_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    pass
+                try:
+                    risky()
+                except:
+                    return None
+            """,
+            rules=EXCEPT,
+        )
+        assert rule_ids(report) == ["RPR302", "RPR302"]
+
+    def test_reraise_use_or_log_is_clean(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(log):
+                try:
+                    risky()
+                except Exception:
+                    raise
+                try:
+                    risky()
+                except Exception as exc:
+                    return ("failed", exc)
+                try:
+                    risky()
+                except Exception:
+                    log.warning("risky failed")
+            """,
+            rules=EXCEPT,
+        )
+        assert report.findings == []
+
+    def test_narrow_except_is_clean(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    pass
+            """,
+            rules=EXCEPT,
+        )
+        assert report.findings == []
+
+
+class TestRPR303MetricRegistration:
+    def test_unprefixed_name_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def instrument(reg):
+                return reg.counter("samples_total", help="samples")
+            """,
+            rules=METRICS,
+        )
+        assert rule_ids(report) == ["RPR303"]
+        assert "repro_" in report.findings[0].message
+
+    def test_fstring_name_checked_by_prefix(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def instrument(reg, action):
+                ok = reg.counter(f"repro_alarms_{action}_total")
+                bad = reg.counter(f"alarms_{action}_total")
+                return ok, bad
+            """,
+            rules=METRICS,
+        )
+        assert rule_ids(report) == ["RPR303"]
+
+    def test_label_cardinality_capped(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def instrument(reg):
+                return reg.gauge(
+                    "repro_fleet_depth",
+                    labels={"a": "1", "b": "2", "c": "3", "d": "4"},
+                )
+            """,
+            rules=METRICS,
+        )
+        assert rule_ids(report) == ["RPR303"]
+        assert "cardinality" in report.findings[0].message
+
+    def test_prefixed_small_label_registration_clean(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def instrument(reg):
+                return reg.counter(
+                    "repro_fleet_samples_total",
+                    help="SMART samples ingested",
+                    labels={"shard": "0"},
+                )
+            """,
+            rules=METRICS,
+        )
+        assert report.findings == []
+
+    def test_non_registry_histogram_calls_ignored(self, lint_snippet):
+        # np.histogram's first arg is data, not a literal metric name
+        report = lint_snippet(
+            """
+            import numpy as np
+
+            def psi(exp, edges):
+                return np.histogram(exp, bins=edges)
+            """,
+            rules=METRICS,
+        )
+        assert report.findings == []
+
+    def test_tests_tree_is_exempt(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def test_registry(reg):
+                reg.counter("x_total")
+            """,
+            rules=METRICS,
+            filename="tests/test_scratch_metrics.py",
+        )
+        assert report.findings == []

@@ -1,0 +1,127 @@
+"""`repro lint` end-to-end: exit codes, JSON schema, baseline, stats."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN = """
+import numpy as np
+
+def score(rng: np.random.Generator) -> float:
+    return float(rng.random())
+"""
+
+VIOLATION = """
+import numpy as np
+rng = np.random.default_rng()
+x = np.random.rand(3)
+"""
+
+
+@pytest.fixture
+def snippet_dir(tmp_path):
+    def _write(source, name="mod.py"):
+        p = tmp_path / name
+        p.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    return _write
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, snippet_dir, capsys):
+        d = snippet_dir(CLEAN)
+        rc = main(["lint", str(d), "--baseline", str(d / "bl.json")])
+        assert rc == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_naming_rule_and_line(
+        self, snippet_dir, capsys
+    ):
+        d = snippet_dir(VIOLATION)
+        rc = main(["lint", str(d), "--baseline", str(d / "bl.json")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPR101" in out
+        assert "mod.py:3" in out  # file:line of the argless default_rng()
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "nope"), "--baseline",
+                   str(tmp_path / "bl.json")])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_schema(self, snippet_dir, capsys):
+        d = snippet_dir(VIOLATION)
+        rc = main([
+            "lint", str(d), "--format", "json",
+            "--baseline", str(d / "bl.json"),
+        ])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"findings", "grandfathered", "stats"}
+        finding = doc["findings"][0]
+        assert set(finding) == {
+            "rule", "severity", "path", "line", "col", "message", "fingerprint",
+        }
+        assert finding["rule"].startswith("RPR")
+        assert finding["severity"] in ("error", "warning")
+        assert isinstance(finding["line"], int) and finding["line"] > 0
+        stats = doc["stats"]
+        for key in (
+            "files_scanned", "rules_run", "findings_total",
+            "findings_by_rule", "findings_by_severity", "runtime_seconds",
+            "new_findings", "grandfathered_findings",
+        ):
+            assert key in stats
+
+
+class TestBaselineFlow:
+    def test_write_then_enforce(self, snippet_dir, capsys):
+        d = snippet_dir(VIOLATION)
+        bl = d / "bl.json"
+        rc = main(["lint", str(d), "--baseline", str(bl), "--write-baseline"])
+        assert rc == 0
+        assert bl.exists()
+        capsys.readouterr()
+
+        # grandfathered debt no longer fails ...
+        rc = main(["lint", str(d), "--baseline", str(bl)])
+        assert rc == 0
+        out = capsys.readouterr()
+        assert "[baseline]" in out.err
+
+        # ... but a new violation still does
+        (d / "new.py").write_text("import time\nt = time.time()\n")
+        rc = main(["lint", str(d), "--baseline", str(bl)])
+        assert rc == 1
+        assert "RPR102" in capsys.readouterr().out
+
+
+class TestStatsFlag:
+    def test_stats_json_appended(self, snippet_dir, capsys):
+        d = snippet_dir(CLEAN)
+        rc = main(["lint", str(d), "--baseline", str(d / "bl.json"), "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        stats = json.loads(payload)
+        assert stats["files_scanned"] == 1
+        assert stats["findings_total"] == 0
+        assert "runtime_seconds" in stats
+
+
+class TestWholeRepo:
+    def test_src_tests_benchmarks_lint_clean(self, capsys, monkeypatch):
+        """The acceptance gate: the whole tree is clean vs an empty baseline."""
+        monkeypatch.chdir(REPO_ROOT)
+        rc = main(["lint", "src", "tests", "benchmarks"])
+        assert rc == 0, capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""RPR201 (float equality) and RPR202 (narrowing cast) fixtures."""
+
+from repro.analysis.rules.numerics import FloatEqualityRule, NarrowingCastRule
+
+from tests.analysis.conftest import rule_ids
+
+FLOAT_EQ = [FloatEqualityRule()]
+NARROW = [NarrowingCastRule()]
+
+
+class TestRPR201FloatEquality:
+    def test_literal_equality_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(x, y):
+                if x == 0.0:
+                    return 1
+                return y != 1.5
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert rule_ids(report) == ["RPR201", "RPR201"]
+        assert "x == 0.0" in report.findings[0].message
+
+    def test_float_call_equality_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(v):
+                return v == float("inf")
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert rule_ids(report) == ["RPR201"]
+
+    def test_negative_literal_and_chained_compare_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def f(a, b):
+                return a == -1.0 or (0.0 != b != 2.0)
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert rule_ids(report) == ["RPR201", "RPR201", "RPR201"]
+
+    def test_order_comparisons_and_int_equality_clean(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import math
+
+            def f(x, n):
+                if x <= 0.0 or x >= 1.0:
+                    return False
+                if n == 0:
+                    return True
+                return math.isclose(x, 0.5)
+            """,
+            rules=FLOAT_EQ,
+        )
+        assert report.findings == []
+
+    def test_tests_tree_is_exempt(self, lint_snippet):
+        # exact-equality assertions in tests are the reproducibility proof
+        report = lint_snippet(
+            """
+            def test_exact():
+                assert 1.0 == 1.0
+            """,
+            rules=FLOAT_EQ,
+            filename="tests/test_scratch.py",
+        )
+        assert report.findings == []
+
+
+class TestRPR202NarrowingCast:
+    def test_astype_float32_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+
+            def f(X):
+                a = X.astype(np.float32)
+                b = X.astype("float16")
+                c = X.astype(dtype=np.float32)
+                return a, b, c
+            """,
+            rules=NARROW,
+        )
+        assert rule_ids(report) == ["RPR202", "RPR202", "RPR202"]
+        assert all(f.severity.value == "warning" for f in report.findings)
+
+    def test_np_float32_constructor_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+            x = np.float32(0.1)
+            """,
+            rules=NARROW,
+        )
+        assert rule_ids(report) == ["RPR202"]
+
+    def test_widening_and_integer_casts_clean(self, lint_snippet):
+        report = lint_snippet(
+            """
+            import numpy as np
+
+            def f(X, y):
+                a = X.astype(np.float64)
+                labels = y.astype(np.int8)
+                idx = y.astype(int)
+                return a, labels, idx
+            """,
+            rules=NARROW,
+        )
+        assert report.findings == []

@@ -204,6 +204,31 @@ class TestObservability:
         with pytest.raises(ValueError):
             build_fleet().replay([], batch_size=0)
 
+    def test_injected_clock_makes_latency_metrics_deterministic(self, events):
+        """The fleet reads time only through its injectable clock, so a
+        fake clock pins the ingest histogram (and samples_per_sec) to
+        exact, replayable values — and keeps the wall clock out of the
+        library per the RPR102 determinism rule."""
+        ticks = iter(range(1000))
+        fleet = build_fleet(clock=lambda: float(next(ticks)))
+        n_batches = 0
+        batch = []
+        for ev in events:
+            batch.append(ev)
+            if len(batch) == 16:
+                fleet.ingest(batch)
+                n_batches += 1
+                batch = []
+        if batch:
+            fleet.ingest(batch)
+            n_batches += 1
+        hist = fleet.registry.get("repro_fleet_ingest_seconds")
+        assert hist.count == n_batches
+        # each ingest spans exactly one tick of the fake clock
+        assert hist.sum == float(n_batches)
+        samples = sum(int(c.value) for c in fleet._samples_c)
+        assert fleet.digest()["samples_per_sec"] == samples / n_batches
+
 
 class TestEventHelpers:
     def test_fleet_events_matches_monitor_loop(self):
