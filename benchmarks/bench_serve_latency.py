@@ -1,0 +1,347 @@
+"""Serving-path latency bench — the repo's first latency artifact.
+
+Replays a synthetic fleet through :class:`~repro.service.fleet.FleetMonitor`
+and measures what an operator sizing a deployment needs:
+
+* **end-to-end ingest latency** — per-batch p50/p99 across the three
+  executor backends (``serial``, ``thread`` at the fleet level, and
+  ``process`` attached to each shard's forest — the fleet itself rejects
+  process executors because workers would mutate copies);
+* **sustained throughput** — events/sec over the whole replay;
+* **tracing overhead** — the same serial replay with a live
+  :class:`~repro.obs.Tracer` vs. the no-op default, as a percentage
+  (the acceptance bar is <5%);
+* **per-stage breakdown** — the traced run's
+  ``repro_stage_latency_seconds`` summary, so the JSON answers "where
+  does the time go" without a second run.
+
+Results land in ``BENCH_serve_latency.json`` (schema below); CI's
+``bench-smoke`` job runs a tiny fleet and re-invokes this script with
+``--validate`` to keep the artifact schema honest.
+
+Run standalone::
+
+    python benchmarks/bench_serve_latency.py --scale 0.05 --months 6
+    python benchmarks/bench_serve_latency.py --validate BENCH_serve_latency.json
+
+or as a pytest smoke test (``pytest benchmarks/bench_serve_latency.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+# schema version of BENCH_serve_latency.json (bump on breaking changes)
+BENCH_FORMAT = 1
+
+BACKENDS = ("serial", "thread", "process")
+
+#: required keys of each per-backend block in the JSON artifact
+BACKEND_KEYS = (
+    "batches",
+    "events",
+    "alarms",
+    "total_seconds",
+    "p50_ms",
+    "p99_ms",
+    "mean_ms",
+    "max_ms",
+    "events_per_sec",
+)
+
+
+# ------------------------------------------------------------------ plumbing
+def build_events(scale: float, months: int, stride: int, seed: int):
+    """Tiny synthetic fleet → (n_features, materialized DiskEvent list)."""
+    from repro.eval.protocol import prepare_arrays
+    from repro.features.selection import FeatureSelection
+    from repro.service import fleet_events
+    from repro.smart.drive_model import STA, scaled_spec
+    from repro.smart.generator import generate_dataset
+
+    spec = scaled_spec(STA, fleet_scale=scale, duration_months=months)
+    dataset = generate_dataset(spec, seed=seed, sample_every_days=stride)
+    arrays, _ = prepare_arrays(dataset, FeatureSelection.paper_table2())
+    fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
+    return arrays.n_features, list(fleet_events(arrays, fail_day))
+
+
+def build_fleet(
+    n_features: int,
+    *,
+    n_shards: int,
+    seed: int,
+    fleet_executor=None,
+    forest_executor=None,
+    tracer=None,
+    registry=None,
+):
+    from repro.service import FleetMonitor
+
+    return FleetMonitor.build(
+        n_features,
+        n_shards=n_shards,
+        seed=seed,
+        forest_kwargs={
+            "n_trees": 8,
+            "n_tests": 20,
+            "min_parent_size": 60,
+            "min_gain": 0.05,
+            "lambda_pos": 1.0,
+            "lambda_neg": 0.1,
+            "executor": forest_executor,
+        },
+        executor=fleet_executor,
+        tracer=tracer,
+        registry=registry,
+        strict=False,
+    )
+
+
+def replay(fleet, events, batch_size: int) -> Dict[str, Any]:
+    """Ingest *events* in batches; returns latency/throughput stats."""
+    from repro.obs import percentile
+
+    latencies: List[float] = []
+    n_alarms = 0
+    for start in range(0, len(events), batch_size):
+        batch = events[start:start + batch_size]
+        t0 = time.perf_counter()
+        emitted = fleet.ingest(batch)
+        latencies.append(time.perf_counter() - t0)
+        n_alarms += len(emitted)
+    total = sum(latencies)
+    return {
+        "batches": len(latencies),
+        "events": len(events),
+        "alarms": n_alarms,
+        "total_seconds": total,
+        "p50_ms": 1e3 * percentile(latencies, 50.0),
+        "p99_ms": 1e3 * percentile(latencies, 99.0),
+        "mean_ms": 1e3 * total / max(len(latencies), 1),
+        "max_ms": 1e3 * max(latencies),
+        "events_per_sec": len(events) / total if total > 0 else 0.0,
+    }
+
+
+def run_backend(
+    backend: str,
+    n_features: int,
+    events,
+    *,
+    n_shards: int,
+    batch_size: int,
+    seed: int,
+    n_workers: Optional[int] = None,
+    tracer=None,
+    registry=None,
+) -> Dict[str, Any]:
+    """One replay on a fresh fleet wired for *backend*."""
+    from repro.parallel.pool import ProcessExecutor, ThreadExecutor
+
+    if backend == "serial":
+        fleet = build_fleet(
+            n_features, n_shards=n_shards, seed=seed,
+            tracer=tracer, registry=registry,
+        )
+        return replay(fleet, events, batch_size)
+    if backend == "thread":
+        with ThreadExecutor(n_workers) as pool:
+            fleet = build_fleet(
+                n_features, n_shards=n_shards, seed=seed,
+                fleet_executor=pool, tracer=tracer, registry=registry,
+            )
+            return replay(fleet, events, batch_size)
+    if backend == "process":
+        # the fleet rejects process executors (workers mutate copies);
+        # the supported layout is one process pool inside each shard forest
+        with ProcessExecutor(n_workers) as pool:
+            fleet = build_fleet(
+                n_features, n_shards=n_shards, seed=seed,
+                forest_executor=pool, tracer=tracer, registry=registry,
+            )
+            return replay(fleet, events, batch_size)
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+# ------------------------------------------------------------------ schema
+def validate_payload(payload: Any) -> List[str]:
+    """Schema check of a BENCH_serve_latency.json document.
+
+    Returns a list of problems (empty == valid) instead of raising, so
+    CI can print every violation at once.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("format") != BENCH_FORMAT:
+        problems.append(
+            f"format must be {BENCH_FORMAT}, got {payload.get('format')!r}"
+        )
+    if payload.get("bench") != "serve_latency":
+        problems.append(f"bench must be 'serve_latency', got {payload.get('bench')!r}")
+    if not isinstance(payload.get("config"), dict):
+        problems.append("config must be an object")
+    backends = payload.get("backends")
+    if not isinstance(backends, dict):
+        problems.append("backends must be an object")
+        backends = {}
+    for name in BACKENDS:
+        block = backends.get(name)
+        if not isinstance(block, dict):
+            problems.append(f"backends.{name} missing or not an object")
+            continue
+        for key in BACKEND_KEYS:
+            value = block.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"backends.{name}.{key} must be a number")
+            elif value < 0:
+                problems.append(f"backends.{name}.{key} must be >= 0")
+    overhead = payload.get("tracing_overhead_pct")
+    if not isinstance(overhead, (int, float)) or isinstance(overhead, bool):
+        problems.append("tracing_overhead_pct must be a number")
+    stages = payload.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        problems.append("stages must be a non-empty object")
+    else:
+        for stage, stats in stages.items():
+            if not isinstance(stats, dict) or "p99_seconds" not in stats:
+                problems.append(f"stages.{stage} missing percentile stats")
+    return problems
+
+
+# -------------------------------------------------------------------- main
+def run_bench(args: argparse.Namespace) -> Dict[str, Any]:
+    from repro.obs import Tracer, stage_summary
+    from repro.service import MetricsRegistry
+
+    print(
+        f"generating fleet (scale={args.scale}, months={args.months}, "
+        f"stride={args.stride}) ...",
+        file=sys.stderr,
+    )
+    n_features, events = build_events(
+        args.scale, args.months, args.stride, args.seed
+    )
+    print(f"replaying {len(events):,} events per backend ...", file=sys.stderr)
+
+    common = dict(
+        n_shards=args.shards, batch_size=args.batch_size, seed=args.seed,
+        n_workers=args.workers,
+    )
+    backends: Dict[str, Dict[str, Any]] = {}
+    for backend in BACKENDS:
+        backends[backend] = run_backend(backend, n_features, events, **common)
+        print(
+            f"  {backend:8s} p50 {backends[backend]['p50_ms']:8.2f}ms  "
+            f"p99 {backends[backend]['p99_ms']:8.2f}ms  "
+            f"{backends[backend]['events_per_sec']:10,.0f} events/s",
+            file=sys.stderr,
+        )
+
+    # tracing overhead: identical serial replay, live tracer vs. no-op
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry, max_spans=200_000)
+    traced = run_backend(
+        "serial", n_features, events, **common,
+        tracer=tracer, registry=registry,
+    )
+    untraced_total = backends["serial"]["total_seconds"]
+    overhead_pct = (
+        100.0 * (traced["total_seconds"] - untraced_total) / untraced_total
+        if untraced_total > 0 else 0.0
+    )
+    if traced["alarms"] != backends["serial"]["alarms"]:
+        raise AssertionError(
+            "tracing changed behaviour: "
+            f"{traced['alarms']} alarms traced vs "
+            f"{backends['serial']['alarms']} untraced"
+        )
+    print(
+        f"  tracing overhead on serial: {overhead_pct:+.1f}% "
+        f"({traced['total_seconds']:.3f}s vs {untraced_total:.3f}s)",
+        file=sys.stderr,
+    )
+
+    return {
+        "format": BENCH_FORMAT,
+        "bench": "serve_latency",
+        "config": {
+            "scale": args.scale,
+            "months": args.months,
+            "stride": args.stride,
+            "seed": args.seed,
+            "shards": args.shards,
+            "batch_size": args.batch_size,
+            "workers": args.workers,
+            "n_events": len(events),
+            "n_features": n_features,
+        },
+        "backends": backends,
+        "traced_serial": traced,
+        "tracing_overhead_pct": overhead_pct,
+        "stages": stage_summary(tracer.snapshot()),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fleet scale vs. the STA preset")
+    parser.add_argument("--months", type=int, default=6)
+    parser.add_argument("--stride", type=int, default=2,
+                        help="daily-snapshot sampling stride")
+    parser.add_argument("--seed", type=int, default=20180813)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for thread/process backends")
+    parser.add_argument("-o", "--output", default="BENCH_serve_latency.json")
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing artifact and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.validate:
+        try:
+            payload = json.loads(Path(args.validate).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.validate}: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"{args.validate}: valid serve-latency artifact")
+        return 0
+
+    payload = run_bench(args)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+# ------------------------------------------------------------ pytest smoke
+def test_serve_latency_smoke(tmp_path):
+    """Tiny end-to-end run: artifact exists and validates cleanly."""
+    out = tmp_path / "BENCH_serve_latency.json"
+    rc = main([
+        "--scale", "0.02", "--months", "3", "--stride", "4",
+        "--batch-size", "64", "-o", str(out),
+    ])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert validate_payload(payload) == []
+    assert main(["--validate", str(out)]) == 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

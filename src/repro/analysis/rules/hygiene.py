@@ -15,8 +15,12 @@ dominating real disk-prediction deployments.
   it) and literal label sets must stay small (≤ ``MAX_LABELS`` keys) —
   label cardinality is a time-series-per-metric multiplier, and an
   unbounded label set is a slow memory leak in the metrics backend.
-  Scoped out of ``tests/``: the registry's own unit tests exercise
-  arbitrary names deliberately.
+  Per-stage tracing metrics (``repro_stage_*``, registered by
+  :class:`repro.obs.tracing.Tracer`) must additionally carry a literal
+  ``stage`` label key: a stage metric registered without it would
+  collapse every pipeline stage into one time series.  Scoped out of
+  ``tests/``: the registry's own unit tests exercise arbitrary names
+  deliberately.
 """
 
 from __future__ import annotations
@@ -33,6 +37,10 @@ MAX_LABELS = 3
 _REGISTRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
 
 _METRIC_PREFIX = "repro_"
+
+#: per-stage tracing metrics must be partitioned by a ``stage`` label
+_STAGE_METRIC_PREFIX = "repro_stage_"
+_STAGE_LABEL_KEY = "stage"
 
 _LOGGING_HINTS = frozenset(
     {"print", "warn", "warning", "error", "exception", "debug", "info", "log"}
@@ -185,9 +193,16 @@ class MetricRegistrationRule(Rule):
                     f"metric name {name!r} lacks the {_METRIC_PREFIX!r} "
                     "namespace prefix dashboards key on",
                 )
+            stage_labeled = False
             for kw in node.keywords:
                 if kw.arg != "labels" or not isinstance(kw.value, ast.Dict):
                     continue
+                label_keys = [
+                    k.value
+                    for k in kw.value.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                ]
+                stage_labeled = stage_labeled or _STAGE_LABEL_KEY in label_keys
                 n_keys = len(kw.value.keys)
                 if n_keys > MAX_LABELS:
                     yield ctx.finding(
@@ -197,6 +212,18 @@ class MetricRegistrationRule(Rule):
                         f"{MAX_LABELS}): label cardinality multiplies "
                         "time-series count",
                     )
+            if (
+                name is not None
+                and name.startswith(_STAGE_METRIC_PREFIX)
+                and not stage_labeled
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"per-stage metric {name!r} registered without a "
+                    f"literal {_STAGE_LABEL_KEY!r} label key: every "
+                    "pipeline stage would collapse into one time series",
+                )
 
 
 RULES: Tuple[Rule, ...] = (

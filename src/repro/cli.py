@@ -1,14 +1,15 @@
 """Command-line interface.
 
-Seven subcommands cover the operational lifecycle::
+Eight subcommands cover the operational lifecycle::
 
-    repro generate   --spec sta --scale 0.2 --months 15 -o fleet.csv
-    repro train      --data fleet.csv --model orf -o model.npz
-    repro evaluate   --data fleet.csv --model-file model.npz --far 0.01
-    repro monitor    --data fleet.csv --model-file model.npz
-    repro serve      --data fleet.csv --model-file model.npz --shards 4
-    repro experiment --data fleet.csv --kind monthly
-    repro lint       src tests benchmarks --format json --stats
+    repro generate     --spec sta --scale 0.2 --months 15 -o fleet.csv
+    repro train        --data fleet.csv --model orf -o model.npz
+    repro evaluate     --data fleet.csv --model-file model.npz --far 0.01
+    repro monitor      --data fleet.csv --model-file model.npz
+    repro serve        --data fleet.csv --model-file model.npz --shards 4
+    repro experiment   --data fleet.csv --kind monthly
+    repro lint         src tests benchmarks --format json --stats
+    repro trace-report trace.json --slowest 10
 
 All commands accept Backblaze-schema CSVs, so they run unchanged against
 the real public archive.  ``train`` writes a *bundle* — the model plus
@@ -256,6 +257,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             every_samples=args.checkpoint_every,
             retention=args.retention,
         )
+    tracer = None
+    if args.trace or args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer(registry=registry)
     fleet = FleetMonitor(
         shards,
         alarm_manager=manager,
@@ -265,6 +271,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=make_executor(args.executor),
         strict=args.strict,
         max_dead_letters=args.dead_letter_max,
+        tracer=tracer,
     )
 
     fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
@@ -326,8 +333,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if rotator is not None and rotator.latest is not None:
         print(f"# latest checkpoint: {rotator.latest}")
+    if tracer is not None:
+        from repro.obs import format_trace_report, write_trace
+
+        spans = tracer.snapshot()
+        if args.trace:
+            print(format_trace_report(spans))
+        if args.trace_out:
+            write_trace(spans, args.trace_out)
+            print(f"# wrote {len(spans)} span(s) to {args.trace_out}")
     if args.dump_metrics:
         print(registry.render(), end="")
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import format_trace_report, load_trace
+
+    try:
+        spans = load_trace(args.trace_file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_trace_report(spans, slowest=args.slowest))
     return 0
 
 
@@ -517,7 +545,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed for --fault-rate corruption",
     )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="trace every serving stage and print a latency report "
+             "(p50/p95/p99 per stage plus the slowest spans)",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the raw span trace as JSON for `repro trace-report`",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace-report",
+        help="summarize a trace JSON written by `repro serve --trace-out`",
+    )
+    p.add_argument("trace_file", help="trace JSON path")
+    p.add_argument(
+        "--slowest", type=int, default=10,
+        help="rows in the slowest-span table",
+    )
+    p.set_defaults(fn=_cmd_trace_report)
 
     p = sub.add_parser(
         "lint", help="check reproducibility invariants via AST static analysis"

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.online_tree import OnlineDecisionTree
 from repro.core.oobe import OOBETracker
 from repro.core.poisson import ImbalanceBagger
+from repro.obs.tracing import NULL_TRACER, NullTracer
 from repro.parallel.chunking import assemble_groups, split_work
 from repro.parallel.pool import SerialExecutor, TreeExecutor
 from repro.utils.rng import RngFactory, SeedLike
@@ -250,6 +251,9 @@ class OnlineRandomForest:
             for _ in range(self.n_trees)
         ]
         self._executor = executor or SerialExecutor()
+        #: stage tracer for the batch fit/predict paths; the no-op
+        #: default keeps results bit-identical and the hot path free
+        self.tracer: NullTracer = NULL_TRACER
         #: lifetime counters (inspection / ablation instrumentation)
         self.n_samples_seen = 0
         self.n_replacements = 0
@@ -311,12 +315,15 @@ class OnlineRandomForest:
     def _map_fit(self, X: np.ndarray, y: np.ndarray, chunk_size: int) -> None:
         """Deal slots into worker groups, stream the batch, reinstall."""
         spec = self._fit_spec(chunk_size)
-        groups = split_work(self.slots, getattr(self._executor, "n_workers", 1))
-        payloads = [(group, X, y, spec) for group in groups]
-        results = self._executor.map(_fit_slots, payloads)
-        # process workers mutate copies; reinstall whatever came back
-        self.slots = assemble_groups([slots for slots, _ in results])
-        self.n_replacements += sum(n for _, n in results)
+        with self.tracer.span("forest.fit", items=X.shape[0]):
+            groups = split_work(
+                self.slots, getattr(self._executor, "n_workers", 1)
+            )
+            payloads = [(group, X, y, spec) for group in groups]
+            results = self._executor.map(_fit_slots, payloads)
+            # process workers mutate copies; reinstall whatever came back
+            self.slots = assemble_groups([slots for slots, _ in results])
+            self.n_replacements += sum(n for _, n in results)
 
     def update(self, x: np.ndarray, y: int) -> None:
         """Fold one labeled sample into the forest (Algorithm 1)."""
@@ -362,10 +369,13 @@ class OnlineRandomForest:
         """Positive score per row (mean posterior, or vote fraction)."""
         X = check_array_2d(X, "X")
         check_feature_count(X, self.n_features, "X")
-        groups = split_work(self.trees, getattr(self._executor, "n_workers", 1))
-        payloads = [(group, X, self.vote) for group in groups]
-        partials = self._executor.map(_score_trees, payloads)
-        return np.sum(np.vstack(partials), axis=0) / self.n_trees
+        with self.tracer.span("forest.predict", items=X.shape[0]):
+            groups = split_work(
+                self.trees, getattr(self._executor, "n_workers", 1)
+            )
+            payloads = [(group, X, self.vote) for group in groups]
+            partials = self._executor.map(_score_trees, payloads)
+            return np.sum(np.vstack(partials), axis=0) / self.n_trees
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """``(n, 2)`` class probabilities."""

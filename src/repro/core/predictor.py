@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.forest import OnlineRandomForest
 from repro.core.labeler import OnlineLabeler
+from repro.obs.tracing import NULL_TRACER, NullTracer
 from repro.utils.validation import check_probability
 
 
@@ -91,6 +92,10 @@ class OnlineDiskFailurePredictor:
         self.stats = PredictorStats()
         if record_alarms and max_recorded_alarms is not None:
             self.stats.alarms = deque(maxlen=max_recorded_alarms)
+        #: stage tracer for the Algorithm-2 hot path (labeler release,
+        #: forest update, scoring); the no-op default costs nothing and
+        #: keeps the stream bit-identical
+        self.tracer: NullTracer = NULL_TRACER
 
     # ----------------------------------------------------------------- events
     def _checked_vector(self, disk_id: Hashable, x: Union[np.ndarray, Sequence[float]]) -> np.ndarray:
@@ -130,11 +135,19 @@ class OnlineDiskFailurePredictor:
         """
         x = self._checked_vector(disk_id, x)
         self.stats.n_samples += 1
-        for labeled in self.labeler.observe(disk_id, x, tag):
-            self.forest.update(labeled.x, labeled.y)
-            self.stats.n_updates_neg += 1
+        with self.tracer.span("predictor.labeler") as sp:
+            released = self.labeler.observe(disk_id, x, tag)
+            sp.items = len(released)
+        if released:
+            with self.tracer.span(
+                "predictor.forest_update", items=len(released)
+            ):
+                for labeled in released:
+                    self.forest.update(labeled.x, labeled.y)
+                    self.stats.n_updates_neg += 1
 
-        score = self.forest.predict_one(x)
+        with self.tracer.span("predictor.predict", items=1):
+            score = self.forest.predict_one(x)
         n_absorbed = self.stats.n_updates_pos + self.stats.n_updates_neg
         if score >= self.alarm_threshold and n_absorbed >= self.warmup_samples:
             alarm = Alarm(disk_id, float(score), tag)
@@ -151,10 +164,16 @@ class OnlineDiskFailurePredictor:
         samples were absorbed.
         """
         self.stats.n_failures += 1
-        released = self.labeler.fail(disk_id)
-        for labeled in released:
-            self.forest.update(labeled.x, labeled.y)
-            self.stats.n_updates_pos += 1
+        with self.tracer.span("predictor.labeler") as sp:
+            released = self.labeler.fail(disk_id)
+            sp.items = len(released)
+        if released:
+            with self.tracer.span(
+                "predictor.forest_update", items=len(released)
+            ):
+                for labeled in released:
+                    self.forest.update(labeled.x, labeled.y)
+                    self.stats.n_updates_pos += 1
         return len(released)
 
     def process(
@@ -176,9 +195,16 @@ class OnlineDiskFailurePredictor:
                 # and the eviction it may cause is a real confirmed
                 # negative (that sample's window elapsed before death)
                 x = self._checked_vector(disk_id, x)
-                for labeled in self.labeler.observe(disk_id, x, tag):
-                    self.forest.update(labeled.x, labeled.y)
-                    self.stats.n_updates_neg += 1
+                with self.tracer.span("predictor.labeler") as sp:
+                    released = self.labeler.observe(disk_id, x, tag)
+                    sp.items = len(released)
+                if released:
+                    with self.tracer.span(
+                        "predictor.forest_update", items=len(released)
+                    ):
+                        for labeled in released:
+                            self.forest.update(labeled.x, labeled.y)
+                            self.stats.n_updates_neg += 1
             self.process_failure(disk_id)
             return None
         if x is None:
@@ -211,40 +237,45 @@ class OnlineDiskFailurePredictor:
         updates: List[Tuple[np.ndarray, int]] = []
         to_score: List[Tuple[int, Hashable, np.ndarray, object]] = []
         n_pos = n_neg = 0
-        for i, (disk_id, x, failed, tag) in enumerate(events):
-            if failed:
-                if x is not None:
-                    x = self._checked_vector(disk_id, x)
-                    for labeled in self.labeler.observe(disk_id, x, tag):
-                        updates.append((labeled.x, 0))
-                        n_neg += 1
-                self.stats.n_failures += 1
-                for labeled in self.labeler.fail(disk_id):
-                    updates.append((labeled.x, 1))
-                    n_pos += 1
-                continue
-            if x is None:
-                raise ValueError("x is required for a working disk")
-            x = self._checked_vector(disk_id, x)
-            self.stats.n_samples += 1
-            for labeled in self.labeler.observe(disk_id, x, tag):
-                updates.append((labeled.x, 0))
-                n_neg += 1
-            to_score.append((i, disk_id, x, tag))
+        with self.tracer.span("predictor.labeler", items=len(events)):
+            for i, (disk_id, x, failed, tag) in enumerate(events):
+                if failed:
+                    if x is not None:
+                        x = self._checked_vector(disk_id, x)
+                        for labeled in self.labeler.observe(disk_id, x, tag):
+                            updates.append((labeled.x, 0))
+                            n_neg += 1
+                    self.stats.n_failures += 1
+                    for labeled in self.labeler.fail(disk_id):
+                        updates.append((labeled.x, 1))
+                        n_pos += 1
+                    continue
+                if x is None:
+                    raise ValueError("x is required for a working disk")
+                x = self._checked_vector(disk_id, x)
+                self.stats.n_samples += 1
+                for labeled in self.labeler.observe(disk_id, x, tag):
+                    updates.append((labeled.x, 0))
+                    n_neg += 1
+                to_score.append((i, disk_id, x, tag))
 
         if updates:
-            self.forest.partial_fit(
-                np.stack([u[0] for u in updates]),
-                np.array([u[1] for u in updates], dtype=np.int64),
-            )
+            with self.tracer.span(
+                "predictor.forest_update", items=len(updates)
+            ):
+                self.forest.partial_fit(
+                    np.stack([u[0] for u in updates]),
+                    np.array([u[1] for u in updates], dtype=np.int64),
+                )
             self.stats.n_updates_pos += n_pos
             self.stats.n_updates_neg += n_neg
 
         results: List[Optional[Alarm]] = [None] * len(events)
         if to_score:
-            scores = self.forest.predict_score(
-                np.stack([row[2] for row in to_score])
-            )
+            with self.tracer.span("predictor.predict", items=len(to_score)):
+                scores = self.forest.predict_score(
+                    np.stack([row[2] for row in to_score])
+                )
             n_absorbed = self.stats.n_updates_pos + self.stats.n_updates_neg
             warm = n_absorbed >= self.warmup_samples
             for (i, disk_id, _x, tag), score in zip(to_score, scores):

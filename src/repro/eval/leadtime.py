@@ -55,12 +55,19 @@ def lead_time_distribution(
 
 
 def lead_time_summary(lead_times: Dict[int, float]) -> Dict[str, float]:
-    """Median/percentile summary over the detected disks."""
+    """Median/percentile summary over the detected disks.
+
+    With no failed disks at all the detection rate is 0/0 — undefined,
+    reported as NaN (a healthy fleet is not a fleet of missed
+    detections).  A detection rate of 0.0 always means real failures
+    went unpredicted.
+    """
     detected = np.array([v for v in lead_times.values() if v >= 0])
     n = len(lead_times)
     if detected.size == 0:
         return {
-            "n_failed": n, "n_detected": 0, "detection_rate": 0.0,
+            "n_failed": n, "n_detected": 0,
+            "detection_rate": 0.0 if n else float("nan"),
             "median_days": float("nan"), "p10_days": float("nan"),
         }
     return {

@@ -1,0 +1,63 @@
+"""Observability: hot-path tracing and latency reporting.
+
+``repro.obs`` is the measurement layer for the serving pipeline —
+dependency-free, deterministic-safe (injectable clock, no-op default),
+and wired into the existing metrics exposition:
+
+* :mod:`~repro.obs.tracing` — :class:`Span`, :class:`Tracer`,
+  :data:`NULL_TRACER`, and the ``repro_stage_*`` metric bridge;
+* :mod:`~repro.obs.report` — per-stage p50/p95/p99 summaries, slowest
+  spans, the trace JSON format, and the tables ``repro trace-report``
+  prints.
+
+Enable it end to end with ``repro serve --trace`` or programmatically::
+
+    from repro.obs import Tracer
+    from repro.service import FleetMonitor, MetricsRegistry
+
+    registry = MetricsRegistry()
+    tracer = Tracer(registry=registry)
+    fleet = FleetMonitor.build(n_features, tracer=tracer, registry=registry)
+    # ... ingest ...
+    print(registry.render())               # repro_stage_latency_seconds{...}
+"""
+
+from repro.obs.report import (
+    format_slowest_table,
+    format_stage_table,
+    format_trace_report,
+    load_trace,
+    percentile,
+    slowest_spans,
+    stage_summary,
+    trace_payload,
+    write_trace,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    STAGE_ITEMS_METRIC,
+    STAGE_LATENCY_BUCKETS,
+    STAGE_LATENCY_METRIC,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "STAGE_LATENCY_METRIC",
+    "STAGE_ITEMS_METRIC",
+    "STAGE_LATENCY_BUCKETS",
+    "percentile",
+    "stage_summary",
+    "slowest_spans",
+    "trace_payload",
+    "write_trace",
+    "load_trace",
+    "format_stage_table",
+    "format_slowest_table",
+    "format_trace_report",
+]

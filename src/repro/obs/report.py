@@ -1,0 +1,227 @@
+"""Trace summaries: per-stage latency percentiles and slowest spans.
+
+The raw span ring a :class:`~repro.obs.tracing.Tracer` accumulates is
+too granular for a human; this module reduces it to the two artifacts
+an operator actually reads:
+
+* a **per-stage table** — count, items, total seconds, p50/p95/p99/max
+  latency, items/s — the "where does the time go" answer;
+* a **slowest-span table** — the individual worst executions, with
+  their parent stage, for chasing outliers (one slow checkpoint, one
+  pathological shard bucket).
+
+Traces serialize to a small JSON document (``trace_payload`` /
+``write_trace`` / ``load_trace``) so ``repro serve --trace-out`` can
+hand a file to ``repro trace-report`` — or to a dashboard — after the
+process is gone.  Everything here is stdlib-only and pure: summaries of
+fake-clock spans are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "TRACE_FORMAT",
+    "percentile",
+    "stage_summary",
+    "slowest_spans",
+    "trace_payload",
+    "write_trace",
+    "load_trace",
+    "format_stage_table",
+    "format_slowest_table",
+    "format_trace_report",
+]
+
+#: trace-file schema version (bump on breaking payload changes)
+TRACE_FORMAT = 1
+
+PathLike = Union[str, Path]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0-100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default method so the stage tables
+    agree with any downstream numpy analysis; NaN for an empty input.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not values:
+        return float("nan")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def stage_summary(spans: Sequence[Span]) -> Dict[str, Dict[str, float]]:
+    """Reduce spans to per-stage stats, keyed by stage name.
+
+    Each entry carries ``count``, ``items``, ``total_seconds``,
+    ``mean_seconds``, ``p50_seconds``, ``p95_seconds``, ``p99_seconds``,
+    ``max_seconds``, and ``items_per_sec`` (NaN when the stage recorded
+    no time — throughput of an instantaneous stage is undefined, not
+    infinite).  Stages appear in first-seen order, which for the serving
+    path reads as the pipeline order.
+    """
+    durations: Dict[str, List[float]] = {}
+    items: Dict[str, int] = {}
+    for span in spans:
+        durations.setdefault(span.name, []).append(float(span.duration))
+        items[span.name] = items.get(span.name, 0) + int(span.items)
+    out: Dict[str, Dict[str, float]] = {}
+    for name, values in durations.items():
+        total = sum(values)
+        n_items = items[name]
+        out[name] = {
+            "count": float(len(values)),
+            "items": float(n_items),
+            "total_seconds": total,
+            "mean_seconds": total / len(values),
+            "p50_seconds": percentile(values, 50.0),
+            "p95_seconds": percentile(values, 95.0),
+            "p99_seconds": percentile(values, 99.0),
+            "max_seconds": max(values),
+            "items_per_sec": (n_items / total) if total > 0 else float("nan"),
+        }
+    return out
+
+
+def slowest_spans(spans: Sequence[Span], n: int = 10) -> List[Span]:
+    """The *n* longest spans, slowest first (ties break on ``seq``)."""
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    return sorted(spans, key=lambda s: (-s.duration, s.seq))[:n]
+
+
+# ------------------------------------------------------------- persistence
+def trace_payload(spans: Sequence[Span]) -> Dict[str, Any]:
+    """JSON-serializable trace document: spans + their stage summary."""
+    return {
+        "format": TRACE_FORMAT,
+        "n_spans": len(spans),
+        "stages": stage_summary(spans),
+        "spans": [
+            {
+                "name": s.name,
+                "start": s.start,
+                "duration": s.duration,
+                "parent": s.parent,
+                "items": s.items,
+                "seq": s.seq,
+            }
+            for s in spans
+        ],
+    }
+
+
+def write_trace(spans: Sequence[Span], path: PathLike) -> Path:
+    """Serialize *spans* (plus summary) to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_payload(spans), indent=2) + "\n")
+    return path
+
+
+def load_trace(path: PathLike) -> List[Span]:
+    """Load spans from a :func:`write_trace` file.
+
+    The embedded summary is ignored — it is recomputed from the spans,
+    so a hand-edited file cannot disagree with itself.
+    """
+    payload = json.loads(Path(path).read_text())
+    fmt = payload.get("format")
+    if fmt != TRACE_FORMAT:
+        raise ValueError(
+            f"unsupported trace format {fmt!r} (expected {TRACE_FORMAT})"
+        )
+    return [
+        Span(
+            name=str(row["name"]),
+            start=float(row["start"]),
+            duration=float(row["duration"]),
+            parent=row.get("parent"),
+            items=int(row.get("items", 0)),
+            seq=int(row.get("seq", 0)),
+        )
+        for row in payload["spans"]
+    ]
+
+
+# -------------------------------------------------------------- rendering
+def _fmt_seconds(seconds: float) -> str:
+    """Human-scale duration: µs below 1 ms, ms below 1 s, else seconds."""
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def format_stage_table(summary: Dict[str, Dict[str, float]]) -> str:
+    """Render the per-stage summary as an ASCII table."""
+    from repro.utils.tables import format_table
+
+    rows = []
+    for name, s in summary.items():
+        rate = s["items_per_sec"]
+        rows.append([
+            name,
+            f"{int(s['count'])}",
+            f"{int(s['items'])}",
+            f"{s['total_seconds']:.3f}",
+            _fmt_seconds(s["p50_seconds"]),
+            _fmt_seconds(s["p95_seconds"]),
+            _fmt_seconds(s["p99_seconds"]),
+            _fmt_seconds(s["max_seconds"]),
+            "-" if rate != rate else f"{rate:,.0f}",
+        ])
+    return format_table(
+        ["stage", "spans", "items", "total (s)", "p50", "p95", "p99",
+         "max", "items/s"],
+        rows,
+        title="per-stage latency",
+    )
+
+
+def format_slowest_table(spans: Sequence[Span], n: int = 10) -> str:
+    """Render the *n* slowest spans as an ASCII table."""
+    from repro.utils.tables import format_table
+
+    rows = [
+        [
+            f"{s.seq}",
+            s.name,
+            s.parent or "-",
+            _fmt_seconds(s.duration),
+            f"{s.items}",
+        ]
+        for s in slowest_spans(spans, n)
+    ]
+    return format_table(
+        ["span", "stage", "parent", "duration", "items"],
+        rows,
+        title=f"slowest {min(n, len(spans))} spans",
+    )
+
+
+def format_trace_report(spans: Sequence[Span], *, slowest: int = 10) -> str:
+    """The full ``repro trace-report`` output for one span set."""
+    if not spans:
+        return "trace is empty: no spans were recorded"
+    return (
+        format_stage_table(stage_summary(spans))
+        + "\n\n"
+        + format_slowest_table(spans, slowest)
+    )

@@ -1,0 +1,293 @@
+"""Hot-path tracing: nestable stage spans with an injectable clock.
+
+The paper's pitch is *online* prediction — the monitor must keep up
+with the SMART stream — yet "fast enough" is unverifiable without
+per-stage wall-clock visibility: where does the time go between an
+event arriving and an alarm decision?  This module provides that
+visibility without compromising the repo's determinism contract:
+
+* a :class:`Span` is one timed stage execution (name, start, duration,
+  parent stage, item count);
+* a :class:`Tracer` opens spans via the ``with tracer.span("stage")``
+  protocol, keeps a bounded ring of finished spans, and — when handed a
+  :class:`~repro.service.metrics.MetricsRegistry` — feeds every finish
+  into ``repro_stage_latency_seconds{stage=...}`` /
+  ``repro_stage_items_total{stage=...}``;
+* the :class:`NullTracer` (singleton :data:`NULL_TRACER`) is the
+  library-wide default: ``span()`` returns a preallocated no-op context
+  manager, so instrumented hot paths pay a few attribute lookups and
+  nothing else when tracing is off, and results stay bit-identical.
+
+Determinism: the tracer never *calls* the wall clock at import or
+construction time — ``clock`` is an injectable zero-argument
+seconds-callable that merely *defaults* to ``time.perf_counter``,
+mirroring ``FleetMonitor(clock=...)``.  Tests inject a fake clock and
+get fully deterministic spans, summaries, and histogram contents, which
+is also why the RPR102 wall-clock lint allowlist stays unchanged: the
+library holds a reference to the clock, it never reads it on its own
+authority.
+
+Thread-safety: span *nesting* is tracked per thread (the fleet's thread
+executor runs shard buckets concurrently), while the finished-span ring
+and the stage instruments are lock-guarded, matching
+:class:`~repro.service.metrics.MetricsRegistry`'s own locking.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ContextManager,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # annotation-only: obs must not depend on service at runtime
+    from repro.service.metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "STAGE_LATENCY_BUCKETS",
+    "STAGE_LATENCY_METRIC",
+    "STAGE_ITEMS_METRIC",
+    "Span",
+    "NullTracer",
+    "Tracer",
+    "NULL_TRACER",
+]
+
+#: metric names the tracer registers per observed stage
+STAGE_LATENCY_METRIC = "repro_stage_latency_seconds"
+STAGE_ITEMS_METRIC = "repro_stage_items_total"
+
+#: stage-latency histogram bounds: per-sample stages live in the 10 µs–1 ms
+#: decades, micro-batch stages in 1 ms–1 s, checkpoints above that
+STAGE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) stage execution.
+
+    ``start`` is in the tracer's clock domain (seconds; only differences
+    are meaningful).  ``items`` is the work size the stage handled —
+    events admitted, rows scored, labels folded — and feeds the
+    per-stage throughput counter.  ``parent`` is the enclosing stage
+    name on the same thread (None at top level), which is what makes
+    the trace reconstructable as a stage tree rather than a flat log.
+    """
+
+    name: str
+    start: float
+    duration: float = 0.0
+    parent: Optional[str] = None
+    items: int = 0
+    seq: int = 0
+
+
+#: shared no-op span yielded by the null context manager; writes to its
+#: ``items`` field are permitted (instrumented code sets it) and ignored
+_NULL_SPAN = Span(name="", start=0.0)
+
+
+class _NullSpanContext:
+    """Reusable do-nothing context manager — the disabled-tracing path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracing disabled: every ``span()`` is the same no-op context.
+
+    This is the default value of every ``tracer`` attribute in the
+    library, so the instrumented hot paths cost one method call and one
+    ``with`` block when tracing is off — measured at well under the 5%
+    serve-throughput budget by ``benchmarks/bench_serve_latency.py``.
+    """
+
+    #: whether spans are actually recorded (cheap guard for call sites
+    #: that would otherwise build expensive span metadata)
+    enabled: bool = False
+
+    def span(self, name: str, items: int = 0) -> ContextManager[Span]:
+        """Open a stage span (no-op here; see :class:`Tracer`)."""
+        return _NULL_CONTEXT
+
+
+#: the library-wide shared disabled tracer
+NULL_TRACER = NullTracer()
+
+
+class _SpanContext:
+    """Context manager that times one stage execution on a live tracer."""
+
+    __slots__ = ("_tracer", "_items", "_name", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, items: int) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._items = items
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        stack = tracer._stack()
+        span = Span(
+            name=self._name,
+            start=tracer._clock(),
+            parent=stack[-1] if stack else None,
+            items=self._items,
+        )
+        stack.append(self._name)
+        self._span = span
+        return span
+
+    def __exit__(self, *exc_info: object) -> None:
+        span = self._span
+        assert span is not None  # __exit__ without __enter__ is impossible
+        tracer = self._tracer
+        span.duration = tracer._clock() - span.start
+        stack = tracer._stack()
+        if stack and stack[-1] == span.name:
+            stack.pop()
+        # a raising stage still records its span: the slow/failed stage
+        # is exactly the one the operator needs to see
+        tracer._finish(span)
+        return None
+
+
+class Tracer(NullTracer):
+    """Live tracer: records spans and (optionally) stage metrics.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument monotonic-seconds callable.  Defaults to
+        ``time.perf_counter`` *by reference* — the library never calls
+        the wall clock itself, so the RPR102 allowlist stays unchanged;
+        tests inject a fake for deterministic spans.
+    registry:
+        Optional :class:`~repro.service.metrics.MetricsRegistry`.  When
+        present, every span finish observes
+        ``repro_stage_latency_seconds{stage=<name>}`` and adds the
+        span's ``items`` to ``repro_stage_items_total{stage=<name>}``.
+    max_spans:
+        Finished spans retained on :attr:`spans` (a ring buffer — a
+        months-long serve must not grow memory without bound).  The
+        stage *metrics* keep aggregating past the ring: histograms are
+        cumulative by construction.
+    buckets:
+        Latency histogram bounds (defaults to
+        :data:`STAGE_LATENCY_BUCKETS`).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        registry: Optional["MetricsRegistry"] = None,
+        max_spans: int = 10_000,
+        buckets: Sequence[float] = STAGE_LATENCY_BUCKETS,
+    ) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be > 0, got {max_spans}")
+        self._clock = clock
+        self._registry = registry
+        self._buckets = tuple(float(b) for b in buckets)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.spans: Deque[Span] = deque(maxlen=int(max_spans))
+        self._n_finished = 0
+        self._latency_h: Dict[str, "Histogram"] = {}
+        self._items_c: Dict[str, "Counter"] = {}
+
+    # --------------------------------------------------------------- spans
+    def span(self, name: str, items: int = 0) -> ContextManager[Span]:
+        """Open a nested stage span; use as ``with tracer.span("x") as sp``.
+
+        The yielded :class:`Span` is mutable — set ``sp.items`` before
+        the block exits when the work size is only known at the end.
+        """
+        return _SpanContext(self, name, items)
+
+    def _stack(self) -> List[str]:
+        stack: Optional[List[str]] = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            span.seq = self._n_finished
+            self._n_finished += 1
+            self.spans.append(span)
+        registry = self._registry
+        if registry is None:
+            return
+        hist = self._latency_h.get(span.name)
+        if hist is None:
+            with self._lock:
+                hist = self._latency_h.get(span.name)
+                if hist is None:
+                    hist = registry.histogram(
+                        "repro_stage_latency_seconds",
+                        help="wall seconds spent per traced stage execution",
+                        labels={"stage": span.name},
+                        buckets=self._buckets,
+                    )
+                    self._latency_h[span.name] = hist
+                    self._items_c[span.name] = registry.counter(
+                        "repro_stage_items_total",
+                        help="work items processed by each traced stage",
+                        labels={"stage": span.name},
+                    )
+        hist.observe(max(span.duration, 0.0))
+        if span.items > 0:
+            self._items_c[span.name].inc(span.items)
+
+    # ---------------------------------------------------------- inspection
+    @property
+    def n_finished(self) -> int:
+        """Lifetime finished-span count (the ring may hold fewer)."""
+        return self._n_finished
+
+    @property
+    def registry(self) -> Optional["MetricsRegistry"]:
+        """The metrics sink spans feed, if any."""
+        return self._registry
+
+    def stage_names(self) -> List[str]:
+        """Distinct stage names observed so far, in first-seen order."""
+        seen: Dict[str, None] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for span in spans:
+            seen.setdefault(span.name, None)
+        return list(seen)
+
+    def snapshot(self) -> List[Span]:
+        """Stable copy of the retained spans (oldest first)."""
+        with self._lock:
+            return list(self.spans)

@@ -126,5 +126,12 @@ class SmartThresholdDetector:
         return tripped.mean(axis=1)
 
     def predict(self, X: np.ndarray, *, threshold: float = 1e-9) -> np.ndarray:
-        """The vendor rule: alarm when any monitored attribute trips."""
-        return (self.predict_score(X) > threshold).astype(np.int8)
+        """The vendor rule: alarm when any monitored attribute trips.
+
+        Inclusive comparison, like every other model's ``predict``: a
+        disk scoring exactly at the threshold alarms.  The default sits
+        below any achievable trip fraction (1/n_attributes), so the
+        vendor rule itself is unchanged — only explicitly supplied
+        boundary thresholds behave consistently now.
+        """
+        return (self.predict_score(X) >= threshold).astype(np.int8)

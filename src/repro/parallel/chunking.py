@@ -23,9 +23,9 @@ def chunk_slices(n_items: int, n_chunks: int) -> List[slice]:
         raise ValueError(f"n_items must be >= 0, got {n_items}")
     if n_chunks <= 0:
         raise ValueError(f"n_chunks must be > 0, got {n_chunks}")
-    n_chunks = min(n_chunks, n_items) or (1 if n_items == 0 else n_chunks)
     if n_items == 0:
         return []
+    n_chunks = min(n_chunks, n_items)
     base, extra = divmod(n_items, n_chunks)
     slices, start = [], 0
     for i in range(n_chunks):

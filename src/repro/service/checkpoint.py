@@ -29,6 +29,7 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, List, Optional, Tuple, Union
 
+from repro.obs.tracing import NULL_TRACER, NullTracer
 from repro.persistence import load_model, save_model
 
 if TYPE_CHECKING:  # circular at runtime: fleet.py imports this module
@@ -125,6 +126,9 @@ class CheckpointRotator:
         self.retries = int(retries)
         self.backoff_seconds = float(backoff_seconds)
         self.n_retries = 0  # lifetime retry tally, for observability
+        #: stage tracer; :class:`~repro.service.fleet.FleetMonitor`
+        #: installs its own when one was passed at construction
+        self.tracer: NullTracer = NULL_TRACER
         self._seq_re = re.compile(rf"^{re.escape(prefix)}-(\d+)$")
         existing = self._existing_seqs()
         self._next_seq = (max(existing) + 1) if existing else 0
@@ -186,17 +190,18 @@ class CheckpointRotator:
         checkpoint behind — the staged temp directory is torn down and
         ``LATEST`` still names the previous good snapshot.
         """
-        last_exc: Optional[OSError] = None
-        for attempt in range(self.retries + 1):
-            if attempt:
-                self.n_retries += 1
-                time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
-            try:
-                return self._rotate_once(fleet)
-            except OSError as exc:
-                last_exc = exc
-        assert last_exc is not None
-        raise last_exc
+        with self.tracer.span("checkpoint.rotate", items=len(fleet.shards)):
+            last_exc: Optional[OSError] = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.n_retries += 1
+                    time.sleep(self.backoff_seconds * (2 ** (attempt - 1)))
+                try:
+                    return self._rotate_once(fleet)
+                except OSError as exc:
+                    last_exc = exc
+            assert last_exc is not None
+            raise last_exc
 
     def _rotate_once(self, fleet: "FleetMonitor") -> Path:
         seq = self._next_seq

@@ -168,3 +168,50 @@ class TestRPR303MetricRegistration:
             filename="tests/test_scratch_metrics.py",
         )
         assert report.findings == []
+
+    def test_stage_metric_requires_stage_label(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def instrument(reg):
+                return reg.histogram(
+                    "repro_stage_latency_seconds",
+                    labels={"shard": "0"},
+                )
+            """,
+            rules=METRICS,
+        )
+        assert rule_ids(report) == ["RPR303"]
+        assert "stage" in report.findings[0].message
+
+    def test_stage_metric_without_labels_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def instrument(reg):
+                return reg.counter("repro_stage_items_total")
+            """,
+            rules=METRICS,
+        )
+        assert rule_ids(report) == ["RPR303"]
+
+    def test_stage_metric_with_stage_label_passes(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def instrument(reg, name):
+                return reg.histogram(
+                    "repro_stage_latency_seconds",
+                    labels={"stage": name},
+                )
+            """,
+            rules=METRICS,
+        )
+        assert rule_ids(report) == []
+
+    def test_non_stage_metric_needs_no_stage_label(self, lint_snippet):
+        report = lint_snippet(
+            """
+            def instrument(reg):
+                return reg.counter("repro_fleet_samples_total")
+            """,
+            rules=METRICS,
+        )
+        assert rule_ids(report) == []

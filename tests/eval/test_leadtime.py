@@ -48,6 +48,19 @@ class TestLeadTime:
         assert s["n_detected"] == 0
         assert np.isnan(s["median_days"])
 
+    def test_summary_all_missed_rate_is_zero(self):
+        """Real failures, none detected: the rate is an honest 0.0."""
+        s = lead_time_summary({1: -1.0, 2: -1.0})
+        assert s["n_failed"] == 2
+        assert s["detection_rate"] == 0.0
+
+    def test_summary_no_failures_rate_is_nan(self):
+        """0/0 detection on a healthy fleet is undefined, not 0%."""
+        s = lead_time_summary({})
+        assert s["n_failed"] == 0 and s["n_detected"] == 0
+        assert np.isnan(s["detection_rate"])
+        assert np.isnan(s["median_days"])
+
     def test_migration_feasible_rate(self):
         lt = {1: 5.0, 2: -1.0, 3: 10.0}
         assert migration_feasible_rate(lt, 4.0) == pytest.approx(2 / 3)

@@ -1,0 +1,148 @@
+"""Tests for repro.obs.report — percentiles, summaries, trace JSON."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Span,
+    Tracer,
+    format_slowest_table,
+    format_stage_table,
+    format_trace_report,
+    load_trace,
+    percentile,
+    slowest_spans,
+    stage_summary,
+    trace_payload,
+    write_trace,
+)
+
+
+def span(name, duration, items=0, seq=0, parent=None, start=0.0):
+    return Span(
+        name=name, start=start, duration=duration,
+        parent=parent, items=items, seq=seq,
+    )
+
+
+class TestPercentile:
+    @pytest.mark.parametrize("q", [0.0, 25.0, 50.0, 77.7, 95.0, 100.0])
+    def test_matches_numpy_default(self, q):
+        rng = np.random.default_rng(7)
+        values = list(rng.uniform(size=31))
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q))
+        )
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_single_value(self):
+        assert percentile([3.0], 99.0) == 3.0
+
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestStageSummary:
+    def test_groups_and_aggregates(self):
+        spans = [
+            span("a", 1.0, items=10, seq=0),
+            span("a", 3.0, items=30, seq=1),
+            span("b", 2.0, seq=2),
+        ]
+        s = stage_summary(spans)
+        assert list(s) == ["a", "b"]  # first-seen order
+        assert s["a"]["count"] == 2
+        assert s["a"]["items"] == 40
+        assert s["a"]["total_seconds"] == 4.0
+        assert s["a"]["mean_seconds"] == 2.0
+        assert s["a"]["p50_seconds"] == 2.0
+        assert s["a"]["max_seconds"] == 3.0
+        assert s["a"]["items_per_sec"] == pytest.approx(10.0)
+
+    def test_zero_time_throughput_is_nan(self):
+        s = stage_summary([span("a", 0.0, items=5)])
+        assert math.isnan(s["a"]["items_per_sec"])
+
+    def test_empty(self):
+        assert stage_summary([]) == {}
+
+
+class TestSlowestSpans:
+    def test_sorted_by_duration_then_seq(self):
+        spans = [span("a", 1.0, seq=0), span("b", 3.0, seq=1),
+                 span("c", 3.0, seq=2), span("d", 2.0, seq=3)]
+        top = slowest_spans(spans, 3)
+        assert [(s.name, s.duration) for s in top] == [
+            ("b", 3.0), ("c", 3.0), ("d", 2.0)
+        ]
+
+    def test_n_validated(self):
+        with pytest.raises(ValueError):
+            slowest_spans([], 0)
+
+
+class TestTraceJson:
+    def _spans(self):
+        return [
+            span("fleet.ingest", 0.5, items=64, seq=0, start=1.0),
+            span("fleet.shards", 0.4, items=64, seq=1,
+                 parent="fleet.ingest", start=1.05),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(self._spans(), path)
+        loaded = load_trace(path)
+        assert loaded == self._spans()
+
+    def test_payload_has_summary(self):
+        payload = trace_payload(self._spans())
+        assert payload["format"] == 1
+        assert payload["n_spans"] == 2
+        assert payload["stages"]["fleet.ingest"]["count"] == 1
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text('{"format": 99, "spans": []}')
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+    def test_fake_clock_trace_is_bit_reproducible(self, tmp_path):
+        def run():
+            t = iter(float(i) for i in range(100))
+            tracer = Tracer(clock=lambda: next(t))
+            with tracer.span("outer", items=3):
+                with tracer.span("inner"):
+                    pass
+            return trace_payload(tracer.snapshot())
+
+        assert run() == run()
+
+
+class TestFormatting:
+    def test_stage_table_contains_stats(self):
+        text = format_stage_table(stage_summary([span("a", 0.25, items=10)]))
+        assert "a" in text and "250.00ms" in text
+
+    def test_slowest_table_lists_parents(self):
+        text = format_slowest_table(
+            [span("child", 1.0, parent="outer", seq=4)], 5
+        )
+        assert "child" in text and "outer" in text and "4" in text
+
+    def test_full_report(self):
+        spans = [span("a", 1e-4, items=2), span("b", 2.0)]
+        text = format_trace_report(spans, slowest=1)
+        assert "per-stage latency" in text
+        assert "slowest 1 spans" in text
+        assert "100.0µs" in text and "2.000s" in text
+
+    def test_empty_report(self):
+        assert "empty" in format_trace_report([])

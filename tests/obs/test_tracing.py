@@ -1,0 +1,189 @@
+"""Tests for repro.obs.tracing — spans, nesting, the no-op default."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    STAGE_ITEMS_METRIC,
+    STAGE_LATENCY_METRIC,
+    NullTracer,
+    Span,
+    Tracer,
+)
+from repro.service import MetricsRegistry
+
+
+class FakeClock:
+    """Deterministic clock: every read advances by a fixed step."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+def make_tracer(**kw):
+    kw.setdefault("clock", FakeClock())
+    return Tracer(**kw)
+
+
+class TestNullTracer:
+    def test_is_library_default_and_disabled(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+
+    def test_span_is_shared_noop(self):
+        # same preallocated context every call: zero allocation per span
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+        with NULL_TRACER.span("stage", items=5) as sp:
+            assert isinstance(sp, Span)
+            sp.items = 99  # instrumented code writes this; must not raise
+
+    def test_survives_exceptions_silently(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("x"):
+                raise RuntimeError("boom")
+
+
+class TestTracer:
+    def test_records_duration_from_injected_clock(self):
+        tracer = make_tracer()
+        with tracer.span("stage"):
+            pass
+        (span,) = tracer.snapshot()
+        assert span.name == "stage"
+        assert span.start == 1.0
+        assert span.duration == 1.0  # exactly one clock step elapsed
+
+    def test_enabled_flag(self):
+        assert make_tracer().enabled
+
+    def test_nesting_sets_parent(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        spans = {s.name: s for s in tracer.snapshot()}
+        assert spans["outer"].parent is None
+        assert spans["inner"].parent == "outer"
+        assert spans["inner2"].parent == "outer"
+        # children finish first; seq is finish order
+        assert spans["inner"].seq < spans["inner2"].seq < spans["outer"].seq
+
+    def test_items_set_inside_block(self):
+        tracer = make_tracer()
+        with tracer.span("stage") as sp:
+            sp.items = 42
+        assert tracer.snapshot()[0].items == 42
+
+    def test_items_argument(self):
+        tracer = make_tracer()
+        with tracer.span("stage", items=7):
+            pass
+        assert tracer.snapshot()[0].items == 7
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = make_tracer(max_spans=5)
+        for i in range(12):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.snapshot()) == 5
+        assert tracer.n_finished == 12
+        assert [s.name for s in tracer.snapshot()] == [
+            "s7", "s8", "s9", "s10", "s11"
+        ]
+
+    def test_max_spans_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_raising_stage_still_records(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (span,) = tracer.snapshot()
+        assert span.name == "failing" and span.duration > 0
+
+    def test_stage_names_first_seen_order(self):
+        tracer = make_tracer()
+        for name in ("b", "a", "b", "c", "a"):
+            with tracer.span(name):
+                pass
+        assert tracer.stage_names() == ["b", "a", "c"]
+
+    def test_thread_local_nesting(self):
+        """Spans on a worker thread must not inherit the main thread's
+        open span as parent (nesting is per-thread by design)."""
+        tracer = make_tracer()
+        worker_parent = []
+
+        def worker():
+            with tracer.span("worker"):
+                pass
+
+        with tracer.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        spans = {s.name: s for s in tracer.snapshot()}
+        assert spans["worker"].parent is None
+        assert spans["main"].parent is None
+
+
+class TestStageMetrics:
+    def test_finish_feeds_registry(self):
+        registry = MetricsRegistry()
+        tracer = make_tracer(registry=registry)
+        with tracer.span("fleet.ingest", items=64):
+            pass
+        with tracer.span("fleet.ingest", items=36):
+            pass
+        text = registry.render()
+        assert 'repro_stage_latency_seconds_count{stage="fleet.ingest"} 2' in text
+        assert registry.value(
+            STAGE_ITEMS_METRIC, {"stage": "fleet.ingest"}
+        ) == 100
+
+    def test_metric_names_match_constants(self):
+        assert STAGE_LATENCY_METRIC == "repro_stage_latency_seconds"
+        assert STAGE_ITEMS_METRIC == "repro_stage_items_total"
+
+    def test_custom_buckets(self):
+        registry = MetricsRegistry()
+        tracer = make_tracer(registry=registry, buckets=(0.5, 2.0))
+        with tracer.span("s"):
+            pass  # duration 1.0 under the fake clock
+        text = registry.render()
+        assert 'repro_stage_latency_seconds_bucket{stage="s",le="0.5"} 0' in text
+        assert 'repro_stage_latency_seconds_bucket{stage="s",le="2"} 1' in text
+
+    def test_no_registry_is_fine(self):
+        tracer = make_tracer()
+        assert tracer.registry is None
+        with tracer.span("s"):
+            pass
+        assert tracer.n_finished == 1
+
+    def test_negative_duration_clamped_in_histogram(self):
+        """A backwards clock (NTP step) must not crash the histogram."""
+        class BackwardsClock:
+            def __init__(self):
+                self.values = iter([10.0, 5.0])
+
+            def __call__(self):
+                return next(self.values)
+
+        registry = MetricsRegistry()
+        tracer = Tracer(clock=BackwardsClock(), registry=registry)
+        with tracer.span("s"):
+            pass
+        assert tracer.snapshot()[0].duration == -5.0  # span keeps the truth
+        assert 'repro_stage_latency_seconds_count{stage="s"} 1' in registry.render()

@@ -44,6 +44,54 @@ class TestChunkSlices:
         assert all((sl.stop - sl.start) > 0 for sl in slices)
 
 
+def _as_index_lists(chunks):
+    """Normalize both partitioners' output to plain lists of indices."""
+    out = []
+    for chunk in chunks:
+        if isinstance(chunk, slice):
+            out.append(list(range(chunk.start, chunk.stop)))
+        else:
+            out.append(list(int(i) for i in chunk))
+    return out
+
+
+class TestSharedPartitionInvariants:
+    """Invariants both partitioners must uphold, checked identically."""
+
+    @staticmethod
+    def _partitions(n, k):
+        return [
+            ("chunk_slices", chunk_slices(n, k)),
+            ("chunk_indices", chunk_indices(n, k)),
+        ]
+
+    @given(st.integers(0, 400), st.integers(1, 40))
+    def test_property_covers_range_in_order(self, n, k):
+        for name, chunks in self._partitions(n, k):
+            covered = [i for c in _as_index_lists(chunks) for i in c]
+            assert covered == list(range(n)), name
+
+    @given(st.integers(0, 400), st.integers(1, 40))
+    def test_property_no_empty_chunks(self, n, k):
+        for name, chunks in self._partitions(n, k):
+            assert all(_as_index_lists(chunks)), name
+
+    @given(st.integers(0, 400), st.integers(1, 40))
+    def test_property_zero_items_means_zero_chunks(self, n, k):
+        for name, chunks in self._partitions(0, k):
+            assert chunks == [], name
+
+    @given(st.integers(1, 400), st.integers(1, 40))
+    def test_property_slice_sizes_differ_by_at_most_one(self, n, k):
+        """chunk_slices balances; chunk_indices caps at chunk_size
+        (only its final chunk may be short)."""
+        sizes = [len(c) for c in _as_index_lists(chunk_slices(n, k))]
+        assert max(sizes) - min(sizes) <= 1
+        assert len(sizes) == min(n, k)
+        idx_sizes = [len(c) for c in _as_index_lists(chunk_indices(n, k))]
+        assert all(s == k for s in idx_sizes[:-1]) and idx_sizes[-1] <= k
+
+
 class TestChunkIndices:
     def test_sizes(self):
         chunks = chunk_indices(10, 4)

@@ -205,3 +205,71 @@ class TestStatePersistence:
         m2.load_state_dict(restored)
         assert m2.is_drained(42)
         assert "d1" in m2.active_records
+
+
+class TestEdgeCases:
+    """The two degenerate configurations operators actually reach for."""
+
+    def test_cooldown_zero_renotifies_every_positive(self):
+        """cooldown=0: raw passthrough — every positive pages, counters
+        tally every page, and nothing is ever deduped."""
+        reg = MetricsRegistry()
+        mgr = AlarmManager(
+            cooldown=0, escalate_after=None, resolve_after=None, registry=reg
+        )
+        n = 7
+        decisions = [mgr.observe("d", alarm("d")) for _ in range(n)]
+        assert all(d.emitted for d in decisions)
+        assert [d.action for d in decisions] == [AlarmAction.RAISED] * n
+        assert mgr.counts["raised"] == n
+        assert mgr.counts["deduped"] == 0
+        assert reg.value("repro_alarms_raised_total") == n
+        assert reg.value("repro_alarms_deduped_total") == 0
+        # one open record absorbed all of them — passthrough paging,
+        # not record churn
+        assert mgr.active_records["d"].n_alarms == n
+
+    def test_cooldown_zero_negatives_still_advance_lifecycle(self):
+        reg = MetricsRegistry()
+        mgr = AlarmManager(
+            cooldown=0, escalate_after=None, resolve_after=2, registry=reg
+        )
+        assert mgr.observe("d", alarm("d")).emitted
+        assert mgr.observe("d", None).action is AlarmAction.NONE
+        assert mgr.observe("d", None).action is AlarmAction.RESOLVED
+        # the record closed; the next positive opens (and pages) a new one
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.RAISED
+        assert reg.value("repro_alarms_raised_total") == 2
+        assert reg.value("repro_alarms_resolved_total") == 1
+
+    def test_escalate_after_one_escalates_on_first_streak_sample(self):
+        """escalate_after=1: the first positive opens+pages the record,
+        the second (streak >= 1 on an open record) escalates it, and
+        escalation fires at most once per record."""
+        reg = MetricsRegistry()
+        mgr = AlarmManager(
+            cooldown=None, escalate_after=1, resolve_after=None, registry=reg
+        )
+        first = mgr.observe("d", alarm("d"))
+        assert first.action is AlarmAction.RAISED and first.emitted
+        second = mgr.observe("d", alarm("d", score=0.99))
+        assert second.action is AlarmAction.ESCALATED and second.emitted
+        assert second.record.state is AlarmState.ESCALATED
+        third = mgr.observe("d", alarm("d"))
+        assert third.action is AlarmAction.DEDUPED and not third.emitted
+        assert mgr.counts["raised"] == 1
+        assert mgr.counts["escalated"] == 1
+        assert mgr.counts["deduped"] == 1
+        assert reg.value("repro_alarms_raised_total") == 1
+        assert reg.value("repro_alarms_escalated_total") == 1
+        assert reg.value("repro_alarms_deduped_total") == 1
+
+    def test_escalate_after_one_rearms_after_resolution(self):
+        mgr = AlarmManager(cooldown=None, escalate_after=1, resolve_after=1)
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.RAISED
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.ESCALATED
+        assert mgr.observe("d", None).action is AlarmAction.RESOLVED
+        # a fresh record escalates again on its own second positive
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.RAISED
+        assert mgr.observe("d", alarm("d")).action is AlarmAction.ESCALATED
+        assert mgr.counts["escalated"] == 2

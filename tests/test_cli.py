@@ -223,6 +223,76 @@ class TestServe:
         assert rc == 2
 
 
+class TestTraceReport:
+    def _serve_traced(self, fleet_csv, tmp_path, extra):
+        ckpt = tmp_path / "orf.npz"
+        main([
+            "train", "--data", str(fleet_csv), "--model", "orf",
+            "--trees", "4", "--seed", "1", "-o", str(ckpt),
+        ])
+        return main([
+            "serve", "--data", str(fleet_csv), "--model-file", str(ckpt),
+            "--shards", "2", "--threshold", "0.6", "--batch-size", "256",
+            "--digest-every", "0", *extra,
+        ])
+
+    def test_serve_trace_prints_stage_tables(self, fleet_csv, tmp_path, capsys):
+        rc = self._serve_traced(fleet_csv, tmp_path, ["--trace"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-stage latency" in out
+        assert "slowest" in out
+        for stage in ("fleet.ingest", "fleet.shards", "predictor.predict"):
+            assert stage in out, stage
+
+    def test_serve_trace_feeds_stage_metrics(self, fleet_csv, tmp_path, capsys):
+        rc = self._serve_traced(
+            fleet_csv, tmp_path, ["--trace", "--dump-metrics"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert 'repro_stage_latency_seconds_count{stage="fleet.ingest"}' in out
+        assert 'repro_stage_items_total{stage="fleet.ingest"}' in out
+
+    def test_serve_untraced_registers_no_stage_metrics(
+        self, fleet_csv, tmp_path, capsys
+    ):
+        rc = self._serve_traced(fleet_csv, tmp_path, ["--dump-metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro_stage_latency_seconds" not in out
+
+    def test_trace_out_round_trips_through_trace_report(
+        self, fleet_csv, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.json"
+        rc = self._serve_traced(
+            fleet_csv, tmp_path, ["--trace-out", str(trace)]
+        )
+        assert rc == 0
+        assert trace.exists()
+        capsys.readouterr()
+
+        rc = main(["trace-report", str(trace), "--slowest", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-stage latency" in out
+        assert "slowest 5 spans" in out
+        assert "fleet.ingest" in out
+
+    def test_trace_report_missing_file_errors(self, tmp_path, capsys):
+        rc = main(["trace-report", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_report_rejects_bad_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": 99, "spans": []}')
+        rc = main(["trace-report", str(bad)])
+        assert rc == 2
+        assert "unsupported trace format" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,134 @@
+"""Repo-wide predict contract: ``predict == (predict_score >= threshold)``.
+
+Every classifier in the library exposes ``predict_score`` (a continuous
+risk score) and ``predict`` (hard labels at a threshold).  The decision
+rule is *inclusive* everywhere — a sample scoring exactly at the
+threshold alarms — so thresholds returned by the FAR-pinning tuner
+behave identically no matter which model they are applied to.  This
+suite checks the boundary explicitly with thresholds taken from each
+model's own achieved scores, where ``>`` and ``>=`` disagree (the
+vendor-threshold baseline shipped with ``>`` until this test existed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.forest import OnlineRandomForest
+from repro.features.selection import FeatureSelection
+from repro.offline.forest import RandomForestClassifier
+from repro.offline.gbdt import GradientBoostedTrees
+from repro.offline.smart_threshold import SmartThresholdDetector
+from repro.offline.svm import SVC
+from repro.offline.tree import DecisionTreeClassifier
+from repro.streaming.baselines import MajorityClassBaseline, PriorProbabilityBaseline
+from repro.streaming.hoeffding import HoeffdingTreeClassifier
+from repro.streaming.oza import OnlineBaggingEnsemble, OzaBoostClassifier
+
+N_FEATURES = 5
+
+
+def _data(seed=0, n=200):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, N_FEATURES))
+    y = (X[:, 0] + X[:, 1] > 1.0).astype(np.int64)
+    return X, y
+
+
+def _fit_orf():
+    X, y = _data()
+    model = OnlineRandomForest(
+        N_FEATURES, n_trees=5, min_parent_size=40, min_gain=0.01, seed=1
+    )
+    model.partial_fit(X, y)
+    return model, X[:80]
+
+
+def _fit_offline(factory):
+    def build():
+        X, y = _data(n=150)
+        model = factory()
+        model.fit(X, y)
+        return model, X[:80]
+
+    return build
+
+
+def _fit_streaming(factory):
+    def build():
+        X, y = _data()
+        model = factory()
+        model.partial_fit(X, y)
+        return model, X[:80]
+
+    return build
+
+
+def _fit_vendor_rule():
+    selection = FeatureSelection.paper_table2()
+    rng = np.random.default_rng(3)
+    # raw Norm scale, straddling the vendor thresholds so some rows trip
+    X = rng.uniform(0.0, 100.0, size=(120, len(selection.names)))
+    model = SmartThresholdDetector(selection=selection)
+    model.fit(X)
+    return model, X
+
+
+MODELS = [
+    ("orf", _fit_orf),
+    ("offline_rf", _fit_offline(
+        lambda: RandomForestClassifier(n_trees=5, seed=2))),
+    ("decision_tree", _fit_offline(
+        lambda: DecisionTreeClassifier(max_num_splits=20, seed=2))),
+    ("gbdt", _fit_offline(
+        lambda: GradientBoostedTrees(
+            n_rounds=10, max_depth=3, learning_rate=0.2, seed=2))),
+    ("svm", _fit_offline(lambda: SVC(C=1.0, gamma=1.0, seed=2))),
+    ("vendor_threshold", _fit_vendor_rule),
+    ("majority_baseline", _fit_streaming(MajorityClassBaseline)),
+    ("prior_baseline", _fit_streaming(PriorProbabilityBaseline)),
+    ("hoeffding", _fit_streaming(
+        lambda: HoeffdingTreeClassifier(N_FEATURES, grace_period=30))),
+    ("oza_bagging", _fit_streaming(
+        lambda: OnlineBaggingEnsemble(
+            lambda rng: HoeffdingTreeClassifier(N_FEATURES, grace_period=30),
+            n_estimators=3, seed=4))),
+    ("oza_boost", _fit_streaming(
+        lambda: OzaBoostClassifier(
+            lambda rng: HoeffdingTreeClassifier(N_FEATURES, grace_period=30),
+            n_estimators=3, seed=4))),
+]
+
+
+@pytest.mark.parametrize("name,build", MODELS, ids=[m[0] for m in MODELS])
+def test_predict_is_inclusive_score_threshold(name, build):
+    model, X = build()
+    scores = model.predict_score(X)
+    assert scores.shape == (X.shape[0],)
+
+    # probe the achieved scores themselves — the exact values where an
+    # exclusive comparison silently flips the boundary rows — plus
+    # points strictly between/around them
+    unique = np.unique(scores)
+    probes = list(unique[:5]) + list(unique[-5:])
+    probes += [unique[0] - 0.125, unique[-1] + 0.125]
+    if unique.size > 1:
+        probes.append(0.5 * (unique[0] + unique[1]))
+
+    for threshold in probes:
+        expected = (scores >= threshold).astype(np.int8)
+        got = np.asarray(model.predict(X, threshold=float(threshold)))
+        assert np.array_equal(got, expected), (
+            f"{name}: predict disagrees with predict_score >= "
+            f"{threshold!r} on {(got != expected).sum()} row(s)"
+        )
+
+
+def test_vendor_rule_boundary_row_alarms():
+    """A disk scoring exactly at the threshold must alarm (>= not >)."""
+    model, X = _fit_vendor_rule()
+    scores = model.predict_score(X)
+    tripped = scores[scores > 0]
+    assert tripped.size, "scenario must trip at least one attribute"
+    boundary = float(tripped.min())
+    labels = model.predict(X, threshold=boundary)
+    assert labels[scores == boundary].all()
