@@ -1,0 +1,402 @@
+"""Gateway throughput bench — closed-loop multi-connection load.
+
+Starts a real :class:`~repro.gateway.server.GatewayServer` (own event
+loop in a background thread), then drives it with N concurrent
+:class:`~repro.gateway.client.GatewayClient` connections in closed loop
+— each connection sends its next batch the moment the previous response
+lands.  Sweeping N is the offered-load axis; for every level the bench
+records what an operator sizing the front door needs:
+
+* **events/sec** — sustained delivered throughput over the level;
+* **request p50/p99** — per-request wall latency (send → response);
+* **shed rate** — the fraction of requests refused ``overloaded`` by
+  admission control, i.e. how much of the offered load the gateway
+  chose to drop rather than buffer (the queue bound is deliberately
+  small here so the overload path is actually exercised at the higher
+  levels).
+
+Each level runs against a *fresh* fleet and server so forest warm-up
+cannot favor later levels, and ends with an authenticated ``drain`` —
+so every run also exercises the graceful-shutdown path.  Results land
+in ``BENCH_gateway_throughput.json``; CI's ``gateway-smoke`` job uses
+``--validate`` to keep the schema honest.
+
+Run standalone::
+
+    python benchmarks/bench_gateway_throughput.py --scale 0.05 --months 6
+    python benchmarks/bench_gateway_throughput.py --validate BENCH_gateway_throughput.json
+
+or as a pytest smoke test (``pytest benchmarks/bench_gateway_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+# schema version of BENCH_gateway_throughput.json (bump on breaking changes)
+BENCH_FORMAT = 1
+
+ADMIN_TOKEN = "bench-drain-token"
+
+#: required numeric keys of each per-level block in the JSON artifact
+LEVEL_KEYS = (
+    "connections",
+    "requests",
+    "shed_requests",
+    "shed_rate",
+    "events_offered",
+    "events_accepted",
+    "events_quarantined",
+    "alarms",
+    "total_seconds",
+    "events_per_sec",
+    "p50_ms",
+    "p99_ms",
+    "mean_ms",
+    "max_ms",
+)
+
+
+# ------------------------------------------------------------------ plumbing
+def build_events(scale: float, months: int, stride: int, seed: int):
+    """Tiny synthetic fleet → (n_features, materialized DiskEvent list)."""
+    from repro.eval.protocol import prepare_arrays
+    from repro.features.selection import FeatureSelection
+    from repro.service import fleet_events
+    from repro.smart.drive_model import STA, scaled_spec
+    from repro.smart.generator import generate_dataset
+
+    spec = scaled_spec(STA, fleet_scale=scale, duration_months=months)
+    dataset = generate_dataset(spec, seed=seed, sample_every_days=stride)
+    arrays, _ = prepare_arrays(dataset, FeatureSelection.paper_table2())
+    fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
+    return arrays.n_features, list(fleet_events(arrays, fail_day))
+
+
+def start_gateway(
+    n_features: int,
+    *,
+    n_shards: int,
+    seed: int,
+    max_batch_events: int,
+    max_queue_events: int,
+) -> Tuple[Any, "asyncio.AbstractEventLoop", threading.Thread]:
+    """A fresh fleet + gateway server on its own background event loop."""
+    from repro.gateway import GatewayServer
+    from repro.service import FleetMonitor
+
+    fleet = FleetMonitor.build(
+        n_features,
+        n_shards=n_shards,
+        seed=seed,
+        forest_kwargs={
+            "n_trees": 8,
+            "n_tests": 20,
+            "min_parent_size": 60,
+            "min_gain": 0.05,
+            "lambda_pos": 1.0,
+            "lambda_neg": 0.1,
+        },
+        strict=False,
+    )
+    server = GatewayServer(
+        fleet,
+        port=0,
+        admin_token=ADMIN_TOKEN,
+        max_batch_events=max_batch_events,
+        max_queue_events=max_queue_events,
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=loop.run_forever, name="gateway-bench-loop", daemon=True
+    )
+    thread.start()
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=60)
+    return server, loop, thread
+
+
+def stop_gateway(
+    server: Any, loop: "asyncio.AbstractEventLoop", thread: threading.Thread
+) -> None:
+    if server.status != "drained":
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=60)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=60)
+    loop.close()
+
+
+def _worker(
+    host: str,
+    port: int,
+    batches: List[List[Any]],
+    out: Dict[str, Any],
+) -> None:
+    """One closed-loop connection: send each batch as soon as the
+    previous response arrives; record per-request latency and sheds."""
+    from repro.gateway import GatewayClient
+
+    latencies: List[float] = []
+    shed = 0
+    with GatewayClient(host, port, connect_retries=20) as client:
+        for batch in batches:
+            t0 = time.perf_counter()
+            result = client.ingest(batch)
+            latencies.append(time.perf_counter() - t0)
+            if result.shed:
+                shed += 1
+    out["latencies"] = latencies
+    out["shed"] = shed
+
+
+def run_level(
+    n_connections: int,
+    n_features: int,
+    events: List[Any],
+    *,
+    batch_size: int,
+    n_shards: int,
+    seed: int,
+    max_batch_events: int,
+    max_queue_events: int,
+) -> Dict[str, Any]:
+    """One offered-load level on a fresh fleet + server."""
+    from repro.obs import percentile
+
+    server, loop, thread = start_gateway(
+        n_features,
+        n_shards=n_shards,
+        seed=seed,
+        max_batch_events=max_batch_events,
+        max_queue_events=max_queue_events,
+    )
+    try:
+        # round-robin partition: connection i sends events[i::n]
+        plans: List[List[List[Any]]] = []
+        for i in range(n_connections):
+            mine = events[i::n_connections]
+            plans.append(
+                [mine[s:s + batch_size] for s in range(0, len(mine), batch_size)]
+            )
+        results: List[Dict[str, Any]] = [{} for _ in range(n_connections)]
+        workers = [
+            threading.Thread(
+                target=_worker,
+                args=("127.0.0.1", server.port, plans[i], results[i]),
+            )
+            for i in range(n_connections)
+        ]
+        t0 = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        total = time.perf_counter() - t0
+
+        from repro.gateway import GatewayClient
+
+        # per-request `accepted` is flush-scoped (coalesced requests all
+        # see their whole flush), so the fleet digest is the one honest
+        # source of delivered-event counts
+        with GatewayClient("127.0.0.1", server.port) as client:
+            digest = client.digest()
+            client.drain(ADMIN_TOKEN)
+    finally:
+        stop_gateway(server, loop, thread)
+
+    latencies = [lat for r in results for lat in r["latencies"]]
+    requests = len(latencies)
+    shed = sum(r["shed"] for r in results)
+    accepted = int(digest["events"])
+    return {
+        "connections": n_connections,
+        "requests": requests,
+        "shed_requests": shed,
+        "shed_rate": shed / requests if requests else 0.0,
+        "events_offered": len(events),
+        "events_accepted": accepted,
+        "events_quarantined": int(digest["quarantined"]),
+        "alarms": sum(int(v) for v in digest["alarms"].values()),
+        "total_seconds": total,
+        "events_per_sec": accepted / total if total > 0 else 0.0,
+        "p50_ms": 1e3 * percentile(latencies, 50.0),
+        "p99_ms": 1e3 * percentile(latencies, 99.0),
+        "mean_ms": 1e3 * sum(latencies) / max(requests, 1),
+        "max_ms": 1e3 * max(latencies),
+    }
+
+
+# ------------------------------------------------------------------ schema
+def validate_payload(payload: Any) -> List[str]:
+    """Schema check of a BENCH_gateway_throughput.json document.
+
+    Returns a list of problems (empty == valid) instead of raising, so
+    CI can print every violation at once.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("format") != BENCH_FORMAT:
+        problems.append(
+            f"format must be {BENCH_FORMAT}, got {payload.get('format')!r}"
+        )
+    if payload.get("bench") != "gateway_throughput":
+        problems.append(
+            f"bench must be 'gateway_throughput', got {payload.get('bench')!r}"
+        )
+    if not isinstance(payload.get("config"), dict):
+        problems.append("config must be an object")
+    levels = payload.get("levels")
+    if not isinstance(levels, list) or not levels:
+        problems.append("levels must be a non-empty list")
+        levels = []
+    for i, block in enumerate(levels):
+        if not isinstance(block, dict):
+            problems.append(f"levels[{i}] must be an object")
+            continue
+        for key in LEVEL_KEYS:
+            value = block.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"levels[{i}].{key} must be a number")
+            elif value < 0:
+                problems.append(f"levels[{i}].{key} must be >= 0")
+        rate = block.get("shed_rate")
+        if isinstance(rate, (int, float)) and not 0.0 <= float(rate) <= 1.0:
+            problems.append(f"levels[{i}].shed_rate must be in [0, 1]")
+    return problems
+
+
+# -------------------------------------------------------------------- main
+def run_bench(args: argparse.Namespace) -> Dict[str, Any]:
+    connections = [int(c) for c in str(args.connections).split(",") if c]
+    if not connections or any(c <= 0 for c in connections):
+        raise ValueError(
+            f"--connections must be positive ints, got {args.connections!r}"
+        )
+    print(
+        f"generating fleet (scale={args.scale}, months={args.months}, "
+        f"stride={args.stride}) ...",
+        file=sys.stderr,
+    )
+    n_features, events = build_events(
+        args.scale, args.months, args.stride, args.seed
+    )
+    print(
+        f"offering {len(events):,} events per level "
+        f"(levels: {connections} connections) ...",
+        file=sys.stderr,
+    )
+    levels: List[Dict[str, Any]] = []
+    for n_conn in connections:
+        level = run_level(
+            n_conn,
+            n_features,
+            events,
+            batch_size=args.batch_size,
+            n_shards=args.shards,
+            seed=args.seed,
+            max_batch_events=args.max_batch_events,
+            max_queue_events=args.max_queue_events,
+        )
+        levels.append(level)
+        print(
+            f"  {n_conn:3d} conn  p50 {level['p50_ms']:8.2f}ms  "
+            f"p99 {level['p99_ms']:8.2f}ms  "
+            f"{level['events_per_sec']:10,.0f} events/s  "
+            f"shed {100 * level['shed_rate']:5.1f}%",
+            file=sys.stderr,
+        )
+    return {
+        "format": BENCH_FORMAT,
+        "bench": "gateway_throughput",
+        "config": {
+            "scale": args.scale,
+            "months": args.months,
+            "stride": args.stride,
+            "seed": args.seed,
+            "shards": args.shards,
+            "batch_size": args.batch_size,
+            "max_batch_events": args.max_batch_events,
+            "max_queue_events": args.max_queue_events,
+            "connections": connections,
+            "n_events": len(events),
+            "n_features": n_features,
+        },
+        "levels": levels,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fleet scale vs. the STA preset")
+    parser.add_argument("--months", type=int, default=6)
+    parser.add_argument("--stride", type=int, default=2,
+                        help="daily-snapshot sampling stride")
+    parser.add_argument("--seed", type=int, default=20180813)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="events per client ingest request")
+    parser.add_argument("--connections", default="1,2,4,8",
+                        help="comma list of offered-load levels")
+    parser.add_argument("--max-batch-events", type=int, default=1024,
+                        help="server-side coalescing cap")
+    parser.add_argument("--max-queue-events", type=int, default=1024,
+                        help="server admission bound (small by default so "
+                             "high levels actually shed)")
+    parser.add_argument("-o", "--output", default="BENCH_gateway_throughput.json")
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing artifact and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.validate:
+        try:
+            payload = json.loads(Path(args.validate).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.validate}: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"{args.validate}: valid gateway-throughput artifact")
+        return 0
+
+    payload = run_bench(args)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+# ------------------------------------------------------------ pytest smoke
+def test_gateway_throughput_smoke(tmp_path):
+    """Tiny end-to-end run: artifact exists and validates cleanly."""
+    out = tmp_path / "BENCH_gateway_throughput.json"
+    rc = main([
+        "--scale", "0.02", "--months", "3", "--stride", "4",
+        "--batch-size", "64", "--connections", "1,2",
+        "-o", str(out),
+    ])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert validate_payload(payload) == []
+    assert main(["--validate", str(out)]) == 0
+    # closed-loop accounting: every offered event was either accepted,
+    # quarantined, or part of a shed request
+    for level in payload["levels"]:
+        assert level["events_accepted"] <= level["events_offered"]
+        assert level["requests"] >= 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Eight subcommands cover the operational lifecycle::
+Nine subcommands cover the operational lifecycle::
 
     repro generate     --spec sta --scale 0.2 --months 15 -o fleet.csv
     repro train        --data fleet.csv --model orf -o model.npz
     repro evaluate     --data fleet.csv --model-file model.npz --far 0.01
     repro monitor      --data fleet.csv --model-file model.npz
     repro serve        --data fleet.csv --model-file model.npz --shards 4
+    repro gateway      --model-file model.npz --port 7070 --admin-token s3cret
     repro experiment   --data fleet.csv --kind monthly
     repro lint         src tests benchmarks --format json --stats
     repro trace-report trace.json --slowest 10
@@ -347,6 +348,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import GatewayServer
+    from repro.service import (
+        AlarmManager,
+        CheckpointRotator,
+        FleetMonitor,
+        MetricsRegistry,
+    )
+
+    model, _scaler, _selection = _load_model_bundle(args.model_file)
+    if not isinstance(model, OnlineRandomForest):
+        print("gateway requires an ORF checkpoint", file=sys.stderr)
+        return 2
+
+    # every shard starts from an independent copy of the checkpoint,
+    # mirroring `repro serve`
+    forests = [model] + [
+        load_bundle(args.model_file)["model"] for _ in range(args.shards - 1)
+    ]
+    shards = [
+        OnlineDiskFailurePredictor(
+            forest,
+            queue_length=7,
+            alarm_threshold=args.threshold,
+            warmup_samples=args.warmup,
+            record_alarms=False,
+        )
+        for forest in forests
+    ]
+    registry = MetricsRegistry()
+    manager = AlarmManager(
+        cooldown=args.cooldown,
+        escalate_after=args.escalate_after,
+        registry=registry,
+    )
+    rotator = None
+    if args.checkpoint_dir:
+        rotator = CheckpointRotator(
+            args.checkpoint_dir,
+            every_samples=args.checkpoint_every,
+            retention=args.retention,
+        )
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(registry=registry)
+    fleet = FleetMonitor(
+        shards,
+        alarm_manager=manager,
+        registry=registry,
+        rotator=rotator,
+        mode=args.mode,
+        strict=args.strict,
+        max_dead_letters=args.dead_letter_max,
+        tracer=tracer,
+    )
+    server = GatewayServer(
+        fleet,
+        host=args.host,
+        port=args.port,
+        admin_token=args.admin_token,
+        registry=registry,
+        tracer=tracer,
+        max_batch_events=args.max_batch_events,
+        max_queue_events=args.max_queue_events,
+        max_inflight=args.max_inflight,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(f"gateway listening on {server.host}:{server.port}", flush=True)
+        if args.port_file:
+            from pathlib import Path
+
+            Path(args.port_file).write_text(f"{server.port}\n")
+        try:
+            await server.serve_until_drained()
+        finally:
+            if server.status != "drained":
+                await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("# interrupted; events admitted but unflushed were dropped",
+              file=sys.stderr)
+
+    d = fleet.digest()
+    print(
+        f"# gateway served {d['samples']:,} samples across "
+        f"{fleet.n_shards} shard(s): {d['failures']} failures, "
+        f"alarms {d['alarms']}, quarantined {d['quarantined']}"
+    )
+    if server.final_checkpoint is not None:
+        print(f"# final checkpoint: {server.final_checkpoint}")
+    if args.dump_metrics:
+        print(registry.render(), end="")
+    return 0
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.obs import format_trace_report, load_trace
 
@@ -555,6 +659,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the raw span trace as JSON for `repro trace-report`",
     )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "gateway",
+        help="serve a train bundle over TCP (newline-delimited JSON)",
+    )
+    p.add_argument("--model-file", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 binds an ephemeral port, printed at startup)",
+    )
+    p.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port to this file once listening",
+    )
+    p.add_argument(
+        "--admin-token", default=None,
+        help="shared secret for the drain op (omitting disables remote drain)",
+    )
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument("--warmup", type=int, default=0, help="warmup samples per shard")
+    p.add_argument("--mode", choices=("exact", "batch"), default="exact")
+    p.add_argument(
+        "--max-batch-events", type=int, default=1024,
+        help="micro-batcher coalescing cap (events per fleet flush)",
+    )
+    p.add_argument(
+        "--max-queue-events", type=int, default=8192,
+        help="admission-queue bound; beyond it ingests shed as overloaded",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="per-connection cap on unanswered requests",
+    )
+    p.add_argument(
+        "--cooldown", type=int, default=None,
+        help="per-disk samples before an open alarm re-notifies (default: never)",
+    )
+    p.add_argument("--escalate-after", type=int, default=3)
+    p.add_argument("--checkpoint-dir", default=None)
+    p.add_argument("--checkpoint-every", type=int, default=10_000)
+    p.add_argument("--retention", type=int, default=3)
+    p.add_argument(
+        "--strict", action="store_true",
+        help="raise on invalid events instead of quarantining them",
+    )
+    p.add_argument("--dead-letter-max", type=int, default=1024)
+    p.add_argument(
+        "--trace", action="store_true",
+        help="record serving-stage spans into the metrics exposition",
+    )
+    p.add_argument(
+        "--dump-metrics", action="store_true",
+        help="print the Prometheus text exposition after the drain",
+    )
+    p.set_defaults(fn=_cmd_gateway)
 
     p = sub.add_parser(
         "trace-report",

@@ -1,0 +1,68 @@
+"""repro.gateway — the network front door of the serving stack.
+
+Until now every event entered :class:`~repro.service.fleet.FleetMonitor`
+through an in-process call; the paper's deployment loop (§5) and the
+telemetry-pipeline framing of DC-Prophet assume SMART events arrive
+*over the network* from live collectors.  This subpackage is that
+missing layer, stdlib-only (asyncio + json + socket):
+
+* :mod:`~repro.gateway.protocol` — versioned newline-delimited-JSON
+  wire format (``ingest`` / ``digest`` / ``metrics`` / ``healthz`` /
+  authenticated ``drain``), float-exact by construction;
+* :mod:`~repro.gateway.batcher` — :class:`MicroBatcher`: coalesces
+  concurrent requests into fleet micro-batches under a deterministic,
+  timer-free flush policy, behind a bounded admission queue;
+* :mod:`~repro.gateway.server` — :class:`GatewayServer`: the asyncio
+  TCP front-end with load shedding (``overloaded`` responses,
+  per-connection in-flight caps, write-buffer limits), ``repro_gateway_*``
+  metrics, and graceful drain ending in a final checkpoint rotation;
+* :mod:`~repro.gateway.client` — :class:`GatewayClient`: the blocking
+  client library collectors and the throughput bench drive.
+
+``repro gateway`` on the CLI serves a persisted train bundle over TCP;
+``benchmarks/bench_gateway_throughput.py`` measures the front-end under
+closed-loop multi-connection load.
+
+Determinism contract: a stream ingested through one gateway connection
+(sequential request/response) produces alarms, shard digests, and
+forests bit-identical to a direct ``FleetMonitor.ingest`` of the same
+event batches — asserted by ``tests/gateway/test_server.py``.
+"""
+
+from repro.gateway.batcher import FlushResult, MicroBatcher
+from repro.gateway.client import GatewayClient, GatewayError, IngestResult
+from repro.gateway.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    alarm_to_wire,
+    decode_message,
+    encode_message,
+    event_from_wire,
+    event_to_wire,
+    events_from_wire,
+)
+from repro.gateway.server import SHED_REASONS, GatewayServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "SHED_REASONS",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+    "event_to_wire",
+    "event_from_wire",
+    "events_from_wire",
+    "alarm_to_wire",
+    "MicroBatcher",
+    "FlushResult",
+    "GatewayServer",
+    "GatewayClient",
+    "GatewayError",
+    "IngestResult",
+]

@@ -1,0 +1,320 @@
+"""Micro-batching between concurrent gateway requests and the fleet.
+
+Many connections submit small ingest requests; the fleet is most
+efficient (and its shard executor best utilized) when events arrive in
+micro-batches.  The :class:`MicroBatcher` sits between the two: requests
+enqueue onto a bounded admission queue, a single flush loop coalesces
+whatever is queued into one :meth:`~repro.service.fleet.FleetMonitor.
+ingest` call, and every coalesced request resolves with the flush's
+outcome.
+
+**Deterministic flush policy** — a flush happens when either
+
+* the coalesced batch reaches ``max_batch_events``, or
+* the admission queue is empty at the moment the loop looks (flush-on-
+  idle).
+
+There is no timer: the policy depends only on the *arrival interleaving*
+of requests, never on the wall clock, so a given submission sequence
+always produces the same flush boundaries — which is what makes the
+gateway's single-connection determinism contract testable.  The
+injectable ``clock`` exists purely to time flushes for the
+``repro_gateway_flush_seconds`` histogram (by-reference default,
+mirroring :class:`~repro.service.fleet.FleetMonitor`; the RPR102
+wall-clock allowlist stays empty).
+
+**Backpressure** — :meth:`try_submit` is admission control: it refuses
+(returns None) when the queued-event count would exceed
+``max_queue_events``, and the server turns that refusal into an
+``overloaded`` response instead of growing memory without bound.
+
+**Ordering** — the queue is FIFO and the flush loop concatenates
+requests in queue order, so events reach the fleet in admission order.
+Within one connection that is send order; across connections it is
+whichever order the server admitted the requests (see
+``docs/operations.md`` for the exact cross-connection semantics).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.obs.tracing import NULL_TRACER, NullTracer
+from repro.service.fleet import DiskEvent, EmittedAlarm, FleetMonitor
+from repro.service.metrics import MetricsRegistry
+
+__all__ = [
+    "BATCH_EVENT_BUCKETS",
+    "FlushResult",
+    "MicroBatcher",
+]
+
+#: histogram bounds for flush sizes (events per coalesced batch)
+BATCH_EVENT_BUCKETS = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    2048.0, 4096.0,
+)
+
+
+@dataclass(frozen=True)
+class FlushResult:
+    """Outcome of one coalesced flush, shared by its member requests.
+
+    ``accepted`` counts events the fleet admitted (its ``_seq``
+    advance); ``quarantined`` counts events diverted to the dead-letter
+    queue.  ``requests`` is how many submissions the flush coalesced —
+    1 for a lone request, more under concurrency.  Alarm attribution is
+    flush-scoped: every member request sees the full ``alarms`` list of
+    its flush (with a sequential single connection each flush holds only
+    that connection's events, so the attribution is exact).
+    """
+
+    events: int
+    accepted: int
+    quarantined: int
+    requests: int
+    flush_seq: int
+    alarms: List[EmittedAlarm] = field(default_factory=list)
+
+
+@dataclass
+class _Submission:
+    events: List[DiskEvent]
+    future: "asyncio.Future[FlushResult]"
+
+
+class _Stop:
+    """Queue sentinel: flush what is pending, then exit the loop."""
+
+
+_STOP = _Stop()
+
+
+class MicroBatcher:
+    """Coalesces concurrent ingest submissions into fleet micro-batches.
+
+    Parameters
+    ----------
+    fleet:
+        The :class:`~repro.service.fleet.FleetMonitor` flushes feed.
+        ``ingest`` runs inline on the event loop: the fleet mutates
+        shared shard state, so a single flush loop *is* the
+        synchronization — no locks, no cross-thread handoff, and flush
+        order equals admission order.
+    max_batch_events:
+        Coalescing cap: a flush never carries more events than this.
+    max_queue_events:
+        Admission bound: :meth:`try_submit` refuses once this many
+        events are queued but not yet flushed.  This is the gateway's
+        primary load-shedding valve.
+    registry:
+        Metrics sink for the ``repro_gateway_*`` batcher instruments;
+        a private registry is created when omitted.
+    tracer:
+        Stage tracer; flushes record a ``gateway.flush`` span.
+    clock:
+        Zero-argument monotonic-seconds callable, held by reference
+        (default ``time.perf_counter``) and read only around flushes for
+        the latency histogram.
+    flush_gate:
+        Optional :class:`asyncio.Event` awaited before every flush.
+        Tests (and operators staging a restart) clear it to hold flushes
+        while admission keeps filling the queue — the deterministic way
+        to exercise the overload path.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetMonitor,
+        *,
+        max_batch_events: int = 1024,
+        max_queue_events: int = 8192,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        flush_gate: Optional[asyncio.Event] = None,
+    ) -> None:
+        if max_batch_events <= 0:
+            raise ValueError(
+                f"max_batch_events must be > 0, got {max_batch_events}"
+            )
+        if max_queue_events < max_batch_events:
+            raise ValueError(
+                f"max_queue_events ({max_queue_events}) must be >= "
+                f"max_batch_events ({max_batch_events})"
+            )
+        self.fleet = fleet
+        self.max_batch_events = int(max_batch_events)
+        self.max_queue_events = int(max_queue_events)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer: NullTracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock
+        self._flush_gate = flush_gate
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        self._pending_events = 0
+        self._n_flushes = 0
+        self._stopped = False
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._instrument()
+
+    def _instrument(self) -> None:
+        reg = self.registry
+        reg.gauge(
+            "repro_gateway_queue_depth",
+            help="events admitted but not yet flushed to the fleet",
+            fn=lambda: float(self._pending_events),
+        )
+        self._flushes_c = reg.counter(
+            "repro_gateway_flushes_total",
+            help="coalesced micro-batches flushed to the fleet",
+        )
+        self._ingested_c = reg.counter(
+            "repro_gateway_ingested_events_total",
+            help="events the fleet accepted through the gateway",
+        )
+        self._quarantined_c = reg.counter(
+            "repro_gateway_quarantined_events_total",
+            help="gateway events the fleet diverted to the dead-letter queue",
+        )
+        self._batch_h = reg.histogram(
+            "repro_gateway_batch_events",
+            help="events per coalesced flush",
+            buckets=BATCH_EVENT_BUCKETS,
+        )
+        self._flush_h = reg.histogram(
+            "repro_gateway_flush_seconds",
+            help="wall time per coalesced fleet flush",
+        )
+
+    # ------------------------------------------------------------ admission
+    @property
+    def pending_events(self) -> int:
+        """Events admitted but not yet flushed."""
+        return self._pending_events
+
+    @property
+    def n_flushes(self) -> int:
+        """Lifetime flush count."""
+        return self._n_flushes
+
+    def try_submit(
+        self, events: Sequence[DiskEvent]
+    ) -> Optional["asyncio.Future[FlushResult]"]:
+        """Admit one ingest request, or refuse it.
+
+        Returns a future resolving to the request's :class:`FlushResult`,
+        or None when the admission queue is full (the caller sheds) or
+        the batcher has stopped.  Must be called on the event loop
+        thread.
+        """
+        if self._stopped:
+            return None
+        if self._pending_events + len(events) > self.max_queue_events:
+            return None
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[FlushResult]" = loop.create_future()
+        self._pending_events += len(events)
+        self._queue.put_nowait(_Submission(list(events), future))
+        return future
+
+    # ---------------------------------------------------------- flush loop
+    def start(self) -> "asyncio.Task[None]":
+        """Spawn the flush loop task (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="gateway-batcher"
+            )
+        return self._task
+
+    async def drain_and_stop(self) -> None:
+        """Flush everything already admitted, then stop the loop.
+
+        New :meth:`try_submit` calls are refused from this point on.
+        FIFO ordering guarantees every submission admitted before the
+        stop sentinel is flushed before the loop exits — the heart of
+        the graceful-drain contract.
+        """
+        self._stopped = True
+        self._queue.put_nowait(_STOP)
+        if self._task is not None:
+            await self._task
+
+    async def cancel(self) -> None:
+        """Abort the flush loop without flushing (hard-stop path)."""
+        self._stopped = True
+        if self._task is not None and not self._task.done():
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+
+    async def _run(self) -> None:
+        while True:
+            head = await self._queue.get()
+            if isinstance(head, _Stop):
+                return
+            batch: List[_Submission] = [head]
+            n_events = len(head.events)
+            saw_stop = False
+            while n_events < self.max_batch_events:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break  # flush-on-idle
+                if isinstance(nxt, _Stop):
+                    saw_stop = True
+                    break
+                batch.append(nxt)
+                n_events += len(nxt.events)
+            if self._flush_gate is not None:
+                await self._flush_gate.wait()
+            self._flush(batch)
+            if saw_stop:
+                return
+
+    def _flush(self, batch: List[_Submission]) -> None:
+        events: List[DiskEvent] = []
+        for sub in batch:
+            events.extend(sub.events)
+        fleet = self.fleet
+        seq_before = fleet.n_samples
+        dl_before = fleet.dead_letters.total
+        t0 = self._clock()
+        error: Optional[BaseException] = None
+        alarms: List[EmittedAlarm] = []
+        with self.tracer.span("gateway.flush", items=len(events)):
+            try:
+                alarms = fleet.ingest(events)
+            except Exception as exc:
+                # strict-mode fleets raise on bad events; the flush loop
+                # must survive to serve the next batch either way
+                error = exc
+        self._flush_h.observe(self._clock() - t0)
+        self._pending_events -= len(events)
+        self._n_flushes += 1
+        self._flushes_c.inc()
+        self._batch_h.observe(float(len(events)))
+        if error is not None:
+            for sub in batch:
+                if not sub.future.done():
+                    sub.future.set_exception(error)
+            return
+        accepted = fleet.n_samples - seq_before
+        quarantined = fleet.dead_letters.total - dl_before
+        self._ingested_c.inc(accepted)
+        self._quarantined_c.inc(quarantined)
+        result = FlushResult(
+            events=len(events),
+            accepted=accepted,
+            quarantined=quarantined,
+            requests=len(batch),
+            flush_seq=self._n_flushes - 1,
+            alarms=alarms,
+        )
+        for sub in batch:
+            if not sub.future.done():
+                sub.future.set_result(result)

@@ -1,0 +1,262 @@
+"""Synchronous client library for the gateway wire protocol.
+
+A :class:`GatewayClient` is one TCP connection speaking the
+newline-delimited-JSON protocol of :mod:`repro.gateway.protocol` in
+strict request/response lockstep — which means a single client's events
+reach the fleet in exactly the order they were sent, each ``ingest``
+forms its own flush, and the responses' alarm attribution is exact (the
+single-connection determinism contract; see ``docs/operations.md``).
+
+The client is deliberately dependency-free and blocking: collectors,
+smoke tests, and the throughput bench all drive it from plain threads.
+``ingest`` never raises on *load-shedding* responses (``overloaded`` /
+``draining``) — shedding is the server working as designed under
+pressure, so it is surfaced as :attr:`IngestResult.shed` for the caller
+to retry or drop; every other failure raises :exc:`GatewayError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.gateway.protocol import (
+    ERR_DRAINING,
+    ERR_OVERLOADED,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    event_to_wire,
+)
+from repro.service.fleet import DiskEvent
+
+__all__ = [
+    "GatewayError",
+    "IngestResult",
+    "GatewayClient",
+]
+
+WireEvent = Union[DiskEvent, Dict[str, Any]]
+
+
+class GatewayError(RuntimeError):
+    """Transport failure or non-shedding error response.
+
+    ``code`` carries the server's error code when the failure was a
+    protocol-level error response (None for transport failures).
+    """
+
+    def __init__(self, message: str, *, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one ``ingest`` request.
+
+    ``shed=True`` means the server refused the whole request under load
+    (``overloaded``) or during a drain (``draining``) — none of its
+    events were admitted, and ``shed_reason`` holds the error code.
+    Otherwise ``accepted``/``quarantined`` partition the *flush* that
+    carried this request and ``alarms`` holds the flush's emitted
+    alarms in wire form (see the flush-scoped attribution note in
+    ``docs/operations.md``).
+    """
+
+    ok: bool
+    shed: bool = False
+    shed_reason: Optional[str] = None
+    events: int = 0
+    accepted: int = 0
+    quarantined: int = 0
+    flush_seq: int = -1
+    alarms: List[Dict[str, Any]] = field(default_factory=list)
+
+
+class GatewayClient:
+    """One blocking connection to a :class:`~repro.gateway.server.
+    GatewayServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The gateway's bound address.
+    timeout:
+        Socket timeout in seconds for connect, send, and receive.
+    connect_retries:
+        Extra connection attempts after a refused/failed connect —
+        handy when the server process is still binding its socket.
+    retry_delay:
+        Seconds slept between connection attempts.
+    sleep:
+        The sleep callable used between retries, held by reference
+        (default ``time.sleep``) so tests can inject a no-op and the
+        library itself never calls the wall clock (RPR102).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        connect_retries: int = 0,
+        retry_delay: float = 0.05,
+        sleep: Callable[[float], Any] = time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._next_id = 0
+        last_exc: Optional[OSError] = None
+        sock: Optional[socket.socket] = None
+        for attempt in range(int(connect_retries) + 1):
+            if attempt:
+                sleep(retry_delay)
+            try:
+                sock = socket.create_connection(
+                    (host, self.port), timeout=self.timeout
+                )
+                break
+            except OSError as exc:
+                last_exc = exc
+        if sock is None:
+            raise GatewayError(
+                f"cannot connect to {host}:{port}: {last_exc}"
+            ) from last_exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    # ------------------------------------------------------------- plumbing
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._rfile.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        self._next_id += 1
+        request_id = self._next_id
+        payload: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION, "op": op, "id": request_id,
+        }
+        payload.update(fields)
+        data = encode_message(payload)
+        if len(data) > MAX_LINE_BYTES:
+            raise GatewayError(
+                f"request of {len(data)} bytes exceeds the "
+                f"{MAX_LINE_BYTES}-byte frame limit; send smaller batches"
+            )
+        try:
+            self._sock.sendall(data)
+            line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            raise GatewayError(f"connection to gateway lost: {exc}") from exc
+        if not line:
+            raise GatewayError("gateway closed the connection")
+        try:
+            response = decode_message(line)
+        except ProtocolError as exc:
+            raise GatewayError(f"malformed gateway response: {exc}") from exc
+        if response.get("id") != request_id:
+            raise GatewayError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r} (is something else sharing "
+                "this connection?)"
+            )
+        return response
+
+    @staticmethod
+    def _error_code(response: Dict[str, Any]) -> str:
+        error = response.get("error")
+        if isinstance(error, dict):
+            return str(error.get("code", "unknown"))
+        return "unknown"
+
+    @staticmethod
+    def _error_message(response: Dict[str, Any]) -> str:
+        error = response.get("error")
+        if isinstance(error, dict):
+            return str(error.get("message", ""))
+        return repr(response)
+
+    def _checked(self, op: str, **fields: Any) -> Dict[str, Any]:
+        response = self._request(op, **fields)
+        if response.get("ok") is not True:
+            raise GatewayError(
+                f"{op} failed: {self._error_message(response)}",
+                code=self._error_code(response),
+            )
+        return response
+
+    # ------------------------------------------------------------------ ops
+    def ingest(self, events: Sequence[WireEvent]) -> IngestResult:
+        """Send one batch of events; never raises on load shedding."""
+        wire = [
+            event_to_wire(ev) if isinstance(ev, DiskEvent) else ev
+            for ev in events
+        ]
+        response = self._request("ingest", events=wire)
+        if response.get("ok") is True:
+            flush = response.get("flush") or {}
+            return IngestResult(
+                ok=True,
+                events=int(response.get("events", 0)),
+                accepted=int(response.get("accepted", 0)),
+                quarantined=int(response.get("quarantined", 0)),
+                flush_seq=int(flush.get("seq", -1)),
+                alarms=list(response.get("alarms", [])),
+            )
+        code = self._error_code(response)
+        if code in (ERR_OVERLOADED, ERR_DRAINING):
+            return IngestResult(ok=False, shed=True, shed_reason=code)
+        raise GatewayError(
+            f"ingest failed: {self._error_message(response)}", code=code
+        )
+
+    def digest(self) -> Dict[str, Any]:
+        """The fleet's :meth:`~repro.service.fleet.FleetMonitor.digest`."""
+        payload = self._checked("digest").get("digest")
+        if not isinstance(payload, dict):
+            raise GatewayError("digest response carried no digest object")
+        return payload
+
+    def metrics(self) -> str:
+        """The Prometheus text exposition of the gateway's registry."""
+        return str(self._checked("metrics").get("metrics", ""))
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe: status, event count, queue depth."""
+        response = self._checked("healthz")
+        return {
+            "status": response.get("status"),
+            "events": response.get("events"),
+            "queue_depth": response.get("queue_depth"),
+        }
+
+    def drain(self, token: str) -> Dict[str, Any]:
+        """Authenticated graceful shutdown; returns the drain summary."""
+        response = self._checked("drain", token=token)
+        return {
+            "status": response.get("status"),
+            "events": response.get("events"),
+            "flushes": response.get("flushes"),
+            "checkpoint": response.get("checkpoint"),
+        }

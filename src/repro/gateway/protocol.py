@@ -1,0 +1,239 @@
+"""Wire protocol of the gateway: versioned newline-delimited JSON.
+
+One request per line, one response per line, UTF-8 JSON with a ``"v"``
+protocol-version field on every message.  JSON is the only encoding a
+stdlib-only stack can both emit and parse without dependencies, and
+newline framing keeps the server parseable with ``readline`` and the
+protocol debuggable with ``nc``.
+
+Determinism note: Python's ``json`` round-trips floats exactly —
+``json.dumps`` emits ``repr(float)`` (the shortest string that parses
+back to the same IEEE-754 double) and ``json.loads`` parses it back bit
+for bit.  That property is what lets a stream ingested through the
+gateway produce *bit-identical* forests and alarms to a direct
+:meth:`~repro.service.fleet.FleetMonitor.ingest` of the same events.
+Non-finite values (NaN/Inf) also survive the trip (Python's JSON
+dialect) and are then quarantined by the fleet's admission check with
+the same reason codes as a direct ingest.
+
+Requests::
+
+    {"v": 1, "op": "ingest", "id": 7, "events": [EVENT, ...]}
+    {"v": 1, "op": "digest", "id": 8}
+    {"v": 1, "op": "metrics", "id": 9}
+    {"v": 1, "op": "healthz", "id": 10}
+    {"v": 1, "op": "drain", "id": 11, "token": "..."}
+
+where ``EVENT`` is ``{"disk_id": int|str, "x": [float, ...] | null,
+"failed": bool, "tag": <json>}`` (``x`` and ``tag`` optional, ``failed``
+defaults false).  ``id`` is an opaque client echo — responses carry it
+back verbatim so pipelined clients can match replies.
+
+Responses are ``{"v": 1, "id": ..., "ok": true, ...}`` on success and
+``{"v": 1, "id": ..., "ok": false, "error": {"code": ..., "message":
+...}}`` on failure; :data:`ERROR_CODES` is the closed set of codes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.fleet import DiskEvent, EmittedAlarm
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "ERR_BAD_REQUEST",
+    "ERR_UNKNOWN_OP",
+    "ERR_OVERLOADED",
+    "ERR_DRAINING",
+    "ERR_UNAUTHORIZED",
+    "ERR_INTERNAL",
+    "ERR_TOO_LARGE",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+    "event_to_wire",
+    "event_from_wire",
+    "events_from_wire",
+    "alarm_to_wire",
+    "ok_response",
+    "error_response",
+]
+
+#: bump on breaking wire changes; both ends reject a mismatched ``"v"``
+PROTOCOL_VERSION = 1
+
+#: default cap on one framed line (requests and responses); a line this
+#: long is either a runaway client or an attack, not telemetry
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: the closed operation set
+OPS: Tuple[str, ...] = ("ingest", "digest", "metrics", "healthz", "drain")
+
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_OP = "unknown_op"
+ERR_OVERLOADED = "overloaded"
+ERR_DRAINING = "draining"
+ERR_UNAUTHORIZED = "unauthorized"
+ERR_INTERNAL = "internal"
+ERR_TOO_LARGE = "too_large"
+
+#: closed error-code set (also the label space of
+#: ``repro_gateway_errors_total``, so it must stay bounded)
+ERROR_CODES: Tuple[str, ...] = (
+    ERR_BAD_REQUEST,
+    ERR_UNKNOWN_OP,
+    ERR_OVERLOADED,
+    ERR_DRAINING,
+    ERR_UNAUTHORIZED,
+    ERR_INTERNAL,
+    ERR_TOO_LARGE,
+)
+
+
+class ProtocolError(ValueError):
+    """A message that violates the wire protocol (carries an error code)."""
+
+    def __init__(self, message: str, *, code: str = ERR_BAD_REQUEST) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """One protocol message as a compact UTF-8 JSON line."""
+    return (
+        json.dumps(payload, separators=(",", ":"), ensure_ascii=False) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one framed line; raises :exc:`ProtocolError` on junk.
+
+    Checks framing and the version field only — per-op fields are the
+    dispatcher's job.
+    """
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"unparseable message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this end speaks v{PROTOCOL_VERSION})"
+        )
+    return payload
+
+
+# ------------------------------------------------------------------ events
+def event_to_wire(event: DiskEvent) -> Dict[str, Any]:
+    """A :class:`DiskEvent` as a JSON-ready dict.
+
+    ``x`` becomes a plain float list (``repr`` round-trip exact, see the
+    module docstring); ``tag`` must already be JSON-representable.
+    """
+    x = event.x
+    return {
+        "disk_id": event.disk_id,
+        "x": None if x is None else [float(v) for v in np.asarray(x).ravel()],
+        "failed": bool(event.failed),
+        "tag": event.tag,
+    }
+
+
+def event_from_wire(obj: Any) -> DiskEvent:
+    """Decode one wire event; raises :exc:`ProtocolError` on bad shape.
+
+    Only *structural* validity is checked here (the fields exist and
+    have JSON-sensible types); *semantic* admission — dimension, finite
+    values, shardable id — stays in the fleet's
+    :func:`~repro.service.faults.validate_event`, so gateway and direct
+    ingestion reject exactly the same events with the same reason codes.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"event must be an object, got {type(obj).__name__}"
+        )
+    if "disk_id" not in obj:
+        raise ProtocolError("event is missing 'disk_id'")
+    disk_id = obj["disk_id"]
+    if not isinstance(disk_id, (int, str)) or isinstance(disk_id, bool):
+        raise ProtocolError(
+            f"disk_id must be an int or str, got {type(disk_id).__name__}"
+        )
+    raw_x = obj.get("x")
+    x: Optional[np.ndarray]
+    if raw_x is None:
+        x = None
+    elif isinstance(raw_x, list):
+        try:
+            x = np.asarray(raw_x, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"x is not a numeric vector: {exc}") from exc
+    else:
+        raise ProtocolError(
+            f"x must be a list of numbers or null, got {type(raw_x).__name__}"
+        )
+    failed = obj.get("failed", False)
+    if not isinstance(failed, bool):
+        raise ProtocolError(
+            f"failed must be a bool, got {type(failed).__name__}"
+        )
+    return DiskEvent(disk_id=disk_id, x=x, failed=failed, tag=obj.get("tag"))
+
+
+def events_from_wire(raw: Any) -> List[DiskEvent]:
+    """Decode an ingest request's ``events`` list."""
+    if not isinstance(raw, list):
+        raise ProtocolError(
+            f"'events' must be a list, got {type(raw).__name__}"
+        )
+    out: List[DiskEvent] = []
+    for pos, obj in enumerate(raw):
+        try:
+            out.append(event_from_wire(obj))
+        except ProtocolError as exc:
+            raise ProtocolError(f"events[{pos}]: {exc}") from exc
+    return out
+
+
+def alarm_to_wire(emitted: EmittedAlarm) -> Dict[str, Any]:
+    """One :class:`EmittedAlarm` as a JSON-ready dict."""
+    return {
+        "disk_id": emitted.alarm.disk_id,
+        "score": float(emitted.alarm.score),
+        "tag": emitted.alarm.tag,
+        "action": emitted.action.value,
+        "shard": emitted.shard,
+        "seq": emitted.seq,
+    }
+
+
+# --------------------------------------------------------------- responses
+def ok_response(request_id: Any, **fields: Any) -> Dict[str, Any]:
+    """A success response envelope echoing the request id."""
+    payload: Dict[str, Any] = {"v": PROTOCOL_VERSION, "id": request_id, "ok": True}
+    payload.update(fields)
+    return payload
+
+
+def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    """A failure response envelope (``code`` from :data:`ERROR_CODES`)."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

@@ -1,0 +1,556 @@
+"""The asyncio TCP front-end over a :class:`FleetMonitor`.
+
+A :class:`GatewayServer` accepts newline-delimited-JSON connections
+(:mod:`repro.gateway.protocol`), admission-controls ingest traffic
+through a :class:`~repro.gateway.batcher.MicroBatcher`, and serves the
+observer/admin operations (``digest``, ``metrics``, ``healthz``,
+``drain``) directly.  Everything is stdlib-only and single-threaded:
+one event loop owns the fleet, so no fleet state is ever touched
+concurrently.
+
+**Backpressure & load shedding** — three bounded valves, each of which
+sheds with an ``overloaded`` response (counted in
+``repro_gateway_shed_total{reason=...}``) instead of queueing without
+bound:
+
+* the batcher's admission queue (``max_queue_events``) — reason
+  ``queue_full``;
+* a per-connection in-flight request cap (``max_inflight``) — reason
+  ``inflight`` — which also bounds pending-response memory per
+  connection;
+* during a drain, all new ingests — reason ``draining`` (the response
+  error code is ``draining`` so clients can tell the cases apart).
+
+Slow readers are bounded too: each connection's transport gets a write
+buffer limit, and response writers ``drain()`` before accepting the
+backlog, so a client that stops reading stalls only its own connection.
+
+**Graceful drain** — the authenticated ``drain`` op (1) stops accepting
+connections, (2) refuses new ingests, (3) flushes every admitted event
+through the batcher, (4) waits for all pending responses to be written,
+(5) takes a final :class:`~repro.service.checkpoint.CheckpointRotator`
+rotation, then (6) answers the drain request with a summary and closes
+the remaining connections.  ``serve_until_drained`` returns at that
+point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import time
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.gateway.batcher import FlushResult, MicroBatcher
+from repro.gateway.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_DRAINING,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_TOO_LARGE,
+    ERR_UNAUTHORIZED,
+    ERR_UNKNOWN_OP,
+    MAX_LINE_BYTES,
+    OPS,
+    ProtocolError,
+    alarm_to_wire,
+    decode_message,
+    encode_message,
+    error_response,
+    events_from_wire,
+    ok_response,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer
+from repro.service.fleet import FleetMonitor
+from repro.service.metrics import MetricsRegistry
+
+__all__ = [
+    "SHED_REASONS",
+    "GatewayServer",
+]
+
+#: closed label set of ``repro_gateway_shed_total{reason=...}``
+SHED_REASONS: Tuple[str, ...] = ("queue_full", "inflight", "draining")
+
+#: healthz lifecycle states
+_STATUS_SERVING = "serving"
+_STATUS_DRAINING = "draining"
+_STATUS_DRAINED = "drained"
+
+
+class GatewayServer:
+    """Networked serving front-end for a fleet monitor.
+
+    Parameters
+    ----------
+    fleet:
+        The :class:`~repro.service.fleet.FleetMonitor` behind the wire.
+        Build it with ``strict=False`` for tolerant serving (the CLI
+        default) — in strict mode a bad event fails its whole flush.
+    host / port:
+        Bind address; ``port=0`` binds an ephemeral port, readable from
+        :attr:`port` after :meth:`start`.
+    admin_token:
+        Shared secret for the ``drain`` op.  ``None`` disables remote
+        drain entirely (every attempt is ``unauthorized``).
+    registry:
+        Metrics sink; defaults to the fleet's own registry so gateway
+        and fleet metrics render in one ``metrics`` response.
+    tracer:
+        Stage tracer (``gateway.request`` / ``gateway.flush`` spans);
+        defaults to the no-op tracer.
+    max_batch_events / max_queue_events:
+        Batcher coalescing cap and admission bound (see
+        :class:`~repro.gateway.batcher.MicroBatcher`).
+    max_inflight:
+        Per-connection cap on requests admitted but not yet answered.
+    max_line_bytes:
+        Longest accepted request line; longer ones get ``too_large``
+        and the connection is closed (framing is unrecoverable).
+    write_buffer_limit:
+        High-water mark (bytes) on each connection's transport write
+        buffer before response writers block on ``drain()``.
+    clock:
+        Zero-argument monotonic-seconds callable held by reference
+        (default ``time.perf_counter``), read only for the
+        ``repro_gateway_request_seconds`` histogram.
+    flush_gate:
+        Passed through to the batcher (tests hold flushes with it).
+    """
+
+    def __init__(
+        self,
+        fleet: FleetMonitor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admin_token: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
+        max_batch_events: int = 1024,
+        max_queue_events: int = 8192,
+        max_inflight: int = 64,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        write_buffer_limit: int = 1024 * 1024,
+        clock: Callable[[], float] = time.perf_counter,
+        flush_gate: Optional["asyncio.Event"] = None,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError(f"max_inflight must be > 0, got {max_inflight}")
+        if max_line_bytes <= 0:
+            raise ValueError(
+                f"max_line_bytes must be > 0, got {max_line_bytes}"
+            )
+        self.fleet = fleet
+        self.host = host
+        self._requested_port = int(port)
+        self._admin_token = admin_token
+        self.registry = registry if registry is not None else fleet.registry
+        self.tracer: NullTracer = tracer if tracer is not None else NULL_TRACER
+        self.max_inflight = int(max_inflight)
+        self.max_line_bytes = int(max_line_bytes)
+        self.write_buffer_limit = int(write_buffer_limit)
+        self._clock = clock
+        self.batcher = MicroBatcher(
+            fleet,
+            max_batch_events=max_batch_events,
+            max_queue_events=max_queue_events,
+            registry=self.registry,
+            tracer=self.tracer,
+            clock=clock,
+            flush_gate=flush_gate,
+        )
+        self._server: Optional["asyncio.Server"] = None
+        self._status = _STATUS_SERVING
+        self._drained = asyncio.Event()
+        self._drain_started = False
+        self._n_open = 0
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._response_tasks: Set["asyncio.Task[None]"] = set()
+        self._final_checkpoint: Optional[str] = None
+        self._instrument()
+
+    def _instrument(self) -> None:
+        reg = self.registry
+        self._conns_c = reg.counter(
+            "repro_gateway_connections_total",
+            help="connections accepted over the gateway's lifetime",
+        )
+        reg.gauge(
+            "repro_gateway_connections_open",
+            help="currently open client connections",
+            fn=lambda: float(self._n_open),
+        )
+        reg.gauge(
+            "repro_gateway_draining",
+            help="1 once a drain has started, 0 while serving",
+            fn=lambda: 0.0 if self._status == _STATUS_SERVING else 1.0,
+        )
+        self._requests_c = {
+            op: reg.counter(
+                "repro_gateway_requests_total",
+                help="requests handled, by operation",
+                labels={"op": op},
+            )
+            for op in OPS
+        }
+        self._errors_c: Dict[str, Any] = {}
+        self._shed_c = {
+            reason: reg.counter(
+                "repro_gateway_shed_total",
+                help="ingest requests refused by admission control",
+                labels={"reason": reason},
+            )
+            for reason in SHED_REASONS
+        }
+        self._request_h = reg.histogram(
+            "repro_gateway_request_seconds",
+            help="wall time from request decode to response write",
+        )
+
+    def _count_error(self, code: str) -> None:
+        counter = self._errors_c.get(code)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_gateway_errors_total",
+                help="error responses sent, by protocol error code",
+                labels={"code": code},
+            )
+            self._errors_c[code] = counter
+        counter.inc()
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def port(self) -> int:
+        """The bound port (the real one once started, even for port 0)."""
+        if self._server is None:
+            return self._requested_port
+        socks = self._server.sockets
+        if not socks:
+            return self._requested_port
+        return int(socks[0].getsockname()[1])
+
+    @property
+    def status(self) -> str:
+        """``serving`` → ``draining`` → ``drained``."""
+        return self._status
+
+    @property
+    def final_checkpoint(self) -> Optional[str]:
+        """Path of the drain-time checkpoint, once one was taken."""
+        return self._final_checkpoint
+
+    async def start(self) -> None:
+        """Bind the listener and spawn the batcher flush loop."""
+        if self._server is not None:
+            raise RuntimeError("gateway already started")
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=self.max_line_bytes,
+        )
+
+    async def serve_until_drained(self) -> None:
+        """Block until a drain completes (the normal CLI run mode)."""
+        if self._server is None:
+            raise RuntimeError("gateway not started")
+        await self._drained.wait()
+
+    async def stop(self) -> None:
+        """Hard stop: close the listener and connections without a flush.
+
+        Prefer the ``drain`` op (or :meth:`drain`) in production — this
+        exists for tests and error paths.  Events already admitted but
+        not flushed are *not* processed.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.cancel()
+        for writer in list(self._writers):
+            writer.close()
+        self._status = _STATUS_DRAINED
+        self._drained.set()
+
+    async def drain(self) -> Dict[str, Any]:
+        """Graceful shutdown; returns the drain summary.
+
+        Idempotent-ish: a second concurrent call waits for the first to
+        finish and returns the same summary shape.
+        """
+        if self._drain_started:
+            await self._drained.wait()
+            return self._drain_summary()
+        self._drain_started = True
+        self._status = _STATUS_DRAINING
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # everything admitted before this point flushes, in order
+        await self.batcher.drain_and_stop()
+        # let every already-resolved response hit its socket
+        pending = [t for t in self._response_tasks if not t.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        ckpt = self.fleet.checkpoint()
+        self._final_checkpoint = str(ckpt) if ckpt is not None else None
+        self._status = _STATUS_DRAINED
+        self._drained.set()
+        return self._drain_summary()
+
+    def _drain_summary(self) -> Dict[str, Any]:
+        return {
+            "status": self._status,
+            "events": int(self.fleet.n_samples),
+            "flushes": self.batcher.n_flushes,
+            "checkpoint": self._final_checkpoint,
+        }
+
+    # ----------------------------------------------------------- connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conns_c.inc()
+        self._n_open += 1
+        self._writers.add(writer)
+        transport = writer.transport
+        if transport is not None:
+            transport.set_write_buffer_limits(high=self.write_buffer_limit)
+        write_lock = asyncio.Lock()
+        inflight = 0
+
+        def _release() -> None:
+            nonlocal inflight
+            inflight -= 1
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # StreamReader.readline surfaces an over-limit line
+                    # as ValueError; framing is lost either way
+                    await self._write(
+                        writer, write_lock,
+                        error_response(
+                            None, ERR_TOO_LARGE,
+                            f"request line exceeds {self.max_line_bytes} bytes",
+                        ),
+                    )
+                    self._count_error(ERR_TOO_LARGE)
+                    break  # framing is lost; the connection is unrecoverable
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break
+                if len(line) > self.max_line_bytes:
+                    await self._write(
+                        writer, write_lock,
+                        error_response(
+                            None, ERR_TOO_LARGE,
+                            f"request line exceeds {self.max_line_bytes} bytes",
+                        ),
+                    )
+                    self._count_error(ERR_TOO_LARGE)
+                    break
+                if inflight >= self.max_inflight:
+                    self._shed_c["inflight"].inc()
+                    self._count_error(ERR_OVERLOADED)
+                    await self._write(
+                        writer, write_lock,
+                        error_response(
+                            None, ERR_OVERLOADED,
+                            f"more than {self.max_inflight} requests in "
+                            "flight on this connection",
+                        ),
+                    )
+                    continue
+                inflight += 1
+                done = await self._dispatch(line, writer, write_lock, _release)
+                if done:
+                    break
+        finally:
+            self._n_open -= 1
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _dispatch(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        release: Callable[[], None],
+    ) -> bool:
+        """Handle one framed request; returns True to close the connection."""
+        t0 = self._clock()
+        request_id: Any = None
+        try:
+            payload = decode_message(line)
+            request_id = payload.get("id")
+            op = payload.get("op")
+            if not isinstance(op, str) or op not in OPS:
+                raise ProtocolError(
+                    f"unknown op {op!r} (expected one of {', '.join(OPS)})",
+                    code=ERR_UNKNOWN_OP,
+                )
+        except ProtocolError as exc:
+            release()
+            self._count_error(exc.code)
+            await self._write(
+                writer, write_lock, error_response(request_id, exc.code, str(exc))
+            )
+            return False
+
+        with self.tracer.span("gateway.request", items=1):
+            if op == "ingest":
+                return await self._op_ingest(
+                    payload, request_id, writer, write_lock, release, t0
+                )
+            # count before building the response, so a `metrics` reply
+            # already includes its own request
+            self._requests_c[op].inc()
+            try:
+                if op == "digest":
+                    response = ok_response(request_id, digest=self.fleet.digest())
+                elif op == "metrics":
+                    response = ok_response(
+                        request_id, metrics=self.registry.render()
+                    )
+                elif op == "healthz":
+                    response = ok_response(
+                        request_id,
+                        status=self._status,
+                        events=int(self.fleet.n_samples),
+                        queue_depth=self.batcher.pending_events,
+                    )
+                else:  # drain
+                    response = await self._op_drain(payload, request_id)
+            except Exception as exc:
+                self._count_error(ERR_INTERNAL)
+                response = error_response(
+                    request_id, ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+            release()
+            await self._write(writer, write_lock, response)
+            self._request_h.observe(self._clock() - t0)
+            return op == "drain" and response.get("ok") is True
+
+    async def _op_ingest(
+        self,
+        payload: Dict[str, Any],
+        request_id: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        release: Callable[[], None],
+        t0: float,
+    ) -> bool:
+        self._requests_c["ingest"].inc()
+        if self._status != _STATUS_SERVING:
+            release()
+            self._shed_c["draining"].inc()
+            self._count_error(ERR_DRAINING)
+            await self._write(
+                writer, write_lock,
+                error_response(
+                    request_id, ERR_DRAINING,
+                    "gateway is draining; no new events accepted",
+                ),
+            )
+            return False
+        try:
+            events = events_from_wire(payload.get("events"))
+        except ProtocolError as exc:
+            release()
+            self._count_error(ERR_BAD_REQUEST)
+            await self._write(
+                writer, write_lock,
+                error_response(request_id, ERR_BAD_REQUEST, str(exc)),
+            )
+            return False
+        future = self.batcher.try_submit(events)
+        if future is None:
+            release()
+            self._shed_c["queue_full"].inc()
+            self._count_error(ERR_OVERLOADED)
+            await self._write(
+                writer, write_lock,
+                error_response(
+                    request_id, ERR_OVERLOADED,
+                    f"admission queue full "
+                    f"({self.batcher.max_queue_events} events)",
+                ),
+            )
+            return False
+
+        # respond asynchronously when the flush lands, so the reader can
+        # keep admitting pipelined requests (bounded by max_inflight)
+        async def _respond() -> None:
+            try:
+                result: FlushResult = await future
+                response = ok_response(
+                    request_id,
+                    events=len(events),
+                    accepted=result.accepted,
+                    quarantined=result.quarantined,
+                    flush={
+                        "seq": result.flush_seq,
+                        "events": result.events,
+                        "requests": result.requests,
+                    },
+                    alarms=[alarm_to_wire(a) for a in result.alarms],
+                )
+            except Exception as exc:
+                self._count_error(ERR_INTERNAL)
+                response = error_response(
+                    request_id, ERR_INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+            release()
+            await self._write(writer, write_lock, response)
+            self._request_h.observe(self._clock() - t0)
+
+        task = asyncio.get_running_loop().create_task(_respond())
+        self._response_tasks.add(task)
+        task.add_done_callback(self._response_tasks.discard)
+        return False
+
+    async def _op_drain(
+        self, payload: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        token = payload.get("token")
+        if (
+            self._admin_token is None
+            or not isinstance(token, str)
+            or not hmac.compare_digest(
+                token.encode("utf-8"), self._admin_token.encode("utf-8")
+            )
+        ):
+            self._count_error(ERR_UNAUTHORIZED)
+            return error_response(
+                request_id, ERR_UNAUTHORIZED,
+                "drain requires a valid admin token"
+                if self._admin_token is not None
+                else "drain is disabled (no admin token configured)",
+            )
+        summary = await self.drain()
+        return ok_response(request_id, **summary)
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        payload: Dict[str, Any],
+    ) -> None:
+        """Serialize one response onto the connection, respecting the
+        write-buffer high-water mark (slow clients stall only their own
+        responses)."""
+        data = encode_message(payload)
+        async with write_lock:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return

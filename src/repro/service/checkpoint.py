@@ -58,19 +58,52 @@ def load_checkpoint(path: PathLike) -> Tuple[dict, List[Any]]:
     return manifest, shards
 
 
+def _snapshot_candidates(directory: Path, name: str) -> List[Path]:
+    """Published snapshot directories sharing *name*'s prefix, newest first.
+
+    ``name`` is a ``<prefix>-<seq>`` checkpoint directory name (what the
+    ``LATEST`` pointer holds); siblings with the same prefix are the
+    fallback candidates when the pointed-at snapshot has been pruned.
+    """
+    prefix, dash, seq = name.rpartition("-")
+    if not dash or not seq.isdigit():
+        return []
+    pattern = re.compile(rf"^{re.escape(prefix)}-(\d+)$")
+    candidates: List[Tuple[int, Path]] = []
+    for entry in directory.iterdir():
+        m = pattern.match(entry.name)
+        if m and entry.is_dir():
+            candidates.append((int(m.group(1)), entry))
+    return [path for _, path in sorted(candidates, reverse=True)]
+
+
 def load_latest(directory: PathLike) -> Optional[Tuple[dict, List[Any]]]:
-    """Load the checkpoint ``LATEST`` points at; None if there is none."""
+    """Load the checkpoint ``LATEST`` points at; None if there is none.
+
+    A ``LATEST`` pointer can legitimately outlive its target — a crash
+    between pruning and repointing, an operator ``rm``, a partially
+    synced replica.  Losing *every* checkpoint to a stale one-line file
+    would defeat the rotator's whole purpose, so when the pointed-at
+    snapshot is missing or unreadable this falls back to the newest
+    sibling snapshot that still loads (newest first), and returns None
+    only when no snapshot is recoverable at all.
+    """
     directory = Path(directory)
     pointer = directory / LATEST_NAME
     if not pointer.exists():
         return None
     name = pointer.read_text().strip()
     target = directory / name
-    if not target.is_dir():
-        raise FileNotFoundError(
-            f"LATEST names {name!r} but {target} does not exist"
-        )
-    return load_checkpoint(target)
+    fallbacks = [p for p in _snapshot_candidates(directory, name) if p != target]
+    for candidate in [target, *fallbacks]:
+        if not candidate.is_dir():
+            continue
+        try:
+            return load_checkpoint(candidate)
+        except (OSError, ValueError, KeyError):
+            # pruned mid-read or partially written: try the next-newest
+            continue
+    return None
 
 
 class CheckpointRotator:

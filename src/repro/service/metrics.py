@@ -43,16 +43,31 @@ def _label_key(labels: Optional[LabelMap]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and line feed are the three characters the
+    format reserves inside quoted label values — in that order, so an
+    escape sequence is never re-escaped.  Anything else (including a
+    gateway client's arbitrary disk-id strings) passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` comment (backslash and line feed only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: _LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
     pairs = list(key)
     if extra is not None:
         pairs.append(extra)
     if not pairs:
         return ""
-    body = ",".join(
-        f'{k}="{v.replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
-        for k, v in pairs
-    )
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -347,7 +362,7 @@ class MetricsRegistry:
         lines: List[str] = []
         for name in order:
             if self._helps.get(name):
-                lines.append(f"# HELP {name} {self._helps[name]}")
+                lines.append(f"# HELP {name} {_escape_help(self._helps[name])}")
             lines.append(f"# TYPE {name} {self._kinds[name]}")
             for instrument in by_name.get(name, []):
                 lines.extend(instrument.sample_lines())

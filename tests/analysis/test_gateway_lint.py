@@ -1,0 +1,92 @@
+"""Lint discipline of the gateway subsystem.
+
+The gateway is a *network* serving layer — the part of the codebase
+most tempted to reach for wall clocks and free-form metric labels.
+These tests pin the two disciplines the subsystem was built under:
+
+* RPR102: ``repro.gateway`` earned **no** wall-clock allowlist entry —
+  every time source is an injectable clock/sleep held by reference;
+* RPR303: every ``repro_gateway_*`` metric registration passes label
+  discipline (``repro_`` prefix, literal labels, bounded cardinality).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.analysis.rules.determinism import CLOCK_ALLOWLIST
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GATEWAY_DIR = REPO_ROOT / "src" / "repro" / "gateway"
+
+
+def gateway_findings(rules=None):
+    report = lint_paths([str(GATEWAY_DIR)], rules=rules)
+    return report
+
+
+class TestNoNewClockAllowlist:
+    def test_allowlist_has_no_gateway_entry(self):
+        assert not any("gateway" in glob for glob in CLOCK_ALLOWLIST), (
+            "repro.gateway must keep using injectable clocks, not an "
+            "RPR102 allowlist entry"
+        )
+
+    def test_gateway_sources_are_rpr102_clean(self):
+        report = gateway_findings()
+        clock_hits = [
+            f for f in report.findings + report.suppressed
+            if f.rule_id == "RPR102"
+        ]
+        assert clock_hits == [], [
+            f"{f.path}:{f.line} {f.message}" for f in clock_hits
+        ]
+
+
+class TestMetricLabelDiscipline:
+    def test_gateway_sources_are_rpr303_clean(self):
+        report = gateway_findings()
+        label_hits = [
+            f for f in report.findings + report.suppressed
+            if f.rule_id == "RPR303"
+        ]
+        assert label_hits == [], [
+            f"{f.path}:{f.line} {f.message}" for f in label_hits
+        ]
+
+    def test_gateway_is_clean_under_every_rule(self):
+        report = gateway_findings()
+        assert report.findings == [], [
+            f"{f.path}:{f.line} {f.rule_id} {f.message}"
+            for f in report.findings
+        ]
+        assert report.files_scanned == len(
+            list(GATEWAY_DIR.glob("*.py"))
+        )
+
+
+class TestRegisteredNames:
+    def test_every_gateway_metric_is_prefixed(self):
+        """Belt and braces beyond the AST rule: the instruments a live
+        server actually registers all carry the repro_gateway_ prefix."""
+        import asyncio
+
+        from repro.gateway import GatewayServer
+        from repro.service import FleetMonitor
+        from repro.service.metrics import MetricsRegistry
+
+        fleet = FleetMonitor.build(
+            4, n_shards=1, seed=0,
+            forest_kwargs={"n_trees": 2, "n_tests": 2},
+            registry=MetricsRegistry(),
+        )
+        before = {name for name, _ in fleet.registry._instruments}
+        server = GatewayServer(fleet)
+        gateway_names = {
+            name for name, _ in fleet.registry._instruments
+        } - before
+        assert gateway_names, "the server must register instruments"
+        assert all(n.startswith("repro_gateway_") for n in gateway_names)
+        # constructed but never started: nothing to clean up
+        assert server.status == "serving"

@@ -1,0 +1,94 @@
+"""Shared harness for the gateway suite: a live server on its own loop.
+
+pytest-asyncio is not a dependency of this repo, so the suite runs each
+:class:`~repro.gateway.server.GatewayServer` on a private event loop in
+a daemon thread and drives it over real loopback TCP with the blocking
+:class:`~repro.gateway.client.GatewayClient` — the same shape as a
+collector process in production.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.gateway import GatewayServer
+from repro.service import FleetMonitor
+from tests.service.conftest import FOREST_KW
+
+
+def fake_clock() -> float:
+    """Frozen monotonic clock: zeroes every latency-derived digest field
+    so gateway and direct-ingest digests can be compared for equality."""
+    return 0.0
+
+
+def build_fleet(n_features=4, *, n_shards=2, seed=7, **fleet_kwargs):
+    """A small sharded fleet with the suite-standard forest config."""
+    fleet_kwargs.setdefault("clock", fake_clock)
+    fleet_kwargs.setdefault("strict", False)
+    return FleetMonitor.build(
+        n_features,
+        n_shards=n_shards,
+        seed=seed,
+        forest_kwargs=FOREST_KW,
+        **fleet_kwargs,
+    )
+
+
+class GatewayHarness:
+    """Runs coroutines (and one GatewayServer) on a background event loop."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, name="gateway-test-loop", daemon=True
+        )
+        self._thread.start()
+        self.server = None
+
+    def run(self, coro, timeout=30.0):
+        """Execute *coro* on the harness loop; block for its result."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def call(self, fn) -> None:
+        """Schedule a plain callable on the loop thread (thread-safe —
+        the way to poke asyncio primitives like Event from the test
+        thread)."""
+        self.loop.call_soon_threadsafe(fn)
+
+    def start(self, server: GatewayServer) -> int:
+        """Start *server* on the harness loop; returns the bound port."""
+        self.server = server
+        self.run(server.start())
+        return server.port
+
+    def close(self) -> None:
+        if self.server is not None and self.server.status != "drained":
+            self.run(self.server.stop())
+        # mirror asyncio.run's shutdown: cancel and await whatever is
+        # still pending (e.g. connection handlers blocked in readline),
+        # so no coroutine is garbage-collected against a closed loop
+        self.run(self._cancel_pending())
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=30)
+        self.loop.close()
+
+    @staticmethod
+    async def _cancel_pending() -> None:
+        tasks = [
+            t for t in asyncio.all_tasks()
+            if t is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+
+@pytest.fixture
+def harness():
+    h = GatewayHarness()
+    yield h
+    h.close()

@@ -1,0 +1,224 @@
+"""MicroBatcher unit tests: flush policy, bounds, drain, fault isolation.
+
+These run the batcher directly under ``asyncio.run`` (no TCP) so each
+property is tested at the smallest surface that exhibits it.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gateway import FlushResult, MicroBatcher
+from repro.service import DiskEvent
+from repro.service.metrics import MetricsRegistry
+from tests.gateway.conftest import build_fleet, fake_clock
+from tests.service.conftest import make_events
+
+
+def make_batcher(fleet=None, **kw):
+    fleet = fleet if fleet is not None else build_fleet()
+    kw.setdefault("registry", MetricsRegistry())
+    kw.setdefault("clock", fake_clock)
+    return fleet, MicroBatcher(fleet, **kw)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError, match="max_batch_events"):
+            make_batcher(max_batch_events=0)
+
+    def test_rejects_queue_smaller_than_batch(self):
+        with pytest.raises(ValueError, match="max_queue_events"):
+            make_batcher(max_batch_events=64, max_queue_events=8)
+
+
+class TestFlushPolicy:
+    def test_lone_request_flushes_on_idle(self):
+        async def go():
+            fleet, batcher = make_batcher()
+            events = make_events(n_days=5)
+            batcher.start()
+            future = batcher.try_submit(events)
+            assert future is not None
+            result = await asyncio.wait_for(future, 10)
+            assert isinstance(result, FlushResult)
+            assert result.requests == 1
+            assert result.events == len(events)
+            assert result.accepted == len(events)
+            assert result.quarantined == 0
+            assert fleet.n_samples == len(events)
+            assert batcher.pending_events == 0
+
+        asyncio.run(go())
+
+    def test_queued_requests_coalesce_into_one_flush(self):
+        async def go():
+            fleet, batcher = make_batcher()
+            events = make_events(n_days=6)
+            thirds = [events[0::3], events[1::3], events[2::3]]
+            # everything queued before the loop starts coalesces into a
+            # single flush (deterministically — no timers involved)
+            futures = [batcher.try_submit(t) for t in thirds]
+            batcher.start()
+            results = await asyncio.wait_for(asyncio.gather(*futures), 10)
+            assert all(r is results[0] for r in results)  # shared outcome
+            assert results[0].requests == 3
+            assert results[0].events == len(events)
+            assert results[0].flush_seq == 0
+            assert batcher.n_flushes == 1
+
+        asyncio.run(go())
+
+    def test_batch_cap_splits_flushes(self):
+        async def go():
+            fleet, batcher = make_batcher(
+                max_batch_events=2, max_queue_events=100
+            )
+            events = make_events(n_days=3)[:3]
+            futures = [batcher.try_submit([ev]) for ev in events]
+            batcher.start()
+            results = await asyncio.wait_for(asyncio.gather(*futures), 10)
+            # 3 single-event requests with a 2-event cap: [2, 1]
+            assert [r.flush_seq for r in results] == [0, 0, 1]
+            assert results[0].requests == 2
+            assert results[2].requests == 1
+            assert batcher.n_flushes == 2
+
+        asyncio.run(go())
+
+    def test_events_reach_fleet_in_admission_order(self):
+        async def go():
+            fleet, batcher = make_batcher()
+            direct_fleet = build_fleet()
+            events = make_events(n_days=20)
+            chunks = [events[i:i + 7] for i in range(0, len(events), 7)]
+            futures = [batcher.try_submit(c) for c in chunks]
+            batcher.start()
+            await asyncio.wait_for(asyncio.gather(*futures), 10)
+            direct_fleet.ingest(events)
+            assert fleet.n_samples == direct_fleet.n_samples
+            assert fleet.digest() == direct_fleet.digest()
+
+        asyncio.run(go())
+
+
+class TestAdmission:
+    def test_refuses_past_queue_bound(self):
+        async def go():
+            fleet, batcher = make_batcher(
+                max_batch_events=4, max_queue_events=4
+            )
+            events = make_events(n_days=2)
+            # not started: nothing drains the queue
+            assert batcher.try_submit(events[:3]) is not None
+            assert batcher.pending_events == 3
+            assert batcher.try_submit(events[3:5]) is None  # 3+2 > 4
+            assert batcher.try_submit([events[3]]) is not None  # 3+1 == 4
+            assert batcher.pending_events == 4
+
+        asyncio.run(go())
+
+    def test_refuses_after_stop(self):
+        async def go():
+            fleet, batcher = make_batcher()
+            batcher.start()
+            await batcher.drain_and_stop()
+            assert batcher.try_submit(make_events(n_days=1)) is None
+
+        asyncio.run(go())
+
+
+class TestDrain:
+    def test_drain_flushes_everything_admitted(self):
+        async def go():
+            fleet, batcher = make_batcher()
+            events = make_events(n_days=10)
+            halves = [events[: len(events) // 2], events[len(events) // 2:]]
+            futures = [batcher.try_submit(h) for h in halves]
+            batcher.start()
+            await asyncio.wait_for(batcher.drain_and_stop(), 10)
+            # both futures resolved by the time drain returns
+            assert all(f.done() for f in futures)
+            assert fleet.n_samples == len(events)
+            assert batcher.pending_events == 0
+
+        asyncio.run(go())
+
+
+class TestFaultIsolation:
+    def test_strict_flush_error_propagates_and_loop_survives(self):
+        async def go():
+            fleet, batcher = make_batcher(build_fleet(strict=True))
+            import numpy as np
+
+            bad = [DiskEvent(0, np.zeros(99))]  # wrong dimension
+            good = make_events(n_days=3)
+            batcher.start()
+            bad_future = batcher.try_submit(bad)
+            with pytest.raises(ValueError):
+                await asyncio.wait_for(bad_future, 10)
+            # the flush loop must have survived the strict failure
+            ok_future = batcher.try_submit(good)
+            result = await asyncio.wait_for(ok_future, 10)
+            assert result.accepted == len(good)
+
+        asyncio.run(go())
+
+    def test_tolerant_fleet_counts_quarantine(self):
+        async def go():
+            fleet, batcher = make_batcher()
+            import numpy as np
+
+            events = make_events(n_days=3) + [DiskEvent(0, np.zeros(99))]
+            batcher.start()
+            result = await asyncio.wait_for(batcher.try_submit(events), 10)
+            assert result.accepted == len(events) - 1
+            assert result.quarantined == 1
+            reg = batcher.registry
+            assert reg.value("repro_gateway_quarantined_events_total") == 1.0
+            assert reg.value("repro_gateway_ingested_events_total") == (
+                len(events) - 1
+            )
+
+        asyncio.run(go())
+
+
+class TestMetrics:
+    def test_flush_instruments(self):
+        async def go():
+            fleet, batcher = make_batcher()
+            events = make_events(n_days=4)
+            batcher.start()
+            await asyncio.wait_for(batcher.try_submit(events), 10)
+            reg = batcher.registry
+            assert reg.value("repro_gateway_flushes_total") == 1.0
+            assert reg.value("repro_gateway_queue_depth") == 0.0
+            hist = reg.get("repro_gateway_batch_events")
+            assert hist.count == 1 and hist.sum == float(len(events))
+
+        asyncio.run(go())
+
+
+class TestFlushGate:
+    def test_gate_holds_flushes_while_admission_continues(self):
+        async def go():
+            gate = asyncio.Event()  # starts cleared: flushes held
+            fleet, batcher = make_batcher(
+                max_batch_events=2, max_queue_events=4, flush_gate=gate
+            )
+            events = make_events(n_days=2)
+            batcher.start()
+            f1 = batcher.try_submit(events[:2])
+            await asyncio.sleep(0)  # let the loop pick the batch up
+            f2 = batcher.try_submit(events[2:4])
+            assert f1 is not None and f2 is not None
+            # held: nothing flushed yet, queue accounting still bounded
+            assert not f1.done()
+            assert batcher.pending_events == 4
+            assert batcher.try_submit([events[4]]) is None  # over the bound
+            gate.set()
+            await asyncio.wait_for(asyncio.gather(f1, f2), 10)
+            assert fleet.n_samples == 4
+            assert batcher.pending_events == 0
+
+        asyncio.run(go())

@@ -1,0 +1,158 @@
+"""Wire-protocol unit tests: framing, versioning, and float exactness."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import Alarm
+from repro.gateway import (
+    ERROR_CODES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    alarm_to_wire,
+    decode_message,
+    encode_message,
+    event_from_wire,
+    event_to_wire,
+    events_from_wire,
+)
+from repro.gateway.protocol import error_response, ok_response
+from repro.service.alarms import AlarmAction
+from repro.service.fleet import DiskEvent, EmittedAlarm
+
+
+class TestFraming:
+    def test_encode_is_one_compact_utf8_line(self):
+        data = encode_message({"v": 1, "op": "healthz", "id": 3})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert b" " not in data  # compact separators
+
+    def test_round_trip(self):
+        payload = {"v": PROTOCOL_VERSION, "op": "ingest", "id": 42,
+                   "events": [], "note": "héllo"}
+        assert decode_message(encode_message(payload)) == payload
+
+    def test_rejects_junk_bytes(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json at all\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_message(b"[1, 2, 3]\n")
+
+    def test_rejects_missing_version(self):
+        with pytest.raises(ProtocolError, match="protocol version"):
+            decode_message(b'{"op": "healthz"}\n')
+
+    def test_rejects_wrong_version(self):
+        bad = encode_message({"v": PROTOCOL_VERSION + 1, "op": "healthz"})
+        with pytest.raises(ProtocolError, match="protocol version"):
+            decode_message(bad)
+
+
+class TestEvents:
+    def test_round_trip_preserves_every_float_bit(self):
+        # adversarial doubles: repr shortest-round-trip must survive JSON
+        x = np.array([0.1, 1 / 3, math.pi, 5e-324, np.nextafter(1.0, 2.0)])
+        ev = DiskEvent("disk-07", x, failed=True, tag={"day": 12})
+        wire = json.loads(json.dumps(event_to_wire(ev)))
+        back = event_from_wire(wire)
+        assert back.disk_id == ev.disk_id
+        assert back.failed is True
+        assert back.tag == {"day": 12}
+        assert back.x.dtype == np.float64
+        assert np.array_equal(back.x, x)  # bit-identical
+
+    def test_null_x_round_trips(self):
+        ev = DiskEvent(3, None, failed=True)
+        back = event_from_wire(json.loads(json.dumps(event_to_wire(ev))))
+        assert back.x is None and back.failed is True
+
+    def test_defaults(self):
+        ev = event_from_wire({"disk_id": 5})
+        assert ev.disk_id == 5 and ev.x is None
+        assert ev.failed is False and ev.tag is None
+
+    @pytest.mark.parametrize("bad", [
+        "a string", 17, None, ["disk_id", 1],
+    ])
+    def test_event_must_be_object(self, bad):
+        with pytest.raises(ProtocolError):
+            event_from_wire(bad)
+
+    def test_missing_disk_id(self):
+        with pytest.raises(ProtocolError, match="disk_id"):
+            event_from_wire({"x": [1.0]})
+
+    @pytest.mark.parametrize("bad_id", [None, 1.5, True, [1], {}])
+    def test_bad_disk_id_types(self, bad_id):
+        with pytest.raises(ProtocolError, match="disk_id"):
+            event_from_wire({"disk_id": bad_id})
+
+    @pytest.mark.parametrize("bad_x", ["vec", 3.0, {"0": 1.0}, [[1.0], "a"]])
+    def test_bad_x(self, bad_x):
+        with pytest.raises(ProtocolError, match="x"):
+            event_from_wire({"disk_id": 1, "x": bad_x})
+
+    def test_bad_failed(self):
+        with pytest.raises(ProtocolError, match="failed"):
+            event_from_wire({"disk_id": 1, "failed": "yes"})
+
+    def test_batch_errors_carry_position(self):
+        with pytest.raises(ProtocolError, match=r"events\[1\]"):
+            events_from_wire([{"disk_id": 1}, {"x": [1.0]}])
+
+    def test_batch_must_be_list(self):
+        with pytest.raises(ProtocolError, match="list"):
+            events_from_wire({"disk_id": 1})
+
+    def test_semantic_checks_stay_with_the_fleet(self):
+        # wrong dimension / non-finite values are *structurally* valid:
+        # the fleet's admission (not the wire layer) must judge them, so
+        # gateway and direct ingest quarantine identically
+        assert event_from_wire({"disk_id": 1, "x": [1.0] * 99}).x.shape == (99,)
+        nan_ev = event_from_wire(
+            json.loads(json.dumps({"disk_id": 1, "x": [float("nan")]}))
+        )
+        assert math.isnan(nan_ev.x[0])
+
+
+class TestAlarmsAndEnvelopes:
+    def test_alarm_to_wire(self):
+        emitted = EmittedAlarm(
+            alarm=Alarm(disk_id="d9", score=0.875, tag=4),
+            action=AlarmAction.ESCALATED,
+            shard=1,
+            seq=203,
+        )
+        wire = alarm_to_wire(emitted)
+        assert wire == {
+            "disk_id": "d9", "score": 0.875, "tag": 4,
+            "action": "escalated", "shard": 1, "seq": 203,
+        }
+        assert json.loads(json.dumps(wire)) == wire
+
+    def test_ok_response_echoes_id(self):
+        response = ok_response(17, events=3)
+        assert response["ok"] is True and response["id"] == 17
+        assert response["v"] == PROTOCOL_VERSION and response["events"] == 3
+
+    def test_error_response_shape(self):
+        response = error_response(None, "overloaded", "queue full")
+        assert response["ok"] is False and response["id"] is None
+        assert response["error"] == {
+            "code": "overloaded", "message": "queue full",
+        }
+
+    def test_error_response_rejects_unknown_code(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            error_response(1, "not_a_code", "boom")
+
+    def test_closed_sets(self):
+        assert len(set(OPS)) == len(OPS)
+        assert len(set(ERROR_CODES)) == len(ERROR_CODES)
+        assert "ingest" in OPS and "drain" in OPS

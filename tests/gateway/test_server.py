@@ -1,0 +1,407 @@
+"""GatewayServer integration tests over real loopback TCP.
+
+Includes the headline determinism contract: a stream ingested through a
+live gateway connection must produce alarms, digests, and forests
+bit-identical to a direct ``FleetMonitor.ingest`` of the same batches.
+"""
+
+import asyncio
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.gateway import (
+    GatewayClient,
+    GatewayError,
+    GatewayServer,
+    PROTOCOL_VERSION,
+    alarm_to_wire,
+    encode_message,
+)
+from repro.service import DiskEvent
+from repro.service.checkpoint import CheckpointRotator, load_latest
+from tests.gateway.conftest import build_fleet, fake_clock
+from tests.service.conftest import make_events, same_forest
+
+
+class RawConn:
+    """A bare pipelining socket for protocol-level and overload tests
+    (GatewayClient is lockstep by design, so it cannot pipeline)."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.rfile = self.sock.makefile("rb")
+
+    def send(self, payload):
+        self.sock.sendall(encode_message(payload))
+
+    def send_raw(self, data):
+        self.sock.sendall(data)
+
+    def recv(self):
+        line = self.rfile.readline()
+        return json.loads(line) if line else None
+
+    def close(self):
+        self.rfile.close()
+        self.sock.close()
+
+
+def wire_event(disk_id=0, n=1):
+    return {"disk_id": disk_id, "x": [0.5] * 4, "failed": False, "tag": n}
+
+
+class TestDeterminism:
+    def test_single_connection_bit_identical_to_direct_ingest(self, harness):
+        events = make_events(
+            seed=5, n_disks=12, n_days=60, fail={0: 30, 3: 42, 7: 55}
+        )
+        batches = [events[i:i + 17] for i in range(0, len(events), 17)]
+
+        direct = build_fleet(seed=11)
+        expected = [direct.ingest(list(b)) for b in batches]
+        assert any(expected), "stream must actually emit alarms"
+
+        fleet = build_fleet(seed=11)
+        server = GatewayServer(fleet, clock=fake_clock)
+        port = harness.start(server)
+        with GatewayClient("127.0.0.1", port) as client:
+            for batch, exp in zip(batches, expected):
+                result = client.ingest(batch)
+                assert result.ok and not result.shed
+                assert result.accepted == len(batch)
+                assert result.quarantined == 0
+                # wire alarms survived a JSON round trip; bit equality
+                # of scores is the whole point
+                assert result.alarms == [alarm_to_wire(a) for a in exp]
+            assert client.digest() == direct.digest()
+        for served, ref in zip(fleet.shards, direct.shards):
+            assert same_forest(served.forest, ref.forest)
+
+    def test_cross_connection_order_is_admission_order(self, harness):
+        events = make_events(seed=9, n_days=30)
+        batches = [events[i:i + 11] for i in range(0, len(events), 11)]
+        direct = build_fleet(seed=13)
+        for b in batches:
+            direct.ingest(list(b))
+
+        fleet = build_fleet(seed=13)
+        server = GatewayServer(fleet, clock=fake_clock)
+        port = harness.start(server)
+        # two connections, strictly alternating lockstep requests: the
+        # documented semantics say admission order == fleet order, so
+        # this interleaving must equal the direct sequential ingest
+        with GatewayClient("127.0.0.1", port) as a, \
+                GatewayClient("127.0.0.1", port) as b:
+            for i, batch in enumerate(batches):
+                result = (a if i % 2 == 0 else b).ingest(batch)
+                assert result.ok
+        assert fleet.digest() == direct.digest()
+        for served, ref in zip(fleet.shards, direct.shards):
+            assert same_forest(served.forest, ref.forest)
+
+    def test_quarantine_parity_with_direct_ingest(self, harness):
+        good = make_events(seed=2, n_days=8)
+        bad = [
+            DiskEvent(0, np.zeros(99), tag="dim"),       # wrong dimension
+            DiskEvent(1, np.array([np.nan] * 4), tag="nan"),  # non-finite
+        ]
+        stream = good + bad
+        direct = build_fleet(seed=3)
+        direct.ingest(list(stream))
+
+        fleet = build_fleet(seed=3)
+        server = GatewayServer(fleet, clock=fake_clock)
+        port = harness.start(server)
+        with GatewayClient("127.0.0.1", port) as client:
+            result = client.ingest(stream)
+            assert result.accepted == len(good)
+            assert result.quarantined == len(bad)
+            assert client.digest() == direct.digest()
+        assert (
+            fleet.dead_letters.reason_counts
+            == direct.dead_letters.reason_counts
+        )
+
+
+class TestObserverOps:
+    def test_healthz_digest_metrics(self, harness):
+        fleet = build_fleet()
+        server = GatewayServer(fleet, clock=fake_clock)
+        port = harness.start(server)
+        events = make_events(n_days=6)
+        with GatewayClient("127.0.0.1", port) as client:
+            client.ingest(events)
+            health = client.healthz()
+            assert health["status"] == "serving"
+            assert health["events"] == len(events)
+            assert health["queue_depth"] == 0
+            assert client.digest() == fleet.digest()
+            text = client.metrics()
+        # gateway and fleet instruments render in one exposition
+        assert 'repro_gateway_requests_total{op="ingest"} 1' in text
+        assert 'repro_gateway_requests_total{op="metrics"} 1' in text
+        assert "repro_gateway_queue_depth 0" in text
+        assert "repro_fleet" in text
+        async def connection_closed():
+            # the client's close races the server noticing EOF
+            while server.registry.value("repro_gateway_connections_open"):
+                await asyncio.sleep(0)
+
+        harness.run(connection_closed())
+        reg = server.registry
+        assert reg.value("repro_gateway_connections_total") == 1.0
+        assert reg.value("repro_gateway_connections_open") == 0.0
+        assert reg.value("repro_gateway_ingested_events_total") == float(
+            len(events)
+        )
+
+
+class TestProtocolErrors:
+    def test_bad_requests_keep_the_connection_alive(self, harness):
+        server = GatewayServer(build_fleet(), clock=fake_clock)
+        port = harness.start(server)
+        conn = RawConn(port)
+        try:
+            conn.send({"v": PROTOCOL_VERSION, "op": "frobnicate", "id": 1})
+            response = conn.recv()
+            assert response["ok"] is False and response["id"] == 1
+            assert response["error"]["code"] == "unknown_op"
+
+            conn.send({"v": 99, "op": "healthz", "id": 2})
+            assert conn.recv()["error"]["code"] == "bad_request"
+
+            conn.send_raw(b"utter garbage\n")
+            assert conn.recv()["error"]["code"] == "bad_request"
+
+            conn.send({
+                "v": PROTOCOL_VERSION, "op": "ingest", "id": 3,
+                "events": [{"x": [1.0]}],  # missing disk_id
+            })
+            response = conn.recv()
+            assert response["id"] == 3
+            assert response["error"]["code"] == "bad_request"
+
+            # after all that, the connection still serves
+            conn.send({"v": PROTOCOL_VERSION, "op": "healthz", "id": 4})
+            assert conn.recv()["ok"] is True
+        finally:
+            conn.close()
+        reg = server.registry
+        assert reg.value(
+            "repro_gateway_errors_total", {"code": "bad_request"}
+        ) == 3.0
+
+    def test_bad_ingest_raises_through_the_client(self, harness):
+        server = GatewayServer(build_fleet(), clock=fake_clock)
+        port = harness.start(server)
+        with GatewayClient("127.0.0.1", port) as client:
+            with pytest.raises(GatewayError) as excinfo:
+                client.ingest([{"disk_id": None}])
+            assert excinfo.value.code == "bad_request"
+
+    def test_oversized_line_answers_then_closes(self, harness):
+        server = GatewayServer(
+            build_fleet(), clock=fake_clock, max_line_bytes=1024
+        )
+        port = harness.start(server)
+        conn = RawConn(port)
+        try:
+            conn.send({
+                "v": PROTOCOL_VERSION, "op": "ingest", "id": 1,
+                "events": [wire_event(n=i) for i in range(200)],
+            })
+            response = conn.recv()
+            assert response["error"]["code"] == "too_large"
+            assert conn.recv() is None  # framing lost: server closed
+        finally:
+            conn.close()
+
+
+class TestLoadShedding:
+    def test_full_queue_sheds_overloaded(self, harness):
+        gate = asyncio.Event()  # cleared: flushes held deterministically
+        server = GatewayServer(
+            build_fleet(),
+            clock=fake_clock,
+            max_batch_events=4,
+            max_queue_events=4,
+            flush_gate=gate,
+        )
+        port = harness.start(server)
+        conn = RawConn(port)
+        try:
+            # pipeline 5 single-event ingests; the bound admits 4
+            for i in range(1, 6):
+                conn.send({
+                    "v": PROTOCOL_VERSION, "op": "ingest", "id": i,
+                    "events": [wire_event(disk_id=i)],
+                })
+            # the shed response arrives first — admitted ones are held
+            shed = conn.recv()
+            assert shed["id"] == 5
+            assert shed["ok"] is False
+            assert shed["error"]["code"] == "overloaded"
+            harness.call(gate.set)  # release the flush loop
+            got = {}
+            for _ in range(4):
+                response = conn.recv()
+                got[response["id"]] = response
+            assert sorted(got) == [1, 2, 3, 4]
+            assert all(r["ok"] for r in got.values())
+        finally:
+            conn.close()
+        reg = server.registry
+        assert reg.value(
+            "repro_gateway_shed_total", {"reason": "queue_full"}
+        ) == 1.0
+        assert reg.value(
+            "repro_gateway_errors_total", {"code": "overloaded"}
+        ) == 1.0
+        # shed request's event was dropped, admitted ones were ingested
+        assert server.fleet.n_samples == 4
+
+    def test_inflight_cap_sheds_per_connection(self, harness):
+        gate = asyncio.Event()
+        server = GatewayServer(
+            build_fleet(),
+            clock=fake_clock,
+            max_inflight=2,
+            max_batch_events=100,
+            max_queue_events=100,
+            flush_gate=gate,
+        )
+        port = harness.start(server)
+        conn = RawConn(port)
+        try:
+            for i in range(1, 4):
+                conn.send({
+                    "v": PROTOCOL_VERSION, "op": "ingest", "id": i,
+                    "events": [wire_event(disk_id=i)],
+                })
+            shed = conn.recv()  # third request trips the in-flight cap
+            assert shed["ok"] is False
+            assert shed["error"]["code"] == "overloaded"
+            assert "in flight" in shed["error"]["message"]
+            harness.call(gate.set)
+            assert {conn.recv()["id"], conn.recv()["id"]} == {1, 2}
+        finally:
+            conn.close()
+        assert server.registry.value(
+            "repro_gateway_shed_total", {"reason": "inflight"}
+        ) == 1.0
+
+
+class TestDrain:
+    def test_drain_flushes_checkpoints_and_rejects_new_work(
+        self, harness, tmp_path
+    ):
+        rotator = CheckpointRotator(
+            tmp_path, every_samples=10 ** 9, retention=2
+        )
+        fleet = build_fleet(rotator=rotator)
+        server = GatewayServer(fleet, admin_token="sekrit", clock=fake_clock)
+        port = harness.start(server)
+        events = make_events(n_days=10)
+
+        survivor = GatewayClient("127.0.0.1", port)
+        admin = GatewayClient("127.0.0.1", port)
+        try:
+            assert survivor.ingest(events).accepted == len(events)
+
+            with pytest.raises(GatewayError) as excinfo:
+                admin.drain("wrong-token")
+            assert excinfo.value.code == "unauthorized"
+            assert server.status == "serving"
+
+            summary = admin.drain("sekrit")
+            assert summary["status"] == "drained"
+            assert summary["events"] == len(events)
+            assert summary["flushes"] >= 1
+            assert summary["checkpoint"] is not None
+
+            # the draining connection is closed after a successful drain
+            with pytest.raises(GatewayError):
+                admin.healthz()
+
+            # open connections survive, but new ingests are shed
+            shed = survivor.ingest(events[:3])
+            assert shed.shed and shed.shed_reason == "draining"
+            assert survivor.healthz()["status"] == "drained"
+
+            # a second drain over a live connection is idempotent
+            assert survivor.drain("sekrit") == summary
+
+            # the listener is closed: no new connections
+            with pytest.raises(GatewayError):
+                GatewayClient("127.0.0.1", port)
+        finally:
+            survivor.close()
+            admin.close()
+
+        assert server.registry.value(
+            "repro_gateway_shed_total", {"reason": "draining"}
+        ) == 1.0
+        assert server.final_checkpoint == summary["checkpoint"]
+
+        # the final checkpoint must restore bit-identically
+        loaded = load_latest(tmp_path)
+        assert loaded is not None
+        manifest, shards = loaded
+        assert manifest["n_samples"] == len(events)
+        for restored, live in zip(shards, fleet.shards):
+            assert same_forest(restored.forest, live.forest)
+
+    def test_drain_flushes_events_admitted_before_it(self, harness):
+        gate = asyncio.Event()
+        fleet = build_fleet()
+        server = GatewayServer(
+            fleet,
+            admin_token="t",
+            clock=fake_clock,
+            max_batch_events=100,
+            max_queue_events=100,
+            flush_gate=gate,
+        )
+        port = harness.start(server)
+        conn = RawConn(port)
+        admin = None
+        try:
+            # admit 3 requests that cannot flush yet
+            for i in range(1, 4):
+                conn.send({
+                    "v": PROTOCOL_VERSION, "op": "ingest", "id": i,
+                    "events": [wire_event(disk_id=i)],
+                })
+            admin = GatewayClient("127.0.0.1", port, timeout=30)
+            # wait (via network round trips, no clocks) until all three
+            # requests are admitted, so the drain deterministically
+            # happens *after* their admission
+            for _ in range(10_000):
+                if admin.healthz()["queue_depth"] == 3:
+                    break
+            else:
+                pytest.fail("pipelined ingests were never admitted")
+            harness.call(gate.set)
+            summary = admin.drain("t")
+            # every event admitted before the drain was flushed first
+            assert summary["events"] == 3
+            assert fleet.n_samples == 3
+            got = [conn.recv() for _ in range(3)]
+            assert all(r["ok"] for r in got)
+        finally:
+            conn.close()
+            if admin is not None:
+                admin.close()
+
+    def test_drain_disabled_without_admin_token(self, harness):
+        server = GatewayServer(build_fleet(), clock=fake_clock)
+        port = harness.start(server)
+        with GatewayClient("127.0.0.1", port) as client:
+            with pytest.raises(GatewayError) as excinfo:
+                client.drain("anything")
+            assert excinfo.value.code == "unauthorized"
+        assert server.status == "serving"

@@ -151,3 +151,50 @@ class TestResume:
         assert rot2.samples_since_rotate(fleet.n_samples) == 0
         second = rot2.rotate(fleet)
         assert second.name > first.name  # sequence numbers keep increasing
+
+
+class TestStaleLatestPointer:
+    """A ``LATEST`` pointer can outlive its target (crash between prune
+    and repoint, operator ``rm``, partial replica sync); recovery must
+    fall back to the newest surviving snapshot instead of refusing."""
+
+    def _two_checkpoints(self, tmp_path, events):
+        rot = CheckpointRotator(tmp_path, every_samples=10**9, retention=3)
+        fleet = build_fleet(rotator=rot)
+        fleet.replay(events[:20], batch_size=20)
+        first = fleet.checkpoint()
+        fleet.replay(events[20:40], batch_size=20)
+        second = fleet.checkpoint()
+        return rot, fleet, first, second
+
+    def test_missing_target_falls_back_to_newest_survivor(
+        self, tmp_path, events
+    ):
+        import shutil
+
+        rot, fleet, first, second = self._two_checkpoints(tmp_path, events)
+        shutil.rmtree(second)  # LATEST still names it
+        assert (tmp_path / LATEST_NAME).read_text().strip() == second.name
+        loaded = load_latest(tmp_path)
+        assert loaded is not None
+        manifest, shards = loaded
+        assert manifest["seq"] == int(first.name.split("-")[-1])
+        assert manifest["n_samples"] == 20
+        # the rotator method shares the same recovery path
+        assert rot.load_latest()[0] == manifest
+
+    def test_corrupt_target_is_skipped(self, tmp_path, events):
+        rot, fleet, first, second = self._two_checkpoints(tmp_path, events)
+        (second / MANIFEST_NAME).write_text("{not json")
+        manifest, _ = load_latest(tmp_path)
+        assert manifest["n_samples"] == 20
+
+    def test_none_when_no_snapshot_survives(self, tmp_path, events):
+        import shutil
+
+        rot, fleet, first, second = self._two_checkpoints(tmp_path, events)
+        shutil.rmtree(first)
+        shutil.rmtree(second)
+        assert (tmp_path / LATEST_NAME).exists()  # the stale pointer
+        assert load_latest(tmp_path) is None
+        assert rot.load_latest() is None

@@ -287,3 +287,28 @@ class TestEventHelpers:
         ev = DiskEvent("d", np.zeros(4))
         with pytest.raises(AttributeError):
             ev.failed = True
+
+
+class TestDigestSerialization:
+    def test_digest_json_round_trips_losslessly(self, events, tmp_path):
+        """The digest feeds the gateway's ``digest`` op and the serve
+        CLI's JSON summary, so every field must survive json.dumps/loads
+        unchanged — no numpy scalars, no non-serializable values."""
+        import json
+
+        from repro.service import CheckpointRotator
+
+        rot = CheckpointRotator(tmp_path, every_samples=10**9)
+        fleet = build_fleet(n_shards=2, rotator=rot, strict=False)
+        fleet.replay(events, batch_size=16)
+        fleet.ingest([DiskEvent(0, np.zeros(99))])  # populate quarantine
+        fleet.checkpoint()
+        d = fleet.digest()
+        # exercised every section: alarms, quarantine, checkpoint age
+        assert d["alarms"] and d["quarantined"] == 1
+        assert d["checkpoint_age"] == 0
+        round_tripped = json.loads(json.dumps(d))
+        assert round_tripped == d
+        # equality alone can hide int/float coercions; pin the types
+        for key, value in d.items():
+            assert type(round_tripped[key]) is type(value), key

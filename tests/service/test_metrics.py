@@ -123,3 +123,53 @@ class TestRegistry:
         assert isinstance(reg.get("b"), Gauge)
         assert isinstance(reg.get("c"), Histogram)
         assert reg.get("missing") is None
+
+
+class TestExpositionEscaping:
+    """Conformance with the Prometheus text exposition format: label
+    values escape backslash, double quote, and line feed; HELP text
+    escapes backslash and line feed."""
+
+    def test_each_reserved_character_escapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"p": "back\\slash"}).inc()
+        reg.counter("c_total", labels={"p": 'quo"te'}).inc(2)
+        reg.counter("c_total", labels={"p": "new\nline"}).inc(3)
+        text = reg.render()
+        assert 'c_total{p="back\\\\slash"} 1\n' in text
+        assert 'c_total{p="quo\\"te"} 2\n' in text
+        assert 'c_total{p="new\\nline"} 3\n' in text
+
+    def test_escape_order_never_double_escapes(self):
+        # a value that already looks like an escape sequence must come
+        # out with only its backslash doubled, not escaped twice
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"p": "\\n"}).inc()
+        assert 'c_total{p="\\\\n"} 1\n' in reg.render()
+
+    def test_newlines_cannot_break_line_framing(self):
+        # a hostile label value (e.g. a disk id arriving over the
+        # gateway) must not be able to inject extra exposition lines
+        reg = MetricsRegistry()
+        reg.counter(
+            "c_total", labels={"p": 'x\nc_total{p="forged"} 99'}
+        ).inc()
+        lines = [l for l in reg.render().splitlines() if l]
+        assert len(lines) == 2  # TYPE + the one real sample
+        sample_lines = [l for l in lines if not l.startswith("#")]
+        assert len(sample_lines) == 1
+        assert sample_lines[0].endswith(" 1")
+
+    def test_help_text_escapes(self):
+        reg = MetricsRegistry()
+        reg.counter("h_total", help="line1\nline2 \\ end").inc()
+        assert "# HELP h_total line1\\nline2 \\\\ end\n" in reg.render()
+
+    def test_histogram_le_label_combines_with_escaped_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "h_seconds", labels={"p": 'a"b'}, buckets=[1.0]
+        ).observe(0.5)
+        text = reg.render()
+        assert 'h_seconds_bucket{p="a\\"b",le="1"} 1\n' in text
+        assert 'h_seconds_bucket{p="a\\"b",le="+Inf"} 1\n' in text

@@ -338,3 +338,86 @@ class TestExperiment:
         out = capsys.readouterr().out
         assert "long-term FAR(%)" in out
         assert "no_update" in out
+
+
+class TestGateway:
+    def test_gateway_serves_over_tcp(self, fleet_csv, tmp_path, capsys):
+        """End-to-end: train → `repro gateway` in a thread → real client
+        traffic → authenticated drain → final checkpoint on disk."""
+        import threading
+
+        from repro.gateway import GatewayClient
+
+        ckpt = tmp_path / "orf.npz"
+        main([
+            "train", "--data", str(fleet_csv), "--model", "orf",
+            "--trees", "5", "--seed", "1", "-o", str(ckpt),
+        ])
+        capsys.readouterr()
+        port_file = tmp_path / "gateway.port"
+        ckpt_dir = tmp_path / "gw-ckpts"
+        server_thread = threading.Thread(
+            target=main,
+            args=([
+                "gateway", "--model-file", str(ckpt), "--port", "0",
+                "--port-file", str(port_file), "--admin-token", "tok",
+                "--shards", "2", "--threshold", "0.6",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--checkpoint-every", "100000", "--dump-metrics",
+            ],),
+            daemon=True,
+        )
+        server_thread.start()
+        # join(timeout) doubles as a clock-free poll interval
+        for _ in range(3000):
+            if port_file.exists() and port_file.read_text().strip():
+                break
+            server_thread.join(0.01)
+            assert server_thread.is_alive(), "gateway exited before binding"
+        else:
+            pytest.fail("gateway never wrote its port file")
+        port = int(port_file.read_text())
+
+        n_features = load_bundle(str(ckpt))["model"].n_features
+        rng = np.random.default_rng(0)
+        events = [
+            {
+                "disk_id": i % 5,
+                "x": [float(v) for v in rng.normal(size=n_features)],
+                "failed": False,
+                "tag": i,
+            }
+            for i in range(64)
+        ]
+        with GatewayClient(
+            "127.0.0.1", port, connect_retries=100
+        ) as client:
+            result = client.ingest(events)
+            assert result.ok and result.accepted == 64
+            assert client.healthz()["status"] == "serving"
+            assert client.digest()["events"] == 64
+            assert "repro_gateway_ingested_events_total 64" in client.metrics()
+            with pytest.raises(Exception):
+                client.drain("not-the-token")
+            summary = client.drain("tok")
+        assert summary["status"] == "drained"
+        assert summary["events"] == 64
+        assert summary["checkpoint"] is not None
+
+        server_thread.join(timeout=60)
+        assert not server_thread.is_alive()
+        out = capsys.readouterr().out
+        assert "gateway listening on" in out
+        assert "# gateway served 64 samples across 2 shard(s)" in out
+        assert "# final checkpoint:" in out
+        assert "repro_gateway_requests_total" in out  # --dump-metrics
+        assert (ckpt_dir / "LATEST").exists()
+
+    def test_gateway_rejects_offline_checkpoint(self, fleet_csv, tmp_path):
+        ckpt = tmp_path / "rf.npz"
+        main([
+            "train", "--data", str(fleet_csv), "--model", "rf",
+            "--trees", "3", "--seed", "1", "-o", str(ckpt),
+        ])
+        rc = main(["gateway", "--model-file", str(ckpt)])
+        assert rc == 2
