@@ -94,3 +94,106 @@ def test_ablation_stream_throughput(sta_dataset, benchmark):
     assert fdr_thread == fdr_chunk and fdr_proc == fdr_chunk
 
     benchmark.pedantic(lambda: run(2000), rounds=1, iterations=1)
+
+
+def test_ablation_compiled_inference_throughput(sta_dataset):
+    """Compiled-vs-interpreted forest scoring on the real STA workload.
+
+    The A8 table above times the *update* path; this one times the
+    *serving* path, both flavors of it:
+
+    * **scalar** — ``predict_one`` per sample, the Algorithm-2 exact
+      serving hot path.  Here the compiled snapshot pays off on any
+      tree: the walk skips the per-call leaf-stats dict lookup and
+      posterior arithmetic.  Compiled must be strictly faster.
+    * **batch** — per-tree ``predict_batch`` under the ensemble
+      reduction.  The STA stream is so negative-heavy that trees stay
+      tiny (single-digit nodes), where level-synchronous routing and
+      per-node traversal are within noise of each other — the grown-tree
+      regime where compiled batch routing wins big (≥2x) is recorded by
+      ``bench_serve_latency.py``.  Here we only pin "no egregious
+      regression" on degenerate trees.
+
+    Both paths are bit-identical to the interpreted reference by
+    construction, asserted below — only the clock may differ.
+    """
+    train, test = train_test_arrays(
+        sta_dataset, MASTER_SEED + 83, max_months=MAX_MONTHS
+    )
+    rows = train.training_rows()
+    order = rows[stream_order(train.days[rows], train.serials[rows])]
+    forest = OnlineRandomForest(
+        train.n_features, seed=MASTER_SEED + 84, **bench_orf_params()
+    )
+    forest.partial_fit(train.X[order], train.y[order], chunk_size=2000)
+    Xt = test.X
+
+    def best_of(fn, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    def score_with(predict):
+        rows_ = np.empty((forest.n_trees, Xt.shape[0]), dtype=np.float64)
+        for i, tree in enumerate(forest.trees):
+            p = predict(tree)
+            rows_[i] = (
+                (p > 0.5).astype(np.float64) if forest.vote == "hard" else p
+            )
+        return np.sum(rows_, axis=0) / forest.n_trees
+
+    def one_interpreted(x):
+        p = np.empty((forest.n_trees, 1), dtype=np.float64)
+        for i, slot in enumerate(forest.slots):
+            p[i, 0] = slot.tree._predict_one_interpreted(x)
+        return float(np.sum(p, axis=0)[0] / forest.n_trees)
+
+    xs = [Xt[i] for i in range(min(2000, Xt.shape[0]))]
+    # symmetric harnesses: the same reduction around both per-tree
+    # paths, so the clocks compare tree traversal, not plumbing
+    t_one_interp = best_of(lambda: [one_interpreted(x) for x in xs])
+    t_batch_interp = best_of(
+        lambda: score_with(lambda t: t._predict_batch_interpreted(Xt))
+    )
+    forest.compile()
+    t_one_comp = best_of(lambda: [forest.predict_one(x) for x in xs])
+    t_batch_comp = best_of(
+        lambda: score_with(lambda t: t.predict_batch(Xt))
+    )
+
+    interpreted = score_with(lambda t: t._predict_batch_interpreted(Xt))
+    assert np.array_equal(forest.predict_score(Xt), interpreted)
+    assert np.array_equal(
+        score_with(lambda t: t.predict_batch(Xt)), interpreted
+    )
+    assert all(forest.predict_one(x) == one_interpreted(x) for x in xs[:200])
+
+    n, m = Xt.shape[0], len(xs)
+    print()
+    print(
+        format_table(
+            ["Scoring path", "µs/sample", "speedup"],
+            [
+                ["scalar interpreted", f"{1e6 * t_one_interp / m:.1f}", "1.0x"],
+                ["scalar compiled", f"{1e6 * t_one_comp / m:.1f}",
+                 f"{t_one_interp / t_one_comp:.1f}x"],
+                ["batch interpreted", f"{1e6 * t_batch_interp / n:.2f}", "1.0x"],
+                ["batch compiled", f"{1e6 * t_batch_comp / n:.2f}",
+                 f"{t_batch_interp / t_batch_comp:.1f}x"],
+            ],
+            title=(
+                f"Ablation A8b: forest scoring throughput "
+                f"({forest.n_trees} trees; scalar over {m:,} samples, "
+                f"batch over {n:,})"
+            ),
+        )
+    )
+    assert t_one_comp < t_one_interp, (
+        "compiled scalar serving must beat the interpreted walk"
+    )
+    assert t_batch_comp < 1.5 * t_batch_interp, (
+        "compiled batch scoring regressed egregiously on small trees"
+    )

@@ -37,7 +37,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 # schema version of BENCH_serve_latency.json (bump on breaking changes)
-BENCH_FORMAT = 1
+# 2: added the "compiled" section (compiled-vs-interpreted comparison)
+BENCH_FORMAT = 2
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -52,6 +53,21 @@ BACKEND_KEYS = (
     "mean_ms",
     "max_ms",
     "events_per_sec",
+)
+
+#: required numeric keys of the "compiled" block (plus bit_identical: bool)
+COMPILED_KEYS = (
+    "train_rows",
+    "tree_nodes",
+    "tree_depth",
+    "batch_rows",
+    "interpreted_ms",
+    "compiled_ms",
+    "speedup",
+    "predict_one_rows",
+    "predict_one_interpreted_us",
+    "predict_one_compiled_us",
+    "predict_one_speedup",
 )
 
 
@@ -169,6 +185,82 @@ def run_backend(
     raise ValueError(f"unknown backend {backend!r}")
 
 
+def run_compiled_comparison(
+    train_rows: int, batch_rows: int, seed: int
+) -> Dict[str, Any]:
+    """Single-tree compiled-vs-interpreted inference comparison.
+
+    Grows one tree from a signal stream in small chunks (so splits fire
+    throughout, not only at one batch boundary), then times
+    ``predict_batch`` and ``predict_one`` through the compiled snapshot
+    against the interpreted reference twins, asserting bit-identity on
+    the way.  Best-of-N timing; wall clocks are fine here (benchmarks
+    are the RPR102 allowlist).
+    """
+    import numpy as np
+
+    from repro.core.online_tree import OnlineDecisionTree
+
+    rng = np.random.default_rng(seed)
+    tree = OnlineDecisionTree(
+        3, n_tests=40, min_parent_size=20, min_gain=0.003, seed=seed
+    )
+    chunk = 500
+    for start in range(0, train_rows, chunk):
+        X = rng.uniform(size=(min(chunk, train_rows - start), 3))
+        # diagonal boundary: axis-aligned tests keep finding gain at
+        # every scale, so the tree grows deep like a long-lived serving
+        # model (an axis-aligned target saturates at a few dozen nodes)
+        y = (X[:, 0] > X[:, 1]).astype(np.int64)
+        tree.update_batch(X, y, np.ones(X.shape[0]))
+    Xp = rng.uniform(size=(batch_rows, 3))
+
+    def best_of(fn, reps: int) -> float:
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    interpreted_s = best_of(lambda: tree._predict_batch_interpreted(Xp), 5)
+    tree.compile()
+    compiled_s = best_of(lambda: tree.predict_batch(Xp), 5)
+    bit_identical = bool(
+        np.array_equal(
+            tree.predict_batch(Xp), tree._predict_batch_interpreted(Xp)
+        )
+    )
+
+    n_one = min(2000, batch_rows)
+    xs = [Xp[i] for i in range(n_one)]
+    one_interp_s = best_of(
+        lambda: [tree._predict_one_interpreted(x) for x in xs], 3
+    )
+    one_comp_s = best_of(lambda: [tree.predict_one(x) for x in xs], 3)
+    bit_identical = bit_identical and all(
+        tree.predict_one(x) == tree._predict_one_interpreted(x)
+        for x in xs[:200]
+    )
+
+    return {
+        "train_rows": train_rows,
+        "tree_nodes": tree.n_nodes,
+        "tree_depth": tree.depth,
+        "batch_rows": batch_rows,
+        "interpreted_ms": 1e3 * interpreted_s,
+        "compiled_ms": 1e3 * compiled_s,
+        "speedup": interpreted_s / compiled_s if compiled_s > 0 else 0.0,
+        "predict_one_rows": n_one,
+        "predict_one_interpreted_us": 1e6 * one_interp_s / n_one,
+        "predict_one_compiled_us": 1e6 * one_comp_s / n_one,
+        "predict_one_speedup": (
+            one_interp_s / one_comp_s if one_comp_s > 0 else 0.0
+        ),
+        "bit_identical": bit_identical,
+    }
+
+
 # ------------------------------------------------------------------ schema
 def validate_payload(payload: Any) -> List[str]:
     """Schema check of a BENCH_serve_latency.json document.
@@ -205,6 +297,20 @@ def validate_payload(payload: Any) -> List[str]:
     overhead = payload.get("tracing_overhead_pct")
     if not isinstance(overhead, (int, float)) or isinstance(overhead, bool):
         problems.append("tracing_overhead_pct must be a number")
+    compiled = payload.get("compiled")
+    if not isinstance(compiled, dict):
+        problems.append("compiled must be an object")
+    else:
+        for key in COMPILED_KEYS:
+            value = compiled.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"compiled.{key} must be a number")
+            elif value < 0:
+                problems.append(f"compiled.{key} must be >= 0")
+        # bit-identity is an invariant, not a perf number: an artifact
+        # recording False is evidence of a real bug, so it fails schema
+        if compiled.get("bit_identical") is not True:
+            problems.append("compiled.bit_identical must be true")
     stages = payload.get("stages")
     if not isinstance(stages, dict) or not stages:
         problems.append("stages must be a non-empty object")
@@ -268,6 +374,19 @@ def run_bench(args: argparse.Namespace) -> Dict[str, Any]:
         file=sys.stderr,
     )
 
+    compiled = run_compiled_comparison(
+        args.compiled_rows, args.compiled_batch, args.seed
+    )
+    print(
+        f"  compiled predict_batch: {compiled['speedup']:.2f}x "
+        f"({compiled['compiled_ms']:.2f}ms vs "
+        f"{compiled['interpreted_ms']:.2f}ms on "
+        f"{compiled['tree_nodes']} nodes), "
+        f"predict_one {compiled['predict_one_speedup']:.2f}x, "
+        f"bit_identical={compiled['bit_identical']}",
+        file=sys.stderr,
+    )
+
     return {
         "format": BENCH_FORMAT,
         "bench": "serve_latency",
@@ -286,6 +405,7 @@ def run_bench(args: argparse.Namespace) -> Dict[str, Any]:
         "traced_serial": traced,
         "tracing_overhead_pct": overhead_pct,
         "stages": stage_summary(tracer.snapshot()),
+        "compiled": compiled,
     }
 
 
@@ -301,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=256)
     parser.add_argument("--workers", type=int, default=None,
                         help="pool size for thread/process backends")
+    parser.add_argument("--compiled-rows", type=int, default=200_000,
+                        help="training rows for the compiled-vs-interpreted "
+                             "single-tree comparison")
+    parser.add_argument("--compiled-batch", type=int, default=20_000,
+                        help="prediction batch rows for the compiled "
+                             "comparison")
     parser.add_argument("-o", "--output", default="BENCH_serve_latency.json")
     parser.add_argument("--validate", metavar="PATH", default=None,
                         help="validate an existing artifact and exit")
@@ -335,12 +461,16 @@ def test_serve_latency_smoke(tmp_path):
     out = tmp_path / "BENCH_serve_latency.json"
     rc = main([
         "--scale", "0.02", "--months", "3", "--stride", "4",
-        "--batch-size", "64", "-o", str(out),
+        "--batch-size", "64", "--compiled-rows", "20000",
+        "--compiled-batch", "4000", "-o", str(out),
     ])
     assert rc == 0
     payload = json.loads(out.read_text())
     assert validate_payload(payload) == []
     assert main(["--validate", str(out)]) == 0
+    # the invariant travels with the artifact even at smoke scale
+    assert payload["compiled"]["bit_identical"] is True
+    assert payload["compiled"]["tree_nodes"] > 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -387,16 +387,34 @@ class OnlineRandomForest:
         return (self.predict_score(X) >= threshold).astype(np.int8)
 
     def predict_one(self, x: np.ndarray) -> float:
-        """Score a single sample (the Algorithm-2 per-snapshot path)."""
+        """Score a single sample (the Algorithm-2 per-snapshot path).
+
+        Bit-identical to ``predict_score(x[None, :])[0]`` for both vote
+        modes: per-tree scores come from the same compiled snapshots,
+        the hard-vote boundary is the same strict ``> 0.5``, and the
+        reduction is the same ``(T, 1)`` column sum divided by
+        ``n_trees`` (asserted in ``tests/test_predict_contract.py``).
+        """
         x = np.asarray(x, dtype=np.float64)
-        if self.vote == "hard":
-            votes = sum(
-                1 for slot in self.slots if slot.tree.predict_one(x) > 0.5
-            )
-            return votes / self.n_trees
-        return float(
-            np.mean([slot.tree.predict_one(x) for slot in self.slots])
-        )
+        with self.tracer.span("forest.predict", items=1):
+            hard = self.vote == "hard"
+            p = np.empty((self.n_trees, 1), dtype=np.float64)
+            for i, slot in enumerate(self.slots):
+                s = slot.tree.predict_one(x)
+                p[i, 0] = (1.0 if s > 0.5 else 0.0) if hard else s
+            return float(np.sum(p, axis=0)[0] / self.n_trees)
+
+    def compile(self, *, laplace: float = 1.0) -> "OnlineRandomForest":
+        """Warm every tree's compiled inference snapshot; returns self.
+
+        Prediction compiles lazily anyway — calling this up front moves
+        the one-off array materialization out of the first scored
+        request (e.g. after a checkpoint restore or before latency-
+        sensitive serving).  Representation-only: scores are unchanged.
+        """
+        for slot in self.slots:
+            slot.tree.compile(laplace=laplace)
+        return self
 
     # ------------------------------------------------------------- inspection
     def tree_ages(self) -> np.ndarray:

@@ -43,7 +43,9 @@ class LeafStats:
         of its own.
     """
 
-    __slots__ = ("tests", "class_counts", "test_stats", "n_seen", "_arange")
+    __slots__ = (
+        "tests", "class_counts", "test_stats", "n_seen", "n_updates", "_arange"
+    )
 
     def __init__(
         self,
@@ -65,12 +67,19 @@ class LeafStats:
         #: weighted number of samples seen *by this leaf* (the |D| of the
         #: split condition — inherited prior counts do not count)
         self.n_seen = 0.0
+        #: integer count of update events folded into this leaf.  The
+        #: split-check amortization gates on this counter, never on the
+        #: weighted ``n_seen``: under fractional weights ``int(n_seen)``
+        #: repeats or skips residues, so a modulo gate on it double-checks
+        #: or never fires on schedule.
+        self.n_updates = 0
 
     # ---------------------------------------------------------------- update
     def update(self, x: np.ndarray, y: int, weight: float = 1.0) -> None:
         """Fold one sample into the leaf's statistics."""
         self.class_counts[y] += weight
         self.n_seen += weight
+        self.n_updates += 1
         if self.tests is not None:
             sides = self.tests.evaluate(x)
             # first index is arange (all rows distinct) → fancy += is safe
@@ -80,6 +89,7 @@ class LeafStats:
         """Fold a batch of samples (used by the chunked fast path)."""
         np.add.at(self.class_counts, y, weights)
         self.n_seen += float(weights.sum())
+        self.n_updates += int(X.shape[0])
         if self.tests is not None:
             sides = self.tests.evaluate_batch(X)  # (n, N)
             n, N = sides.shape

@@ -1,16 +1,27 @@
 """One online decision tree (the f_t of Algorithm 1).
 
 The tree is stored struct-of-arrays (parallel Python lists of scalars for
-O(1) append on split; converted to NumPy views only for batch
-prediction).  Leaves own a :class:`~repro.core.node_stats.LeafStats`; a
-leaf splits when it has seen at least ``min_parent_size`` (α) samples and
-its best candidate test achieves Gini gain at least ``min_gain`` (β) —
-exactly the condition of §3.1.
+O(1) append on split).  Leaves own a :class:`~repro.core.node_stats.
+LeafStats`; a leaf splits when it has seen at least ``min_parent_size``
+(α) samples and its best candidate test achieves Gini gain at least
+``min_gain`` (β) — exactly the condition of §3.1.
+
+Inference additionally runs through a **compiled** snapshot
+(:class:`CompiledTree`): :meth:`OnlineDecisionTree.compile` freezes the
+structure into contiguous NumPy arrays plus a precomputed per-node leaf
+posterior, so batch routing is level-synchronous vectorized indexing
+instead of a Python loop over nodes, and per-sample scoring is a flat
+list walk plus one posterior lookup.  The snapshot is cached on the
+tree, patched incrementally when leaf statistics change, and rebuilt
+only when the structure changes (a split) — see :meth:`compile`.
+Compilation is representation-only: compiled and interpreted inference
+are bit-identical (asserted in ``tests/core/test_compiled.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -22,6 +33,89 @@ from repro.core.random_tests import (
 )
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive
+
+
+@dataclass
+class CompiledTree:
+    """Flat-array inference snapshot of one :class:`OnlineDecisionTree`.
+
+    The structure arrays are frozen at compile time (a split invalidates
+    the whole snapshot); the posterior entries track live leaf updates
+    through the ``dirty`` set, flushed by :meth:`patch` on the next
+    :meth:`OnlineDecisionTree.compile` access.
+
+    The Python-list mirrors (``*_l``) exist because scalar routing in
+    CPython is measurably faster over plain lists than over ndarray
+    scalar indexing; both views are built from the same data, so the
+    vectorized and scalar routers are bit-identical by construction.
+    """
+
+    feature: np.ndarray  # (n_nodes,) int32; -1 marks a leaf
+    threshold: np.ndarray  # (n_nodes,) float64
+    left: np.ndarray  # (n_nodes,) int32
+    right: np.ndarray  # (n_nodes,) int32
+    leaf_posterior: np.ndarray  # (n_nodes,) float64; NaN on branch nodes
+    laplace: float
+    feature_l: List[int]
+    threshold_l: List[float]
+    left_l: List[int]
+    right_l: List[int]
+    posterior_l: List[float]
+    #: leaf ids whose statistics changed since the posterior was computed
+    dirty: Set[int] = field(default_factory=set)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count of the snapshot."""
+        return int(self.feature.shape[0])
+
+    def route_one(self, x: np.ndarray) -> int:
+        """Leaf id one sample routes to (scalar walk over the mirrors)."""
+        feature, threshold = self.feature_l, self.threshold_l
+        left, right = self.left_l, self.right_l
+        nid = 0
+        f = feature[0]
+        while f >= 0:
+            nid = right[nid] if x[f] > threshold[nid] else left[nid]
+            f = feature[nid]
+        return nid
+
+    def route_batch(self, X: np.ndarray) -> np.ndarray:
+        """Leaf id per row by level-synchronous vectorized routing.
+
+        Each iteration advances every still-internal row one level, so
+        the Python-loop count is the tree *depth*, not the node count —
+        the move that makes compiled batch inference fast on grown
+        trees.
+        """
+        feature, threshold = self.feature, self.threshold
+        left, right = self.left, self.right
+        nid = np.zeros(X.shape[0], dtype=np.int64)
+        rows = np.nonzero(feature[nid] >= 0)[0]
+        while rows.size:
+            cur = nid[rows]
+            f = feature[cur]
+            go_right = X[rows, f] > threshold[cur]
+            nxt = np.where(go_right, right[cur], left[cur])
+            nid[rows] = nxt
+            rows = rows[feature[nxt] >= 0]
+        return nid
+
+    def predict_one(self, x: np.ndarray) -> float:
+        """P(y = 1) for one sample via the compiled posterior."""
+        return self.posterior_l[self.route_one(x)]
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """P(y = 1) per row: vectorized routing + one posterior gather."""
+        return self.leaf_posterior[self.route_batch(X)]
+
+    def patch(self, leaf_stats: Dict[int, LeafStats]) -> None:
+        """Recompute the posterior of every dirty leaf from live stats."""
+        for nid in self.dirty:
+            p = leaf_stats[nid].posterior_positive(laplace=self.laplace)
+            self.leaf_posterior[nid] = p
+            self.posterior_l[nid] = p
+        self.dirty.clear()
 
 
 class OnlineDecisionTree:
@@ -46,7 +140,9 @@ class OnlineDecisionTree:
     split_check_interval:
         Evaluate the split condition every k-th update once the leaf is
         past α (1 = after every update, the paper's literal rule; larger
-        values amortize the gain computation on hot leaves).
+        values amortize the gain computation on hot leaves).  The gate
+        counts *update events* (``LeafStats.n_updates``), not weighted
+        mass, so fractional weights cannot skip or repeat the schedule.
     """
 
     def __init__(
@@ -88,6 +184,9 @@ class OnlineDecisionTree:
         self._right: List[int] = []
         self._depth: List[int] = []
         self._leaf_stats: Dict[int, LeafStats] = {}
+        #: cached flat-array inference snapshot (None until compiled;
+        #: invalidated by structure changes, patched on leaf updates)
+        self._compiled: Optional[CompiledTree] = None
 
         #: weighted samples folded into this tree (its AGE in Algorithm 1)
         self.age = 0.0
@@ -129,9 +228,57 @@ class OnlineDecisionTree:
         """Depth of the deepest node (root = 0)."""
         return max(self._depth) if self._depth else 0
 
+    # the compiled snapshot is a cache: drop it from pickles so executor
+    # payloads stay slim; workers rebuild lazily on first prediction
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
+
+    # ------------------------------------------------------------- compiled
+    def compile(self, *, laplace: float = 1.0) -> CompiledTree:
+        """Materialize (or fetch) the flat-array inference snapshot.
+
+        The snapshot is cached on the tree and reused across calls:
+        leaf-statistic updates only mark their leaf dirty (the posterior
+        entry is re-patched here on the next access), while a structure
+        change (:meth:`_split`) discards the cache entirely, so the next
+        access rebuilds from the current node arrays.  Requesting a
+        different ``laplace`` than the cached snapshot's also rebuilds.
+        """
+        c = self._compiled
+        if c is None or c.laplace != laplace:
+            feature = np.asarray(self._feature, dtype=np.int32)
+            threshold = np.asarray(self._threshold, dtype=np.float64)
+            left = np.asarray(self._left, dtype=np.int32)
+            right = np.asarray(self._right, dtype=np.int32)
+            posterior = np.full(feature.shape[0], np.nan, dtype=np.float64)
+            for nid, stats in self._leaf_stats.items():
+                posterior[nid] = stats.posterior_positive(laplace=laplace)
+            c = CompiledTree(
+                feature=feature,
+                threshold=threshold,
+                left=left,
+                right=right,
+                leaf_posterior=posterior,
+                laplace=float(laplace),
+                feature_l=list(self._feature),
+                threshold_l=list(self._threshold),
+                left_l=list(self._left),
+                right_l=list(self._right),
+                posterior_l=posterior.tolist(),
+            )
+            self._compiled = c
+        elif c.dirty:
+            c.patch(self._leaf_stats)
+        return c
+
     # ----------------------------------------------------------------- route
     def find_leaf(self, x: np.ndarray) -> int:
         """Leaf id the sample routes to (the FindLeaf of Algorithm 1)."""
+        c = self._compiled
+        if c is not None:
+            return c.route_one(x)
         feature, threshold = self._feature, self._threshold
         left, right = self._left, self._right
         nid = 0
@@ -148,6 +295,9 @@ class OnlineDecisionTree:
         nid = self.find_leaf(x)
         stats = self._leaf_stats[nid]
         stats.update(x, y, weight)
+        c = self._compiled
+        if c is not None:
+            c.dirty.add(nid)
         self._maybe_split(nid, stats)
 
     def update_repeated(self, x: np.ndarray, y: int, k: int, weight: float = 1.0) -> None:
@@ -164,7 +314,7 @@ class OnlineDecisionTree:
         if stats.tests is None or stats.n_seen < self.min_parent_size:
             return
         if self.split_check_interval > 1 and (
-            int(stats.n_seen) % self.split_check_interval != 0
+            stats.n_updates % self.split_check_interval != 0
         ):
             return
         test_idx, gain = stats.best_split()
@@ -174,6 +324,7 @@ class OnlineDecisionTree:
 
     def _split(self, nid: int, stats: LeafStats, test_idx: int) -> None:
         tests = stats.tests
+        assert tests is not None  # callers gate on stats.tests
         gain = float(stats.gains()[test_idx])
         self.importance_[tests.features[test_idx]] += gain * stats.n_seen
         left_counts, right_counts = stats.child_counts(test_idx)
@@ -186,9 +337,25 @@ class OnlineDecisionTree:
         self._right[nid] = right_id
         del self._leaf_stats[nid]
         self.n_splits += 1
+        # structure changed: the compiled snapshot is stale as a whole
+        self._compiled = None
 
     def route_batch(self, X: np.ndarray) -> np.ndarray:
-        """Leaf id per row, by vectorized group traversal."""
+        """Leaf id per row.
+
+        Routes through the compiled snapshot when one is cached (the
+        serving path keeps it warm); otherwise falls back to the
+        interpreted group traversal — callers that never predict (pure
+        training) pay no compilation churn.
+        """
+        c = self._compiled
+        if c is not None:
+            return c.route_batch(X)
+        return self._route_batch_interpreted(X)
+
+    def _route_batch_interpreted(self, X: np.ndarray) -> np.ndarray:
+        """Reference batch router: per-node group traversal over the
+        Python lists (one NumPy op per visited node)."""
         n = X.shape[0]
         out = np.empty(n, dtype=np.int64)
         stack: List[Tuple[int, np.ndarray]] = [(0, np.arange(n))]
@@ -214,29 +381,60 @@ class OnlineDecisionTree:
         i.e. splits are deferred to batch boundaries, a deliberate semantic
         relaxation of the per-sample algorithm (document at the forest
         level; per-sample exactness is available via ``update``).
+
+        ``split_check_interval`` is honored at the same granularity: a
+        touched leaf is only evaluated when this batch moved its update
+        counter across a multiple of the interval, matching the
+        per-sample schedule evaluated at batch boundaries (for
+        single-row batches the two gates are identical).
         """
         if X.shape[0] == 0:
             return
         self.age += float(weights.sum())
         leaf_ids = self.route_batch(X)
+        interval = self.split_check_interval
+        c = self._compiled
         for nid in np.unique(leaf_ids):
             mask = leaf_ids == nid
             stats = self._leaf_stats[int(nid)]
+            checks_before = stats.n_updates // interval
             stats.update_batch(X[mask], y[mask].astype(np.int64), weights[mask])
-            if stats.tests is not None and stats.n_seen >= self.min_parent_size:
-                test_idx, gain = stats.best_split()
-                if test_idx >= 0 and gain >= self.min_gain:
-                    self._split(int(nid), stats, test_idx)
+            if c is not None:
+                c.dirty.add(int(nid))
+            if stats.tests is None or stats.n_seen < self.min_parent_size:
+                continue
+            if stats.n_updates // interval == checks_before:
+                continue  # no check point of the schedule crossed yet
+            test_idx, gain = stats.best_split()
+            if test_idx >= 0 and gain >= self.min_gain:
+                self._split(int(nid), stats, test_idx)
 
     # ------------------------------------------------------------ prediction
     def predict_one(self, x: np.ndarray, *, laplace: float = 1.0) -> float:
-        """P(y = 1) for one sample."""
-        return self._leaf_stats[self.find_leaf(x)].posterior_positive(laplace=laplace)
+        """P(y = 1) for one sample (compiled: flat walk + posterior lookup)."""
+        return self.compile(laplace=laplace).predict_one(x)
 
     def predict_batch(self, X: np.ndarray, *, laplace: float = 1.0) -> np.ndarray:
-        """P(y = 1) per row: one vectorized routing pass, then each
-        reached leaf's posterior is computed once and broadcast."""
-        leaf_ids = self.route_batch(X)
+        """P(y = 1) per row (compiled: vectorized routing + one gather)."""
+        return self.compile(laplace=laplace).predict_batch(X)
+
+    def _predict_one_interpreted(self, x: np.ndarray, *, laplace: float = 1.0) -> float:
+        """Reference scalar scorer: list walk + live posterior."""
+        feature, threshold = self._feature, self._threshold
+        left, right = self._left, self._right
+        nid = 0
+        f = feature[0]
+        while f >= 0:
+            nid = right[nid] if x[f] > threshold[nid] else left[nid]
+            f = feature[nid]
+        return self._leaf_stats[nid].posterior_positive(laplace=laplace)
+
+    def _predict_batch_interpreted(
+        self, X: np.ndarray, *, laplace: float = 1.0
+    ) -> np.ndarray:
+        """Reference batch scorer: group traversal, then each reached
+        leaf's posterior computed once and broadcast."""
+        leaf_ids = self._route_batch_interpreted(X)
         out = np.empty(X.shape[0], dtype=np.float64)
         for nid in np.unique(leaf_ids):
             out[leaf_ids == nid] = self._leaf_stats[int(nid)].posterior_positive(

@@ -287,6 +287,17 @@ class OnlineDiskFailurePredictor:
                     results[i] = alarm
         return results
 
+    # --------------------------------------------------------------- serving
+    def compile(self) -> "OnlineDiskFailurePredictor":
+        """Warm the forest's compiled inference snapshots; returns self.
+
+        Scoring compiles lazily on first use — this just front-loads the
+        work (e.g. right after a checkpoint restore) so the first scored
+        sample pays no materialization cost.  Representation-only.
+        """
+        self.forest.compile()
+        return self
+
     # ------------------------------------------------------------- inspection
     @property
     def n_monitored_disks(self) -> int:

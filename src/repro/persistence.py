@@ -365,7 +365,14 @@ def _pack_online_tree(tree: OnlineDecisionTree, prefix: str, arrays: dict) -> di
             arrays[key + "test_features"] = stats.tests.features
             arrays[key + "test_thresholds"] = stats.tests.thresholds
             arrays[key + "test_stats"] = stats.test_stats
-        leaf_meta.append({"nid": nid, "n_seen": stats.n_seen, "has_tests": has_tests})
+        leaf_meta.append(
+            {
+                "nid": nid,
+                "n_seen": stats.n_seen,
+                "n_updates": stats.n_updates,
+                "has_tests": has_tests,
+            }
+        )
     return {
         "age": tree.age,
         "n_splits": tree.n_splits,
@@ -412,7 +419,14 @@ def _unpack_online_tree(
             stats = LeafStats(None)
         stats.class_counts = arrays[key + "class_counts"].copy()
         stats.n_seen = leaf["n_seen"]
+        # older checkpoints predate the update counter; approximating it
+        # with the weighted count only shifts the split-check *phase*
+        stats.n_updates = int(leaf.get("n_updates", leaf["n_seen"]))
         tree._leaf_stats[int(nid)] = stats
+    # rebuild the compiled inference snapshot eagerly: a restored model
+    # is about to serve, and compiling here keeps the first scored
+    # request off the materialization cost (representation-only)
+    tree.compile()
     return tree
 
 

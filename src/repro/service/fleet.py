@@ -272,6 +272,22 @@ class FleetMonitor:
             rotator.tracer = self.tracer
         self._seq = 0
         self._instrument()
+        # warm every tree's compiled inference snapshot up front so the
+        # first scored event pays no materialization cost (restored
+        # checkpoints arrive pre-compiled; fresh forests are tiny)
+        self.compile()
+
+    def compile(self) -> "FleetMonitor":
+        """Warm the compiled inference snapshots of every shard's forest.
+
+        Representation-only (scores and alarms are unchanged); called at
+        construction and safe to call again at any time — e.g. after a
+        long pure-ingest stretch grew the trees, to move recompilation
+        off the next scored request.  Returns self.
+        """
+        for shard in self.shards:
+            shard.compile()
+        return self
 
     def _instrument(self) -> None:
         reg = self.registry

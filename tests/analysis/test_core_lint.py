@@ -1,0 +1,65 @@
+"""Lint discipline of the compiled inference path.
+
+``compile()`` lives on the serving hot path, where wall-clock reads and
+ad-hoc metrics are most tempting (timing the rebuild, counting cache
+hits).  These tests pin the disciplines it was built under:
+
+* RPR102: the core model layer earned **no** wall-clock allowlist entry
+  — compilation is timed by the benchmarks, never by itself;
+* RPR303/RPR101: ``repro.core`` stays clean under every rule, and
+  registers no metrics at all — observability flows through the tracer
+  injected by the service layer, keeping the model layer dependency-free.
+"""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.rules.determinism import CLOCK_ALLOWLIST
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORE_DIR = REPO_ROOT / "src" / "repro" / "core"
+
+
+def core_findings():
+    return lint_paths([str(CORE_DIR)])
+
+
+class TestNoNewClockAllowlist:
+    def test_allowlist_has_no_core_entry(self):
+        assert not any("core" in glob for glob in CLOCK_ALLOWLIST), (
+            "repro.core (incl. compile()) must not read wall clocks; "
+            "speedups are measured by the benchmarks, not self-timed"
+        )
+
+    def test_core_sources_are_rpr102_clean(self):
+        report = core_findings()
+        clock_hits = [
+            f for f in report.findings + report.suppressed
+            if f.rule_id == "RPR102"
+        ]
+        assert clock_hits == [], [
+            f"{f.path}:{f.line} {f.message}" for f in clock_hits
+        ]
+
+
+class TestCoreStaysClean:
+    def test_core_is_clean_under_every_rule(self):
+        report = core_findings()
+        assert report.findings == [], [
+            f"{f.path}:{f.line} {f.rule_id} {f.message}"
+            for f in report.findings
+        ]
+        assert report.files_scanned == len(list(CORE_DIR.glob("*.py")))
+
+    def test_core_registers_no_metrics(self):
+        """The model layer must not grow metric registrations: no
+        ``repro_``-prefixed instrument (new prefix or otherwise) may be
+        declared under ``repro.core`` — counters belong to the service
+        layer that owns the registry."""
+        offenders = []
+        for path in sorted(CORE_DIR.glob("*.py")):
+            text = path.read_text()
+            for needle in (".counter(", ".gauge(", ".histogram(", "repro_"):
+                if needle in text:
+                    offenders.append(f"{path.name}: contains {needle!r}")
+        assert offenders == [], offenders

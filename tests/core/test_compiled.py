@@ -1,0 +1,220 @@
+"""Compiled flat-array inference: bit-identity and cache lifecycle.
+
+The headline invariant of the compiled path is that it is
+*representation-only*: for any tree (and any forest built from them),
+compiled and interpreted inference agree to the bit — same routed
+leaves, same posteriors, same ensemble reductions, before and after
+incremental patching, structure invalidation, and pickling.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.online_tree import CompiledTree, OnlineDecisionTree
+
+
+def grow_tree(n=1500, seed=0, **kw):
+    params = dict(n_tests=40, min_parent_size=50, min_gain=0.03, seed=seed)
+    params.update(kw)
+    tree = OnlineDecisionTree(3, **params)
+    rng = np.random.default_rng(seed + 100)
+    for _ in range(n):
+        x = rng.uniform(size=3)
+        tree.update(x, int(x[0] > 0.5))
+    return tree
+
+
+def probe(n=400, seed=42):
+    return np.random.default_rng(seed).uniform(size=(n, 3))
+
+
+class TestStructureMirror:
+    def test_arrays_mirror_node_lists(self):
+        tree = grow_tree()
+        c = tree.compile()
+        assert isinstance(c, CompiledTree)
+        assert c.n_nodes == tree.n_nodes
+        assert c.feature.dtype == np.int32
+        assert c.threshold.dtype == np.float64
+        assert c.left.dtype == np.int32 and c.right.dtype == np.int32
+        assert c.leaf_posterior.dtype == np.float64
+        assert c.feature.tolist() == tree._feature
+        assert c.left.tolist() == tree._left
+        assert c.right.tolist() == tree._right
+        # list mirrors are the same data as the arrays (leaf slots hold
+        # NaN thresholds/branch slots NaN posteriors, hence equal_nan)
+        assert c.feature_l == c.feature.tolist()
+        assert np.array_equal(c.threshold_l, c.threshold, equal_nan=True)
+        assert np.array_equal(c.posterior_l, c.leaf_posterior, equal_nan=True)
+
+    def test_posterior_set_exactly_on_leaves(self):
+        tree = grow_tree()
+        c = tree.compile()
+        for nid in range(tree.n_nodes):
+            if nid in tree._leaf_stats:
+                expected = tree._leaf_stats[nid].posterior_positive()
+                assert c.leaf_posterior[nid] == expected
+            else:
+                assert np.isnan(c.leaf_posterior[nid])
+
+    def test_fresh_single_leaf_tree(self):
+        tree = OnlineDecisionTree(3, seed=0)
+        c = tree.compile()
+        assert c.n_nodes == 1
+        assert tree.predict_one(np.zeros(3)) == 0.5
+        assert tree.predict_batch(np.zeros((4, 3)))[0] == 0.5
+
+
+class TestBitIdentity:
+    def test_route_compiled_equals_interpreted(self):
+        tree = grow_tree()
+        X = probe()
+        c = tree.compile()
+        interp = tree._route_batch_interpreted(X)
+        assert np.array_equal(c.route_batch(X), interp)
+        scalar = np.array([c.route_one(x) for x in X])
+        assert np.array_equal(scalar, interp)
+
+    def test_predict_batch_bitwise(self):
+        tree = grow_tree()
+        X = probe()
+        compiled = tree.predict_batch(X)
+        interpreted = tree._predict_batch_interpreted(X)
+        assert np.array_equal(compiled, interpreted)  # exact, not allclose
+
+    def test_predict_one_bitwise(self):
+        tree = grow_tree()
+        for x in probe(100):
+            assert tree.predict_one(x) == tree._predict_one_interpreted(x)
+
+    def test_find_leaf_same_with_and_without_cache(self):
+        tree = grow_tree()
+        X = probe(100)
+        assert tree._compiled is None  # training alone never compiles
+        uncompiled = [tree.find_leaf(x) for x in X]
+        tree.compile()
+        compiled = [tree.find_leaf(x) for x in X]
+        assert compiled == uncompiled
+
+    @pytest.mark.parametrize("laplace", [0.5, 1.0, 2.0])
+    def test_laplace_variants_bitwise(self, laplace):
+        tree = grow_tree()
+        X = probe()
+        assert np.array_equal(
+            tree.predict_batch(X, laplace=laplace),
+            tree._predict_batch_interpreted(X, laplace=laplace),
+        )
+
+
+class TestCacheLifecycle:
+    def test_compile_is_cached_across_calls(self):
+        tree = grow_tree()
+        assert tree.compile() is tree.compile()
+
+    def test_leaf_update_patches_without_rebuild(self):
+        tree = grow_tree(min_parent_size=10**6)  # no further splits
+        c = tree.compile()
+        x = np.array([0.9, 0.1, 0.1])
+        nid = tree.find_leaf(x)
+        tree.update(x, 1)
+        assert nid in c.dirty  # marked, not yet flushed
+        c2 = tree.compile()
+        assert c2 is c  # same snapshot object: patched in place
+        assert not c.dirty
+        assert c.leaf_posterior[nid] == tree._leaf_stats[
+            nid
+        ].posterior_positive()
+        assert tree.predict_one(x) == tree._predict_one_interpreted(x)
+
+    def test_split_invalidates_snapshot(self):
+        tree = OnlineDecisionTree(
+            3, n_tests=40, min_parent_size=50, min_gain=0.03, seed=5
+        )
+        rng = np.random.default_rng(6)
+        tree.compile()
+        n_before = tree.n_nodes
+        while tree.n_splits == 0:
+            x = rng.uniform(size=3)
+            tree.update(x, int(x[0] > 0.5))
+        assert tree._compiled is None  # dropped at the split
+        c = tree.compile()
+        assert c.n_nodes == tree.n_nodes > n_before
+        X = probe(200)
+        assert np.array_equal(
+            tree.predict_batch(X), tree._predict_batch_interpreted(X)
+        )
+
+    def test_laplace_change_rebuilds(self):
+        tree = grow_tree()
+        c1 = tree.compile(laplace=1.0)
+        c05 = tree.compile(laplace=0.5)
+        assert c05 is not c1
+        assert c05.laplace == 0.5
+        # and the rebuilt snapshot is the live cache now
+        assert tree.compile(laplace=0.5) is c05
+
+    def test_pickle_drops_cache_and_preserves_predictions(self):
+        tree = grow_tree()
+        X = probe()
+        before = tree.predict_batch(X)
+        clone = pickle.loads(pickle.dumps(tree))
+        assert clone._compiled is None  # payloads travel slim
+        assert np.array_equal(clone.predict_batch(X), before)
+
+    def test_pure_training_never_compiles(self):
+        """Ingest-only streams must not pay compilation churn: neither
+        ``update`` nor ``update_batch`` materializes a snapshot."""
+        tree = OnlineDecisionTree(
+            3, n_tests=40, min_parent_size=50, min_gain=0.03, seed=7
+        )
+        rng = np.random.default_rng(8)
+        for _ in range(300):
+            x = rng.uniform(size=3)
+            tree.update(x, int(x[0] > 0.5))
+        X = rng.uniform(size=(200, 3))
+        tree.update_batch(X, (X[:, 0] > 0.5).astype(np.int64), np.ones(200))
+        assert tree._compiled is None
+
+
+class TestForestBitIdentity:
+    @pytest.mark.parametrize("vote", ["soft", "hard"])
+    def test_predict_score_equals_interpreted_reduction(self, vote):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(400, 4))
+        y = (X[:, 0] + X[:, 1] > 1.0).astype(np.int64)
+        forest = OnlineRandomForest(
+            4, n_trees=5, min_parent_size=40, min_gain=0.01, seed=1,
+            vote=vote,
+        )
+        forest.partial_fit(X, y)
+        Xp = rng.uniform(size=(150, 4))
+        compiled = forest.predict_score(Xp)
+        # replicate the serial reduction off the interpreted per-tree path
+        rows = np.empty((forest.n_trees, Xp.shape[0]), dtype=np.float64)
+        for i, tree in enumerate(forest.trees):
+            p = tree._predict_batch_interpreted(Xp)
+            rows[i] = (p > 0.5).astype(np.float64) if vote == "hard" else p
+        expected = np.sum(rows, axis=0) / forest.n_trees
+        assert np.array_equal(compiled, expected)
+
+    @pytest.mark.parametrize("vote", ["soft", "hard"])
+    def test_forest_compile_changes_nothing(self, vote):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(size=(400, 4))
+        y = (X[:, 0] > 0.5).astype(np.int64)
+        a = OnlineRandomForest(4, n_trees=5, min_parent_size=40,
+                               min_gain=0.01, seed=3, vote=vote)
+        b = OnlineRandomForest(4, n_trees=5, min_parent_size=40,
+                               min_gain=0.01, seed=3, vote=vote)
+        a.partial_fit(X, y)
+        b.partial_fit(X, y)
+        assert b.compile() is b  # chains
+        for tree in b.trees:
+            assert tree._compiled is not None
+        Xp = rng.uniform(size=(100, 4))
+        assert np.array_equal(a.predict_score(Xp), b.predict_score(Xp))
+        for x in Xp[:30]:
+            assert a.predict_one(x) == b.predict_one(x)

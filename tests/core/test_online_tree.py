@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.node_stats import LeafStats
 from repro.core.online_tree import OnlineDecisionTree
 
 
@@ -74,6 +75,107 @@ class TestGrowth:
         stream_signal(t_amortized, 600, seed=5)
         assert t_amortized.n_splits >= 1
         assert t_amortized.n_splits <= t_exact.n_splits
+
+    def test_split_check_interval_fires_on_schedule_under_fractional_weights(
+        self, monkeypatch
+    ):
+        """The amortization gate counts update *events*, not weighted mass.
+
+        The old gate ``int(n_seen) % k`` breaks under fractional weights:
+        ``int(n_seen)`` repeats the same integer across consecutive
+        updates (burst of redundant checks) and skips residues entirely
+        (scheduled checks that never fire).  Spy on ``best_split`` and
+        assert the evaluation schedule is exactly every k-th update.
+        """
+        fired = []
+        orig = LeafStats.best_split
+
+        def spy(self):
+            fired.append(self.n_updates)
+            return orig(self)
+
+        monkeypatch.setattr(LeafStats, "best_split", spy)
+        # min_gain=1.0 exceeds the Gini-gain maximum (0.5): the split
+        # condition is evaluated on schedule but never fires, so one
+        # leaf absorbs the whole stream and the spy sees a clean series
+        tree = OnlineDecisionTree(
+            3, n_tests=10, min_parent_size=10.0, min_gain=1.0,
+            split_check_interval=4, seed=0,
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            x = rng.uniform(size=3)
+            tree.update(x, int(x[0] > 0.5), weight=0.3)
+
+        assert fired, "the gate never fired past alpha"
+        assert all(n % 4 == 0 for n in fired), fired
+        assert [b - a for a, b in zip(fired, fired[1:])] == [4] * (
+            len(fired) - 1
+        ), f"schedule has gaps or bursts: {fired}"
+        # alpha (weighted!) is reached at update 34; first check at 36
+        assert fired[0] == 36 and fired[-1] == 100
+
+    def test_update_batch_honors_split_check_interval(self, monkeypatch):
+        """``update_batch`` must respect the amortization knob.
+
+        It used to evaluate splits on every touched leaf at every batch
+        boundary regardless of ``split_check_interval``.  With an
+        interval larger than the whole stream, no split check may run.
+        """
+        fired = []
+        orig = LeafStats.best_split
+
+        def spy(self):
+            fired.append(self.n_updates)
+            return orig(self)
+
+        monkeypatch.setattr(LeafStats, "best_split", spy)
+        tree = OnlineDecisionTree(
+            3, n_tests=10, min_parent_size=10.0, min_gain=0.01,
+            split_check_interval=10_000, seed=0,
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            X = rng.uniform(size=(50, 3))
+            y = (X[:, 0] > 0.5).astype(np.int64)
+            tree.update_batch(X, y, np.ones(50))
+        assert fired == [], (
+            f"update_batch evaluated splits despite the interval: {fired}"
+        )
+        assert tree.n_splits == 0
+
+    def test_update_batch_split_parity_with_serial_at_interval_gt_one(self):
+        """Row-by-row ``update_batch`` equals ``update`` under amortization.
+
+        For single-row batches the batch gate (counter crossed a
+        multiple of k) reduces to the per-sample gate (counter is a
+        multiple of k), so the two paths must grow *identical* trees —
+        the regression pinning that ``update_batch`` both honors the
+        interval and honors it with the same schedule.
+        """
+        kw = dict(
+            n_tests=40, min_parent_size=50.0, min_gain=0.05,
+            split_check_interval=7, seed=3,
+        )
+        serial = OnlineDecisionTree(3, **kw)
+        batched = OnlineDecisionTree(3, **kw)
+        rng = np.random.default_rng(4)
+        for _ in range(600):
+            x = rng.uniform(size=3)
+            y = int(x[0] > 0.5)
+            serial.update(x, y)
+            batched.update_batch(
+                x[None, :], np.array([y]), np.ones(1)
+            )
+        assert serial.n_splits >= 1  # the stream must actually split
+        assert batched.n_splits == serial.n_splits
+        assert batched._feature == serial._feature
+        assert batched._threshold == serial._threshold
+        assert batched._left == serial._left
+        X = rng.uniform(size=(100, 3))
+        assert np.array_equal(
+            serial.predict_batch(X), batched.predict_batch(X)
+        )
 
     def test_invalid_params(self):
         with pytest.raises(ValueError):

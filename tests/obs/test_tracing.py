@@ -172,6 +172,31 @@ class TestStageMetrics:
             pass
         assert tracer.n_finished == 1
 
+    def test_forest_predict_one_emits_forest_predict_stage(self):
+        """The Algorithm-2 scalar hot path must be observable.
+
+        ``predict_one`` used to emit no span while ``predict_score``
+        did, so exact-mode serving latency was invisible per stage.
+        Both now account under the same ``forest.predict`` stage.
+        """
+        import numpy as np
+
+        from repro.core.forest import OnlineRandomForest
+
+        registry = MetricsRegistry()
+        forest = OnlineRandomForest(3, n_trees=3, seed=0)
+        forest.tracer = make_tracer(registry=registry)
+        x = np.full(3, 0.5)
+        forest.predict_one(x)
+        forest.predict_one(x)
+        forest.predict_score(x[None, :])
+        text = registry.render()
+        assert 'repro_stage_latency_seconds_count{stage="forest.predict"} 3' in text
+        # items: 1 per predict_one call, 1 row for the predict_score call
+        assert registry.value(
+            STAGE_ITEMS_METRIC, {"stage": "forest.predict"}
+        ) == 3
+
     def test_negative_duration_clamped_in_histogram(self):
         """A backwards clock (NTP step) must not crash the histogram."""
         class BackwardsClock:

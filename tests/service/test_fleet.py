@@ -130,6 +130,29 @@ class TestSingleShardEquivalence:
         )
 
 
+class TestCompiledServing:
+    def test_construction_warms_every_shard(self):
+        fleet = build_fleet(n_shards=3)
+        for shard in fleet.shards:
+            for tree in shard.forest.trees:
+                assert tree._compiled is not None
+
+    def test_compile_rewarm_after_ingest_changes_nothing(self, events):
+        """Serving with explicit re-warms interleaved is bit-identical:
+        compilation is representation-only at fleet level too."""
+        a = build_fleet(n_shards=2)
+        b = build_fleet(n_shards=2)
+        half = len(events) // 2
+        alarms_a = a.replay(events[:half], batch_size=17)
+        alarms_b = b.replay(events[:half], batch_size=17)
+        assert b.compile() is b
+        alarms_a += a.replay(events[half:], batch_size=17)
+        alarms_b += b.replay(events[half:], batch_size=17)
+        assert alarm_keys(alarms_a) == alarm_keys(alarms_b)
+        for sa, sb in zip(a.shards, b.shards):
+            assert same_forest(sa.forest, sb.forest)
+
+
 class TestMultiShard:
     def test_per_disk_alarms_partition_across_shards(self, events):
         fleet = build_fleet(n_shards=3)

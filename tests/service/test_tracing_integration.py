@@ -35,6 +35,9 @@ EXACT_MODE_STAGES = {
     "predictor.predict",
     "predictor.forest_update",
     "forest.fit",
+    # exact mode scores through forest.predict_one, which spans the
+    # same forest.predict stage as the batch-mode predict_score path
+    "forest.predict",
 }
 
 

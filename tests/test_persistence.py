@@ -70,6 +70,42 @@ class TestOnlineForestCheckpoint:
         assert restored.min_gain == forest.min_gain
         assert restored.n_trees == forest.n_trees
 
+    def test_compiled_snapshots_rebuilt_on_load(self, stream, tmp_path):
+        """Restored trees arrive pre-compiled (serving pays no warm-up),
+        and the rebuilt snapshots mirror the restored structure."""
+        X, y = stream
+        forest = self.make(X, y)
+        save_model(forest, tmp_path / "orf.npz")
+        restored = load_model(tmp_path / "orf.npz")
+        for tree in restored.trees:
+            assert tree._compiled is not None
+            assert tree._compiled.n_nodes == tree.n_nodes
+
+    @pytest.mark.parametrize("vote", ["soft", "hard"])
+    def test_scores_bit_identical_across_restore(self, stream, tmp_path, vote):
+        """Compiled inference pre- and post-checkpoint agrees to the bit,
+        in both vote modes and on both serving paths."""
+        X, y = stream
+        forest = OnlineRandomForest(
+            5, n_trees=6, n_tests=20, min_parent_size=60, min_gain=0.03,
+            lambda_pos=1.0, lambda_neg=0.2, oobe_threshold=0.3,
+            age_threshold=500, seed=42, vote=vote,
+        )
+        forest.partial_fit(X, y)
+        save_model(forest, tmp_path / "orf.npz")
+        restored = load_model(tmp_path / "orf.npz")
+        Xt = np.random.default_rng(3).uniform(size=(250, 5))
+        assert np.array_equal(
+            forest.predict_score(Xt), restored.predict_score(Xt)
+        )
+        for x in Xt[:40]:
+            assert forest.predict_one(x) == restored.predict_one(x)
+        # and the compiled path still matches the interpreted reference
+        for tree in restored.trees:
+            assert np.array_equal(
+                tree.predict_batch(Xt), tree._predict_batch_interpreted(Xt)
+            )
+
 
 class TestOfflineCheckpoints:
     def test_decision_tree_roundtrip(self, stream, tmp_path):

@@ -123,6 +123,45 @@ def test_predict_is_inclusive_score_threshold(name, build):
         )
 
 
+@pytest.mark.parametrize("vote", ["soft", "hard"])
+def test_orf_predict_one_bitwise_matches_predict_score(vote):
+    """``predict_one(x)`` must equal ``predict_score(x[None, :])[0]`` to
+    the bit, in both vote modes.
+
+    Both paths score each tree off the same compiled snapshot and both
+    use the strict ``> 0.5`` per-tree hard-vote boundary, so any drift
+    between the scalar and the batch serving path is a bug — including
+    on samples whose per-tree posteriors land exactly on 0.5.
+    """
+    X, y = _data()
+    model = OnlineRandomForest(
+        N_FEATURES, n_trees=5, min_parent_size=40, min_gain=0.01,
+        seed=1, vote=vote,
+    )
+    model.partial_fit(X, y)
+    for x in X[:80]:
+        one = model.predict_one(x)
+        batch = float(model.predict_score(x[None, :])[0])
+        assert one == batch or (one != one and batch != batch), (
+            f"vote={vote}: predict_one={one!r} != predict_score={batch!r}"
+        )
+
+
+@pytest.mark.parametrize("vote", ["soft", "hard"])
+def test_orf_hard_vote_boundary_is_strict(vote):
+    """Pin the per-tree vote boundary: a tree whose posterior is exactly
+    0.5 does NOT count as a positive vote (strict ``>``), identically in
+    ``predict_one`` and ``predict_score``."""
+    model = OnlineRandomForest(N_FEATURES, n_trees=3, seed=7, vote=vote)
+    # an untrained tree's single leaf has posterior (0+1)/(0+2) = 0.5 —
+    # exactly the boundary — so the hard vote fraction must be 0.0 and
+    # the soft mean exactly 0.5, on both serving paths
+    x = np.full(N_FEATURES, 0.5)
+    expected = 0.0 if vote == "hard" else 0.5
+    assert model.predict_one(x) == expected
+    assert model.predict_score(x[None, :])[0] == expected
+
+
 def test_vendor_rule_boundary_row_alarms():
     """A disk scoring exactly at the threshold must alarm (>= not >)."""
     model, X = _fit_vendor_rule()
