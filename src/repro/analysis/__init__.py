@@ -4,7 +4,9 @@ The evaluation protocol of the paper (monthly snapshots, long-term
 FDR/FAR simulation) is only meaningful over bit-reproducible streams.
 PRs 1-3 *proved* backend equivalence test by test; this package
 *enforces* the invariants that make those proofs hold, as machine-checked
-AST rules:
+AST rules in two stages.
+
+Per-file rules (one :class:`FileContext` at a time):
 
 * :mod:`repro.analysis.rules.determinism` — no unseeded RNG entry
   points, no wall-clock reads outside a narrow allowlist;
@@ -15,36 +17,73 @@ AST rules:
 * :mod:`repro.analysis.rules.api` — ``__all__`` consistent with the
   public definitions of each module.
 
+Whole-program graph rules (a :class:`~repro.analysis.graph.ProjectContext`
+over the full ``src/`` tree):
+
+* :mod:`repro.analysis.rules.layering` — declared import layer order,
+  import-cycle freedom;
+* :mod:`repro.analysis.rules.concurrency` — executor workers free of
+  shared mutable module state, picklable, with documented
+  ``__getstate__`` contracts;
+* :mod:`repro.analysis.rules.contracts` — project-wide ``repro_*``
+  metric uniqueness, cross-module from-import resolution.
+
 The engine (:mod:`repro.analysis.engine`) walks files, dispatches one
-shared AST per file to every applicable rule, honours inline
-``# repro: noqa RPR101 — reason`` suppressions, and diffs findings
-against a committed baseline (:mod:`repro.analysis.baseline`) so the
-tool lands strict-by-default.  Exposed on the CLI as ``repro lint``.
+shared AST per file to every applicable rule, runs the graph stage over
+the reused parses, honours inline ``# repro: noqa RPR101 — reason``
+suppressions, and diffs findings against a committed baseline
+(:mod:`repro.analysis.baseline`) so the tool lands strict-by-default.
+Exposed on the CLI as ``repro lint`` and ``repro graph``.
 """
 
-from repro.analysis.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.baseline import (
+    Baseline,
+    load_baseline,
+    prune_baseline,
+    write_baseline,
+)
 from repro.analysis.engine import (
     FileContext,
     Finding,
+    GraphRule,
     LintReport,
     Rule,
     Severity,
     iter_python_files,
     lint_paths,
+    suppression_reason,
 )
-from repro.analysis.rules import ALL_RULES, rules_by_id
+from repro.analysis.graph import (
+    DECLARED_LAYERS,
+    ProjectContext,
+    build_graph_doc,
+    build_project,
+    render_dot,
+    validate_graph_doc,
+)
+from repro.analysis.rules import ALL_RULES, GRAPH_RULES, rules_by_id
 
 __all__ = [
     "ALL_RULES",
     "Baseline",
+    "DECLARED_LAYERS",
     "FileContext",
     "Finding",
+    "GRAPH_RULES",
+    "GraphRule",
     "LintReport",
+    "ProjectContext",
     "Rule",
     "Severity",
+    "build_graph_doc",
+    "build_project",
     "iter_python_files",
     "lint_paths",
     "load_baseline",
+    "prune_baseline",
+    "render_dot",
     "rules_by_id",
+    "suppression_reason",
+    "validate_graph_doc",
     "write_baseline",
 ]

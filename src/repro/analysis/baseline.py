@@ -98,6 +98,35 @@ def write_baseline(
             "message": f.message,
         }
     baseline = Baseline(fingerprints=fingerprints)
+    _write_payload(fingerprints, path)
+    return baseline
+
+
+def prune_baseline(
+    findings: Sequence[Finding], path: str = DEFAULT_BASELINE
+) -> List[str]:
+    """Drop baseline entries no current finding matches; return them.
+
+    Stale entries are fixed debt: leaving them in the file means the
+    same violation could silently come back under grandfather cover.
+    A missing baseline file (or one with nothing stale) is a no-op.
+    """
+    p = Path(path)
+    if not p.exists():
+        return []
+    baseline = load_baseline(path)
+    stale = baseline.stale_entries(findings)
+    if not stale:
+        return []
+    for fingerprint in stale:
+        del baseline.fingerprints[fingerprint]
+    _write_payload(baseline.fingerprints, path)
+    return stale
+
+
+def _write_payload(
+    fingerprints: Dict[str, Dict[str, object]], path: str
+) -> None:
     payload = {
         "version": _VERSION,
         "comment": (
@@ -109,4 +138,3 @@ def write_baseline(
     Path(path).write_text(
         json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
     )
-    return baseline

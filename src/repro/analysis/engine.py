@@ -31,7 +31,28 @@ import time
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # annotation-only: the graph stage is imported lazily
+    from repro.analysis.graph import ProjectContext
+
+#: Run-timing clock, held *by reference* so the linter never calls the
+#: wall clock at module scope and callers (tests, deterministic JSON
+#: comparisons) can inject a fake — the same clock-by-reference pattern
+#: as ``repro.obs.tracing.Tracer``; RPR102 flags clock *calls*, and the
+#: sanctioned call site is the engine's single ``clock()`` below.
+_DEFAULT_CLOCK: Callable[[], float] = time.perf_counter
 
 #: ``# repro: noqa`` / ``# repro: noqa RPR101, RPR102 — reason``
 _NOQA_RE = re.compile(
@@ -151,6 +172,33 @@ class Rule:
         return f"<Rule {self.rule_id}: {self.description}>"
 
 
+class GraphRule:
+    """Base class for one *whole-program* invariant check.
+
+    Where :class:`Rule` sees a single :class:`FileContext`,
+    ``GraphRule`` subclasses receive the parsed
+    :class:`~repro.analysis.graph.ProjectContext` — the project symbol
+    table, import graph, and conservative call graph — and check
+    properties no single file can witness: layer ordering, import
+    cycles, pickling contracts, cross-module metric uniqueness.
+
+    Findings are ordinary :class:`Finding` records anchored at one
+    file:line, so fingerprints, baselines, ``# repro: noqa`` and JSON
+    output are shared with the per-file stage unchanged.
+    """
+
+    rule_id: str = "RPR999"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings across the whole project; override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<GraphRule {self.rule_id}: {self.description}>"
+
+
 def _match_glob(path: str, pattern: str) -> bool:
     """fnmatch that tolerates both repo-relative and nested prefixes."""
     return fnmatch(path, pattern) or fnmatch(path, "*/" + pattern)
@@ -179,6 +227,21 @@ def is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
     if ids is None:
         return False
     return not ids or finding.rule_id in ids
+
+
+def suppression_reason(line: str) -> Optional[str]:
+    """The reviewer-facing reason of a ``# repro: noqa`` comment.
+
+    Returns None both for lines with no suppression and for
+    suppressions written without a reason — the clean-gate test uses
+    the distinction to enforce that every suppression in the tree says
+    *why*.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    reason = m.group("reason")
+    return reason.strip() if reason else None
 
 
 @dataclass
@@ -246,8 +309,14 @@ def _relative_posix(path: Path) -> str:
         return path.as_posix()
 
 
-def lint_file(path: Path, rules: Sequence[Rule]) -> Tuple[List[Finding], List[Finding]]:
-    """Lint one file; returns ``(active, suppressed)`` findings."""
+def _lint_one(
+    path: Path, rules: Sequence[Rule]
+) -> Tuple[List[Finding], List[Finding], Optional[FileContext]]:
+    """Lint one file; returns active/suppressed findings and the context.
+
+    The context is None when the file does not parse (the RPR000
+    finding then carries the syntax error).
+    """
     rel = _relative_posix(path)
     source = path.read_text(encoding="utf-8")
     lines = source.splitlines()
@@ -263,7 +332,7 @@ def lint_file(path: Path, rules: Sequence[Rule]) -> Tuple[List[Finding], List[Fi
             message=f"file does not parse: {exc.msg}",
             snippet=(exc.text or "").strip(),
         )
-        return [finding], []
+        return [finding], [], None
     ctx = FileContext(path=rel, source=source, lines=lines, tree=tree)
     active: List[Finding] = []
     suppressed: List[Finding] = []
@@ -275,27 +344,81 @@ def lint_file(path: Path, rules: Sequence[Rule]) -> Tuple[List[Finding], List[Fi
                 suppressed.append(finding)
             else:
                 active.append(finding)
+    return active, suppressed, ctx
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file; returns ``(active, suppressed)`` findings."""
+    active, suppressed, _ = _lint_one(path, rules)
     return active, suppressed
 
 
 def lint_paths(
-    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    graph_rules: Optional[Sequence[GraphRule]] = None,
+    project_root: Optional[str] = None,
+    clock: Optional[Callable[[], float]] = None,
 ) -> LintReport:
-    """Walk *paths* and run every rule; the single library entry point."""
+    """Walk *paths*, run every per-file rule, then the graph stage.
+
+    The single library entry point.  The graph stage parses the whole
+    project under *project_root* (default ``src``, when it exists) but
+    only *reports* findings anchored in files covered by *paths* — so
+    ``repro lint src/repro/analysis`` still analyses the full program
+    while scoping its report, and ``--changed`` stays whole-program
+    sound.
+
+    ``graph_rules`` defaults to the registered graph packs when
+    *rules* is also defaulted; passing an explicit per-file rule set
+    keeps the run per-file only (targeted rule tests stay targeted)
+    unless graph rules are passed explicitly too.
+
+    ``clock`` is the run-timing source (by reference; defaults to
+    ``time.perf_counter``) — inject a constant for byte-identical
+    reports.
+    """
     if rules is None:
         from repro.analysis.rules import ALL_RULES
 
         rules = ALL_RULES
-    # lint runtime is report metadata, not part of any reproducible
-    # result stream — the one sanctioned clock read in src/
-    t0 = time.perf_counter()  # repro: noqa RPR102 — lint runtime is report metadata
+        if graph_rules is None:
+            from repro.analysis.rules import GRAPH_RULES
+
+            graph_rules = GRAPH_RULES
+    tick = clock if clock is not None else _DEFAULT_CLOCK
+    t0 = tick()
     report = LintReport(rules_run=len(rules))
+    contexts: Dict[str, FileContext] = {}
+    walked: Set[str] = set()
     for path in iter_python_files(paths):
-        active, suppressed = lint_file(path, rules)
+        active, suppressed, ctx = _lint_one(path, rules)
         report.findings.extend(active)
         report.suppressed.extend(suppressed)
         report.files_scanned += 1
+        resolved = path.resolve().as_posix()
+        walked.add(resolved)
+        if ctx is not None:
+            contexts[resolved] = ctx
+
+    if graph_rules:
+        from repro.analysis.graph import DEFAULT_PROJECT_ROOT, build_project
+
+        root = project_root if project_root is not None else DEFAULT_PROJECT_ROOT
+        if Path(root).is_dir():
+            project = build_project(root, contexts=contexts)
+            report.rules_run += len(graph_rules)
+            for grule in graph_rules:
+                for finding in grule.check_project(project):
+                    if Path(finding.path).resolve().as_posix() not in walked:
+                        continue
+                    if is_suppressed(finding, project.lines_for(finding.path)):
+                        report.suppressed.append(finding)
+                    else:
+                        report.findings.append(finding)
+
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     report.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    report.runtime_seconds = time.perf_counter() - t0  # repro: noqa RPR102 — lint runtime is report metadata
+    report.runtime_seconds = tick() - t0
     return report

@@ -1,0 +1,725 @@
+"""Whole-program project context: the linter's second, multi-file stage.
+
+The per-file stage (:mod:`repro.analysis.engine`) sees one
+:class:`FileContext` at a time, which is exactly right for local
+invariants (an unseeded RNG call is wrong no matter what the rest of
+the tree looks like) and exactly wrong for architectural ones: import
+layering, cross-module pickling contracts, and project-wide metric
+uniqueness are only visible when every module is on the table at once.
+
+This module builds that table — dependency-free, stdlib ``ast`` only,
+one parse per file (parses are reused from the per-file stage when the
+engine drives both):
+
+* a **module index**: every ``.py`` file under the project root mapped
+  to its dotted module name, with a generous top-level symbol table
+  (defs, classes, assignments, imports — including those nested under
+  module-level ``if``/``try`` blocks and loops);
+* an **import graph** at module granularity, where each edge records
+  whether it is *type-only* (inside ``if TYPE_CHECKING:`` — no runtime
+  dependency, exempt from layering and cycle analysis) and whether it
+  is *deferred* (function-scoped — a runtime dependency that cannot
+  create an import-time cycle);
+* **strongly connected components** over the import-time edges, i.e.
+  genuine import cycles;
+* the **declared layer order** (:data:`DECLARED_LAYERS`) that the
+  RPR501 architecture rule enforces, and the deterministic JSON / dot
+  documents ``repro graph`` emits.
+
+Graph rules (:class:`repro.analysis.engine.GraphRule` subclasses in
+:mod:`repro.analysis.rules.layering` / ``concurrency`` / ``contracts``)
+consume the :class:`ProjectContext` built here and emit ordinary
+:class:`~repro.analysis.engine.Finding` records, so fingerprints,
+baselines, ``# repro: noqa`` suppression, and JSON output are shared
+with the per-file stage.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.engine import (
+    FileContext,
+    _relative_posix,
+    iter_python_files,
+)
+
+#: the project's root package; modules outside it are ignored
+ROOT_PACKAGE = "repro"
+
+#: default directory the whole-program stage parses
+DEFAULT_PROJECT_ROOT = "src"
+
+#: The declared architecture, lowest layer first.  A module in layer N
+#: may import (at runtime) only from layers <= N; the root package
+#: facade (``repro/__init__``) is exempt — it exists to re-export the
+#: public surface and legitimately touches every tier.  A package that
+#: appears in no layer is itself an RPR501 finding: growing the tree
+#: means declaring where new packages sit.
+DECLARED_LAYERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("foundations", ("utils", "smart", "features")),
+    ("models", ("core", "obs", "streaming", "offline")),
+    ("evaluation", ("eval", "parallel", "ops", "persistence", "strategies")),
+    ("serving", ("service", "analysis")),
+    ("edge", ("gateway",)),
+    ("interface", ("cli",)),
+)
+
+#: graph-document format version (bump on schema change)
+GRAPH_DOC_FORMAT = 1
+
+
+def layer_of_package(package: Optional[str]) -> Optional[int]:
+    """Layer index for a top-level package segment; None when undeclared.
+
+    ``package`` is the first dotted segment after :data:`ROOT_PACKAGE`
+    (``"core"`` for ``repro.core.forest``) or ``None`` for the root
+    facade module itself.
+    """
+    if package is None:
+        return None
+    for index, (_, packages) in enumerate(DECLARED_LAYERS):
+        if package in packages:
+            return index
+    return None
+
+
+def declared_packages() -> FrozenSet[str]:
+    """Every package segment named somewhere in the declared order."""
+    out: Set[str] = set()
+    for _, packages in DECLARED_LAYERS:
+        out.update(packages)
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One importer → imported dependency between project modules."""
+
+    importer: str
+    imported: str
+    lineno: int
+    col: int
+    type_only: bool
+    deferred: bool
+
+
+@dataclass(frozen=True)
+class FromImport:
+    """One name pulled out of a project module via ``from m import n``.
+
+    Kept separately from :class:`ImportEdge` because contract rules
+    (RPR602) need the *name* and its anchor node, not just the edge,
+    and concurrency rules resolve local aliases (``asname``) back to
+    their defining module.
+    """
+
+    module: str
+    name: str
+    asname: str
+    node: ast.stmt
+    type_only: bool
+    deferred: bool
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the graph stage knows about one project module."""
+
+    name: str
+    path: str
+    ctx: FileContext
+    is_package: bool
+    bindings: FrozenSet[str]
+    has_import_star: bool
+    submodules: FrozenSet[str] = frozenset()
+    edges: Tuple[ImportEdge, ...] = ()
+    from_imports: Tuple[FromImport, ...] = ()
+
+    @property
+    def package(self) -> Optional[str]:
+        """Top-level package segment, or None for the root facade."""
+        parts = self.name.split(".")
+        return parts[1] if len(parts) > 1 else None
+
+    @property
+    def layer(self) -> Optional[int]:
+        """Declared layer index, or None (root facade / undeclared)."""
+        return layer_of_package(self.package)
+
+    def resolves(self, name: str) -> bool:
+        """True when ``from <this module> import name`` would succeed."""
+        return name in self.bindings or name in self.submodules
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+@dataclass
+class _RawImport:
+    """An Import/ImportFrom statement with its lexical placement."""
+
+    node: ast.stmt
+    type_only: bool
+    deferred: bool
+
+
+def _scan_imports(tree: ast.Module) -> List[_RawImport]:
+    """Every import statement in the file, tagged type-only / deferred."""
+    out: List[_RawImport] = []
+
+    def visit(stmts: Sequence[ast.stmt], type_only: bool, deferred: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                out.append(_RawImport(stmt, type_only, deferred))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(stmt.body, type_only, True)
+            elif isinstance(stmt, ast.ClassDef):
+                visit(stmt.body, type_only, deferred)
+            elif isinstance(stmt, ast.If):
+                branch_type_only = type_only or _is_type_checking_test(stmt.test)
+                visit(stmt.body, branch_type_only, deferred)
+                visit(stmt.orelse, type_only, deferred)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                visit(stmt.body, type_only, deferred)
+                visit(stmt.orelse, type_only, deferred)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                visit(stmt.body, type_only, deferred)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body, type_only, deferred)
+                for handler in stmt.handlers:
+                    visit(handler.body, type_only, deferred)
+                visit(stmt.orelse, type_only, deferred)
+                visit(stmt.finalbody, type_only, deferred)
+
+    visit(tree.body, False, False)
+    return out
+
+
+def _collect_bindings(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Generous top-level symbol table: names ``from m import x`` can hit.
+
+    Descends into module-level control flow (``if``/``try``/loops/
+    ``with``) because conditional imports and platform-dependent
+    definitions still bind at import time; does **not** descend into
+    functions or classes (their names are the binding).
+    """
+    bound: Set[str] = set()
+    star = False
+
+    def bind_target(target: ast.expr) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                bound.add(node.id)
+
+    def visit(stmts: Sequence[ast.stmt]) -> None:
+        nonlocal star
+        for stmt in stmts:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    bind_target(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(stmt.target)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                bind_target(stmt.target)
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars)
+                visit(stmt.body)
+            elif isinstance(stmt, ast.If):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body)
+                for handler in stmt.handlers:
+                    visit(handler.body)
+                visit(stmt.orelse)
+                visit(stmt.finalbody)
+
+    visit(tree.body)
+    return bound, star
+
+
+def module_name_for(path: Path, root: Path) -> Optional[str]:
+    """Dotted module name for *path* under *root*, or None if unrelated."""
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return None
+    parts = list(rel.with_suffix("").parts)
+    if not parts:
+        return None
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return None
+    return ".".join(parts)
+
+
+def _resolve_from_module(
+    node: ast.ImportFrom, importer: str, is_package: bool
+) -> Optional[str]:
+    """Absolute module named by a ``from … import`` clause."""
+    if node.level == 0:
+        return node.module
+    # relative import: climb `level` packages from the importer
+    parts = importer.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    climb = node.level - 1
+    if climb > len(parts):
+        return None
+    base = parts[: len(parts) - climb]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+@dataclass
+class ProjectContext:
+    """The parsed whole-program view every graph rule runs against."""
+
+    root: str
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+
+    @property
+    def module_names(self) -> List[str]:
+        """Sorted module names (the deterministic iteration order)."""
+        return sorted(self.modules)
+
+    def by_path(self, path: str) -> Optional[ModuleInfo]:
+        """Module whose repo-relative path is *path*."""
+        for info in self.modules.values():
+            if info.path == path:
+                return info
+        return None
+
+    def lines_for(self, path: str) -> List[str]:
+        """Source lines of the module at *path* (for noqa suppression)."""
+        info = self.by_path(path)
+        return info.ctx.lines if info is not None else []
+
+    def import_graph(
+        self, *, include_type_only: bool = False, include_deferred: bool = True
+    ) -> Dict[str, Set[str]]:
+        """Adjacency view of the module graph under the given filters."""
+        graph: Dict[str, Set[str]] = {name: set() for name in self.modules}
+        for info in self.modules.values():
+            for edge in info.edges:
+                if edge.type_only and not include_type_only:
+                    continue
+                if edge.deferred and not include_deferred:
+                    continue
+                graph[edge.importer].add(edge.imported)
+        return graph
+
+    def cycles(self) -> List[List[str]]:
+        """Import-time cycles: SCCs of the non-deferred runtime graph.
+
+        Deferred (function-scoped) imports cannot fire during module
+        initialization, so they are excluded — moving an import into
+        the using function is the sanctioned way to break a cycle.
+        Each cycle is rotated to start at its smallest module name;
+        the list is sorted, so output is deterministic.
+        """
+        graph = self.import_graph(include_type_only=False, include_deferred=False)
+        sccs = _strongly_connected(graph)
+        out: List[List[str]] = []
+        for scc in sccs:
+            if len(scc) == 1:
+                node = scc[0]
+                if node not in graph.get(node, ()):  # no self-loop
+                    continue
+            pivot = scc.index(min(scc))
+            out.append(scc[pivot:] + scc[:pivot])
+        out.sort()
+        return out
+
+
+def _strongly_connected(graph: Mapping[str, Set[str]]) -> List[List[str]]:
+    """Iterative Tarjan SCC; components come back in deterministic order."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = 0
+
+    for start in sorted(graph):
+        if start in index_of:
+            continue
+        # work item: (node, iterator over successors)
+        work: List[Tuple[str, Iterator[str]]] = [(start, iter(sorted(graph[start])))]
+        index_of[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in graph:
+                    continue
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                component.reverse()
+                sccs.append(component)
+    return sccs
+
+
+def build_project(
+    root: str = DEFAULT_PROJECT_ROOT,
+    *,
+    contexts: Optional[Mapping[str, FileContext]] = None,
+) -> ProjectContext:
+    """Parse every module under *root* into a :class:`ProjectContext`.
+
+    ``contexts`` lets the engine hand over files it already parsed for
+    the per-file stage (keyed by resolved posix path), keeping the
+    whole pipeline at one parse per file.  Files that fail to parse are
+    skipped here — the per-file stage owns reporting RPR000 for them.
+    """
+    root_path = Path(root)
+    contexts = contexts or {}
+    project = ProjectContext(root=_relative_posix(root_path))
+
+    paths: Dict[str, Path] = {}
+    for file_path in iter_python_files([root]):
+        name = module_name_for(file_path, root_path)
+        if name is None or name.split(".")[0] != ROOT_PACKAGE:
+            continue
+        paths[name] = file_path
+
+    for name in sorted(paths):
+        file_path = paths[name]
+        ctx = contexts.get(file_path.resolve().as_posix())
+        if ctx is None:
+            source = file_path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError:
+                continue  # per-file stage reports RPR000
+            ctx = FileContext(
+                path=_relative_posix(file_path),
+                source=source,
+                lines=source.splitlines(),
+                tree=tree,
+            )
+        bindings, star = _collect_bindings(ctx.tree)
+        project.modules[name] = ModuleInfo(
+            name=name,
+            path=ctx.path,
+            ctx=ctx,
+            is_package=file_path.name == "__init__.py",
+            bindings=frozenset(bindings),
+            has_import_star=star,
+        )
+
+    # second pass: submodules and resolved import edges
+    for name, info in project.modules.items():
+        prefix = name + "."
+        info.submodules = frozenset(
+            other[len(prefix):]
+            for other in project.modules
+            if other.startswith(prefix) and "." not in other[len(prefix):]
+        )
+    for name, info in project.modules.items():
+        edges: List[ImportEdge] = []
+        from_imports: List[FromImport] = []
+        for raw in _scan_imports(info.ctx.tree):
+            node = raw.node
+            targets: List[str] = []
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    targets.append(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_from_module(node, name, info.is_package)
+                if base is None:
+                    continue
+                # `from pkg import submodule` depends on the submodule,
+                # not on pkg/__init__ having finished: Python's importer
+                # falls back to the submodule when the package is only
+                # partially initialized, which is the sanctioned circular
+                # idiom inside a package.  The edge to `base` itself is
+                # only real when some imported name must come from the
+                # package body (an attribute, or `*`).
+                base_needed = False
+                for alias in node.names:
+                    if alias.name == "*":
+                        base_needed = True
+                        continue
+                    if _is_project_module(base, project):
+                        from_imports.append(
+                            FromImport(
+                                module=base,
+                                name=alias.name,
+                                asname=alias.asname or alias.name,
+                                node=node,
+                                type_only=raw.type_only,
+                                deferred=raw.deferred,
+                            )
+                        )
+                    child = f"{base}.{alias.name}"
+                    if child in project.modules:
+                        targets.append(child)
+                    else:
+                        base_needed = True
+                if base_needed:
+                    targets.append(base)
+            for target in targets:
+                resolved = _resolve_to_project_module(target, project)
+                if resolved is None or resolved == name:
+                    continue
+                edges.append(
+                    ImportEdge(
+                        importer=name,
+                        imported=resolved,
+                        lineno=node.lineno,
+                        col=node.col_offset + 1,
+                        type_only=raw.type_only,
+                        deferred=raw.deferred,
+                    )
+                )
+        info.edges = tuple(edges)
+        info.from_imports = tuple(from_imports)
+    return project
+
+
+def _is_project_module(name: str, project: ProjectContext) -> bool:
+    return name in project.modules
+
+
+def _resolve_to_project_module(
+    name: str, project: ProjectContext
+) -> Optional[str]:
+    """Map an imported dotted name onto a project module, if any.
+
+    ``repro.core.forest`` resolves exactly; ``repro.missing`` resolves
+    to nothing (RPR602 reports unresolvable *names*, not modules —
+    a module that does not exist fails at import time already).
+    """
+    if name in project.modules:
+        return name
+    return None
+
+
+# ----------------------------------------------------------------- documents
+def build_graph_doc(
+    project: ProjectContext,
+    *,
+    cycles: Optional[List[List[str]]] = None,
+    violations: Optional[List[Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """Deterministic JSON document for ``repro graph --format json``."""
+    modules: List[Dict[str, object]] = []
+    for name in project.module_names:
+        info = project.modules[name]
+        runtime = sorted(
+            {e.imported for e in info.edges if not e.type_only and not e.deferred}
+        )
+        deferred = sorted(
+            {e.imported for e in info.edges if not e.type_only and e.deferred}
+        )
+        type_only = sorted({e.imported for e in info.edges if e.type_only})
+        modules.append(
+            {
+                "module": name,
+                "path": info.path,
+                "package": info.package,
+                "layer": info.layer,
+                "imports": runtime,
+                "deferred_imports": deferred,
+                "type_only_imports": type_only,
+            }
+        )
+    layers = [
+        {"index": i, "name": layer_name, "packages": sorted(packages)}
+        for i, (layer_name, packages) in enumerate(DECLARED_LAYERS)
+    ]
+    return {
+        "format": GRAPH_DOC_FORMAT,
+        "root": project.root,
+        "layers": layers,
+        "modules": modules,
+        "cycles": cycles if cycles is not None else project.cycles(),
+        "violations": violations or [],
+    }
+
+
+def validate_graph_doc(doc: Mapping[str, object]) -> None:
+    """Schema-check a graph document; raises ``ValueError`` on drift."""
+    expected_keys = {"format", "root", "layers", "modules", "cycles", "violations"}
+    if set(doc) != expected_keys:
+        raise ValueError(
+            f"graph doc keys {sorted(doc)} != expected {sorted(expected_keys)}"
+        )
+    if doc["format"] != GRAPH_DOC_FORMAT:
+        raise ValueError(f"graph doc format {doc['format']!r} != {GRAPH_DOC_FORMAT}")
+    layers = doc["layers"]
+    if not isinstance(layers, list) or not layers:
+        raise ValueError("graph doc: 'layers' must be a non-empty list")
+    for layer in layers:
+        if not isinstance(layer, dict) or set(layer) != {"index", "name", "packages"}:
+            raise ValueError(f"graph doc: malformed layer entry {layer!r}")
+    modules = doc["modules"]
+    if not isinstance(modules, list) or not modules:
+        raise ValueError("graph doc: 'modules' must be a non-empty list")
+    module_keys = {
+        "module",
+        "path",
+        "package",
+        "layer",
+        "imports",
+        "deferred_imports",
+        "type_only_imports",
+    }
+    names: List[str] = []
+    for entry in modules:
+        if not isinstance(entry, dict) or set(entry) != module_keys:
+            raise ValueError(f"graph doc: malformed module entry {entry!r}")
+        if not isinstance(entry["module"], str):
+            raise ValueError("graph doc: module name must be a string")
+        names.append(entry["module"])
+        for key in ("imports", "deferred_imports", "type_only_imports"):
+            value = entry[key]
+            if not isinstance(value, list) or value != sorted(value):
+                raise ValueError(
+                    f"graph doc: {entry['module']}.{key} must be a sorted list"
+                )
+    if names != sorted(names):
+        raise ValueError("graph doc: modules must be sorted by name")
+    cycles = doc["cycles"]
+    if not isinstance(cycles, list):
+        raise ValueError("graph doc: 'cycles' must be a list")
+    for cycle in cycles:
+        if not isinstance(cycle, list) or not all(
+            isinstance(m, str) for m in cycle
+        ):
+            raise ValueError(f"graph doc: malformed cycle {cycle!r}")
+    if not isinstance(doc["violations"], list):
+        raise ValueError("graph doc: 'violations' must be a list")
+
+
+def render_dot(doc: Mapping[str, object]) -> str:
+    """Package-level Graphviz rendering of a graph document.
+
+    Modules aggregate to their top-level package (the facade module is
+    skipped), packages cluster by declared layer, and edges that exist
+    *only* as type-only imports are dashed.  Output is fully sorted, so
+    two runs over the same tree emit byte-identical dot.
+    """
+    modules = doc["modules"]
+    assert isinstance(modules, list)
+    layers = doc["layers"]
+    assert isinstance(layers, list)
+
+    package_layer: Dict[str, Optional[int]] = {}
+    runtime_edges: Set[Tuple[str, str]] = set()
+    type_edges: Set[Tuple[str, str]] = set()
+    module_package = {
+        entry["module"]: entry["package"] for entry in modules
+    }
+    for entry in modules:
+        pkg = entry["package"]
+        if pkg is None:
+            continue
+        package_layer.setdefault(pkg, entry["layer"])
+        for key, bucket in (
+            ("imports", runtime_edges),
+            ("deferred_imports", runtime_edges),
+            ("type_only_imports", type_edges),
+        ):
+            for target in entry[key]:
+                target_pkg = module_package.get(target)
+                if target_pkg is None or target_pkg == pkg:
+                    continue
+                bucket.add((pkg, target_pkg))
+    type_edges -= runtime_edges
+
+    lines = [
+        "digraph repro {",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for layer in layers:
+        members = sorted(
+            pkg for pkg, idx in package_layer.items() if idx == layer["index"]
+        )
+        if not members:
+            continue
+        lines.append(f"  subgraph cluster_{layer['index']} {{")
+        lines.append(f'    label="L{layer["index"]} {layer["name"]}";')
+        for pkg in members:
+            lines.append(f'    "{pkg}";')
+        lines.append("  }")
+    undeclared = sorted(
+        pkg for pkg, idx in package_layer.items() if idx is None
+    )
+    for pkg in undeclared:
+        lines.append(f'  "{pkg}";')
+    for src, dst in sorted(runtime_edges):
+        lines.append(f'  "{src}" -> "{dst}";')
+    for src, dst in sorted(type_edges):
+        lines.append(f'  "{src}" -> "{dst}" [style=dashed];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

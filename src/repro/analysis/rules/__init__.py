@@ -1,18 +1,31 @@
 """Rule registry: every invariant the linter enforces, in id order.
 
 Adding a rule = write a :class:`~repro.analysis.engine.Rule` subclass
-in the thematic module, append it to that module's ``RULES`` tuple, and
-document it in ``docs/static_analysis.md``.  Ids are stable forever —
-they appear in noqa comments and baselines — so retired rules leave a
-gap rather than being renumbered.
+(or a :class:`~repro.analysis.engine.GraphRule` for whole-program
+invariants) in the thematic module, append it to that module's
+``RULES`` tuple, and document it in ``docs/static_analysis.md``.  Ids
+are stable forever — they appear in noqa comments and baselines — so
+retired rules leave a gap rather than being renumbered.
+
+Per-file packs feed :data:`ALL_RULES`; graph packs (layering,
+concurrency, contracts) feed :data:`GRAPH_RULES` and run in the
+whole-program second stage.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
-from repro.analysis.engine import Rule
-from repro.analysis.rules import api, determinism, hygiene, numerics
+from repro.analysis.engine import GraphRule, Rule
+from repro.analysis.rules import (
+    api,
+    concurrency,
+    contracts,
+    determinism,
+    hygiene,
+    layering,
+    numerics,
+)
 
 ALL_RULES: Tuple[Rule, ...] = (
     *determinism.RULES,
@@ -21,10 +34,30 @@ ALL_RULES: Tuple[Rule, ...] = (
     *api.RULES,
 )
 
+GRAPH_RULES: Tuple[GraphRule, ...] = (
+    *layering.RULES,
+    *concurrency.RULES,
+    *contracts.RULES,
+)
 
-def rules_by_id() -> Dict[str, Rule]:
-    """``{rule_id: rule}`` for docs, ``--stats`` and tests."""
-    return {rule.rule_id: rule for rule in ALL_RULES}
+
+def rules_by_id() -> Dict[str, Union[Rule, GraphRule]]:
+    """``{rule_id: rule}`` over both stages, for docs/--explain/tests."""
+    out: Dict[str, Union[Rule, GraphRule]] = {}
+    for rule in (*ALL_RULES, *GRAPH_RULES):
+        out[rule.rule_id] = rule
+    return out
 
 
-__all__ = ["ALL_RULES", "rules_by_id", "api", "determinism", "hygiene", "numerics"]
+__all__ = [
+    "ALL_RULES",
+    "GRAPH_RULES",
+    "rules_by_id",
+    "api",
+    "concurrency",
+    "contracts",
+    "determinism",
+    "hygiene",
+    "layering",
+    "numerics",
+]

@@ -1,0 +1,364 @@
+"""RPR51x — concurrency safety across the executor and serving stack.
+
+The executor contract (:mod:`repro.parallel.pool`) is that serial,
+thread, and process backends are interchangeable for pure, picklable
+work.  Three cross-module mistakes silently break it:
+
+* **RPR511** — mutable module-level state (a dict/list/set bound at
+  module scope) read or written by a function that is dispatched
+  through an executor.  Under the process backend every worker gets a
+  *copy* of the module; mutations never propagate back, and under
+  threads the shared object races.  Workers must receive all state via
+  their picklable payload (the ``TreeSlot`` pattern from
+  :mod:`repro.core.forest`).
+* **RPR512** — lambdas or closures submitted to an executor.  They
+  cannot be pickled, so the process backend raises at dispatch time —
+  a latent crash that serial/thread test runs never see.  Workers must
+  be module-level functions taking one payload argument.
+* **RPR513** — a class defining ``__getstate__`` without either a
+  matching ``__setstate__`` or a documented state contract (a comment
+  directly above the method or a docstring inside it).  ``__getstate__``
+  usually exists to drop a cache from executor pickles (the
+  ``CompiledTree`` pattern); without documentation or a restore hook,
+  the next refactor cannot tell which attributes are safe to drop and
+  which silently lose state.
+
+Worker detection is conservative and name-based: a call
+``<receiver>.map(fn, …)`` / ``<receiver>.submit(fn, …)`` counts as an
+executor dispatch when the receiver's terminal identifier mentions
+``executor`` or ``pool`` (``self._executor``, ``tree_pool`` …).  The
+reachable set of a worker is closed over same-module calls to other
+module-level functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, GraphRule, Severity
+from repro.analysis.graph import ModuleInfo, ProjectContext
+
+#: executor dispatch method names
+_DISPATCH_ATTRS = frozenset({"map", "submit"})
+
+#: constructor calls whose result is shared mutable state
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+
+def _is_executorish(expr: ast.expr) -> bool:
+    """True when *expr* plausibly names an executor or worker pool."""
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    else:
+        return False
+    low = name.lower().lstrip("_")
+    return "executor" in low or low == "pool" or low.endswith("_pool")
+
+
+def _dispatch_callable(node: ast.Call) -> Optional[ast.expr]:
+    """The submitted callable when *node* is an executor dispatch."""
+    fn = node.func
+    if (
+        isinstance(fn, ast.Attribute)
+        and fn.attr in _DISPATCH_ATTRS
+        and _is_executorish(fn.value)
+        and node.args
+    ):
+        return node.args[0]
+    return None
+
+
+def _mutable_globals(tree: ast.Module) -> Dict[str, ast.stmt]:
+    """Module-level names bound to mutable containers, with anchors."""
+    out: Dict[str, ast.stmt] = {}
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None or not _is_mutable_value(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out.setdefault(target.id, stmt)
+    return out
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = (
+            fn.id
+            if isinstance(fn, ast.Name)
+            else fn.attr if isinstance(fn, ast.Attribute) else ""
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _top_level_functions(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in tree.body
+        if isinstance(stmt, ast.FunctionDef)
+    }
+
+
+def _worker_functions(project: ProjectContext) -> Dict[str, Set[str]]:
+    """``{module: {function}}`` dispatched through an executor anywhere.
+
+    A dispatch whose callable is a bare name resolves either to a
+    top-level function of the dispatching module or, through that
+    module's ``from m import f`` aliases, to a function of another
+    project module.
+    """
+    workers: Dict[str, Set[str]] = {}
+    for name in project.module_names:
+        info = project.modules[name]
+        top_level = _top_level_functions(info.ctx.tree)
+        origins: Dict[str, Tuple[str, str]] = {
+            fi.asname: (fi.module, fi.name) for fi in info.from_imports
+        }
+        for node in ast.walk(info.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dispatch_callable(node)
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id in top_level:
+                workers.setdefault(name, set()).add(target.id)
+            elif target.id in origins:
+                origin_module, origin_name = origins[target.id]
+                origin = project.modules.get(origin_module)
+                if origin is not None and origin_name in _top_level_functions(
+                    origin.ctx.tree
+                ):
+                    workers.setdefault(origin_module, set()).add(origin_name)
+    return workers
+
+
+def _reachable_functions(
+    module_functions: Dict[str, ast.FunctionDef], roots: Set[str]
+) -> Set[str]:
+    """Close *roots* over same-module calls to top-level functions."""
+    reached: Set[str] = set()
+    frontier = [r for r in roots if r in module_functions]
+    while frontier:
+        fn_name = frontier.pop()
+        if fn_name in reached:
+            continue
+        reached.add(fn_name)
+        for node in ast.walk(module_functions[fn_name]):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in module_functions
+                and node.func.id not in reached
+            ):
+                frontier.append(node.func.id)
+    return reached
+
+
+def _names_touched(fn: ast.FunctionDef) -> Tuple[Set[str], Set[str]]:
+    """``(free loads, global decls)`` of one function body."""
+    bound: Set[str] = {a.arg for a in _all_args(fn.args)}
+    loads: Set[str] = set()
+    globals_decl: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            globals_decl.update(node.names)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn:
+                bound.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            bound.add(node.name)
+        elif isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load):
+                loads.add(node.id)
+            else:
+                bound.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name != "*":
+                    bound.add((alias.asname or alias.name).split(".")[0])
+    free = {n for n in loads if n not in bound} | globals_decl
+    return free, globals_decl
+
+
+def _all_args(args: ast.arguments) -> List[ast.arg]:
+    out = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        out.append(args.vararg)
+    if args.kwarg is not None:
+        out.append(args.kwarg)
+    return out
+
+
+class WorkerSharedStateRule(GraphRule):
+    """RPR511: no mutable module globals reachable from executor workers."""
+
+    rule_id = "RPR511"
+    severity = Severity.ERROR
+    description = (
+        "mutable module-level state reachable from an executor worker "
+        "function — pass state through the picklable payload instead"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        workers = _worker_functions(project)
+        for module_name in sorted(workers):
+            info = project.modules[module_name]
+            mutables = _mutable_globals(info.ctx.tree)
+            if not mutables:
+                continue
+            functions = _top_level_functions(info.ctx.tree)
+            reached = _reachable_functions(functions, workers[module_name])
+            touched_by: Dict[str, Set[str]] = {}
+            for fn_name in sorted(reached):
+                free, _ = _names_touched(functions[fn_name])
+                for global_name in free & set(mutables):
+                    touched_by.setdefault(global_name, set()).add(fn_name)
+            for global_name in sorted(touched_by):
+                via = ", ".join(sorted(touched_by[global_name]))
+                yield info.ctx.finding(
+                    self,
+                    mutables[global_name],
+                    f"module-level mutable {global_name!r} is reachable "
+                    f"from executor worker(s) {via}: process workers see a "
+                    "stale copy and thread workers race — move the state "
+                    "into the worker payload",
+                )
+
+
+class UnpicklableWorkRule(GraphRule):
+    """RPR512: executors take module-level functions, never closures."""
+
+    rule_id = "RPR512"
+    severity = Severity.ERROR
+    description = (
+        "lambda or closure submitted to an executor — the process "
+        "backend cannot pickle it; use a module-level worker function"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for name in project.module_names:
+            info = project.modules[name]
+            yield from self._scan(info, info.ctx.tree.body, frozenset())
+
+    def _scan(
+        self,
+        info: ModuleInfo,
+        stmts: List[ast.stmt],
+        local_defs: FrozenSet[str],
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested = frozenset(
+                    node.name
+                    for node in ast.walk(stmt)
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node is not stmt
+                )
+                yield from self._scan_body(info, stmt, local_defs | nested)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._scan(info, stmt.body, local_defs)
+
+    def _scan_body(
+        self,
+        info: ModuleInfo,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        local_defs: FrozenSet[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dispatch_callable(node)
+            if target is None:
+                continue
+            if isinstance(target, ast.Lambda):
+                yield info.ctx.finding(
+                    self,
+                    target,
+                    "lambda submitted to an executor cannot be pickled by "
+                    "the process backend — define a module-level worker",
+                )
+            elif isinstance(target, ast.Name) and target.id in local_defs:
+                yield info.ctx.finding(
+                    self,
+                    target,
+                    f"closure {target.id!r} submitted to an executor "
+                    "cannot be pickled by the process backend — hoist it "
+                    "to module level and pass state via the payload",
+                )
+
+
+class GetstateContractRule(GraphRule):
+    """RPR513: ``__getstate__`` needs ``__setstate__`` or a documented contract."""
+
+    rule_id = "RPR513"
+    severity = Severity.ERROR
+    description = (
+        "__getstate__ without a matching __setstate__ or a documented "
+        "state-drop contract (comment above the method or docstring)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for name in project.module_names:
+            info = project.modules[name]
+            for node in ast.walk(info.ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                methods = {
+                    stmt.name: stmt
+                    for stmt in node.body
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                getstate = methods.get("__getstate__")
+                if getstate is None or "__setstate__" in methods:
+                    continue
+                if ast.get_docstring(getstate):
+                    continue
+                if self._has_comment_above(info, getstate):
+                    continue
+                yield info.ctx.finding(
+                    self,
+                    getstate,
+                    f"{node.name}.__getstate__ has no __setstate__ and no "
+                    "documented contract: add the restore hook, or a "
+                    "comment/docstring saying which state is dropped and "
+                    "why rebuilding it is safe",
+                )
+
+    @staticmethod
+    def _has_comment_above(
+        info: ModuleInfo, fn: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> bool:
+        """A ``#`` comment within the three lines above the def (or its
+        first decorator) counts as the documented contract."""
+        first_line = min(
+            [fn.lineno] + [d.lineno for d in fn.decorator_list]
+        )
+        lines = info.ctx.lines
+        for lineno in range(max(1, first_line - 3), first_line):
+            stripped = lines[lineno - 1].strip()
+            if stripped.startswith("#"):
+                return True
+        return False
+
+
+RULES: Tuple[GraphRule, ...] = (
+    WorkerSharedStateRule(),
+    UnpicklableWorkRule(),
+    GetstateContractRule(),
+)

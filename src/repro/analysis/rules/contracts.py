@@ -1,0 +1,179 @@
+"""RPR6xx — cross-module contracts: metrics and import surfaces.
+
+These rules generalize two per-file rules to the whole program:
+
+* **RPR601** extends RPR303 (metric registration discipline) from one
+  file to the project: a ``repro_*`` metric *name* is a global key —
+  dashboards, alert rules, and the registry itself join on it — so two
+  modules registering the same name, or one name registered with two
+  different literal label-key sets, silently merge unrelated time
+  series.  Only literal registrations are considered (an f-string name
+  is dynamic and out of scope, as in RPR303).
+* **RPR602** extends RPR401 (``__all__`` consistency) across package
+  boundaries: ``from repro.x import name`` must resolve against the
+  target module's top-level symbol table (defs, classes, assignments,
+  imports, submodules).  The per-file rule can only see that a name is
+  *exported*; this rule sees whether the other side actually *binds*
+  it — the failure mode is a facade ``__init__`` re-exporting a symbol
+  that a refactor renamed.  Modules using ``import *`` are skipped
+  (their binding set is unknowable statically).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine import Finding, GraphRule, Severity
+from repro.analysis.graph import ModuleInfo, ProjectContext
+
+#: the MetricsRegistry factory method names (mirrors RPR303)
+_REGISTRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+_METRIC_PREFIX = "repro_"
+
+
+def _literal_metric_name(node: ast.Call) -> Optional[str]:
+    """The literal ``repro_*`` name of a registry call, else None."""
+    fn = node.func
+    if not (
+        isinstance(fn, ast.Attribute)
+        and fn.attr in _REGISTRY_FACTORIES
+        and node.args
+    ):
+        return None
+    head = node.args[0]
+    if isinstance(head, ast.Constant) and isinstance(head.value, str):
+        name = head.value
+        return name if name.startswith(_METRIC_PREFIX) else None
+    return None
+
+
+def _literal_label_keys(node: ast.Call) -> Optional[FrozenSet[str]]:
+    """Label keys of a literal ``labels={...}`` kwarg; None if absent
+    or not fully literal (a dynamic dict cannot be compared)."""
+    for kw in node.keywords:
+        if kw.arg != "labels":
+            continue
+        if not isinstance(kw.value, ast.Dict):
+            return None
+        keys: List[str] = []
+        for key in kw.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.append(key.value)
+            else:
+                return None
+        return frozenset(keys)
+    return frozenset()
+
+
+class _MetricSite:
+    """One literal registration of a ``repro_*`` metric."""
+
+    __slots__ = ("info", "node", "labels")
+
+    def __init__(
+        self,
+        info: ModuleInfo,
+        node: ast.Call,
+        labels: Optional[FrozenSet[str]],
+    ) -> None:
+        self.info = info
+        self.node = node
+        self.labels = labels
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int]:
+        return (self.info.path, self.node.lineno, self.node.col_offset)
+
+
+class MetricUniquenessRule(GraphRule):
+    """RPR601: one ``repro_*`` metric name, one owner, one label set."""
+
+    rule_id = "RPR601"
+    severity = Severity.ERROR
+    description = (
+        "repro_* metric name registered in more than one module, or "
+        "with conflicting literal label-key sets — metric names are "
+        "global join keys for dashboards and alerts"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        sites: Dict[str, List[_MetricSite]] = {}
+        for name in project.module_names:
+            info = project.modules[name]
+            for node in ast.walk(info.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                metric = _literal_metric_name(node)
+                if metric is None:
+                    continue
+                sites.setdefault(metric, []).append(
+                    _MetricSite(info, node, _literal_label_keys(node))
+                )
+        for metric in sorted(sites):
+            group = sorted(sites[metric], key=lambda s: s.sort_key)
+            if len(group) < 2:
+                continue
+            modules = {site.info.name for site in group}
+            label_sets = {
+                site.labels for site in group if site.labels is not None
+            }
+            if len(modules) < 2 and len(label_sets) < 2:
+                continue
+            first = group[0]
+            second = group[1]
+            if len(label_sets) > 1:
+                detail = "conflicting label-key sets " + ", ".join(
+                    "{" + ", ".join(sorted(s)) + "}"
+                    for s in sorted(label_sets, key=sorted)
+                )
+            else:
+                detail = "duplicate registration"
+            yield second.info.ctx.finding(
+                self,
+                second.node,
+                f"metric {metric!r} already registered at "
+                f"{first.info.path}:{first.node.lineno} — {detail}; "
+                "metric names are project-global: rename one, or hoist "
+                "the registration to a single owner",
+            )
+
+
+class ExportResolutionRule(GraphRule):
+    """RPR602: ``from m import name`` must bind on the other side."""
+
+    rule_id = "RPR602"
+    severity = Severity.ERROR
+    description = (
+        "from-import of a project module names a symbol the target "
+        "does not bind at top level — a renamed or removed export"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for name in project.module_names:
+            info = project.modules[name]
+            seen: Set[Tuple[str, str, int]] = set()
+            for fi in info.from_imports:
+                target = project.modules.get(fi.module)
+                if target is None or target.has_import_star:
+                    continue
+                if target.resolves(fi.name):
+                    continue
+                key = (fi.module, fi.name, fi.node.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield info.ctx.finding(
+                    self,
+                    fi.node,
+                    f"'from {fi.module} import {fi.name}': {fi.module} "
+                    f"({target.path}) does not bind {fi.name!r} at top "
+                    "level — renamed export or stale facade re-export",
+                )
+
+
+RULES: Tuple[GraphRule, ...] = (
+    MetricUniquenessRule(),
+    ExportResolutionRule(),
+)

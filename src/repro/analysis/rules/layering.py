@@ -1,0 +1,141 @@
+"""RPR50x — architecture: declared import layering and cycle freedom.
+
+The repo's layer order is declared once, in
+:data:`repro.analysis.graph.DECLARED_LAYERS`::
+
+    L0 foundations  utils, smart, features
+    L1 models       core, obs, streaming, offline
+    L2 evaluation   eval, parallel, ops, persistence, strategies
+    L3 serving      service, analysis
+    L4 edge         gateway
+    L5 interface    cli
+
+* **RPR501** — a module may import (at runtime) only from its own
+  layer or below.  Imports inside ``if TYPE_CHECKING:`` are exempt —
+  they are annotation plumbing with no runtime dependency (the
+  ``repro.obs`` → ``repro.service.metrics`` edge is the model).
+  Function-scoped (deferred) imports still count: an upward dependency
+  is an upward dependency whenever it actually runs.  A package that
+  appears in no declared layer is also flagged — growing the tree
+  means declaring where new packages sit.  The root facade
+  (``repro/__init__``) is exempt: it exists to re-export every tier.
+* **RPR502** — no import-time cycles.  Only module-level runtime
+  imports participate: moving an import into the using function is the
+  sanctioned way to break a cycle (the engine itself imports the graph
+  stage lazily for exactly this reason), and ``TYPE_CHECKING`` imports
+  never execute.
+
+Suppression policy: a tolerated upward edge gets an inline
+``# repro: noqa RPR501 — <architectural rationale>`` on the import
+line, so every exception is visible in ``--stats`` and audited by the
+clean-gate test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.engine import Finding, GraphRule, Severity
+from repro.analysis.graph import DECLARED_LAYERS, ProjectContext
+
+
+def _anchor(lineno: int, col: int) -> ast.stmt:
+    """A minimal AST node carrying just a location, for ctx.finding()."""
+    node = ast.Pass()
+    node.lineno = lineno
+    node.col_offset = col - 1
+    return node
+
+
+def _layer_name(index: int) -> str:
+    return DECLARED_LAYERS[index][0]
+
+
+class LayerOrderRule(GraphRule):
+    """RPR501: runtime imports must point sideways or down the layers."""
+
+    rule_id = "RPR501"
+    severity = Severity.ERROR
+    description = (
+        "import layering violation: runtime import of a higher declared "
+        "layer, or a package missing from the declared layer order"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        flagged_undeclared: Set[str] = set()
+        for name in project.module_names:
+            info = project.modules[name]
+            package = info.package
+            if package is None:
+                continue  # root facade: re-exports every tier by design
+            layer = info.layer
+            if layer is None:
+                if package not in flagged_undeclared:
+                    flagged_undeclared.add(package)
+                    yield info.ctx.finding(
+                        self,
+                        _anchor(1, 1),
+                        f"package {package!r} is not in the declared layer "
+                        "order — add it to "
+                        "repro.analysis.graph.DECLARED_LAYERS",
+                    )
+                continue
+            seen_lines: Set[Tuple[int, str]] = set()
+            for edge in info.edges:
+                if edge.type_only:
+                    continue
+                target = project.modules[edge.imported]
+                if target.package == package:
+                    continue
+                target_layer = target.layer
+                if target_layer is None or target_layer <= layer:
+                    continue
+                key = (edge.lineno, target.package or "")
+                if key in seen_lines:
+                    continue
+                seen_lines.add(key)
+                yield info.ctx.finding(
+                    self,
+                    _anchor(edge.lineno, edge.col),
+                    f"{name} (L{layer} {_layer_name(layer)}) imports "
+                    f"{edge.imported} (L{target_layer} "
+                    f"{_layer_name(target_layer)}): higher layers must not "
+                    "be imported from below — move the dependency down or "
+                    "suppress with the architectural rationale",
+                )
+
+
+class ImportCycleRule(GraphRule):
+    """RPR502: the import-time module graph must be a DAG."""
+
+    rule_id = "RPR502"
+    severity = Severity.ERROR
+    description = (
+        "import cycle among module-level runtime imports — break it with "
+        "a function-scoped import or a dependency inversion"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for cycle in project.cycles():
+            members = set(cycle)
+            head = project.modules[cycle[0]]
+            anchor = _anchor(1, 1)
+            for edge in head.edges:
+                if (
+                    not edge.type_only
+                    and not edge.deferred
+                    and edge.imported in members
+                ):
+                    anchor = _anchor(edge.lineno, edge.col)
+                    break
+            path = " -> ".join([*cycle, cycle[0]])
+            yield head.ctx.finding(
+                self,
+                anchor,
+                f"import cycle: {path} — break it with a deferred "
+                "(function-scoped) import or by inverting the dependency",
+            )
+
+
+RULES: Tuple[GraphRule, ...] = (LayerOrderRule(), ImportCycleRule())

@@ -463,32 +463,150 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explain_rule(rule_id: str) -> int:
+    """Print what one RPR rule enforces and why (``lint --explain``)."""
+    import inspect
+
+    from repro.analysis.engine import GraphRule, PARSE_ERROR_RULE
+    from repro.analysis.rules import rules_by_id
+
+    wanted = rule_id.upper()
+    if wanted == PARSE_ERROR_RULE:
+        print(f"{PARSE_ERROR_RULE} [error] — per-file stage")
+        print("  file does not parse; reported so a syntax error can never")
+        print("  make a lint run look clean")
+        return 0
+    rules = rules_by_id()
+    rule = rules.get(wanted)
+    if rule is None:
+        print(
+            f"error: unknown rule {rule_id!r}; known rules: "
+            + ", ".join(sorted(rules)),
+            file=sys.stderr,
+        )
+        return 2
+    stage = "whole-program (graph) stage" if isinstance(rule, GraphRule) else (
+        "per-file stage"
+    )
+    print(f"{rule.rule_id} [{rule.severity.value}] — {stage}")
+    print(f"  {rule.description}")
+    doc = inspect.getdoc(type(rule))
+    if doc:
+        print()
+        for line in doc.splitlines():
+            print(f"  {line}" if line else "")
+    pack = sys.modules.get(type(rule).__module__)
+    pack_doc = inspect.getdoc(pack) if pack is not None else None
+    if pack_doc:
+        print()
+        print(f"  From {type(rule).__module__}:")
+        for line in pack_doc.splitlines():
+            print(f"    {line}" if line else "")
+    return 0
+
+
+def _changed_python_files(ref: str, scopes: List[str]) -> Optional[List[str]]:
+    """``.py`` files changed vs *ref* (plus untracked), scoped to *scopes*.
+
+    Returns None when git is unavailable or errors — the caller falls
+    back to a full walk, because "could not compute the diff" must fail
+    open into *more* linting, never less.
+    """
+    import subprocess
+    from pathlib import Path
+
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", ref],
+            capture_output=True, text=True, check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = exc.stderr.strip() if isinstance(
+            exc, subprocess.CalledProcessError
+        ) and exc.stderr else str(exc)
+        print(
+            f"warning: --changed fell back to a full walk (git: {detail})",
+            file=sys.stderr,
+        )
+        return None
+    scope_roots = [Path(s).resolve() for s in scopes]
+    out: List[str] = []
+    for name in sorted(
+        set(diff.stdout.splitlines()) | set(untracked.stdout.splitlines())
+    ):
+        path = Path(name)
+        if path.suffix != ".py" or not path.is_file():
+            continue  # deleted files and non-python changes
+        resolved = path.resolve()
+        if any(
+            resolved == root or root in resolved.parents
+            for root in scope_roots
+        ):
+            out.append(name)
+    return out
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis import lint_paths, load_baseline, write_baseline
+    from repro.analysis import (
+        lint_paths,
+        load_baseline,
+        prune_baseline,
+        write_baseline,
+    )
     from repro.analysis.baseline import DEFAULT_BASELINE
 
+    if args.explain:
+        return _explain_rule(args.explain)
+
+    paths = args.paths
+    if args.changed is not None:
+        changed = _changed_python_files(args.changed, paths)
+        if changed is not None:
+            if not changed:
+                print(
+                    f"# no python files changed vs {args.changed} under "
+                    + " ".join(args.paths)
+                )
+                return 0
+            paths = changed
+
     try:
-        report = lint_paths(args.paths)
+        report = lint_paths(paths)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    baseline_path = args.baseline or DEFAULT_BASELINE
     if args.write_baseline:
-        write_baseline(report.findings, args.baseline or DEFAULT_BASELINE)
+        write_baseline(report.findings, baseline_path)
         print(
             f"wrote baseline with {len(report.findings)} finding(s) to "
-            f"{args.baseline or DEFAULT_BASELINE}"
+            f"{baseline_path}"
         )
         return 0
 
-    baseline = load_baseline(args.baseline or DEFAULT_BASELINE)
+    if args.prune_baseline:
+        pruned = prune_baseline(report.findings, baseline_path)
+        if pruned:
+            print(
+                f"# pruned {len(pruned)} stale entr{'y' if len(pruned) == 1 else 'ies'} "
+                f"from {baseline_path}",
+                file=sys.stderr,
+            )
+
+    baseline = load_baseline(baseline_path)
     new, grandfathered = baseline.split(report.findings)
+    stale = baseline.stale_entries(report.findings)
     stats = report.stats()
     stats["new_findings"] = len(new)
     stats["grandfathered_findings"] = len(grandfathered)
-    stats["stale_baseline_entries"] = len(baseline.stale_entries(report.findings))
+    stats["stale_baseline_entries"] = len(stale)
 
     if args.format == "json":
         print(
@@ -519,7 +637,59 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(summary, file=sys.stderr if new else sys.stdout)
         if args.stats:
             print(json.dumps(stats, indent=2))
-    return 1 if new else 0
+    rc = 1 if new else 0
+    if args.fail_stale and stale:
+        print(
+            f"# {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} (fixed debt): "
+            "regenerate with --write-baseline or drop with --prune-baseline",
+            file=sys.stderr,
+        )
+        rc = max(rc, 1)
+    return rc
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.engine import is_suppressed
+    from repro.analysis.graph import (
+        build_graph_doc,
+        build_project,
+        render_dot,
+        validate_graph_doc,
+    )
+    from repro.analysis.rules import layering
+
+    try:
+        project = build_project(args.root)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not project.modules:
+        print(f"error: no project modules under {args.root!r}", file=sys.stderr)
+        return 2
+    violations = []
+    for rule in layering.RULES:
+        for finding in rule.check_project(project):
+            if is_suppressed(finding, project.lines_for(finding.path)):
+                continue  # sanctioned, reasoned exceptions stay out of --check
+            violations.append(finding.to_dict())
+    cycles = project.cycles()
+    doc = build_graph_doc(project, cycles=cycles, violations=violations)
+    validate_graph_doc(doc)
+    if args.format == "dot":
+        print(render_dot(doc), end="")
+    else:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    if args.check and (violations or cycles):
+        print(
+            f"# {len(violations)} layering violation(s), "
+            f"{len(cycles)} import cycle(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -750,7 +920,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a JSON stats summary (per-rule/severity counts, "
              "files scanned, runtime) for lint-debt tracking",
     )
+    p.add_argument(
+        "--explain", metavar="RPRxxx", default=None,
+        help="print what one rule enforces and why, then exit",
+    )
+    p.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint only files changed vs REF (default HEAD) plus untracked "
+             "files; falls back to a full walk when git is unavailable",
+    )
+    p.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop stale (already-fixed) entries from the baseline file "
+             "before diffing",
+    )
+    p.add_argument(
+        "--fail-stale", action="store_true",
+        help="exit non-zero when the baseline contains stale entries "
+             "(CI keeps the debt ledger honest)",
+    )
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "graph",
+        help="emit the whole-program layered import graph (json or dot)",
+    )
+    p.add_argument(
+        "--root", default="src",
+        help="project root the graph stage parses (default: src)",
+    )
+    p.add_argument("--format", choices=("json", "dot"), default="json")
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on unsuppressed layering violations or import cycles",
+    )
+    p.set_defaults(fn=_cmd_graph)
 
     p = sub.add_parser(
         "experiment", help="run the paper's §4.4/§4.5 protocols on a dataset CSV"

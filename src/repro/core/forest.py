@@ -31,8 +31,8 @@ from repro.core.online_tree import OnlineDecisionTree
 from repro.core.oobe import OOBETracker
 from repro.core.poisson import ImbalanceBagger
 from repro.obs.tracing import NULL_TRACER, NullTracer
-from repro.parallel.chunking import assemble_groups, split_work
-from repro.parallel.pool import SerialExecutor, TreeExecutor
+from repro.parallel.chunking import assemble_groups, split_work  # repro: noqa RPR501 — chunking is scheduling math with no model knowledge; inverting it into core would couple the scheduler to one consumer
+from repro.parallel.pool import SerialExecutor, TreeExecutor  # repro: noqa RPR501 — models layer consumes the executor abstraction; pool has no model knowledge, so the inversion would be artificial
 from repro.utils.rng import RngFactory, SeedLike
 from repro.utils.validation import (
     check_array_2d,

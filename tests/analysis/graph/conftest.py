@@ -1,0 +1,62 @@
+"""Shared fixtures for the whole-program (graph) analysis suite.
+
+Tests describe a synthetic project as ``{relative path: source}``,
+build a :class:`ProjectContext` over it, and run graph rule packs in
+isolation — the fixtures double as executable documentation of what
+each RPR5xx/6xx id accepts and rejects.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.graph import build_project
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write a ``{relpath: source}`` dict under a temp ``src/`` root.
+
+    Missing package ``__init__.py`` files are created empty, so tests
+    only spell out the modules they care about.
+    """
+
+    def _make(files):
+        root = tmp_path / "src"
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        for rel in list(files):
+            parent = (root / rel).parent
+            while parent != root:
+                init = parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+                parent = parent.parent
+        return root
+
+    return _make
+
+
+@pytest.fixture
+def make_project(make_tree):
+    """Build a ProjectContext straight from a ``{relpath: source}`` dict."""
+
+    def _make(files):
+        return build_project(str(make_tree(files)))
+
+    return _make
+
+
+def run_rules(project, rules):
+    """All findings of *rules* over *project*, in emission order."""
+    findings = []
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+    return findings
+
+
+def rule_ids(findings):
+    """Sorted rule ids, for compact assertions."""
+    return sorted(f.rule_id for f in findings)

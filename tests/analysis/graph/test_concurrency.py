@@ -1,0 +1,256 @@
+"""RPR511/512/513: executor workers must be pure, picklable, documented."""
+
+from repro.analysis.rules.concurrency import (
+    RULES,
+    GetstateContractRule,
+    UnpicklableWorkRule,
+    WorkerSharedStateRule,
+)
+
+from tests.analysis.graph.conftest import rule_ids, run_rules
+
+SHARED = [WorkerSharedStateRule()]
+PICKLE = [UnpicklableWorkRule()]
+GETSTATE = [GetstateContractRule()]
+
+
+class TestWorkerSharedState:
+    def test_mutated_module_global_reached_from_worker(self, make_project):
+        files = {
+            "repro/core/work.py": """
+                _CACHE = {}
+
+                def _fit_tree(payload):
+                    _CACHE[payload] = 1
+                    return payload
+
+                def run(executor, items):
+                    return executor.map(_fit_tree, items)
+            """,
+        }
+        findings = run_rules(make_project(files), SHARED)
+        assert rule_ids(findings) == ["RPR511"]
+        f = findings[0]
+        assert "_CACHE" in f.message and "_fit_tree" in f.message
+        assert f.snippet == "_CACHE = {}"  # anchored at the assignment
+        again = run_rules(make_project(files), SHARED)
+        assert [x.fingerprint() for x in again] == [f.fingerprint()]
+
+    def test_reachability_closes_over_helper_calls(self, make_project):
+        project = make_project(
+            {
+                "repro/core/work.py": """
+                    _STATE = []
+
+                    def _helper(x):
+                        _STATE.append(x)
+                        return x
+
+                    def _worker(payload):
+                        return _helper(payload)
+
+                    def run(pool, items):
+                        return pool.map(_worker, items)
+                """,
+            }
+        )
+        findings = run_rules(project, SHARED)
+        assert rule_ids(findings) == ["RPR511"]
+        assert "_STATE" in findings[0].message
+
+    def test_payload_only_worker_is_clean(self, make_project):
+        project = make_project(
+            {
+                "repro/core/work.py": """
+                    _CONFIG = {}
+
+                    def _worker(payload):
+                        slots, spec = payload
+                        return [s + spec for s in slots]
+
+                    def run(executor, items):
+                        return executor.map(_worker, items)
+                """,
+            }
+        )
+        assert run_rules(project, SHARED) == []
+
+    def test_global_untouched_by_workers_is_clean(self, make_project):
+        project = make_project(
+            {
+                "repro/core/work.py": """
+                    _REGISTRY = {}
+
+                    def register(name):
+                        _REGISTRY[name] = True
+
+                    def _worker(payload):
+                        return payload
+
+                    def run(executor, items):
+                        return executor.map(_worker, items)
+                """,
+            }
+        )
+        assert run_rules(project, SHARED) == []
+
+    def test_worker_imported_from_another_module(self, make_project):
+        project = make_project(
+            {
+                "repro/core/workers.py": """
+                    _SEEN = set()
+
+                    def _score(payload):
+                        _SEEN.add(payload)
+                        return payload
+                """,
+                "repro/service/driver.py": """
+                    from repro.core.workers import _score
+
+                    def run(executor, items):
+                        return executor.map(_score, items)
+                """,
+            }
+        )
+        findings = run_rules(project, SHARED)
+        assert rule_ids(findings) == ["RPR511"]
+        assert findings[0].path.endswith("repro/core/workers.py")
+
+
+class TestUnpicklableWork:
+    def test_lambda_submission_is_flagged(self, make_project):
+        project = make_project(
+            {
+                "repro/core/work.py": """
+                    def run(executor, items):
+                        return executor.map(lambda x: x + 1, items)
+                """,
+            }
+        )
+        assert rule_ids(run_rules(project, PICKLE)) == ["RPR512"]
+
+    def test_closure_submission_is_flagged(self, make_project):
+        project = make_project(
+            {
+                "repro/core/work.py": """
+                    def run(executor, items, scale):
+                        def score_one(item):
+                            return item * scale
+
+                        return executor.map(score_one, items)
+                """,
+            }
+        )
+        findings = run_rules(project, PICKLE)
+        assert rule_ids(findings) == ["RPR512"]
+        assert "score_one" in findings[0].message
+
+    def test_module_level_worker_is_clean(self, make_project):
+        project = make_project(
+            {
+                "repro/core/work.py": """
+                    def _worker(payload):
+                        return payload
+
+                    def run(executor, items):
+                        return executor.map(_worker, items)
+                """,
+            }
+        )
+        assert run_rules(project, PICKLE) == []
+
+    def test_function_valued_parameter_is_clean(self, make_project):
+        # _PoolExecutor.map(self, fn, items) forwards a parameter — the
+        # caller is responsible for fn, the forwarding site is not
+        project = make_project(
+            {
+                "repro/parallel/pool.py": """
+                    class _PoolExecutor:
+                        def __init__(self, pool):
+                            self._pool = pool
+
+                        def map(self, fn, items):
+                            return list(self._pool.map(fn, items))
+                """,
+            }
+        )
+        assert run_rules(project, PICKLE) == []
+
+    def test_submit_of_lambda_is_flagged(self, make_project):
+        project = make_project(
+            {
+                "repro/service/jobs.py": """
+                    def enqueue(worker_pool, item):
+                        return worker_pool.submit(lambda: item)
+                """,
+            }
+        )
+        assert rule_ids(run_rules(project, PICKLE)) == ["RPR512"]
+
+
+class TestGetstateContract:
+    def test_getstate_without_setstate_or_docs_is_flagged(self, make_project):
+        project = make_project(
+            {
+                "repro/core/tree.py": """
+                    class Tree:
+                        def __getstate__(self):
+                            state = dict(self.__dict__)
+                            state.pop("_compiled", None)
+                            return state
+                """,
+            }
+        )
+        findings = run_rules(project, GETSTATE)
+        assert rule_ids(findings) == ["RPR513"]
+        assert "Tree" in findings[0].message
+
+    def test_matching_setstate_is_clean(self, make_project):
+        project = make_project(
+            {
+                "repro/core/tree.py": """
+                    class Tree:
+                        def __getstate__(self):
+                            return dict(self.__dict__)
+
+                        def __setstate__(self, state):
+                            self.__dict__.update(state)
+                """,
+            }
+        )
+        assert run_rules(project, GETSTATE) == []
+
+    def test_comment_above_documents_the_contract(self, make_project):
+        project = make_project(
+            {
+                "repro/core/tree.py": """
+                    class Tree:
+                        # the compiled snapshot is a cache: drop it from
+                        # pickles, it is rebuilt lazily on first predict
+                        def __getstate__(self):
+                            state = dict(self.__dict__)
+                            state.pop("_compiled", None)
+                            return state
+                """,
+            }
+        )
+        assert run_rules(project, GETSTATE) == []
+
+    def test_docstring_documents_the_contract(self, make_project):
+        project = make_project(
+            {
+                "repro/core/tree.py": """
+                    class Tree:
+                        def __getstate__(self):
+                            \"\"\"Drop the compiled cache; rebuilt on demand.\"\"\"
+                            state = dict(self.__dict__)
+                            state.pop("_compiled", None)
+                            return state
+                """,
+            }
+        )
+        assert run_rules(project, GETSTATE) == []
+
+
+def test_pack_exports_all_three_rules():
+    assert [r.rule_id for r in RULES] == ["RPR511", "RPR512", "RPR513"]

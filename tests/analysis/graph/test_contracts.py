@@ -1,0 +1,188 @@
+"""RPR601/602: metric-name uniqueness, cross-module import resolution."""
+
+from repro.analysis.rules.contracts import (
+    RULES,
+    ExportResolutionRule,
+    MetricUniquenessRule,
+)
+
+from tests.analysis.graph.conftest import rule_ids, run_rules
+
+METRICS = [MetricUniquenessRule()]
+EXPORTS = [ExportResolutionRule()]
+
+
+class TestMetricUniqueness:
+    def test_same_metric_different_labels_in_two_modules(self, make_project):
+        files = {
+            "repro/service/fleet.py": """
+                def setup(registry):
+                    registry.counter(
+                        "repro_fleet_samples_total",
+                        help="samples",
+                        labels={"shard": "0"},
+                    )
+            """,
+            "repro/gateway/server.py": """
+                def setup(registry):
+                    registry.counter(
+                        "repro_fleet_samples_total",
+                        help="samples",
+                        labels={"worker": "0"},
+                    )
+            """,
+        }
+        findings = run_rules(make_project(files), METRICS)
+        assert rule_ids(findings) == ["RPR601"]
+        f = findings[0]
+        assert "repro_fleet_samples_total" in f.message
+        assert "conflicting label-key sets" in f.message
+        # anchored at the second site in (path, line) order; gateway
+        # sorts before service
+        assert f.path.endswith("repro/service/fleet.py")
+        again = run_rules(make_project(files), METRICS)
+        assert [x.fingerprint() for x in again] == [f.fingerprint()]
+
+    def test_duplicate_registration_same_labels_is_flagged(self, make_project):
+        project = make_project(
+            {
+                "repro/service/a.py": (
+                    "def s(r):\n"
+                    "    r.gauge('repro_depth', help='d')\n"
+                ),
+                "repro/service/b.py": (
+                    "def s(r):\n"
+                    "    r.gauge('repro_depth', help='d')\n"
+                ),
+            }
+        )
+        findings = run_rules(project, METRICS)
+        assert rule_ids(findings) == ["RPR601"]
+        assert "duplicate registration" in findings[0].message
+
+    def test_unique_names_are_clean(self, make_project):
+        project = make_project(
+            {
+                "repro/service/a.py": (
+                    "def s(r):\n"
+                    "    r.counter('repro_a_total', help='a')\n"
+                ),
+                "repro/service/b.py": (
+                    "def s(r):\n"
+                    "    r.counter('repro_b_total', help='b')\n"
+                ),
+            }
+        )
+        assert run_rules(project, METRICS) == []
+
+    def test_dynamic_names_are_out_of_scope(self, make_project):
+        project = make_project(
+            {
+                "repro/service/a.py": (
+                    "def s(r, action):\n"
+                    "    r.counter(f'repro_{action}_total', help='a')\n"
+                ),
+                "repro/service/b.py": (
+                    "def s(r, action):\n"
+                    "    r.counter(f'repro_{action}_total', help='a')\n"
+                ),
+            }
+        )
+        assert run_rules(project, METRICS) == []
+
+    def test_same_module_histogram_reuse_is_flagged_on_label_conflict(
+        self, make_project
+    ):
+        project = make_project(
+            {
+                "repro/obs/t.py": """
+                    def s(r):
+                        r.histogram("repro_lat", help="l", labels={"stage": "a"})
+                        r.histogram("repro_lat", help="l", labels={"kind": "b"})
+                """,
+            }
+        )
+        assert rule_ids(run_rules(project, METRICS)) == ["RPR601"]
+
+
+class TestExportResolution:
+    def test_missing_export_is_flagged(self, make_project):
+        project = make_project(
+            {
+                "repro/core/forest.py": "class Forest:\n    pass\n",
+                "repro/service/s.py": (
+                    "from repro.core.forest import Forset\n"
+                ),
+            }
+        )
+        findings = run_rules(project, EXPORTS)
+        assert rule_ids(findings) == ["RPR602"]
+        assert "Forset" in findings[0].message
+
+    def test_resolving_names_are_clean(self, make_project):
+        project = make_project(
+            {
+                "repro/core/forest.py": (
+                    "class Forest:\n    pass\n\nSEED = 1\n"
+                ),
+                "repro/service/s.py": (
+                    "from repro.core.forest import SEED, Forest\n"
+                ),
+            }
+        )
+        assert run_rules(project, EXPORTS) == []
+
+    def test_submodule_import_resolves(self, make_project):
+        project = make_project(
+            {
+                "repro/core/__init__.py": "",
+                "repro/core/forest.py": "x = 1\n",
+                "repro/service/s.py": "from repro.core import forest\n",
+            }
+        )
+        assert run_rules(project, EXPORTS) == []
+
+    def test_import_star_target_is_skipped(self, make_project):
+        project = make_project(
+            {
+                "repro/core/facade.py": "from os.path import *\n",
+                "repro/service/s.py": (
+                    "from repro.core.facade import join\n"
+                ),
+            }
+        )
+        assert run_rules(project, EXPORTS) == []
+
+    def test_conditional_binding_resolves(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/compat.py": """
+                    try:
+                        import fastjson as jsonlib
+                    except ImportError:
+                        import json as jsonlib
+                """,
+                "repro/service/s.py": (
+                    "from repro.utils.compat import jsonlib\n"
+                ),
+            }
+        )
+        assert run_rules(project, EXPORTS) == []
+
+    def test_type_checking_from_import_must_still_resolve(self, make_project):
+        project = make_project(
+            {
+                "repro/service/metrics.py": "class Registry:\n    pass\n",
+                "repro/obs/t.py": """
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        from repro.service.metrics import Registery
+                """,
+            }
+        )
+        assert rule_ids(run_rules(project, EXPORTS)) == ["RPR602"]
+
+
+def test_pack_exports_both_rules():
+    assert [r.rule_id for r in RULES] == ["RPR601", "RPR602"]

@@ -1,0 +1,110 @@
+"""`repro graph` end-to-end: schema, determinism, dot output, --check."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.graph import GRAPH_DOC_FORMAT, validate_graph_doc
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+class TestJsonFormat:
+    def test_schema_validates_and_is_byte_identical(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["graph", "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["graph", "--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # two full runs, byte-identical
+        doc = json.loads(first)
+        validate_graph_doc(doc)
+        assert doc["format"] == GRAPH_DOC_FORMAT
+
+    def test_repo_layer_order_and_cycle_freedom(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["graph"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cycles"] == []
+        assert doc["violations"] == []  # unsuppressed layering violations
+        layer_by_module = {
+            m["module"]: m["layer"] for m in doc["modules"]
+        }
+        names = [layer["name"] for layer in doc["layers"]]
+        assert names == [
+            "foundations", "models", "evaluation", "serving", "edge",
+            "interface",
+        ]
+        # spot-check the declared order end to end
+        assert layer_by_module["repro.utils.rng"] == 0
+        assert layer_by_module["repro.core.forest"] == 1
+        assert layer_by_module["repro.eval.metrics"] == 2
+        assert layer_by_module["repro.cli"] == 5
+
+    def test_check_flag_passes_on_clean_repo(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["graph", "--check"]) == 0
+        capsys.readouterr()
+
+
+class TestDotFormat:
+    def test_dot_output_is_deterministic_and_layered(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["graph", "--format", "dot"]) == 0
+        first = capsys.readouterr().out
+        assert main(["graph", "--format", "dot"]) == 0
+        assert first == capsys.readouterr().out
+        assert first.startswith("digraph repro {")
+        assert first.rstrip().endswith("}")
+        assert 'label="L0 foundations";' in first
+        assert '"gateway" -> "service";' in first
+
+
+class TestCheckFailure:
+    def test_check_fails_on_injected_violation(
+        self, make_tree, capsys, monkeypatch
+    ):
+        root = make_tree(
+            {
+                "repro/gateway/server.py": "X = 1\n",
+                "repro/core/forest.py": (
+                    "from repro.gateway.server import X\n"
+                ),
+            }
+        )
+        rc = main(["graph", "--root", str(root), "--check"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "1 layering violation(s)" in captured.err
+        doc = json.loads(captured.out)
+        assert len(doc["violations"]) == 1
+        assert doc["violations"][0]["rule"] == "RPR501"
+
+    def test_check_fails_on_injected_cycle(
+        self, make_tree, capsys, monkeypatch
+    ):
+        root = make_tree(
+            {
+                "repro/utils/a.py": "from repro.utils import b\n",
+                "repro/utils/b.py": "from repro.utils import a\n",
+            }
+        )
+        rc = main(["graph", "--root", str(root), "--check"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        doc = json.loads(captured.out)
+        assert doc["cycles"] == [["repro.utils.a", "repro.utils.b"]]
+
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        rc = main(["graph", "--root", str(tmp_path / "empty")])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_rootless_tree_exits_two(self, tmp_path, capsys):
+        (tmp_path / "notrepro").mkdir()
+        (tmp_path / "notrepro" / "mod.py").write_text("x = 1\n")
+        rc = main(["graph", "--root", str(tmp_path)])
+        assert rc == 2
+        assert "no project modules" in capsys.readouterr().err

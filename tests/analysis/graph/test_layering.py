@@ -1,0 +1,139 @@
+"""RPR501/RPR502: declared layer order and import-cycle freedom."""
+
+from repro.analysis.rules.layering import RULES, ImportCycleRule, LayerOrderRule
+
+from tests.analysis.graph.conftest import rule_ids, run_rules
+
+LAYER_ONLY = [LayerOrderRule()]
+CYCLE_ONLY = [ImportCycleRule()]
+
+
+class TestLayerOrder:
+    def test_core_importing_gateway_is_exactly_one_finding(self, make_project):
+        files = {
+            "repro/gateway/server.py": "X = 1\n",
+            "repro/core/forest.py": "from repro.gateway.server import X\n",
+        }
+        findings = run_rules(make_project(files), LAYER_ONLY)
+        assert rule_ids(findings) == ["RPR501"]
+        f = findings[0]
+        assert f.path.endswith("repro/core/forest.py")
+        assert f.line == 1
+        assert "repro.gateway.server" in f.message
+        # the fingerprint is stable: a rebuilt project yields the same id
+        again = run_rules(make_project(files), LAYER_ONLY)
+        assert [x.fingerprint() for x in again] == [f.fingerprint()]
+
+    def test_downward_and_sideways_imports_are_clean(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/rng.py": "X = 1\n",
+                "repro/core/forest.py": "from repro.utils.rng import X\n",
+                "repro/core/oobe.py": "from repro.core.forest import X\n",
+            }
+        )
+        assert run_rules(project, LAYER_ONLY) == []
+
+    def test_type_checking_import_is_exempt(self, make_project):
+        project = make_project(
+            {
+                "repro/gateway/server.py": "X = 1\n",
+                "repro/core/forest.py": """
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        from repro.gateway.server import X
+                """,
+            }
+        )
+        assert run_rules(project, LAYER_ONLY) == []
+
+    def test_deferred_upward_import_still_counts(self, make_project):
+        project = make_project(
+            {
+                "repro/gateway/server.py": "X = 1\n",
+                "repro/core/forest.py": """
+                    def late():
+                        from repro.gateway.server import X
+                        return X
+                """,
+            }
+        )
+        assert rule_ids(run_rules(project, LAYER_ONLY)) == ["RPR501"]
+
+    def test_undeclared_package_is_one_finding(self, make_project):
+        project = make_project(
+            {
+                "repro/mystery/a.py": "x = 1\n",
+                "repro/mystery/b.py": "y = 2\n",
+            }
+        )
+        findings = run_rules(project, LAYER_ONLY)
+        assert rule_ids(findings) == ["RPR501"]
+        assert "mystery" in findings[0].message
+
+    def test_root_facade_is_exempt(self, make_project):
+        project = make_project(
+            {
+                "repro/__init__.py": "from repro.cli import main\n",
+                "repro/cli.py": "def main():\n    return 0\n",
+            }
+        )
+        assert run_rules(project, LAYER_ONLY) == []
+
+    def test_one_finding_per_import_line(self, make_project):
+        project = make_project(
+            {
+                "repro/gateway/a.py": "X = 1\n",
+                "repro/gateway/b.py": "Y = 1\n",
+                "repro/core/forest.py": (
+                    "from repro.gateway.a import X\n"
+                    "from repro.gateway.b import Y\n"
+                ),
+            }
+        )
+        findings = run_rules(project, LAYER_ONLY)
+        assert rule_ids(findings) == ["RPR501", "RPR501"]
+        assert sorted(f.line for f in findings) == [1, 2]
+
+
+class TestImportCycles:
+    def test_mutual_imports_are_one_finding(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/a.py": "from repro.utils import b\n",
+                "repro/utils/b.py": "from repro.utils import a\n",
+            }
+        )
+        findings = run_rules(project, CYCLE_ONLY)
+        assert rule_ids(findings) == ["RPR502"]
+        assert "repro.utils.a -> repro.utils.b -> repro.utils.a" in (
+            findings[0].message
+        )
+
+    def test_deferred_import_is_the_sanctioned_break(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/a.py": "from repro.utils import b\n",
+                "repro/utils/b.py": """
+                    def late():
+                        from repro.utils import a
+                        return a
+                """,
+            }
+        )
+        assert run_rules(project, CYCLE_ONLY) == []
+
+    def test_three_module_cycle_reports_once(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/a.py": "from repro.utils import b\n",
+                "repro/utils/b.py": "from repro.utils import c\n",
+                "repro/utils/c.py": "from repro.utils import a\n",
+            }
+        )
+        findings = run_rules(project, CYCLE_ONLY)
+        assert rule_ids(findings) == ["RPR502"]
+
+    def test_pack_exports_both_rules(self):
+        assert [r.rule_id for r in RULES] == ["RPR501", "RPR502"]

@@ -1,0 +1,220 @@
+"""ProjectContext construction: naming, bindings, edges, cycles."""
+
+from pathlib import Path
+
+from repro.analysis.graph import (
+    DECLARED_LAYERS,
+    build_project,
+    declared_packages,
+    layer_of_package,
+    module_name_for,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[3] / "src")
+
+
+class TestModuleIndex:
+    def test_module_names_and_packages(self, make_project):
+        project = make_project(
+            {
+                "repro/__init__.py": "",
+                "repro/core/forest.py": "x = 1\n",
+                "repro/core/__init__.py": "",
+            }
+        )
+        assert project.module_names == ["repro", "repro.core", "repro.core.forest"]
+        assert project.modules["repro"].package is None
+        assert project.modules["repro.core.forest"].package == "core"
+        assert project.modules["repro.core.forest"].layer == layer_of_package("core")
+
+    def test_non_root_packages_are_ignored(self, make_tree):
+        root = make_tree({"other/mod.py": "x = 1\n", "repro/__init__.py": ""})
+        project = build_project(str(root))
+        assert project.module_names == ["repro"]
+
+    def test_module_name_for_init_is_the_package(self, make_tree):
+        root = make_tree({"repro/core/__init__.py": ""})
+        path = root / "repro" / "core" / "__init__.py"
+        assert module_name_for(path, root) == "repro.core"
+
+
+class TestBindings:
+    def test_defs_classes_assignments_and_conditional_imports(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/mod.py": """
+                    import os
+
+                    try:
+                        import fancy
+                    except ImportError:
+                        fancy = None
+
+                    if os.name == "posix":
+                        PLATFORM = "posix"
+
+                    CONST, OTHER = 1, 2
+
+                    def func():
+                        hidden = 1
+                        return hidden
+
+                    class Klass:
+                        attr = 1
+                """,
+            }
+        )
+        info = project.modules["repro.utils.mod"]
+        for name in ("os", "fancy", "PLATFORM", "CONST", "OTHER", "func", "Klass"):
+            assert info.resolves(name), name
+        assert not info.resolves("hidden")
+        assert not info.resolves("attr")
+
+    def test_submodules_resolve_as_package_attributes(self, make_project):
+        project = make_project(
+            {
+                "repro/core/__init__.py": "",
+                "repro/core/forest.py": "x = 1\n",
+            }
+        )
+        assert project.modules["repro.core"].resolves("forest")
+
+
+class TestEdges:
+    def test_type_only_and_deferred_tagging(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/a.py": "x = 1\n",
+                "repro/utils/b.py": "y = 2\n",
+                "repro/utils/c.py": """
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        from repro.utils import a
+
+                    def late():
+                        from repro.utils import b
+                        return b
+                """,
+            }
+        )
+        edges = {
+            (e.imported, e.type_only, e.deferred)
+            for e in project.modules["repro.utils.c"].edges
+            if e.imported.startswith("repro.utils.")
+        }
+        assert ("repro.utils.a", True, False) in edges
+        assert ("repro.utils.b", False, True) in edges
+
+    def test_from_package_import_submodule_targets_the_submodule(
+        self, make_project
+    ):
+        project = make_project(
+            {
+                "repro/core/__init__.py": "from repro.core.a import X\n",
+                "repro/core/a.py": "X = 1\n",
+                "repro/core/b.py": "from repro.core import a\n",
+            }
+        )
+        imported = {e.imported for e in project.modules["repro.core.b"].edges}
+        # the submodule, not the package __init__ — parent-package
+        # initialization edges are implicit everywhere and excluded
+        assert imported == {"repro.core.a"}
+
+    def test_from_package_import_attribute_targets_the_package(self, make_project):
+        project = make_project(
+            {
+                "repro/core/__init__.py": "X = 1\n",
+                "repro/core/b.py": "from repro.core import X\n",
+            }
+        )
+        imported = {e.imported for e in project.modules["repro.core.b"].edges}
+        assert imported == {"repro.core"}
+
+    def test_relative_imports_resolve(self, make_project):
+        project = make_project(
+            {
+                "repro/core/__init__.py": "",
+                "repro/core/a.py": "X = 1\n",
+                "repro/core/b.py": "from .a import X\nfrom . import a\n",
+            }
+        )
+        imported = {e.imported for e in project.modules["repro.core.b"].edges}
+        assert imported == {"repro.core.a"}
+
+
+class TestCycles:
+    def test_mutual_module_level_imports_cycle(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/a.py": "from repro.utils import b\n",
+                "repro/utils/b.py": "from repro.utils import a\n",
+            }
+        )
+        assert project.cycles() == [["repro.utils.a", "repro.utils.b"]]
+
+    def test_deferred_import_breaks_the_cycle(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/a.py": "from repro.utils import b\n",
+                "repro/utils/b.py": """
+                    def late():
+                        from repro.utils import a
+                        return a
+                """,
+            }
+        )
+        assert project.cycles() == []
+
+    def test_type_checking_import_breaks_the_cycle(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/a.py": "from repro.utils import b\n",
+                "repro/utils/b.py": """
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        from repro.utils import a
+                """,
+            }
+        )
+        assert project.cycles() == []
+
+    def test_import_graph_filters(self, make_project):
+        project = make_project(
+            {
+                "repro/utils/a.py": "x = 1\n",
+                "repro/utils/b.py": """
+                    def late():
+                        from repro.utils import a
+                        return a
+                """,
+            }
+        )
+        runtime = project.import_graph(include_deferred=False)
+        with_deferred = project.import_graph(include_deferred=True)
+        assert runtime["repro.utils.b"] == set()
+        assert with_deferred["repro.utils.b"] == {"repro.utils.a"}
+
+
+class TestDeclaredLayers:
+    def test_layers_are_disjoint(self):
+        seen = set()
+        for _, packages in DECLARED_LAYERS:
+            for pkg in packages:
+                assert pkg not in seen, f"{pkg} declared twice"
+                seen.add(pkg)
+        assert seen == set(declared_packages())
+
+    def test_real_repo_packages_are_all_declared(self):
+        project = build_project(REPO_SRC)
+        assert project.modules, "repo src tree must parse"
+        undeclared = {
+            info.package
+            for info in project.modules.values()
+            if info.package is not None and info.layer is None
+        }
+        assert undeclared == set()
+
+    def test_real_repo_is_cycle_free(self):
+        assert build_project(REPO_SRC).cycles() == []

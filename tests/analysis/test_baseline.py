@@ -103,3 +103,38 @@ class TestValidation:
         repo_baseline = Path(__file__).resolve().parents[2] / "lint-baseline.json"
         baseline = load_baseline(str(repo_baseline))
         assert len(baseline) == 0
+
+
+class TestPruning:
+    def test_prune_drops_only_stale_entries(self, tmp_path):
+        from repro.analysis import prune_baseline
+
+        kept = findings_for(tmp_path, "def f(x):\n    return x == 0.0\n", name="a.py")
+        fixed = findings_for(tmp_path, "def g(y):\n    return y != 2.5\n", name="b.py")
+        bl_path = tmp_path / "baseline.json"
+        write_baseline(kept + fixed, str(bl_path))
+
+        pruned = prune_baseline(kept, str(bl_path))
+        assert pruned == [f.fingerprint() for f in fixed]
+        baseline = load_baseline(str(bl_path))
+        assert len(baseline) == len(kept)
+        assert all(f.fingerprint() in baseline for f in kept)
+        # the pruned file still round-trips (version/comment intact)
+        data = json.loads(bl_path.read_text())
+        assert data["version"] == 1
+
+    def test_prune_without_stale_is_a_noop(self, tmp_path):
+        from repro.analysis import prune_baseline
+
+        findings = findings_for(tmp_path, "def f(x):\n    return x == 0.0\n")
+        bl_path = tmp_path / "baseline.json"
+        write_baseline(findings, str(bl_path))
+        before = bl_path.read_text()
+        assert prune_baseline(findings, str(bl_path)) == []
+        assert bl_path.read_text() == before
+
+    def test_prune_missing_file_is_a_noop(self, tmp_path):
+        from repro.analysis import prune_baseline
+
+        assert prune_baseline([], str(tmp_path / "absent.json")) == []
+        assert not (tmp_path / "absent.json").exists()

@@ -1,0 +1,112 @@
+"""`repro lint --changed [REF]`: git-scoped walks and the fallback."""
+
+import subprocess
+
+import pytest
+
+from repro.cli import main
+
+
+def git(cwd, *args):
+    subprocess.run(
+        ["git", *args],
+        cwd=cwd, check=True, capture_output=True, text=True,
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path, monkeypatch):
+    """A committed repo with one clean and one violating python file."""
+    git(tmp_path, "init", "-q")
+    git(tmp_path, "config", "user.email", "t@example.com")
+    git(tmp_path, "config", "user.name", "t")
+    (tmp_path / "clean.py").write_text("X = 1\n")
+    (tmp_path / "other.py").write_text("Y = 2\n")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestChangedScoping:
+    def test_no_changes_lints_nothing(self, git_repo, capsys):
+        rc = main(["lint", str(git_repo), "--changed",
+                   "--baseline", str(git_repo / "bl.json")])
+        assert rc == 0
+        assert "no python files changed" in capsys.readouterr().out
+
+    def test_only_modified_files_are_walked(self, git_repo, capsys):
+        (git_repo / "clean.py").write_text(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        rc = main(["lint", str(git_repo), "--changed", "--stats",
+                   "--baseline", str(git_repo / "bl.json")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPR101" in out
+        assert '"files_scanned": 1' in out  # other.py untouched, skipped
+
+    def test_untracked_files_are_included(self, git_repo, capsys):
+        (git_repo / "fresh.py").write_text("import time\nt = time.time()\n")
+        rc = main(["lint", str(git_repo), "--changed",
+                   "--baseline", str(git_repo / "bl.json")])
+        assert rc == 1
+        assert "RPR102" in capsys.readouterr().out
+
+    def test_explicit_ref_diffs_against_it(self, git_repo, capsys):
+        (git_repo / "clean.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        git(git_repo, "add", "-A")
+        git(git_repo, "commit", "-qm", "introduce violation")
+        # vs HEAD the tree is unchanged; vs HEAD~1 the violation shows
+        rc = main(["lint", str(git_repo), "--changed",
+                   "--baseline", str(git_repo / "bl.json")])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["lint", str(git_repo), "--changed", "HEAD~1",
+                   "--baseline", str(git_repo / "bl.json")])
+        assert rc == 1
+        assert "RPR102" in capsys.readouterr().out
+
+    def test_deleted_files_are_skipped(self, git_repo, capsys):
+        (git_repo / "other.py").unlink()
+        rc = main(["lint", str(git_repo), "--changed",
+                   "--baseline", str(git_repo / "bl.json")])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_scope_paths_still_apply(self, git_repo, capsys):
+        sub = git_repo / "pkg"
+        sub.mkdir()
+        (sub / "inside.py").write_text("import time\nt = time.time()\n")
+        (git_repo / "outside.py").write_text("import time\nt = time.time()\n")
+        rc = main(["lint", str(sub), "--changed", "--stats",
+                   "--baseline", str(git_repo / "bl.json")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert '"files_scanned": 1' in out
+
+
+class TestFallback:
+    def test_git_failure_falls_back_to_full_walk(
+        self, git_repo, capsys, monkeypatch
+    ):
+        # a ref git cannot resolve → CalledProcessError → full walk
+        rc = main(["lint", str(git_repo), "--changed", "no-such-ref",
+                   "--stats", "--baseline", str(git_repo / "bl.json")])
+        captured = capsys.readouterr()
+        assert "fell back to a full walk" in captured.err
+        assert rc == 0
+        assert '"files_scanned": 2' in captured.out
+
+    def test_missing_git_binary_falls_back(
+        self, git_repo, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("PATH", "")
+        rc = main(["lint", str(git_repo), "--changed",
+                   "--stats", "--baseline", str(git_repo / "bl.json")])
+        captured = capsys.readouterr()
+        assert "fell back to a full walk" in captured.err
+        assert rc == 0
+        assert '"files_scanned": 2' in captured.out

@@ -18,15 +18,21 @@ FLOAT_EQ = [FloatEqualityRule()]
 
 class TestRegistry:
     def test_rule_ids_are_unique_and_stable(self):
-        ids = [r.rule_id for r in ALL_RULES]
+        from repro.analysis import GRAPH_RULES
+
+        ids = [r.rule_id for r in (*ALL_RULES, *GRAPH_RULES)]
         assert len(ids) == len(set(ids))
         assert set(rules_by_id()) == {
             "RPR101", "RPR102", "RPR201", "RPR202",
             "RPR301", "RPR302", "RPR303", "RPR401",
+            "RPR501", "RPR502", "RPR511", "RPR512", "RPR513",
+            "RPR601", "RPR602",
         }
 
     def test_every_rule_documents_itself(self):
-        for rule in ALL_RULES:
+        from repro.analysis import GRAPH_RULES
+
+        for rule in (*ALL_RULES, *GRAPH_RULES):
             assert rule.description, rule.rule_id
             assert rule.severity in (Severity.ERROR, Severity.WARNING)
 

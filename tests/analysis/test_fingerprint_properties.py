@@ -1,0 +1,78 @@
+"""Property tests: fingerprints are stable under line-shift edits.
+
+Baselines and ``--changed`` workflows only work if a finding's identity
+survives unrelated edits above it.  The fingerprint hashes (rule id,
+path, source snippet) — never line numbers — so inserting any number of
+blank lines and comments before a violation must not change its sha1,
+while its reported line number moves by exactly the inserted amount.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import lint_paths
+from repro.analysis.rules.determinism import UnseededRandomRule
+from repro.analysis.rules.hygiene import MutableDefaultRule
+
+VIOLATION_BODY = (
+    "import numpy as np\n"
+    "def f(xs=[]):\n"
+    "    return np.random.rand(3), xs\n"
+)
+
+RULES = [UnseededRandomRule(), MutableDefaultRule()]
+
+#: lines that shift code without changing it: blanks and comments
+#: (printable ascii only — \x0b/\x0c are line boundaries for
+#: str.splitlines but not for the parser, which is out of scope here)
+filler_line = st.one_of(
+    st.just(""),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=30,
+    ).map(lambda s: "# " + s),
+)
+
+
+@st.composite
+def prefixes(draw):
+    lines = draw(st.lists(filler_line, min_size=0, max_size=40))
+    return "".join(line + "\n" for line in lines)
+
+
+def lint_source(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    report = lint_paths([str(path)], rules=RULES, graph_rules=())
+    return sorted(report.findings, key=lambda f: f.rule_id)
+
+
+@settings(max_examples=30, deadline=None)
+@given(prefix=prefixes())
+def test_fingerprints_survive_line_shifts(tmp_path_factory, prefix):
+    tmp_path = tmp_path_factory.mktemp("fp")
+    baseline = lint_source(tmp_path, VIOLATION_BODY)
+    shifted = lint_source(tmp_path, prefix + VIOLATION_BODY)
+    assert [f.rule_id for f in baseline] == ["RPR101", "RPR301"]
+    assert [f.rule_id for f in shifted] == ["RPR101", "RPR301"]
+    n_inserted = prefix.count("\n")
+    for before, after in zip(baseline, shifted):
+        assert after.fingerprint() == before.fingerprint()
+        assert after.line == before.line + n_inserted
+
+
+@settings(max_examples=30, deadline=None)
+@given(prefix=prefixes())
+def test_shifted_findings_stay_grandfathered(tmp_path_factory, prefix):
+    from repro.analysis import load_baseline, write_baseline
+
+    tmp_path = tmp_path_factory.mktemp("bl")
+    findings = lint_source(tmp_path, VIOLATION_BODY)
+    bl_path = tmp_path / "baseline.json"
+    write_baseline(findings, str(bl_path))
+    baseline = load_baseline(str(bl_path))
+    shifted = lint_source(tmp_path, prefix + VIOLATION_BODY)
+    new, grandfathered = baseline.split(shifted)
+    assert new == []
+    assert len(grandfathered) == len(findings)
+    assert baseline.stale_entries(shifted) == []

@@ -125,3 +125,64 @@ class TestWholeRepo:
         monkeypatch.chdir(REPO_ROOT)
         rc = main(["lint", "src", "tests", "benchmarks"])
         assert rc == 0, capsys.readouterr().out
+
+
+class TestStaleBaselineFlags:
+    def _write_stale_baseline(self, d, capsys):
+        bl = d / "bl.json"
+        rc = main(["lint", str(d), "--baseline", str(bl), "--write-baseline"])
+        assert rc == 0
+        # fix the violation: every baseline entry is now stale
+        (d / "mod.py").write_text(textwrap.dedent(CLEAN))
+        capsys.readouterr()
+        return bl
+
+    def test_fail_stale_exits_nonzero(self, snippet_dir, capsys):
+        d = snippet_dir(VIOLATION)
+        bl = self._write_stale_baseline(d, capsys)
+        rc = main(["lint", str(d), "--baseline", str(bl), "--fail-stale"])
+        assert rc == 1
+        assert "stale baseline" in capsys.readouterr().err
+
+    def test_without_fail_stale_only_reports(self, snippet_dir, capsys):
+        d = snippet_dir(VIOLATION)
+        bl = self._write_stale_baseline(d, capsys)
+        rc = main(["lint", str(d), "--baseline", str(bl), "--stats"])
+        assert rc == 0
+        assert '"stale_baseline_entries": 2' in capsys.readouterr().out
+
+    def test_prune_baseline_then_fail_stale_passes(self, snippet_dir, capsys):
+        d = snippet_dir(VIOLATION)
+        bl = self._write_stale_baseline(d, capsys)
+        rc = main(["lint", str(d), "--baseline", str(bl),
+                   "--prune-baseline", "--fail-stale", "--stats"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "pruned 2 stale" in captured.err
+        assert '"stale_baseline_entries": 0' in captured.out
+        data = json.loads(bl.read_text())
+        assert data["fingerprints"] == {}
+
+
+class TestExplain:
+    def test_explain_per_file_rule(self, capsys):
+        assert main(["lint", "--explain", "RPR101"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("RPR101 [error]")
+        assert "per-file stage" in out
+
+    def test_explain_graph_rule(self, capsys):
+        assert main(["lint", "--explain", "rpr501"]) == 0
+        out = capsys.readouterr().out
+        assert "whole-program (graph) stage" in out
+        assert "layer" in out.lower()
+
+    def test_explain_parse_error_rule(self, capsys):
+        assert main(["lint", "--explain", "RPR000"]) == 0
+        assert "does not parse" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--explain", "RPR777"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err
+        assert "RPR501" in err  # the known-rule list helps discovery
