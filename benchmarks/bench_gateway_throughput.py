@@ -90,20 +90,22 @@ def start_gateway(
 ) -> Tuple[Any, "asyncio.AbstractEventLoop", threading.Thread]:
     """A fresh fleet + gateway server on its own background event loop."""
     from repro.gateway import GatewayServer
-    from repro.service import FleetMonitor
+    from repro.service import FleetConfig, FleetMonitor
 
     fleet = FleetMonitor.build(
-        n_features,
-        n_shards=n_shards,
-        seed=seed,
-        forest_kwargs={
-            "n_trees": 8,
-            "n_tests": 20,
-            "min_parent_size": 60,
-            "min_gain": 0.05,
-            "lambda_pos": 1.0,
-            "lambda_neg": 0.1,
-        },
+        FleetConfig(
+            n_features=n_features,
+            n_shards=n_shards,
+            seed=seed,
+            forest={
+                "n_trees": 8,
+                "n_tests": 20,
+                "min_parent_size": 60,
+                "min_gain": 0.05,
+                "lambda_pos": 1.0,
+                "lambda_neg": 0.1,
+            },
+        ),
         strict=False,
     )
     server = GatewayServer(

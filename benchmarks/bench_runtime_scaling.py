@@ -1,0 +1,412 @@
+"""Process-runtime scaling bench — throughput vs worker count + restart drill.
+
+Replays one synthetic fleet stream through three serving backends at a
+sweep of shard/worker counts:
+
+* ``inproc_serial`` — :class:`~repro.service.fleet.FleetMonitor`, serial
+  shard loop (the baseline);
+* ``inproc_thread`` — the same fleet with a fleet-level
+  :class:`~repro.parallel.pool.ThreadExecutor` sized to the shard count;
+* ``process`` — :class:`~repro.runtime.supervisor.FleetSupervisor`, one
+  worker *process* per shard (no GIL sharing, pickle framing overhead).
+
+At every worker count the process runtime's emitted alarms are asserted
+bit-identical to the in-process serial replay — a scaling number for a
+*different* answer would be worthless — and the artifact records the
+invariant.  A final **restart drill** kills one worker mid-stream
+(``SIGKILL`` via the fault harness) and reports the supervised-recovery
+latency and journal replay size from the supervisor's restart log.
+
+Numbers are honest for the host they ran on: ``config.host_cpus`` is
+recorded, and on a single-CPU box the process runtime cannot beat the
+in-process path (three worker processes time-slice one core and pay the
+framing tax on top).  The artifact schema validates *structure and
+invariants*, not speedups.
+
+Results land in ``BENCH_runtime_scaling.json``; CI's ``runtime-smoke``
+job re-invokes this script with ``--validate`` to keep the schema honest.
+
+Run standalone::
+
+    python benchmarks/bench_runtime_scaling.py --scale 0.05 --months 6
+    python benchmarks/bench_runtime_scaling.py --validate BENCH_runtime_scaling.json
+
+or as a pytest smoke test (``pytest benchmarks/bench_runtime_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+# schema version of BENCH_runtime_scaling.json (bump on breaking changes)
+BENCH_FORMAT = 1
+
+RUNTIMES = ("inproc_serial", "inproc_thread", "process")
+
+#: required numeric keys of each per-runtime block
+RUNTIME_KEYS = ("events", "alarms", "total_seconds", "events_per_sec")
+
+#: required numeric keys of the restart-drill block
+DRILL_KEYS = (
+    "fail_after",
+    "restarts",
+    "attempts",
+    "replayed_events",
+    "recovery_seconds",
+    "events",
+    "alarms",
+)
+
+
+# ------------------------------------------------------------------ plumbing
+def build_events(scale: float, months: int, stride: int, seed: int):
+    """Tiny synthetic fleet → (n_features, materialized DiskEvent list)."""
+    from repro.eval.protocol import prepare_arrays
+    from repro.features.selection import FeatureSelection
+    from repro.service import fleet_events
+    from repro.smart.drive_model import STA, scaled_spec
+    from repro.smart.generator import generate_dataset
+
+    spec = scaled_spec(STA, fleet_scale=scale, duration_months=months)
+    dataset = generate_dataset(spec, seed=seed, sample_every_days=stride)
+    arrays, _ = prepare_arrays(dataset, FeatureSelection.paper_table2())
+    fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
+    return arrays.n_features, list(fleet_events(arrays, fail_day))
+
+
+def fleet_config(n_features: int, n_shards: int, seed: int):
+    from repro.service import FleetConfig
+
+    return FleetConfig(
+        n_features=n_features,
+        n_shards=n_shards,
+        seed=seed,
+        forest={
+            "n_trees": 8,
+            "n_tests": 20,
+            "min_parent_size": 60,
+            "min_gain": 0.05,
+            "lambda_pos": 1.0,
+            "lambda_neg": 0.1,
+        },
+        mode="batch",
+    )
+
+
+def replay(fleet, events, batch_size: int) -> Dict[str, Any]:
+    """Ingest *events* in batches; returns alarm keys + throughput."""
+    alarms: List[Any] = []
+    t0 = time.perf_counter()
+    for start in range(0, len(events), batch_size):
+        emitted = fleet.ingest(events[start:start + batch_size])
+        alarms.extend(
+            (e.shard, e.alarm.disk_id, e.alarm.tag, e.alarm.score)
+            for e in emitted
+        )
+    total = time.perf_counter() - t0
+    return {
+        "alarm_keys": alarms,
+        "stats": {
+            "events": len(events),
+            "alarms": len(alarms),
+            "total_seconds": total,
+            "events_per_sec": len(events) / total if total > 0 else 0.0,
+        },
+    }
+
+
+def run_runtime(
+    runtime: str, config, events, *, batch_size: int
+) -> Dict[str, Any]:
+    """One replay on a fresh fleet wired for *runtime*."""
+    from repro.parallel.pool import ThreadExecutor
+    from repro.runtime import FleetSupervisor
+    from repro.service import FleetMonitor
+
+    if runtime == "inproc_serial":
+        return replay(FleetMonitor.build(config, strict=False), events, batch_size)
+    if runtime == "inproc_thread":
+        with ThreadExecutor(config.n_shards) as pool:
+            fleet = FleetMonitor.build(config, executor=pool, strict=False)
+            return replay(fleet, events, batch_size)
+    if runtime == "process":
+        with FleetSupervisor.build(config, strict=False) as fleet:
+            return replay(fleet, events, batch_size)
+    raise ValueError(f"unknown runtime {runtime!r}")
+
+
+def run_restart_drill(
+    config, events, *, batch_size: int, fail_after: int
+) -> Dict[str, Any]:
+    """Kill one worker mid-stream; report supervised-recovery cost.
+
+    The drill reuses the fault harness the chaos tests use: shard 0's
+    first worker raises after *fail_after* events and ``SIGKILL``\\ s
+    itself, so the supervisor sees a closed pipe — the same signal a
+    crashed or OOM-killed worker produces in production.
+    """
+    from repro.runtime import FleetSupervisor
+
+    with FleetSupervisor.build(
+        config,
+        strict=False,
+        fault_options={0: {"fail_after": fail_after, "kill_on_fault": True}},
+    ) as fleet:
+        result = replay(fleet, events, batch_size)
+        if not fleet.restart_log:
+            raise AssertionError(
+                f"restart drill never fired: fail_after={fail_after} "
+                f"exceeds shard 0's share of {len(events)} events?"
+            )
+        record = fleet.restart_log[0]
+        degraded = list(fleet.health.degraded)
+    if degraded:
+        raise AssertionError(f"drill degraded shards {degraded}")
+    return {
+        "fail_after": fail_after,
+        "restarts": len(fleet.restart_log),
+        "attempts": record.attempts,
+        "replayed_events": record.replayed_events,
+        "recovery_seconds": record.seconds,
+        "events": result["stats"]["events"],
+        "alarms": result["stats"]["alarms"],
+        "alarm_keys": result["alarm_keys"],
+    }
+
+
+# ------------------------------------------------------------------ schema
+def validate_payload(payload: Any) -> List[str]:
+    """Schema check of a BENCH_runtime_scaling.json document.
+
+    Returns a list of problems (empty == valid) instead of raising, so
+    CI can print every violation at once.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload must be an object, got {type(payload).__name__}"]
+    if payload.get("format") != BENCH_FORMAT:
+        problems.append(
+            f"format must be {BENCH_FORMAT}, got {payload.get('format')!r}"
+        )
+    if payload.get("bench") != "runtime_scaling":
+        problems.append(
+            f"bench must be 'runtime_scaling', got {payload.get('bench')!r}"
+        )
+    config = payload.get("config")
+    if not isinstance(config, dict):
+        problems.append("config must be an object")
+    elif not isinstance(config.get("host_cpus"), int):
+        problems.append("config.host_cpus must be an int — scaling numbers "
+                        "are meaningless without the core count they ran on")
+    scaling = payload.get("scaling")
+    if not isinstance(scaling, dict) or not scaling:
+        problems.append("scaling must be a non-empty object")
+        scaling = {}
+    for workers, entry in scaling.items():
+        if not str(workers).isdigit():
+            problems.append(f"scaling key {workers!r} must be a worker count")
+        if not isinstance(entry, dict):
+            problems.append(f"scaling.{workers} must be an object")
+            continue
+        for runtime in RUNTIMES:
+            block = entry.get(runtime)
+            if not isinstance(block, dict):
+                problems.append(
+                    f"scaling.{workers}.{runtime} missing or not an object"
+                )
+                continue
+            for key in RUNTIME_KEYS:
+                value = block.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    problems.append(
+                        f"scaling.{workers}.{runtime}.{key} must be a number"
+                    )
+                elif value < 0:
+                    problems.append(
+                        f"scaling.{workers}.{runtime}.{key} must be >= 0"
+                    )
+        speedup = entry.get("process_vs_thread_speedup")
+        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+            problems.append(
+                f"scaling.{workers}.process_vs_thread_speedup must be a number"
+            )
+        # bit-identity is an invariant, not a perf number: an artifact
+        # recording False is evidence of a real bug, so it fails schema
+        if entry.get("bit_identical") is not True:
+            problems.append(f"scaling.{workers}.bit_identical must be true")
+    drill = payload.get("restart_drill")
+    if not isinstance(drill, dict):
+        problems.append("restart_drill must be an object")
+    else:
+        for key in DRILL_KEYS:
+            value = drill.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"restart_drill.{key} must be a number")
+            elif value < 0:
+                problems.append(f"restart_drill.{key} must be >= 0")
+        if drill.get("bit_identical") is not True:
+            problems.append("restart_drill.bit_identical must be true")
+    return problems
+
+
+# -------------------------------------------------------------------- main
+def run_bench(args: argparse.Namespace) -> Dict[str, Any]:
+    print(
+        f"generating fleet (scale={args.scale}, months={args.months}, "
+        f"stride={args.stride}) ...",
+        file=sys.stderr,
+    )
+    n_features, events = build_events(
+        args.scale, args.months, args.stride, args.seed
+    )
+    worker_counts = sorted({int(w) for w in args.workers.split(",")})
+    print(
+        f"replaying {len(events):,} events at worker counts "
+        f"{worker_counts} ...",
+        file=sys.stderr,
+    )
+
+    scaling: Dict[str, Dict[str, Any]] = {}
+    for n_workers in worker_counts:
+        config = fleet_config(n_features, n_workers, args.seed)
+        entry: Dict[str, Any] = {}
+        reference_keys: Optional[List[Any]] = None
+        for runtime in RUNTIMES:
+            result = run_runtime(
+                runtime, config, events, batch_size=args.batch_size
+            )
+            entry[runtime] = result["stats"]
+            if runtime == "inproc_serial":
+                reference_keys = result["alarm_keys"]
+            elif runtime == "process":
+                entry["bit_identical"] = (
+                    result["alarm_keys"] == reference_keys
+                )
+            print(
+                f"  {n_workers} worker(s) {runtime:14s} "
+                f"{result['stats']['events_per_sec']:10,.0f} events/s",
+                file=sys.stderr,
+            )
+        entry["process_vs_thread_speedup"] = (
+            entry["process"]["events_per_sec"]
+            / entry["inproc_thread"]["events_per_sec"]
+            if entry["inproc_thread"]["events_per_sec"] > 0 else 0.0
+        )
+        if not entry["bit_identical"]:
+            raise AssertionError(
+                f"process runtime diverged from in-process at "
+                f"{n_workers} worker(s)"
+            )
+        scaling[str(n_workers)] = entry
+
+    drill_config = fleet_config(n_features, max(worker_counts), args.seed)
+    drill = run_restart_drill(
+        drill_config, events,
+        batch_size=args.batch_size, fail_after=args.fail_after,
+    )
+    reference = run_runtime(
+        "inproc_serial", drill_config, events, batch_size=args.batch_size
+    )
+    drill["bit_identical"] = (
+        drill.pop("alarm_keys") == reference["alarm_keys"]
+    )
+    if not drill["bit_identical"]:
+        raise AssertionError("restart drill diverged from in-process replay")
+    print(
+        f"  restart drill: recovered in {drill['recovery_seconds']*1e3:.1f}ms, "
+        f"replayed {drill['replayed_events']} journaled event(s), "
+        f"bit_identical={drill['bit_identical']}",
+        file=sys.stderr,
+    )
+
+    return {
+        "format": BENCH_FORMAT,
+        "bench": "runtime_scaling",
+        "config": {
+            "scale": args.scale,
+            "months": args.months,
+            "stride": args.stride,
+            "seed": args.seed,
+            "batch_size": args.batch_size,
+            "worker_counts": worker_counts,
+            "fail_after": args.fail_after,
+            "n_events": len(events),
+            "n_features": n_features,
+            "host_cpus": os.cpu_count() or 1,
+        },
+        "scaling": scaling,
+        "restart_drill": drill,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fleet scale vs. the STA preset")
+    parser.add_argument("--months", type=int, default=6)
+    parser.add_argument("--stride", type=int, default=2,
+                        help="daily-snapshot sampling stride")
+    parser.add_argument("--seed", type=int, default=20180813)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated shard/worker counts to sweep")
+    parser.add_argument("--fail-after", type=int, default=200,
+                        help="events shard 0 processes before the drill "
+                             "kills its worker")
+    parser.add_argument("-o", "--output", default="BENCH_runtime_scaling.json")
+    parser.add_argument("--validate", metavar="PATH", default=None,
+                        help="validate an existing artifact and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.validate:
+        try:
+            payload = json.loads(Path(args.validate).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.validate}: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"schema violation: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"{args.validate}: valid runtime-scaling artifact")
+        return 0
+
+    payload = run_bench(args)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+# ------------------------------------------------------------ pytest smoke
+def test_runtime_scaling_smoke(tmp_path):
+    """Tiny end-to-end run: artifact exists and validates cleanly."""
+    out = tmp_path / "BENCH_runtime_scaling.json"
+    rc = main([
+        "--scale", "0.02", "--months", "3", "--stride", "4",
+        "--batch-size", "64", "--workers", "1,2", "--fail-after", "40",
+        "-o", str(out),
+    ])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert validate_payload(payload) == []
+    assert main(["--validate", str(out)]) == 0
+    # the invariants travel with the artifact even at smoke scale
+    assert all(
+        entry["bit_identical"] for entry in payload["scaling"].values()
+    )
+    assert payload["restart_drill"]["bit_identical"] is True
+    assert payload["restart_drill"]["restarts"] >= 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -97,13 +97,16 @@ def build_fleet(
     tracer=None,
     registry=None,
 ):
-    from repro.service import FleetMonitor
+    from repro.service import FleetMonitor, build_shard_predictors
 
-    return FleetMonitor.build(
+    # a live executor object inside the forest kwargs is not expressible
+    # as a (JSON) FleetConfig, so this bench builds its shards through
+    # the factory directly — the documented escape hatch
+    shards = build_shard_predictors(
         n_features,
         n_shards=n_shards,
         seed=seed,
-        forest_kwargs={
+        forest={
             "n_trees": 8,
             "n_tests": 20,
             "min_parent_size": 60,
@@ -112,6 +115,9 @@ def build_fleet(
             "lambda_neg": 0.1,
             "executor": forest_executor,
         },
+    )
+    return FleetMonitor(
+        shards,
         executor=fleet_executor,
         tracer=tracer,
         registry=registry,

@@ -24,6 +24,7 @@ from repro import (
     AlarmManager,
     CheckpointRotator,
     FeatureSelection,
+    FleetConfig,
     FleetMonitor,
     MetricsRegistry,
     generate_dataset,
@@ -42,15 +43,19 @@ FOREST_KW = dict(
 
 
 def build_fleet(n_features, registry, ckpt_dir):
-    return FleetMonitor.build(
-        n_features,
+    # the fleet's shape is data: one JSON-round-trippable config object
+    config = FleetConfig(
+        n_features=n_features,
         n_shards=3,
         seed=7,
-        forest_kwargs=FOREST_KW,
+        forest=FOREST_KW,
         queue_length=7,
         alarm_threshold=0.5,
         warmup_samples=2000,
         mode="batch",
+    )
+    return FleetMonitor.build(
+        config,
         registry=registry,
         alarm_manager=AlarmManager(
             cooldown=14,        # a disk re-pages at most every two weeks

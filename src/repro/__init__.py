@@ -14,9 +14,14 @@ Feature pipeline and evaluation protocols:
     >>> from repro import FeatureSelection, run_monthly_comparison, run_longterm
 
 Fleet service layer (sharded serving, alarms, checkpoints, metrics):
-    >>> from repro import FleetMonitor, AlarmManager, CheckpointRotator
+    >>> from repro import FleetConfig, FleetMonitor, AlarmManager
 
-See README.md for a quickstart and DESIGN.md for the system inventory.
+Process runtime and network front door:
+    >>> from repro import FleetSupervisor, GatewayClient
+
+See README.md for a quickstart, docs/api.md for the public-API
+reference and its stability promise, and DESIGN.md for the system
+inventory.
 """
 
 from repro.core import (
@@ -42,14 +47,20 @@ from repro.offline import (
     RandomForestClassifier,
     downsample_negatives,
 )
+from repro.gateway import GatewayClient
 from repro.ops import MigrationScheduler, adaptive_scrub_simulation
 from repro.persistence import load_bundle, load_model, save_bundle, save_model
+from repro.runtime import FleetSupervisor
 from repro.service import (
     AlarmManager,
+    CheckpointConfigMismatch,
     CheckpointRotator,
     DiskEvent,
+    EmittedAlarm,
+    FleetConfig,
     FleetMonitor,
     MetricsRegistry,
+    fleet_events,
 )
 from repro.strategies import (
     AccumulationStrategy,
@@ -86,10 +97,16 @@ __all__ = [
     "load_model",
     "save_bundle",
     "load_bundle",
+    "FleetConfig",
     "FleetMonitor",
+    "FleetSupervisor",
+    "GatewayClient",
     "DiskEvent",
+    "EmittedAlarm",
+    "fleet_events",
     "AlarmManager",
     "CheckpointRotator",
+    "CheckpointConfigMismatch",
     "MetricsRegistry",
     "HoeffdingTreeClassifier",
     "FrozenStrategy",

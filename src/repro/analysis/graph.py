@@ -74,7 +74,7 @@ DECLARED_LAYERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("models", ("core", "obs", "streaming", "offline")),
     ("evaluation", ("eval", "parallel", "ops", "persistence", "strategies")),
     ("serving", ("service", "analysis")),
-    ("edge", ("gateway",)),
+    ("edge", ("gateway", "runtime")),
     ("interface", ("cli",)),
 )
 

@@ -213,12 +213,69 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _build_serving_fleet(args: argparse.Namespace, shards, *, registry,
+                         manager, rotator, tracer):
+    """Construct the serving backend ``--runtime`` selects.
+
+    Both runtimes receive the identical shard list, alarm manager, and
+    rotator, so switching runtimes changes the process topology and
+    nothing else — alarms, digests, and checkpoints stay bit-identical.
+    """
+    if getattr(args, "runtime", "inproc") == "process":
+        from repro.runtime import FleetSupervisor
+
+        fault_options = None
+        if getattr(args, "kill_shard", None) is not None:
+            fault_options = {
+                args.kill_shard: {
+                    "fail_after": args.kill_after,
+                    "kill_on_fault": True,
+                }
+            }
+        return FleetSupervisor(
+            shards,
+            alarm_manager=manager,
+            registry=registry,
+            rotator=rotator,
+            mode=args.mode,
+            strict=args.strict,
+            max_dead_letters=args.dead_letter_max,
+            tracer=tracer,
+            journal_max_events=args.journal_max,
+            fault_options=fault_options,
+        )
     from repro.parallel.pool import make_executor
+    from repro.service import FleetMonitor
+
+    return FleetMonitor(
+        shards,
+        alarm_manager=manager,
+        registry=registry,
+        rotator=rotator,
+        mode=args.mode,
+        executor=make_executor(getattr(args, "executor", "serial")),
+        strict=args.strict,
+        max_dead_letters=args.dead_letter_max,
+        tracer=tracer,
+    )
+
+
+def _finish_process_runtime(fleet) -> None:
+    """Report restarts and stop the workers of a process-runtime fleet."""
+    for rec in fleet.restart_log:
+        print(
+            f"# restarted shard {rec.shard} ({rec.reason}); "
+            f"replayed {rec.replayed_events} journaled event(s) "
+            f"in {rec.attempts} attempt(s)"
+        )
+    print(f"# worker restarts: {sum(fleet.restarts)}")
+    fleet.close()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import (
         AlarmManager,
         CheckpointRotator,
-        FleetMonitor,
         MetricsRegistry,
         fleet_events,
     )
@@ -263,16 +320,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer(registry=registry)
-    fleet = FleetMonitor(
-        shards,
-        alarm_manager=manager,
-        registry=registry,
-        rotator=rotator,
-        mode=args.mode,
-        executor=make_executor(args.executor),
-        strict=args.strict,
-        max_dead_letters=args.dead_letter_max,
-        tracer=tracer,
+    fleet = _build_serving_fleet(
+        args, shards, registry=registry, manager=manager,
+        rotator=rotator, tracer=tracer,
     )
 
     fail_day = {d.serial: d.fail_day for d in dataset.drives if d.failed}
@@ -334,6 +384,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if rotator is not None and rotator.latest is not None:
         print(f"# latest checkpoint: {rotator.latest}")
+    if args.runtime == "process":
+        _finish_process_runtime(fleet)
     if tracer is not None:
         from repro.obs import format_trace_report, write_trace
 
@@ -355,7 +407,6 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     from repro.service import (
         AlarmManager,
         CheckpointRotator,
-        FleetMonitor,
         MetricsRegistry,
     )
 
@@ -397,15 +448,9 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer(registry=registry)
-    fleet = FleetMonitor(
-        shards,
-        alarm_manager=manager,
-        registry=registry,
-        rotator=rotator,
-        mode=args.mode,
-        strict=args.strict,
-        max_dead_letters=args.dead_letter_max,
-        tracer=tracer,
+    fleet = _build_serving_fleet(
+        args, shards, registry=registry, manager=manager,
+        rotator=rotator, tracer=tracer,
     )
     server = GatewayServer(
         fleet,
@@ -446,6 +491,8 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     )
     if server.final_checkpoint is not None:
         print(f"# final checkpoint: {server.final_checkpoint}")
+    if args.runtime == "process":
+        _finish_process_runtime(fleet)
     if args.dump_metrics:
         print(registry.render(), end="")
     return 0
@@ -784,7 +831,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=0, help="warmup samples per shard")
     p.add_argument("--batch-size", type=int, default=256)
     p.add_argument("--mode", choices=("exact", "batch"), default="exact")
-    p.add_argument("--executor", choices=("serial", "thread"), default="serial")
+    p.add_argument(
+        "--runtime", choices=("inproc", "process"), default="inproc",
+        help="inproc: sharded fleet in this process; process: one "
+             "supervised worker process per shard with restart-on-crash",
+    )
+    p.add_argument("--executor", choices=("serial", "thread"), default="serial",
+                   help="shard-bucket executor (inproc runtime only)")
+    p.add_argument(
+        "--journal-max", type=int, default=4096,
+        help="per-shard in-flight journal bound before a forced snapshot "
+             "(process runtime only)",
+    )
+    p.add_argument(
+        "--kill-shard", type=int, default=None, metavar="SHARD",
+        help="chaos drill (process runtime): SIGKILL this shard's worker "
+             "mid-stream and prove supervised recovery",
+    )
+    p.add_argument(
+        "--kill-after", type=int, default=0, metavar="N",
+        help="events the killed shard processes before dying "
+             "(with --kill-shard)",
+    )
     p.add_argument(
         "--cooldown", type=int, default=None,
         help="per-disk samples before an open alarm re-notifies (default: never)",
@@ -852,6 +920,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.5)
     p.add_argument("--warmup", type=int, default=0, help="warmup samples per shard")
     p.add_argument("--mode", choices=("exact", "batch"), default="exact")
+    p.add_argument(
+        "--runtime", choices=("inproc", "process"), default="inproc",
+        help="inproc: sharded fleet in this process; process: one "
+             "supervised worker process per shard with restart-on-crash",
+    )
+    p.add_argument(
+        "--journal-max", type=int, default=4096,
+        help="per-shard in-flight journal bound before a forced snapshot "
+             "(process runtime only)",
+    )
     p.add_argument(
         "--max-batch-events", type=int, default=1024,
         help="micro-batcher coalescing cap (events per fleet flush)",

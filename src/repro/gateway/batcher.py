@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.obs.tracing import NULL_TRACER, NullTracer
-from repro.service.fleet import DiskEvent, EmittedAlarm, FleetMonitor
+from repro.service.fleet import DiskEvent, EmittedAlarm, FleetBackend
 from repro.service.metrics import MetricsRegistry
 
 __all__ = [
@@ -99,7 +99,10 @@ class MicroBatcher:
     Parameters
     ----------
     fleet:
-        The :class:`~repro.service.fleet.FleetMonitor` flushes feed.
+        The :class:`~repro.service.fleet.FleetBackend` flushes feed —
+        the in-process :class:`~repro.service.fleet.FleetMonitor` or
+        the process-runtime :class:`~repro.runtime.supervisor.
+        FleetSupervisor`.
         ``ingest`` runs inline on the event loop: the fleet mutates
         shared shard state, so a single flush loop *is* the
         synchronization — no locks, no cross-thread handoff, and flush
@@ -128,7 +131,7 @@ class MicroBatcher:
 
     def __init__(
         self,
-        fleet: FleetMonitor,
+        fleet: FleetBackend,
         *,
         max_batch_events: int = 1024,
         max_queue_events: int = 8192,

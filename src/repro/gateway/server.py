@@ -61,7 +61,7 @@ from repro.gateway.protocol import (
     ok_response,
 )
 from repro.obs.tracing import NULL_TRACER, NullTracer
-from repro.service.fleet import FleetMonitor
+from repro.service.fleet import FleetBackend
 from repro.service.metrics import MetricsRegistry
 
 __all__ = [
@@ -84,7 +84,9 @@ class GatewayServer:
     Parameters
     ----------
     fleet:
-        The :class:`~repro.service.fleet.FleetMonitor` behind the wire.
+        The :class:`~repro.service.fleet.FleetBackend` behind the wire
+        (``FleetMonitor`` in-process, or a ``FleetSupervisor`` for the
+        shard-per-process runtime).
         Build it with ``strict=False`` for tolerant serving (the CLI
         default) — in strict mode a bad event fails its whole flush.
     host / port:
@@ -120,7 +122,7 @@ class GatewayServer:
 
     def __init__(
         self,
-        fleet: FleetMonitor,
+        fleet: FleetBackend,
         *,
         host: str = "127.0.0.1",
         port: int = 0,

@@ -1,0 +1,31 @@
+"""Process runtime: shard-per-process serving with supervised restart.
+
+The :class:`FleetSupervisor` runs each hash shard in a dedicated
+:class:`ShardHost` worker process (selected with ``repro serve
+--runtime process``), speaking the length-prefixed pickle protocol of
+:mod:`repro.runtime.wire` over pipes, restarting dead workers from
+checkpoints, and replaying the journaled in-flight tail so no admitted
+event is lost.  It exposes the same serving surface as the in-process
+:class:`~repro.service.fleet.FleetMonitor` and is bit-identical to it
+under one seed.
+"""
+
+from repro.runtime.supervisor import FleetSupervisor, RestartRecord
+from repro.runtime.wire import (
+    WIRE_VERSION,
+    WireError,
+    WorkerGone,
+    WorkerTimeout,
+)
+from repro.runtime.worker import ShardHost, shard_host_main
+
+__all__ = [
+    "FleetSupervisor",
+    "RestartRecord",
+    "ShardHost",
+    "WIRE_VERSION",
+    "WireError",
+    "WorkerGone",
+    "WorkerTimeout",
+    "shard_host_main",
+]

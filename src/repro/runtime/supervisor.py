@@ -1,0 +1,1008 @@
+"""Process-supervised fleet serving: one worker process per shard.
+
+:class:`FleetSupervisor` is the process-runtime twin of
+:class:`~repro.service.fleet.FleetMonitor`: same construction API
+(:meth:`build` from a :class:`~repro.service.config.FleetConfig`), same
+serving surface (``ingest``/``replay``/``digest``/``checkpoint``/
+``alarm_state``), same metrics instruments, same checkpoint manifests —
+but every shard lives in its own :class:`~repro.runtime.worker.
+ShardHost` process, reached over a length-prefixed pickle pipe
+protocol (:mod:`repro.runtime.wire`).
+
+**Bit-identity.**  Admission (:func:`~repro.service.fleet.
+admit_events`), sharding (:func:`~repro.service.fleet.shard_of`), and
+the alarm lifecycle (:func:`~repro.service.fleet.apply_lifecycle`) run
+in the supervisor via the exact code the in-process fleet uses; shard
+buckets execute in arrival order inside workers whose predictors come
+from the same :func:`~repro.service.config.build_shard_predictors`
+factory.  Under one seed the emitted alarms, digests, quarantine
+decisions, and per-shard forest state match ``FleetMonitor`` bit for
+bit — including across a worker kill, because recovery is replay, not
+approximation.
+
+**Supervision.**  Every admitted bucket is journaled *before* it is
+dispatched.  When a worker dies (pipe EOF, heartbeat/reply timeout),
+the supervisor respawns it from the shard's latest snapshot — the boot
+spool copy, the last published :class:`~repro.service.checkpoint.
+CheckpointRotator` rotation, or a forced spool snapshot taken when the
+journal hits its bound — and replays the journal tail.  The last
+replayed bucket *is* the in-flight one, so its results are recovered,
+no admitted event is lost, and the restart is invisible in the alarm
+stream.  A shard that keeps dying through ``max_restarts`` attempts,
+or that *reports* a fault (a deterministic error, where restarting
+cannot help), is fenced off exactly like an in-process degraded shard:
+traffic quarantined, health marked, strict mode raising
+:exc:`~repro.service.faults.ShardFault`.
+
+Restarts are observable: ``repro_runtime_restarts_total{shard}``
+counters, :attr:`FleetSupervisor.restart_log` records (reason, recovery
+seconds, replayed events), and ``runtime.*`` tracing spans.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import multiprocessing
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.predictor import Alarm, OnlineDiskFailurePredictor
+from repro.obs.tracing import NULL_TRACER, NullTracer
+from repro.persistence import load_model, save_model
+from repro.service.alarms import AlarmManager
+from repro.service.checkpoint import CheckpointRotator, load_checkpoint
+from repro.service.config import FleetConfig
+from repro.service.faults import (
+    REASON_SHARD_FAULT,
+    DeadLetterQueue,
+    FaultyPredictor,
+    ShardFault,
+    ShardHealth,
+)
+from repro.service.fleet import (
+    DiskEvent,
+    EmittedAlarm,
+    FleetInstruments,
+    admit_events,
+    apply_lifecycle,
+    quarantine_event,
+    shard_of,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.runtime.wire import (
+    OP_CHECKPOINT,
+    OP_DIGEST,
+    OP_DRAIN,
+    OP_HEARTBEAT,
+    OP_INGEST,
+    REPLY_OK,
+    WireError,
+    WorkerGone,
+    WorkerTimeout,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.worker import shard_host_main
+
+__all__ = ["FleetSupervisor", "RestartRecord"]
+
+PathLike = Union[str, Path]
+ShardSpec = Union[OnlineDiskFailurePredictor, str, Path]
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """One successful worker recovery, for the restart log."""
+
+    shard: int
+    reason: str
+    seconds: float
+    replayed_events: int
+    attempts: int
+
+
+class _WorkerFault(RuntimeError):
+    """A worker *replied* with an error: deterministic, not a crash."""
+
+
+class _Worker:
+    """A live shard host: its process handle and supervisor pipe end."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, proc: Any, conn: Connection) -> None:
+        self.proc = proc
+        self.conn = conn
+
+
+class FleetSupervisor:
+    """Shard-per-process fleet with supervised restart.
+
+    Parameters
+    ----------
+    shards:
+        One entry per shard: either a live
+        :class:`~repro.core.predictor.OnlineDiskFailurePredictor`
+        (snapshotted into the spool as the shard's boot state) or a
+        path to an ``.npz`` snapshot (copied into the spool).
+    config:
+        The :class:`FleetConfig` this fleet runs under; derived from
+        the first shard when omitted (topology only — prefer
+        :meth:`build`).
+    mode:
+        Bucket semantics inside each worker, as in ``FleetMonitor``.
+    rotator:
+        Optional :class:`CheckpointRotator`.  Rotations double as
+        restart points: a published rotation becomes every shard's
+        recovery snapshot and clears the journals.
+    spool_dir:
+        Where boot snapshots and forced journal-bound snapshots live.
+        A private temp directory (removed on :meth:`close`) when
+        omitted; pass a real path to keep spool state across runs.
+    journal_max_events:
+        Bound on the per-shard in-flight journal.  A shard whose
+        journal exceeds it gets a forced spool snapshot, so recovery
+        replay time stays bounded no matter how sparse rotations are.
+    max_restarts:
+        Lifetime restart budget per shard; exhausting it degrades the
+        shard instead of crash-looping forever.
+    request_timeout:
+        Seconds to wait for any worker reply (None blocks — the
+        default, since shard work time is workload-bound).  A timeout
+        is treated as a hung worker: killed and restarted.
+    boot_timeout:
+        Seconds to wait for a spawned worker's hello frame.
+    fault_options:
+        Chaos-drill injection: ``{shard: {"fail_after": n,
+        "kill_on_fault": True, ...}}`` applied to that shard's *first*
+        spawn only — the restarted worker is clean, so a drill kills
+        once and then proves recovery.
+    start_method:
+        Multiprocessing start method; defaults to ``fork`` where
+        available (cheapest), else the platform default.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardSpec],
+        *,
+        config: Optional[FleetConfig] = None,
+        alarm_manager: Optional[AlarmManager] = None,
+        registry: Optional[MetricsRegistry] = None,
+        mode: str = "exact",
+        rotator: Optional[CheckpointRotator] = None,
+        strict: bool = True,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_dead_letters: int = 1024,
+        clock: Callable[[], float] = time.perf_counter,
+        tracer: Optional[NullTracer] = None,
+        spool_dir: Optional[PathLike] = None,
+        journal_max_events: int = 4096,
+        max_restarts: int = 5,
+        request_timeout: Optional[float] = None,
+        boot_timeout: float = 60.0,
+        fault_options: Optional[Mapping[int, Mapping[str, Any]]] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        if mode not in ("exact", "batch"):
+            raise ValueError(f"mode must be 'exact' or 'batch', got {mode!r}")
+        if journal_max_events < 1:
+            raise ValueError(
+                f"journal_max_events must be >= 1, got {journal_max_events}"
+            )
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        if config is not None and int(config.n_shards) != len(shards):
+            raise ValueError(
+                f"config declares {config.n_shards} shard(s) but "
+                f"{len(shards)} were supplied"
+            )
+        self.mode = mode
+        self.rotator = rotator
+        self.strict = bool(strict)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.alarms = (
+            alarm_manager
+            if alarm_manager is not None
+            else AlarmManager(registry=self.registry)
+        )
+        self.dead_letters = (
+            dead_letters
+            if dead_letters is not None
+            else DeadLetterQueue(max_dead_letters)
+        )
+        self.health = ShardHealth(len(shards))
+        self._clock = clock
+        self.tracer: NullTracer = tracer if tracer is not None else NULL_TRACER
+        if rotator is not None:
+            rotator.tracer = self.tracer
+        self.journal_max_events = int(journal_max_events)
+        self.max_restarts = int(max_restarts)
+        self.request_timeout = request_timeout
+        self.boot_timeout = float(boot_timeout)
+        self._fault_options: Dict[int, Dict[str, Any]] = {
+            int(k): dict(v) for k, v in dict(fault_options or {}).items()
+        }
+        method = start_method
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else available[0]
+        self._mp = multiprocessing.get_context(method)
+
+        # ------------------------------------------------ spool + boot state
+        self._own_spool = spool_dir is None
+        self._spool = (
+            Path(tempfile.mkdtemp(prefix="repro-runtime-"))
+            if spool_dir is None
+            else Path(spool_dir)
+        )
+        boot_dir = self._spool / "boot"
+        boot_dir.mkdir(parents=True, exist_ok=True)
+        self._snapshot_paths: List[Path] = []
+        first_live: Optional[OnlineDiskFailurePredictor] = None
+        for i, shard in enumerate(shards):
+            dest = boot_dir / f"shard{i}.npz"
+            if isinstance(shard, (str, Path)):
+                shutil.copyfile(shard, dest)
+            else:
+                target = (
+                    shard.inner
+                    if isinstance(shard, FaultyPredictor)
+                    else shard
+                )
+                if first_live is None:
+                    first_live = target
+                save_model(target, dest)
+            self._snapshot_paths.append(dest)
+        self._config = (
+            config
+            if config is not None
+            else self._derive_config(shards[0], first_live, len(shards))
+        )
+
+        # ----------------------------------------------------------- workers
+        self._seq = 0
+        self._workers: List[Optional[_Worker]] = [None] * len(shards)
+        self._stats: List[Dict[str, int]] = [
+            {
+                "n_samples": 0,
+                "n_failures": 0,
+                "queue_depth": 0,
+                "monitored_disks": 0,
+                "tree_replacements": 0,
+            }
+            for _ in shards
+        ]
+        self._journals: List[List[List[Tuple[int, DiskEvent]]]] = [
+            [] for _ in shards
+        ]
+        self._journal_events: List[int] = [0] * len(shards)
+        self.restarts: List[int] = [0] * len(shards)
+        self.restart_log: List[RestartRecord] = []
+        self.checkpoint_requests: List[int] = [0] * len(shards)
+        self._instrument()
+        try:
+            for i in range(len(shards)):
+                stats = self._spawn(i)
+                self._stats[i] = stats
+                self.instruments.seed_shard_counts(
+                    i, stats["n_samples"], stats["n_failures"]
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    # ----------------------------------------------------------- construction
+    @staticmethod
+    def _derive_config(
+        first: ShardSpec,
+        first_live: Optional[OnlineDiskFailurePredictor],
+        n_shards: int,
+    ) -> FleetConfig:
+        shard = first_live
+        if shard is None:
+            loaded = load_model(first)  # type: ignore[arg-type]
+            shard = (
+                loaded.inner if isinstance(loaded, FaultyPredictor) else loaded
+            )
+        return FleetConfig(
+            n_features=int(shard.forest.n_features),
+            n_shards=n_shards,
+            seed=None,
+            forest={},
+            queue_length=int(shard.labeler.queue_length),
+            alarm_threshold=float(shard.alarm_threshold),
+            warmup_samples=int(shard.warmup_samples),
+            record_alarms=bool(shard.record_alarms),
+            max_recorded_alarms=shard.max_recorded_alarms,
+            mode="exact",
+            runtime="process",
+        )
+
+    @classmethod
+    def build(
+        cls,
+        config: FleetConfig,
+        *,
+        alarm_manager: Optional[AlarmManager] = None,
+        registry: Optional[MetricsRegistry] = None,
+        rotator: Optional[CheckpointRotator] = None,
+        strict: bool = True,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_dead_letters: int = 1024,
+        clock: Callable[[], float] = time.perf_counter,
+        tracer: Optional[NullTracer] = None,
+        spool_dir: Optional[PathLike] = None,
+        journal_max_events: int = 4096,
+        max_restarts: int = 5,
+        request_timeout: Optional[float] = None,
+        boot_timeout: float = 60.0,
+        fault_options: Optional[Mapping[int, Mapping[str, Any]]] = None,
+        start_method: Optional[str] = None,
+    ) -> "FleetSupervisor":
+        """Construct a process fleet of fresh seed-derived shards.
+
+        The shards come from the *same*
+        :func:`~repro.service.config.build_shard_predictors` factory the
+        in-process fleet uses, so ``FleetSupervisor.build(cfg)`` and
+        ``FleetMonitor.build(cfg)`` start from bit-identical forests.
+        (There is no legacy kwarg spelling here — the process runtime
+        postdates its deprecation.)
+        """
+        if not isinstance(config, FleetConfig):
+            raise TypeError(
+                "FleetSupervisor.build takes a FleetConfig; the legacy "
+                "kwarg spelling was never supported by the process runtime"
+            )
+        return cls(
+            config.build_shards(),
+            config=config,
+            mode=config.mode,
+            alarm_manager=alarm_manager,
+            registry=registry,
+            rotator=rotator,
+            strict=strict,
+            dead_letters=dead_letters,
+            max_dead_letters=max_dead_letters,
+            clock=clock,
+            tracer=tracer,
+            spool_dir=spool_dir,
+            journal_max_events=journal_max_events,
+            max_restarts=max_restarts,
+            request_timeout=request_timeout,
+            boot_timeout=boot_timeout,
+            fault_options=fault_options,
+            start_method=start_method,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: PathLike,
+        *,
+        config: Optional[FleetConfig] = None,
+        **kwargs: Any,
+    ) -> "FleetSupervisor":
+        """Resume a process fleet from a checkpoint directory.
+
+        Same contract as ``FleetMonitor.from_checkpoint``: shard state
+        restores bit-exactly into fresh workers, alarm-manager state
+        reloads from the manifest, and a *config* argument makes the
+        restore reject topology mismatches with
+        :exc:`~repro.service.config.CheckpointConfigMismatch`.
+        """
+        manifest, shards = load_checkpoint(path, expect_config=config)
+        if config is None:
+            stamped = manifest.get("config")
+            if stamped is not None:
+                try:
+                    config = FleetConfig.from_dict(stamped)
+                except ValueError:
+                    config = None
+        if config is not None:
+            kwargs.setdefault("mode", config.mode)
+        fleet = cls(shards, config=config, **kwargs)
+        fleet._seq = int(manifest.get("n_samples", 0))
+        alarm_state = manifest.get("alarms")
+        if alarm_state is not None:
+            fleet.alarms.load_state_dict(alarm_state)
+        return fleet
+
+    # -------------------------------------------------------------- plumbing
+    def _instrument(self) -> None:
+        reg = self.registry
+        n = len(self._snapshot_paths)
+        self.instruments = FleetInstruments(reg, n)
+        self._ingest_hist = self.instruments.ingest_seconds
+        self._ckpt_failures_c = self.instruments.checkpoint_failures
+        self._restarts_c = [
+            reg.counter(
+                "repro_runtime_restarts_total",
+                help="shard workers respawned after a crash or hang",
+                labels={"shard": str(i)},
+            )
+            for i in range(n)
+        ]
+        self._spool_ckpt_c = reg.counter(
+            "repro_runtime_spool_checkpoints_total",
+            help="forced snapshots taken when a journal hit its bound",
+        )
+        for i in range(n):
+            reg.gauge(
+                "repro_runtime_journal_events",
+                help="admitted events awaiting the next snapshot",
+                labels={"shard": str(i)},
+                fn=lambda i=i: self._journal_events[i],
+            )
+        reg.gauge(
+            "repro_runtime_workers",
+            help="live shard worker processes",
+            fn=lambda: float(
+                sum(
+                    1
+                    for w in self._workers
+                    if w is not None and w.proc.is_alive()
+                )
+            ),
+        )
+
+    def _spawn(self, shard_i: int) -> Dict[str, int]:
+        """Start shard *shard_i*'s worker; returns its hello stats."""
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        options: Dict[str, Any] = {"mode": self.mode}
+        fault = self._fault_options.pop(shard_i, None)
+        if fault is not None:
+            options["fault"] = fault
+        proc = self._mp.Process(
+            target=shard_host_main,
+            args=(
+                child_conn,
+                shard_i,
+                str(self._snapshot_paths[shard_i]),
+                options,
+            ),
+            name=f"repro-shard-{shard_i}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            op, payload = recv_frame(parent_conn, timeout=self.boot_timeout)
+        except (WorkerGone, WorkerTimeout, WireError):
+            parent_conn.close()
+            proc.kill()
+            proc.join(timeout=5.0)
+            raise
+        if op != REPLY_OK:
+            parent_conn.close()
+            proc.join(timeout=5.0)
+            raise _WorkerFault(
+                f"shard {shard_i} failed to boot: {payload}"
+            )
+        self._workers[shard_i] = _Worker(proc, parent_conn)
+        return dict(payload["stats"])
+
+    def _reap(self, shard_i: int) -> None:
+        worker = self._workers[shard_i]
+        if worker is None:
+            return
+        self._workers[shard_i] = None
+        with contextlib.suppress(OSError):
+            worker.conn.close()
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=5.0)
+
+    def _conn(self, shard_i: int) -> Connection:
+        worker = self._workers[shard_i]
+        if worker is None:
+            raise WorkerGone(f"shard {shard_i} has no live worker")
+        return worker.conn
+
+    def _request(
+        self,
+        shard_i: int,
+        op: str,
+        payload: Any,
+        *,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """One request/reply exchange; raises on death or error reply."""
+        conn = self._conn(shard_i)
+        send_frame(conn, op, payload)
+        reply_op, reply = recv_frame(
+            conn, timeout=timeout if timeout is not None else self.request_timeout
+        )
+        if reply_op != REPLY_OK:
+            message = (
+                reply.get("message", str(reply))
+                if isinstance(reply, dict)
+                else str(reply)
+            )
+            raise _WorkerFault(message)
+        return reply
+
+    # ------------------------------------------------------------- recovery
+    def _replay_journal(
+        self, shard_i: int
+    ) -> Optional[List[Tuple[int, Optional[Alarm]]]]:
+        """Re-drive the journal tail through a fresh worker.
+
+        Every bucket before the last was already applied to the alarm
+        lifecycle — the worker recomputes the same state (same snapshot,
+        same events, same order) and the interim results are discarded.
+        The *last* bucket's results are returned: when recovery happens
+        mid-ingest that bucket is the in-flight one, and these are
+        exactly the results the dead worker owed.
+        """
+        results: Optional[List[Tuple[int, Optional[Alarm]]]] = None
+        for bucket in self._journals[shard_i]:
+            reply = self._request(shard_i, OP_INGEST, bucket)
+            self._stats[shard_i] = dict(reply["stats"])
+            results = list(reply["results"])
+        return results
+
+    def _recover(
+        self, shard_i: int, reason: str
+    ) -> Optional[List[Tuple[int, Optional[Alarm]]]]:
+        """Restart a dead/hung worker and replay its journal.
+
+        Returns the last journal bucket's results on success, or None
+        when the shard cannot be brought back (restart budget spent, or
+        the fault reproduces deterministically on replay) — the caller
+        degrades it.
+        """
+        t0 = self._clock()
+        attempts = 0
+        with self.tracer.span("runtime.restart", items=1):
+            while self.restarts[shard_i] < self.max_restarts:
+                self.restarts[shard_i] += 1
+                attempts += 1
+                self._restarts_c[shard_i].inc()
+                self._reap(shard_i)
+                try:
+                    self._stats[shard_i] = self._spawn(shard_i)
+                    results = self._replay_journal(shard_i)
+                except (WorkerGone, WorkerTimeout, WireError) as exc:
+                    reason = f"died again during recovery: {exc}"
+                    continue
+                except _WorkerFault:
+                    # deterministic fault: the same events produce the
+                    # same error on every replay — restarting cannot help
+                    return None
+                self.restart_log.append(
+                    RestartRecord(
+                        shard=shard_i,
+                        reason=str(reason),
+                        seconds=self._clock() - t0,
+                        replayed_events=self._journal_events[shard_i],
+                        attempts=attempts,
+                    )
+                )
+                return results
+        return None
+
+    def _degrade(
+        self,
+        shard_i: int,
+        error: BaseException,
+        bucket: Optional[List[Tuple[int, DiskEvent]]],
+    ) -> None:
+        self.health.mark_degraded(shard_i, error)
+        if bucket is not None:
+            for seq, ev in bucket:
+                quarantine_event(
+                    self.dead_letters,
+                    self.instruments,
+                    ev,
+                    REASON_SHARD_FAULT,
+                    shard=shard_i,
+                    seq=seq,
+                    detail=str(error),
+                )
+        # the shard is fenced: no more traffic, so the journal is moot
+        self._journals[shard_i].clear()
+        self._journal_events[shard_i] = 0
+
+    # ---------------------------------------------------------------- stream
+    def ingest(self, events: Sequence[DiskEvent]) -> List[EmittedAlarm]:
+        """Process one micro-batch; same contract as ``FleetMonitor.ingest``.
+
+        Admission, sequencing, and lifecycle run in the supervisor;
+        shard buckets are journaled, dispatched to every busy worker,
+        then collected — a worker that died mid-bucket is restarted
+        from its snapshot and the journal replayed before the batch
+        completes, so callers never observe the crash.
+        """
+        t0 = self._clock()
+        with self.tracer.span("runtime.ingest", items=len(events)):
+            with self.tracer.span("runtime.admit", items=len(events)):
+                accepted, rejected = admit_events(
+                    events,
+                    n_features=self.n_features,
+                    n_shards=self.n_shards,
+                    strict=self.strict,
+                    health=self.health,
+                )
+                for ev, reason, shard_i in rejected:
+                    quarantine_event(
+                        self.dead_letters, self.instruments, ev, reason,
+                        shard=shard_i,
+                    )
+
+            with self.tracer.span("runtime.route", items=len(accepted)):
+                buckets: List[List[Tuple[int, DiskEvent]]] = [
+                    [] for _ in range(self.n_shards)
+                ]
+                for shard_i, ev in accepted:
+                    buckets[shard_i].append((self._seq, ev))
+                    self._seq += 1
+                busy = [(i, b) for i, b in enumerate(buckets) if b]
+                # journal before dispatch: an admitted event must
+                # survive a worker crash from this point on
+                for shard_i, bucket in busy:
+                    self._journals[shard_i].append(bucket)
+                    self._journal_events[shard_i] += len(bucket)
+
+            with self.tracer.span("runtime.dispatch", items=len(accepted)):
+                sent: List[Tuple[int, List[Tuple[int, DiskEvent]], bool]] = []
+                for shard_i, bucket in busy:
+                    ok = True
+                    try:
+                        send_frame(self._conn(shard_i), OP_INGEST, bucket)
+                    except WorkerGone:
+                        ok = False
+                    sent.append((shard_i, bucket, ok))
+
+            merged: List[Tuple[int, int, DiskEvent, Optional[Alarm]]] = []
+            faults: List[Tuple[int, BaseException]] = []
+            with self.tracer.span("runtime.collect", items=len(accepted)):
+                for shard_i, bucket, sent_ok in sent:
+                    results: Optional[List[Tuple[int, Optional[Alarm]]]]
+                    fault: Optional[BaseException] = None
+                    if sent_ok:
+                        try:
+                            reply = self._request_reply(shard_i)
+                            results = reply
+                        except (WorkerGone, WorkerTimeout, WireError) as exc:
+                            results = self._recover(shard_i, str(exc))
+                        except _WorkerFault as exc:
+                            results, fault = None, exc
+                    else:
+                        results = self._recover(
+                            shard_i, "pipe closed before dispatch"
+                        )
+                    if fault is None and results is None:
+                        fault = RuntimeError(
+                            f"shard {shard_i} unrecoverable after "
+                            f"{self.restarts[shard_i]} restart(s)"
+                        )
+                    if fault is not None:
+                        self._degrade(shard_i, fault, bucket)
+                        faults.append((shard_i, fault))
+                        continue
+                    assert results is not None
+                    if len(results) != len(bucket):
+                        raise WireError(
+                            f"shard {shard_i} returned {len(results)} "
+                            f"results for a {len(bucket)}-event bucket"
+                        )
+                    for (seq, ev), (r_seq, alarm) in zip(bucket, results):
+                        if r_seq != seq:
+                            raise WireError(
+                                f"shard {shard_i} result out of order: "
+                                f"expected seq {seq}, got {r_seq}"
+                            )
+                        merged.append((seq, shard_i, ev, alarm))
+            merged.sort(key=lambda item: item[0])
+
+            with self.tracer.span("runtime.lifecycle", items=len(merged)):
+                emitted = apply_lifecycle(
+                    merged, alarms=self.alarms, instruments=self.instruments,
+                )
+        self._ingest_hist.observe(self._clock() - t0)
+        self._enforce_journal_bound()
+        if self.rotator is not None:
+            try:
+                published = self.rotator.maybe_rotate(self)
+            except OSError:
+                self._ckpt_failures_c.inc()
+                if self.strict:
+                    raise
+            else:
+                if published is not None:
+                    self._mark_rotation(Path(published))
+        if faults and self.strict:
+            shard_i, error = faults[0]
+            raise ShardFault(shard_i, error)
+        return emitted
+
+    def _request_reply(
+        self, shard_i: int
+    ) -> List[Tuple[int, Optional[Alarm]]]:
+        """Collect one already-dispatched ingest reply."""
+        op, reply = recv_frame(
+            self._conn(shard_i), timeout=self.request_timeout
+        )
+        if op != REPLY_OK:
+            message = (
+                reply.get("message", str(reply))
+                if isinstance(reply, dict)
+                else str(reply)
+            )
+            raise _WorkerFault(message)
+        self._stats[shard_i] = dict(reply["stats"])
+        return list(reply["results"])
+
+    def replay(
+        self, events: Iterable[DiskEvent], *, batch_size: int = 256
+    ) -> List[EmittedAlarm]:
+        """Drive an event stream through :meth:`ingest` in micro-batches."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be > 0, got {batch_size}")
+        emitted: List[EmittedAlarm] = []
+        batch: List[DiskEvent] = []
+        for ev in events:
+            batch.append(ev)
+            if len(batch) >= batch_size:
+                emitted.extend(self.ingest(batch))
+                batch = []
+        if batch:
+            emitted.extend(self.ingest(batch))
+        return emitted
+
+    # ----------------------------------------------------------- checkpoints
+    def _enforce_journal_bound(self) -> None:
+        for shard_i in range(self.n_shards):
+            if self._journal_events[shard_i] <= self.journal_max_events:
+                continue
+            if self.health.is_degraded(shard_i):
+                continue
+            spool = self._spool / "journal"
+            spool.mkdir(exist_ok=True)
+            dest = spool / f"shard{shard_i}-{self._seq:08d}.npz"
+            try:
+                self._checkpoint_shard(shard_i, dest)
+            except OSError:
+                self._ckpt_failures_c.inc()
+                if self.strict:
+                    raise
+                continue
+            old = self._snapshot_paths[shard_i]
+            self._snapshot_paths[shard_i] = dest
+            self._journals[shard_i].clear()
+            self._journal_events[shard_i] = 0
+            self._spool_ckpt_c.inc()
+            if old.parent == spool:
+                with contextlib.suppress(OSError):
+                    old.unlink()
+
+    def _checkpoint_shard(self, shard_i: int, dest: Path) -> None:
+        """Ask one worker to snapshot itself to *dest* (OSError on failure,
+        so the rotator's retry machinery applies)."""
+        for attempt in (0, 1):
+            try:
+                self._request(shard_i, OP_CHECKPOINT, str(dest))
+                self.checkpoint_requests[shard_i] += 1
+                return
+            except _WorkerFault as exc:
+                raise OSError(
+                    f"shard {shard_i} checkpoint write failed: {exc}"
+                ) from exc
+            except (WorkerGone, WorkerTimeout, WireError) as exc:
+                if attempt or self._recover(shard_i, str(exc)) is None:
+                    raise OSError(
+                        f"shard {shard_i} worker unavailable for checkpoint"
+                    ) from exc
+
+    def write_shard_snapshots(self, directory: Union[str, Path]) -> int:
+        """Write ``shard{i}.npz`` for every shard into *directory*.
+
+        Live workers snapshot themselves (their state includes every
+        collected bucket, so the rotator manifest's ``n_samples`` is
+        honest); a degraded shard contributes its half-mutated live
+        state when its worker still runs — matching the in-process
+        rotator — or its last good snapshot when the worker is gone.
+        """
+        directory = Path(directory)
+        for shard_i in range(self.n_shards):
+            dest = directory / f"shard{shard_i}.npz"
+            worker = self._workers[shard_i]
+            alive = worker is not None and worker.proc.is_alive()
+            if self.health.is_degraded(shard_i):
+                if alive:
+                    self._checkpoint_shard(shard_i, dest)
+                else:
+                    shutil.copyfile(self._snapshot_paths[shard_i], dest)
+                continue
+            if not alive and self._recover(shard_i, "dead at checkpoint") is None:
+                self._degrade(
+                    shard_i,
+                    RuntimeError("unrecoverable at checkpoint"),
+                    None,
+                )
+                shutil.copyfile(self._snapshot_paths[shard_i], dest)
+                continue
+            self._checkpoint_shard(shard_i, dest)
+        return self.n_shards
+
+    def _mark_rotation(self, published: Path) -> None:
+        """A published rotation becomes every shard's restart point."""
+        for shard_i in range(self.n_shards):
+            shard_file = published / f"shard{shard_i}.npz"
+            if shard_file.exists():
+                self._snapshot_paths[shard_i] = shard_file
+            self._journals[shard_i].clear()
+            self._journal_events[shard_i] = 0
+
+    def checkpoint(self) -> Optional[Path]:
+        """Force a rotation now (None when no rotator is attached)."""
+        if self.rotator is None:
+            return None
+        published = Path(self.rotator.rotate(self))
+        self._mark_rotation(published)
+        return published
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def n_shards(self) -> int:
+        """Number of shard worker processes."""
+        return len(self._snapshot_paths)
+
+    @property
+    def n_samples(self) -> int:
+        """Total events ingested (samples + failures) — the rotation clock."""
+        return self._seq
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimension every ingested vector must match."""
+        return int(self._config.n_features)
+
+    def shard_index(self, disk_id: Hashable) -> int:
+        """Which shard owns *disk_id*."""
+        return shard_of(disk_id, self.n_shards)
+
+    def alarm_state(self) -> Optional[dict]:
+        """Alarm-manager dynamic state for checkpoint manifests."""
+        return self.alarms.state_dict()
+
+    def effective_config(self) -> FleetConfig:
+        """The config this fleet runs under, stamped into manifests."""
+        cfg = self._config
+        if cfg.mode != self.mode or cfg.runtime != "process":
+            cfg = dataclasses.replace(
+                cfg, mode=self.mode, runtime="process"
+            )
+        return cfg
+
+    def heartbeat(self, *, timeout: float = 5.0) -> Dict[int, bool]:
+        """Ping every worker; returns ``{shard: alive}`` without restarting
+        anything (detection only — recovery happens on the serving path)."""
+        alive: Dict[int, bool] = {}
+        for shard_i in range(self.n_shards):
+            worker = self._workers[shard_i]
+            if worker is None or self.health.is_degraded(shard_i):
+                alive[shard_i] = False
+                continue
+            try:
+                self._request(
+                    shard_i, OP_HEARTBEAT, shard_i, timeout=timeout
+                )
+                alive[shard_i] = True
+            except (WorkerGone, WorkerTimeout, WireError, _WorkerFault):
+                alive[shard_i] = False
+        return alive
+
+    def _refresh_stats(self) -> None:
+        for shard_i in range(self.n_shards):
+            if self.health.is_degraded(shard_i):
+                continue  # last collected stats stand for fenced shards
+            worker = self._workers[shard_i]
+            if worker is None:
+                continue
+            try:
+                self._stats[shard_i] = dict(
+                    self._request(shard_i, OP_DIGEST, None)
+                )
+            except (WorkerGone, WorkerTimeout, WireError) as exc:
+                if self._recover(shard_i, f"died during digest: {exc}") is None:
+                    self._degrade(
+                        shard_i,
+                        RuntimeError(f"unrecoverable during digest: {exc}"),
+                        None,
+                    )
+            except _WorkerFault:
+                continue  # stats are best-effort; serving decides health
+
+    def digest(self) -> dict:
+        """One-line health summary — same keys as ``FleetMonitor.digest``."""
+        self._refresh_stats()
+        samples = sum(int(c.value) for c in self.instruments.samples)
+        seconds = self._ingest_hist.sum
+        return {
+            "events": self._seq,
+            "samples": samples,
+            "failures": sum(
+                int(c.value) for c in self.instruments.failures
+            ),
+            "queue_depth": sum(s["queue_depth"] for s in self._stats),
+            "monitored_disks": sum(
+                s["monitored_disks"] for s in self._stats
+            ),
+            "tree_replacements": sum(
+                s["tree_replacements"] for s in self._stats
+            ),
+            "alarms": {k: v for k, v in self.alarms.counts.items() if v},
+            "quarantined": self.dead_letters.total,
+            "quarantine_reasons": self.dead_letters.reason_counts,
+            "degraded_shards": self.health.degraded,
+            "samples_per_sec": (samples / seconds) if seconds > 0 else 0.0,
+            "checkpoint_age": (
+                self.rotator.samples_since_rotate(self.n_samples)
+                if self.rotator is not None
+                else None
+            ),
+        }
+
+    # -------------------------------------------------------------- shutdown
+    def drain(self, *, checkpoint: bool = True) -> dict:
+        """Graceful shutdown: optional final rotation (each shard
+        snapshotted exactly once), final digest, then worker teardown.
+
+        Returns ``{"digest": ..., "checkpoint": Path | None}``.
+        """
+        with self.tracer.span("runtime.drain", items=self.n_shards):
+            final: Optional[Path] = None
+            if checkpoint:
+                final = self.checkpoint()
+            summary = self.digest()
+            self.close()
+        return {"digest": summary, "checkpoint": final}
+
+    def close(self) -> None:
+        """Stop every worker (drain frame, then join/kill) and remove the
+        private spool.  Idempotent."""
+        for shard_i, worker in enumerate(self._workers):
+            if worker is None:
+                continue
+            self._workers[shard_i] = None
+            with contextlib.suppress(
+                WorkerGone, WorkerTimeout, WireError, OSError
+            ):
+                send_frame(worker.conn, OP_DRAIN, None)
+                recv_frame(worker.conn, timeout=5.0)
+            with contextlib.suppress(OSError):
+                worker.conn.close()
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+        if self._own_spool:
+            shutil.rmtree(self._spool, ignore_errors=True)
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

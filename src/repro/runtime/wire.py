@@ -1,0 +1,98 @@
+"""Length-prefixed pickle frames over multiprocessing pipes.
+
+The shard-host protocol is deliberately tiny: every message — in either
+direction — is one *frame*, a fixed header (``!BI``: wire version byte
+plus payload length) followed by a pickled ``(op, payload)`` tuple.
+Commands flow supervisor → worker (``ingest_batch``, ``digest``,
+``checkpoint``, ``drain``, ``heartbeat``); every command gets exactly
+one reply (``ok`` or ``error``), so the conversation is strictly
+request/response and a missing reply *is* the death signal — EOF or a
+poll timeout on the reply is how the supervisor detects a dead or hung
+worker.
+
+Pickle is safe here because both ends are the same codebase on the same
+host, parent and child of one process tree — this is an IPC framing,
+not a network protocol (the TCP front door speaks the JSON gateway
+protocol instead).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from multiprocessing.connection import Connection
+from typing import Any, Optional, Tuple
+
+#: bump on any incompatible change to the frame or payload shapes
+WIRE_VERSION = 1
+
+#: commands, supervisor → worker
+OP_INGEST = "ingest_batch"
+OP_DIGEST = "digest"
+OP_CHECKPOINT = "checkpoint"
+OP_DRAIN = "drain"
+OP_HEARTBEAT = "heartbeat"
+
+#: replies, worker → supervisor
+REPLY_OK = "ok"
+REPLY_ERROR = "error"
+
+_HEADER = struct.Struct("!BI")
+
+
+class WireError(RuntimeError):
+    """A malformed or version-incompatible frame."""
+
+
+class WorkerTimeout(RuntimeError):
+    """No frame arrived within the allowed wait (a hung worker)."""
+
+
+class WorkerGone(RuntimeError):
+    """The peer process closed its pipe end (crash or kill)."""
+
+
+def send_frame(conn: Connection, op: str, payload: Any = None) -> None:
+    """Send one ``(op, payload)`` frame; raises :exc:`WorkerGone` on a
+    closed pipe."""
+    body = pickle.dumps((op, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        conn.send_bytes(_HEADER.pack(WIRE_VERSION, len(body)) + body)
+    except (BrokenPipeError, ConnectionResetError, EOFError, OSError) as exc:
+        raise WorkerGone(f"pipe closed while sending {op!r}: {exc}") from exc
+
+
+def recv_frame(
+    conn: Connection, timeout: Optional[float] = None
+) -> Tuple[str, Any]:
+    """Receive one frame; returns ``(op, payload)``.
+
+    Raises :exc:`WorkerTimeout` when *timeout* seconds pass without a
+    frame, :exc:`WorkerGone` when the peer's end is closed, and
+    :exc:`WireError` on a frame that does not parse.
+    """
+    try:
+        if timeout is not None and not conn.poll(timeout):
+            raise WorkerTimeout(f"no frame within {timeout:.3f}s")
+        data = conn.recv_bytes()
+    except (EOFError, BrokenPipeError, ConnectionResetError) as exc:
+        raise WorkerGone(f"pipe closed: {exc}") from exc
+    if len(data) < _HEADER.size:
+        raise WireError(f"truncated frame header ({len(data)} bytes)")
+    version, length = _HEADER.unpack_from(data)
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version {version} != expected {WIRE_VERSION}"
+        )
+    body = data[_HEADER.size:]
+    if len(body) != length:
+        raise WireError(
+            f"frame length mismatch: header says {length}, got {len(body)}"
+        )
+    try:
+        op, payload = pickle.loads(body)
+    except Exception as exc:  # repro: noqa RPR302 — any unpickling failure is the same protocol error
+        raise WireError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(op, str):
+        raise WireError(f"frame op must be a str, got {type(op).__name__}")
+    return op, payload

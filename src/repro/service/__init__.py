@@ -32,6 +32,12 @@ from repro.service.checkpoint import (
     load_checkpoint,
     load_latest,
 )
+from repro.service.config import (
+    CheckpointConfigMismatch,
+    FleetConfig,
+    build_shard_predictors,
+    shard_seeds,
+)
 from repro.service.faults import (
     DeadLetterQueue,
     FaultyPredictor,
@@ -44,10 +50,10 @@ from repro.service.faults import (
 from repro.service.fleet import (
     DiskEvent,
     EmittedAlarm,
+    FleetBackend,
     FleetMonitor,
     fleet_events,
     shard_of,
-    shard_seeds,
 )
 from repro.service.metrics import (
     Counter,
@@ -57,7 +63,11 @@ from repro.service.metrics import (
 )
 
 __all__ = [
+    "FleetConfig",
     "FleetMonitor",
+    "FleetBackend",
+    "CheckpointConfigMismatch",
+    "build_shard_predictors",
     "DiskEvent",
     "EmittedAlarm",
     "fleet_events",

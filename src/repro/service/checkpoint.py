@@ -27,13 +27,15 @@ import re
 import shutil
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, List, Optional, Tuple, Union
+from typing import Any, List, Optional, Protocol, Tuple, Union
 
 from repro.obs.tracing import NULL_TRACER, NullTracer
-from repro.persistence import load_model, save_model
-
-if TYPE_CHECKING:  # circular at runtime: fleet.py imports this module
-    from repro.service.fleet import FleetMonitor
+from repro.persistence import load_model
+from repro.service.config import (
+    CheckpointConfigMismatch,
+    FleetConfig,
+    check_checkpoint_config,
+)
 from repro.utils.validation import check_positive
 
 PathLike = Union[str, Path]
@@ -43,15 +45,37 @@ MANIFEST_NAME = "manifest.json"
 _FORMAT = 1
 
 
-def load_checkpoint(path: PathLike) -> Tuple[dict, List[Any]]:
+class SnapshotSource(Protocol):
+    """What the rotator needs from a fleet: both runtimes provide it."""
+
+    @property
+    def n_shards(self) -> int: ...
+
+    @property
+    def n_samples(self) -> int: ...
+
+    def alarm_state(self) -> Optional[dict]: ...
+
+    def effective_config(self) -> FleetConfig: ...
+
+    def write_shard_snapshots(self, directory: Union[str, Path]) -> int: ...
+
+
+def load_checkpoint(
+    path: PathLike, *, expect_config: Optional[FleetConfig] = None
+) -> Tuple[dict, List[Any]]:
     """Load one checkpoint directory; returns ``(manifest, shards)``.
 
     Shards come back as fully restored
     :class:`~repro.core.predictor.OnlineDiskFailurePredictor` objects in
-    shard order.
+    shard order.  With *expect_config*, the manifest's embedded config
+    is compared on the compatibility keys *before* any shard is read,
+    raising :exc:`~repro.service.config.CheckpointConfigMismatch` on
+    disagreement.
     """
     path = Path(path)
     manifest = json.loads((path / MANIFEST_NAME).read_text())
+    check_checkpoint_config(manifest, expect_config)
     shards = [
         load_model(path / f"shard{i}.npz") for i in range(manifest["n_shards"])
     ]
@@ -77,7 +101,9 @@ def _snapshot_candidates(directory: Path, name: str) -> List[Path]:
     return [path for _, path in sorted(candidates, reverse=True)]
 
 
-def load_latest(directory: PathLike) -> Optional[Tuple[dict, List[Any]]]:
+def load_latest(
+    directory: PathLike, *, expect_config: Optional[FleetConfig] = None
+) -> Optional[Tuple[dict, List[Any]]]:
     """Load the checkpoint ``LATEST`` points at; None if there is none.
 
     A ``LATEST`` pointer can legitimately outlive its target — a crash
@@ -87,6 +113,11 @@ def load_latest(directory: PathLike) -> Optional[Tuple[dict, List[Any]]]:
     snapshot is missing or unreadable this falls back to the newest
     sibling snapshot that still loads (newest first), and returns None
     only when no snapshot is recoverable at all.
+
+    With *expect_config*, a config mismatch is a *typed rejection*
+    (:exc:`~repro.service.config.CheckpointConfigMismatch`), not
+    corruption — it propagates instead of falling through to an older
+    (and equally incompatible) snapshot.
     """
     directory = Path(directory)
     pointer = directory / LATEST_NAME
@@ -99,7 +130,12 @@ def load_latest(directory: PathLike) -> Optional[Tuple[dict, List[Any]]]:
         if not candidate.is_dir():
             continue
         try:
-            return load_checkpoint(candidate)
+            return load_checkpoint(candidate, expect_config=expect_config)
+        except CheckpointConfigMismatch:
+            # a readable snapshot that *disagrees* is an answer, not
+            # corruption: surface it rather than restoring a sibling
+            # with the same embedded config
+            raise
         except (OSError, ValueError, KeyError):
             # pruned mid-read or partially written: try the next-newest
             continue
@@ -205,25 +241,27 @@ class CheckpointRotator:
         return max(int(n_samples) - self._last_rotate_samples, 0)
 
     # -------------------------------------------------------------- rotation
-    def maybe_rotate(self, fleet: "FleetMonitor") -> Optional[Path]:
+    def maybe_rotate(self, fleet: SnapshotSource) -> Optional[Path]:
         """Rotate iff the cadence elapsed; returns the new path or None."""
         if self.samples_since_rotate(fleet.n_samples) >= self.every_samples:
             return self.rotate(fleet)
         return None
 
-    def rotate(self, fleet: "FleetMonitor") -> Path:
+    def rotate(self, fleet: SnapshotSource) -> Path:
         """Snapshot every shard now; returns the published directory.
 
-        *fleet* is anything exposing ``shards`` (a sequence of
-        checkpointable monitors), ``n_samples``, and ``alarm_state()``
-        — i.e. a :class:`~repro.service.fleet.FleetMonitor`.  Transient
-        ``OSError``\\ s are retried up to :attr:`retries` times with
-        exponential backoff; only after every attempt fails does the
-        last error propagate.  Failed attempts leave no partial
-        checkpoint behind — the staged temp directory is torn down and
-        ``LATEST`` still names the previous good snapshot.
+        *fleet* is any :class:`SnapshotSource` — the in-process
+        :class:`~repro.service.fleet.FleetMonitor` or the
+        process-runtime :class:`~repro.runtime.supervisor.
+        FleetSupervisor` (whose workers write their own shard files
+        into the staging directory).  Transient ``OSError``\\ s are
+        retried up to :attr:`retries` times with exponential backoff;
+        only after every attempt fails does the last error propagate.
+        Failed attempts leave no partial checkpoint behind — the staged
+        temp directory is torn down and ``LATEST`` still names the
+        previous good snapshot.
         """
-        with self.tracer.span("checkpoint.rotate", items=len(fleet.shards)):
+        with self.tracer.span("checkpoint.rotate", items=fleet.n_shards):
             last_exc: Optional[OSError] = None
             for attempt in range(self.retries + 1):
                 if attempt:
@@ -236,7 +274,7 @@ class CheckpointRotator:
             assert last_exc is not None
             raise last_exc
 
-    def _rotate_once(self, fleet: "FleetMonitor") -> Path:
+    def _rotate_once(self, fleet: SnapshotSource) -> Path:
         seq = self._next_seq
         name = f"{self.prefix}-{seq:08d}"
         final = self.directory / name
@@ -245,15 +283,14 @@ class CheckpointRotator:
             if tmp.exists():
                 shutil.rmtree(tmp)
             tmp.mkdir()
-            shards = list(fleet.shards)
-            for i, shard in enumerate(shards):
-                save_model(shard, tmp / f"shard{i}.npz")
+            n_shards = fleet.write_shard_snapshots(tmp)
             manifest = {
                 "format": _FORMAT,
                 "seq": seq,
                 "n_samples": int(fleet.n_samples),
-                "n_shards": len(shards),
+                "n_shards": int(n_shards),
                 "alarms": fleet.alarm_state(),
+                "config": fleet.effective_config().to_dict(),
             }
             (tmp / MANIFEST_NAME).write_text(json.dumps(manifest))
             os.rename(tmp, final)  # atomic publish of the whole directory
@@ -282,6 +319,8 @@ class CheckpointRotator:
                 shutil.rmtree(path)
 
     # -------------------------------------------------------------- restore
-    def load_latest(self) -> Optional[Tuple[dict, List[Any]]]:
+    def load_latest(
+        self, *, expect_config: Optional[FleetConfig] = None
+    ) -> Optional[Tuple[dict, List[Any]]]:
         """Load the newest checkpoint in this rotator's directory."""
-        return load_latest(self.directory)
+        return load_latest(self.directory, expect_config=expect_config)

@@ -1,0 +1,266 @@
+"""Fleet construction as data: the :class:`FleetConfig` object.
+
+Until now every entry point that built a fleet — ``FleetMonitor.build``,
+the ``serve``/``gateway`` CLI, the benchmarks, the examples — carried
+its own copy of the same kwarg sprawl (``n_shards``, ``seed``,
+``forest_kwargs``, ``queue_length``, …) plus a ``**fleet_kwargs``
+escape hatch, so the *shape* of a fleet was never a value you could
+store, diff, or stamp into a checkpoint.  :class:`FleetConfig` makes it
+one: a frozen dataclass with a lossless JSON round trip
+(:meth:`~FleetConfig.to_dict` / :meth:`~FleetConfig.from_dict`), strict
+validation at construction, and a :meth:`~FleetConfig.build_shards`
+factory both :class:`~repro.service.fleet.FleetMonitor` and
+:class:`~repro.runtime.supervisor.FleetSupervisor` build from.
+
+Because a config is JSON, checkpoint manifests embed it — restores can
+*reject* a bundle whose topology (``n_features``, ``n_shards``,
+``queue_length``) no longer matches the running fleet with the typed
+:exc:`CheckpointConfigMismatch` instead of silently misrouting disks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.forest import OnlineRandomForest
+from repro.core.predictor import OnlineDiskFailurePredictor
+from repro.utils.rng import SeedLike
+
+#: fleet modes (micro-batch semantics inside each shard bucket)
+MODES = ("exact", "batch")
+
+#: serving runtimes a config can select
+RUNTIMES = ("inproc", "process")
+
+#: manifest keys a checkpoint restore must agree on with the running
+#: fleet — disagreeing on any of these silently misroutes or corrupts
+COMPAT_KEYS = ("n_features", "n_shards", "queue_length")
+
+
+def shard_seeds(seed: SeedLike, n_shards: int) -> list:
+    """Independent per-shard seeds derived from one fleet seed.
+
+    With one shard the fleet inherits the caller's seed unchanged, which
+    is what makes the N=1 fleet bit-identical to a plain predictor built
+    with the same seed.
+    """
+    if n_shards == 1:
+        return [seed]
+    return list(np.random.SeedSequence(seed).spawn(n_shards))
+
+
+def build_shard_predictors(
+    n_features: int,
+    *,
+    n_shards: int = 1,
+    seed: SeedLike = None,
+    forest: Optional[Mapping[str, Any]] = None,
+    queue_length: int = 7,
+    alarm_threshold: float = 0.5,
+    warmup_samples: int = 0,
+    record_alarms: bool = False,
+    max_recorded_alarms: Optional[int] = None,
+) -> List[OnlineDiskFailurePredictor]:
+    """Fresh seed-derived shard predictors (the one shard factory).
+
+    Both the config path (:meth:`FleetConfig.build_shards`) and the
+    legacy kwarg shim funnel through here, which is what makes the two
+    construction APIs bit-identical by construction.
+    """
+    return [
+        OnlineDiskFailurePredictor(
+            OnlineRandomForest(n_features, seed=s, **dict(forest or {})),
+            queue_length=queue_length,
+            alarm_threshold=alarm_threshold,
+            warmup_samples=warmup_samples,
+            record_alarms=record_alarms,
+            max_recorded_alarms=max_recorded_alarms,
+        )
+        for s in shard_seeds(seed, n_shards)
+    ]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """The complete, serializable shape of a fleet.
+
+    Parameters
+    ----------
+    n_features:
+        Feature dimension every ingested vector must match.
+    n_shards:
+        Predictor shards disk ids are hashed across.
+    seed:
+        Fleet seed (``None`` or an int — a config must round-trip
+        through JSON, so richer ``SeedLike`` objects are rejected here;
+        pass those through the legacy shard factory directly).
+    forest:
+        Keyword arguments for each shard's
+        :class:`~repro.core.forest.OnlineRandomForest`.  Must be
+        JSON-pure (the round trip is checked at construction).
+    queue_length:
+        Labeling-queue length *q* (paper Algorithm 1).
+    alarm_threshold:
+        Score threshold for raising an alarm.
+    warmup_samples:
+        Per-shard samples ingested before alarms may fire.
+    record_alarms / max_recorded_alarms:
+        Whether each shard keeps an in-memory alarm log, and its bound.
+    mode:
+        ``"exact"`` (sample-exact replay) or ``"batch"`` (vectorized
+        micro-batch path).
+    runtime:
+        ``"inproc"`` (:class:`~repro.service.fleet.FleetMonitor`) or
+        ``"process"`` (:class:`~repro.runtime.supervisor.FleetSupervisor`,
+        one worker process per shard).
+    """
+
+    n_features: int
+    n_shards: int = 1
+    seed: Optional[int] = None
+    forest: Dict[str, Any] = field(default_factory=dict)
+    queue_length: int = 7
+    alarm_threshold: float = 0.5
+    warmup_samples: int = 0
+    record_alarms: bool = False
+    max_recorded_alarms: Optional[int] = None
+    mode: str = "exact"
+    runtime: str = "inproc"
+
+    def __post_init__(self) -> None:
+        if int(self.n_features) < 1:
+            raise ValueError(f"n_features must be >= 1, got {self.n_features}")
+        if int(self.n_shards) < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ValueError(
+                "FleetConfig.seed must be None or an int so the config "
+                f"survives a JSON round trip; got {type(self.seed).__name__} "
+                "(build shards via build_shard_predictors for exotic seeds)"
+            )
+        if int(self.queue_length) < 1:
+            raise ValueError(
+                f"queue_length must be >= 1, got {self.queue_length}"
+            )
+        if not 0.0 <= float(self.alarm_threshold) <= 1.0:
+            raise ValueError(
+                f"alarm_threshold must be in [0, 1], got {self.alarm_threshold}"
+            )
+        if int(self.warmup_samples) < 0:
+            raise ValueError(
+                f"warmup_samples must be >= 0, got {self.warmup_samples}"
+            )
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.runtime not in RUNTIMES:
+            raise ValueError(
+                f"runtime must be one of {RUNTIMES}, got {self.runtime!r}"
+            )
+        object.__setattr__(self, "forest", dict(self.forest))
+        try:
+            encoded = json.dumps(self.forest, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"forest kwargs are not JSON-serializable: {exc}; executors "
+                "and other live objects belong on the fleet, not the config"
+            ) from exc
+        if json.loads(encoded) != self.forest:
+            raise ValueError(
+                "forest kwargs do not survive a JSON round trip (tuples "
+                "decode as lists; use lists in the config)"
+            )
+
+    # ------------------------------------------------------------ round trip
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation; lossless through :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Strict on unknown keys: a typo'd or future field raises rather
+        than being dropped on the floor.
+        """
+        fields = {
+            "n_features", "n_shards", "seed", "forest", "queue_length",
+            "alarm_threshold", "warmup_samples", "record_alarms",
+            "max_recorded_alarms", "mode", "runtime",
+        }
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ValueError(
+                f"unknown FleetConfig keys {unknown}; known keys are "
+                f"{sorted(fields)}"
+            )
+        if "n_features" not in data:
+            raise ValueError("FleetConfig dict is missing 'n_features'")
+        return cls(**dict(data))
+
+    # -------------------------------------------------------------- building
+    def build_shards(self) -> List[OnlineDiskFailurePredictor]:
+        """Fresh seed-derived shard predictors for this config."""
+        return build_shard_predictors(
+            int(self.n_features),
+            n_shards=int(self.n_shards),
+            seed=self.seed,
+            forest=self.forest,
+            queue_length=int(self.queue_length),
+            alarm_threshold=float(self.alarm_threshold),
+            warmup_samples=int(self.warmup_samples),
+            record_alarms=bool(self.record_alarms),
+            max_recorded_alarms=self.max_recorded_alarms,
+        )
+
+
+class CheckpointConfigMismatch(ValueError):
+    """A checkpoint's embedded config disagrees with the running fleet.
+
+    Raised by restore paths (``FleetMonitor.from_checkpoint``,
+    ``load_checkpoint``/``load_latest`` with an expected config) when a
+    compatibility key — feature dimension, shard count, labeling-queue
+    length — differs.  Restoring across any of these silently misroutes
+    disks or corrupts labeling queues, so the mismatch is a typed,
+    inspectable error instead of a warning.
+    """
+
+    def __init__(
+        self, mismatches: Mapping[str, Tuple[object, object]]
+    ) -> None:
+        self.mismatches: Dict[str, Tuple[object, object]] = dict(mismatches)
+        detail = ", ".join(
+            f"{key}: checkpoint has {found!r}, fleet expects {wanted!r}"
+            for key, (found, wanted) in sorted(self.mismatches.items())
+        )
+        super().__init__(f"checkpoint config mismatch — {detail}")
+
+
+def check_checkpoint_config(
+    manifest: Mapping[str, Any], expected: Optional[FleetConfig]
+) -> None:
+    """Reject a manifest whose embedded config conflicts with *expected*.
+
+    Manifests from before configs were stamped (no ``"config"`` key)
+    pass — there is nothing to compare — except that ``n_shards`` is
+    always present in a manifest and is still enforced.
+    """
+    if expected is None:
+        return
+    mismatches: Dict[str, Tuple[object, object]] = {}
+    stamped = manifest.get("config")
+    if stamped is not None:
+        for key in COMPAT_KEYS:
+            found = stamped.get(key)
+            wanted = getattr(expected, key)
+            if found is not None and int(found) != int(wanted):
+                mismatches[key] = (int(found), int(wanted))
+    else:
+        found = manifest.get("n_shards")
+        if found is not None and int(found) != int(expected.n_shards):
+            mismatches["n_shards"] = (int(found), int(expected.n_shards))
+    if mismatches:
+        raise CheckpointConfigMismatch(mismatches)

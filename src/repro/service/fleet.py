@@ -34,7 +34,9 @@ an attached :class:`~repro.service.checkpoint.CheckpointRotator`.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,6 +49,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Protocol,
     Sequence,
     Tuple,
     Union,
@@ -54,26 +57,46 @@ from typing import (
 
 import numpy as np
 
-from repro.core.forest import OnlineRandomForest
 from repro.core.predictor import Alarm, OnlineDiskFailurePredictor
 from repro.obs.tracing import NULL_TRACER, NullTracer
 from repro.parallel.pool import ProcessExecutor, SerialExecutor, TreeExecutor
+from repro.persistence import save_model
 from repro.service.alarms import AlarmAction, AlarmManager
 from repro.service.checkpoint import CheckpointRotator, load_checkpoint
+from repro.service.config import (
+    FleetConfig,
+    build_shard_predictors,
+    check_checkpoint_config,
+    shard_seeds,
+)
 from repro.service.faults import (
     REASON_DEGRADED_SHARD,
     REASON_SHARD_FAULT,
     REASON_UNSHARDABLE_ID,
     DeadLetterQueue,
+    FaultyPredictor,
     ShardFault,
     ShardHealth,
     validate_event,
 )
-from repro.service.metrics import MetricsRegistry
-from repro.utils.rng import SeedLike
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
 
 if TYPE_CHECKING:  # annotation-only: eval is a consumer layer, not a dependency
     from repro.eval.protocol import LabeledArrays
+
+__all__ = [
+    "DiskEvent",
+    "EmittedAlarm",
+    "FleetBackend",
+    "FleetInstruments",
+    "FleetMonitor",
+    "admit_events",
+    "apply_lifecycle",
+    "fleet_events",
+    "quarantine_event",
+    "shard_of",
+    "shard_seeds",
+]
 
 
 def shard_of(disk_id: Hashable, n_shards: int) -> int:
@@ -93,18 +116,6 @@ def shard_of(disk_id: Hashable, n_shards: int) -> int:
             "ids, or define __repr__ on the id type"
         )
     return zlib.crc32(repr(disk_id).encode("utf-8")) % n_shards
-
-
-def shard_seeds(seed: SeedLike, n_shards: int) -> list:
-    """Independent per-shard seeds derived from one fleet seed.
-
-    With one shard the fleet inherits the caller's seed unchanged, which
-    is what makes the N=1 fleet bit-identical to a plain predictor built
-    with the same seed.
-    """
-    if n_shards == 1:
-        return [seed]
-    return list(np.random.SeedSequence(seed).spawn(n_shards))
 
 
 @dataclass(frozen=True)
@@ -160,6 +171,205 @@ def _drain_shard(
         )
     except Exception as exc:  # the shard is now in an indeterminate state
         return [], exc
+
+
+class FleetInstruments:
+    """The ``repro_fleet_*`` instruments shared by both serving runtimes.
+
+    Registered here — and *only* here — so every shared metric name has
+    a single literal registration site (RPR601): the in-process
+    :class:`FleetMonitor` and the process-runtime
+    :class:`~repro.runtime.supervisor.FleetSupervisor` feed the same
+    time series instead of forking the namespace per backend.
+    Runtime-specific gauges (live shard introspection in-process, worker
+    health in the supervisor) stay with their owners.
+    """
+
+    def __init__(self, registry: MetricsRegistry, n_shards: int) -> None:
+        self.registry = registry
+        self.samples: List[Counter] = []
+        self.failures: List[Counter] = []
+        for i in range(int(n_shards)):
+            labels = {"shard": str(i)}
+            self.samples.append(registry.counter(
+                "repro_fleet_samples_total",
+                help="SMART samples ingested", labels=labels,
+            ))
+            self.failures.append(registry.counter(
+                "repro_fleet_failures_total",
+                help="disk failures observed", labels=labels,
+            ))
+        self.checkpoint_failures = registry.counter(
+            "repro_fleet_checkpoint_failures_total",
+            help="checkpoint rotations abandoned after I/O retries",
+        )
+        self.ingest_seconds = registry.histogram(
+            "repro_fleet_ingest_seconds",
+            help="wall time per ingest() micro-batch",
+        )
+        self._quarantine: Dict[str, Counter] = {}
+
+    def seed_shard_counts(
+        self, shard: int, n_samples: int, n_failures: int
+    ) -> None:
+        """Fast-forward a shard's counters to its lifetime stats.
+
+        Used on checkpoint resume so counters and ``digest()`` agree
+        with :class:`~repro.core.predictor.PredictorStats`; fresh shards
+        contribute zero and are left untouched.
+        """
+        samples_c = self.samples[shard]
+        failures_c = self.failures[shard]
+        if n_samples > samples_c.value:
+            samples_c.inc(int(n_samples) - int(samples_c.value))
+        if n_failures > failures_c.value:
+            failures_c.inc(int(n_failures) - int(failures_c.value))
+
+    def quarantine_counter(self, reason: str) -> Counter:
+        """The per-reason quarantine counter, registered lazily."""
+        counter = self._quarantine.get(reason)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_fleet_quarantined_total",
+                help="events diverted to the dead-letter queue",
+                labels={"reason": reason},
+            )
+            self._quarantine[reason] = counter
+        return counter
+
+
+def quarantine_event(
+    dead_letters: DeadLetterQueue,
+    instruments: FleetInstruments,
+    ev: DiskEvent,
+    reason: str,
+    *,
+    shard: Optional[int] = None,
+    seq: Optional[int] = None,
+    detail: str = "",
+) -> None:
+    """Divert one event to the dead-letter queue and count it."""
+    dead_letters.put(ev, reason, shard=shard, seq=seq, detail=detail)
+    instruments.quarantine_counter(reason).inc()
+
+
+def admit_events(
+    events: Sequence[DiskEvent],
+    *,
+    n_features: int,
+    n_shards: int,
+    strict: bool,
+    health: ShardHealth,
+) -> Tuple[List[Tuple[int, DiskEvent]], List[Tuple[DiskEvent, str, Optional[int]]]]:
+    """Admission-check a whole micro-batch before any shard mutates.
+
+    Returns ``(accepted, rejected)`` where accepted entries carry their
+    shard index and rejected entries a reason code.  In strict mode the
+    first rejection raises instead — crucially *before* any sequence
+    number has been assigned or any bucket dispatched, so a bad batch
+    leaves the fleet exactly as it found it.  Shared by both serving
+    runtimes, which is what makes their quarantine decisions identical
+    by construction.
+    """
+    accepted: List[Tuple[int, DiskEvent]] = []
+    rejected: List[Tuple[DiskEvent, str, Optional[int]]] = []
+    for pos, ev in enumerate(events):
+        reason = validate_event(ev, n_features)
+        if reason is not None:
+            if strict:
+                raise ValueError(
+                    f"invalid event at batch position {pos} "
+                    f"(disk {ev.disk_id!r}): {reason}; no shard was "
+                    "mutated — pass strict=False to quarantine instead"
+                )
+            rejected.append((ev, reason, None))
+            continue
+        try:
+            shard_i = shard_of(ev.disk_id, n_shards)
+        except TypeError as exc:
+            if strict:
+                raise
+            rejected.append((ev, REASON_UNSHARDABLE_ID, None))
+            del exc
+            continue
+        if health.is_degraded(shard_i):
+            # a degraded shard's state is untrusted; fence its
+            # traffic off rather than deepening the corruption
+            if strict:
+                raise ShardFault(
+                    shard_i,
+                    RuntimeError(health.errors.get(shard_i, "degraded")),
+                )
+            rejected.append((ev, REASON_DEGRADED_SHARD, shard_i))
+            continue
+        accepted.append((shard_i, ev))
+    return accepted, rejected
+
+
+def apply_lifecycle(
+    merged: Sequence[Tuple[int, int, DiskEvent, Optional[Alarm]]],
+    *,
+    alarms: AlarmManager,
+    instruments: FleetInstruments,
+) -> List[EmittedAlarm]:
+    """Run shard results through the alarm lifecycle in arrival order.
+
+    *merged* is ``(seq, shard, event, alarm)`` tuples sorted by ``seq``.
+    Shared by both serving runtimes so the emitted alarm stream — dedup,
+    cooldown, escalation, retirement — is identical by construction.
+    """
+    emitted: List[EmittedAlarm] = []
+    for seq, shard_i, ev, alarm in merged:
+        if ev.failed:
+            instruments.failures[shard_i].inc()
+            alarms.retire(ev.disk_id)
+            continue
+        instruments.samples[shard_i].inc()
+        decision = alarms.observe(ev.disk_id, alarm)
+        if decision.emitted:
+            emitted.append(EmittedAlarm(
+                alarm=decision.alarm,
+                action=decision.action,
+                shard=shard_i,
+                seq=seq,
+            ))
+    return emitted
+
+
+class FleetBackend(Protocol):
+    """Structural surface shared by the serving runtimes.
+
+    Both :class:`FleetMonitor` (in-process) and
+    :class:`~repro.runtime.supervisor.FleetSupervisor` (one worker
+    process per shard) satisfy this protocol, which is what the gateway
+    and the ``serve`` replay loop are written against — a runtime is an
+    implementation detail behind ``--runtime {inproc,process}``.
+    """
+
+    registry: MetricsRegistry
+    dead_letters: DeadLetterQueue
+    alarms: AlarmManager
+
+    @property
+    def n_shards(self) -> int: ...
+
+    @property
+    def n_samples(self) -> int: ...
+
+    @property
+    def n_features(self) -> int: ...
+
+    def ingest(self, events: Sequence[DiskEvent]) -> List[EmittedAlarm]: ...
+
+    def digest(self) -> dict: ...
+
+    def checkpoint(self) -> Optional[object]: ...
+
+    def alarm_state(self) -> Optional[dict]: ...
+
+    def effective_config(self) -> FleetConfig: ...
+
+    def write_shard_snapshots(self, directory: Union[str, Path]) -> int: ...
 
 
 class FleetMonitor:
@@ -224,6 +434,7 @@ class FleetMonitor:
         self,
         shards: Sequence[OnlineDiskFailurePredictor],
         *,
+        config: Optional[FleetConfig] = None,
         alarm_manager: Optional[AlarmManager] = None,
         registry: Optional[MetricsRegistry] = None,
         executor: Optional[TreeExecutor] = None,
@@ -244,6 +455,12 @@ class FleetMonitor:
                 "process executors cannot map fleet shards (workers mutate "
                 "copies); attach one to each shard's forest instead"
             )
+        if config is not None and int(config.n_shards) != len(shards):
+            raise ValueError(
+                f"config declares {config.n_shards} shard(s) but "
+                f"{len(shards)} were supplied"
+            )
+        self.config = config
         self.shards = list(shards)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.alarms = (
@@ -292,27 +509,17 @@ class FleetMonitor:
     def _instrument(self) -> None:
         reg = self.registry
         n = len(self.shards)
-        self._samples_c = []
-        self._failures_c = []
+        self.instruments = FleetInstruments(reg, n)
+        self._samples_c = self.instruments.samples
+        self._failures_c = self.instruments.failures
         for i, shard in enumerate(self.shards):
             labels = {"shard": str(i)}
-            samples_c = reg.counter(
-                "repro_fleet_samples_total",
-                help="SMART samples ingested", labels=labels,
-            )
-            failures_c = reg.counter(
-                "repro_fleet_failures_total",
-                help="disk failures observed", labels=labels,
-            )
             # seed from the shard's lifetime stats so counters and
             # digest() agree with PredictorStats after a checkpoint
             # resume (fresh shards contribute zero)
-            if shard.stats.n_samples > samples_c.value:
-                samples_c.inc(int(shard.stats.n_samples) - int(samples_c.value))
-            if shard.stats.n_failures > failures_c.value:
-                failures_c.inc(int(shard.stats.n_failures) - int(failures_c.value))
-            self._samples_c.append(samples_c)
-            self._failures_c.append(failures_c)
+            self.instruments.seed_shard_counts(
+                i, int(shard.stats.n_samples), int(shard.stats.n_failures)
+            )
             reg.gauge(
                 "repro_fleet_shard_healthy",
                 help="1 while the shard serves, 0 once degraded",
@@ -347,11 +554,7 @@ class FleetMonitor:
             help="quarantined events retained for inspection",
             fn=lambda: len(self.dead_letters),
         )
-        self._quarantine_c = {}
-        self._ckpt_failures_c = reg.counter(
-            "repro_fleet_checkpoint_failures_total",
-            help="checkpoint rotations abandoned after I/O retries",
-        )
+        self._ckpt_failures_c = self.instruments.checkpoint_failures
         reg.gauge(
             "repro_fleet_checkpoint_age_samples",
             help="fleet samples since the last checkpoint rotation",
@@ -360,60 +563,168 @@ class FleetMonitor:
                 if self.rotator is not None else 0
             ),
         )
-        self._ingest_hist = reg.histogram(
-            "repro_fleet_ingest_seconds",
-            help="wall time per ingest() micro-batch",
-        )
+        self._ingest_hist = self.instruments.ingest_seconds
 
     # -------------------------------------------------------------- builders
     @classmethod
     def build(
         cls,
-        n_features: int,
+        config: Union[FleetConfig, int],
         *,
-        n_shards: int = 1,
-        seed: SeedLike = None,
-        forest_kwargs: Optional[dict] = None,
-        queue_length: int = 7,
-        alarm_threshold: float = 0.5,
-        warmup_samples: int = 0,
-        record_alarms: bool = False,
-        max_recorded_alarms: Optional[int] = None,
-        **fleet_kwargs: Any,
+        alarm_manager: Optional[AlarmManager] = None,
+        registry: Optional[MetricsRegistry] = None,
+        executor: Optional[TreeExecutor] = None,
+        rotator: Optional[CheckpointRotator] = None,
+        strict: bool = True,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        max_dead_letters: int = 1024,
+        clock: Callable[[], float] = time.perf_counter,
+        tracer: Optional[NullTracer] = None,
+        mode: Optional[str] = None,
+        **legacy: Any,
     ) -> "FleetMonitor":
         """Construct a fleet of fresh seed-derived shards.
 
-        With ``n_shards=1`` the single forest is seeded with *seed*
-        itself, so the fleet reproduces a plain
+        The first argument is a :class:`~repro.service.config.
+        FleetConfig`; everything that is *data* about the fleet's shape
+        (shards, seed, forest kwargs, queue length, thresholds, mode)
+        lives on the config, while live collaborators (registry, alarm
+        manager, executor, rotator, tracer, clock) stay keyword
+        arguments here.  With ``n_shards=1`` the single forest is seeded
+        with the config's seed itself, so the fleet reproduces a plain
         ``OnlineDiskFailurePredictor(OnlineRandomForest(..., seed=seed))``
         loop bit for bit.
+
+        Passing an integer feature count with loose keyword arguments
+        (``n_shards=``, ``seed=``, ``forest_kwargs=`` …) is the
+        deprecated legacy spelling: it emits a
+        :exc:`DeprecationWarning`, builds the equivalent config, and
+        constructs a bit-identical fleet through the same shard factory.
         """
-        shards = [
-            OnlineDiskFailurePredictor(
-                OnlineRandomForest(n_features, seed=s, **(forest_kwargs or {})),
-                queue_length=queue_length,
-                alarm_threshold=alarm_threshold,
-                warmup_samples=warmup_samples,
-                record_alarms=record_alarms,
-                max_recorded_alarms=max_recorded_alarms,
+        if isinstance(config, FleetConfig):
+            if legacy:
+                raise TypeError(
+                    "unexpected keyword arguments alongside a FleetConfig: "
+                    f"{sorted(legacy)} — fleet shape belongs on the config"
+                )
+            if mode is not None and mode != config.mode:
+                raise ValueError(
+                    f"mode={mode!r} conflicts with config.mode="
+                    f"{config.mode!r}; set it on the config"
+                )
+            return cls(
+                config.build_shards(),
+                config=config,
+                mode=config.mode,
+                alarm_manager=alarm_manager,
+                registry=registry,
+                executor=executor,
+                rotator=rotator,
+                strict=strict,
+                dead_letters=dead_letters,
+                max_dead_letters=max_dead_letters,
+                clock=clock,
+                tracer=tracer,
             )
-            for s in shard_seeds(seed, n_shards)
-        ]
-        return cls(shards, **fleet_kwargs)
+        # ----------------------------------------- legacy kwarg shim
+        warnings.warn(
+            "FleetMonitor.build(n_features, n_shards=..., seed=..., "
+            "forest_kwargs=...) is deprecated; construct a FleetConfig "
+            "and call FleetMonitor.build(config, ...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        n_features = int(config)
+        defaults: Dict[str, Any] = {
+            "n_shards": 1,
+            "seed": None,
+            "forest_kwargs": None,
+            "queue_length": 7,
+            "alarm_threshold": 0.5,
+            "warmup_samples": 0,
+            "record_alarms": False,
+            "max_recorded_alarms": None,
+        }
+        params = {k: legacy.pop(k, v) for k, v in defaults.items()}
+        if legacy:
+            raise TypeError(
+                f"unexpected keyword arguments: {sorted(legacy)}"
+            )
+        shards = build_shard_predictors(
+            n_features,
+            n_shards=int(params["n_shards"]),
+            seed=params["seed"],
+            forest=params["forest_kwargs"],
+            queue_length=int(params["queue_length"]),
+            alarm_threshold=float(params["alarm_threshold"]),
+            warmup_samples=int(params["warmup_samples"]),
+            record_alarms=bool(params["record_alarms"]),
+            max_recorded_alarms=params["max_recorded_alarms"],
+        )
+        built_config: Optional[FleetConfig]
+        try:
+            # stamp the equivalent config when it is expressible as one
+            # (an exotic seed object or non-JSON forest kwargs are not)
+            built_config = FleetConfig(
+                n_features=n_features,
+                n_shards=int(params["n_shards"]),
+                seed=params["seed"],
+                forest=dict(params["forest_kwargs"] or {}),
+                queue_length=int(params["queue_length"]),
+                alarm_threshold=float(params["alarm_threshold"]),
+                warmup_samples=int(params["warmup_samples"]),
+                record_alarms=bool(params["record_alarms"]),
+                max_recorded_alarms=params["max_recorded_alarms"],
+                mode=mode if mode is not None else "exact",
+            )
+        except ValueError:
+            built_config = None
+        return cls(
+            shards,
+            config=built_config,
+            mode=mode if mode is not None else "exact",
+            alarm_manager=alarm_manager,
+            registry=registry,
+            executor=executor,
+            rotator=rotator,
+            strict=strict,
+            dead_letters=dead_letters,
+            max_dead_letters=max_dead_letters,
+            clock=clock,
+            tracer=tracer,
+        )
 
     @classmethod
     def from_checkpoint(
-        cls, path: Union[str, Path], **fleet_kwargs: Any
+        cls,
+        path: Union[str, Path],
+        *,
+        config: Optional[FleetConfig] = None,
+        **fleet_kwargs: Any,
     ) -> "FleetMonitor":
         """Resume a fleet from a checkpoint directory.
 
         Shard predictors (forests, labeling queues, counters) restore
         bit-exactly; the alarm manager's dynamic state is reloaded from
         the manifest into the manager passed via ``alarm_manager`` (or
-        the default one).
+        the default one).  When *config* is given, the checkpoint's
+        embedded config must agree on the compatibility keys
+        (``n_features``, ``n_shards``, ``queue_length``) or the restore
+        raises :exc:`~repro.service.config.CheckpointConfigMismatch`
+        instead of silently misrouting disks; when omitted, the stamped
+        config (if any) is adopted.
         """
-        manifest, shards = load_checkpoint(path)
-        fleet = cls(shards, **fleet_kwargs)
+        manifest, shards = load_checkpoint(path, expect_config=config)
+        if config is None:
+            stamped = manifest.get("config")
+            if stamped is not None:
+                try:
+                    config = FleetConfig.from_dict(stamped)
+                except ValueError:
+                    config = None  # unreadable stamp: restore without one
+        if config is not None:
+            fleet_kwargs.setdefault("mode", config.mode)
+        fleet = cls(shards, config=config, **fleet_kwargs)
         fleet._seq = int(manifest.get("n_samples", 0))
         alarm_state = manifest.get("alarms")
         if alarm_state is not None:
@@ -439,62 +750,22 @@ class FleetMonitor:
         seq: Optional[int] = None,
         detail: str = "",
     ) -> None:
-        self.dead_letters.put(ev, reason, shard=shard, seq=seq, detail=detail)
-        counter = self._quarantine_c.get(reason)
-        if counter is None:
-            counter = self.registry.counter(
-                "repro_fleet_quarantined_total",
-                help="events diverted to the dead-letter queue",
-                labels={"reason": reason},
-            )
-            self._quarantine_c[reason] = counter
-        counter.inc()
+        quarantine_event(
+            self.dead_letters, self.instruments, ev, reason,
+            shard=shard, seq=seq, detail=detail,
+        )
 
     def _admit(
         self, events: Sequence[DiskEvent]
     ) -> Tuple[List[Tuple[int, DiskEvent]], List[Tuple[DiskEvent, str, Optional[int]]]]:
-        """Admission-check a whole batch before any shard mutates.
-
-        Returns ``(accepted, rejected)`` where accepted entries carry
-        their shard index and rejected entries a reason code.  In strict
-        mode the first rejection raises instead — crucially *before*
-        ``_seq`` has advanced or any bucket has been dispatched, so a
-        bad micro-batch leaves the fleet exactly as it found it.
-        """
-        n_features = self.n_features
-        accepted: List[Tuple[int, DiskEvent]] = []
-        rejected: List[Tuple[DiskEvent, str, Optional[int]]] = []
-        for pos, ev in enumerate(events):
-            reason = validate_event(ev, n_features)
-            if reason is not None:
-                if self.strict:
-                    raise ValueError(
-                        f"invalid event at batch position {pos} "
-                        f"(disk {ev.disk_id!r}): {reason}; no shard was "
-                        "mutated — pass strict=False to quarantine instead"
-                    )
-                rejected.append((ev, reason, None))
-                continue
-            try:
-                shard_i = self.shard_index(ev.disk_id)
-            except TypeError as exc:
-                if self.strict:
-                    raise
-                rejected.append((ev, REASON_UNSHARDABLE_ID, None))
-                del exc
-                continue
-            if self.health.is_degraded(shard_i):
-                # a degraded shard's state is untrusted; fence its
-                # traffic off rather than deepening the corruption
-                if self.strict:
-                    raise ShardFault(
-                        shard_i,
-                        RuntimeError(self.health.errors.get(shard_i, "degraded")),
-                    )
-                rejected.append((ev, REASON_DEGRADED_SHARD, shard_i))
-                continue
-            accepted.append((shard_i, ev))
-        return accepted, rejected
+        """Admission-check a batch via the shared :func:`admit_events`."""
+        return admit_events(
+            events,
+            n_features=self.n_features,
+            n_shards=len(self.shards),
+            strict=self.strict,
+            health=self.health,
+        )
 
     def ingest(self, events: Sequence[DiskEvent]) -> List[EmittedAlarm]:
         """Process one micro-batch of events; returns emitted alarms.
@@ -549,22 +820,10 @@ class FleetMonitor:
                     merged.append((seq, shard_i, ev, alarm))
             merged.sort(key=lambda item: item[0])
 
-            emitted: List[EmittedAlarm] = []
             with self.tracer.span("fleet.lifecycle", items=len(merged)):
-                for seq, shard_i, ev, alarm in merged:
-                    if ev.failed:
-                        self._failures_c[shard_i].inc()
-                        self.alarms.retire(ev.disk_id)
-                        continue
-                    self._samples_c[shard_i].inc()
-                    decision = self.alarms.observe(ev.disk_id, alarm)
-                    if decision.emitted:
-                        emitted.append(EmittedAlarm(
-                            alarm=decision.alarm,
-                            action=decision.action,
-                            shard=shard_i,
-                            seq=seq,
-                        ))
+                emitted = apply_lifecycle(
+                    merged, alarms=self.alarms, instruments=self.instruments,
+                )
         self._ingest_hist.observe(self._clock() - t0)
         if self.rotator is not None:
             try:
@@ -609,6 +868,48 @@ class FleetMonitor:
     def alarm_state(self) -> Optional[dict]:
         """Alarm-manager dynamic state for checkpoint manifests."""
         return self.alarms.state_dict()
+
+    def effective_config(self) -> FleetConfig:
+        """The config this fleet runs under, derived when none was given.
+
+        Fleets built from a :class:`FleetConfig` return it (with the
+        live ``mode``); fleets assembled from bare shard predictors get
+        a topology-only config (``seed=None``, ``forest={}``) read off
+        the first shard — enough for checkpoint-compatibility stamping,
+        not enough to rebuild identical forests.
+        """
+        if self.config is not None:
+            if self.config.mode == self.mode:
+                return self.config
+            return dataclasses.replace(self.config, mode=self.mode)
+        shard = self.shards[0]
+        return FleetConfig(
+            n_features=self.n_features,
+            n_shards=len(self.shards),
+            seed=None,
+            forest={},
+            queue_length=int(shard.labeler.queue_length),
+            alarm_threshold=float(shard.alarm_threshold),
+            warmup_samples=int(shard.warmup_samples),
+            record_alarms=bool(shard.record_alarms),
+            max_recorded_alarms=shard.max_recorded_alarms,
+            mode=self.mode,
+            runtime="inproc",
+        )
+
+    def write_shard_snapshots(self, directory: Union[str, Path]) -> int:
+        """Write ``shard{i}.npz`` for every shard into *directory*.
+
+        The snapshot hook the :class:`~repro.service.checkpoint.
+        CheckpointRotator` calls while staging — shards wrapped by the
+        fault-injection proxy snapshot their real predictor, so a chaos
+        drill's checkpoints restore clean.  Returns the shard count.
+        """
+        directory = Path(directory)
+        for i, shard in enumerate(self.shards):
+            target = shard.inner if isinstance(shard, FaultyPredictor) else shard
+            save_model(target, directory / f"shard{i}.npz")
+        return len(self.shards)
 
     def checkpoint(self) -> Optional[object]:
         """Force a rotation now (None when no rotator is attached)."""

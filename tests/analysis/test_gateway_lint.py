@@ -73,12 +73,14 @@ class TestRegisteredNames:
         import asyncio
 
         from repro.gateway import GatewayServer
-        from repro.service import FleetMonitor
+        from repro.service import FleetConfig, FleetMonitor
         from repro.service.metrics import MetricsRegistry
 
         fleet = FleetMonitor.build(
-            4, n_shards=1, seed=0,
-            forest_kwargs={"n_trees": 2, "n_tests": 2},
+            FleetConfig(
+                n_features=4, n_shards=1, seed=0,
+                forest={"n_trees": 2, "n_tests": 2},
+            ),
             registry=MetricsRegistry(),
         )
         before = {name for name, _ in fleet.registry._instruments}

@@ -27,15 +27,18 @@ def fake_clock() -> float:
 
 def build_fleet(n_features=4, *, n_shards=2, seed=7, **fleet_kwargs):
     """A small sharded fleet with the suite-standard forest config."""
+    from repro.service import FleetConfig
+
     fleet_kwargs.setdefault("clock", fake_clock)
     fleet_kwargs.setdefault("strict", False)
-    return FleetMonitor.build(
-        n_features,
+    config = FleetConfig(
+        n_features=n_features,
         n_shards=n_shards,
         seed=seed,
-        forest_kwargs=FOREST_KW,
-        **fleet_kwargs,
+        forest=FOREST_KW,
+        mode=fleet_kwargs.pop("mode", "exact"),
     )
+    return FleetMonitor.build(config, **fleet_kwargs)
 
 
 class GatewayHarness:

@@ -1,0 +1,60 @@
+"""Shared helpers for the process-runtime suite.
+
+Every fleet here — in-process or shard-per-process — is built with an
+injected zero clock, so ``samples_per_sec`` is 0.0 on both sides and a
+digest comparison is exact dict equality with no wall-time residue.
+Each fleet also gets its *own* :class:`MetricsRegistry`: sharing one
+would hand the same counter objects to both fleets and double-count.
+"""
+
+import pytest
+
+from repro.runtime import FleetSupervisor
+from repro.service import FleetConfig, FleetMonitor, MetricsRegistry
+
+from tests.service.conftest import FOREST_KW, make_events
+
+
+def zero_clock():
+    return 0.0
+
+
+def fleet_config(**overrides):
+    base = dict(
+        n_features=4,
+        n_shards=3,
+        seed=11,
+        forest=FOREST_KW,
+        queue_length=5,
+        alarm_threshold=0.4,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def build_monitor(config=None, **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    kwargs.setdefault("clock", zero_clock)
+    return FleetMonitor.build(
+        config if config is not None else fleet_config(), **kwargs
+    )
+
+
+def build_supervisor(config=None, **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    kwargs.setdefault("clock", zero_clock)
+    return FleetSupervisor.build(
+        config if config is not None else fleet_config(), **kwargs
+    )
+
+
+def alarm_keys(emitted):
+    return [
+        (e.shard, e.alarm.disk_id, e.alarm.tag, e.alarm.score)
+        for e in emitted
+    ]
+
+
+@pytest.fixture
+def events():
+    return make_events()

@@ -1,0 +1,235 @@
+"""Supervised-restart drills: crash recovery, drain, and fault parity.
+
+Three load-bearing claims from the runtime's contract:
+
+* a worker killed mid-stream (``SIGKILL``, no goodbye) is respawned from
+  its latest snapshot and replayed from the in-flight journal, after
+  which the fleet is **bit-identical** to an unfaulted in-process run —
+  no admitted event lost, no divergent forest state;
+* graceful drain rotates a final checkpoint with each shard snapshotted
+  exactly once;
+* a *deterministic* worker fault (an error reply, not a death) degrades
+  the shard exactly like the in-process fleet — restarting would just
+  replay the same crash.
+"""
+
+import pytest
+
+from repro.service import (
+    CheckpointRotator,
+    FaultyPredictor,
+    MetricsRegistry,
+    ShardFault,
+)
+from repro.service.faults import REASON_DEGRADED_SHARD, REASON_SHARD_FAULT
+
+from tests.runtime.conftest import (
+    alarm_keys,
+    build_monitor,
+    build_supervisor,
+    fleet_config,
+)
+from tests.runtime.test_supervisor import snapshot_forests
+from tests.service.conftest import same_forest
+
+VICTIM = 1
+KILL_DRILL = {VICTIM: {"fail_after": 40, "kill_on_fault": True}}
+
+
+class TestKillDrill:
+    def test_recovery_is_bit_identical_to_unfaulted_inproc(
+        self, events, tmp_path
+    ):
+        config = fleet_config()
+        monitor = build_monitor(config)
+        registry = MetricsRegistry()
+        with build_supervisor(
+            config, registry=registry, fault_options=dict(KILL_DRILL)
+        ) as supervisor:
+            mon_alarms = monitor.replay(events, batch_size=32)
+            sup_alarms = supervisor.replay(events, batch_size=32)
+
+            # the drill actually fired: exactly one restart, on the victim
+            assert supervisor.restarts == [0, 1, 0]
+            assert registry.value(
+                "repro_runtime_restarts_total", {"shard": str(VICTIM)}
+            ) == 1
+            (record,) = supervisor.restart_log
+            assert record.shard == VICTIM
+            assert record.attempts == 1
+            assert record.replayed_events > 0
+
+            # and left no trace on the served stream
+            assert supervisor.health.degraded == []
+            assert alarm_keys(sup_alarms) == alarm_keys(mon_alarms)
+            assert supervisor.digest() == monitor.digest()
+            for f_mon, f_sup in zip(
+                snapshot_forests(monitor, tmp_path / "mon"),
+                snapshot_forests(supervisor, tmp_path / "sup"),
+            ):
+                assert same_forest(f_mon, f_sup)
+
+    def test_no_admitted_event_lost(self, events):
+        with build_supervisor(
+            fault_options=dict(KILL_DRILL)
+        ) as supervisor:
+            supervisor.replay(events, batch_size=32)
+            digest = supervisor.digest()
+            assert digest["events"] == len(events)
+            assert digest["samples"] + digest["failures"] == len(events)
+            assert digest["quarantined"] == 0
+            assert supervisor.dead_letters.total == 0
+
+    def test_drill_composes_with_rotation(self, events, tmp_path):
+        """A restart *after* a published rotation must recover from the
+        rotated snapshot, not the boot state."""
+        config = fleet_config()
+        monitor = build_monitor(
+            config,
+            rotator=CheckpointRotator(tmp_path / "mon", every_samples=100),
+        )
+        with build_supervisor(
+            config,
+            rotator=CheckpointRotator(tmp_path / "sup", every_samples=100),
+            fault_options={VICTIM: {"fail_after": 150, "kill_on_fault": True}},
+        ) as supervisor:
+            mon_alarms = monitor.replay(events, batch_size=32)
+            sup_alarms = supervisor.replay(events, batch_size=32)
+            assert sum(supervisor.restarts) == 1
+            assert alarm_keys(sup_alarms) == alarm_keys(mon_alarms)
+            assert supervisor.digest() == monitor.digest()
+            for f_mon, f_sup in zip(
+                snapshot_forests(monitor, tmp_path / "m2"),
+                snapshot_forests(supervisor, tmp_path / "s2"),
+            ):
+                assert same_forest(f_mon, f_sup)
+
+
+class TestGracefulDrain:
+    def test_drain_checkpoints_each_shard_exactly_once(
+        self, events, tmp_path
+    ):
+        with build_supervisor(
+            rotator=CheckpointRotator(tmp_path, every_samples=10**9),
+        ) as supervisor:
+            supervisor.replay(events, batch_size=32)
+            before = list(supervisor.checkpoint_requests)
+            result = supervisor.drain()
+            deltas = [
+                after - b
+                for after, b in zip(supervisor.checkpoint_requests, before)
+            ]
+            assert deltas == [1] * supervisor.n_shards
+            assert result["checkpoint"] is not None
+            assert (result["checkpoint"] / "manifest.json").is_file()
+            assert result["digest"]["events"] == len(events)
+
+    def test_drain_without_rotator_still_digests(self, events):
+        with build_supervisor() as supervisor:
+            supervisor.replay(events, batch_size=32)
+            result = supervisor.drain(checkpoint=False)
+            assert result["checkpoint"] is None
+            assert result["digest"]["events"] == len(events)
+
+
+class TestJournalBound:
+    def test_bound_forces_spool_snapshots_without_divergence(self, events):
+        config = fleet_config()
+        monitor = build_monitor(config)
+        registry = MetricsRegistry()
+        with build_supervisor(
+            config, registry=registry, journal_max_events=40
+        ) as supervisor:
+            mon_alarms = monitor.replay(events, batch_size=32)
+            sup_alarms = supervisor.replay(events, batch_size=32)
+            assert registry.value(
+                "repro_runtime_spool_checkpoints_total"
+            ) > 0
+            for shard_i in range(supervisor.n_shards):
+                assert registry.value(
+                    "repro_runtime_journal_events", {"shard": str(shard_i)}
+                ) <= 40
+            assert alarm_keys(sup_alarms) == alarm_keys(mon_alarms)
+            assert supervisor.digest() == monitor.digest()
+
+
+class TestDeterministicFault:
+    """An error *reply* is not a crash: restarting would replay the same
+    deterministic failure, so the shard degrades exactly as in-process."""
+
+    DIGEST_PARITY_KEYS = (
+        "events", "samples", "failures", "alarms",
+        "quarantined", "quarantine_reasons", "degraded_shards",
+    )
+
+    def test_tolerant_mode_degrades_like_inproc(self, events, tmp_path):
+        config = fleet_config()
+        monitor = build_monitor(config, strict=False)
+        monitor.shards[VICTIM] = FaultyPredictor(
+            monitor.shards[VICTIM], fail_after=40
+        )
+        with build_supervisor(
+            config,
+            strict=False,
+            fault_options={VICTIM: {"fail_after": 40}},
+        ) as supervisor:
+            mon_alarms = monitor.replay(events, batch_size=32)
+            sup_alarms = supervisor.replay(events, batch_size=32)
+
+            # no restart: a deterministic fault is not a death
+            assert supervisor.restarts == [0, 0, 0]
+            assert supervisor.health.degraded == [VICTIM]
+            assert monitor.health.degraded == [VICTIM]
+            assert alarm_keys(sup_alarms) == alarm_keys(mon_alarms)
+            assert (
+                supervisor.dead_letters.reason_counts
+                == monitor.dead_letters.reason_counts
+            )
+            assert set(supervisor.dead_letters.reason_counts) <= {
+                REASON_SHARD_FAULT, REASON_DEGRADED_SHARD,
+            }
+            mon_digest = monitor.digest()
+            sup_digest = supervisor.digest()
+            for key in self.DIGEST_PARITY_KEYS:
+                assert sup_digest[key] == mon_digest[key], key
+
+            # the survivors never noticed
+            survivors = [
+                i for i in range(config.n_shards) if i != VICTIM
+            ]
+            mon_forests = snapshot_forests(monitor, tmp_path / "mon")
+            sup_forests = snapshot_forests(supervisor, tmp_path / "sup")
+            for shard_i in survivors:
+                assert same_forest(
+                    mon_forests[shard_i], sup_forests[shard_i]
+                )
+
+    def test_strict_mode_raises_shard_fault(self, events):
+        supervisor = build_supervisor(
+            strict=True, fault_options={VICTIM: {"fail_after": 10}}
+        )
+        try:
+            with pytest.raises(ShardFault) as excinfo:
+                supervisor.replay(events, batch_size=32)
+            assert excinfo.value.shard == VICTIM
+        finally:
+            supervisor.close()
+
+
+class TestRestartBudget:
+    def test_exhausted_budget_degrades_instead_of_crash_looping(
+        self, events
+    ):
+        with build_supervisor(
+            strict=False,
+            max_restarts=0,
+            fault_options=dict(KILL_DRILL),
+        ) as supervisor:
+            supervisor.replay(events, batch_size=32)  # must not raise
+            assert supervisor.restarts == [0, 0, 0]
+            assert supervisor.health.degraded == [VICTIM]
+            reasons = supervisor.dead_letters.reason_counts
+            assert reasons.get(REASON_SHARD_FAULT, 0) > 0
+            assert set(reasons) <= {
+                REASON_SHARD_FAULT, REASON_DEGRADED_SHARD,
+            }

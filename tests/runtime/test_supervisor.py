@@ -1,0 +1,183 @@
+"""FleetSupervisor ⇄ FleetMonitor equivalence and the construction API.
+
+The tentpole claim: under one seed, the shard-per-process runtime is
+**bit-identical** to the in-process fleet — same emitted alarms, same
+digests, same per-shard forest structure — because both runtimes route
+through the same shared admission/lifecycle code and the same shard
+factory, and the workers run the same bucket loop the in-process fleet
+inlines.
+"""
+
+import pytest
+
+from repro.persistence import load_model
+from repro.runtime import FleetSupervisor
+from repro.service import (
+    CheckpointConfigMismatch,
+    CheckpointRotator,
+    FleetMonitor,
+    MetricsRegistry,
+)
+
+from tests.runtime.conftest import (
+    alarm_keys,
+    build_monitor,
+    build_supervisor,
+    fleet_config,
+    zero_clock,
+)
+from tests.service.conftest import same_forest
+
+
+def snapshot_forests(fleet, directory):
+    directory.mkdir(parents=True, exist_ok=True)
+    fleet.write_shard_snapshots(directory)
+    return [
+        load_model(directory / f"shard{i}.npz").forest
+        for i in range(fleet.n_shards)
+    ]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("mode", ["exact", "batch"])
+    def test_alarms_digest_forests_match_inproc(self, events, mode, tmp_path):
+        config = fleet_config(mode=mode)
+        monitor = build_monitor(config)
+        with build_supervisor(config) as supervisor:
+            mon_alarms = monitor.replay(events, batch_size=32)
+            sup_alarms = supervisor.replay(events, batch_size=32)
+
+            assert alarm_keys(sup_alarms) == alarm_keys(mon_alarms)
+            assert supervisor.digest() == monitor.digest()
+            assert supervisor.n_samples == monitor.n_samples == len(events)
+
+            mon_forests = snapshot_forests(monitor, tmp_path / "mon")
+            sup_forests = snapshot_forests(supervisor, tmp_path / "sup")
+            for f_mon, f_sup in zip(mon_forests, sup_forests):
+                assert same_forest(f_mon, f_sup)
+
+    def test_digest_parity_with_rotators(self, events, tmp_path):
+        config = fleet_config()
+        monitor = build_monitor(
+            config,
+            rotator=CheckpointRotator(tmp_path / "mon", every_samples=100),
+        )
+        with build_supervisor(
+            config,
+            rotator=CheckpointRotator(tmp_path / "sup", every_samples=100),
+        ) as supervisor:
+            monitor.replay(events, batch_size=32)
+            supervisor.replay(events, batch_size=32)
+            mon_digest = monitor.digest()
+            sup_digest = supervisor.digest()
+            assert sup_digest == mon_digest
+            # both rotated at the same sample boundaries
+            assert isinstance(sup_digest["checkpoint_age"], int)
+
+    def test_routing_agrees_with_inproc(self):
+        config = fleet_config()
+        monitor = build_monitor(config)
+        with build_supervisor(config) as supervisor:
+            for disk_id in ("disk-0", "wwn-0x5000c500", 17, (3, "slot")):
+                assert supervisor.shard_index(disk_id) == monitor.shard_index(
+                    disk_id
+                )
+
+
+class TestConstructionAPI:
+    def test_build_rejects_legacy_kwarg_spelling(self):
+        with pytest.raises(TypeError, match="FleetConfig"):
+            FleetSupervisor.build(4)
+
+    def test_shard_count_must_match_config(self):
+        config = fleet_config()
+        shards = config.build_shards()[:2]
+        with pytest.raises(ValueError, match="shard"):
+            FleetSupervisor(shards, config=config)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            FleetSupervisor([])
+
+    @pytest.mark.parametrize(
+        "bad_kwargs",
+        [
+            {"mode": "turbo"},
+            {"journal_max_events": 0},
+            {"max_restarts": -1},
+        ],
+    )
+    def test_invalid_options_rejected(self, bad_kwargs):
+        shards = fleet_config(n_shards=1).build_shards()
+        with pytest.raises(ValueError):
+            FleetSupervisor(shards, **bad_kwargs)
+
+    def test_effective_config_stamps_process_runtime(self):
+        config = fleet_config()
+        with build_supervisor(config) as supervisor:
+            effective = supervisor.effective_config()
+            assert effective.runtime == "process"
+            assert effective.n_shards == config.n_shards
+            assert effective.forest == config.forest
+            assert supervisor.n_features == config.n_features
+
+    def test_heartbeat_and_worker_gauge(self):
+        registry = MetricsRegistry()
+        supervisor = build_supervisor(registry=registry)
+        try:
+            assert supervisor.heartbeat(timeout=10.0) == {
+                0: True, 1: True, 2: True,
+            }
+            assert registry.value("repro_runtime_workers") == 3.0
+        finally:
+            supervisor.close()
+        assert supervisor.heartbeat() == {0: False, 1: False, 2: False}
+        assert registry.value("repro_runtime_workers") == 0.0
+        supervisor.close()  # idempotent
+
+
+class TestFromCheckpoint:
+    def test_resume_parity_with_inproc(self, events, tmp_path):
+        config = fleet_config()
+        head, tail = events[:180], events[180:]
+        origin = build_monitor(
+            config,
+            rotator=CheckpointRotator(tmp_path / "ckpt", every_samples=10**9),
+        )
+        origin.replay(head, batch_size=32)
+        published = origin.checkpoint()
+
+        monitor = FleetMonitor.from_checkpoint(
+            published,
+            config=config,
+            registry=MetricsRegistry(),
+            clock=zero_clock,
+        )
+        with FleetSupervisor.from_checkpoint(
+            published,
+            config=config,
+            registry=MetricsRegistry(),
+            clock=zero_clock,
+        ) as supervisor:
+            assert supervisor.n_samples == monitor.n_samples == len(head)
+            mon_alarms = monitor.replay(tail, batch_size=32)
+            sup_alarms = supervisor.replay(tail, batch_size=32)
+            assert alarm_keys(sup_alarms) == alarm_keys(mon_alarms)
+            mon_forests = snapshot_forests(monitor, tmp_path / "mon")
+            sup_forests = snapshot_forests(supervisor, tmp_path / "sup")
+            for f_mon, f_sup in zip(mon_forests, sup_forests):
+                assert same_forest(f_mon, f_sup)
+
+    def test_topology_mismatch_is_typed_error(self, events, tmp_path):
+        config = fleet_config()
+        origin = build_monitor(
+            config,
+            rotator=CheckpointRotator(tmp_path / "ckpt", every_samples=10**9),
+        )
+        origin.replay(events[:60], batch_size=32)
+        published = origin.checkpoint()
+
+        wrong = fleet_config(queue_length=9)
+        with pytest.raises(CheckpointConfigMismatch) as excinfo:
+            FleetSupervisor.from_checkpoint(published, config=wrong)
+        assert "queue_length" in excinfo.value.mismatches

@@ -1,0 +1,94 @@
+"""Framing contract of the supervisor ⇄ worker pickle protocol."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.runtime import WIRE_VERSION, WireError, WorkerGone, WorkerTimeout
+from repro.runtime.wire import _HEADER, recv_frame, send_frame
+
+
+@pytest.fixture
+def pipe():
+    a, b = multiprocessing.Pipe(duplex=True)
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestRoundTrip:
+    def test_op_and_payload_survive(self, pipe):
+        a, b = pipe
+        payload = {"bucket": [(0, "disk-7"), (1, "disk-9")], "mode": "exact"}
+        send_frame(a, "ingest_batch", payload)
+        assert recv_frame(b) == ("ingest_batch", payload)
+
+    def test_payload_defaults_to_none(self, pipe):
+        a, b = pipe
+        send_frame(a, "heartbeat")
+        assert recv_frame(b) == ("heartbeat", None)
+
+    def test_frames_are_ordered(self, pipe):
+        a, b = pipe
+        for i in range(5):
+            send_frame(a, "digest", i)
+        assert [recv_frame(b)[1] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+class TestDeathDetection:
+    def test_timeout_on_silent_peer(self, pipe):
+        a, _ = pipe
+        with pytest.raises(WorkerTimeout):
+            recv_frame(a, timeout=0.01)
+
+    def test_recv_from_closed_peer_is_worker_gone(self, pipe):
+        a, b = pipe
+        b.close()
+        with pytest.raises(WorkerGone):
+            recv_frame(a, timeout=1.0)
+
+    def test_send_to_closed_peer_is_worker_gone(self, pipe):
+        a, b = pipe
+        b.close()
+        with pytest.raises(WorkerGone):
+            # one send may land in the pipe buffer before the OS
+            # reports the closed read end; two cannot both survive
+            send_frame(a, "digest")
+            send_frame(a, "digest")
+
+
+class TestMalformedFrames:
+    def test_version_mismatch_rejected(self, pipe):
+        a, b = pipe
+        body = pickle.dumps(("digest", None))
+        a.send_bytes(_HEADER.pack(WIRE_VERSION + 1, len(body)) + body)
+        with pytest.raises(WireError, match="wire version"):
+            recv_frame(b)
+
+    def test_truncated_header_rejected(self, pipe):
+        a, b = pipe
+        a.send_bytes(b"\x01")
+        with pytest.raises(WireError, match="truncated"):
+            recv_frame(b)
+
+    def test_length_mismatch_rejected(self, pipe):
+        a, b = pipe
+        body = pickle.dumps(("digest", None))
+        a.send_bytes(_HEADER.pack(WIRE_VERSION, len(body) + 4) + body)
+        with pytest.raises(WireError, match="length mismatch"):
+            recv_frame(b)
+
+    def test_undecodable_body_rejected(self, pipe):
+        a, b = pipe
+        junk = b"\x00not-a-pickle"
+        a.send_bytes(_HEADER.pack(WIRE_VERSION, len(junk)) + junk)
+        with pytest.raises(WireError, match="undecodable"):
+            recv_frame(b)
+
+    def test_non_string_op_rejected(self, pipe):
+        a, b = pipe
+        body = pickle.dumps((42, None))
+        a.send_bytes(_HEADER.pack(WIRE_VERSION, len(body)) + body)
+        with pytest.raises(WireError, match="op must be a str"):
+            recv_frame(b)

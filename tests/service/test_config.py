@@ -1,0 +1,213 @@
+"""FleetConfig: round trip, validation, legacy shim, checkpoint stamping.
+
+The config is the one serializable description of a fleet's shape.  Its
+contracts: a lossless JSON round trip (so a checkpoint manifest can
+embed it), strictness about anything that would *not* survive that trip
+(exotic seeds, tuples, live objects), a deprecated-but-bit-identical
+legacy kwarg spelling on ``FleetMonitor.build``, and typed rejection of
+checkpoints whose embedded config no longer matches the running fleet.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.service import (
+    AlarmManager,
+    CheckpointConfigMismatch,
+    CheckpointRotator,
+    FleetConfig,
+    FleetMonitor,
+    MetricsRegistry,
+    build_shard_predictors,
+)
+from repro.service.checkpoint import load_checkpoint, load_latest
+
+from tests.service.conftest import FOREST_KW, make_events, same_forest
+
+
+def config_kw(**overrides):
+    base = dict(
+        n_features=4,
+        n_shards=3,
+        seed=11,
+        forest=dict(FOREST_KW),
+        queue_length=5,
+        alarm_threshold=0.4,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestRoundTrip:
+    def test_lossless_through_json(self):
+        config = FleetConfig(**config_kw(warmup_samples=10, mode="batch"))
+        wire = json.loads(json.dumps(config.to_dict()))
+        assert FleetConfig.from_dict(wire) == config
+
+    def test_defaults_round_trip_too(self):
+        config = FleetConfig(n_features=12)
+        assert FleetConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        data = FleetConfig(n_features=4).to_dict()
+        data["n_shrads"] = 3  # the typo this strictness exists for
+        with pytest.raises(ValueError, match="n_shrads"):
+            FleetConfig.from_dict(data)
+
+    def test_from_dict_requires_n_features(self):
+        with pytest.raises(ValueError, match="n_features"):
+            FleetConfig.from_dict({"n_shards": 2})
+
+    def test_frozen(self):
+        config = FleetConfig(n_features=4)
+        with pytest.raises(AttributeError):
+            config.n_shards = 5
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_features": 0},
+            {"n_shards": 0},
+            {"queue_length": 0},
+            {"alarm_threshold": 1.5},
+            {"warmup_samples": -1},
+            {"mode": "turbo"},
+            {"runtime": "thread"},
+        ],
+    )
+    def test_bad_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            FleetConfig(**config_kw(**overrides))
+
+    def test_exotic_seed_rejected(self):
+        """Rich SeedLike objects can't survive JSON; the factory is the
+        documented escape hatch."""
+        import numpy as np
+
+        with pytest.raises(ValueError, match="seed"):
+            FleetConfig(**config_kw(seed=np.random.SeedSequence(7)))
+
+    def test_live_object_in_forest_rejected(self):
+        with pytest.raises(ValueError, match="JSON"):
+            FleetConfig(**config_kw(forest={"executor": object()}))
+
+    def test_tuple_in_forest_rejected(self):
+        with pytest.raises(ValueError, match="round trip"):
+            FleetConfig(**config_kw(forest={"sizes": (1, 2)}))
+
+
+class TestLegacyShim:
+    def test_legacy_spelling_warns_and_matches_config_path(self):
+        events = make_events()
+        config = FleetConfig(**config_kw())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # config path must be silent
+            modern = FleetMonitor.build(config, registry=MetricsRegistry())
+        with pytest.warns(DeprecationWarning, match="FleetConfig"):
+            legacy = FleetMonitor.build(
+                4,
+                n_shards=3,
+                seed=11,
+                forest_kwargs=dict(FOREST_KW),
+                queue_length=5,
+                alarm_threshold=0.4,
+                registry=MetricsRegistry(),
+            )
+        modern_alarms = modern.replay(events, batch_size=32)
+        legacy_alarms = legacy.replay(events, batch_size=32)
+        assert [
+            (e.alarm.disk_id, e.alarm.tag, e.alarm.score)
+            for e in legacy_alarms
+        ] == [
+            (e.alarm.disk_id, e.alarm.tag, e.alarm.score)
+            for e in modern_alarms
+        ]
+        for s_legacy, s_modern in zip(legacy.shards, modern.shards):
+            assert same_forest(s_legacy.forest, s_modern.forest)
+
+    def test_config_plus_legacy_kwargs_is_an_error(self):
+        with pytest.raises(TypeError, match="FleetConfig"):
+            FleetMonitor.build(FleetConfig(n_features=4), n_shards=2)
+
+    def test_mode_conflict_with_config_is_an_error(self):
+        config = FleetConfig(n_features=4, mode="batch")
+        with pytest.raises(ValueError, match="mode"):
+            FleetMonitor.build(config, mode="exact")
+
+    def test_factory_matches_config_build_shards(self):
+        config = FleetConfig(**config_kw())
+        direct = build_shard_predictors(
+            4,
+            n_shards=3,
+            seed=11,
+            forest=dict(FOREST_KW),
+            queue_length=5,
+            alarm_threshold=0.4,
+        )
+        for s_direct, s_config in zip(direct, config.build_shards()):
+            assert same_forest(s_direct.forest, s_config.forest)
+
+
+class TestCheckpointStamping:
+    def build(self, tmp_path, config):
+        return FleetMonitor.build(
+            config,
+            registry=MetricsRegistry(),
+            rotator=CheckpointRotator(tmp_path, every_samples=10**9),
+        )
+
+    def test_manifest_embeds_effective_config(self, tmp_path):
+        config = FleetConfig(**config_kw())
+        fleet = self.build(tmp_path, config)
+        fleet.replay(make_events()[:60], batch_size=32)
+        published = fleet.checkpoint()
+        manifest = json.loads((published / "manifest.json").read_text())
+        assert manifest["config"] == fleet.effective_config().to_dict()
+        assert FleetConfig.from_dict(manifest["config"]) == config
+
+    def test_mismatch_raises_typed_error(self, tmp_path):
+        config = FleetConfig(**config_kw())
+        fleet = self.build(tmp_path, config)
+        fleet.replay(make_events()[:60], batch_size=32)
+        published = fleet.checkpoint()
+
+        wrong = FleetConfig(**config_kw(n_shards=4))
+        with pytest.raises(CheckpointConfigMismatch) as excinfo:
+            load_checkpoint(published, expect_config=wrong)
+        assert excinfo.value.mismatches["n_shards"] == (3, 4)
+
+        with pytest.raises(CheckpointConfigMismatch):
+            FleetMonitor.from_checkpoint(published, config=wrong)
+
+    def test_load_latest_propagates_mismatch(self, tmp_path):
+        """A mismatch is an answer, not corruption: load_latest must
+        surface it instead of falling back to an older sibling."""
+        config = FleetConfig(**config_kw())
+        fleet = self.build(tmp_path, config)
+        fleet.replay(make_events()[:60], batch_size=32)
+        fleet.checkpoint()
+
+        wrong = FleetConfig(**config_kw(queue_length=9))
+        with pytest.raises(CheckpointConfigMismatch):
+            load_latest(tmp_path, expect_config=wrong)
+        # and the matching config still restores
+        manifest, shards = load_latest(tmp_path, expect_config=config)
+        assert manifest["n_shards"] == 3
+        assert len(shards) == 3
+
+    def test_matching_restore_round_trips(self, tmp_path):
+        config = FleetConfig(**config_kw())
+        fleet = self.build(tmp_path, config)
+        fleet.replay(make_events()[:60], batch_size=32)
+        published = fleet.checkpoint()
+        resumed = FleetMonitor.from_checkpoint(
+            published, config=config, registry=MetricsRegistry()
+        )
+        assert resumed.n_samples == fleet.n_samples
+        assert resumed.mode == fleet.mode
+        for s_old, s_new in zip(fleet.shards, resumed.shards):
+            assert same_forest(s_old.forest, s_new.forest)

@@ -284,7 +284,7 @@ class TestShardFaultIsolation:
 class TestCheckpointFaults:
     def test_rotate_retries_transient_oserror(self, tmp_path, events, monkeypatch):
         from repro.service import CheckpointRotator
-        from repro.service import checkpoint as ckpt_mod
+        from repro.service import fleet as fleet_mod
 
         rot = CheckpointRotator(
             tmp_path, every_samples=10**9, backoff_seconds=0.0
@@ -292,7 +292,7 @@ class TestCheckpointFaults:
         fleet = build_fleet(rotator=rot)
         fleet.replay(events[:32], batch_size=32)
 
-        real_save = ckpt_mod.save_model
+        real_save = fleet_mod.save_model
         calls = {"n": 0}
 
         def flaky_save(model, path):
@@ -301,7 +301,7 @@ class TestCheckpointFaults:
                 raise OSError("transient NFS hiccup")
             return real_save(model, path)
 
-        monkeypatch.setattr(ckpt_mod, "save_model", flaky_save)
+        monkeypatch.setattr(fleet_mod, "save_model", flaky_save)
         path = rot.rotate(fleet)
         assert path.is_dir()
         assert rot.n_retries == 1
@@ -312,7 +312,7 @@ class TestCheckpointFaults:
         self, tmp_path, events, monkeypatch
     ):
         from repro.service import CheckpointRotator
-        from repro.service import checkpoint as ckpt_mod
+        from repro.service import fleet as fleet_mod
 
         rot = CheckpointRotator(
             tmp_path, every_samples=10**9, retries=2, backoff_seconds=0.0
@@ -323,7 +323,7 @@ class TestCheckpointFaults:
         def readonly_save(model, path):
             raise PermissionError("read-only checkpoint directory")
 
-        monkeypatch.setattr(ckpt_mod, "save_model", readonly_save)
+        monkeypatch.setattr(fleet_mod, "save_model", readonly_save)
         with pytest.raises(OSError):
             rot.rotate(fleet)
         assert rot.n_retries == 2
@@ -333,12 +333,12 @@ class TestCheckpointFaults:
         self, tmp_path, events, monkeypatch
     ):
         from repro.service import CheckpointRotator
-        from repro.service import checkpoint as ckpt_mod
+        from repro.service import fleet as fleet_mod
 
         def readonly_save(model, path):
             raise PermissionError("read-only checkpoint directory")
 
-        monkeypatch.setattr(ckpt_mod, "save_model", readonly_save)
+        monkeypatch.setattr(fleet_mod, "save_model", readonly_save)
         rot = CheckpointRotator(
             tmp_path, every_samples=10, retries=1, backoff_seconds=0.0
         )
@@ -361,10 +361,10 @@ class TestCheckpointFaults:
         self, tmp_path, events, monkeypatch
     ):
         from repro.service import CheckpointRotator
-        from repro.service import checkpoint as ckpt_mod
+        from repro.service import fleet as fleet_mod
 
         monkeypatch.setattr(
-            ckpt_mod, "save_model",
+            fleet_mod, "save_model",
             lambda model, path: (_ for _ in ()).throw(PermissionError("ro")),
         )
         rot = CheckpointRotator(

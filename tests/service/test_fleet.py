@@ -15,6 +15,7 @@ from repro.parallel.pool import ProcessExecutor, ThreadExecutor
 from repro.service import (
     AlarmManager,
     DiskEvent,
+    FleetConfig,
     FleetMonitor,
     shard_of,
     shard_seeds,
@@ -30,15 +31,16 @@ def passthrough_manager():
 
 def build_fleet(n_shards=1, seed=5, **kwargs):
     kwargs.setdefault("alarm_manager", passthrough_manager())
-    return FleetMonitor.build(
-        4,
+    config = FleetConfig(
+        n_features=4,
         n_shards=n_shards,
         seed=seed,
-        forest_kwargs=FOREST_KW,
+        forest=FOREST_KW,
         queue_length=3,
         alarm_threshold=0.4,
-        **kwargs,
+        mode=kwargs.pop("mode", "exact"),
     )
+    return FleetMonitor.build(config, **kwargs)
 
 
 def plain_predictor(seed=5):

@@ -17,6 +17,7 @@ from repro.obs import NULL_TRACER, STAGE_ITEMS_METRIC, Tracer, stage_summary
 from repro.service import (
     AlarmManager,
     CheckpointRotator,
+    FleetConfig,
     FleetMonitor,
     MetricsRegistry,
 )
@@ -42,20 +43,23 @@ EXACT_MODE_STAGES = {
 
 
 def build_fleet(tracer=None, registry=None, mode="exact", **kwargs):
-    return FleetMonitor.build(
-        4,
+    config = FleetConfig(
+        n_features=4,
         n_shards=2,
         seed=11,
-        forest_kwargs=FOREST_KW,
+        forest=FOREST_KW,
         queue_length=3,
         alarm_threshold=0.4,
+        mode=mode,
+    )
+    return FleetMonitor.build(
+        config,
         alarm_manager=AlarmManager(
             cooldown=0, escalate_after=None, resolve_after=None,
             registry=registry,
         ),
         tracer=tracer,
         registry=registry,
-        mode=mode,
         **kwargs,
     )
 

@@ -1,0 +1,91 @@
+"""The public import surface, pinned.
+
+``repro.__all__`` (and the subsystem facades) are a compatibility
+promise: every listed name must import, resolve via ``getattr``, and —
+per the deprecation policy in ``docs/api.md`` — only ever *grow*.
+These tests turn an accidental rename or a dropped re-export into a
+test failure instead of a downstream ImportError.
+"""
+
+import importlib
+
+import pytest
+
+FACADES = [
+    "repro",
+    "repro.service",
+    "repro.runtime",
+    "repro.gateway",
+    "repro.obs",
+]
+
+#: names the examples and docs lean on — removing any of these breaks
+#: published snippets, so they are pinned beyond mere __all__ membership
+LOAD_BEARING = {
+    "repro": [
+        "DiskEvent",
+        "FleetConfig",
+        "FleetMonitor",
+        "FleetSupervisor",
+        "GatewayClient",
+        "OnlineRandomForest",
+        "OnlineDiskFailurePredictor",
+        "AlarmManager",
+        "CheckpointRotator",
+        "CheckpointConfigMismatch",
+        "MetricsRegistry",
+        "EmittedAlarm",
+        "fleet_events",
+        "save_model",
+        "load_model",
+    ],
+    "repro.service": [
+        "FleetBackend",
+        "FleetConfig",
+        "FleetMonitor",
+        "build_shard_predictors",
+        "shard_of",
+    ],
+    "repro.runtime": [
+        "FleetSupervisor",
+        "RestartRecord",
+        "ShardHost",
+        "shard_host_main",
+    ],
+}
+
+
+@pytest.mark.parametrize("module_name", FACADES)
+def test_every_all_name_resolves(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__all__, f"{module_name} must declare a public surface"
+    missing = [
+        name for name in module.__all__
+        if getattr(module, name, None) is None and name != "__version__"
+    ]
+    assert missing == [], f"{module_name}.__all__ names not bound: {missing}"
+
+
+@pytest.mark.parametrize("module_name", FACADES)
+def test_all_is_sorted_and_unique(module_name):
+    module = importlib.import_module(module_name)
+    assert len(module.__all__) == len(set(module.__all__))
+
+
+@pytest.mark.parametrize("module_name", sorted(LOAD_BEARING))
+def test_load_bearing_names_are_public(module_name):
+    module = importlib.import_module(module_name)
+    for name in LOAD_BEARING[module_name]:
+        assert name in module.__all__, f"{module_name}.{name} left __all__"
+        getattr(module, name)
+
+
+def test_root_facade_covers_both_runtimes():
+    """One import line builds either runtime from one config."""
+    import repro
+
+    config = repro.FleetConfig(n_features=4, n_shards=2, seed=3)
+    assert config.runtime == "inproc"
+    fleet = repro.FleetMonitor.build(config)
+    assert fleet.n_shards == 2
+    assert repro.FleetSupervisor.build is not None  # process runtime
